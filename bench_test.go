@@ -1,0 +1,129 @@
+// Package fusionq_test holds the top-level benchmark harness: one benchmark
+// per experiment of the suite (E1–E9, see DESIGN.md and EXPERIMENTS.md),
+// plus micro-benchmarks of the optimization algorithms themselves. Regenerate
+// the experiment tables with cmd/fqbench; these benchmarks time the same
+// code paths under the standard testing.B machinery.
+package fusionq_test
+
+import (
+	"fmt"
+	"testing"
+
+	"fusionq/internal/bench"
+	"fusionq/internal/optimizer"
+	"fusionq/internal/plan"
+	"fusionq/internal/stats"
+	"fusionq/internal/workload"
+)
+
+// runExperiment wraps one experiment of the suite as a benchmark.
+func runExperiment(b *testing.B, id string) {
+	e, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		table, err := e.Run()
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(table.Rows) == 0 {
+			b.Fatalf("%s: empty table", id)
+		}
+	}
+}
+
+func BenchmarkE1PlanQualityVsSources(b *testing.B) { runExperiment(b, "E1") }
+func BenchmarkE2Heterogeneity(b *testing.B)        { runExperiment(b, "E2") }
+func BenchmarkE3Crossover(b *testing.B)            { runExperiment(b, "E3") }
+func BenchmarkE4OptimizerScaling(b *testing.B)     { runExperiment(b, "E4") }
+func BenchmarkE5GreedyQuality(b *testing.B)        { runExperiment(b, "E5") }
+func BenchmarkE6Postopt(b *testing.B)              { runExperiment(b, "E6") }
+func BenchmarkE7JoinOverUnion(b *testing.B)        { runExperiment(b, "E7") }
+func BenchmarkE8TwoPhase(b *testing.B)             { runExperiment(b, "E8") }
+func BenchmarkE9Execution(b *testing.B)            { runExperiment(b, "E9") }
+func BenchmarkE10ResponseTime(b *testing.B)        { runExperiment(b, "E10") }
+func BenchmarkE11Dependence(b *testing.B)          { runExperiment(b, "E11") }
+func BenchmarkE12ChainOrder(b *testing.B)          { runExperiment(b, "E12") }
+func BenchmarkE13CombinedFetch(b *testing.B)       { runExperiment(b, "E13") }
+func BenchmarkE14BloomSemijoin(b *testing.B)       { runExperiment(b, "E14") }
+func BenchmarkE15Adaptive(b *testing.B)            { runExperiment(b, "E15") }
+
+// synthProblem builds an m-condition, n-source optimization problem from
+// synthetic statistics for the micro-benchmarks.
+func synthProblem(b *testing.B, m, n int) *optimizer.Problem {
+	b.Helper()
+	conds := workload.MustConds(m)
+	sts := make([]stats.SourceStats, n)
+	profiles := make([]stats.SourceProfile, n)
+	for j := 0; j < n; j++ {
+		cc := make([]float64, m)
+		for i := range cc {
+			cc[i] = float64(10 * (i + 1))
+		}
+		sts[j] = stats.SourceStats{Name: plan.SourceName(j), Tuples: 1000, DistinctItems: 1000, Bytes: 40000, CondCard: cc}
+		profiles[j] = stats.SourceProfile{
+			Name: plan.SourceName(j), PerQuery: 0.1, PerItemSent: 0.001, PerItemRecv: 0.001,
+			PerByteLoad: 0.00001, Support: stats.SemijoinNative,
+		}
+	}
+	table, err := stats.Build(conds, sts, profiles)
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := make([]string, n)
+	for j := range names {
+		names[j] = plan.SourceName(j)
+	}
+	return &optimizer.Problem{Conds: conds, Sources: names, Table: table}
+}
+
+// benchAlgo times one optimizer at a given problem size.
+func benchAlgo(b *testing.B, fn func(*optimizer.Problem) (optimizer.Result, error), m, n int) {
+	pr := synthProblem(b, m, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fn(pr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimizers(b *testing.B) {
+	algos := []struct {
+		name string
+		fn   func(*optimizer.Problem) (optimizer.Result, error)
+	}{
+		{"Filter", optimizer.Filter},
+		{"SJ", optimizer.SJ},
+		{"SJA", optimizer.SJA},
+		{"SJAPlus", optimizer.SJAPlus},
+		{"GreedySJA", optimizer.GreedySJA},
+	}
+	sizes := []struct{ m, n int }{{3, 8}, {3, 64}, {5, 8}}
+	for _, a := range algos {
+		for _, s := range sizes {
+			b.Run(fmt.Sprintf("%s/m%d_n%d", a.name, s.m, s.n), func(b *testing.B) {
+				benchAlgo(b, a.fn, s.m, s.n)
+			})
+		}
+	}
+}
+
+// BenchmarkPlanEstimate times the static cost estimator on an SJA+ plan.
+func BenchmarkPlanEstimate(b *testing.B) {
+	pr := synthProblem(b, 4, 16)
+	res, err := optimizer.SJAPlus(pr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.EstimateCost(res.Plan, pr.Table); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Command fqbench runs the experiment suite that regenerates the paper's
+// worked-example economics and validates its quantitative claims. The
+// tables it prints are the ones recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	fqbench            # run all experiments
+//	fqbench -e E3      # run one experiment
+//	fqbench -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fusionq/internal/bench"
+)
+
+func main() {
+	var (
+		expID = flag.String("e", "", "run a single experiment by id (e.g. E3)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	run := func(e bench.Experiment) error {
+		table, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Println(table.Render())
+		return nil
+	}
+
+	if *expID != "" {
+		e, ok := bench.ByID(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fqbench: unknown experiment %q (use -list)\n", *expID)
+			os.Exit(2)
+		}
+		if err := run(e); err != nil {
+			fmt.Fprintf(os.Stderr, "fqbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, e := range bench.All() {
+		if err := run(e); err != nil {
+			fmt.Fprintf(os.Stderr, "fqbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Command fqplan prints fusion-query plans in the paper's notation. With
+// -figure it regenerates the worked examples of Figures 2 and 5; otherwise
+// it optimizes the paper's DMV query with every algorithm and shows the
+// resulting plans and costs side by side.
+//
+// Usage:
+//
+//	fqplan                  # all algorithms on the DMV example
+//	fqplan -figure 2a       # Figure 2(a) filter plan
+//	fqplan -figure 2b|2c|5a|5b|5c|5d
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"fusionq/internal/netsim"
+	"fusionq/internal/optimizer"
+	"fusionq/internal/plan"
+	"fusionq/internal/source"
+	"fusionq/internal/stats"
+	"fusionq/internal/workload"
+)
+
+func main() {
+	figure := flag.String("figure", "", "regenerate a paper figure: 2a, 2b, 2c, 5a, 5b, 5c, 5d")
+	asJSON := flag.Bool("json", false, "emit plans as JSON instead of listings")
+	asDOT := flag.Bool("dot", false, "emit plans as Graphviz DOT instead of listings")
+	flag.Parse()
+
+	jsonOut = *asJSON
+	dotOut = *asDOT
+	if *figure != "" {
+		if err := printFigure(*figure); err != nil {
+			fmt.Fprintf(os.Stderr, "fqplan: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := printDMV(); err != nil {
+		fmt.Fprintf(os.Stderr, "fqplan: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// figureProblem builds the symbolic cost setting the figures are drawn in:
+// uniform sources, a selective first condition.
+func figureProblem(m, n int) (*optimizer.Problem, error) {
+	sel := []float64{0.01, 0.1, 0.2}[:m]
+	sts := make([]stats.SourceStats, n)
+	profiles := make([]stats.SourceProfile, n)
+	for j := 0; j < n; j++ {
+		cc := make([]float64, m)
+		for i := range cc {
+			cc[i] = sel[i] * 1000
+		}
+		sts[j] = stats.SourceStats{Name: plan.SourceName(j), Tuples: 1000, DistinctItems: 1000, Bytes: 40000, CondCard: cc}
+		profiles[j] = stats.SourceProfile{Name: plan.SourceName(j), PerQuery: 0.1, PerItemSent: 0.001, PerItemRecv: 0.001, PerByteLoad: 0.00001, Support: stats.SemijoinNative}
+	}
+	cs := workload.MustConds(m)
+	table, err := stats.Build(cs, sts, profiles)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, n)
+	for j := range names {
+		names[j] = plan.SourceName(j)
+	}
+	return &optimizer.Problem{Conds: cs, Sources: names, Table: table}, nil
+}
+
+func printFigure(id string) error {
+	allSel := func(m, n int) [][]optimizer.Method {
+		out := make([][]optimizer.Method, m)
+		for i := range out {
+			out[i] = make([]optimizer.Method, n)
+		}
+		return out
+	}
+	var (
+		pr  *optimizer.Problem
+		sk  optimizer.Sketch
+		err error
+	)
+	switch id {
+	case "2a", "2b", "2c":
+		pr, err = figureProblem(3, 2)
+		if err != nil {
+			return err
+		}
+		choices := allSel(3, 2)
+		switch id {
+		case "2b":
+			choices[1][0], choices[1][1] = optimizer.MethodSemijoin, optimizer.MethodSemijoin
+		case "2c":
+			choices[1][0] = optimizer.MethodSemijoin
+		}
+		sk = optimizer.Sketch{Ordering: []int{0, 1, 2}, Choices: choices, Class: "figure-" + id}
+	case "5a", "5b", "5c", "5d":
+		pr, err = figureProblem(2, 3)
+		if err != nil {
+			return err
+		}
+		choices := allSel(2, 3)
+		choices[1][1] = optimizer.MethodSemijoin
+		sk = optimizer.Sketch{Ordering: []int{0, 1}, Choices: choices, Class: "figure-" + id}
+		switch id {
+		case "5b":
+			sk.Loaded = []bool{false, false, true}
+		case "5c":
+			sk.DiffPrune = true
+		case "5d":
+			sk.Loaded = []bool{false, false, true}
+			sk.DiffPrune = true
+		}
+	default:
+		return fmt.Errorf("unknown figure %q", id)
+	}
+	p, err := optimizer.BuildPlan(pr, sk)
+	if err != nil {
+		return err
+	}
+	est, err := plan.EstimateCost(p, pr.Table)
+	if err != nil {
+		return err
+	}
+	if done, err := emitAlt(p); done || err != nil {
+		return err
+	}
+	fmt.Printf("Figure %s (estimated cost %.3f):\n%s", id, est.Cost, p)
+	return nil
+}
+
+// jsonOut and dotOut switch plan output to JSON or Graphviz DOT.
+var (
+	jsonOut bool
+	dotOut  bool
+)
+
+func emitJSON(p *plan.Plan) error {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
+}
+
+func emitAlt(p *plan.Plan) (bool, error) {
+	switch {
+	case jsonOut:
+		return true, emitJSON(p)
+	case dotOut:
+		fmt.Print(p.DOT())
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+func printDMV() error {
+	sc := workload.DMV()
+	network := netsim.NewNetwork(1)
+	link := netsim.DefaultLink()
+	srcs := make([]source.Source, len(sc.Sources))
+	profiles := make([]stats.SourceProfile, len(sc.Sources))
+	for j, raw := range sc.Sources {
+		network.SetLink(raw.Name(), link)
+		srcs[j] = source.Instrument(raw, network)
+		profiles[j] = stats.ProfileFromLink(raw.Name(), link, 3, stats.SupportOf(raw.Caps()))
+	}
+	table, err := stats.BuildFromSources(sc.Conds, srcs, profiles)
+	if err != nil {
+		return err
+	}
+	pr := &optimizer.Problem{Conds: sc.Conds, Sources: sc.SourceNames(), Table: table}
+
+	fmt.Println("DMV example (Figure 1): find drivers with a dui AND an sp violation")
+	fmt.Println()
+	algos := []struct {
+		name string
+		fn   func(*optimizer.Problem) (optimizer.Result, error)
+	}{
+		{"FILTER", optimizer.Filter},
+		{"SJ", optimizer.SJ},
+		{"SJA", optimizer.SJA},
+		{"SJA+", optimizer.SJAPlus},
+		{"Greedy-SJA", optimizer.GreedySJA},
+	}
+	for _, a := range algos {
+		res, err := a.fn(pr)
+		if err != nil {
+			return err
+		}
+		if done, err := emitAlt(res.Plan); err != nil {
+			return err
+		} else if done {
+			continue
+		}
+		fmt.Printf("--- %s (estimated cost %.4f s) ---\n%s\n", a.name, res.Cost, res.Plan)
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestPrintAllFigures(t *testing.T) {
+	for _, id := range []string{"2a", "2b", "2c", "5a", "5b", "5c", "5d"} {
+		if err := printFigure(id); err != nil {
+			t.Errorf("figure %s: %v", id, err)
+		}
+	}
+}
+
+func TestPrintFigureUnknown(t *testing.T) {
+	if err := printFigure("9z"); err == nil {
+		t.Fatal("unknown figure should fail")
+	}
+}
+
+func TestPrintDMV(t *testing.T) {
+	if err := printDMV(); err != nil {
+		t.Fatalf("printDMV: %v", err)
+	}
+}
+
+func TestPrintFigureAltFormats(t *testing.T) {
+	jsonOut, dotOut = true, false
+	defer func() { jsonOut, dotOut = false, false }()
+	if err := printFigure("2a"); err != nil {
+		t.Fatalf("json: %v", err)
+	}
+	jsonOut, dotOut = false, true
+	if err := printFigure("5d"); err != nil {
+		t.Fatalf("dot: %v", err)
+	}
+	if err := printDMV(); err != nil {
+		t.Fatalf("dot dmv: %v", err)
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fusionq/internal/cond"
+	"fusionq/internal/set"
+	"fusionq/internal/wire"
+)
+
+func writeCSV(t *testing.T) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "dmv.csv")
+	data := "L,V,D\nJ55,dui,1993\nT21,sp,1994\nT80,dui,1993\n"
+	if err := os.WriteFile(p, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestStartServesRelation(t *testing.T) {
+	srv, err := start(writeCSV(t), "", "", "127.0.0.1:0", "native")
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer srv.Close()
+
+	cli, err := wire.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if cli.Name() != "dmv" {
+		t.Fatalf("name = %q, want file basename", cli.Name())
+	}
+	got, err := cli.Select(cond.MustParse("V = 'dui'"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := set.New("J55", "T80"); !got.Equal(want) {
+		t.Fatalf("remote sq = %v, want %v", got, want)
+	}
+}
+
+func TestStartCapabilityTiers(t *testing.T) {
+	csv := writeCSV(t)
+	for tier, wantNative := range map[string]bool{"native": true, "bindings": false, "none": false} {
+		srv, err := start(csv, "s-"+tier, "", "127.0.0.1:0", tier)
+		if err != nil {
+			t.Fatalf("%s: %v", tier, err)
+		}
+		cli, err := wire.Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cli.Caps().NativeSemijoin != wantNative {
+			t.Errorf("%s: native = %v", tier, cli.Caps().NativeSemijoin)
+		}
+		cli.Close()
+		srv.Close()
+	}
+}
+
+func TestStartErrors(t *testing.T) {
+	if _, err := start("", "", "", "127.0.0.1:0", "native"); err == nil {
+		t.Error("missing csv should fail")
+	}
+	if _, err := start("/nonexistent.csv", "", "", "127.0.0.1:0", "native"); err == nil {
+		t.Error("missing file should fail")
+	}
+	if _, err := start(writeCSV(t), "", "", "127.0.0.1:0", "wizard"); err == nil {
+		t.Error("bad caps should fail")
+	}
+	if _, err := start(writeCSV(t), "", "", "256.256.256.256:0", "native"); err == nil {
+		t.Error("bad address should fail")
+	}
+}

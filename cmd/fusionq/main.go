@@ -1,0 +1,219 @@
+// Command fusionq runs a fusion query end to end: it registers local CSV
+// sources and/or remote wire sources, detects the fusion pattern in the SQL,
+// optimizes with the chosen algorithm, executes the plan, and reports the
+// answer and the execution accounting.
+//
+// Usage:
+//
+//	fusionq -sql "SELECT u1.L FROM U u1, U u2 WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'" \
+//	        -csv r1.csv -csv r2.csv -csv r3.csv
+//
+//	fusionq -sql "..." -remote 10.0.0.1:7070 -remote 10.0.0.2:7070
+//
+// Flags:
+//
+//	-csv file       local CSV source (repeatable); name is the file basename
+//	-remote addr    remote wire source (repeatable)
+//	-catalog file   JSON catalog describing all sources (replaces -csv/-remote)
+//	-merge col      merge attribute (default: first CSV column)
+//	-algo name      filter | sj | sja | sja+ | greedy-sj | greedy-sja | greedy-sja+
+//	-caps tier      capability tier for CSV sources: native | bindings | none
+//	-parallel       execute each round's source queries concurrently
+//	-explain        print the plan without executing it
+//	-fetch          run the second phase and print the full records
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fusionq/internal/catalog"
+	"fusionq/internal/core"
+	"fusionq/internal/csvio"
+	"fusionq/internal/exec"
+	"fusionq/internal/netsim"
+	"fusionq/internal/relation"
+	"fusionq/internal/source"
+	"fusionq/internal/sqlparse"
+	"fusionq/internal/wire"
+)
+
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	var (
+		csvs     stringList
+		remotes  stringList
+		sql      = flag.String("sql", "", "fusion query in SQL form (required)")
+		merge    = flag.String("merge", "", "merge attribute for CSV sources (default: first column)")
+		algo     = flag.String("algo", "sja+", "optimization algorithm")
+		capsFlag = flag.String("caps", "native", "CSV source capabilities: native | bindings | none")
+		parallel = flag.Bool("parallel", false, "execute rounds concurrently")
+		catalogF = flag.String("catalog", "", "JSON catalog of sources (replaces -csv/-remote)")
+		explain  = flag.Bool("explain", false, "print the plan, do not execute")
+		fetch    = flag.Bool("fetch", false, "run the second phase and print full records")
+		trace    = flag.Bool("trace", false, "print a per-step execution trace")
+		shell    = flag.Bool("i", false, "interactive shell: read SQL statements from stdin")
+	)
+	flag.Var(&csvs, "csv", "local CSV source file (repeatable)")
+	flag.Var(&remotes, "remote", "remote source address (repeatable)")
+	flag.Parse()
+
+	if *shell {
+		m, closer, err := assemble(csvs, remotes, *catalogF, *merge, *capsFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fusionq: %v\n", err)
+			os.Exit(1)
+		}
+		defer closer()
+		opts := core.Options{Algorithm: core.Algorithm(*algo), Parallel: *parallel, Trace: *trace}
+		if err := repl(m, os.Stdin, os.Stdout, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "fusionq: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*sql, csvs, remotes, *catalogF, *merge, *algo, *capsFlag, *parallel, *explain, *fetch, *trace); err != nil {
+		fmt.Fprintf(os.Stderr, "fusionq: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parseCaps(tier string) (source.Capabilities, error) {
+	switch tier {
+	case "native":
+		return source.Capabilities{NativeSemijoin: true, PassedBindings: true}, nil
+	case "bindings":
+		return source.Capabilities{PassedBindings: true}, nil
+	case "none":
+		return source.Capabilities{}, nil
+	default:
+		return source.Capabilities{}, fmt.Errorf("unknown capability tier %q", tier)
+	}
+}
+
+func run(sql string, csvs, remotes []string, catalogPath, merge, algo, capsFlag string, parallel, explain, fetch, trace bool) error {
+	if sql == "" {
+		return fmt.Errorf("-sql is required")
+	}
+	m, closer, err := assemble(csvs, remotes, catalogPath, merge, capsFlag)
+	if err != nil {
+		return err
+	}
+	defer closer()
+	schema := m.Schema()
+
+	if explain {
+		fq, err := sqlparse.ParseFusion(sql, schema)
+		if err != nil {
+			return err
+		}
+		res, err := m.Plan(fq.Conds, core.Options{Algorithm: core.Algorithm(algo)})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("plan (%s, estimated cost %.4f s):\n%s", res.Plan.Class, res.Cost, res.Plan)
+		return nil
+	}
+
+	ans, err := m.Query(sql, core.Options{Algorithm: core.Algorithm(algo), Parallel: parallel, Trace: trace})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("answer (%d items): %s\n", ans.Items.Len(), ans.Items)
+	fmt.Printf("plan class: %s, estimated cost %.4f s\n", ans.Plan.Class, ans.EstimatedCost)
+	fmt.Printf("execution: %d source queries, total work %v, response time %v\n",
+		ans.Exec.SourceQueries, ans.Exec.TotalWork, ans.Exec.ResponseTime)
+	if trace {
+		fmt.Printf("\ntrace:\n%s", exec.RenderTrace(ans.Exec.Trace))
+	}
+
+	if fetch && !ans.Items.IsEmpty() {
+		full, err := m.Fetch(ans.Items)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nphase two: %d full records\n%s", full.Len(), full)
+	}
+	return nil
+}
+
+// assemble builds the mediator either from a catalog file or from the
+// -csv/-remote flags.
+func assemble(csvs, remotes []string, catalogPath, merge, capsFlag string) (*core.Mediator, func(), error) {
+	if catalogPath != "" {
+		cat, err := catalog.Load(catalogPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cat.Build()
+	}
+	if len(csvs)+len(remotes) == 0 {
+		return nil, nil, fmt.Errorf("register at least one -csv or -remote source, or use -catalog")
+	}
+	caps, err := parseCaps(capsFlag)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var (
+		sources []source.Source
+		schema  *relation.Schema
+		closers []func()
+	)
+	closeAll := func() {
+		for _, f := range closers {
+			f()
+		}
+	}
+	for _, path := range csvs {
+		rel, err := csvio.Load(path, merge)
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		if schema == nil {
+			schema = rel.Schema()
+		} else if !schema.Compatible(rel.Schema()) {
+			closeAll()
+			return nil, nil, fmt.Errorf("%s: schema %s incompatible with %s", path, rel.Schema(), schema)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		sources = append(sources, source.NewWrapper(name, source.NewRowBackend(rel), caps))
+	}
+	for _, addr := range remotes {
+		cli, err := wire.Dial(addr)
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		closers = append(closers, func() { cli.Close() })
+		if schema == nil {
+			schema = cli.Schema()
+		} else if !schema.Compatible(cli.Schema()) {
+			closeAll()
+			return nil, nil, fmt.Errorf("%s: remote schema %s incompatible with %s", addr, cli.Schema(), schema)
+		}
+		sources = append(sources, cli)
+	}
+
+	m := core.New(schema)
+	m.SetNetwork(netsim.NewNetwork(1))
+	for _, src := range sources {
+		if err := m.AddSourceLink(src, netsim.DefaultLink()); err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+	}
+	return m, closeAll, nil
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fusionq/internal/source"
+	"fusionq/internal/wire"
+	"fusionq/internal/workload"
+)
+
+const (
+	r1CSV = "L,V,D\nJ55,dui,1993\nT21,sp,1994\nT80,dui,1993\n"
+	r2CSV = "L,V,D\nT21,dui,1996\nJ55,sp,1996\nT11,sp,1993\n"
+	r3CSV = "L,V,D\nT21,sp,1993\nS07,sp,1996\nS07,sp,1993\n"
+)
+
+const dmvSQL = "SELECT u1.L FROM U u1, U u2 WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'"
+
+func writeCSVs(t *testing.T) []string {
+	t.Helper()
+	dir := t.TempDir()
+	paths := make([]string, 0, 3)
+	for name, data := range map[string]string{"r1.csv": r1CSV, "r2.csv": r2CSV, "r3.csv": r3CSV} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	return paths
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	csvs := writeCSVs(t)
+	for _, algo := range []string{"filter", "sja", "sja+", "rt-sja"} {
+		if err := run(dmvSQL, csvs, nil, "", "", algo, "native", false, false, true, true); err != nil {
+			t.Fatalf("algo %s: %v", algo, err)
+		}
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	csvs := writeCSVs(t)
+	if err := run(dmvSQL, csvs, nil, "", "", "sja", "bindings", false, true, false, false); err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+}
+
+func TestRunParallel(t *testing.T) {
+	csvs := writeCSVs(t)
+	if err := run(dmvSQL, csvs, nil, "", "", "filter", "none", true, false, false, true); err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+}
+
+func TestRunWithRemoteSource(t *testing.T) {
+	csvs := writeCSVs(t)
+	// Serve R3's data over TCP and mix it with two local CSVs.
+	sc := workload.DMV()
+	srv, err := wire.Serve(source.NewWrapper("remote3", source.NewRowBackend(sc.Relations[2]),
+		source.Capabilities{NativeSemijoin: true, PassedBindings: true}), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := run(dmvSQL, csvs[:2], []string{srv.Addr()}, "", "", "sja+", "native", false, false, false, false); err != nil {
+		t.Fatalf("remote mix: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	csvs := writeCSVs(t)
+	cases := []struct {
+		name string
+		f    func() error
+	}{
+		{"no sql", func() error { return run("", csvs, nil, "", "", "sja", "native", false, false, false, false) }},
+		{"no sources", func() error { return run(dmvSQL, nil, nil, "", "", "sja", "native", false, false, false, false) }},
+		{"bad caps", func() error { return run(dmvSQL, csvs, nil, "", "", "sja", "wizard", false, false, false, false) }},
+		{"bad algo", func() error { return run(dmvSQL, csvs, nil, "", "", "wizard", "native", false, false, false, false) }},
+		{"missing file", func() error {
+			return run(dmvSQL, []string{"/nonexistent/x.csv"}, nil, "", "", "sja", "native", false, false, false, false)
+		}},
+		{"bad remote", func() error {
+			return run(dmvSQL, nil, []string{"127.0.0.1:1"}, "", "", "sja", "native", false, false, false, false)
+		}},
+		{"not fusion", func() error {
+			return run("SELECT u1.V FROM U u1", csvs, nil, "", "", "sja", "native", false, false, false, false)
+		}},
+	}
+	for _, c := range cases {
+		if err := c.f(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestRunIncompatibleSchemas(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.csv")
+	b := filepath.Join(dir, "b.csv")
+	if err := os.WriteFile(a, []byte("L,V\nx,dui\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, []byte("K,W,Z\ny,sp,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sql := "SELECT u1.L FROM U u1 WHERE u1.V = 'dui'"
+	if err := run(sql, []string{a, b}, nil, "", "", "sja", "native", false, false, false, false); err == nil {
+		t.Fatal("incompatible schemas should fail")
+	}
+}
+
+func TestRunWithCatalog(t *testing.T) {
+	dir := t.TempDir()
+	for name, data := range map[string]string{"r1.csv": r1CSV, "r2.csv": r2CSV, "r3.csv": r3CSV} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	catJSON := `{"merge": "L", "sources": [
+	  {"csv": "r1.csv"}, {"csv": "r2.csv", "caps": "bindings"}, {"csv": "r3.csv", "caps": "none"}
+	]}`
+	path := filepath.Join(dir, "catalog.json")
+	if err := os.WriteFile(path, []byte(catJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(dmvSQL, nil, nil, path, "", "sja", "native", false, false, false, false); err != nil {
+		t.Fatalf("catalog run: %v", err)
+	}
+	if err := run(dmvSQL, nil, nil, "/nonexistent.json", "", "sja", "native", false, false, false, false); err == nil {
+		t.Fatal("missing catalog should fail")
+	}
+}
+
+func TestParseCaps(t *testing.T) {
+	n, err := parseCaps("native")
+	if err != nil || !n.NativeSemijoin || !n.PassedBindings {
+		t.Fatalf("native = %+v, %v", n, err)
+	}
+	bnd, err := parseCaps("bindings")
+	if err != nil || bnd.NativeSemijoin || !bnd.PassedBindings {
+		t.Fatalf("bindings = %+v, %v", bnd, err)
+	}
+	none, err := parseCaps("none")
+	if err != nil || none.NativeSemijoin || none.PassedBindings {
+		t.Fatalf("none = %+v, %v", none, err)
+	}
+	if _, err := parseCaps("x"); err == nil {
+		t.Fatal("unknown tier should fail")
+	}
+}

@@ -1,0 +1,77 @@
+// Adaptive: mid-query re-optimization under condition dependence — the
+// runtime answer to the paper's caveat that SJA is provably optimal only
+// for independent conditions (Section 1, point 3).
+//
+// The workload correlates its condition attributes, so the optimizer's
+// independence-based cardinality estimates are badly wrong: the running set
+// after round two is far larger than predicted, and the static plan's
+// committed semijoins ship it expensively. Adaptive execution measures the
+// running set after every round and re-decides the remaining conditions and
+// per-source methods, recovering the cost of the best static ordering
+// without ever searching orderings.
+//
+// Run with: go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"fusionq/internal/core"
+	"fusionq/internal/netsim"
+	"fusionq/internal/workload"
+)
+
+func main() {
+	// A narrow link makes item transfers the dominant cost; c1 and c2
+	// share their threshold and the data couples A2 to A1, so an item
+	// passing c1 almost always passes c2.
+	link := netsim.Link{Latency: 10 * time.Millisecond, BytesPerSec: 2048, RequestOverhead: 5 * time.Millisecond}
+	sc, err := workload.Synth(workload.SynthConfig{
+		Seed: 13, NumSources: 5, TuplesPerSource: 700, Universe: 450,
+		Selectivity: []float64{0.06, 0.06, 0.15},
+		Correlation: 0.9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	build := func() *core.Mediator {
+		m := core.New(sc.Schema)
+		m.SetNetwork(netsim.NewNetwork(1))
+		for _, src := range sc.Sources {
+			if err := m.AddSourceLink(src, link); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return m
+	}
+
+	sql := `SELECT u1.ID FROM U u1, U u2, U u3
+	        WHERE u1.ID = u2.ID AND u2.ID = u3.ID
+	          AND u1.A1 < 61 AND u2.A2 < 61 AND u3.A3 < 151`
+	fmt.Printf("query (A2 copies A1 on 90%% of tuples — heavily correlated):\n%s\n\n", sql)
+
+	static, err := build().Query(sql, core.Options{Algorithm: core.AlgoSJA})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("static SJA:  %3d answers, measured total work %v\n",
+		static.Items.Len(), static.Exec.TotalWork)
+	fmt.Printf("static plan:\n%s\n", static.Plan)
+
+	adaptive, err := build().Query(sql, core.Options{Adaptive: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("adaptive:    %3d answers, measured total work %v\n",
+		adaptive.Items.Len(), adaptive.Exec.TotalWork)
+	fmt.Printf("executed steps (decided round by round):\n%s\n", adaptive.Plan)
+
+	if !adaptive.Items.Equal(static.Items) {
+		log.Fatal("answers diverged")
+	}
+	saving := 1 - float64(adaptive.Exec.TotalWork)/float64(static.Exec.TotalWork)
+	fmt.Printf("adaptive saved %.0f%% of the static plan's measured work\n", saving*100)
+}

@@ -1,0 +1,77 @@
+// Resilient: fusion queries over sources that fail the way real Internet
+// sources do. Each wrapper is decorated with deterministic failure
+// injection (timeouts, dropped connections); the mediator's retry policy
+// re-issues the failed queries, and the execution trace shows where the
+// extra work went. One source also supports Bloom-filter semijoins, the
+// Bloomjoin extension the optimizer picks when shipping the running set is
+// expensive.
+//
+// Run with: go run ./examples/resilient
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fusionq/internal/bloom"
+	"fusionq/internal/core"
+	"fusionq/internal/exec"
+	"fusionq/internal/netsim"
+	"fusionq/internal/source"
+	"fusionq/internal/stats"
+	"fusionq/internal/workload"
+)
+
+func main() {
+	sc, err := workload.Synth(workload.SynthConfig{
+		Seed: 77, NumSources: 4, TuplesPerSource: 500, Universe: 300,
+		Selectivity: []float64{0.04, 0.45},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := core.New(sc.Schema)
+	m.SetNetwork(netsim.NewNetwork(7))
+	flakies := make([]*source.Flaky, len(sc.Sources))
+	for j, raw := range sc.Sources {
+		// 20% of queries to each source fail transiently.
+		wrapped := raw
+		if j == 0 {
+			// R1 additionally accepts Bloom-filter semijoins.
+			inner := raw.(*source.Wrapper)
+			wrapped = source.NewWrapper(inner.Name(), source.NewRowBackend(sc.Relations[j]),
+				source.Capabilities{NativeSemijoin: true, PassedBindings: true, BloomSemijoin: true})
+		}
+		flakies[j] = source.NewFlaky(wrapped, 0.2, int64(j))
+		profile := stats.ProfileFromLink(wrapped.Name(), netsim.DefaultLink(), 8, stats.SupportOf(wrapped.Caps()))
+		if wrapped.Caps().BloomSemijoin {
+			profile.BloomBitsPerItem = bloom.DefaultBitsPerItem
+		}
+		if err := m.AddSource(flakies[j], profile); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	sql := `SELECT u1.ID FROM U u1, U u2
+	        WHERE u1.ID = u2.ID AND u1.A1 < 41 AND u2.A2 < 451`
+
+	// Without retries the first transient failure kills the query.
+	if _, err := m.Query(sql, core.Options{Algorithm: core.AlgoSJA}); err != nil {
+		fmt.Printf("without retries: %v\n\n", err)
+	}
+
+	// With a retry budget the mediator rides out the failures.
+	ans, err := m.Query(sql, core.Options{Algorithm: core.AlgoSJA, Retries: 20, Trace: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	failures := 0
+	for _, f := range flakies {
+		failures += f.Failures()
+	}
+	fmt.Printf("with retries: %d answers despite %d injected failures\n", ans.Items.Len(), failures)
+	fmt.Printf("plan (%s), %d source queries issued (including retried work)\n\n",
+		ans.Plan.Class, ans.Exec.SourceQueries)
+	fmt.Printf("trace:\n%s", exec.RenderTrace(ans.Exec.Trace))
+}

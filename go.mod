@@ -1,0 +1,3 @@
+module fusionq
+
+go 1.22

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	all := All()
+	if len(all) != 15 {
+		t.Fatalf("registered %d experiments, want 15 (E1..E15)", len(all))
+	}
+	want := []string{"E1", "E10", "E11", "E12", "E13", "E14", "E15", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Fatalf("experiment %d = %s, want %s", i, e.ID, want[i])
+		}
+	}
+	if _, ok := ByID("E1"); !ok {
+		t.Fatal("ByID(E1) missing")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("ByID(E99) should miss")
+	}
+}
+
+// TestAllExperimentsRun executes the full suite once; each Run validates
+// its own claims internally (hierarchy, crossover position, etc.).
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s: empty table", e.ID)
+			}
+			out := tab.Render()
+			if !strings.Contains(out, e.ID) {
+				t.Fatalf("%s: render missing ID:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tab := &Table{ID: "T", Title: "demo", Columns: []string{"a", "longcol"}}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("wide-cell", 10000.0)
+	out := tab.Render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("render lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[4], "wide-cell") || !strings.Contains(lines[4], "10000") {
+		t.Fatalf("row rendering:\n%s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:     "0",
+		2500:  "2500",
+		12.34: "12.3",
+		0.25:  "0.250",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"fmt"
+
+	"fusionq/internal/cond"
+	"fusionq/internal/optimizer"
+	"fusionq/internal/plan"
+	"fusionq/internal/stats"
+)
+
+// synthProblem assembles an optimization problem directly from synthetic
+// statistics, without materializing data — the analytic experiments (E1–E7)
+// explore the cost space the optimizers search, so only the statistics
+// matter.
+//
+// Each source holds `distinct` items; condition i matches sel[i]·distinct
+// of them at every source.
+type synthSpec struct {
+	n        int
+	distinct int
+	bytes    int
+	sel      []float64
+	profiles []stats.SourceProfile
+}
+
+func (s synthSpec) problem() (*optimizer.Problem, error) {
+	m := len(s.sel)
+	conds := make([]cond.Cond, m)
+	for i := range conds {
+		conds[i] = cond.MustParse(fmt.Sprintf("A%d < %d", i+1, int(s.sel[i]*1000)+1))
+	}
+	sts := make([]stats.SourceStats, s.n)
+	names := make([]string, s.n)
+	for j := 0; j < s.n; j++ {
+		names[j] = plan.SourceName(j)
+		cc := make([]float64, m)
+		for i := range cc {
+			cc[i] = s.sel[i] * float64(s.distinct)
+		}
+		sts[j] = stats.SourceStats{
+			Name: names[j], Tuples: s.distinct, DistinctItems: s.distinct,
+			Bytes: s.bytes, CondCard: cc,
+		}
+	}
+	profiles := s.profiles
+	if len(profiles) != s.n {
+		return nil, fmt.Errorf("bench: %d profiles for %d sources", len(profiles), s.n)
+	}
+	table, err := stats.Build(conds, sts, profiles)
+	if err != nil {
+		return nil, err
+	}
+	return &optimizer.Problem{Conds: conds, Sources: names, Table: table}, nil
+}
+
+// wanProfile is the default per-source cost profile used by the analytic
+// experiments: 100ms per query, 1ms per item each way (late-90s WAN in
+// seconds).
+func wanProfile(sup stats.SemijoinSupport) stats.SourceProfile {
+	return stats.SourceProfile{
+		PerQuery:    0.1,
+		PerItemSent: 0.001,
+		PerItemRecv: 0.001,
+		PerByteLoad: 0.00001,
+		Support:     sup,
+	}
+}
+
+func uniformWAN(n int, sup stats.SemijoinSupport) []stats.SourceProfile {
+	out := make([]stats.SourceProfile, n)
+	for j := range out {
+		out[j] = wanProfile(sup)
+		out[j].Name = plan.SourceName(j)
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"fusionq/internal/stats"
+)
+
+func TestSynthSpecProblem(t *testing.T) {
+	spec := synthSpec{n: 4, distinct: 1000, bytes: 40000, sel: []float64{0.1, 0.5}, profiles: uniformWAN(4, stats.SemijoinNative)}
+	pr, err := spec.problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Table.M() != 2 || pr.Table.N() != 4 {
+		t.Fatalf("table is %dx%d", pr.Table.M(), pr.Table.N())
+	}
+	// Cards derive from selectivity × distinct items.
+	if got := pr.Table.SelectCard(0, 0); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("card = %v, want 100", got)
+	}
+}
+
+func TestSynthSpecProfileMismatch(t *testing.T) {
+	spec := synthSpec{n: 4, distinct: 1000, bytes: 40000, sel: []float64{0.1}, profiles: uniformWAN(2, stats.SemijoinNative)}
+	if _, err := spec.problem(); err == nil {
+		t.Fatal("profile count mismatch should fail")
+	}
+}
+
+func TestUniformWANNamesSources(t *testing.T) {
+	ps := uniformWAN(3, stats.SemijoinEmulated)
+	if len(ps) != 3 || ps[0].Name != "R1" || ps[2].Name != "R3" {
+		t.Fatalf("profiles = %+v", ps)
+	}
+	for _, p := range ps {
+		if p.Support != stats.SemijoinEmulated {
+			t.Fatalf("support = %v", p.Support)
+		}
+	}
+}
+
+func TestPermuteAll(t *testing.T) {
+	perms := permuteAll(3)
+	if len(perms) != 6 {
+		t.Fatalf("permuteAll(3) = %d permutations", len(perms))
+	}
+	seen := map[[3]int]bool{}
+	for _, p := range perms {
+		if len(p) != 3 {
+			t.Fatalf("bad permutation %v", p)
+		}
+		var key [3]int
+		copy(key[:], p)
+		if seen[key] {
+			t.Fatalf("duplicate permutation %v", p)
+		}
+		seen[key] = true
+	}
+}

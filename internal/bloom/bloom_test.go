@@ -1,0 +1,150 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1000, 10)
+	items := make([]string, 1000)
+	for i := range items {
+		items[i] = fmt.Sprintf("ID%06d", i)
+		f.Add(items[i])
+	}
+	for _, it := range items {
+		if !f.Test(it) {
+			t.Fatalf("false negative for %s", it)
+		}
+	}
+	if f.Len() != 1000 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+}
+
+func TestFalsePositiveRateReasonable(t *testing.T) {
+	f := New(1000, 10)
+	for i := 0; i < 1000; i++ {
+		f.Add(fmt.Sprintf("ID%06d", i))
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.Test(fmt.Sprintf("OTHER%07d", i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	// 10 bits/item with k = 7 should sit around 1%.
+	if rate > 0.03 {
+		t.Fatalf("false positive rate %v too high", rate)
+	}
+	est := f.FalsePositiveRate()
+	if est <= 0 || est > 0.03 {
+		t.Fatalf("estimated rate %v implausible", est)
+	}
+}
+
+func TestEmptyFilter(t *testing.T) {
+	f := New(10, 10)
+	if f.Test("anything") {
+		t.Fatal("empty filter should reject everything")
+	}
+	if f.FalsePositiveRate() != 0 {
+		t.Fatal("empty filter fp rate should be 0")
+	}
+}
+
+func TestTinySizes(t *testing.T) {
+	f := New(0, 0) // clamps to minimums
+	f.Add("x")
+	if !f.Test("x") {
+		t.Fatal("false negative on tiny filter")
+	}
+	if f.Bytes() < 8 {
+		t.Fatalf("Bytes = %d", f.Bytes())
+	}
+	if f.K() < 1 {
+		t.Fatalf("K = %d", f.K())
+	}
+}
+
+func TestEstimateFalsePositiveRate(t *testing.T) {
+	if r := EstimateFalsePositiveRate(0, 10); r != 0 {
+		t.Fatalf("rate for 0 items = %v", r)
+	}
+	r10 := EstimateFalsePositiveRate(1000, 10)
+	r4 := EstimateFalsePositiveRate(1000, 4)
+	if !(r10 < r4) {
+		t.Fatalf("more bits should mean fewer false positives: %v vs %v", r10, r4)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := FromItems([]string{"a", "b", "c", "J55", "T21"}, 12)
+	g, err := Decode(f.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if g.Len() != f.Len() || g.K() != f.K() || g.Bytes() != f.Bytes() {
+		t.Fatalf("metadata mismatch: %d/%d/%d vs %d/%d/%d", g.Len(), g.K(), g.Bytes(), f.Len(), f.K(), f.Bytes())
+	}
+	for _, it := range []string{"a", "b", "c", "J55", "T21"} {
+		if !g.Test(it) {
+			t.Fatalf("decoded filter lost %s", it)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode("!!!not base64"); err == nil {
+		t.Error("bad base64 should fail")
+	}
+	if _, err := Decode(""); err == nil {
+		t.Error("empty should fail")
+	}
+	if _, err := Decode("AAAA"); err == nil {
+		t.Error("truncated should fail")
+	}
+}
+
+func TestPropMembershipPreserved(t *testing.T) {
+	f := func(items []string) bool {
+		fl := FromItems(items, 10)
+		for _, it := range items {
+			if !fl.Test(it) {
+				return false
+			}
+		}
+		dec, err := Decode(fl.Encode())
+		if err != nil {
+			return false
+		}
+		for _, it := range items {
+			if !dec.Test(it) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := New(1<<16, 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Add("ID0001234")
+	}
+}
+
+func BenchmarkTest(b *testing.B) {
+	f := FromItems([]string{"a", "b", "c"}, 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Test("ID0001234")
+	}
+}

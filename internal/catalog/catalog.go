@@ -1,0 +1,193 @@
+// Package catalog loads mediator configurations: a JSON file naming the
+// autonomous sources (local CSV relations or remote wire endpoints), their
+// capability tiers and their link characteristics. The command-line tools
+// use it to assemble a mediator in one flag instead of many.
+//
+// Example:
+//
+//	{
+//	  "merge": "L",
+//	  "sources": [
+//	    {"name": "dmv_ca", "csv": "ca.csv", "caps": "native", "bloom": true,
+//	     "link": {"latencyMs": 40, "bytesPerSec": 131072, "overheadMs": 20}},
+//	    {"name": "dmv_nv", "remote": "10.0.0.2:7070"}
+//	  ]
+//	}
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"fusionq/internal/core"
+	"fusionq/internal/csvio"
+	"fusionq/internal/netsim"
+	"fusionq/internal/relation"
+	"fusionq/internal/source"
+	"fusionq/internal/wire"
+)
+
+// LinkSpec configures the simulated link to one source.
+type LinkSpec struct {
+	LatencyMs   float64 `json:"latencyMs"`
+	BytesPerSec float64 `json:"bytesPerSec"`
+	OverheadMs  float64 `json:"overheadMs"`
+	JitterFrac  float64 `json:"jitterFrac"`
+}
+
+// Link converts the spec to a netsim.Link; a zero spec means DefaultLink.
+func (l *LinkSpec) Link() netsim.Link {
+	if l == nil || (*l == LinkSpec{}) {
+		return netsim.DefaultLink()
+	}
+	return netsim.Link{
+		Latency:         time.Duration(l.LatencyMs * float64(time.Millisecond)),
+		BytesPerSec:     l.BytesPerSec,
+		RequestOverhead: time.Duration(l.OverheadMs * float64(time.Millisecond)),
+		JitterFrac:      l.JitterFrac,
+	}
+}
+
+// SourceSpec describes one source. Exactly one of CSV or Remote is set.
+type SourceSpec struct {
+	Name   string    `json:"name"`
+	CSV    string    `json:"csv,omitempty"`
+	Remote string    `json:"remote,omitempty"`
+	Caps   string    `json:"caps,omitempty"` // native | bindings | none
+	Bloom  bool      `json:"bloom,omitempty"`
+	Link   *LinkSpec `json:"link,omitempty"`
+}
+
+// Catalog is a parsed configuration.
+type Catalog struct {
+	// Merge names the merge attribute for CSV sources; empty means the
+	// first column.
+	Merge   string       `json:"merge,omitempty"`
+	Sources []SourceSpec `json:"sources"`
+	// dir is the catalog file's directory; relative CSV paths resolve
+	// against it.
+	dir string
+}
+
+// Load reads and validates a catalog file.
+func Load(path string) (*Catalog, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	cat, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: %s: %w", path, err)
+	}
+	cat.dir = filepath.Dir(path)
+	return cat, nil
+}
+
+// Parse validates catalog JSON.
+func Parse(data []byte) (*Catalog, error) {
+	var cat Catalog
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cat); err != nil {
+		return nil, err
+	}
+	if len(cat.Sources) == 0 {
+		return nil, fmt.Errorf("no sources")
+	}
+	seen := map[string]bool{}
+	for i, s := range cat.Sources {
+		if (s.CSV == "") == (s.Remote == "") {
+			return nil, fmt.Errorf("source %d: exactly one of csv or remote must be set", i)
+		}
+		if s.CSV != "" && s.Name == "" {
+			cat.Sources[i].Name = strings.TrimSuffix(filepath.Base(s.CSV), filepath.Ext(s.CSV))
+		}
+		name := cat.Sources[i].Name
+		if name != "" {
+			if seen[name] {
+				return nil, fmt.Errorf("duplicate source name %q", name)
+			}
+			seen[name] = true
+		}
+		switch s.Caps {
+		case "", "native", "bindings", "none":
+		default:
+			return nil, fmt.Errorf("source %d: unknown caps %q", i, s.Caps)
+		}
+	}
+	return &cat, nil
+}
+
+func capsOf(spec SourceSpec) source.Capabilities {
+	var caps source.Capabilities
+	switch spec.Caps {
+	case "", "native":
+		caps = source.Capabilities{NativeSemijoin: true, PassedBindings: true}
+	case "bindings":
+		caps = source.Capabilities{PassedBindings: true}
+	case "none":
+		caps = source.Capabilities{}
+	}
+	caps.BloomSemijoin = spec.Bloom
+	return caps
+}
+
+// Build assembles a mediator from the catalog: CSV sources are loaded into
+// row stores, remote sources dialed, every source registered with its
+// link-derived cost profile. The returned closer releases remote
+// connections.
+func (c *Catalog) Build() (*core.Mediator, func(), error) {
+	var (
+		m       *core.Mediator
+		schema  *relation.Schema
+		closers []func()
+	)
+	closeAll := func() {
+		for _, f := range closers {
+			f()
+		}
+	}
+	network := netsim.NewNetwork(1)
+	for _, spec := range c.Sources {
+		var src source.Source
+		switch {
+		case spec.CSV != "":
+			path := spec.CSV
+			if !filepath.IsAbs(path) && c.dir != "" {
+				path = filepath.Join(c.dir, path)
+			}
+			rel, err := csvio.Load(path, c.Merge)
+			if err != nil {
+				closeAll()
+				return nil, nil, err
+			}
+			src = source.NewWrapper(spec.Name, source.NewRowBackend(rel), capsOf(spec))
+		default:
+			cli, err := wire.Dial(spec.Remote)
+			if err != nil {
+				closeAll()
+				return nil, nil, err
+			}
+			closers = append(closers, func() { cli.Close() })
+			src = cli
+		}
+		if schema == nil {
+			schema = src.Schema()
+			m = core.New(schema)
+			m.SetNetwork(network)
+		} else if !schema.Compatible(src.Schema()) {
+			closeAll()
+			return nil, nil, fmt.Errorf("catalog: source %s schema %s incompatible with %s",
+				src.Name(), src.Schema(), schema)
+		}
+		if err := m.AddSourceLink(src, spec.Link.Link()); err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+	}
+	return m, closeAll, nil
+}

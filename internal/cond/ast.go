@@ -1,0 +1,316 @@
+// Package cond implements the condition language of fusion queries. Each
+// condition c_i (Section 2.2) refers to the attributes of a single U
+// variable and is evaluable by every source wrapper. The package provides
+// an AST, a parser for a small SQL-style predicate syntax
+// ("V = 'dui' AND D >= 1993"), and an evaluator against schema-typed tuples.
+package cond
+
+import (
+	"fmt"
+	"strings"
+
+	"fusionq/internal/relation"
+)
+
+// Op is a comparison operator.
+type Op int
+
+// Comparison operators supported in conditions.
+const (
+	OpEq Op = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpLike
+)
+
+// String renders the operator in condition syntax.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpLike:
+		return "LIKE"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Cond is a boolean predicate over a single tuple.
+type Cond interface {
+	// Eval evaluates the condition against tuple t typed by schema.
+	Eval(schema *relation.Schema, t relation.Tuple) (bool, error)
+	// Check verifies the condition is well typed against schema.
+	Check(schema *relation.Schema) error
+	// String renders the condition in parseable syntax.
+	String() string
+}
+
+// Compare is an "attr op literal" leaf.
+type Compare struct {
+	Attr string
+	Op   Op
+	Lit  relation.Value
+}
+
+// Eval implements Cond.
+func (c *Compare) Eval(schema *relation.Schema, t relation.Tuple) (bool, error) {
+	i, ok := schema.Index(c.Attr)
+	if !ok {
+		return false, fmt.Errorf("cond: unknown attribute %q", c.Attr)
+	}
+	v := t[i]
+	if c.Op == OpLike {
+		if v.Kind() != relation.KindString || c.Lit.Kind() != relation.KindString {
+			return false, fmt.Errorf("cond: LIKE requires string operands")
+		}
+		return likeMatch(c.Lit.Str(), v.Str()), nil
+	}
+	cmp, err := v.Compare(c.Lit)
+	if err != nil {
+		return false, fmt.Errorf("cond: %s: %v", c.Attr, err)
+	}
+	switch c.Op {
+	case OpEq:
+		return cmp == 0, nil
+	case OpNe:
+		return cmp != 0, nil
+	case OpLt:
+		return cmp < 0, nil
+	case OpLe:
+		return cmp <= 0, nil
+	case OpGt:
+		return cmp > 0, nil
+	case OpGe:
+		return cmp >= 0, nil
+	default:
+		return false, fmt.Errorf("cond: bad operator %v", c.Op)
+	}
+}
+
+// Check implements Cond.
+func (c *Compare) Check(schema *relation.Schema) error {
+	k, ok := schema.KindOf(c.Attr)
+	if !ok {
+		return fmt.Errorf("cond: unknown attribute %q", c.Attr)
+	}
+	if c.Op == OpLike {
+		if k != relation.KindString || c.Lit.Kind() != relation.KindString {
+			return fmt.Errorf("cond: LIKE on %q requires string operands", c.Attr)
+		}
+		return nil
+	}
+	numOK := (k == relation.KindInt || k == relation.KindFloat) && c.Lit.IsNumeric()
+	if k != c.Lit.Kind() && !numOK {
+		return fmt.Errorf("cond: attribute %q is %s but literal is %s", c.Attr, k, c.Lit.Kind())
+	}
+	return nil
+}
+
+// String implements Cond.
+func (c *Compare) String() string {
+	return fmt.Sprintf("%s %s %s", c.Attr, c.Op, c.Lit)
+}
+
+// In is an "attr IN (v1, v2, ...)" leaf.
+type In struct {
+	Attr string
+	Vals []relation.Value
+}
+
+// Eval implements Cond.
+func (c *In) Eval(schema *relation.Schema, t relation.Tuple) (bool, error) {
+	i, ok := schema.Index(c.Attr)
+	if !ok {
+		return false, fmt.Errorf("cond: unknown attribute %q", c.Attr)
+	}
+	for _, v := range c.Vals {
+		if t[i].Equal(v) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Check implements Cond.
+func (c *In) Check(schema *relation.Schema) error {
+	k, ok := schema.KindOf(c.Attr)
+	if !ok {
+		return fmt.Errorf("cond: unknown attribute %q", c.Attr)
+	}
+	for _, v := range c.Vals {
+		numOK := (k == relation.KindInt || k == relation.KindFloat) && v.IsNumeric()
+		if k != v.Kind() && !numOK {
+			return fmt.Errorf("cond: IN list for %q mixes %s with %s", c.Attr, k, v.Kind())
+		}
+	}
+	return nil
+}
+
+// String implements Cond.
+func (c *In) String() string {
+	parts := make([]string, len(c.Vals))
+	for i, v := range c.Vals {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("%s IN (%s)", c.Attr, strings.Join(parts, ", "))
+}
+
+// And is a conjunction of two conditions.
+type And struct{ L, R Cond }
+
+// Eval implements Cond.
+func (c *And) Eval(schema *relation.Schema, t relation.Tuple) (bool, error) {
+	l, err := c.L.Eval(schema, t)
+	if err != nil || !l {
+		return false, err
+	}
+	return c.R.Eval(schema, t)
+}
+
+// Check implements Cond.
+func (c *And) Check(schema *relation.Schema) error {
+	if err := c.L.Check(schema); err != nil {
+		return err
+	}
+	return c.R.Check(schema)
+}
+
+// String implements Cond.
+func (c *And) String() string {
+	return fmt.Sprintf("%s AND %s", paren(c.L), paren(c.R))
+}
+
+// Or is a disjunction of two conditions.
+type Or struct{ L, R Cond }
+
+// Eval implements Cond.
+func (c *Or) Eval(schema *relation.Schema, t relation.Tuple) (bool, error) {
+	l, err := c.L.Eval(schema, t)
+	if err != nil || l {
+		return l, err
+	}
+	return c.R.Eval(schema, t)
+}
+
+// Check implements Cond.
+func (c *Or) Check(schema *relation.Schema) error {
+	if err := c.L.Check(schema); err != nil {
+		return err
+	}
+	return c.R.Check(schema)
+}
+
+// String implements Cond.
+func (c *Or) String() string {
+	return fmt.Sprintf("%s OR %s", paren(c.L), paren(c.R))
+}
+
+// Not negates a condition.
+type Not struct{ C Cond }
+
+// Eval implements Cond.
+func (c *Not) Eval(schema *relation.Schema, t relation.Tuple) (bool, error) {
+	v, err := c.C.Eval(schema, t)
+	return !v, err
+}
+
+// Check implements Cond.
+func (c *Not) Check(schema *relation.Schema) error { return c.C.Check(schema) }
+
+// String implements Cond.
+func (c *Not) String() string { return "NOT " + paren(c.C) }
+
+// True is the always-true condition; loading a source (lq) is a selection
+// with this condition.
+type True struct{}
+
+// Eval implements Cond.
+func (True) Eval(*relation.Schema, relation.Tuple) (bool, error) { return true, nil }
+
+// Check implements Cond.
+func (True) Check(*relation.Schema) error { return nil }
+
+// String implements Cond.
+func (True) String() string { return "TRUE" }
+
+func paren(c Cond) string {
+	switch c.(type) {
+	case *And, *Or:
+		return "(" + c.String() + ")"
+	default:
+		return c.String()
+	}
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any single rune).
+func likeMatch(pattern, s string) bool {
+	p, t := []rune(pattern), []rune(s)
+	// Iterative matcher with backtracking over the last %.
+	pi, ti := 0, 0
+	star, mark := -1, 0
+	for ti < len(t) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == t[ti]):
+			pi++
+			ti++
+		case pi < len(p) && p[pi] == '%':
+			star = pi
+			mark = ti
+			pi++
+		case star >= 0:
+			pi = star + 1
+			mark++
+			ti = mark
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}
+
+// Attrs returns the set of attribute names referenced by the condition, in
+// no particular order. The fusion-query validator uses it to check that a
+// condition touches only the attributes of one U variable.
+func Attrs(c Cond) []string {
+	seen := map[string]bool{}
+	var walk func(Cond)
+	walk = func(c Cond) {
+		switch v := c.(type) {
+		case *Compare:
+			seen[v.Attr] = true
+		case *In:
+			seen[v.Attr] = true
+		case *And:
+			walk(v.L)
+			walk(v.R)
+		case *Or:
+			walk(v.L)
+			walk(v.R)
+		case *Not:
+			walk(v.C)
+		case True:
+		}
+	}
+	walk(c)
+	out := make([]string, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package cond
+
+import (
+	"testing"
+
+	"fusionq/internal/relation"
+)
+
+// FuzzParse checks that the condition parser never panics and that every
+// successfully parsed condition round-trips through its String form with
+// identical evaluation semantics.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"V = 'dui'",
+		"V = 'dui' AND D >= 1993",
+		"NOT (V = 'sp' OR D < 1980)",
+		"V IN ('a', 'b') AND L LIKE 'J%'",
+		"TRUE",
+		"D IN (1, 2, 3)",
+		"((V = 'x'))",
+		"V <> 'y' AND D <= -5",
+		"A = 2.5 OR B = true",
+		"V = ''",
+		"'lit' = V",
+		"V = 'dui' AND",
+		"x[!",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	schema := relation.MustSchema("L",
+		relation.Column{Name: "L", Kind: relation.KindString},
+		relation.Column{Name: "V", Kind: relation.KindString},
+		relation.Column{Name: "D", Kind: relation.KindInt},
+	)
+	row := relation.Tuple{relation.String("J55"), relation.String("dui"), relation.Int(1993)}
+	f.Fuzz(func(t *testing.T, input string) {
+		c, err := Parse(input)
+		if err != nil {
+			return
+		}
+		printed := c.String()
+		c2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("round trip failed: Parse(%q) ok but Parse(%q) failed: %v", input, printed, err)
+		}
+		v1, err1 := c.Eval(schema, row)
+		v2, err2 := c2.Eval(schema, row)
+		if (err1 == nil) != (err2 == nil) || (err1 == nil && v1 != v2) {
+			t.Fatalf("round trip changed semantics: %q vs %q", input, printed)
+		}
+	})
+}

@@ -1,0 +1,157 @@
+package cond
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens for the condition and SQL grammars.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokString // quoted literal, text holds the unquoted payload
+	tokNumber
+	tokOp    // = != < <= > >=
+	tokPunct // ( ) , . *
+	tokKeyword
+)
+
+// token is a lexical unit with its position for error reporting.
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// keywords recognized case-insensitively by the condition and SQL lexers.
+var keywords = map[string]bool{
+	"AND": true, "OR": true, "NOT": true, "IN": true, "LIKE": true,
+	"BETWEEN": true, "TRUE": true, "FALSE": true,
+	"SELECT": true, "FROM": true, "WHERE": true,
+}
+
+// lex tokenizes input. It is shared by this package's condition parser and
+// by the fusion SQL parser in internal/sqlparse.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			for j < len(input) && input[j] != quote {
+				j++
+			}
+			if j >= len(input) {
+				return nil, fmt.Errorf("cond: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{tokString, input[i+1 : j], i})
+			i = j + 1
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < len(input) && input[i+1] >= '0' && input[i+1] <= '9'):
+			j := i + 1
+			for j < len(input) && (input[j] >= '0' && input[j] <= '9' || input[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i + 1
+			for j < len(input) && isIdentPart(rune(input[j])) {
+				j++
+			}
+			word := input[i:j]
+			if keywords[strings.ToUpper(word)] {
+				toks = append(toks, token{tokKeyword, strings.ToUpper(word), i})
+			} else {
+				toks = append(toks, token{tokIdent, word, i})
+			}
+			i = j
+		case c == '=':
+			toks = append(toks, token{tokOp, "=", i})
+			i++
+		case c == '!':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{tokOp, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("cond: unexpected '!' at offset %d", i)
+			}
+		case c == '<':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{tokOp, "<=", i})
+				i += 2
+			} else if i+1 < len(input) && input[i+1] == '>' {
+				toks = append(toks, token{tokOp, "!=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{tokOp, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, ">", i})
+				i++
+			}
+		case c == '(' || c == ')' || c == ',' || c == '.' || c == '*':
+			toks = append(toks, token{tokPunct, string(c), i})
+			i++
+		default:
+			return nil, fmt.Errorf("cond: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// Tokens exposes the lexer to internal/sqlparse without duplicating it.
+// Token is re-exported there under a friendlier shape.
+func Tokens(input string) ([]Token, error) {
+	raw, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Token, len(raw))
+	for i, t := range raw {
+		out[i] = Token{Kind: TokenKind(t.kind), Text: t.text, Pos: t.pos}
+	}
+	return out, nil
+}
+
+// TokenKind mirrors tokKind for external consumers.
+type TokenKind int
+
+// Exported token kinds, aligned with the internal lexer's classification.
+const (
+	TokenEOF     = TokenKind(tokEOF)
+	TokenIdent   = TokenKind(tokIdent)
+	TokenString  = TokenKind(tokString)
+	TokenNumber  = TokenKind(tokNumber)
+	TokenOp      = TokenKind(tokOp)
+	TokenPunct   = TokenKind(tokPunct)
+	TokenKeyword = TokenKind(tokKeyword)
+)
+
+// Token is an exported lexical unit.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}

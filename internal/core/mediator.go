@@ -1,0 +1,331 @@
+// Package core is the public face of the fusion-query engine: a Mediator
+// that registers autonomous sources (local or remote), accepts fusion
+// queries in SQL or as condition lists, gathers statistics, picks a plan
+// with one of the paper's algorithms, executes it, and optionally runs the
+// second phase that fetches the matching entities' full records.
+//
+// The package glues together the substrates:
+//
+//	sqlparse  → fusion-pattern detection (Section 5)
+//	stats     → sq_cost / sjq_cost estimation (Sections 2.4, 3)
+//	optimizer → FILTER / SJ / SJA / greedy / SJA+ (Sections 3, 4)
+//	exec      → the mediator runtime (Sections 2.3, 6)
+package core
+
+import (
+	"fmt"
+
+	"fusionq/internal/bloom"
+	"fusionq/internal/cond"
+	"fusionq/internal/exec"
+	"fusionq/internal/netsim"
+	"fusionq/internal/optimizer"
+	"fusionq/internal/plan"
+	"fusionq/internal/relation"
+	"fusionq/internal/set"
+	"fusionq/internal/source"
+	"fusionq/internal/sqlparse"
+	"fusionq/internal/stats"
+)
+
+// Algorithm selects the optimization algorithm.
+type Algorithm string
+
+// The available optimization algorithms.
+const (
+	AlgoFilter     Algorithm = "filter"
+	AlgoSJ         Algorithm = "sj"
+	AlgoSJA        Algorithm = "sja"
+	AlgoSJAPlus    Algorithm = "sja+"
+	AlgoGreedySJ   Algorithm = "greedy-sj"
+	AlgoGreedySJA  Algorithm = "greedy-sja"
+	AlgoGreedyPlus Algorithm = "greedy-sja+"
+	// AlgoGreedyAdaptive is the incremental greedy: the next condition is
+	// picked by marginal cost against the running-set estimate.
+	AlgoGreedyAdaptive Algorithm = "greedy-adaptive-sja"
+	// AlgoResponseTime optimizes the parallel-execution response time
+	// (the Section 6 future-work objective) instead of total work.
+	AlgoResponseTime Algorithm = "rt-sja"
+)
+
+// Algorithms lists every supported algorithm name.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgoFilter, AlgoSJ, AlgoSJA, AlgoSJAPlus, AlgoGreedySJ, AlgoGreedySJA, AlgoGreedyAdaptive, AlgoGreedyPlus, AlgoResponseTime}
+}
+
+func (a Algorithm) fn() (func(*optimizer.Problem) (optimizer.Result, error), error) {
+	switch a {
+	case AlgoFilter:
+		return optimizer.Filter, nil
+	case AlgoSJ:
+		return optimizer.SJ, nil
+	case AlgoSJA:
+		return optimizer.SJA, nil
+	case AlgoSJAPlus, "":
+		return optimizer.SJAPlus, nil
+	case AlgoGreedySJ:
+		return optimizer.GreedySJ, nil
+	case AlgoGreedySJA:
+		return optimizer.GreedySJA, nil
+	case AlgoGreedyAdaptive:
+		return optimizer.GreedyAdaptiveSJA, nil
+	case AlgoGreedyPlus:
+		return optimizer.GreedySJAPlus, nil
+	case AlgoResponseTime:
+		return optimizer.ResponseTimeSJA, nil
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", string(a))
+	}
+}
+
+// Options configure planning and execution of one query.
+type Options struct {
+	// Algorithm defaults to SJA+ (the paper's best pipeline).
+	Algorithm Algorithm
+	// Parallel runs each round's source queries concurrently (Section 6's
+	// response-time direction). Total work is unchanged.
+	Parallel bool
+	// SampleRate, when in (0,1), gathers statistics from a Bernoulli
+	// sample instead of exact scans. Zero or one means exact statistics.
+	SampleRate float64
+	// StatsSeed drives sampled statistics gathering.
+	StatsSeed int64
+	// HistogramStats estimates condition cardinalities from per-attribute
+	// summaries (one scan per source) instead of per-condition probes —
+	// cheaper to maintain, coarser estimates. Ignored when SampleRate is
+	// set.
+	HistogramStats bool
+	// Trace records a per-step execution trace in Answer.Exec.Trace.
+	Trace bool
+	// Retries re-issues steps whose source queries fail transiently
+	// (source.ErrTransient) up to this many times each.
+	Retries int
+	// Adaptive executes with mid-query re-optimization: each round's
+	// condition and per-source methods are decided against the measured
+	// running set rather than optimizer estimates. Algorithm is ignored.
+	Adaptive bool
+	// CombinedFetch merges record retrieval into the final round
+	// (Section 6's "beyond two-phase" direction): final-round source
+	// queries return full records, and only uncovered records are fetched
+	// afterwards. The Answer's Records field is populated.
+	CombinedFetch bool
+}
+
+// Answer is the result of one fusion query.
+type Answer struct {
+	// Items are the merge-attribute values satisfying all conditions.
+	Items set.Set
+	// Plan is the executed plan.
+	Plan *plan.Plan
+	// EstimatedCost is the optimizer's cost for the plan.
+	EstimatedCost float64
+	// Exec carries measured execution counters (source queries, simulated
+	// total work and response time when a network is attached).
+	Exec *exec.Result
+	// Records holds the answer entities' full records when the query ran
+	// with CombinedFetch; nil otherwise (use Fetch for the classic second
+	// phase).
+	Records *relation.Relation
+}
+
+// Mediator coordinates fusion-query processing over registered sources.
+type Mediator struct {
+	schema   *relation.Schema
+	sources  []source.Source
+	profiles []stats.SourceProfile
+	network  *netsim.Network
+}
+
+// New creates a mediator exporting the given common schema.
+func New(schema *relation.Schema) *Mediator {
+	return &Mediator{schema: schema}
+}
+
+// SetNetwork attaches a simulated network used for execution-time
+// accounting. Sources registered afterwards are instrumented against it.
+func (m *Mediator) SetNetwork(n *netsim.Network) { m.network = n }
+
+// Network returns the attached simulated network, if any.
+func (m *Mediator) Network() *netsim.Network { return m.network }
+
+// AddSource registers a source with an explicit cost profile. The source's
+// schema must be compatible with the mediator's. When a network is attached
+// the source is instrumented so executions are accounted.
+func (m *Mediator) AddSource(src source.Source, profile stats.SourceProfile) error {
+	if !m.schema.Compatible(src.Schema()) {
+		return fmt.Errorf("core: source %s schema %s incompatible with mediator schema %s",
+			src.Name(), src.Schema(), m.schema)
+	}
+	for _, s := range m.sources {
+		if s.Name() == src.Name() {
+			return fmt.Errorf("core: duplicate source name %q", src.Name())
+		}
+	}
+	if profile.Name == "" {
+		profile.Name = src.Name()
+	}
+	if m.network != nil {
+		src = source.Instrument(src, m.network)
+	}
+	m.sources = append(m.sources, src)
+	m.profiles = append(m.profiles, profile)
+	return nil
+}
+
+// AddSourceLink registers a source whose cost profile is derived from a
+// simulated network link, keeping estimated costs in simulated seconds.
+func (m *Mediator) AddSourceLink(src source.Source, link netsim.Link) error {
+	if m.network != nil {
+		m.network.SetLink(src.Name(), link)
+	}
+	_, _, bytes := src.Card()
+	tuples, _, _ := src.Card()
+	avgItem := 8.0
+	if tuples > 0 {
+		avg := float64(bytes) / float64(tuples)
+		if avg > 0 {
+			// Items are roughly one attribute of the tuple.
+			avgItem = avg / float64(src.Schema().NumColumns())
+		}
+	}
+	profile := stats.ProfileFromLink(src.Name(), link, avgItem, stats.SupportOf(src.Caps()))
+	if src.Caps().BloomSemijoin {
+		profile.BloomBitsPerItem = bloom.DefaultBitsPerItem
+	}
+	return m.AddSource(src, profile)
+}
+
+// Sources returns the registered sources in order.
+func (m *Mediator) Sources() []source.Source { return m.sources }
+
+// SourceNames returns the registered source names in order.
+func (m *Mediator) SourceNames() []string {
+	out := make([]string, len(m.sources))
+	for i, s := range m.sources {
+		out[i] = s.Name()
+	}
+	return out
+}
+
+// Schema returns the mediator's common schema.
+func (m *Mediator) Schema() *relation.Schema { return m.schema }
+
+// Problem gathers statistics for the conditions and assembles the
+// optimization problem. Statistics gathering is an offline pass and is not
+// charged to execution: network counters are reset afterwards.
+func (m *Mediator) Problem(conds []cond.Cond, opts Options) (*optimizer.Problem, error) {
+	if len(m.sources) == 0 {
+		return nil, fmt.Errorf("core: no sources registered")
+	}
+	if len(conds) == 0 {
+		return nil, fmt.Errorf("core: no conditions")
+	}
+	for i, c := range conds {
+		if err := c.Check(m.schema); err != nil {
+			return nil, fmt.Errorf("core: condition %d: %w", i+1, err)
+		}
+	}
+	sts := make([]stats.SourceStats, len(m.sources))
+	for j, src := range m.sources {
+		var st stats.SourceStats
+		var err error
+		// Statistics gathering rides out transient source failures under
+		// the same retry budget as execution.
+		for attempt := 0; ; attempt++ {
+			switch {
+			case opts.SampleRate > 0 && opts.SampleRate < 1:
+				st, err = stats.GatherSampled(src, conds, opts.SampleRate, opts.StatsSeed+int64(j))
+			case opts.HistogramStats:
+				var sum *stats.Summary
+				sum, err = stats.Summarize(src)
+				if err == nil {
+					st = stats.StatsFromSummary(sum, conds)
+				}
+			default:
+				st, err = stats.Gather(src, conds)
+			}
+			if err == nil || attempt >= opts.Retries || !source.IsTransient(err) {
+				break
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		sts[j] = st
+	}
+	table, err := stats.Build(conds, sts, m.profiles)
+	if err != nil {
+		return nil, err
+	}
+	if m.network != nil {
+		m.network.Reset()
+	}
+	for _, src := range m.sources {
+		if inst, ok := src.(*source.Instrumented); ok {
+			inst.ResetCounters()
+		}
+	}
+	return &optimizer.Problem{Conds: conds, Sources: m.SourceNames(), Table: table}, nil
+}
+
+// Plan optimizes the conditions with the selected algorithm.
+func (m *Mediator) Plan(conds []cond.Cond, opts Options) (optimizer.Result, error) {
+	pr, err := m.Problem(conds, opts)
+	if err != nil {
+		return optimizer.Result{}, err
+	}
+	algo, err := opts.Algorithm.fn()
+	if err != nil {
+		return optimizer.Result{}, err
+	}
+	return algo(pr)
+}
+
+// QueryConds plans and executes a fusion query given as a condition list.
+func (m *Mediator) QueryConds(conds []cond.Cond, opts Options) (*Answer, error) {
+	if opts.Adaptive {
+		pr, err := m.Problem(conds, opts)
+		if err != nil {
+			return nil, err
+		}
+		ex := &exec.Executor{Sources: m.sources, Network: m.network, Retries: opts.Retries}
+		run, executed, err := ex.RunAdaptive(pr)
+		if err != nil {
+			return nil, err
+		}
+		return &Answer{Items: run.Answer, Plan: executed, Exec: run}, nil
+	}
+	res, err := m.Plan(conds, opts)
+	if err != nil {
+		return nil, err
+	}
+	ex := &exec.Executor{Sources: m.sources, Network: m.network, Parallel: opts.Parallel, Trace: opts.Trace, Retries: opts.Retries}
+	if opts.CombinedFetch {
+		run, records, err := ex.RunCombined(res.Plan)
+		if err != nil {
+			return nil, err
+		}
+		return &Answer{Items: run.Answer, Plan: res.Plan, EstimatedCost: res.Cost, Exec: run, Records: records}, nil
+	}
+	run, err := ex.Run(res.Plan)
+	if err != nil {
+		return nil, err
+	}
+	return &Answer{Items: run.Answer, Plan: res.Plan, EstimatedCost: res.Cost, Exec: run}, nil
+}
+
+// Query parses a fusion-query SQL statement, verifies the fusion pattern,
+// and plans and executes it.
+func (m *Mediator) Query(sql string, opts Options) (*Answer, error) {
+	fq, err := sqlparse.ParseFusion(sql, m.schema)
+	if err != nil {
+		return nil, err
+	}
+	return m.QueryConds(fq.Conds, opts)
+}
+
+// Fetch runs the second phase (Section 1): retrieving the full records of
+// the answer items from every source.
+func (m *Mediator) Fetch(items set.Set) (*relation.Relation, error) {
+	return exec.FetchAnswer(items, m.sources)
+}

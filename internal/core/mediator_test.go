@@ -1,0 +1,299 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"fusionq/internal/cond"
+	"fusionq/internal/netsim"
+	"fusionq/internal/relation"
+	"fusionq/internal/set"
+	"fusionq/internal/source"
+	"fusionq/internal/stats"
+	"fusionq/internal/workload"
+)
+
+// dmvMediator assembles the Figure 1 scenario behind the public API.
+func dmvMediator(t *testing.T, withNet bool) *Mediator {
+	t.Helper()
+	sc := workload.DMV()
+	m := New(sc.Schema)
+	if withNet {
+		m.SetNetwork(netsim.NewNetwork(1))
+	}
+	link := netsim.Link{Latency: 5 * time.Millisecond, BytesPerSec: 50000, RequestOverhead: 2 * time.Millisecond}
+	for _, src := range sc.Sources {
+		if err := m.AddSourceLink(src, link); err != nil {
+			t.Fatalf("AddSourceLink: %v", err)
+		}
+	}
+	return m
+}
+
+const paperSQL = `SELECT u1.L FROM U u1, U u2
+WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'`
+
+// TestDMVFigure1 is the headline reproduction: the Section 1 query over the
+// Figure 1 relations answers {J55, T21}.
+func TestDMVFigure1(t *testing.T) {
+	m := dmvMediator(t, true)
+	for _, algo := range Algorithms() {
+		ans, err := m.Query(paperSQL, Options{Algorithm: algo})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if want := set.New("J55", "T21"); !ans.Items.Equal(want) {
+			t.Fatalf("%s: answer = %v, want %v", algo, ans.Items, want)
+		}
+		if ans.Exec.SourceQueries == 0 || ans.EstimatedCost <= 0 {
+			t.Fatalf("%s: missing accounting: %+v", algo, ans.Exec)
+		}
+	}
+}
+
+func TestQueryCondsDirect(t *testing.T) {
+	m := dmvMediator(t, false)
+	ans, err := m.QueryConds([]cond.Cond{
+		cond.MustParse("V = 'dui'"),
+		cond.MustParse("V = 'sp'"),
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := set.New("J55", "T21"); !ans.Items.Equal(want) {
+		t.Fatalf("answer = %v, want %v", ans.Items, want)
+	}
+}
+
+func TestTwoPhaseFetch(t *testing.T) {
+	m := dmvMediator(t, false)
+	ans, err := m.Query(paperSQL, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := m.Fetch(ans.Items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Len() != 5 {
+		t.Fatalf("phase two fetched %d tuples, want 5", full.Len())
+	}
+	// Every fetched tuple belongs to an answer item.
+	for _, tup := range full.Rows() {
+		if !ans.Items.Contains(full.Item(tup)) {
+			t.Fatalf("fetched tuple for non-answer item %s", full.Item(tup))
+		}
+	}
+}
+
+func TestCombinedFetchOption(t *testing.T) {
+	m := dmvMediator(t, true)
+	ans, err := m.Query(paperSQL, Options{CombinedFetch: true, Algorithm: AlgoSJA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := set.New("J55", "T21"); !ans.Items.Equal(want) {
+		t.Fatalf("answer = %v, want %v", ans.Items, want)
+	}
+	if ans.Records == nil || ans.Records.Len() != 5 {
+		t.Fatalf("Records = %v, want 5 tuples", ans.Records)
+	}
+	// Classic two-phase must agree.
+	m2 := dmvMediator(t, true)
+	plain, err := m2.Query(paperSQL, Options{Algorithm: AlgoSJA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Records != nil {
+		t.Fatal("Records should be nil without CombinedFetch")
+	}
+	full, err := m2.Fetch(plain.Items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Len() != ans.Records.Len() {
+		t.Fatalf("combined %d records != two-phase %d", ans.Records.Len(), full.Len())
+	}
+}
+
+func TestParallelOption(t *testing.T) {
+	m := dmvMediator(t, true)
+	seqAns, err := m.Query(paperSQL, Options{Algorithm: AlgoFilter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := dmvMediator(t, true)
+	parAns, err := m2.Query(paperSQL, Options{Algorithm: AlgoFilter, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parAns.Items.Equal(seqAns.Items) {
+		t.Fatal("parallel answer differs")
+	}
+	if parAns.Exec.ResponseTime >= seqAns.Exec.ResponseTime {
+		t.Fatalf("parallel response %v not below sequential %v",
+			parAns.Exec.ResponseTime, seqAns.Exec.ResponseTime)
+	}
+}
+
+func TestSampledStatistics(t *testing.T) {
+	sc, err := workload.Synth(workload.SynthConfig{
+		Seed: 4, NumSources: 3, TuplesPerSource: 2000, Universe: 800,
+		Selectivity: []float64{0.1, 0.6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(sc.Schema)
+	for _, src := range sc.Sources {
+		if err := m.AddSource(src, stats.SourceProfile{
+			PerQuery: 10, PerItemSent: 0.5, PerItemRecv: 0.5, PerByteLoad: 0.001,
+			Support: stats.SemijoinNative,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exact, err := m.QueryConds(sc.Conds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := m.QueryConds(sc.Conds, Options{SampleRate: 0.3, StatsSeed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sampling changes estimates, never answers.
+	if !sampled.Items.Equal(exact.Items) {
+		t.Fatal("sampled statistics changed the answer")
+	}
+}
+
+func TestHistogramStatistics(t *testing.T) {
+	sc, err := workload.Synth(workload.SynthConfig{
+		Seed: 6, NumSources: 3, TuplesPerSource: 1500, Universe: 700,
+		Selectivity: []float64{0.08, 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(sc.Schema)
+	for _, src := range sc.Sources {
+		if err := m.AddSource(src, stats.SourceProfile{
+			PerQuery: 10, PerItemSent: 0.5, PerItemRecv: 0.5, PerByteLoad: 0.001,
+			Support: stats.SemijoinNative,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exact, err := m.QueryConds(sc.Conds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := m.QueryConds(sc.Conds, Options{HistogramStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Histogram estimates change the plan's estimated cost, never the
+	// answer.
+	if !hist.Items.Equal(exact.Items) {
+		t.Fatal("histogram statistics changed the answer")
+	}
+	// The histogram-based estimate should be in the same ballpark as the
+	// exact-statistics one.
+	ratio := hist.EstimatedCost / exact.EstimatedCost
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("histogram estimate %v vs exact %v (ratio %v)", hist.EstimatedCost, exact.EstimatedCost, ratio)
+	}
+}
+
+func TestAddSourceErrors(t *testing.T) {
+	m := dmvMediator(t, false)
+	// Incompatible schema.
+	other := relation.MustSchema("K", relation.Column{Name: "K", Kind: relation.KindString})
+	bad := source.NewWrapper("X", source.NewRowBackend(relation.NewRelation(other)), source.Capabilities{})
+	if err := m.AddSource(bad, stats.SourceProfile{}); err == nil {
+		t.Fatal("incompatible schema should fail")
+	}
+	// Duplicate name.
+	sc := workload.DMV()
+	if err := m.AddSource(sc.Sources[0], stats.SourceProfile{}); err == nil {
+		t.Fatal("duplicate name should fail")
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	m := dmvMediator(t, false)
+	if _, err := m.Query("SELECT u1.V FROM U u1", Options{}); err == nil {
+		t.Fatal("non-fusion query should fail")
+	}
+	if _, err := m.Query("not sql at all (", Options{}); err == nil {
+		t.Fatal("garbage should fail")
+	}
+	if _, err := m.QueryConds(nil, Options{}); err == nil {
+		t.Fatal("no conditions should fail")
+	}
+	if _, err := m.QueryConds([]cond.Cond{cond.MustParse("Zz = 1")}, Options{}); err == nil {
+		t.Fatal("condition on unknown attribute should fail")
+	}
+	if _, err := m.QueryConds([]cond.Cond{cond.MustParse("V = 'dui'")}, Options{Algorithm: "nope"}); err == nil {
+		t.Fatal("unknown algorithm should fail")
+	}
+	empty := New(workload.DMVSchema())
+	if _, err := empty.QueryConds([]cond.Cond{cond.MustParse("V = 'dui'")}, Options{}); err == nil {
+		t.Fatal("no sources should fail")
+	}
+}
+
+func TestStatisticsGatheringNotCharged(t *testing.T) {
+	m := dmvMediator(t, true)
+	ans, err := m.Query(paperSQL, Options{Algorithm: AlgoSJA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Network counters were reset after statistics gathering, so the
+	// recorded messages must equal the executed source queries.
+	st := m.Network().Stats()
+	if st.Messages != ans.Exec.SourceQueries {
+		t.Fatalf("network recorded %d messages but execution issued %d queries",
+			st.Messages, ans.Exec.SourceQueries)
+	}
+}
+
+func TestSJAPlusDefaultAlgorithm(t *testing.T) {
+	m := dmvMediator(t, false)
+	ans, err := m.Query(paperSQL, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ans.Plan.Class, "sja+") {
+		t.Fatalf("default plan class = %q, want sja+", ans.Plan.Class)
+	}
+}
+
+func TestAlgorithmsComplete(t *testing.T) {
+	if len(Algorithms()) != 9 {
+		t.Fatalf("Algorithms() = %d entries", len(Algorithms()))
+	}
+	for _, a := range Algorithms() {
+		if _, err := a.fn(); err != nil {
+			t.Errorf("algorithm %q not wired", a)
+		}
+	}
+}
+
+func TestAdaptiveOption(t *testing.T) {
+	m := dmvMediator(t, true)
+	ans, err := m.Query(paperSQL, Options{Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := set.New("J55", "T21"); !ans.Items.Equal(want) {
+		t.Fatalf("adaptive answer = %v, want %v", ans.Items, want)
+	}
+	if ans.Plan.Class != "adaptive" {
+		t.Fatalf("plan class = %q", ans.Plan.Class)
+	}
+	if err := ans.Plan.Validate(); err != nil {
+		t.Fatalf("executed plan invalid: %v", err)
+	}
+}

@@ -1,0 +1,112 @@
+package csvio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fusionq/internal/relation"
+)
+
+const dmvCSV = `L,V,D
+J55,dui,1993
+T21,sp,1994
+T80,dui,1993
+`
+
+func TestReadDMV(t *testing.T) {
+	rel, err := Read(strings.NewReader(dmvCSV), "")
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if rel.Len() != 3 {
+		t.Fatalf("Len = %d", rel.Len())
+	}
+	s := rel.Schema()
+	if s.Merge() != "L" {
+		t.Fatalf("merge = %s, want first column L", s.Merge())
+	}
+	if k, _ := s.KindOf("D"); k != relation.KindInt {
+		t.Fatalf("D inferred as %v, want int", k)
+	}
+	if k, _ := s.KindOf("V"); k != relation.KindString {
+		t.Fatalf("V inferred as %v, want string", k)
+	}
+}
+
+func TestReadExplicitMerge(t *testing.T) {
+	rel, err := Read(strings.NewReader(dmvCSV), "V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Schema().Merge() != "V" {
+		t.Fatalf("merge = %s", rel.Schema().Merge())
+	}
+}
+
+func TestReadKindInference(t *testing.T) {
+	csv := "A,B,C,D\nx,1,2.5,true\ny,2,3.5,false\n"
+	rel, err := Read(strings.NewReader(csv), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := map[string]relation.Kind{
+		"A": relation.KindString,
+		"B": relation.KindInt,
+		"C": relation.KindFloat,
+		"D": relation.KindBool,
+	}
+	for col, want := range wants {
+		if k, _ := rel.Schema().KindOf(col); k != want {
+			t.Errorf("%s inferred as %v, want %v", col, k, want)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad int":       "A,B\nx,1\ny,notanint\n",
+		"unknown merge": "",
+	}
+	if _, err := Read(strings.NewReader(cases["bad int"]), ""); err == nil {
+		t.Error("bad int should fail")
+	}
+	if _, err := Read(strings.NewReader(dmvCSV), "Nope"); err == nil {
+		t.Error("unknown merge column should fail")
+	}
+	if _, err := Read(strings.NewReader(""), ""); err == nil {
+		t.Error("empty input should fail")
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r1.csv")
+	if err := os.WriteFile(path, []byte(dmvCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := Load(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 3 {
+		t.Fatalf("Len = %d", rel.Len())
+	}
+	if _, err := Load(filepath.Join(dir, "missing.csv"), ""); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestReadEmptyDataHasStringKinds(t *testing.T) {
+	rel, err := Read(strings.NewReader("A,B\n"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 0 {
+		t.Fatal("should be empty")
+	}
+	if k, _ := rel.Schema().KindOf("B"); k != relation.KindString {
+		t.Fatal("empty relation should default to string kinds")
+	}
+}

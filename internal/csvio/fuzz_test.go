@@ -1,0 +1,44 @@
+package csvio
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks the CSV loader never panics and that accepted relations
+// are internally consistent (every row indexed, merge attribute resolvable).
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		"L,V,D\nJ55,dui,1993\n",
+		"A,B\nx,1\ny,2\n",
+		"A\n\n",
+		"A,B,C\n1,2.5,true\n",
+		"only-header\n",
+		"",
+		"A,A\nx,y\n",
+		"A,B\nx\n",
+		"A,B\n\"quoted,cell\",2\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		rel, err := Read(strings.NewReader(input), "")
+		if err != nil {
+			return
+		}
+		if rel.Schema() == nil {
+			t.Fatal("accepted relation has no schema")
+		}
+		merge := rel.Schema().Merge()
+		if _, ok := rel.Schema().Index(merge); !ok {
+			t.Fatalf("merge attribute %q not a column", merge)
+		}
+		for _, row := range rel.Rows() {
+			item := rel.Item(row)
+			if len(rel.RowsWithItem(item)) == 0 {
+				t.Fatalf("row with item %q not indexed", item)
+			}
+		}
+	})
+}

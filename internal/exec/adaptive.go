@@ -1,0 +1,188 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"fusionq/internal/bloom"
+	"fusionq/internal/optimizer"
+	"fusionq/internal/plan"
+	"fusionq/internal/set"
+	"fusionq/internal/source"
+)
+
+// RunAdaptive executes a fusion query with mid-query re-optimization: the
+// static algorithms of Section 3 commit to an ordering and to per-source
+// method choices using estimated running-set sizes, but at run time the
+// mediator knows |X_i| exactly after every round. Adaptive execution defers
+// each decision until its inputs are measured:
+//
+//   - the next condition is the unprocessed one whose round costs least
+//     against the measured |X|;
+//   - each source's method (selection / semijoin / Bloom semijoin) is chosen
+//     with the measured |X| as the semijoin-set size;
+//   - a drained running set ends the query immediately.
+//
+// This is the runtime counterpart of the paper's observation that SJA is
+// only a heuristic under condition dependence (Section 1): when estimates
+// mislead, measured cardinalities correct course round by round
+// (experiment E15). The executed steps are recorded as a plan in Result
+// form for inspection.
+func (e *Executor) RunAdaptive(pr *optimizer.Problem) (*Result, *plan.Plan, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(pr.Sources) != len(e.Sources) {
+		return nil, nil, fmt.Errorf("exec: problem has %d sources, executor has %d", len(pr.Sources), len(e.Sources))
+	}
+	for j, name := range pr.Sources {
+		if e.Sources[j].Name() != name {
+			return nil, nil, fmt.Errorf("exec: problem source %d is %q but executor has %q", j, name, e.Sources[j].Name())
+		}
+	}
+	m, n := len(pr.Conds), len(pr.Sources)
+	t := pr.Table
+
+	executed := &plan.Plan{Conds: pr.Conds, Sources: pr.Sources, Class: "adaptive"}
+	res := &Result{Vars: map[string]set.Set{}}
+	placed := make([]bool, m)
+	if e.Network != nil {
+		pre := e.Network.Stats().TotalTime
+		defer func() {
+			d := e.Network.Stats().TotalTime - pre
+			res.TotalWork = d
+			res.ResponseTime = d
+		}()
+	}
+
+	record := func(s plan.Step, out set.Set, queries int) {
+		executed.Steps = append(executed.Steps, s)
+		res.Vars[s.Out] = out
+		res.SourceQueries += queries
+	}
+
+	// First round: cheapest estimated selections relative to the set they
+	// leave behind (most selective first, cost as tiebreak).
+	first, bestCost, bestCard := -1, math.Inf(1), math.Inf(1)
+	for i := 0; i < m; i++ {
+		c := 0.0
+		for j := 0; j < n; j++ {
+			c += t.Sq[i][j]
+		}
+		card := t.FirstRoundCard(i)
+		if card < bestCard || (card == bestCard && c < bestCost) {
+			first, bestCost, bestCard = i, c, card
+		}
+	}
+	placed[first] = true
+	parts := make([]set.Set, n)
+	var names []string
+	for j := 0; j < n; j++ {
+		out, err := e.sourceQuery(pr, first, j, optimizer.MethodSelect, set.Set{})
+		if err != nil {
+			return nil, nil, err
+		}
+		name := fmt.Sprintf("X1%d", j+1)
+		record(plan.Step{Kind: plan.KindSelect, Out: name, Cond: first, Source: j}, out, 1)
+		parts[j] = out
+		names = append(names, name)
+	}
+	x := set.UnionAll(parts...)
+	record(plan.Step{Kind: plan.KindUnion, Out: "X1", Cond: -1, Source: -1, In: names}, x, 0)
+
+	for r := 2; r <= m && !x.IsEmpty(); r++ {
+		// Pick the next condition against the MEASURED |X|.
+		measured := float64(x.Len())
+		nextIdx, nextCost := -1, math.Inf(1)
+		var nextMethods []optimizer.Method
+		for i := 0; i < m; i++ {
+			if placed[i] {
+				continue
+			}
+			roundCost := 0.0
+			methods := make([]optimizer.Method, n)
+			for j := 0; j < n; j++ {
+				method, cost := optimizer.BestMethod(t, i, j, measured)
+				methods[j] = method
+				roundCost += cost
+			}
+			if roundCost < nextCost {
+				nextIdx, nextCost, nextMethods = i, roundCost, methods
+			}
+		}
+		placed[nextIdx] = true
+
+		var selVars, sjVars []string
+		var selSets, sjSets []set.Set
+		for j := 0; j < n; j++ {
+			method := nextMethods[j]
+			name := fmt.Sprintf("X%d%d", r, j+1)
+			out, err := e.sourceQuery(pr, nextIdx, j, method, x)
+			if err != nil {
+				return nil, nil, err
+			}
+			switch method {
+			case optimizer.MethodSelect:
+				record(plan.Step{Kind: plan.KindSelect, Out: name, Cond: nextIdx, Source: j}, out, 1)
+				selVars = append(selVars, name)
+				selSets = append(selSets, out)
+			case optimizer.MethodBloom:
+				record(plan.Step{Kind: plan.KindBloomSemijoin, Out: name, Cond: nextIdx, Source: j, In: []string{fmt.Sprintf("X%d", r-1)}}, out, 1)
+				sjVars = append(sjVars, name)
+				sjSets = append(sjSets, out)
+			default:
+				queries := 1
+				if !e.Sources[j].Caps().NativeSemijoin {
+					queries = x.Len()
+				}
+				record(plan.Step{Kind: plan.KindSemijoin, Out: name, Cond: nextIdx, Source: j, In: []string{fmt.Sprintf("X%d", r-1)}}, out, queries)
+				sjVars = append(sjVars, name)
+				sjSets = append(sjSets, out)
+			}
+		}
+		all := append(append([]string(nil), selVars...), sjVars...)
+		u := set.UnionAll(append(append([]set.Set(nil), selSets...), sjSets...)...)
+		out := fmt.Sprintf("X%d", r)
+		record(plan.Step{Kind: plan.KindUnion, Out: out, Cond: -1, Source: -1, In: all}, u, 0)
+		if len(selVars) > 0 {
+			u = u.Intersect(x)
+			record(plan.Step{Kind: plan.KindIntersect, Out: out, Cond: -1, Source: -1, In: []string{out, fmt.Sprintf("X%d", r-1)}}, u, 0)
+		}
+		x = u
+	}
+	// A drained set answers all remaining conditions vacuously with ∅.
+	res.Answer = x
+	executed.Result = executed.Steps[len(executed.Steps)-1].Out
+	return res, executed, nil
+}
+
+// sourceQuery issues one adaptive-round query with the chosen method,
+// honoring the executor's retry budget.
+func (e *Executor) sourceQuery(pr *optimizer.Problem, ci, j int, method optimizer.Method, x set.Set) (set.Set, error) {
+	src := e.Sources[j]
+	for attempt := 0; ; attempt++ {
+		var (
+			out set.Set
+			err error
+		)
+		switch method {
+		case optimizer.MethodSelect:
+			out, err = src.Select(pr.Conds[ci])
+		case optimizer.MethodBloom:
+			filter := bloom.FromItems(x.Items(), bloom.DefaultBitsPerItem)
+			var positives set.Set
+			positives, err = src.SemijoinBloom(pr.Conds[ci], filter)
+			if err == nil {
+				out = positives.Intersect(x)
+			}
+		default:
+			out, err = source.SemijoinAuto(src, pr.Conds[ci], x)
+		}
+		if err == nil {
+			return out, nil
+		}
+		if attempt >= e.Retries || !source.IsTransient(err) {
+			return set.Set{}, fmt.Errorf("exec: adaptive %s at %s: %w", method, src.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package exec
+
+import (
+	"fmt"
+
+	"fusionq/internal/plan"
+	"fusionq/internal/relation"
+	"fusionq/internal/set"
+)
+
+// RunCombined executes the plan in "combined" mode — the Section 6
+// extension beyond two-phase processing, where source queries return other
+// attributes in addition to the merge attribute. The final round's
+// selection and semijoin queries return the matching items' full records in
+// the same exchange; after the answer is known, only the records not
+// already shipped are fetched. The answer and the returned records are
+// identical to Run followed by FetchAnswer; only the traffic schedule
+// differs.
+//
+// The trade-off (quantified in experiment E13): combined mode avoids the
+// per-source fetch round, but ships full records for the final round's
+// whole result — a superset of the answer.
+func (e *Executor) RunCombined(p *plan.Plan) (*Result, *relation.Relation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	final := finalRoundCond(p)
+	if final < 0 {
+		return nil, nil, fmt.Errorf("exec: plan has no source queries to combine")
+	}
+	combined := &Executor{
+		Sources:   e.Sources,
+		Network:   e.Network,
+		Parallel:  e.Parallel,
+		finalCond: final,
+		records:   map[int]map[string][]relation.Tuple{},
+	}
+	res, err := combined.Run(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	records, err := combined.collectRecords(p, res.Answer)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, records, nil
+}
+
+// finalRoundCond returns the condition index of the plan's last round: the
+// Cond of the last source-query or local-selection step.
+func finalRoundCond(p *plan.Plan) int {
+	for k := len(p.Steps) - 1; k >= 0; k-- {
+		s := p.Steps[k]
+		if s.Kind == plan.KindSelect || s.Kind == plan.KindSemijoin || s.Kind == plan.KindLocalSelect {
+			return s.Cond
+		}
+	}
+	return -1
+}
+
+// cacheRecords remembers the records a final-round query shipped from a
+// source, keyed by item.
+func (e *Executor) cacheRecords(srcIdx int, tuples []relation.Tuple, mergeIdx int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	byItem := e.records[srcIdx]
+	if byItem == nil {
+		byItem = map[string][]relation.Tuple{}
+		e.records[srcIdx] = byItem
+	}
+	for _, t := range tuples {
+		item := t[mergeIdx].Raw()
+		byItem[item] = append(byItem[item], t)
+	}
+}
+
+// collectRecords assembles the answer entities' full records: cached
+// final-round records where available, loaded source contents for loaded
+// sources, and targeted fetches for whatever is missing.
+func (e *Executor) collectRecords(p *plan.Plan, answer set.Set) (*relation.Relation, error) {
+	if len(e.Sources) == 0 {
+		return nil, fmt.Errorf("exec: no sources")
+	}
+	schema := e.Sources[0].Schema()
+	out := relation.NewRelation(schema)
+	if answer.IsEmpty() {
+		return out, nil
+	}
+	// Loaded sources' contents are already at the mediator.
+	loadedOf := map[int]*relation.Relation{}
+	for k, s := range p.Steps {
+		if s.Kind == plan.KindLoad {
+			// The executor stored loaded contents under the step's output
+			// variable; recover it from the last run's state.
+			if rel, ok := e.lastLoaded[p.Steps[k].Out]; ok {
+				loadedOf[s.Source] = rel
+			}
+		}
+	}
+	for j, src := range e.Sources {
+		covered := map[string]bool{}
+		// Cached final-round records.
+		for item, tuples := range e.records[j] {
+			covered[item] = true
+			if !answer.Contains(item) {
+				continue
+			}
+			for _, t := range tuples {
+				if err := out.Insert(t); err != nil {
+					return nil, fmt.Errorf("exec: collecting records from %s: %w", src.Name(), err)
+				}
+			}
+		}
+		// Loaded contents answer locally.
+		if rel, ok := loadedOf[j]; ok {
+			for _, item := range answer.Items() {
+				if covered[item] {
+					continue
+				}
+				covered[item] = true
+				for _, t := range rel.RowsWithItem(item) {
+					if err := out.Insert(t); err != nil {
+						return nil, fmt.Errorf("exec: collecting records from %s: %w", src.Name(), err)
+					}
+				}
+			}
+		}
+		// Fetch the rest.
+		var missing []string
+		for _, item := range answer.Items() {
+			if !covered[item] {
+				missing = append(missing, item)
+			}
+		}
+		if len(missing) > 0 {
+			tuples, err := src.Fetch(set.New(missing...))
+			if err != nil {
+				return nil, fmt.Errorf("exec: fetching remainder from %s: %w", src.Name(), err)
+			}
+			for _, t := range tuples {
+				if err := out.Insert(t); err != nil {
+					return nil, fmt.Errorf("exec: fetching remainder from %s: %w", src.Name(), err)
+				}
+			}
+		}
+	}
+	return out, nil
+}

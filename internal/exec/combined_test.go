@@ -1,0 +1,194 @@
+package exec
+
+import (
+	"testing"
+
+	"fusionq/internal/optimizer"
+	"fusionq/internal/plan"
+	"fusionq/internal/source"
+)
+
+// TestRunCombinedMatchesTwoPhase: combined mode must produce exactly the
+// answer and records that Run + FetchAnswer produce.
+func TestRunCombinedMatchesTwoPhase(t *testing.T) {
+	for _, algo := range []func(*optimizer.Problem) (optimizer.Result, error){
+		optimizer.Filter, optimizer.SJA, optimizer.SJAPlus,
+	} {
+		pr, srcs, network := dmvSetup(t, nil)
+		res, err := algo(pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		twoEx := &Executor{Sources: srcs, Network: network}
+		twoRun, err := twoEx.Run(res.Plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		twoRecords, err := FetchAnswer(twoRun.Answer, srcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		pr2, srcs2, network2 := dmvSetup(t, nil)
+		res2, err := algo(pr2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comEx := &Executor{Sources: srcs2, Network: network2}
+		comRun, records, err := comEx.RunCombined(res2.Plan)
+		if err != nil {
+			t.Fatalf("RunCombined: %v\nplan:\n%s", err, res2.Plan)
+		}
+		if !comRun.Answer.Equal(twoRun.Answer) {
+			t.Fatalf("combined answer %v != two-phase %v", comRun.Answer, twoRun.Answer)
+		}
+		if records.Len() != twoRecords.Len() {
+			t.Fatalf("combined records %d != two-phase %d\nplan:\n%s", records.Len(), twoRecords.Len(), res2.Plan)
+		}
+	}
+}
+
+// TestRunCombinedSkipsCoveredFetches: sources whose final-round record
+// query covered the whole answer need no phase-two fetch.
+func TestRunCombinedSkipsCoveredFetches(t *testing.T) {
+	pr, srcs, _ := dmvSetup(t, nil)
+	res, err := optimizer.Filter(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &Executor{Sources: srcs}
+	_, records, err := ex.RunCombined(res.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if records.Len() != 5 {
+		t.Fatalf("records = %d tuples, want 5", records.Len())
+	}
+	// The final round asked each source for sp-matching records; fetches
+	// are only needed for answer items whose sp match was elsewhere.
+	// R1: sp match {T21}; answer {J55, T21} → fetch {J55} (1 fetch).
+	// R2: sp match {J55, T11}; fetch {T21} (1 fetch).
+	// R3: sp match {S07, T21}; fetch {J55} (1 fetch).
+	total := Counters(t, srcs)
+	if total.FetchQueries != 3 {
+		t.Fatalf("fetch queries = %d, want 3 (only uncovered items fetched)", total.FetchQueries)
+	}
+}
+
+// Counters sums the instrumented counters across sources.
+func Counters(t *testing.T, srcs []source.Source) source.Counters {
+	t.Helper()
+	var total source.Counters
+	for _, s := range srcs {
+		total.Add(s.(*source.Instrumented).Counters())
+	}
+	return total
+}
+
+func TestRunCombinedEmptyAnswer(t *testing.T) {
+	pr, srcs, _ := dmvSetup(t, nil)
+	p := &plan.Plan{
+		Conds:   pr.Conds,
+		Sources: pr.Sources,
+		Steps: []plan.Step{
+			{Kind: plan.KindSelect, Out: "A", Cond: 0, Source: 0},
+			{Kind: plan.KindDiff, Out: "Z", Cond: -1, Source: -1, In: []string{"A", "A"}},
+			{Kind: plan.KindIntersect, Out: "R", Cond: -1, Source: -1, In: []string{"Z", "A"}},
+		},
+		Result: "R",
+	}
+	ex := &Executor{Sources: srcs}
+	run, records, err := ex.RunCombined(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Answer.IsEmpty() || records.Len() != 0 {
+		t.Fatalf("empty-answer combined run: %v / %d records", run.Answer, records.Len())
+	}
+}
+
+func TestRunCombinedNoSourceQueries(t *testing.T) {
+	pr, srcs, _ := dmvSetup(t, nil)
+	p := &plan.Plan{
+		Conds:   pr.Conds,
+		Sources: pr.Sources,
+		Steps: []plan.Step{
+			{Kind: plan.KindLoad, Out: "F1", Cond: -1, Source: 0},
+		},
+		Result: "F1",
+	}
+	ex := &Executor{Sources: srcs}
+	if _, _, err := ex.RunCombined(p); err == nil {
+		t.Fatal("plan without condition queries should be rejected")
+	}
+}
+
+func TestRunCombinedEmulatedSemijoinFallsBack(t *testing.T) {
+	caps := []source.Capabilities{
+		{PassedBindings: true},
+		{PassedBindings: true},
+		{PassedBindings: true},
+	}
+	pr, srcs, _ := dmvSetup(t, caps)
+	res, err := optimizer.SJA(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &Executor{Sources: srcs}
+	run, records, err := ex.RunCombined(res.Plan)
+	if err != nil {
+		t.Fatalf("RunCombined with emulated semijoins: %v\nplan:\n%s", err, res.Plan)
+	}
+	if !run.Answer.Equal(dmvAnswer) {
+		t.Fatalf("answer = %v", run.Answer)
+	}
+	if records.Len() != 5 {
+		t.Fatalf("records = %d, want 5", records.Len())
+	}
+}
+
+func TestRunCombinedParallel(t *testing.T) {
+	pr, srcs, network := dmvSetup(t, nil)
+	res, err := optimizer.Filter(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &Executor{Sources: srcs, Network: network, Parallel: true}
+	run, records, err := ex.RunCombined(res.Plan)
+	if err != nil {
+		t.Fatalf("parallel combined: %v", err)
+	}
+	if !run.Answer.Equal(dmvAnswer) || records.Len() != 5 {
+		t.Fatalf("answer %v, records %d", run.Answer, records.Len())
+	}
+}
+
+func TestRunCombinedWithLoadedSources(t *testing.T) {
+	pr, srcs, _ := dmvSetup(t, nil)
+	res, err := optimizer.SJAPlus(pr) // tiny DMV sources: SJA+ loads them
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasLoad := false
+	for _, s := range res.Plan.Steps {
+		if s.Kind == plan.KindLoad {
+			hasLoad = true
+		}
+	}
+	if !hasLoad {
+		t.Skip("SJA+ did not load any source in this configuration")
+	}
+	ex := &Executor{Sources: srcs}
+	run, records, err := ex.RunCombined(res.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Answer.Equal(dmvAnswer) || records.Len() != 5 {
+		t.Fatalf("answer %v, records %d", run.Answer, records.Len())
+	}
+	// Loaded sources must not be fetched from: their contents are local.
+	total := Counters(t, srcs)
+	if total.FetchQueries != 0 {
+		t.Fatalf("fetch queries = %d, want 0 (all sources loaded)", total.FetchQueries)
+	}
+}

@@ -1,0 +1,454 @@
+// Package exec implements the mediator's plan executor. It runs the
+// straight-line plans of internal/plan against wrapped sources, performing
+// the local set algebra (∪, ∩, −) and the postoptimization local
+// selections at the mediator, and issuing selection, semijoin and load
+// queries to the sources.
+//
+// Two execution modes are provided. Sequential mode issues one source query
+// at a time; its simulated elapsed time equals the "total work" the paper's
+// cost model minimizes. Parallel mode (the response-time direction the
+// paper names as future work in Section 6) issues each round's independent
+// source queries concurrently: total work is unchanged, but the simulated
+// response time drops to the per-round critical path.
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"fusionq/internal/bloom"
+	"fusionq/internal/netsim"
+	"fusionq/internal/plan"
+	"fusionq/internal/relation"
+	"fusionq/internal/set"
+	"fusionq/internal/source"
+)
+
+// Executor runs plans against a fixed roster of sources. An Executor may
+// be reused for sequential runs but is not safe for concurrent Run calls;
+// within one run, parallel mode manages its own synchronization.
+type Executor struct {
+	// Sources must align with the Sources of every executed plan: the
+	// step's Source index selects into this slice.
+	Sources []source.Source
+	// Network, when set, is used to account simulated response time. It
+	// must be the same network the sources' instrumentation records to.
+	Network *netsim.Network
+	// Parallel enables concurrent execution of each round's independent
+	// source queries.
+	Parallel bool
+	// Trace records a per-step execution trace (Result.Trace): output
+	// cardinalities, issued queries, and elapsed simulated time (elapsed
+	// is only attributed per step in sequential mode).
+	Trace bool
+	// Retries is how many times a step whose source query fails with a
+	// transient error (source.ErrTransient) is re-issued before the run
+	// fails. Zero disables retries.
+	Retries int
+
+	// Combined-mode state (set up by RunCombined): when records is
+	// non-nil, final-round queries (condition finalCond) use the
+	// record-returning source operations and their results are cached.
+	finalCond  int
+	records    map[int]map[string][]relation.Tuple
+	mu         sync.Mutex
+	lastLoaded map[string]*relation.Relation
+}
+
+// Result summarizes one plan execution.
+type Result struct {
+	// Answer is the value of the plan's result variable: the items
+	// satisfying all conditions of the fusion query.
+	Answer set.Set
+	// Vars holds the final value of every set variable.
+	Vars map[string]set.Set
+	// SourceQueries counts charged source operations actually issued
+	// (selections, native semijoins, emulated per-binding selections,
+	// loads).
+	SourceQueries int
+	// TotalWork is the summed simulated duration of all exchanges — the
+	// quantity the optimizers minimize. Zero without a Network.
+	TotalWork time.Duration
+	// ResponseTime is the simulated wall-clock: equal to TotalWork in
+	// sequential mode, the sum of per-batch critical paths in parallel
+	// mode. Zero without a Network.
+	ResponseTime time.Duration
+	// Trace is the per-step execution trace, present when the executor's
+	// Trace flag is set, ordered by step index.
+	Trace []StepTrace
+}
+
+// Run executes the plan and returns the result. The plan's source names
+// must match the executor's sources position by position.
+func (e *Executor) Run(p *plan.Plan) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(p.Sources) != len(e.Sources) {
+		return nil, fmt.Errorf("exec: plan has %d sources, executor has %d", len(p.Sources), len(e.Sources))
+	}
+	for j, name := range p.Sources {
+		if e.Sources[j].Name() != name {
+			return nil, fmt.Errorf("exec: plan source %d is %q but executor has %q", j, name, e.Sources[j].Name())
+		}
+	}
+
+	st := &state{
+		vars:   map[string]set.Set{},
+		loaded: map[string]*relation.Relation{},
+	}
+	res := &Result{Vars: st.vars}
+
+	steps := p.Steps
+	for k := 0; k < len(steps); {
+		if e.Parallel {
+			if batch := e.batchEnd(p, steps, k); batch > k+1 {
+				if err := e.runBatch(p, steps, k, batch, st, res); err != nil {
+					return nil, err
+				}
+				k = batch
+				continue
+			}
+		}
+		if err := e.runStepRetry(p, k, steps[k], st, res, nil); err != nil {
+			return nil, err
+		}
+		k++
+	}
+	res.Answer = st.vars[p.Result]
+	e.lastLoaded = st.loaded
+	if e.Trace {
+		sort.Slice(res.Trace, func(a, b int) bool { return res.Trace[a].Index < res.Trace[b].Index })
+	}
+	return res, nil
+}
+
+// state is the mutable execution environment: set variables and loaded
+// source contents.
+type state struct {
+	mu     sync.Mutex
+	vars   map[string]set.Set
+	loaded map[string]*relation.Relation
+}
+
+func (s *state) get(name string) (set.Set, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.vars[name]
+	return v, ok
+}
+
+func (s *state) setVar(name string, v set.Set) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vars[name] = v
+}
+
+// batchEnd finds the longest run of source-query steps starting at k whose
+// inputs are independent of the batch's own outputs, so they may execute
+// concurrently. This captures exactly one round's selection and semijoin
+// queries in the canonical plans; difference-pruned chains serialize
+// naturally because the interleaved diff steps are not source queries.
+func (e *Executor) batchEnd(p *plan.Plan, steps []plan.Step, k int) int {
+	outs := map[string]bool{}
+	end := k
+	for end < len(steps) {
+		s := steps[end]
+		if !s.IsSourceQuery() {
+			break
+		}
+		dep := false
+		for _, in := range s.In {
+			if outs[in] {
+				dep = true
+			}
+		}
+		if dep {
+			break
+		}
+		outs[s.Out] = true
+		end++
+	}
+	return end
+}
+
+// runBatch executes source-query steps concurrently and accounts the batch
+// critical path as its response-time contribution.
+func (e *Executor) runBatch(p *plan.Plan, steps []plan.Step, start, end int, st *state, res *Result) error {
+	batch := steps[start:end]
+	var preTotal time.Duration
+	if e.Network != nil {
+		preTotal = e.Network.Stats().TotalTime
+		defer func() {
+			// Total work accrues regardless of parallelism.
+			res.TotalWork += e.Network.Stats().TotalTime - preTotal
+		}()
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		critical time.Duration
+	)
+	logStart := 0
+	if e.Network != nil {
+		logStart = len(e.Network.Log())
+	}
+	for i := range batch {
+		wg.Add(1)
+		go func(idx int, s plan.Step) {
+			defer wg.Done()
+			err := e.runStepRetry(p, idx, s, st, res, &mu)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(start+i, batch[i])
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if e.Network != nil {
+		// The batch's response time is the slowest source's share of it.
+		perSource := map[string]time.Duration{}
+		for _, ex := range e.Network.Log()[logStart:] {
+			perSource[ex.Source] += ex.Elapsed
+		}
+		for _, d := range perSource {
+			if d > critical {
+				critical = d
+			}
+		}
+		res.ResponseTime += critical
+	}
+	return nil
+}
+
+// runStepRetry runs one step, re-issuing it on transient source failures
+// up to the executor's retry budget. Source queries are reads, so retries
+// are safe; the extra traffic of a failed attempt is genuine extra work.
+func (e *Executor) runStepRetry(p *plan.Plan, idx int, s plan.Step, st *state, res *Result, mu *sync.Mutex) error {
+	for attempt := 0; ; attempt++ {
+		err := e.runStep(p, idx, s, st, res, mu)
+		if err == nil {
+			return nil
+		}
+		if attempt >= e.Retries || !source.IsTransient(err) {
+			return err
+		}
+	}
+}
+
+// runStep executes one step. mu, when non-nil, guards the shared Result
+// counters during parallel batches.
+func (e *Executor) runStep(p *plan.Plan, idx int, s plan.Step, st *state, res *Result, mu *sync.Mutex) error {
+	var preTotal time.Duration
+	sequential := mu == nil
+	if sequential && e.Network != nil && s.IsSourceQuery() {
+		preTotal = e.Network.Stats().TotalTime
+	}
+	queries := 0
+	switch s.Kind {
+	case plan.KindSelect:
+		src := e.Sources[s.Source]
+		if e.records != nil && s.Cond == e.finalCond {
+			tuples, err := src.SelectRecords(p.Conds[s.Cond])
+			if err != nil {
+				return fmt.Errorf("exec: %s: %w", p.StepString(s), err)
+			}
+			e.cacheRecords(s.Source, tuples, src.Schema().MergeIndex())
+			st.setVar(s.Out, itemsOf(tuples, src.Schema().MergeIndex()))
+			queries = 1
+			break
+		}
+		out, err := src.Select(p.Conds[s.Cond])
+		if err != nil {
+			return fmt.Errorf("exec: %s: %w", p.StepString(s), err)
+		}
+		st.setVar(s.Out, out)
+		queries = 1
+	case plan.KindSemijoin:
+		src := e.Sources[s.Source]
+		in, ok := st.get(s.In[0])
+		if !ok {
+			return fmt.Errorf("exec: %s: undefined input %q", p.StepString(s), s.In[0])
+		}
+		if in.IsEmpty() {
+			// Runtime short-circuit: a semijoin over the empty set is
+			// empty without asking the source. Once a running set drains,
+			// every later semijoin round costs nothing.
+			st.setVar(s.Out, set.Empty)
+			break
+		}
+		if e.records != nil && s.Cond == e.finalCond && src.Caps().NativeSemijoin {
+			tuples, err := src.SemijoinRecords(p.Conds[s.Cond], in)
+			if err != nil {
+				return fmt.Errorf("exec: %s: %w", p.StepString(s), err)
+			}
+			e.cacheRecords(s.Source, tuples, src.Schema().MergeIndex())
+			st.setVar(s.Out, itemsOf(tuples, src.Schema().MergeIndex()))
+			queries = 1
+			break
+		}
+		out, err := source.SemijoinAuto(src, p.Conds[s.Cond], in)
+		if err != nil {
+			return fmt.Errorf("exec: %s: %w", p.StepString(s), err)
+		}
+		st.setVar(s.Out, out)
+		if src.Caps().NativeSemijoin {
+			queries = 1
+		} else {
+			queries = in.Len() // emulated: one binding query per item
+		}
+	case plan.KindBloomSemijoin:
+		src := e.Sources[s.Source]
+		in, ok := st.get(s.In[0])
+		if !ok {
+			return fmt.Errorf("exec: %s: undefined input %q", p.StepString(s), s.In[0])
+		}
+		if in.IsEmpty() {
+			st.setVar(s.Out, set.Empty)
+			break
+		}
+		filter := bloom.FromItems(in.Items(), bloom.DefaultBitsPerItem)
+		positives, err := src.SemijoinBloom(p.Conds[s.Cond], filter)
+		if err != nil {
+			return fmt.Errorf("exec: %s: %w", p.StepString(s), err)
+		}
+		// Discard the filter's false positives: the exact semijoin result
+		// is the positives restricted to the actual set.
+		st.setVar(s.Out, positives.Intersect(in))
+		queries = 1
+	case plan.KindLoad:
+		src := e.Sources[s.Source]
+		rel, err := src.Load()
+		if err != nil {
+			return fmt.Errorf("exec: %s: %w", p.StepString(s), err)
+		}
+		st.mu.Lock()
+		st.loaded[s.Out] = rel
+		st.vars[s.Out] = set.FromSorted(rel.Items())
+		st.mu.Unlock()
+		queries = 1
+	case plan.KindLocalSelect:
+		st.mu.Lock()
+		rel, ok := st.loaded[s.In[0]]
+		st.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("exec: %s: %q is not loaded source contents", p.StepString(s), s.In[0])
+		}
+		out, err := localSelect(rel, p, s.Cond)
+		if err != nil {
+			return fmt.Errorf("exec: %s: %w", p.StepString(s), err)
+		}
+		st.setVar(s.Out, out)
+	case plan.KindUnion:
+		sets, err := st.gather(s.In)
+		if err != nil {
+			return fmt.Errorf("exec: %s: %w", p.StepString(s), err)
+		}
+		st.setVar(s.Out, set.UnionAll(sets...))
+	case plan.KindIntersect:
+		sets, err := st.gather(s.In)
+		if err != nil {
+			return fmt.Errorf("exec: %s: %w", p.StepString(s), err)
+		}
+		st.setVar(s.Out, set.IntersectAll(sets...))
+	case plan.KindDiff:
+		sets, err := st.gather(s.In)
+		if err != nil {
+			return fmt.Errorf("exec: %s: %w", p.StepString(s), err)
+		}
+		st.setVar(s.Out, sets[0].Diff(sets[1]))
+	default:
+		return fmt.Errorf("exec: unknown step kind %v", s.Kind)
+	}
+
+	if queries > 0 {
+		if mu != nil {
+			mu.Lock()
+		}
+		res.SourceQueries += queries
+		if mu != nil {
+			mu.Unlock()
+		}
+	}
+	var elapsed time.Duration
+	if sequential && e.Network != nil && s.IsSourceQuery() {
+		elapsed = e.Network.Stats().TotalTime - preTotal
+		res.TotalWork += elapsed
+		res.ResponseTime += elapsed
+	}
+	if e.Trace {
+		outItems := 0
+		if v, ok := st.get(s.Out); ok {
+			outItems = v.Len()
+		}
+		tr := StepTrace{Index: idx, Text: p.StepString(s), OutItems: outItems, Queries: queries, Elapsed: elapsed}
+		if mu != nil {
+			mu.Lock()
+		}
+		res.Trace = append(res.Trace, tr)
+		if mu != nil {
+			mu.Unlock()
+		}
+	}
+	return nil
+}
+
+func (st *state) gather(names []string) ([]set.Set, error) {
+	out := make([]set.Set, len(names))
+	for i, name := range names {
+		v, ok := st.get(name)
+		if !ok {
+			return nil, fmt.Errorf("undefined variable %q", name)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// itemsOf extracts the distinct merge-attribute items of tuples, sorted.
+func itemsOf(tuples []relation.Tuple, mergeIdx int) set.Set {
+	seen := map[string]bool{}
+	var items []string
+	for _, t := range tuples {
+		item := t[mergeIdx].Raw()
+		if !seen[item] {
+			seen[item] = true
+			items = append(items, item)
+		}
+	}
+	return set.New(items...)
+}
+
+// localSelect applies condition ci of the plan to loaded source contents,
+// returning the matching items. Local computation is free in the cost model
+// (Section 2.4).
+func localSelect(rel *relation.Relation, p *plan.Plan, ci int) (set.Set, error) {
+	c := p.Conds[ci]
+	schema := rel.Schema()
+	mi := schema.MergeIndex()
+	seen := map[string]bool{}
+	var items []string
+	for _, t := range rel.Rows() {
+		ok, err := c.Eval(schema, t)
+		if err != nil {
+			return set.Set{}, err
+		}
+		if ok {
+			item := t[mi].Raw()
+			if !seen[item] {
+				seen[item] = true
+				items = append(items, item)
+			}
+		}
+	}
+	return set.New(items...), nil
+}

@@ -1,0 +1,443 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"fusionq/internal/netsim"
+	"fusionq/internal/optimizer"
+	"fusionq/internal/plan"
+	"fusionq/internal/set"
+	"fusionq/internal/source"
+	"fusionq/internal/stats"
+	"fusionq/internal/workload"
+)
+
+// dmvSetup wires the DMV scenario to instrumented sources over a simulated
+// network and builds the optimization problem.
+func dmvSetup(t *testing.T, caps []source.Capabilities) (*optimizer.Problem, []source.Source, *netsim.Network) {
+	t.Helper()
+	sc := workload.DMV()
+	network := netsim.NewNetwork(1)
+	srcs := make([]source.Source, len(sc.Sources))
+	profiles := make([]stats.SourceProfile, len(sc.Sources))
+	link := netsim.Link{Latency: 10 * time.Millisecond, BytesPerSec: 10000, RequestOverhead: 5 * time.Millisecond}
+	for j, raw := range sc.Sources {
+		w := raw.(*source.Wrapper)
+		inner := w
+		if caps != nil {
+			inner = source.NewWrapper(w.Name(), source.NewRowBackend(sc.Relations[j]), caps[j])
+		}
+		network.SetLink(w.Name(), link)
+		srcs[j] = source.Instrument(inner, network)
+		profiles[j] = stats.ProfileFromLink(w.Name(), link, 3, stats.SupportOf(inner.Caps()))
+	}
+	table, err := stats.BuildFromSources(sc.Conds, srcs, profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	network.Reset() // statistics gathering is free
+	for _, s := range srcs {
+		s.(*source.Instrumented).ResetCounters()
+	}
+	pr := &optimizer.Problem{Conds: sc.Conds, Sources: sc.SourceNames(), Table: table}
+	return pr, srcs, network
+}
+
+var dmvAnswer = set.New("J55", "T21")
+
+// TestDMVAllOptimizers runs the paper's Section 1 query end-to-end through
+// every optimizer and checks they all produce the answer {J55, T21}.
+func TestDMVAllOptimizers(t *testing.T) {
+	algos := map[string]func(*optimizer.Problem) (optimizer.Result, error){
+		"filter":     optimizer.Filter,
+		"sj":         optimizer.SJ,
+		"sja":        optimizer.SJA,
+		"greedy-sj":  optimizer.GreedySJ,
+		"greedy-sja": optimizer.GreedySJA,
+		"sja+":       optimizer.SJAPlus,
+		"greedy+":    optimizer.GreedySJAPlus,
+	}
+	for name, algo := range algos {
+		t.Run(name, func(t *testing.T) {
+			pr, srcs, network := dmvSetup(t, nil)
+			res, err := algo(pr)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			ex := &Executor{Sources: srcs, Network: network}
+			got, err := ex.Run(res.Plan)
+			if err != nil {
+				t.Fatalf("%s: run: %v\nplan:\n%s", name, err, res.Plan)
+			}
+			if !got.Answer.Equal(dmvAnswer) {
+				t.Fatalf("%s: answer = %v, want %v\nplan:\n%s", name, got.Answer, dmvAnswer, res.Plan)
+			}
+			if got.SourceQueries == 0 {
+				t.Fatalf("%s: no source queries recorded", name)
+			}
+			if got.TotalWork <= 0 || got.ResponseTime != got.TotalWork {
+				t.Fatalf("%s: sequential timing = %v/%v", name, got.TotalWork, got.ResponseTime)
+			}
+		})
+	}
+}
+
+// TestDMVHeterogeneousCapabilities mixes native, emulated and
+// selection-only sources; the SJA plan must still be executable and correct.
+func TestDMVHeterogeneousCapabilities(t *testing.T) {
+	caps := []source.Capabilities{
+		{NativeSemijoin: true, PassedBindings: true},
+		{PassedBindings: true},
+		{},
+	}
+	pr, srcs, network := dmvSetup(t, caps)
+	res, err := optimizer.SJA(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &Executor{Sources: srcs, Network: network}
+	got, err := ex.Run(res.Plan)
+	if err != nil {
+		t.Fatalf("run: %v\nplan:\n%s", err, res.Plan)
+	}
+	if !got.Answer.Equal(dmvAnswer) {
+		t.Fatalf("answer = %v, want %v", got.Answer, dmvAnswer)
+	}
+	// The selection-only source must never receive a semijoin step.
+	for _, s := range res.Plan.Steps {
+		if s.Kind == plan.KindSemijoin && s.Source == 2 {
+			t.Fatalf("semijoin routed to selection-only source:\n%s", res.Plan)
+		}
+	}
+}
+
+// TestFilterAndSJAAgreeOnSynthetic cross-checks plan classes on a larger
+// synthetic workload: every optimizer's plan must compute the same answer
+// as the filter plan.
+func TestFilterAndSJAAgreeOnSynthetic(t *testing.T) {
+	sc, err := workload.Synth(workload.SynthConfig{
+		Seed: 42, NumSources: 4, TuplesPerSource: 300, Universe: 150,
+		Selectivity: []float64{0.1, 0.5, 0.8},
+		Backend:     workload.BackendMixed,
+		Caps: []source.Capabilities{
+			{NativeSemijoin: true, PassedBindings: true},
+			{PassedBindings: true},
+			{NativeSemijoin: true},
+			{},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := stats.UniformProfiles(sc.SourceNames(), stats.SourceProfile{
+		PerQuery: 10, PerItemSent: 0.5, PerItemRecv: 0.5, PerByteLoad: 0.001,
+	})
+	for j, src := range sc.Sources {
+		profiles[j].Support = stats.SupportOf(src.Caps())
+	}
+	table, err := stats.BuildFromSources(sc.Conds, sc.Sources, profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := &optimizer.Problem{Conds: sc.Conds, Sources: sc.SourceNames(), Table: table}
+	ex := &Executor{Sources: sc.Sources}
+
+	fres, err := optimizer.Filter(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ex.Run(fres.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, algo := range map[string]func(*optimizer.Problem) (optimizer.Result, error){
+		"sj": optimizer.SJ, "sja": optimizer.SJA, "sja+": optimizer.SJAPlus, "greedy-sja": optimizer.GreedySJA,
+	} {
+		res, err := algo(pr)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := ex.Run(res.Plan)
+		if err != nil {
+			t.Fatalf("%s: %v\nplan:\n%s", name, err, res.Plan)
+		}
+		if !got.Answer.Equal(want.Answer) {
+			t.Fatalf("%s: answer %v != filter answer %v", name, got.Answer, want.Answer)
+		}
+	}
+}
+
+// TestParallelModeReducesResponseTime checks the Section 6 future-work
+// executor: concurrent rounds keep total work identical but shrink the
+// simulated response time.
+func TestParallelModeReducesResponseTime(t *testing.T) {
+	pr, srcs, network := dmvSetup(t, nil)
+	res, err := optimizer.Filter(pr) // 6 independent queries in 2 rounds
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seq := &Executor{Sources: srcs, Network: network}
+	seqRes, err := seq.Run(res.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh counters for the parallel run.
+	pr2, srcs2, network2 := dmvSetup(t, nil)
+	res2, err := optimizer.Filter(pr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := &Executor{Sources: srcs2, Network: network2, Parallel: true}
+	parRes, err := par.Run(res2.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !parRes.Answer.Equal(seqRes.Answer) {
+		t.Fatalf("parallel answer %v != sequential %v", parRes.Answer, seqRes.Answer)
+	}
+	if parRes.TotalWork != seqRes.TotalWork {
+		t.Fatalf("total work changed: %v vs %v", parRes.TotalWork, seqRes.TotalWork)
+	}
+	if parRes.ResponseTime >= seqRes.ResponseTime {
+		t.Fatalf("parallel response %v not below sequential %v", parRes.ResponseTime, seqRes.ResponseTime)
+	}
+}
+
+func TestRunRejectsMismatchedSources(t *testing.T) {
+	pr, srcs, _ := dmvSetup(t, nil)
+	res, err := optimizer.Filter(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &Executor{Sources: srcs[:2]}
+	if _, err := ex.Run(res.Plan); err == nil {
+		t.Fatal("source count mismatch should fail")
+	}
+	// Wrong order.
+	ex = &Executor{Sources: []source.Source{srcs[1], srcs[0], srcs[2]}}
+	if _, err := ex.Run(res.Plan); err == nil {
+		t.Fatal("source name mismatch should fail")
+	}
+}
+
+func TestRunRejectsInvalidPlan(t *testing.T) {
+	_, srcs, _ := dmvSetup(t, nil)
+	ex := &Executor{Sources: srcs}
+	bad := &plan.Plan{Result: "X"}
+	if _, err := ex.Run(bad); err == nil {
+		t.Fatal("invalid plan should fail")
+	}
+}
+
+func TestLocalSelectRequiresLoadedContents(t *testing.T) {
+	pr, srcs, _ := dmvSetup(t, nil)
+	p := &plan.Plan{
+		Conds:   pr.Conds,
+		Sources: pr.Sources,
+		Steps: []plan.Step{
+			{Kind: plan.KindSelect, Out: "A", Cond: 0, Source: 0},
+			{Kind: plan.KindLocalSelect, Out: "B", Cond: 0, Source: -1, In: []string{"A"}},
+		},
+		Result: "B",
+	}
+	ex := &Executor{Sources: srcs}
+	if _, err := ex.Run(p); err == nil || !strings.Contains(err.Error(), "loaded") {
+		t.Fatalf("err = %v, want loaded-contents error", err)
+	}
+}
+
+func TestLoadAndLocalSelectExecution(t *testing.T) {
+	pr, srcs, _ := dmvSetup(t, nil)
+	p := &plan.Plan{
+		Conds:   pr.Conds,
+		Sources: pr.Sources,
+		Steps: []plan.Step{
+			{Kind: plan.KindLoad, Out: "F1", Cond: -1, Source: 0},
+			{Kind: plan.KindLocalSelect, Out: "X11", Cond: 0, Source: -1, In: []string{"F1"}},
+		},
+		Result: "X11",
+	}
+	ex := &Executor{Sources: srcs}
+	got, err := ex.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := set.New("J55", "T80"); !got.Answer.Equal(want) {
+		t.Fatalf("local select = %v, want %v", got.Answer, want)
+	}
+	if got.SourceQueries != 1 {
+		t.Fatalf("SourceQueries = %d, want 1 (only the load)", got.SourceQueries)
+	}
+}
+
+func TestDiffExecution(t *testing.T) {
+	pr, srcs, _ := dmvSetup(t, nil)
+	p := &plan.Plan{
+		Conds:   pr.Conds,
+		Sources: pr.Sources,
+		Steps: []plan.Step{
+			{Kind: plan.KindSelect, Out: "A", Cond: 0, Source: 0}, // {J55, T80}
+			{Kind: plan.KindSelect, Out: "B", Cond: 0, Source: 1}, // {T21}
+			{Kind: plan.KindUnion, Out: "U", Cond: -1, Source: -1, In: []string{"A", "B"}},
+			{Kind: plan.KindDiff, Out: "D", Cond: -1, Source: -1, In: []string{"U", "A"}},
+		},
+		Result: "D",
+	}
+	ex := &Executor{Sources: srcs}
+	got, err := ex.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := set.New("T21"); !got.Answer.Equal(want) {
+		t.Fatalf("diff = %v, want %v", got.Answer, want)
+	}
+}
+
+func TestEmulatedSemijoinCountsBindingQueries(t *testing.T) {
+	caps := []source.Capabilities{
+		{PassedBindings: true},
+		{PassedBindings: true},
+		{PassedBindings: true},
+	}
+	pr, srcs, _ := dmvSetup(t, caps)
+	p := &plan.Plan{
+		Conds:   pr.Conds,
+		Sources: pr.Sources,
+		Steps: []plan.Step{
+			{Kind: plan.KindSelect, Out: "A", Cond: 0, Source: 0}, // {J55, T80}
+			{Kind: plan.KindSemijoin, Out: "B", Cond: 1, Source: 1, In: []string{"A"}},
+		},
+		Result: "B",
+	}
+	ex := &Executor{Sources: srcs}
+	got, err := ex.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := set.New("J55"); !got.Answer.Equal(want) {
+		t.Fatalf("emulated semijoin = %v, want %v", got.Answer, want)
+	}
+	// 1 selection + 2 binding queries.
+	if got.SourceQueries != 3 {
+		t.Fatalf("SourceQueries = %d, want 3", got.SourceQueries)
+	}
+}
+
+func TestFetchAnswerTwoPhase(t *testing.T) {
+	_, srcs, _ := dmvSetup(t, nil)
+	rel, err := FetchAnswer(dmvAnswer, srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// J55 has 2 violations (R1 dui, R2 sp); T21 has 3 (R1 sp, R2 dui, R3 sp).
+	if rel.Len() != 5 {
+		t.Fatalf("fetched %d tuples, want 5:\n%s", rel.Len(), rel)
+	}
+	empty, err := FetchAnswer(set.New(), srcs)
+	if err != nil || empty.Len() != 0 {
+		t.Fatalf("empty answer fetch = %v, %v", empty.Len(), err)
+	}
+	if _, err := FetchAnswer(dmvAnswer, nil); err == nil {
+		t.Fatal("no sources should fail")
+	}
+}
+
+// TestEmptySemijoinShortCircuit: a semijoin over an empty running set is
+// answered at the mediator without contacting the source — the runtime
+// counterpart of the cost model's "no benefit in querying for nothing".
+func TestEmptySemijoinShortCircuit(t *testing.T) {
+	pr, srcs, network := dmvSetup(t, nil)
+	p := &plan.Plan{
+		Conds:   pr.Conds,
+		Sources: pr.Sources,
+		Steps: []plan.Step{
+			// No driver has violation 'zz', so the running set drains.
+			{Kind: plan.KindSelect, Out: "A", Cond: 0, Source: 0},
+			{Kind: plan.KindIntersect, Out: "E", Cond: -1, Source: -1, In: []string{"A", "A"}},
+			{Kind: plan.KindDiff, Out: "Z", Cond: -1, Source: -1, In: []string{"A", "A"}}, // empty
+			{Kind: plan.KindSemijoin, Out: "B", Cond: 1, Source: 1, In: []string{"Z"}},
+			{Kind: plan.KindSemijoin, Out: "C", Cond: 1, Source: 2, In: []string{"B"}},
+		},
+		Result: "C",
+	}
+	ex := &Executor{Sources: srcs, Network: network}
+	got, err := ex.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Answer.IsEmpty() {
+		t.Fatalf("answer = %v, want empty", got.Answer)
+	}
+	// Only the one selection reached a source; both semijoins were elided.
+	if got.SourceQueries != 1 {
+		t.Fatalf("SourceQueries = %d, want 1 (semijoins over empty sets elided)", got.SourceQueries)
+	}
+	if st := network.Stats(); st.Messages != 1 {
+		t.Fatalf("network messages = %d, want 1", st.Messages)
+	}
+}
+
+func TestExecutionTrace(t *testing.T) {
+	pr, srcs, network := dmvSetup(t, nil)
+	res, err := optimizer.SJA(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &Executor{Sources: srcs, Network: network, Trace: true}
+	got, err := ex.Run(res.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Trace) != len(res.Plan.Steps) {
+		t.Fatalf("trace has %d entries for %d steps", len(got.Trace), len(res.Plan.Steps))
+	}
+	var queries int
+	var elapsed time.Duration
+	for i, tr := range got.Trace {
+		if tr.Index != i {
+			t.Fatalf("trace out of order at %d: %+v", i, tr)
+		}
+		if tr.Text == "" {
+			t.Fatalf("trace entry %d has no text", i)
+		}
+		queries += tr.Queries
+		elapsed += tr.Elapsed
+	}
+	if queries != got.SourceQueries {
+		t.Fatalf("trace queries %d != result %d", queries, got.SourceQueries)
+	}
+	if elapsed != got.TotalWork {
+		t.Fatalf("trace elapsed %v != total work %v", elapsed, got.TotalWork)
+	}
+	// The final step's output cardinality is the answer size.
+	last := got.Trace[len(got.Trace)-1]
+	if last.OutItems != got.Answer.Len() {
+		t.Fatalf("final trace out items %d != answer %d", last.OutItems, got.Answer.Len())
+	}
+	rendered := RenderTrace(got.Trace)
+	if !strings.Contains(rendered, "sq(c1, R1)") || !strings.Contains(rendered, "queries") {
+		t.Fatalf("rendered trace missing content:\n%s", rendered)
+	}
+	if RenderTrace(nil) != "" {
+		t.Fatal("empty trace should render empty")
+	}
+}
+
+func TestBatchEndStopsAtDependency(t *testing.T) {
+	pr, srcs, _ := dmvSetup(t, nil)
+	ex := &Executor{Sources: srcs, Parallel: true}
+	steps := []plan.Step{
+		{Kind: plan.KindSelect, Out: "A", Cond: 0, Source: 0},
+		{Kind: plan.KindSelect, Out: "B", Cond: 0, Source: 1},
+		{Kind: plan.KindSemijoin, Out: "C", Cond: 1, Source: 2, In: []string{"A"}},
+	}
+	p := &plan.Plan{Conds: pr.Conds, Sources: pr.Sources, Steps: steps, Result: "C"}
+	if end := ex.batchEnd(p, steps, 0); end != 2 {
+		t.Fatalf("batchEnd = %d, want 2 (C depends on A)", end)
+	}
+}

@@ -1,0 +1,57 @@
+package exec
+
+import (
+	"testing"
+
+	"fusionq/internal/optimizer"
+)
+
+func TestJoinOverUnionMatchesFusionAnswer(t *testing.T) {
+	pr, srcs, _ := dmvSetup(t, nil)
+	ex := &Executor{Sources: srcs}
+
+	naive, err := ex.RunJoinOverUnion(pr, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !naive.Answer.Equal(dmvAnswer) {
+		t.Fatalf("naive answer = %v, want %v", naive.Answer, dmvAnswer)
+	}
+	// m=2, n=3: the naive strategy issues m·n^m = 18 selections.
+	if naive.SourceQueries != 18 {
+		t.Fatalf("naive queries = %d, want 18", naive.SourceQueries)
+	}
+
+	memo, err := ex.RunJoinOverUnion(pr, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !memo.Answer.Equal(dmvAnswer) {
+		t.Fatalf("memoized answer = %v", memo.Answer)
+	}
+	// With CSE the distinct selections are m·n = 6 — the filter plan.
+	if memo.SourceQueries != 6 {
+		t.Fatalf("memoized queries = %d, want 6", memo.SourceQueries)
+	}
+
+	// Cross-check against the fusion-aware pipeline.
+	res, err := optimizer.SJA(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fusion, err := ex.Run(res.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fusion.Answer.Equal(naive.Answer) {
+		t.Fatalf("fusion answer %v != join-over-union %v", fusion.Answer, naive.Answer)
+	}
+}
+
+func TestJoinOverUnionBlowupGuard(t *testing.T) {
+	pr, srcs, _ := dmvSetup(t, nil)
+	ex := &Executor{Sources: srcs}
+	if _, err := ex.RunJoinOverUnion(pr, false, 5); err == nil {
+		t.Fatal("guard should reject 9 subqueries with limit 5")
+	}
+}

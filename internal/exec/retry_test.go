@@ -1,0 +1,116 @@
+package exec
+
+import (
+	"testing"
+
+	"fusionq/internal/optimizer"
+	"fusionq/internal/plan"
+	"fusionq/internal/source"
+	"fusionq/internal/stats"
+	"fusionq/internal/workload"
+)
+
+// flakySetup wraps the DMV sources with failure injection at the given
+// rate.
+func flakySetup(t *testing.T, rate float64) (*optimizer.Problem, []source.Source, []*source.Flaky) {
+	t.Helper()
+	sc := workload.DMV()
+	srcs := make([]source.Source, len(sc.Sources))
+	flakies := make([]*source.Flaky, len(sc.Sources))
+	profiles := make([]stats.SourceProfile, len(sc.Sources))
+	for j, raw := range sc.Sources {
+		flakies[j] = source.NewFlaky(raw, rate, int64(100+j))
+		srcs[j] = flakies[j]
+		profiles[j] = stats.SourceProfile{
+			Name: raw.Name(), PerQuery: 10, PerItemSent: 1, PerItemRecv: 1, PerByteLoad: 0.01,
+			Support: stats.SupportOf(raw.Caps()),
+		}
+	}
+	// Statistics gathering must not hit failures: gather from the raw
+	// sources.
+	table, err := stats.BuildFromSources(sc.Conds, sc.Sources, profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &optimizer.Problem{Conds: sc.Conds, Sources: sc.SourceNames(), Table: table}, srcs, flakies
+}
+
+func TestRetriesSurviveTransientFailures(t *testing.T) {
+	pr, srcs, flakies := flakySetup(t, 0.4)
+	res, err := optimizer.Filter(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &Executor{Sources: srcs, Retries: 25}
+	got, err := ex.Run(res.Plan)
+	if err != nil {
+		t.Fatalf("run with retries: %v", err)
+	}
+	if !got.Answer.Equal(dmvAnswer) {
+		t.Fatalf("answer = %v, want %v", got.Answer, dmvAnswer)
+	}
+	failed := 0
+	for _, f := range flakies {
+		failed += f.Failures()
+	}
+	if failed == 0 {
+		t.Fatal("failure injection never fired; the test is vacuous")
+	}
+}
+
+func TestNoRetriesFailsFast(t *testing.T) {
+	pr, srcs, _ := flakySetup(t, 1.0) // always fails
+	res, err := optimizer.Filter(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &Executor{Sources: srcs}
+	if _, err := ex.Run(res.Plan); !source.IsTransient(err) {
+		t.Fatalf("err = %v, want transient failure", err)
+	}
+}
+
+func TestRetryBudgetExhausts(t *testing.T) {
+	pr, srcs, _ := flakySetup(t, 1.0)
+	res, err := optimizer.Filter(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &Executor{Sources: srcs, Retries: 3}
+	if _, err := ex.Run(res.Plan); !source.IsTransient(err) {
+		t.Fatalf("err = %v, want transient failure after budget", err)
+	}
+}
+
+func TestRetriesInParallelMode(t *testing.T) {
+	pr, srcs, _ := flakySetup(t, 0.3)
+	res, err := optimizer.Filter(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &Executor{Sources: srcs, Parallel: true, Retries: 25}
+	got, err := ex.Run(res.Plan)
+	if err != nil {
+		t.Fatalf("parallel run with retries: %v", err)
+	}
+	if !got.Answer.Equal(dmvAnswer) {
+		t.Fatalf("answer = %v, want %v", got.Answer, dmvAnswer)
+	}
+}
+
+func TestNonTransientErrorsNotRetried(t *testing.T) {
+	pr, srcs, _ := dmvSetup(t, []source.Capabilities{{}, {}, {}}) // selection-only
+	p := &plan.Plan{
+		Conds:   pr.Conds,
+		Sources: pr.Sources,
+		Steps: []plan.Step{
+			{Kind: plan.KindSelect, Out: "A", Cond: 0, Source: 0},
+			{Kind: plan.KindSemijoin, Out: "B", Cond: 1, Source: 1, In: []string{"A"}},
+		},
+		Result: "B",
+	}
+	ex := &Executor{Sources: srcs, Retries: 10}
+	if _, err := ex.Run(p); err == nil {
+		t.Fatal("unsupported semijoin should fail despite retries")
+	}
+}

@@ -1,0 +1,46 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// StepTrace records what one plan step did at execution time — the
+// EXPLAIN-ANALYZE view of a fusion-query plan.
+type StepTrace struct {
+	// Index is the step's position in the plan (0-based).
+	Index int
+	// Text is the step in the paper's notation.
+	Text string
+	// OutItems is the cardinality of the step's output set (or loaded
+	// relation's distinct items).
+	OutItems int
+	// Queries is the number of charged source queries the step issued
+	// (more than one for emulated semijoins, zero for local steps and
+	// short-circuited semijoins).
+	Queries int
+	// Elapsed is the simulated time the step's exchanges took (zero
+	// without a network or for local steps).
+	Elapsed time.Duration
+}
+
+// RenderTrace formats a trace as an aligned table.
+func RenderTrace(traces []StepTrace) string {
+	if len(traces) == 0 {
+		return ""
+	}
+	width := 0
+	for _, tr := range traces {
+		if len(tr.Text) > width {
+			width = len(tr.Text)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%3s  %-*s  %9s  %7s  %12s\n", "#", width, "step", "out items", "queries", "elapsed")
+	for _, tr := range traces {
+		fmt.Fprintf(&b, "%3d  %-*s  %9d  %7d  %12v\n",
+			tr.Index+1, width, tr.Text, tr.OutItems, tr.Queries, tr.Elapsed.Round(time.Microsecond))
+	}
+	return b.String()
+}

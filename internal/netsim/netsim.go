@@ -1,0 +1,160 @@
+// Package netsim provides a deterministic simulated wide-area network for
+// exercising fusion-query plans against "Internet" sources. The paper's cost
+// model (Section 2.4) charges only for sending queries to sources and
+// receiving answers; netsim turns those charges into measurable quantities —
+// messages, bytes, and simulated elapsed time — without real sockets, so the
+// experiments are reproducible.
+//
+// Each source is reached over a Link with its own latency, bandwidth and
+// per-request overhead, mirroring the paper's heterogeneous-source setting.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Link models the path between the mediator and one source.
+type Link struct {
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// BytesPerSec is the link throughput. Zero means infinite bandwidth.
+	BytesPerSec float64
+	// RequestOverhead is fixed per-request processing cost at the source
+	// (connection setup, query parsing, optimization at the source).
+	RequestOverhead time.Duration
+	// JitterFrac adds deterministic pseudo-random jitter of up to this
+	// fraction of the computed delay (0 disables jitter).
+	JitterFrac float64
+}
+
+// DefaultLink returns a link resembling a late-90s Internet path: 80ms RTT,
+// ~128KB/s, 20ms per-request overhead.
+func DefaultLink() Link {
+	return Link{
+		Latency:         40 * time.Millisecond,
+		BytesPerSec:     128 << 10,
+		RequestOverhead: 20 * time.Millisecond,
+	}
+}
+
+// TransferTime returns the simulated duration of a request/response exchange
+// carrying reqBytes up and respBytes down, excluding jitter.
+func (l Link) TransferTime(reqBytes, respBytes int) time.Duration {
+	d := 2*l.Latency + l.RequestOverhead
+	if l.BytesPerSec > 0 {
+		d += time.Duration(float64(reqBytes+respBytes) / l.BytesPerSec * float64(time.Second))
+	}
+	return d
+}
+
+// Exchange is one recorded request/response over a link.
+type Exchange struct {
+	Source    string
+	Kind      string // "sq", "sjq", "lq"
+	ReqBytes  int
+	RespBytes int
+	Elapsed   time.Duration
+}
+
+// Network simulates the mediator's connectivity to all sources and records
+// every exchange. It is safe for concurrent use so the parallel
+// (response-time) executor can share it.
+type Network struct {
+	mu    sync.Mutex
+	links map[string]Link
+	rng   *rand.Rand
+	log   []Exchange
+
+	totalBytes int
+	totalTime  time.Duration
+	messages   int
+}
+
+// NewNetwork creates an empty network; seed drives jitter determinism.
+func NewNetwork(seed int64) *Network {
+	return &Network{
+		links: make(map[string]Link),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// SetLink installs or replaces the link to the named source.
+func (n *Network) SetLink(source string, l Link) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[source] = l
+}
+
+// LinkFor returns the link to the named source, or DefaultLink if none was
+// configured.
+func (n *Network) LinkFor(source string) Link {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if l, ok := n.links[source]; ok {
+		return l
+	}
+	return DefaultLink()
+}
+
+// Exchange records a round trip to source carrying the given payload sizes
+// and returns the simulated elapsed time for this exchange.
+func (n *Network) Exchange(source, kind string, reqBytes, respBytes int) time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l, ok := n.links[source]
+	if !ok {
+		l = DefaultLink()
+	}
+	d := l.TransferTime(reqBytes, respBytes)
+	if l.JitterFrac > 0 {
+		d += time.Duration(n.rng.Float64() * l.JitterFrac * float64(d))
+	}
+	n.log = append(n.log, Exchange{Source: source, Kind: kind, ReqBytes: reqBytes, RespBytes: respBytes, Elapsed: d})
+	n.totalBytes += reqBytes + respBytes
+	n.totalTime += d
+	n.messages++
+	return d
+}
+
+// Stats summarizes all traffic recorded so far.
+type Stats struct {
+	Messages   int
+	TotalBytes int
+	// TotalTime is the sum of exchange durations: the sequential-execution
+	// "total work" the paper's cost model minimizes.
+	TotalTime time.Duration
+}
+
+// Stats returns a snapshot of the accumulated traffic counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return Stats{Messages: n.messages, TotalBytes: n.totalBytes, TotalTime: n.totalTime}
+}
+
+// Log returns a copy of the recorded exchanges in order.
+func (n *Network) Log() []Exchange {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Exchange, len(n.log))
+	copy(out, n.log)
+	return out
+}
+
+// Reset clears counters and the exchange log but keeps link configuration.
+func (n *Network) Reset() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.log = nil
+	n.totalBytes = 0
+	n.totalTime = 0
+	n.messages = 0
+}
+
+// String renders the aggregate counters.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d msgs, %d bytes, %v total", s.Messages, s.TotalBytes, s.TotalTime)
+}

@@ -1,0 +1,135 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+
+	"fusionq/internal/plan"
+	"fusionq/internal/stats"
+)
+
+// bloomProfile makes items expensive to ship so the Bloom variant (10 bits
+// ≈ 1.25 bytes per item vs 40-byte items) wins clearly.
+func bloomProfile(bits int) stats.SourceProfile {
+	return stats.SourceProfile{
+		PerQuery:         1,
+		PerItemSent:      0.04, // 40-byte items at 1ms/byte
+		PerItemRecv:      0.002,
+		PerByteLoad:      1, // keep lq out of the picture
+		Support:          stats.SemijoinNative,
+		ItemBytes:        40,
+		BloomBitsPerItem: bits,
+	}
+}
+
+func TestSJAPicksBloomWhenItemsAreWide(t *testing.T) {
+	cards := [][]float64{{10, 10}, {300, 300}}
+	pr := mkProblem(t, 2, 2, cards, uniformProfiles(2, bloomProfile(10)))
+	res, err := SJA(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		if res.Sketch.Choices[1][j] != MethodBloom {
+			t.Fatalf("round-2 choice at source %d = %v, want sjq-bloom\nplan:\n%s",
+				j, res.Sketch.Choices[1][j], res.Plan)
+		}
+	}
+	hasBloomStep := false
+	for _, s := range res.Plan.Steps {
+		if s.Kind == plan.KindBloomSemijoin {
+			hasBloomStep = true
+		}
+	}
+	if !hasBloomStep {
+		t.Fatalf("no bloom semijoin steps emitted:\n%s", res.Plan)
+	}
+	// The bookkept cost must match the estimator on the emitted plan.
+	est, err := plan.EstimateCost(res.Plan, pr.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Cost-res.Cost) > 1e-6 {
+		t.Fatalf("bookkeeping %v != estimator %v", res.Cost, est.Cost)
+	}
+	// And it must beat the no-bloom configuration.
+	noBloom := uniformProfiles(2, bloomProfile(0))
+	pr2 := mkProblem(t, 2, 2, cards, noBloom)
+	res2, err := SJA(pr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.Cost < res2.Cost) {
+		t.Fatalf("bloom-enabled SJA %v not cheaper than bloom-disabled %v", res.Cost, res2.Cost)
+	}
+}
+
+func TestSJUniformBloomRound(t *testing.T) {
+	cards := [][]float64{{10, 10}, {300, 300}}
+	pr := mkProblem(t, 2, 2, cards, uniformProfiles(2, bloomProfile(10)))
+	res, err := SJ(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SJ's all-or-nothing choice applies to the bloom method too.
+	if res.Sketch.Choices[1][0] != res.Sketch.Choices[1][1] {
+		t.Fatalf("SJ made per-source choices: %v", res.Sketch.Choices[1])
+	}
+	if res.Sketch.Choices[1][0] != MethodBloom {
+		t.Fatalf("SJ round-2 method = %v, want bloom", res.Sketch.Choices[1][0])
+	}
+}
+
+func TestBloomSemijoinCostShape(t *testing.T) {
+	p := bloomProfile(10)
+	exact := p.SemijoinCost(1000, 0.1)
+	bloomed := p.BloomSemijoinCost(1000, 0.1, 300)
+	if !(bloomed < exact) {
+		t.Fatalf("bloom %v should undercut exact %v for wide items", bloomed, exact)
+	}
+	// Unsupported → +Inf.
+	p0 := bloomProfile(0)
+	if !math.IsInf(p0.BloomSemijoinCost(10, 0.1, 10), 1) {
+		t.Fatal("bloom cost should be +Inf when unsupported")
+	}
+	// Subadditivity carries over (affine, non-negative).
+	whole := p.BloomSemijoinCost(500, 0.1, 300) + p.BloomSemijoinCost(500, 0.1, 300)
+	if p.BloomSemijoinCost(1000, 0.1, 300) > whole+1e-9 {
+		t.Fatal("bloom cost not subadditive")
+	}
+}
+
+func TestExhaustiveCoversBloom(t *testing.T) {
+	cards := [][]float64{{10, 10}, {300, 300}}
+	pr := mkProblem(t, 2, 2, cards, uniformProfiles(2, bloomProfile(10)))
+	sja, err := SJA(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := Exhaustive(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sja.Cost-oracle.Cost) > 1e-6 {
+		t.Fatalf("SJA %v != exhaustive %v over the three-method space", sja.Cost, oracle.Cost)
+	}
+}
+
+func TestSJAPlusPrunesBloomChains(t *testing.T) {
+	cards := [][]float64{{10, 10, 10}, {300, 300, 300}}
+	pr := mkProblem(t, 2, 3, cards, uniformProfiles(3, bloomProfile(10)))
+	plus, err := SJAPlus(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plus.Plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sja, err := SJA(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plus.Cost > sja.Cost+1e-9 {
+		t.Fatalf("SJA+ %v worse than SJA %v with bloom rounds", plus.Cost, sja.Cost)
+	}
+}

@@ -1,0 +1,150 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"fusionq/internal/plan"
+)
+
+// BuildPlan materializes a sketch into the canonical round-structured plan
+// of Figure 2, extended with the Section 4 postoptimization operations when
+// the sketch requests them:
+//
+//   - loaded sources contribute F_j := lq(R_j) up front and evaluate their
+//     conditions with free local selections on F_j;
+//   - with difference pruning, each round's semijoin queries form a chain
+//     in which a source only receives the items not yet confirmed by the
+//     round's selection results or by earlier semijoin answers.
+func BuildPlan(pr *Problem, sk Sketch) (*plan.Plan, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	m, n := len(pr.Conds), len(pr.Sources)
+	if len(sk.Ordering) != m {
+		return nil, fmt.Errorf("optimizer: ordering has %d conditions, want %d", len(sk.Ordering), m)
+	}
+	seen := make([]bool, m)
+	for _, c := range sk.Ordering {
+		if c < 0 || c >= m || seen[c] {
+			return nil, fmt.Errorf("optimizer: ordering %v is not a permutation of conditions", sk.Ordering)
+		}
+		seen[c] = true
+	}
+	if len(sk.Choices) != m {
+		return nil, fmt.Errorf("optimizer: choices have %d rounds, want %d", len(sk.Choices), m)
+	}
+	for r, row := range sk.Choices {
+		if len(row) != n {
+			return nil, fmt.Errorf("optimizer: round %d has %d choices, want %d", r+1, len(row), n)
+		}
+	}
+	if sk.Loaded != nil && len(sk.Loaded) != n {
+		return nil, fmt.Errorf("optimizer: loaded flags have %d sources, want %d", len(sk.Loaded), n)
+	}
+
+	p := &plan.Plan{Conds: pr.Conds, Sources: pr.Sources, Class: sk.Class}
+	loaded := func(j int) bool { return sk.Loaded != nil && sk.Loaded[j] }
+
+	for j := 0; j < n; j++ {
+		if loaded(j) {
+			p.Steps = append(p.Steps, plan.Step{Kind: plan.KindLoad, Out: loadName(j), Cond: -1, Source: j})
+		}
+	}
+
+	prev := ""
+	for r := 1; r <= m; r++ {
+		ci := sk.Ordering[r-1]
+		var selVars, sjVars []string
+
+		// Selection-role results (round 1 is all selections by definition).
+		for j := 0; j < n; j++ {
+			if r > 1 && sk.Choices[r-1][j] != MethodSelect {
+				continue
+			}
+			out := varName(r, j)
+			if loaded(j) {
+				p.Steps = append(p.Steps, plan.Step{Kind: plan.KindLocalSelect, Out: out, Cond: ci, Source: -1, In: []string{loadName(j)}})
+			} else {
+				p.Steps = append(p.Steps, plan.Step{Kind: plan.KindSelect, Out: out, Cond: ci, Source: j})
+			}
+			selVars = append(selVars, out)
+		}
+
+		// Semijoin-role results: loaded sources first (their pruning is
+		// free), then remote sources in index order.
+		if r > 1 {
+			semiRole := func(j int) bool {
+				c := sk.Choices[r-1][j]
+				return c == MethodSemijoin || c == MethodBloom
+			}
+			var chain []int
+			for j := 0; j < n; j++ {
+				if semiRole(j) && loaded(j) {
+					chain = append(chain, j)
+				}
+			}
+			remoteStart := len(chain)
+			inChain := map[int]bool{}
+			if sk.DiffPrune && sk.ChainOrder != nil && r-1 < len(sk.ChainOrder) {
+				for _, j := range sk.ChainOrder[r-1] {
+					if j >= 0 && j < n && semiRole(j) && !loaded(j) && !inChain[j] {
+						chain = append(chain, j)
+						inChain[j] = true
+					}
+				}
+			}
+			for j := 0; j < n; j++ {
+				if semiRole(j) && !loaded(j) && !inChain[j] {
+					chain = append(chain, j)
+				}
+			}
+			d := prev
+			if sk.DiffPrune && len(chain) > 0 && len(selVars) > 0 {
+				su := selVars[0]
+				if len(selVars) > 1 {
+					su = fmt.Sprintf("S%d", r)
+					p.Steps = append(p.Steps, plan.Step{Kind: plan.KindUnion, Out: su, Cond: -1, Source: -1, In: append([]string(nil), selVars...)})
+				}
+				nd := fmt.Sprintf("D%d", r)
+				p.Steps = append(p.Steps, plan.Step{Kind: plan.KindDiff, Out: nd, Cond: -1, Source: -1, In: []string{d, su}})
+				d = nd
+			}
+			for k, j := range chain {
+				out := varName(r, j)
+				switch {
+				case loaded(j):
+					tmp := fmt.Sprintf("T%s", varName(r, j)[1:])
+					p.Steps = append(p.Steps, plan.Step{Kind: plan.KindLocalSelect, Out: tmp, Cond: ci, Source: -1, In: []string{loadName(j)}})
+					p.Steps = append(p.Steps, plan.Step{Kind: plan.KindIntersect, Out: out, Cond: -1, Source: -1, In: []string{tmp, d}})
+				case sk.Choices[r-1][j] == MethodBloom:
+					p.Steps = append(p.Steps, plan.Step{Kind: plan.KindBloomSemijoin, Out: out, Cond: ci, Source: j, In: []string{d}})
+				default:
+					p.Steps = append(p.Steps, plan.Step{Kind: plan.KindSemijoin, Out: out, Cond: ci, Source: j, In: []string{d}})
+				}
+				sjVars = append(sjVars, out)
+				// Prune the running semijoin set when pruning is on and a
+				// later remote semijoin will still ship it.
+				if sk.DiffPrune && k+1 < len(chain) && remoteStart < len(chain) {
+					nd := fmt.Sprintf("D%d_%d", r, k+1)
+					p.Steps = append(p.Steps, plan.Step{Kind: plan.KindDiff, Out: nd, Cond: -1, Source: -1, In: []string{d, out}})
+					d = nd
+				}
+			}
+		}
+
+		// Combine the round: X_r := ∪ results, intersected with the running
+		// set when selection results (not subsets of it) are present.
+		all := append(append([]string(nil), selVars...), sjVars...)
+		out := roundName(r)
+		p.Steps = append(p.Steps, plan.Step{Kind: plan.KindUnion, Out: out, Cond: -1, Source: -1, In: all})
+		if r > 1 && len(selVars) > 0 {
+			p.Steps = append(p.Steps, plan.Step{Kind: plan.KindIntersect, Out: out, Cond: -1, Source: -1, In: []string{out, prev}})
+		}
+		prev = out
+	}
+	p.Result = prev
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("optimizer: built invalid plan: %w", err)
+	}
+	return p, nil
+}

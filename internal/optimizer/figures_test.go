@@ -1,0 +1,244 @@
+package optimizer
+
+// Golden reproductions of the paper's worked-example figures. The figures
+// illustrate plan classes, not optimizer output, so these tests build the
+// figures' sketches directly and check the emitted listings. Canonical
+// differences from the paper's typography are noted inline.
+
+import (
+	"strings"
+	"testing"
+)
+
+// figureProblem is the 3-condition, 2-source instance of Figure 2.
+func figureProblem(t *testing.T) *Problem {
+	t.Helper()
+	cards := [][]float64{{5, 5}, {15, 15}, {25, 25}}
+	return mkProblem(t, 3, 2, cards, uniformProfiles(2, defaultProfile()))
+}
+
+func mustBuild(t *testing.T, pr *Problem, sk Sketch) string {
+	t.Helper()
+	p, err := BuildPlan(pr, sk)
+	if err != nil {
+		t.Fatalf("BuildPlan: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return p.String()
+}
+
+// TestFigure2aFilterPlan reproduces Figure 2(a) line for line.
+func TestFigure2aFilterPlan(t *testing.T) {
+	pr := figureProblem(t)
+	sk := Sketch{Ordering: []int{0, 1, 2}, Choices: allSelectChoices(3, 2), Class: "filter"}
+	got := mustBuild(t, pr, sk)
+	want := strings.Join([]string{
+		" 1) X11 := sq(c1, R1)",
+		" 2) X12 := sq(c1, R2)",
+		" 3) X1 := X11 ∪ X12",
+		" 4) X21 := sq(c2, R1)",
+		" 5) X22 := sq(c2, R2)",
+		" 6) X2 := X21 ∪ X22",
+		" 7) X2 := X2 ∩ X1",
+		" 8) X31 := sq(c3, R1)",
+		" 9) X32 := sq(c3, R2)",
+		"10) X3 := X31 ∪ X32",
+		"11) X3 := X3 ∩ X2",
+	}, "\n") + "\n"
+	if got != want {
+		t.Fatalf("Figure 2(a):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestFigure2bSemijoinPlan reproduces Figure 2(b): condition c2 evaluated by
+// semijoin queries at both sources, c3 by selection queries. (The paper
+// prints the final intersection as "X3 := X2 ∩ X3"; our canonical operand
+// order is "X3 := X3 ∩ X2" — the same operation.)
+func TestFigure2bSemijoinPlan(t *testing.T) {
+	pr := figureProblem(t)
+	choices := allSelectChoices(3, 2)
+	choices[1][0], choices[1][1] = MethodSemijoin, MethodSemijoin
+	sk := Sketch{Ordering: []int{0, 1, 2}, Choices: choices, Class: "semijoin"}
+	got := mustBuild(t, pr, sk)
+	want := strings.Join([]string{
+		" 1) X11 := sq(c1, R1)",
+		" 2) X12 := sq(c1, R2)",
+		" 3) X1 := X11 ∪ X12",
+		" 4) X21 := sjq(c2, R1, X1)",
+		" 5) X22 := sjq(c2, R2, X1)",
+		" 6) X2 := X21 ∪ X22",
+		" 7) X31 := sq(c3, R1)",
+		" 8) X32 := sq(c3, R2)",
+		" 9) X3 := X31 ∪ X32",
+		"10) X3 := X3 ∩ X2",
+	}, "\n") + "\n"
+	if got != want {
+		t.Fatalf("Figure 2(b):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestFigure2cSemijoinAdaptivePlan reproduces Figure 2(c): c2 is evaluated
+// with a semijoin query at R1 and a selection query at R2 — the per-source
+// choice that defines the semijoin-adaptive class. (Our canonical emission
+// lists a round's selection queries before its semijoin queries, so steps 4
+// and 5 appear in the opposite order from the paper's listing; the
+// operation multiset is identical.)
+func TestFigure2cSemijoinAdaptivePlan(t *testing.T) {
+	pr := figureProblem(t)
+	choices := allSelectChoices(3, 2)
+	choices[1][0] = MethodSemijoin
+	sk := Sketch{Ordering: []int{0, 1, 2}, Choices: choices, Class: "semijoin-adaptive"}
+	got := mustBuild(t, pr, sk)
+	want := strings.Join([]string{
+		" 1) X11 := sq(c1, R1)",
+		" 2) X12 := sq(c1, R2)",
+		" 3) X1 := X11 ∪ X12",
+		" 4) X22 := sq(c2, R2)",
+		" 5) X21 := sjq(c2, R1, X1)",
+		" 6) X2 := X22 ∪ X21",
+		" 7) X2 := X2 ∩ X1",
+		" 8) X31 := sq(c3, R1)",
+		" 9) X32 := sq(c3, R2)",
+		"10) X3 := X31 ∪ X32",
+		"11) X3 := X3 ∩ X2",
+	}, "\n") + "\n"
+	if got != want {
+		t.Fatalf("Figure 2(c):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// figure5Problem is the Section 4 example: two conditions, three sources;
+// plan P1 evaluates c2 with a selection at R1, a semijoin at R2 and a
+// selection at R3.
+func figure5Problem(t *testing.T) *Problem {
+	t.Helper()
+	cards := [][]float64{{5, 5, 5}, {30, 30, 30}}
+	return mkProblem(t, 2, 3, cards, uniformProfiles(3, defaultProfile()))
+}
+
+func figure5Sketch() Sketch {
+	choices := allSelectChoices(2, 3)
+	choices[1][1] = MethodSemijoin
+	return Sketch{Ordering: []int{0, 1}, Choices: choices, Class: "semijoin-adaptive"}
+}
+
+// TestFigure5aPlanP1 reproduces the base plan P1 of Figure 5(a).
+func TestFigure5aPlanP1(t *testing.T) {
+	got := mustBuild(t, figure5Problem(t), figure5Sketch())
+	want := strings.Join([]string{
+		" 1) X11 := sq(c1, R1)",
+		" 2) X12 := sq(c1, R2)",
+		" 3) X13 := sq(c1, R3)",
+		" 4) X1 := X11 ∪ X12 ∪ X13",
+		" 5) X21 := sq(c2, R1)",
+		" 6) X23 := sq(c2, R3)",
+		" 7) X22 := sjq(c2, R2, X1)",
+		" 8) X2 := X21 ∪ X23 ∪ X22",
+		" 9) X2 := X2 ∩ X1",
+	}, "\n") + "\n"
+	if got != want {
+		t.Fatalf("Figure 5(a) P1:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestFigure5LoadingR3 reproduces Figure 5(b): P1 postoptimized by loading
+// R3 entirely and evaluating both of its conditions locally.
+func TestFigure5LoadingR3(t *testing.T) {
+	sk := figure5Sketch()
+	sk.Loaded = []bool{false, false, true}
+	sk.Class = "sja+"
+	got := mustBuild(t, figure5Problem(t), sk)
+	want := strings.Join([]string{
+		" 1) F3 := lq(R3)",
+		" 2) X11 := sq(c1, R1)",
+		" 3) X12 := sq(c1, R2)",
+		" 4) X13 := sq(c1, F3)",
+		" 5) X1 := X11 ∪ X12 ∪ X13",
+		" 6) X21 := sq(c2, R1)",
+		" 7) X23 := sq(c2, F3)",
+		" 8) X22 := sjq(c2, R2, X1)",
+		" 9) X2 := X21 ∪ X23 ∪ X22",
+		"10) X2 := X2 ∩ X1",
+	}, "\n") + "\n"
+	if got != want {
+		t.Fatalf("Figure 5(b):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestFigure5DifferencePruning reproduces Figure 5(c): the semijoin at R2
+// no longer ships all of X1 but X1 minus the items already confirmed by the
+// round's selection answers (the Section 4 walkthrough sends X1 − X21).
+func TestFigure5DifferencePruning(t *testing.T) {
+	sk := figure5Sketch()
+	sk.DiffPrune = true
+	sk.Class = "sja+"
+	got := mustBuild(t, figure5Problem(t), sk)
+	want := strings.Join([]string{
+		" 1) X11 := sq(c1, R1)",
+		" 2) X12 := sq(c1, R2)",
+		" 3) X13 := sq(c1, R3)",
+		" 4) X1 := X11 ∪ X12 ∪ X13",
+		" 5) X21 := sq(c2, R1)",
+		" 6) X23 := sq(c2, R3)",
+		" 7) S2 := X21 ∪ X23",
+		" 8) D2 := X1 − S2",
+		" 9) X22 := sjq(c2, R2, D2)",
+		"10) X2 := X21 ∪ X23 ∪ X22",
+		"11) X2 := X2 ∩ X1",
+	}, "\n") + "\n"
+	if got != want {
+		t.Fatalf("Figure 5(c):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestFigure5dCombined reproduces the SJA+ combination of Figure 5(d): both
+// loading R3 and difference-pruning the remaining semijoin set.
+func TestFigure5dCombined(t *testing.T) {
+	sk := figure5Sketch()
+	sk.DiffPrune = true
+	sk.Loaded = []bool{false, false, true}
+	sk.Class = "sja+"
+	got := mustBuild(t, figure5Problem(t), sk)
+	want := strings.Join([]string{
+		" 1) F3 := lq(R3)",
+		" 2) X11 := sq(c1, R1)",
+		" 3) X12 := sq(c1, R2)",
+		" 4) X13 := sq(c1, F3)",
+		" 5) X1 := X11 ∪ X12 ∪ X13",
+		" 6) X21 := sq(c2, R1)",
+		" 7) X23 := sq(c2, F3)",
+		" 8) S2 := X21 ∪ X23",
+		" 9) D2 := X1 − S2",
+		"10) X22 := sjq(c2, R2, D2)",
+		"11) X2 := X21 ∪ X23 ∪ X22",
+		"12) X2 := X2 ∩ X1",
+	}, "\n") + "\n"
+	if got != want {
+		t.Fatalf("Figure 5(d):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestFigureCostsOrdered sanity-checks the figures' economics: with the
+// shared cost table the semijoin plan beats the filter plan, and the
+// semijoin-adaptive plan is at least as good as both.
+func TestFigureCostsOrdered(t *testing.T) {
+	pr := figureProblem(t)
+	f, err := Filter(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, err := SJ(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sja, err := SJA(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-9
+	if !(sja.Cost <= sj.Cost+eps && sj.Cost <= f.Cost+eps) {
+		t.Fatalf("cost order violated: sja=%v sj=%v filter=%v", sja.Cost, sj.Cost, f.Cost)
+	}
+}

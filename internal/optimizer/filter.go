@@ -1,0 +1,28 @@
+package optimizer
+
+// Filter implements the FILTER algorithm (Section 3): the best filter plan
+// pushes each condition to each source with mn selection queries and
+// combines the results at the mediator. No plan-space search is needed; the
+// running time is proportional to the size of the emitted plan, O(mn).
+func Filter(pr *Problem) (Result, error) {
+	if err := pr.Validate(); err != nil {
+		return Result{}, err
+	}
+	m, n := len(pr.Conds), len(pr.Sources)
+	sk := Sketch{
+		Ordering: identityOrder(m),
+		Choices:  allSelectChoices(m, n),
+		Class:    "filter",
+	}
+	p, err := BuildPlan(pr, sk)
+	if err != nil {
+		return Result{}, err
+	}
+	cost := 0.0
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			cost += pr.Table.SelectCost(i, j)
+		}
+	}
+	return Result{Plan: p, Cost: cost, Sketch: sk}, nil
+}

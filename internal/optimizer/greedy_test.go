@@ -1,0 +1,79 @@
+package optimizer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fusionq/internal/plan"
+	"fusionq/internal/stats"
+)
+
+func TestGreedyAdaptiveValidAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	betterThanSort := 0
+	for trial := 0; trial < 60; trial++ {
+		m := 2 + rng.Intn(3)
+		n := 2 + rng.Intn(5)
+		cards := make([][]float64, m)
+		for i := range cards {
+			cards[i] = make([]float64, n)
+			for j := range cards[i] {
+				cards[i][j] = float64(rng.Intn(400))
+			}
+		}
+		profiles := make([]stats.SourceProfile, n)
+		for j := range profiles {
+			profiles[j] = stats.SourceProfile{
+				Name:        plan.SourceName(j),
+				PerQuery:    0.5 + rng.Float64()*10,
+				PerItemSent: rng.Float64() * 0.01,
+				PerItemRecv: rng.Float64() * 0.01,
+				PerByteLoad: 0.0001,
+				Support:     stats.SemijoinSupport(rng.Intn(3)),
+			}
+		}
+		pr := mkProblem(t, m, n, cards, profiles)
+		exact, err := SJA(pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adaptive, err := GreedyAdaptiveSJA(pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := adaptive.Plan.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if adaptive.Cost < exact.Cost-1e-9 {
+			t.Fatalf("trial %d: adaptive greedy %v beat exact SJA %v: bookkeeping bug", trial, adaptive.Cost, exact.Cost)
+		}
+		sorted, err := GreedySJA(pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if adaptive.Cost < sorted.Cost-1e-9 {
+			betterThanSort++
+		}
+		// Its bookkeeping must match the estimator.
+		est, err := plan.EstimateCost(adaptive.Plan, pr.Table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(est.Cost-adaptive.Cost) > 1e-6 {
+			t.Fatalf("trial %d: bookkeeping %v != estimator %v", trial, adaptive.Cost, est.Cost)
+		}
+	}
+	t.Logf("adaptive greedy strictly beat sort-based greedy on %d/60 trials", betterThanSort)
+}
+
+func TestGreedyAdaptiveSingleCondition(t *testing.T) {
+	pr := mkProblem(t, 1, 3, selectiveFirstCards(1, 3), uniformProfiles(3, defaultProfile()))
+	res, err := GreedyAdaptiveSJA(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Result != "X1" {
+		t.Fatalf("result = %q", res.Plan.Result)
+	}
+}

@@ -1,0 +1,175 @@
+// Package optimizer implements the fusion-query optimization algorithms of
+// the paper: FILTER, SJ and SJA (Section 3), their greedy O(mn) variants
+// (referenced from the extended version [24]), the SJA+ postoptimizer
+// (Section 4: semijoin-set pruning with set difference, and loading entire
+// sources), an exhaustive oracle for small instances, and the Section 5
+// baselines (join-over-union distribution and uniform union handling).
+//
+// All algorithms consume a stats.CostTable, which provides the cost
+// functions sq_cost and sjq_cost in O(1) per invocation, and produce
+// plan.Plan values in the canonical round structure of Figure 2.
+package optimizer
+
+import (
+	"fmt"
+
+	"fusionq/internal/cond"
+	"fusionq/internal/plan"
+	"fusionq/internal/stats"
+)
+
+// Problem is one fusion-query optimization instance: the conditions
+// c_1..c_m, the sources R_1..R_n, and the cost table estimating every
+// source-query cost.
+type Problem struct {
+	Conds   []cond.Cond
+	Sources []string
+	Table   *stats.CostTable
+}
+
+// Validate checks the problem is well formed and consistent with its table.
+func (p *Problem) Validate() error {
+	if len(p.Conds) == 0 {
+		return fmt.Errorf("optimizer: no conditions")
+	}
+	if len(p.Sources) == 0 {
+		return fmt.Errorf("optimizer: no sources")
+	}
+	if p.Table == nil {
+		return fmt.Errorf("optimizer: no cost table")
+	}
+	if p.Table.M() != len(p.Conds) || p.Table.N() != len(p.Sources) {
+		return fmt.Errorf("optimizer: table is %dx%d but problem is %dx%d",
+			p.Table.M(), p.Table.N(), len(p.Conds), len(p.Sources))
+	}
+	return nil
+}
+
+// Method is the per-(condition, source) evaluation choice of a
+// semijoin-adaptive plan.
+type Method int
+
+const (
+	// MethodSelect evaluates the condition at the source with sq.
+	MethodSelect Method = iota
+	// MethodSemijoin evaluates it with sjq using the running set.
+	MethodSemijoin
+	// MethodBloom evaluates it with a Bloom-filter semijoin (the Bloomjoin
+	// extension): the source receives a filter of the running set instead
+	// of the set itself.
+	MethodBloom
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case MethodSemijoin:
+		return "sjq"
+	case MethodBloom:
+		return "sjq-bloom"
+	default:
+		return "sq"
+	}
+}
+
+// Sketch is the structured description of a round-shaped plan: a condition
+// ordering plus, for each round after the first, a per-source method choice.
+// All plan classes of the paper are sketches:
+//
+//	filter plans:            every choice is MethodSelect
+//	semijoin plans:          each round is all-select or all-semijoin
+//	semijoin-adaptive plans: choices vary freely per source
+//
+// SJA+ additionally marks sources to be loaded in full and enables
+// difference pruning of semijoin sets.
+type Sketch struct {
+	// Ordering lists condition indices in processing order (o_1..o_m).
+	Ordering []int
+	// Choices[r][j] is the method for round r (0-based over Ordering) at
+	// source j. Choices[0] is ignored: the first round is always evaluated
+	// with selection queries (Section 2.5).
+	Choices [][]Method
+	// Loaded[j] marks sources whose entire contents the plan loads with lq,
+	// evaluating their conditions locally (Section 4).
+	Loaded []bool
+	// DiffPrune enables pruning of semijoin sets with set difference
+	// (Section 4).
+	DiffPrune bool
+	// ChainOrder, when non-nil, gives for each round the preferred order
+	// of the remote semijoin sources in the difference-pruning chain
+	// (sources expected to confirm more items go first, so later sources
+	// receive smaller sets). Entries are source indices; sources missing
+	// from a round's list follow in index order. Ignored without
+	// DiffPrune.
+	ChainOrder [][]int
+	// Class labels the plan class for display.
+	Class string
+}
+
+// Result is an optimizer's output: the plan, the algorithm's own cost
+// bookkeeping (which matches plan.EstimateCost on the emitted plan), and
+// the winning sketch.
+type Result struct {
+	Plan   *plan.Plan
+	Cost   float64
+	Sketch Sketch
+}
+
+// permutations calls fn with every permutation of 0..m-1, reusing one
+// backing slice. fn must not retain the slice. It returns the number of
+// permutations visited.
+func permutations(m int, fn func([]int)) int {
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	count := 0
+	var rec func(k int)
+	rec = func(k int) {
+		if k == m {
+			count++
+			fn(idx)
+			return
+		}
+		for i := k; i < m; i++ {
+			idx[k], idx[i] = idx[i], idx[k]
+			rec(k + 1)
+			idx[k], idx[i] = idx[i], idx[k]
+		}
+	}
+	rec(0)
+	return count
+}
+
+// varName renders the X_{ij} round variables, matching the paper's figures
+// for single-digit indices and remaining unambiguous beyond.
+func varName(round, src int) string {
+	if round <= 9 && src < 9 {
+		return fmt.Sprintf("X%d%d", round, src+1)
+	}
+	return fmt.Sprintf("X%d_%d", round, src+1)
+}
+
+// roundName renders the running-set variables X_1..X_m.
+func roundName(round int) string { return fmt.Sprintf("X%d", round) }
+
+// loadName renders the loaded-contents variables F_1..F_n.
+func loadName(src int) string { return fmt.Sprintf("F%d", src+1) }
+
+// allSelectChoices builds an m×n all-MethodSelect matrix.
+func allSelectChoices(m, n int) [][]Method {
+	out := make([][]Method, m)
+	for i := range out {
+		out[i] = make([]Method, n)
+	}
+	return out
+}
+
+// identityOrder returns [0, 1, ..., m-1].
+func identityOrder(m int) []int {
+	out := make([]int, m)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

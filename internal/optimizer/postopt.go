@@ -1,0 +1,143 @@
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+
+	"fusionq/internal/plan"
+)
+
+// SJAPlus implements the SJA+ algorithm (Section 4.1). It first mimics SJA
+// to obtain the best semijoin-adaptive plan, then postoptimizes it:
+//
+//  1. it prunes the semijoin sets of all semijoin queries with the set
+//     difference operation, so a source only receives the items not already
+//     confirmed by the round's earlier answers;
+//  2. it considers, for each source, replacing all of that source's queries
+//     with a single lq (load the entire source) plus free local computation
+//     at the mediator, committing the replacement when it is cheaper.
+//
+// The postoptimization phase costs O(mn) on top of SJA, preserving SJA's
+// overall O((m!)·m·n). The resulting plans use operations outside the
+// simple-plan space (difference, lq, local selection), which is exactly the
+// paper's point: SJA+ is a cheap local search in a larger space.
+func SJAPlus(pr *Problem) (Result, error) {
+	base, err := SJA(pr)
+	if err != nil {
+		return Result{}, err
+	}
+	return postoptimize(pr, base)
+}
+
+// GreedySJAPlus applies the same postoptimization to the greedy SJA
+// variant, keeping the whole pipeline at O(mn).
+func GreedySJAPlus(pr *Problem) (Result, error) {
+	base, err := GreedySJA(pr)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := postoptimize(pr, base)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Sketch.Class = "greedy-sja+"
+	res.Plan.Class = "greedy-sja+"
+	return res, nil
+}
+
+// postoptimize applies difference pruning and source loading to a
+// round-structured result and returns the improved plan. Plan costs here
+// come from the static estimator, the shared arbiter for plans that leave
+// the simple-plan space.
+func postoptimize(pr *Problem, base Result) (Result, error) {
+	sk := base.Sketch
+	sk.Class = "sja+"
+	sk.DiffPrune = true
+	sk.Loaded = make([]bool, len(pr.Sources))
+	sk.ChainOrder = chainOrderByFrac(pr, sk)
+
+	current, cost, err := buildAndEstimate(pr, sk)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Loading pass: for each source, compare the total charged cost of its
+	// queries in the current plan against lq(R_j); commit loads greedily.
+	// One pass over sources, O(m) per source, matching the paper's O(mn)
+	// postoptimization bound.
+	for j := range pr.Sources {
+		spent := sourceSpend(current.p, current.stepCosts, j)
+		if spent > pr.Table.LoadCost(j) {
+			sk.Loaded[j] = true
+			current, cost, err = buildAndEstimate(pr, sk)
+			if err != nil {
+				return Result{}, err
+			}
+		}
+	}
+
+	// Postoptimization must never hurt: fall back to the SJA plan if the
+	// rewritten plan is not cheaper (possible when pruning gains are zero
+	// and the estimator's diff bookkeeping is conservative).
+	if cost > base.Cost {
+		sk = base.Sketch
+		sk.Class = "sja+"
+		current, cost, err = buildAndEstimate(pr, sk)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Plan: current.p, Cost: cost, Sketch: sk}, nil
+}
+
+type builtPlan struct {
+	p         *plan.Plan
+	stepCosts []float64
+}
+
+func buildAndEstimate(pr *Problem, sk Sketch) (builtPlan, float64, error) {
+	p, err := BuildPlan(pr, sk)
+	if err != nil {
+		return builtPlan{}, 0, err
+	}
+	est, err := plan.EstimateCost(p, pr.Table)
+	if err != nil {
+		return builtPlan{}, 0, fmt.Errorf("optimizer: estimating postoptimized plan: %w", err)
+	}
+	return builtPlan{p: p, stepCosts: est.StepCosts}, est.Cost, nil
+}
+
+// chainOrderByFrac sequences each round's difference-pruning chain so the
+// sources expected to confirm the largest fraction of the running set come
+// first — they shrink the set the most for everyone after them. Ordering
+// the chain is free at optimization time (O(mn log n)) and never increases
+// the estimated cost.
+func chainOrderByFrac(pr *Problem, sk Sketch) [][]int {
+	m, n := len(pr.Conds), len(pr.Sources)
+	out := make([][]int, m)
+	for r := 1; r < m; r++ {
+		ci := sk.Ordering[r]
+		ord := make([]int, 0, n)
+		for j := 0; j < n; j++ {
+			if sk.Choices[r][j] == MethodSemijoin || sk.Choices[r][j] == MethodBloom {
+				ord = append(ord, j)
+			}
+		}
+		frac := pr.Table.Frac[ci]
+		sort.SliceStable(ord, func(a, b int) bool { return frac[ord[a]] > frac[ord[b]] })
+		out[r] = ord
+	}
+	return out
+}
+
+// sourceSpend sums the charged costs of the remote queries the plan issues
+// to source j.
+func sourceSpend(p *plan.Plan, stepCosts []float64, j int) float64 {
+	total := 0.0
+	for k, s := range p.Steps {
+		if s.IsSourceQuery() && s.Source == j && s.Kind != plan.KindLoad {
+			total += stepCosts[k]
+		}
+	}
+	return total
+}

@@ -1,0 +1,135 @@
+package optimizer
+
+import (
+	"math/rand"
+	"testing"
+
+	"fusionq/internal/plan"
+	"fusionq/internal/stats"
+)
+
+func TestResponseTimeSJAValidAndCorrectObjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		m := 1 + rng.Intn(3)
+		n := 1 + rng.Intn(5)
+		cards := make([][]float64, m)
+		for i := range cards {
+			cards[i] = make([]float64, n)
+			for j := range cards[i] {
+				cards[i][j] = float64(rng.Intn(400))
+			}
+		}
+		profiles := make([]stats.SourceProfile, n)
+		for j := range profiles {
+			profiles[j] = stats.SourceProfile{
+				Name:        plan.SourceName(j),
+				PerQuery:    0.5 + rng.Float64()*20,
+				PerItemSent: rng.Float64(),
+				PerItemRecv: rng.Float64(),
+				PerByteLoad: 0.001,
+				Support:     stats.SemijoinSupport(rng.Intn(3)),
+			}
+		}
+		pr := mkProblem(t, m, n, cards, profiles)
+		rt, err := ResponseTimeSJA(pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Plan.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// The reported cost is the estimator's response time for the plan.
+		est, err := plan.EstimateResponseTime(rt.Plan, pr.Table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est != rt.Cost {
+			t.Fatalf("trial %d: reported %v != estimator %v", trial, rt.Cost, est)
+		}
+		// It must be at least as good on response time as the total-work
+		// optimizer's plan.
+		sja, err := SJA(pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sjaRT, err := plan.EstimateResponseTime(sja.Plan, pr.Table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.Cost > sjaRT+1e-9 {
+			t.Fatalf("trial %d: RT-SJA response %v worse than SJA plan's %v", trial, rt.Cost, sjaRT)
+		}
+		// And response time never exceeds total work.
+		work, err := plan.EstimateCost(rt.Plan, pr.Table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.Cost > work.Cost+1e-9 {
+			t.Fatalf("trial %d: response time %v exceeds total work %v", trial, rt.Cost, work.Cost)
+		}
+	}
+}
+
+func TestResponseTimeSJACanDivergeFromSJA(t *testing.T) {
+	// The hardcoded E10 instance: heterogeneous profiles and per-source
+	// cardinalities make the two objectives pick different orderings.
+	profiles := []stats.SourceProfile{
+		{Name: "R1", PerQuery: 0.439057, PerItemSent: 0.003097, PerItemRecv: 0.002256, PerByteLoad: 0.00001, Support: stats.SemijoinNative},
+		{Name: "R2", PerQuery: 0.488180, PerItemSent: 0.000241, PerItemRecv: 0.000653, PerByteLoad: 0.00001, Support: stats.SemijoinNative},
+		{Name: "R3", PerQuery: 0.124827, PerItemSent: 0.001048, PerItemRecv: 0.002806, PerByteLoad: 0.00001, Support: stats.SemijoinNative},
+		{Name: "R4", PerQuery: 0.465279, PerItemSent: 0.002246, PerItemRecv: 0.003870, PerByteLoad: 0.00001, Support: stats.SemijoinNative},
+		{Name: "R5", PerQuery: 0.297606, PerItemSent: 0.001699, PerItemRecv: 0.001538, PerByteLoad: 0.00001, Support: stats.SemijoinNative},
+		{Name: "R6", PerQuery: 0.474606, PerItemSent: 0.002162, PerItemRecv: 0.003392, PerByteLoad: 0.00001, Support: stats.SemijoinNative},
+	}
+	cards := [][]float64{
+		{663.3, 796.9, 624.0, 444.6, 731.4, 395.2},
+		{103.3, 93.9, 268.9, 79.4, 166.6, 123.6},
+		{230.6, 737.5, 892.7, 91.4, 208.6, 995.5},
+	}
+	// 1000 distinct items per source, matching the E10 instance exactly.
+	sts := make([]stats.SourceStats, 6)
+	for j := range sts {
+		cc := make([]float64, 3)
+		for i := range cc {
+			cc[i] = cards[i][j]
+		}
+		sts[j] = stats.SourceStats{Name: plan.SourceName(j), Tuples: 1000, DistinctItems: 1000, Bytes: 40000, CondCard: cc}
+	}
+	table, err := stats.Build(mkConds(3), sts, profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := &Problem{Conds: mkConds(3), Sources: mkNames("R", 6), Table: table}
+	sja, err := SJA(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ResponseTimeSJA(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range sja.Sketch.Ordering {
+		if sja.Sketch.Ordering[i] != rt.Sketch.Ordering[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("objectives chose the same ordering %v; expected divergence", sja.Sketch.Ordering)
+	}
+	sjaRT, err := plan.EstimateResponseTime(sja.Plan, pr.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rt.Cost < sjaRT) {
+		t.Fatalf("RT-SJA response %v should beat SJA plan's response %v", rt.Cost, sjaRT)
+	}
+	rtWork, err := plan.EstimateCost(rt.Plan, pr.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(sja.Cost < rtWork.Cost) {
+		t.Fatalf("SJA total work %v should beat RT plan's work %v", sja.Cost, rtWork.Cost)
+	}
+}

@@ -1,0 +1,45 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the plan's dataflow as a Graphviz digraph: one node per step
+// (source queries boxed and grouped per source, local set operations as
+// ellipses), with edges following variable definitions to their uses.
+// Variables may be reassigned (the paper reuses names like X2), so edges
+// connect to the latest assignment before each use.
+func (p *Plan) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph plan {\n")
+	b.WriteString("  rankdir=TB;\n")
+	fmt.Fprintf(&b, "  label=%q;\n", "fusion query plan ("+p.Class+")")
+	b.WriteString("  node [fontname=\"monospace\", fontsize=10];\n")
+
+	// lastDef maps a variable to the step index of its latest assignment.
+	lastDef := map[string]int{}
+	for k, s := range p.Steps {
+		shape, fill := "ellipse", "white"
+		if s.IsSourceQuery() {
+			shape, fill = "box", "lightblue"
+		}
+		if s.Kind == KindLocalSelect {
+			fill = "lightyellow"
+		}
+		fmt.Fprintf(&b, "  s%d [label=%q, shape=%s, style=filled, fillcolor=%s];\n",
+			k, p.StepString(s), shape, fill)
+		for _, in := range s.In {
+			if def, ok := lastDef[in]; ok {
+				fmt.Fprintf(&b, "  s%d -> s%d [label=%q];\n", def, k, in)
+			}
+		}
+		lastDef[s.Out] = k
+	}
+	if def, ok := lastDef[p.Result]; ok {
+		fmt.Fprintf(&b, "  result [label=%q, shape=doubleoctagon];\n", p.Result)
+		fmt.Fprintf(&b, "  s%d -> result;\n", def)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

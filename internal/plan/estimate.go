@@ -1,0 +1,171 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"fusionq/internal/stats"
+)
+
+// Estimate is the static cost estimate of a plan together with the
+// cardinality bookkeeping that produced it. It is the single source of
+// truth for comparing candidate plans: the optimization algorithms follow
+// the bookkeeping of Figures 3 and 4 internally and their reported costs
+// agree with this estimator on the plans they emit (enforced by tests).
+type Estimate struct {
+	// Cost is the estimated total work: the sum of the costs of the
+	// constituent source queries (Section 2.4). +Inf marks plans using
+	// unsupported operations.
+	Cost float64
+	// Cards maps each variable to its estimated item cardinality after its
+	// final assignment.
+	Cards map[string]float64
+	// StepCosts holds the charged cost of each step (zero for local ops).
+	StepCosts []float64
+}
+
+// varInfo tracks what the estimator knows about one plan variable.
+type varInfo struct {
+	card float64
+	// condIdx is the condition whose satisfied-item set this variable
+	// under-approximates, or -1.
+	condIdx int
+	// loadedSource is the source index for lq outputs, else -1.
+	loadedSource int
+	// subsetOf names a variable this one is provably a subset of (semijoin
+	// and difference outputs), or "". It picks between exact and
+	// independence-based difference estimates.
+	subsetOf string
+}
+
+// EstimateCost walks the plan, charging each source query via the cost
+// table and propagating cardinality estimates:
+//
+//   - sq(c_i, R_j) yields Card[i][j] items;
+//   - sjq(c_i, R_j, Y) yields |Y|·Frac[i][j] items;
+//   - a union of same-condition results keeps the condition tag, so the
+//     canonical round step X_i := X_{i-1} ∩ (∪_j X_ij) is estimated as
+//     RoundCard(i, |X_{i-1}|), matching the optimizers' bookkeeping;
+//   - differences assume the subtrahend is a subset (how plans use them);
+//   - local operations are free.
+func EstimateCost(p *Plan, table *stats.CostTable) (Estimate, error) {
+	if err := p.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	if len(p.Conds) != table.M() {
+		return Estimate{}, fmt.Errorf("plan: %d conditions but table has %d", len(p.Conds), table.M())
+	}
+	if len(p.Sources) != table.N() {
+		return Estimate{}, fmt.Errorf("plan: %d sources but table has %d", len(p.Sources), table.N())
+	}
+	vars := map[string]varInfo{}
+	est := Estimate{Cards: map[string]float64{}, StepCosts: make([]float64, len(p.Steps))}
+	for k, s := range p.Steps {
+		var out varInfo
+		out.condIdx = -1
+		out.loadedSource = -1
+		switch s.Kind {
+		case KindSelect:
+			est.StepCosts[k] = table.SelectCost(s.Cond, s.Source)
+			out.card = table.SelectCard(s.Cond, s.Source)
+			out.condIdx = s.Cond
+		case KindSemijoin:
+			in := vars[s.In[0]]
+			est.StepCosts[k] = table.SemijoinCost(s.Cond, s.Source, in.card)
+			out.card = in.card * table.Frac[s.Cond][s.Source]
+			out.condIdx = s.Cond
+			out.subsetOf = s.In[0]
+		case KindBloomSemijoin:
+			// After the mediator filters false positives, the result is
+			// exactly the semijoin result.
+			in := vars[s.In[0]]
+			est.StepCosts[k] = table.BloomSemijoinCost(s.Cond, s.Source, in.card)
+			out.card = in.card * table.Frac[s.Cond][s.Source]
+			out.condIdx = s.Cond
+			out.subsetOf = s.In[0]
+		case KindLoad:
+			est.StepCosts[k] = table.LoadCost(s.Source)
+			out.card = table.SourceItems[s.Source]
+			out.loadedSource = s.Source
+		case KindLocalSelect:
+			in := vars[s.In[0]]
+			if in.loadedSource >= 0 {
+				out.card = table.SelectCard(s.Cond, in.loadedSource)
+			} else {
+				out.card = in.card * fracAcrossSources(table, s.Cond)
+			}
+			out.condIdx = s.Cond
+		case KindUnion:
+			sum := 0.0
+			sharedCond := vars[s.In[0]].condIdx
+			for _, in := range s.In {
+				v := vars[in]
+				sum += v.card
+				if v.condIdx != sharedCond {
+					sharedCond = -1
+				}
+			}
+			out.card = math.Min(sum, table.Domain)
+			out.condIdx = sharedCond
+		case KindIntersect:
+			out.card = intersectCard(table, s.In, vars)
+		case KindDiff:
+			a, b := vars[s.In[0]], vars[s.In[1]]
+			if b.subsetOf == s.In[0] {
+				// b ⊆ a: the subtraction is exact.
+				out.card = math.Max(0, a.card-b.card)
+			} else {
+				// Independent sets: an item of a is in b with probability
+				// |b| / domain.
+				p := b.card / table.Domain
+				if p > 1 {
+					p = 1
+				}
+				out.card = a.card * (1 - p)
+			}
+			out.condIdx = a.condIdx
+			out.subsetOf = s.In[0]
+		}
+		est.Cost += est.StepCosts[k]
+		vars[s.Out] = out
+		est.Cards[s.Out] = out.card
+	}
+	return est, nil
+}
+
+// intersectCard estimates |∩ inputs|. The canonical round pattern — a
+// running set intersected with a same-condition union — uses the table's
+// RoundCard; anything else falls back to an independence estimate.
+func intersectCard(table *stats.CostTable, in []string, vars map[string]varInfo) float64 {
+	if len(in) == 2 {
+		a, b := vars[in[0]], vars[in[1]]
+		// The canonical round step X_i := X_i ∩ X_{i-1}: the first operand
+		// is the round's same-condition union, the second the running set
+		// (which itself carries a condition tag after round one). Either
+		// operand order is recognized when only one side is tagged.
+		switch {
+		case a.condIdx >= 0 && b.condIdx >= 0:
+			return table.RoundCard(a.condIdx, b.card)
+		case a.condIdx < 0 && b.condIdx >= 0:
+			return table.RoundCard(b.condIdx, a.card)
+		case b.condIdx < 0 && a.condIdx >= 0:
+			return table.RoundCard(a.condIdx, b.card)
+		}
+	}
+	// Independence: domain · Π (card_k / domain).
+	card := table.Domain
+	for _, name := range in {
+		card *= vars[name].card / table.Domain
+	}
+	return card
+}
+
+// fracAcrossSources is the union-bound fraction of items satisfying
+// condition i at any source.
+func fracAcrossSources(table *stats.CostTable, i int) float64 {
+	f := 0.0
+	for j := 0; j < table.N(); j++ {
+		f += table.Frac[i][j]
+	}
+	return math.Min(f, 1)
+}

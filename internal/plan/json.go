@@ -1,0 +1,113 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"fusionq/internal/cond"
+)
+
+// jsonPlan is the wire form of a Plan: conditions travel as their textual
+// syntax and step kinds as their String names, so serialized plans are
+// readable and stable across versions.
+type jsonPlan struct {
+	Conds   []string   `json:"conds"`
+	Sources []string   `json:"sources"`
+	Steps   []jsonStep `json:"steps"`
+	Result  string     `json:"result"`
+	Class   string     `json:"class,omitempty"`
+}
+
+type jsonStep struct {
+	Kind   string   `json:"kind"`
+	Out    string   `json:"out"`
+	Cond   int      `json:"cond,omitempty"`
+	Source int      `json:"source,omitempty"`
+	In     []string `json:"in,omitempty"`
+}
+
+var kindNames = map[Kind]string{
+	KindSelect:        "sq",
+	KindSemijoin:      "sjq",
+	KindBloomSemijoin: "sjq-bloom",
+	KindLoad:          "lq",
+	KindLocalSelect:   "local-sq",
+	KindUnion:         "union",
+	KindIntersect:     "intersect",
+	KindDiff:          "diff",
+}
+
+var kindByName = func() map[string]Kind {
+	out := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		out[n] = k
+	}
+	return out
+}()
+
+// MarshalJSON implements json.Marshaler.
+func (p *Plan) MarshalJSON() ([]byte, error) {
+	jp := jsonPlan{
+		Conds:   make([]string, len(p.Conds)),
+		Sources: p.Sources,
+		Steps:   make([]jsonStep, len(p.Steps)),
+		Result:  p.Result,
+		Class:   p.Class,
+	}
+	for i, c := range p.Conds {
+		jp.Conds[i] = c.String()
+	}
+	for i, s := range p.Steps {
+		name, ok := kindNames[s.Kind]
+		if !ok {
+			return nil, fmt.Errorf("plan: cannot marshal step kind %d", int(s.Kind))
+		}
+		jp.Steps[i] = jsonStep{Kind: name, Out: s.Out, Cond: s.Cond, Source: s.Source, In: s.In}
+	}
+	return json.Marshal(jp)
+}
+
+// UnmarshalJSON implements json.Unmarshaler. The decoded plan is validated.
+func (p *Plan) UnmarshalJSON(data []byte) error {
+	var jp jsonPlan
+	if err := json.Unmarshal(data, &jp); err != nil {
+		return err
+	}
+	out := Plan{
+		Conds:   make([]cond.Cond, len(jp.Conds)),
+		Sources: jp.Sources,
+		Steps:   make([]Step, len(jp.Steps)),
+		Result:  jp.Result,
+		Class:   jp.Class,
+	}
+	for i, text := range jp.Conds {
+		c, err := cond.Parse(text)
+		if err != nil {
+			return fmt.Errorf("plan: condition %d: %w", i+1, err)
+		}
+		out.Conds[i] = c
+	}
+	for i, js := range jp.Steps {
+		kind, ok := kindByName[js.Kind]
+		if !ok {
+			return fmt.Errorf("plan: step %d: unknown kind %q", i+1, js.Kind)
+		}
+		out.Steps[i] = Step{Kind: kind, Out: js.Out, Cond: js.Cond, Source: js.Source, In: js.In}
+		// Normalize the omitted-zero encoding of unused indices: local
+		// operations carry -1 in memory.
+		switch kind {
+		case KindUnion, KindIntersect, KindDiff:
+			out.Steps[i].Cond = -1
+			out.Steps[i].Source = -1
+		case KindLoad:
+			out.Steps[i].Cond = -1
+		case KindLocalSelect:
+			out.Steps[i].Source = -1
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return fmt.Errorf("plan: decoded plan invalid: %w", err)
+	}
+	*p = out
+	return nil
+}

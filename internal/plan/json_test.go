@@ -1,0 +1,101 @@
+package plan
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	p := filterPlan32()
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var back Plan
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if back.String() != p.String() {
+		t.Fatalf("round trip changed the plan:\n%s\nvs\n%s", back.String(), p.String())
+	}
+	if back.Result != p.Result || back.Class != p.Class {
+		t.Fatalf("metadata lost: %q/%q", back.Result, back.Class)
+	}
+	if len(back.Conds) != len(p.Conds) {
+		t.Fatalf("conditions lost: %d", len(back.Conds))
+	}
+	// Estimation on the decoded plan must agree with the original.
+	tab := table32()
+	e1, err := EstimateCost(p, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := EstimateCost(&back, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Cost != e2.Cost {
+		t.Fatalf("decoded plan cost %v != original %v", e2.Cost, e1.Cost)
+	}
+}
+
+func TestPlanJSONAllKinds(t *testing.T) {
+	p := &Plan{
+		Conds:   testConds(2),
+		Sources: []string{"R1", "R2"},
+		Class:   "mixed",
+		Steps: []Step{
+			{Kind: KindLoad, Out: "F1", Cond: -1, Source: 0},
+			{Kind: KindSelect, Out: "A", Cond: 0, Source: 1},
+			{Kind: KindLocalSelect, Out: "B", Cond: 0, Source: -1, In: []string{"F1"}},
+			{Kind: KindUnion, Out: "U", Cond: -1, Source: -1, In: []string{"A", "B"}},
+			{Kind: KindSemijoin, Out: "S", Cond: 1, Source: 1, In: []string{"U"}},
+			{Kind: KindBloomSemijoin, Out: "SB", Cond: 1, Source: 0, In: []string{"U"}},
+			{Kind: KindDiff, Out: "D", Cond: -1, Source: -1, In: []string{"U", "S"}},
+			{Kind: KindIntersect, Out: "X", Cond: -1, Source: -1, In: []string{"D", "SB"}},
+		},
+		Result: "X",
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Plan
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if back.String() != p.String() {
+		t.Fatalf("round trip changed the plan:\n%s\nvs\n%s", back.String(), p.String())
+	}
+}
+
+func TestPlanJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"not json":     `nope`,
+		"bad cond":     `{"conds": ["V = "], "sources": ["R1"], "steps": [{"kind": "sq", "out": "A"}], "result": "A"}`,
+		"bad kind":     `{"conds": ["V = 'x'"], "sources": ["R1"], "steps": [{"kind": "wat", "out": "A"}], "result": "A"}`,
+		"invalid plan": `{"conds": ["V = 'x'"], "sources": ["R1"], "steps": [{"kind": "sq", "out": "A", "source": 5}], "result": "A"}`,
+	}
+	for name, data := range cases {
+		var p Plan
+		if err := json.Unmarshal([]byte(data), &p); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestPlanJSONReadable(t *testing.T) {
+	p := filterPlan32()
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conditions are carried in their textual syntax.
+	if !strings.Contains(string(data), "V = 'c1'") {
+		t.Fatalf("serialized plan not readable: %s", data)
+	}
+}

@@ -1,0 +1,71 @@
+package plan
+
+import (
+	"fusionq/internal/stats"
+)
+
+// EstimateResponseTime estimates the simulated wall-clock of executing the
+// plan with the parallel (response-time) executor of Section 6: runs of
+// consecutive source queries with no data dependencies execute
+// concurrently, contributing their slowest member ("critical path") rather
+// than their sum; everything else is sequential. Total work is unchanged —
+// this is the second objective the paper names as future work.
+//
+// The step costs reuse the EstimateCost bookkeeping, so total-work and
+// response-time estimates for the same plan are consistent.
+func EstimateResponseTime(p *Plan, table *stats.CostTable) (float64, error) {
+	est, err := EstimateCost(p, table)
+	if err != nil {
+		return 0, err
+	}
+	rt := 0.0
+	for k := 0; k < len(p.Steps); {
+		end := batchEnd(p.Steps, k)
+		if end > k+1 {
+			// Concurrent batch: critical path is the per-source maximum
+			// (a source processes its own queries serially).
+			perSource := map[int]float64{}
+			for i := k; i < end; i++ {
+				perSource[p.Steps[i].Source] += est.StepCosts[i]
+			}
+			max := 0.0
+			for _, c := range perSource {
+				if c > max {
+					max = c
+				}
+			}
+			rt += max
+			k = end
+			continue
+		}
+		rt += est.StepCosts[k]
+		k++
+	}
+	return rt, nil
+}
+
+// batchEnd mirrors the parallel executor's batching rule: the longest run
+// of source-query steps starting at k whose inputs do not depend on the
+// batch's own outputs.
+func batchEnd(steps []Step, k int) int {
+	outs := map[string]bool{}
+	end := k
+	for end < len(steps) {
+		s := steps[end]
+		if !s.IsSourceQuery() {
+			break
+		}
+		dep := false
+		for _, in := range s.In {
+			if outs[in] {
+				dep = true
+			}
+		}
+		if dep {
+			break
+		}
+		outs[s.Out] = true
+		end++
+	}
+	return end
+}

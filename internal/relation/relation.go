@@ -1,0 +1,149 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tuple is one row of a relation; values align with the schema's columns.
+type Tuple []Value
+
+// Relation is an in-memory relation with the common schema and an index on
+// the merge attribute, the structure every storage backend ultimately
+// materializes through its wrapper.
+type Relation struct {
+	schema *Schema
+	rows   []Tuple
+	// byItem maps a merge-attribute item to the indices of the rows that
+	// carry it. Sources use it to answer passed-binding (semijoin) queries
+	// without scanning.
+	byItem map[string][]int
+}
+
+// NewRelation creates an empty relation with the given schema.
+func NewRelation(schema *Schema) *Relation {
+	return &Relation{schema: schema, byItem: make(map[string][]int)}
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Insert appends a tuple after validating arity and column kinds.
+func (r *Relation) Insert(t Tuple) error {
+	if len(t) != r.schema.NumColumns() {
+		return fmt.Errorf("relation: tuple arity %d, schema has %d columns", len(t), r.schema.NumColumns())
+	}
+	for i, c := range r.schema.Columns() {
+		if t[i].Kind() != c.Kind {
+			return fmt.Errorf("relation: column %s expects %s, got %s", c.Name, c.Kind, t[i].Kind())
+		}
+	}
+	item := t[r.schema.MergeIndex()].Raw()
+	r.byItem[item] = append(r.byItem[item], len(r.rows))
+	r.rows = append(r.rows, t)
+	return nil
+}
+
+// MustInsert inserts values (one per column) and panics on error; a
+// convenience for tests, examples and generators.
+func (r *Relation) MustInsert(vals ...Value) {
+	if err := r.Insert(Tuple(vals)); err != nil {
+		panic(err)
+	}
+}
+
+// Row returns the i-th tuple.
+func (r *Relation) Row(i int) Tuple { return r.rows[i] }
+
+// Rows returns all tuples. The slice must not be modified.
+func (r *Relation) Rows() []Tuple { return r.rows }
+
+// Item returns the merge-attribute item of tuple t under this relation's
+// schema.
+func (r *Relation) Item(t Tuple) string { return t[r.schema.MergeIndex()].Raw() }
+
+// RowsWithItem returns the tuples whose merge attribute equals item, in
+// insertion order. It is the lookup a source performs to answer a
+// passed-binding query c AND M = item.
+func (r *Relation) RowsWithItem(item string) []Tuple {
+	idx := r.byItem[item]
+	if len(idx) == 0 {
+		return nil
+	}
+	out := make([]Tuple, len(idx))
+	for k, i := range idx {
+		out[k] = r.rows[i]
+	}
+	return out
+}
+
+// Items returns the distinct merge-attribute items, sorted.
+func (r *Relation) Items() []string {
+	out := make([]string, 0, len(r.byItem))
+	for item := range r.byItem {
+		out = append(out, item)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DistinctItems returns the number of distinct merge-attribute values.
+func (r *Relation) DistinctItems() int { return len(r.byItem) }
+
+// Bytes estimates the wire size of the whole relation, the quantity charged
+// when a plan loads an entire source with lq (Section 4).
+func (r *Relation) Bytes() int {
+	n := 0
+	for _, t := range r.rows {
+		for _, v := range t {
+			n += v.Bytes()
+		}
+	}
+	return n
+}
+
+// Get returns the value of the named column in tuple t.
+func (r *Relation) Get(t Tuple, col string) (Value, bool) {
+	i, ok := r.schema.Index(col)
+	if !ok {
+		return Value{}, false
+	}
+	return t[i], true
+}
+
+// String renders the relation as a small fixed-width table, in the style of
+// the paper's Figure 1.
+func (r *Relation) String() string {
+	var b strings.Builder
+	cols := r.schema.Columns()
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c.Name)
+	}
+	cells := make([][]string, len(r.rows))
+	for ri, t := range r.rows {
+		cells[ri] = make([]string, len(cols))
+		for ci, v := range t {
+			s := v.Raw()
+			cells[ri][ci] = s
+			if len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	for i, c := range cols {
+		fmt.Fprintf(&b, "%-*s ", widths[i], c.Name)
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for i, s := range row {
+			fmt.Fprintf(&b, "%-*s ", widths[i], s)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,201 @@
+// Package relation provides the typed relational substrate the fusion-query
+// framework runs on: values, schemas, tuples and in-memory relations with a
+// merge-attribute index. The paper (Section 2.1) assumes every source
+// wrapper exports a relation over a common set of attributes that includes
+// the merge attribute M; this package is that common view.
+package relation
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind enumerates the value types supported by the common schema.
+type Kind int
+
+const (
+	// KindString is a UTF-8 string value.
+	KindString Kind = iota
+	// KindInt is a 64-bit signed integer value.
+	KindInt
+	// KindFloat is a 64-bit floating point value.
+	KindFloat
+	// KindBool is a boolean value.
+	KindBool
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Value is a dynamically typed scalar. The zero Value is the empty string.
+type Value struct {
+	kind Kind
+	s    string
+	i    int64
+	f    float64
+	b    bool
+}
+
+// String builds a string Value.
+func String(s string) Value { return Value{kind: KindString, s: s} }
+
+// Int builds an integer Value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float builds a floating-point Value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// Bool builds a boolean Value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Kind returns the value's type.
+func (v Value) Kind() Kind { return v.kind }
+
+// Str returns the string payload; valid only for KindString.
+func (v Value) Str() string { return v.s }
+
+// IntVal returns the integer payload; valid only for KindInt.
+func (v Value) IntVal() int64 { return v.i }
+
+// FloatVal returns the float payload; valid only for KindFloat.
+func (v Value) FloatVal() float64 { return v.f }
+
+// BoolVal returns the boolean payload; valid only for KindBool.
+func (v Value) BoolVal() bool { return v.b }
+
+// IsNumeric reports whether the value is an int or a float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// AsFloat converts numeric values to float64 for mixed-type comparison.
+func (v Value) AsFloat() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// Compare orders two values. Numeric values compare numerically across
+// int/float; otherwise both values must have the same kind. It returns
+// -1, 0, or +1, and an error on incomparable kinds.
+func (v Value) Compare(w Value) (int, error) {
+	if v.IsNumeric() && w.IsNumeric() {
+		a, b := v.AsFloat(), w.AsFloat()
+		switch {
+		case a < b:
+			return -1, nil
+		case a > b:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	if v.kind != w.kind {
+		return 0, fmt.Errorf("relation: cannot compare %s with %s", v.kind, w.kind)
+	}
+	switch v.kind {
+	case KindString:
+		switch {
+		case v.s < w.s:
+			return -1, nil
+		case v.s > w.s:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	case KindBool:
+		x, y := 0, 0
+		if v.b {
+			x = 1
+		}
+		if w.b {
+			y = 1
+		}
+		return x - y, nil
+	default:
+		return 0, fmt.Errorf("relation: cannot compare kind %s", v.kind)
+	}
+}
+
+// Equal reports whether two values are equal under Compare semantics.
+func (v Value) Equal(w Value) bool {
+	c, err := v.Compare(w)
+	return err == nil && c == 0
+}
+
+// String renders the value as it appears in condition syntax: strings are
+// single-quoted, other kinds use their natural literal form.
+func (v Value) String() string {
+	switch v.kind {
+	case KindString:
+		return "'" + v.s + "'"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	default:
+		return "<invalid>"
+	}
+}
+
+// Raw renders the value without quoting, used for wire encoding and for
+// merge-attribute items.
+func (v Value) Raw() string {
+	if v.kind == KindString {
+		return v.s
+	}
+	return v.String()
+}
+
+// Bytes returns the approximate wire size of the value, used by the network
+// cost accounting.
+func (v Value) Bytes() int {
+	switch v.kind {
+	case KindString:
+		return len(v.s)
+	case KindBool:
+		return 1
+	default:
+		return 8
+	}
+}
+
+// ParseValue parses a literal: single- or double-quoted strings, integers,
+// floats, and the booleans true/false.
+func ParseValue(text string) (Value, error) {
+	if text == "" {
+		return Value{}, fmt.Errorf("relation: empty literal")
+	}
+	if len(text) >= 2 {
+		if (text[0] == '\'' && text[len(text)-1] == '\'') || (text[0] == '"' && text[len(text)-1] == '"') {
+			return String(text[1 : len(text)-1]), nil
+		}
+	}
+	switch text {
+	case "true":
+		return Bool(true), nil
+	case "false":
+		return Bool(false), nil
+	}
+	if i, err := strconv.ParseInt(text, 10, 64); err == nil {
+		return Int(i), nil
+	}
+	if f, err := strconv.ParseFloat(text, 64); err == nil {
+		return Float(f), nil
+	}
+	return Value{}, fmt.Errorf("relation: cannot parse literal %q", text)
+}

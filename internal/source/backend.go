@@ -1,0 +1,241 @@
+package source
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"fusionq/internal/oem"
+	"fusionq/internal/relation"
+)
+
+// Backend is a storage engine behind a wrapper. The three shipped
+// implementations deliberately use different internal models (Section 2.1:
+// "internally, each source can use a different model, but the wrapper maps
+// it to the common view").
+type Backend interface {
+	// Schema returns the common view the backend's wrapper exports.
+	Schema() *relation.Schema
+	// Scan visits every tuple of the exported view. Returning an error from
+	// fn aborts the scan with that error.
+	Scan(fn func(relation.Tuple) error) error
+	// Lookup visits the tuples whose merge attribute equals item.
+	Lookup(item string, fn func(relation.Tuple) error) error
+	// Size returns tuple count, distinct item count and approximate bytes.
+	Size() (tuples, distinct, bytes int)
+}
+
+// ---- Row store -------------------------------------------------------------
+
+// RowBackend is a plain relational row store: the exported view is the
+// stored relation itself.
+type RowBackend struct {
+	rel *relation.Relation
+}
+
+// NewRowBackend wraps an in-memory relation.
+func NewRowBackend(rel *relation.Relation) *RowBackend { return &RowBackend{rel: rel} }
+
+// Schema implements Backend.
+func (b *RowBackend) Schema() *relation.Schema { return b.rel.Schema() }
+
+// Scan implements Backend.
+func (b *RowBackend) Scan(fn func(relation.Tuple) error) error {
+	for _, t := range b.rel.Rows() {
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Lookup implements Backend.
+func (b *RowBackend) Lookup(item string, fn func(relation.Tuple) error) error {
+	for _, t := range b.rel.RowsWithItem(item) {
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Size implements Backend.
+func (b *RowBackend) Size() (int, int, int) {
+	return b.rel.Len(), b.rel.DistinctItems(), b.rel.Bytes()
+}
+
+// ---- Key–value store -------------------------------------------------------
+
+// KVBackend stores records as encoded strings keyed by merge-attribute item,
+// decoding on access — the shape of a dictionary-style or file-per-entity
+// source. Encoding is a simple field-separated text format.
+type KVBackend struct {
+	schema *relation.Schema
+	data   map[string][]string // item -> encoded records
+	keys   []string            // insertion-ordered distinct items
+	tuples int
+	bytes  int
+}
+
+// NewKVBackend creates an empty key–value backend exporting schema.
+func NewKVBackend(schema *relation.Schema) *KVBackend {
+	return &KVBackend{schema: schema, data: make(map[string][]string)}
+}
+
+const kvSep = "\x1f"
+
+// Put stores one record. The tuple must match the backend's schema.
+func (b *KVBackend) Put(t relation.Tuple) error {
+	if len(t) != b.schema.NumColumns() {
+		return fmt.Errorf("kv: tuple arity %d, want %d", len(t), b.schema.NumColumns())
+	}
+	parts := make([]string, len(t))
+	for i, v := range t {
+		if v.Kind() != b.schema.Columns()[i].Kind {
+			return fmt.Errorf("kv: column %s kind mismatch", b.schema.Columns()[i].Name)
+		}
+		parts[i] = v.Raw()
+		b.bytes += v.Bytes()
+	}
+	item := t[b.schema.MergeIndex()].Raw()
+	if _, ok := b.data[item]; !ok {
+		b.keys = append(b.keys, item)
+	}
+	b.data[item] = append(b.data[item], strings.Join(parts, kvSep))
+	b.tuples++
+	return nil
+}
+
+// decode rebuilds a tuple from its stored encoding.
+func (b *KVBackend) decode(rec string) (relation.Tuple, error) {
+	parts := strings.Split(rec, kvSep)
+	if len(parts) != b.schema.NumColumns() {
+		return nil, fmt.Errorf("kv: corrupt record %q", rec)
+	}
+	t := make(relation.Tuple, len(parts))
+	for i, col := range b.schema.Columns() {
+		v, err := decodeValue(parts[i], col.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("kv: column %s: %v", col.Name, err)
+		}
+		t[i] = v
+	}
+	return t, nil
+}
+
+func decodeValue(raw string, k relation.Kind) (relation.Value, error) {
+	switch k {
+	case relation.KindString:
+		return relation.String(raw), nil
+	case relation.KindInt:
+		i, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return relation.Value{}, err
+		}
+		return relation.Int(i), nil
+	case relation.KindFloat:
+		f, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return relation.Value{}, err
+		}
+		return relation.Float(f), nil
+	case relation.KindBool:
+		v, err := strconv.ParseBool(raw)
+		if err != nil {
+			return relation.Value{}, err
+		}
+		return relation.Bool(v), nil
+	default:
+		return relation.Value{}, fmt.Errorf("unknown kind %v", k)
+	}
+}
+
+// Schema implements Backend.
+func (b *KVBackend) Schema() *relation.Schema { return b.schema }
+
+// Scan implements Backend.
+func (b *KVBackend) Scan(fn func(relation.Tuple) error) error {
+	for _, item := range b.keys {
+		for _, rec := range b.data[item] {
+			t, err := b.decode(rec)
+			if err != nil {
+				return err
+			}
+			if err := fn(t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Lookup implements Backend.
+func (b *KVBackend) Lookup(item string, fn func(relation.Tuple) error) error {
+	for _, rec := range b.data[item] {
+		t, err := b.decode(rec)
+		if err != nil {
+			return err
+		}
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Size implements Backend.
+func (b *KVBackend) Size() (int, int, int) {
+	return b.tuples, len(b.data), b.bytes
+}
+
+// ---- OEM semistructured store ----------------------------------------------
+
+// OEMBackend exposes an OEM object store (package oem) through a wrapper
+// mapping, walking the object graph on every access.
+type OEMBackend struct {
+	store   *oem.Store
+	mapping oem.Mapping
+}
+
+// NewOEMBackend wraps an OEM store with the mapping that yields the common
+// view.
+func NewOEMBackend(store *oem.Store, mapping oem.Mapping) *OEMBackend {
+	return &OEMBackend{store: store, mapping: mapping}
+}
+
+// Schema implements Backend.
+func (b *OEMBackend) Schema() *relation.Schema { return b.mapping.Schema }
+
+// Scan implements Backend.
+func (b *OEMBackend) Scan(fn func(relation.Tuple) error) error {
+	rel, err := b.store.ToRelation(b.mapping)
+	if err != nil {
+		return err
+	}
+	for _, t := range rel.Rows() {
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Lookup implements Backend.
+func (b *OEMBackend) Lookup(item string, fn func(relation.Tuple) error) error {
+	mi := b.mapping.Schema.MergeIndex()
+	return b.Scan(func(t relation.Tuple) error {
+		if t[mi].Raw() == item {
+			return fn(t)
+		}
+		return nil
+	})
+}
+
+// Size implements Backend.
+func (b *OEMBackend) Size() (int, int, int) {
+	rel, err := b.store.ToRelation(b.mapping)
+	if err != nil {
+		return 0, 0, 0
+	}
+	return rel.Len(), rel.DistinctItems(), rel.Bytes()
+}

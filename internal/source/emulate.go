@@ -1,0 +1,46 @@
+package source
+
+import (
+	"fmt"
+
+	"fusionq/internal/cond"
+	"fusionq/internal/set"
+)
+
+// SemijoinAuto evaluates sjq(c, src, y) using the best mechanism the source
+// supports, implementing Section 2.3's emulation rule:
+//
+//   - native semijoin if the wrapper supports it;
+//   - otherwise one passed-binding selection "c AND M = m" per item of y;
+//   - otherwise the operation is unsupported and an error wrapping
+//     ErrUnsupported is returned (the optimizer models this as infinite
+//     cost and never emits such a step).
+func SemijoinAuto(src Source, c cond.Cond, y set.Set) (set.Set, error) {
+	caps := src.Caps()
+	switch {
+	case caps.NativeSemijoin:
+		return src.Semijoin(c, y)
+	case caps.PassedBindings:
+		return EmulateSemijoin(src, c, y)
+	default:
+		return set.Set{}, fmt.Errorf("source %s: semijoin not emulable: %w", src.Name(), ErrUnsupported)
+	}
+}
+
+// EmulateSemijoin implements a semijoin as a sequence of passed-binding
+// selection queries, one per item of y. The extra per-item query overhead is
+// what makes emulated semijoins expensive in the cost model and is why the
+// semijoin-adaptive class (per-source choice) beats the semijoin class.
+func EmulateSemijoin(src Source, c cond.Cond, y set.Set) (set.Set, error) {
+	out := make([]string, 0, y.Len())
+	for _, item := range y.Items() {
+		ok, err := src.SelectBinding(c, item)
+		if err != nil {
+			return set.Set{}, err
+		}
+		if ok {
+			out = append(out, item)
+		}
+	}
+	return set.FromSorted(out), nil
+}

@@ -1,0 +1,142 @@
+package source
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"fusionq/internal/bloom"
+	"fusionq/internal/cond"
+	"fusionq/internal/relation"
+	"fusionq/internal/set"
+)
+
+// ErrTransient marks failures that a mediator may retry: timeouts, dropped
+// connections, sources briefly offline — the normal weather of autonomous
+// Internet sources. Use errors.Is(err, ErrTransient) (or IsTransient) to
+// classify.
+var ErrTransient = errors.New("source: transient failure")
+
+// IsTransient reports whether the error is retryable.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// Flaky decorates a source with deterministic, seeded failure injection:
+// each operation independently fails with the configured rate before
+// reaching the inner source. Tests and experiments use it to exercise the
+// mediator's retry policy.
+type Flaky struct {
+	inner Source
+	rate  float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	failures int
+}
+
+// NewFlaky wraps src so that each operation fails with probability rate
+// (clamped to [0,1]); seed makes the failure sequence reproducible.
+func NewFlaky(src Source, rate float64, seed int64) *Flaky {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return &Flaky{inner: src, rate: rate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Failures returns how many operations were failed so far.
+func (f *Flaky) Failures() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failures
+}
+
+// trip decides whether this operation fails.
+func (f *Flaky) trip(op string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.rng.Float64() < f.rate {
+		f.failures++
+		return fmt.Errorf("source %s: %s: %w", f.inner.Name(), op, ErrTransient)
+	}
+	return nil
+}
+
+// Name implements Source.
+func (f *Flaky) Name() string { return f.inner.Name() }
+
+// Schema implements Source.
+func (f *Flaky) Schema() *relation.Schema { return f.inner.Schema() }
+
+// Caps implements Source.
+func (f *Flaky) Caps() Capabilities { return f.inner.Caps() }
+
+// Select implements Source.
+func (f *Flaky) Select(c cond.Cond) (set.Set, error) {
+	if err := f.trip("sq"); err != nil {
+		return set.Set{}, err
+	}
+	return f.inner.Select(c)
+}
+
+// Semijoin implements Source.
+func (f *Flaky) Semijoin(c cond.Cond, y set.Set) (set.Set, error) {
+	if err := f.trip("sjq"); err != nil {
+		return set.Set{}, err
+	}
+	return f.inner.Semijoin(c, y)
+}
+
+// SelectBinding implements Source.
+func (f *Flaky) SelectBinding(c cond.Cond, item string) (bool, error) {
+	if err := f.trip("binding"); err != nil {
+		return false, err
+	}
+	return f.inner.SelectBinding(c, item)
+}
+
+// Load implements Source.
+func (f *Flaky) Load() (*relation.Relation, error) {
+	if err := f.trip("lq"); err != nil {
+		return nil, err
+	}
+	return f.inner.Load()
+}
+
+// Fetch implements Source.
+func (f *Flaky) Fetch(items set.Set) ([]relation.Tuple, error) {
+	if err := f.trip("fetch"); err != nil {
+		return nil, err
+	}
+	return f.inner.Fetch(items)
+}
+
+// SelectRecords implements Source.
+func (f *Flaky) SelectRecords(c cond.Cond) ([]relation.Tuple, error) {
+	if err := f.trip("sqr"); err != nil {
+		return nil, err
+	}
+	return f.inner.SelectRecords(c)
+}
+
+// SemijoinRecords implements Source.
+func (f *Flaky) SemijoinRecords(c cond.Cond, y set.Set) ([]relation.Tuple, error) {
+	if err := f.trip("sjqr"); err != nil {
+		return nil, err
+	}
+	return f.inner.SemijoinRecords(c, y)
+}
+
+// SemijoinBloom implements Source.
+func (f *Flaky) SemijoinBloom(c cond.Cond, fl *bloom.Filter) (set.Set, error) {
+	if err := f.trip("sjqb"); err != nil {
+		return set.Set{}, err
+	}
+	return f.inner.SemijoinBloom(c, fl)
+}
+
+// Card implements Source.
+func (f *Flaky) Card() (int, int, int) { return f.inner.Card() }

@@ -1,0 +1,82 @@
+package source
+
+import (
+	"testing"
+
+	"fusionq/internal/cond"
+	"fusionq/internal/set"
+)
+
+func TestFlakyNeverFailsAtRateZero(t *testing.T) {
+	f := NewFlaky(NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{NativeSemijoin: true, PassedBindings: true}), 0, 1)
+	for i := 0; i < 50; i++ {
+		if _, err := f.Select(cond.MustParse("V = 'dui'")); err != nil {
+			t.Fatalf("rate-0 flaky failed: %v", err)
+		}
+	}
+	if f.Failures() != 0 {
+		t.Fatalf("Failures = %d", f.Failures())
+	}
+}
+
+func TestFlakyAlwaysFailsAtRateOne(t *testing.T) {
+	f := NewFlaky(NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{NativeSemijoin: true, PassedBindings: true}), 1, 1)
+	ops := []func() error{
+		func() error { _, err := f.Select(cond.MustParse("V = 'dui'")); return err },
+		func() error { _, err := f.Semijoin(cond.MustParse("V = 'dui'"), set.New("J55")); return err },
+		func() error { _, err := f.SelectBinding(cond.MustParse("V = 'dui'"), "J55"); return err },
+		func() error { _, err := f.Load(); return err },
+		func() error { _, err := f.Fetch(set.New("J55")); return err },
+		func() error { _, err := f.SelectRecords(cond.MustParse("V = 'dui'")); return err },
+		func() error { _, err := f.SemijoinRecords(cond.MustParse("V = 'dui'"), set.New("J55")); return err },
+	}
+	for i, op := range ops {
+		if err := op(); !IsTransient(err) {
+			t.Fatalf("op %d: err = %v, want transient", i, err)
+		}
+	}
+	if f.Failures() != len(ops) {
+		t.Fatalf("Failures = %d, want %d", f.Failures(), len(ops))
+	}
+}
+
+func TestFlakyDeterministic(t *testing.T) {
+	run := func() []bool {
+		f := NewFlaky(NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{}), 0.5, 42)
+		out := make([]bool, 20)
+		for i := range out {
+			_, err := f.Select(cond.MustParse("V = 'dui'"))
+			out[i] = err != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("failure sequence not deterministic")
+		}
+	}
+}
+
+func TestFlakyRateClamped(t *testing.T) {
+	f := NewFlaky(NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{}), -3, 1)
+	if _, err := f.Select(cond.MustParse("V = 'dui'")); err != nil {
+		t.Fatalf("negative rate should clamp to 0: %v", err)
+	}
+	f = NewFlaky(NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{}), 7, 1)
+	if _, err := f.Select(cond.MustParse("V = 'dui'")); !IsTransient(err) {
+		t.Fatal("rate above 1 should clamp to always-fail")
+	}
+}
+
+func TestFlakyPassesThroughMetadata(t *testing.T) {
+	caps := Capabilities{NativeSemijoin: true}
+	f := NewFlaky(NewWrapper("R1", NewRowBackend(rowRel(t)), caps), 0, 1)
+	if f.Name() != "R1" || f.Caps() != caps || f.Schema() == nil {
+		t.Fatal("metadata not passed through")
+	}
+	tu, di, by := f.Card()
+	if tu != 3 || di != 3 || by <= 0 {
+		t.Fatalf("Card = %d,%d,%d", tu, di, by)
+	}
+}

@@ -1,0 +1,221 @@
+package source
+
+import (
+	"sync"
+
+	"fusionq/internal/bloom"
+	"fusionq/internal/cond"
+	"fusionq/internal/netsim"
+	"fusionq/internal/relation"
+	"fusionq/internal/set"
+)
+
+// queryHeaderBytes approximates the fixed framing of one wrapper request
+// (operation tag, relation name, protocol overhead).
+const queryHeaderBytes = 32
+
+// Counters aggregates the source-query traffic a plan execution generated at
+// one source. The paper's cost model charges exactly these operations.
+type Counters struct {
+	SelectQueries   int // sq(c, R)
+	SemijoinQueries int // native sjq(c, R, Y)
+	BindingQueries  int // emulated per-item selections "c AND M = m"
+	LoadQueries     int // lq(R)
+	FetchQueries    int // phase-two record fetches
+	ItemsSent       int // semijoin-set items shipped to the source
+	ItemsReceived   int // items returned by the source
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.SelectQueries += other.SelectQueries
+	c.SemijoinQueries += other.SemijoinQueries
+	c.BindingQueries += other.BindingQueries
+	c.LoadQueries += other.LoadQueries
+	c.FetchQueries += other.FetchQueries
+	c.ItemsSent += other.ItemsSent
+	c.ItemsReceived += other.ItemsReceived
+}
+
+// Queries returns the total number of source queries issued.
+func (c Counters) Queries() int {
+	return c.SelectQueries + c.SemijoinQueries + c.BindingQueries + c.LoadQueries + c.FetchQueries
+}
+
+// Instrumented decorates a Source with traffic accounting against a
+// simulated network. All plan executions in the experiments run against
+// instrumented sources, so estimated costs can be compared with measured
+// ones.
+type Instrumented struct {
+	inner Source
+	net   *netsim.Network
+
+	mu       sync.Mutex
+	counters Counters
+}
+
+// Instrument wraps src, recording exchanges on network (which may be nil
+// for counter-only instrumentation).
+func Instrument(src Source, network *netsim.Network) *Instrumented {
+	return &Instrumented{inner: src, net: network}
+}
+
+// Name implements Source.
+func (s *Instrumented) Name() string { return s.inner.Name() }
+
+// Schema implements Source.
+func (s *Instrumented) Schema() *relation.Schema { return s.inner.Schema() }
+
+// Caps implements Source.
+func (s *Instrumented) Caps() Capabilities { return s.inner.Caps() }
+
+// Counters returns a snapshot of the accumulated counters.
+func (s *Instrumented) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters
+}
+
+// ResetCounters zeroes the counters.
+func (s *Instrumented) ResetCounters() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counters = Counters{}
+}
+
+func (s *Instrumented) record(kind string, reqBytes, respBytes int, update func(*Counters)) {
+	s.mu.Lock()
+	update(&s.counters)
+	s.mu.Unlock()
+	if s.net != nil {
+		s.net.Exchange(s.inner.Name(), kind, reqBytes, respBytes)
+	}
+}
+
+// Select implements Source.
+func (s *Instrumented) Select(c cond.Cond) (set.Set, error) {
+	out, err := s.inner.Select(c)
+	if err != nil {
+		return out, err
+	}
+	s.record("sq", queryHeaderBytes+len(c.String()), out.Bytes(), func(ct *Counters) {
+		ct.SelectQueries++
+		ct.ItemsReceived += out.Len()
+	})
+	return out, nil
+}
+
+// Semijoin implements Source.
+func (s *Instrumented) Semijoin(c cond.Cond, y set.Set) (set.Set, error) {
+	out, err := s.inner.Semijoin(c, y)
+	if err != nil {
+		return out, err
+	}
+	s.record("sjq", queryHeaderBytes+len(c.String())+y.Bytes(), out.Bytes(), func(ct *Counters) {
+		ct.SemijoinQueries++
+		ct.ItemsSent += y.Len()
+		ct.ItemsReceived += out.Len()
+	})
+	return out, nil
+}
+
+// SelectBinding implements Source.
+func (s *Instrumented) SelectBinding(c cond.Cond, item string) (bool, error) {
+	ok, err := s.inner.SelectBinding(c, item)
+	if err != nil {
+		return ok, err
+	}
+	resp := 0
+	if ok {
+		resp = len(item)
+	}
+	s.record("sq", queryHeaderBytes+len(c.String())+len(item), resp, func(ct *Counters) {
+		ct.BindingQueries++
+		ct.ItemsSent++
+		if ok {
+			ct.ItemsReceived++
+		}
+	})
+	return ok, nil
+}
+
+// Load implements Source.
+func (s *Instrumented) Load() (*relation.Relation, error) {
+	rel, err := s.inner.Load()
+	if err != nil {
+		return nil, err
+	}
+	s.record("lq", queryHeaderBytes, rel.Bytes(), func(ct *Counters) {
+		ct.LoadQueries++
+	})
+	return rel, nil
+}
+
+// SemijoinBloom implements Source: one exchange shipping the Bloom filter
+// and receiving the positive items (including false positives).
+func (s *Instrumented) SemijoinBloom(c cond.Cond, f *bloom.Filter) (set.Set, error) {
+	out, err := s.inner.SemijoinBloom(c, f)
+	if err != nil {
+		return out, err
+	}
+	s.record("sjqb", queryHeaderBytes+len(c.String())+f.Bytes(), out.Bytes(), func(ct *Counters) {
+		ct.SemijoinQueries++
+		ct.ItemsReceived += out.Len()
+	})
+	return out, nil
+}
+
+// SelectRecords implements Source: one exchange shipping the condition and
+// receiving the matching items' full records.
+func (s *Instrumented) SelectRecords(c cond.Cond) ([]relation.Tuple, error) {
+	tuples, err := s.inner.SelectRecords(c)
+	if err != nil {
+		return nil, err
+	}
+	s.record("sqr", queryHeaderBytes+len(c.String()), tuplesBytes(tuples), func(ct *Counters) {
+		ct.SelectQueries++
+		ct.ItemsReceived += len(tuples)
+	})
+	return tuples, nil
+}
+
+// SemijoinRecords implements Source: one exchange shipping the semijoin set
+// and receiving the surviving items' full records.
+func (s *Instrumented) SemijoinRecords(c cond.Cond, y set.Set) ([]relation.Tuple, error) {
+	tuples, err := s.inner.SemijoinRecords(c, y)
+	if err != nil {
+		return nil, err
+	}
+	s.record("sjqr", queryHeaderBytes+len(c.String())+y.Bytes(), tuplesBytes(tuples), func(ct *Counters) {
+		ct.SemijoinQueries++
+		ct.ItemsSent += y.Len()
+		ct.ItemsReceived += len(tuples)
+	})
+	return tuples, nil
+}
+
+func tuplesBytes(tuples []relation.Tuple) int {
+	n := 0
+	for _, t := range tuples {
+		for _, v := range t {
+			n += v.Bytes()
+		}
+	}
+	return n
+}
+
+// Fetch implements Source.
+func (s *Instrumented) Fetch(items set.Set) ([]relation.Tuple, error) {
+	tuples, err := s.inner.Fetch(items)
+	if err != nil {
+		return nil, err
+	}
+	s.record("fetch", queryHeaderBytes+items.Bytes(), tuplesBytes(tuples), func(ct *Counters) {
+		ct.FetchQueries++
+		ct.ItemsSent += items.Len()
+	})
+	return tuples, nil
+}
+
+// Card implements Source.
+func (s *Instrumented) Card() (int, int, int) { return s.inner.Card() }

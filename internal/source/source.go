@@ -1,0 +1,283 @@
+// Package source implements the autonomous data sources of the fusion-query
+// framework and the wrappers that export them (Section 2.1). A wrapper maps
+// an arbitrary internal storage model — row store, key–value store, OEM
+// semistructured store — to the common relational view and answers the two
+// wrapper operations the paper defines:
+//
+//	X := sq(c, R)      selection query: items of R satisfying c
+//	X := sjq(c, R, Y)  semijoin query: subset of Y satisfying c in R
+//
+// plus the postoptimization operation lq(R) (load the entire relation,
+// Section 4) and the phase-two record fetch (Section 1). Capability flags
+// model the paper's three tiers of semijoin support: native, emulable via
+// passed bindings (c AND M = m), or unsupported.
+package source
+
+import (
+	"errors"
+	"fmt"
+
+	"fusionq/internal/bloom"
+	"fusionq/internal/cond"
+	"fusionq/internal/relation"
+	"fusionq/internal/set"
+)
+
+// ErrUnsupported is returned for operations a source cannot perform, e.g. a
+// native semijoin against a source without semijoin support. The optimizer
+// maps it to infinite cost (Section 2.3).
+var ErrUnsupported = errors.New("source: operation not supported")
+
+// Capabilities describes what query forms a source wrapper accepts.
+type Capabilities struct {
+	// NativeSemijoin: the source accepts sjq(c, R, Y) directly.
+	NativeSemijoin bool
+	// PassedBindings: the source accepts selections of the form
+	// "c AND M = m", so the mediator can emulate a semijoin with one
+	// selection per item of Y (Section 2.3).
+	PassedBindings bool
+	// BloomSemijoin: the source can evaluate a semijoin against a Bloom
+	// filter of the running set instead of the set itself (the Bloomjoin
+	// refinement; an extension beyond the paper). Results may contain
+	// false positives, which the mediator filters out exactly.
+	BloomSemijoin bool
+}
+
+// String names the capability tier.
+func (c Capabilities) String() string {
+	switch {
+	case c.NativeSemijoin:
+		return "native-semijoin"
+	case c.PassedBindings:
+		return "passed-bindings"
+	default:
+		return "selection-only"
+	}
+}
+
+// Source is the mediator's view of one wrapped autonomous source.
+type Source interface {
+	// Name identifies the source (the R_j of the paper).
+	Name() string
+	// Schema returns the common view the wrapper exports.
+	Schema() *relation.Schema
+	// Caps reports the wrapper's query capabilities.
+	Caps() Capabilities
+	// Select answers sq(c, R): the distinct items whose tuples satisfy c.
+	Select(c cond.Cond) (set.Set, error)
+	// Semijoin answers sjq(c, R, y): the subset of y whose items satisfy c
+	// in R. Returns ErrUnsupported unless Caps().NativeSemijoin.
+	Semijoin(c cond.Cond, y set.Set) (set.Set, error)
+	// SelectBinding answers the passed-binding selection "c AND M = item",
+	// reporting whether the item satisfies c at this source. Returns
+	// ErrUnsupported unless Caps().PassedBindings.
+	SelectBinding(c cond.Cond, item string) (bool, error)
+	// Load answers lq(R): the source's entire relation (Section 4).
+	Load() (*relation.Relation, error)
+	// Fetch returns the full tuples for the given items, the "second
+	// phase" query of Section 1.
+	Fetch(items set.Set) ([]relation.Tuple, error)
+	// SelectRecords answers a selection query that returns the matching
+	// full tuples instead of bare items, in one exchange. It is the
+	// building block of the "beyond two-phase" plans of Section 6, where
+	// source queries return other attributes in addition to the merge
+	// attribute.
+	SelectRecords(c cond.Cond) ([]relation.Tuple, error)
+	// SemijoinRecords answers a semijoin query returning the full tuples
+	// of the y items that satisfy c, in one exchange. Returns
+	// ErrUnsupported unless Caps().NativeSemijoin.
+	SemijoinRecords(c cond.Cond, y set.Set) ([]relation.Tuple, error)
+	// SemijoinBloom answers a semijoin query against a Bloom filter of the
+	// running set: the items satisfying c at this source that test
+	// positive in the filter. The result may include false positives;
+	// callers intersect it with the actual set. Returns ErrUnsupported
+	// unless Caps().BloomSemijoin.
+	SemijoinBloom(c cond.Cond, f *bloom.Filter) (set.Set, error)
+	// Card returns coarse statistics: tuple count, distinct item count and
+	// approximate size in bytes, the inputs cost models and statistics
+	// gathering build on.
+	Card() (tuples, distinct, bytes int)
+}
+
+// Wrapper adapts a Backend to the Source interface with the given
+// capabilities. It is the reference wrapper implementation; remote sources
+// (internal/wire) and instrumented sources decorate it.
+type Wrapper struct {
+	name    string
+	backend Backend
+	caps    Capabilities
+}
+
+// NewWrapper builds a wrapper named name over the given backend.
+func NewWrapper(name string, backend Backend, caps Capabilities) *Wrapper {
+	return &Wrapper{name: name, backend: backend, caps: caps}
+}
+
+// Name implements Source.
+func (w *Wrapper) Name() string { return w.name }
+
+// Schema implements Source.
+func (w *Wrapper) Schema() *relation.Schema { return w.backend.Schema() }
+
+// Caps implements Source.
+func (w *Wrapper) Caps() Capabilities { return w.caps }
+
+// Select implements Source.
+func (w *Wrapper) Select(c cond.Cond) (set.Set, error) {
+	schema := w.backend.Schema()
+	if err := c.Check(schema); err != nil {
+		return set.Set{}, fmt.Errorf("source %s: %w", w.name, err)
+	}
+	mi := schema.MergeIndex()
+	var items []string
+	seen := map[string]bool{}
+	err := w.backend.Scan(func(t relation.Tuple) error {
+		ok, err := c.Eval(schema, t)
+		if err != nil {
+			return err
+		}
+		if ok {
+			item := t[mi].Raw()
+			if !seen[item] {
+				seen[item] = true
+				items = append(items, item)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return set.Set{}, fmt.Errorf("source %s: %w", w.name, err)
+	}
+	return set.New(items...), nil
+}
+
+// Semijoin implements Source.
+func (w *Wrapper) Semijoin(c cond.Cond, y set.Set) (set.Set, error) {
+	if !w.caps.NativeSemijoin {
+		return set.Set{}, fmt.Errorf("source %s: semijoin: %w", w.name, ErrUnsupported)
+	}
+	schema := w.backend.Schema()
+	if err := c.Check(schema); err != nil {
+		return set.Set{}, fmt.Errorf("source %s: %w", w.name, err)
+	}
+	out := make([]string, 0, y.Len())
+	for _, item := range y.Items() {
+		match, err := w.matchBinding(c, item)
+		if err != nil {
+			return set.Set{}, fmt.Errorf("source %s: %w", w.name, err)
+		}
+		if match {
+			out = append(out, item)
+		}
+	}
+	return set.FromSorted(out), nil
+}
+
+// SelectBinding implements Source.
+func (w *Wrapper) SelectBinding(c cond.Cond, item string) (bool, error) {
+	if !w.caps.PassedBindings && !w.caps.NativeSemijoin {
+		return false, fmt.Errorf("source %s: passed binding: %w", w.name, ErrUnsupported)
+	}
+	schema := w.backend.Schema()
+	if err := c.Check(schema); err != nil {
+		return false, fmt.Errorf("source %s: %w", w.name, err)
+	}
+	match, err := w.matchBinding(c, item)
+	if err != nil {
+		return false, fmt.Errorf("source %s: %w", w.name, err)
+	}
+	return match, nil
+}
+
+// matchBinding evaluates c over the tuples carrying the given item.
+func (w *Wrapper) matchBinding(c cond.Cond, item string) (bool, error) {
+	schema := w.backend.Schema()
+	match := false
+	err := w.backend.Lookup(item, func(t relation.Tuple) error {
+		ok, err := c.Eval(schema, t)
+		if err != nil {
+			return err
+		}
+		if ok {
+			match = true
+		}
+		return nil
+	})
+	return match, err
+}
+
+// Load implements Source.
+func (w *Wrapper) Load() (*relation.Relation, error) {
+	schema := w.backend.Schema()
+	r := relation.NewRelation(schema)
+	err := w.backend.Scan(func(t relation.Tuple) error {
+		return r.Insert(t)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("source %s: load: %w", w.name, err)
+	}
+	return r, nil
+}
+
+// Fetch implements Source.
+func (w *Wrapper) Fetch(items set.Set) ([]relation.Tuple, error) {
+	var out []relation.Tuple
+	for _, item := range items.Items() {
+		err := w.backend.Lookup(item, func(t relation.Tuple) error {
+			out = append(out, t)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("source %s: fetch: %w", w.name, err)
+		}
+	}
+	return out, nil
+}
+
+// SemijoinBloom implements Source.
+func (w *Wrapper) SemijoinBloom(c cond.Cond, f *bloom.Filter) (set.Set, error) {
+	if !w.caps.BloomSemijoin {
+		return set.Set{}, fmt.Errorf("source %s: bloom semijoin: %w", w.name, ErrUnsupported)
+	}
+	all, err := w.Select(c)
+	if err != nil {
+		return set.Set{}, err
+	}
+	out := make([]string, 0, all.Len())
+	for _, item := range all.Items() {
+		if f.Test(item) {
+			out = append(out, item)
+		}
+	}
+	return set.FromSorted(out), nil
+}
+
+// SelectRecords implements Source. Matching is item-level: the result
+// holds every tuple of every item that satisfies c somewhere at this
+// source, so combined plans reconstruct exactly what a phase-two fetch of
+// those items would return.
+func (w *Wrapper) SelectRecords(c cond.Cond) ([]relation.Tuple, error) {
+	items, err := w.Select(c)
+	if err != nil {
+		return nil, err
+	}
+	return w.Fetch(items)
+}
+
+// SemijoinRecords implements Source. Matching is item-level, like
+// SelectRecords.
+func (w *Wrapper) SemijoinRecords(c cond.Cond, y set.Set) ([]relation.Tuple, error) {
+	if !w.caps.NativeSemijoin {
+		return nil, fmt.Errorf("source %s: record semijoin: %w", w.name, ErrUnsupported)
+	}
+	items, err := w.Semijoin(c, y)
+	if err != nil {
+		return nil, err
+	}
+	return w.Fetch(items)
+}
+
+// Card implements Source.
+func (w *Wrapper) Card() (tuples, distinct, bytes int) {
+	return w.backend.Size()
+}

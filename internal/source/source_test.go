@@ -1,0 +1,402 @@
+package source
+
+import (
+	"errors"
+	"testing"
+
+	"fusionq/internal/bloom"
+	"fusionq/internal/cond"
+	"fusionq/internal/netsim"
+	"fusionq/internal/oem"
+	"fusionq/internal/relation"
+	"fusionq/internal/set"
+)
+
+var dmvSchema = relation.MustSchema("L",
+	relation.Column{Name: "L", Kind: relation.KindString},
+	relation.Column{Name: "V", Kind: relation.KindString},
+	relation.Column{Name: "D", Kind: relation.KindInt},
+)
+
+// figure1Rows are the contents of R1 from the paper's Figure 1.
+var figure1Rows = [][3]interface{}{
+	{"J55", "dui", int64(1993)},
+	{"T21", "sp", int64(1994)},
+	{"T80", "dui", int64(1993)},
+}
+
+func rowRel(t *testing.T) *relation.Relation {
+	t.Helper()
+	r := relation.NewRelation(dmvSchema)
+	for _, row := range figure1Rows {
+		r.MustInsert(relation.String(row[0].(string)), relation.String(row[1].(string)), relation.Int(row[2].(int64)))
+	}
+	return r
+}
+
+// backends builds one of each backend type holding R1's data.
+func backends(t *testing.T) map[string]Backend {
+	t.Helper()
+	kv := NewKVBackend(dmvSchema)
+	st := oem.NewStore()
+	for _, row := range figure1Rows {
+		tup := relation.Tuple{relation.String(row[0].(string)), relation.String(row[1].(string)), relation.Int(row[2].(int64))}
+		if err := kv.Put(tup); err != nil {
+			t.Fatalf("kv.Put: %v", err)
+		}
+		st.Add(oem.Complex("violation",
+			oem.Atomic("license", tup[0]),
+			oem.Atomic("vtype", tup[1]),
+			oem.Atomic("year", tup[2]),
+		))
+	}
+	mapping := oem.Mapping{Schema: dmvSchema, Labels: []string{"license", "vtype", "year"}}
+	return map[string]Backend{
+		"row": NewRowBackend(rowRel(t)),
+		"kv":  kv,
+		"oem": NewOEMBackend(st, mapping),
+	}
+}
+
+func TestWrapperSelectAcrossBackends(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			w := NewWrapper("R1", b, Capabilities{NativeSemijoin: true, PassedBindings: true})
+			got, err := w.Select(cond.MustParse("V = 'dui'"))
+			if err != nil {
+				t.Fatalf("Select: %v", err)
+			}
+			if want := set.New("J55", "T80"); !got.Equal(want) {
+				t.Fatalf("sq(V='dui') = %v, want %v", got, want)
+			}
+			// Empty result.
+			got, err = w.Select(cond.MustParse("V = 'nothing'"))
+			if err != nil || !got.IsEmpty() {
+				t.Fatalf("sq(V='nothing') = %v, %v", got, err)
+			}
+		})
+	}
+}
+
+func TestWrapperSemijoinAcrossBackends(t *testing.T) {
+	y := set.New("J55", "T21", "T80", "Z99")
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			w := NewWrapper("R1", b, Capabilities{NativeSemijoin: true})
+			got, err := w.Semijoin(cond.MustParse("V = 'sp'"), y)
+			if err != nil {
+				t.Fatalf("Semijoin: %v", err)
+			}
+			if want := set.New("T21"); !got.Equal(want) {
+				t.Fatalf("sjq(V='sp', y) = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+func TestWrapperSizeAcrossBackends(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			tuples, distinct, bytes := b.Size()
+			if tuples != 3 || distinct != 3 {
+				t.Fatalf("Size = %d,%d, want 3,3", tuples, distinct)
+			}
+			if bytes <= 0 {
+				t.Fatal("Size bytes should be positive")
+			}
+		})
+	}
+}
+
+func TestWrapperCapabilityEnforcement(t *testing.T) {
+	w := NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{})
+	if _, err := w.Semijoin(cond.MustParse("V = 'sp'"), set.New("T21")); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("Semijoin on selection-only source: err = %v, want ErrUnsupported", err)
+	}
+	if _, err := w.SelectBinding(cond.MustParse("V = 'sp'"), "T21"); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("SelectBinding on selection-only source: err = %v, want ErrUnsupported", err)
+	}
+	// Selections always work.
+	if _, err := w.Select(cond.MustParse("V = 'sp'")); err != nil {
+		t.Fatalf("Select should work on selection-only source: %v", err)
+	}
+}
+
+func TestWrapperSelectBinding(t *testing.T) {
+	w := NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{PassedBindings: true})
+	ok, err := w.SelectBinding(cond.MustParse("V = 'dui'"), "J55")
+	if err != nil || !ok {
+		t.Fatalf("SelectBinding(J55) = %v,%v, want true", ok, err)
+	}
+	ok, err = w.SelectBinding(cond.MustParse("V = 'dui'"), "T21")
+	if err != nil || ok {
+		t.Fatalf("SelectBinding(T21) = %v,%v, want false", ok, err)
+	}
+	ok, err = w.SelectBinding(cond.MustParse("V = 'dui'"), "Z99")
+	if err != nil || ok {
+		t.Fatalf("SelectBinding(absent) = %v,%v, want false", ok, err)
+	}
+}
+
+func TestWrapperCheckErrors(t *testing.T) {
+	w := NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{NativeSemijoin: true, PassedBindings: true})
+	bad := cond.MustParse("Nope = 1")
+	if _, err := w.Select(bad); err == nil {
+		t.Error("Select with unknown attribute should fail")
+	}
+	if _, err := w.Semijoin(bad, set.New("J55")); err == nil {
+		t.Error("Semijoin with unknown attribute should fail")
+	}
+	if _, err := w.SelectBinding(bad, "J55"); err == nil {
+		t.Error("SelectBinding with unknown attribute should fail")
+	}
+}
+
+func TestWrapperLoadAndFetch(t *testing.T) {
+	w := NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{})
+	rel, err := w.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if rel.Len() != 3 {
+		t.Fatalf("Load returned %d tuples, want 3", rel.Len())
+	}
+	tuples, err := w.Fetch(set.New("J55", "T80"))
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if len(tuples) != 2 {
+		t.Fatalf("Fetch returned %d tuples, want 2", len(tuples))
+	}
+	tuples, err = w.Fetch(set.New("absent"))
+	if err != nil || len(tuples) != 0 {
+		t.Fatalf("Fetch(absent) = %v,%v", tuples, err)
+	}
+}
+
+func TestSemijoinAutoNative(t *testing.T) {
+	w := NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{NativeSemijoin: true})
+	got, err := SemijoinAuto(w, cond.MustParse("V = 'dui'"), set.New("J55", "T21"))
+	if err != nil {
+		t.Fatalf("SemijoinAuto: %v", err)
+	}
+	if want := set.New("J55"); !got.Equal(want) {
+		t.Fatalf("= %v, want %v", got, want)
+	}
+}
+
+func TestSemijoinAutoEmulated(t *testing.T) {
+	inner := NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{PassedBindings: true})
+	src := Instrument(inner, nil)
+	got, err := SemijoinAuto(src, cond.MustParse("V = 'dui'"), set.New("J55", "T21", "T80"))
+	if err != nil {
+		t.Fatalf("SemijoinAuto: %v", err)
+	}
+	if want := set.New("J55", "T80"); !got.Equal(want) {
+		t.Fatalf("= %v, want %v", got, want)
+	}
+	// Emulation must have issued one binding query per item of y.
+	ct := src.Counters()
+	if ct.BindingQueries != 3 || ct.SemijoinQueries != 0 {
+		t.Fatalf("counters = %+v, want 3 binding queries and no native semijoin", ct)
+	}
+}
+
+func TestSemijoinAutoUnsupported(t *testing.T) {
+	w := NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{})
+	if _, err := SemijoinAuto(w, cond.MustParse("V = 'dui'"), set.New("J55")); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("err = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestInstrumentedCountersAndNetwork(t *testing.T) {
+	network := netsim.NewNetwork(1)
+	network.SetLink("R1", netsim.Link{})
+	src := Instrument(NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{NativeSemijoin: true, PassedBindings: true}), network)
+
+	if _, err := src.Select(cond.MustParse("V = 'dui'")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Semijoin(cond.MustParse("V = 'sp'"), set.New("J55", "T21")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Load(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Fetch(set.New("J55")); err != nil {
+		t.Fatal(err)
+	}
+
+	ct := src.Counters()
+	if ct.SelectQueries != 1 || ct.SemijoinQueries != 1 || ct.LoadQueries != 1 || ct.FetchQueries != 1 {
+		t.Fatalf("counters = %+v", ct)
+	}
+	if ct.ItemsSent != 3 { // 2 semijoin + 1 fetch
+		t.Fatalf("ItemsSent = %d, want 3", ct.ItemsSent)
+	}
+	if ct.ItemsReceived != 3 { // 2 from sq + 1 from sjq
+		t.Fatalf("ItemsReceived = %d, want 3", ct.ItemsReceived)
+	}
+	if ct.Queries() != 4 {
+		t.Fatalf("Queries() = %d, want 4", ct.Queries())
+	}
+
+	ns := network.Stats()
+	if ns.Messages != 4 {
+		t.Fatalf("network messages = %d, want 4", ns.Messages)
+	}
+	if ns.TotalBytes <= 0 {
+		t.Fatal("network bytes should be positive")
+	}
+
+	src.ResetCounters()
+	if src.Counters().Queries() != 0 {
+		t.Fatal("ResetCounters did not zero counters")
+	}
+}
+
+func TestInstrumentedPassesThroughMetadata(t *testing.T) {
+	caps := Capabilities{NativeSemijoin: true}
+	src := Instrument(NewWrapper("R1", NewRowBackend(rowRel(t)), caps), nil)
+	if src.Name() != "R1" {
+		t.Fatalf("Name = %q", src.Name())
+	}
+	if src.Caps() != caps {
+		t.Fatalf("Caps = %+v", src.Caps())
+	}
+	if !src.Schema().Compatible(dmvSchema) {
+		t.Fatal("Schema mismatch")
+	}
+	tu, di, by := src.Card()
+	if tu != 3 || di != 3 || by <= 0 {
+		t.Fatalf("Card = %d,%d,%d", tu, di, by)
+	}
+}
+
+func TestInstrumentedErrorsDoNotRecord(t *testing.T) {
+	src := Instrument(NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{}), nil)
+	if _, err := src.Semijoin(cond.MustParse("V = 'sp'"), set.New("a")); err == nil {
+		t.Fatal("expected error")
+	}
+	if src.Counters().Queries() != 0 {
+		t.Fatal("failed operation should not be counted")
+	}
+}
+
+func TestSemijoinBloom(t *testing.T) {
+	w := NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{NativeSemijoin: true, BloomSemijoin: true})
+	y := set.New("J55", "T21", "T80")
+	f := bloom.FromItems(y.Items(), bloom.DefaultBitsPerItem)
+	got, err := w.SemijoinBloom(cond.MustParse("V = 'dui'"), f)
+	if err != nil {
+		t.Fatalf("SemijoinBloom: %v", err)
+	}
+	// All true matches must be present (no false negatives); the mediator
+	// removes any false positives by intersecting with y.
+	exact := set.New("J55", "T80")
+	if !exact.SubsetOf(got) {
+		t.Fatalf("bloom result %v misses true matches %v", got, exact)
+	}
+	if !got.Intersect(y).Equal(exact) {
+		t.Fatalf("filtered result %v != exact %v", got.Intersect(y), exact)
+	}
+}
+
+func TestSemijoinBloomUnsupported(t *testing.T) {
+	w := NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{NativeSemijoin: true})
+	f := bloom.FromItems([]string{"J55"}, 10)
+	if _, err := w.SemijoinBloom(cond.MustParse("V = 'dui'"), f); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("err = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestInstrumentedBloomCharges(t *testing.T) {
+	network := netsim.NewNetwork(1)
+	network.SetLink("R1", netsim.Link{})
+	src := Instrument(NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{BloomSemijoin: true}), network)
+	f := bloom.FromItems([]string{"J55", "T80"}, 10)
+	if _, err := src.SemijoinBloom(cond.MustParse("V = 'dui'"), f); err != nil {
+		t.Fatal(err)
+	}
+	ct := src.Counters()
+	if ct.SemijoinQueries != 1 {
+		t.Fatalf("counters = %+v", ct)
+	}
+	log := network.Log()
+	if len(log) != 1 || log[0].Kind != "sjqb" {
+		t.Fatalf("log = %+v", log)
+	}
+	if log[0].ReqBytes < f.Bytes() {
+		t.Fatalf("request bytes %d should include the %d-byte filter", log[0].ReqBytes, f.Bytes())
+	}
+}
+
+func TestSelectAndSemijoinRecords(t *testing.T) {
+	w := NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{NativeSemijoin: true})
+	tuples, err := w.SelectRecords(cond.MustParse("V = 'dui'"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 2 {
+		t.Fatalf("SelectRecords = %d tuples, want 2", len(tuples))
+	}
+	tuples, err = w.SemijoinRecords(cond.MustParse("V = 'dui'"), set.New("J55", "T21"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 1 || tuples[0][0].Raw() != "J55" {
+		t.Fatalf("SemijoinRecords = %v", tuples)
+	}
+	weak := NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{})
+	if _, err := weak.SemijoinRecords(cond.MustParse("V = 'dui'"), set.New("J55")); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("err = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestCapabilitiesString(t *testing.T) {
+	cases := []struct {
+		caps Capabilities
+		want string
+	}{
+		{Capabilities{NativeSemijoin: true, PassedBindings: true}, "native-semijoin"},
+		{Capabilities{PassedBindings: true}, "passed-bindings"},
+		{Capabilities{}, "selection-only"},
+	}
+	for _, c := range cases {
+		if got := c.caps.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.caps, got, c.want)
+		}
+	}
+}
+
+func TestKVBackendErrors(t *testing.T) {
+	kv := NewKVBackend(dmvSchema)
+	if err := kv.Put(relation.Tuple{relation.String("x")}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if err := kv.Put(relation.Tuple{relation.Int(1), relation.String("v"), relation.Int(2)}); err == nil {
+		t.Error("kind mismatch should fail")
+	}
+}
+
+func TestOEMBackendSkipsIrregularObjects(t *testing.T) {
+	st := oem.NewStore()
+	st.Add(oem.Complex("violation",
+		oem.Atomic("license", relation.String("J55")),
+		oem.Atomic("vtype", relation.String("dui")),
+		oem.Atomic("year", relation.Int(1993)),
+	))
+	// Missing the year attribute: the wrapper cannot map it.
+	st.Add(oem.Complex("violation",
+		oem.Atomic("license", relation.String("T21")),
+		oem.Atomic("vtype", relation.String("sp")),
+	))
+	b := NewOEMBackend(st, oem.Mapping{Schema: dmvSchema, Labels: []string{"license", "vtype", "year"}})
+	n := 0
+	if err := b.Scan(func(relation.Tuple) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("exported %d tuples, want 1 (irregular object skipped)", n)
+	}
+}

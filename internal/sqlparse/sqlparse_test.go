@@ -1,0 +1,244 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"fusionq/internal/relation"
+	"fusionq/internal/workload"
+)
+
+// paperSQL is the Section 1 query in the paper's SQL form.
+const paperSQL = `
+SELECT u1.L
+FROM U u1, U u2
+WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'`
+
+func TestParsePaperQuery(t *testing.T) {
+	q, err := Parse(paperSQL)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.SelectVar != "u1" || q.SelectAttr != "L" {
+		t.Fatalf("SELECT = %s.%s", q.SelectVar, q.SelectAttr)
+	}
+	if len(q.From) != 2 || q.From[0].Relation != "U" || q.From[1].Alias != "u2" {
+		t.Fatalf("FROM = %+v", q.From)
+	}
+	if len(q.MergeLinks) != 1 {
+		t.Fatalf("MergeLinks = %+v", q.MergeLinks)
+	}
+	l := q.MergeLinks[0]
+	if l.LVar != "u1" || l.LAttr != "L" || l.RVar != "u2" || l.RAttr != "L" {
+		t.Fatalf("link = %+v", l)
+	}
+	if len(q.VarConds) != 2 {
+		t.Fatalf("VarConds = %v", q.VarConds)
+	}
+	if got := q.VarConds["u1"].String(); got != "V = 'dui'" {
+		t.Fatalf("cond(u1) = %q", got)
+	}
+}
+
+func TestFusionPaperQuery(t *testing.T) {
+	schema := workload.DMVSchema()
+	fq, err := ParseFusion(paperSQL, schema)
+	if err != nil {
+		t.Fatalf("ParseFusion: %v", err)
+	}
+	if fq.Merge != "L" || len(fq.Conds) != 2 {
+		t.Fatalf("fusion = %+v", fq)
+	}
+	if fq.Conds[0].String() != "V = 'dui'" || fq.Conds[1].String() != "V = 'sp'" {
+		t.Fatalf("conds = %v, %v", fq.Conds[0], fq.Conds[1])
+	}
+}
+
+func TestFusionThreeVariablesChain(t *testing.T) {
+	schema := workload.DMVSchema()
+	sql := `SELECT u1.L FROM U u1, U u2, U u3
+	        WHERE u1.L = u2.L AND u2.L = u3.L
+	          AND u1.V = 'dui' AND u2.V = 'sp' AND u3.D >= 1994`
+	fq, err := ParseFusion(sql, schema)
+	if err != nil {
+		t.Fatalf("ParseFusion: %v", err)
+	}
+	if len(fq.Conds) != 3 {
+		t.Fatalf("conds = %d, want 3", len(fq.Conds))
+	}
+}
+
+func TestFusionStarTopologyLinks(t *testing.T) {
+	schema := workload.DMVSchema()
+	// u1 linked to both u2 and u3 directly.
+	sql := `SELECT u1.L FROM U u1, U u2, U u3
+	        WHERE u1.L = u2.L AND u1.L = u3.L
+	          AND u1.V = 'dui' AND u2.V = 'sp' AND u3.V = 'sp'`
+	if _, err := ParseFusion(sql, schema); err != nil {
+		t.Fatalf("star topology should be accepted: %v", err)
+	}
+}
+
+func TestFusionMissingConditionBecomesTrue(t *testing.T) {
+	schema := workload.DMVSchema()
+	sql := `SELECT u1.L FROM U u1, U u2 WHERE u1.L = u2.L AND u1.V = 'dui'`
+	fq, err := ParseFusion(sql, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fq.Conds[1].String() != "TRUE" {
+		t.Fatalf("missing condition = %q, want TRUE", fq.Conds[1])
+	}
+}
+
+func TestFusionComplexConditions(t *testing.T) {
+	schema := workload.DMVSchema()
+	sql := `SELECT u1.L FROM U u1, U u2
+	        WHERE u1.L = u2.L
+	          AND (u1.V = 'dui' OR u1.V = 'reckless')
+	          AND u2.D >= 1990 AND u2.D < 1997`
+	fq, err := ParseFusion(sql, schema)
+	if err != nil {
+		t.Fatalf("ParseFusion: %v", err)
+	}
+	// The two u2 conjuncts are ANDed into one condition.
+	if !strings.Contains(fq.Conds[1].String(), "AND") {
+		t.Fatalf("cond(u2) = %q, want conjunction", fq.Conds[1])
+	}
+	if !strings.Contains(fq.Conds[0].String(), "OR") {
+		t.Fatalf("cond(u1) = %q, want disjunction", fq.Conds[0])
+	}
+}
+
+func TestFusionSingleVariable(t *testing.T) {
+	schema := workload.DMVSchema()
+	sql := `SELECT u1.L FROM U u1 WHERE u1.V = 'dui'`
+	fq, err := ParseFusion(sql, schema)
+	if err != nil {
+		t.Fatalf("single-variable fusion query: %v", err)
+	}
+	if len(fq.Conds) != 1 {
+		t.Fatalf("conds = %d", len(fq.Conds))
+	}
+}
+
+func TestNotFusionRejections(t *testing.T) {
+	schema := workload.DMVSchema()
+	cases := map[string]string{
+		"mixed relations":       `SELECT u1.L FROM U u1, V u2 WHERE u1.L = u2.L AND u1.V = 'dui'`,
+		"join not on merge":     `SELECT u1.L FROM U u1, U u2 WHERE u1.D = u2.D AND u1.V = 'dui'`,
+		"projection not merge":  `SELECT u1.V FROM U u1, U u2 WHERE u1.L = u2.L AND u1.V = 'dui'`,
+		"disconnected variable": `SELECT u1.L FROM U u1, U u2, U u3 WHERE u1.L = u2.L AND u1.V = 'dui' AND u3.V = 'sp'`,
+		"two-variable cond":     `SELECT u1.L FROM U u1, U u2 WHERE u1.L = u2.L AND (u1.V = 'dui' OR u2.V = 'sp')`,
+		"unknown select var":    `SELECT u9.L FROM U u1, U u2 WHERE u1.L = u2.L AND u1.V = 'dui'`,
+		"duplicate alias":       `SELECT u1.L FROM U u1, U u1 WHERE u1.V = 'dui'`,
+		"bad attribute":         `SELECT u1.L FROM U u1, U u2 WHERE u1.L = u2.L AND u1.Nope = 'x'`,
+		"type mismatch":         `SELECT u1.L FROM U u1, U u2 WHERE u1.L = u2.L AND u1.D = 'notanint'`,
+		"unknown link var":      `SELECT u1.L FROM U u1, U u2 WHERE u1.L = u9.L AND u1.V = 'dui'`,
+	}
+	for name, sql := range cases {
+		if IsFusion(sql, schema) {
+			t.Errorf("%s: should be rejected", name)
+		}
+	}
+}
+
+func TestIsFusionAccepts(t *testing.T) {
+	schema := workload.DMVSchema()
+	if !IsFusion(paperSQL, schema) {
+		t.Fatal("paper query should be detected as fusion")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT u1.L",
+		"SELECT u1.L FROM",
+		"SELECT u1.L FROM U u1 WHERE",
+		"SELECT u1.L FROM U u1 WHERE u1.V =",
+		"SELECT u1.L FROM U u1 WHERE V = 'dui'", // unqualified attribute
+		"SELECT u1.L FROM U u1 WHERE (u1.V = 'dui'",  // unbalanced paren
+		"SELECT u1.L FROM U u1 WHERE u1.V = 'dui')",  // unbalanced paren
+		"SELECT u1.L FROM U u1 WHERE u1.V = 'dui' X", // trailing garbage
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestParseUnqualifiedSelect(t *testing.T) {
+	schema := workload.DMVSchema()
+	// Unqualified projection is accepted at parse time and resolves to the
+	// merge attribute.
+	sql := `SELECT L FROM U u1 WHERE u1.V = 'dui'`
+	fq, err := ParseFusion(sql, schema)
+	if err != nil {
+		t.Fatalf("ParseFusion: %v", err)
+	}
+	if fq.Merge != "L" {
+		t.Fatalf("merge = %s", fq.Merge)
+	}
+}
+
+func TestFusionConditionOrderFollowsFrom(t *testing.T) {
+	schema := workload.DMVSchema()
+	sql := `SELECT a.L FROM U a, U b WHERE a.L = b.L AND b.V = 'sp' AND a.V = 'dui'`
+	fq, err := ParseFusion(sql, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fq.Conds[0].String() != "V = 'dui'" || fq.Conds[1].String() != "V = 'sp'" {
+		t.Fatalf("conditions not in FROM order: %v / %v", fq.Conds[0], fq.Conds[1])
+	}
+}
+
+func TestFusionINAndLike(t *testing.T) {
+	schema := workload.DMVSchema()
+	sql := `SELECT u1.L FROM U u1, U u2
+	        WHERE u1.L = u2.L AND u1.V IN ('dui', 'reckless') AND u2.L LIKE 'T%'`
+	fq, err := ParseFusion(sql, schema)
+	if err != nil {
+		t.Fatalf("ParseFusion: %v", err)
+	}
+	if !strings.Contains(fq.Conds[0].String(), "IN") || !strings.Contains(fq.Conds[1].String(), "LIKE") {
+		t.Fatalf("conds = %v / %v", fq.Conds[0], fq.Conds[1])
+	}
+}
+
+func TestFusionAgainstCustomSchema(t *testing.T) {
+	schema := relation.MustSchema("ID",
+		relation.Column{Name: "ID", Kind: relation.KindString},
+		relation.Column{Name: "Score", Kind: relation.KindFloat},
+	)
+	sql := `SELECT d.ID FROM Docs d, Docs e WHERE d.ID = e.ID AND d.Score >= 0.5 AND e.Score < 0.9`
+	fq, err := ParseFusion(sql, schema)
+	if err != nil {
+		t.Fatalf("ParseFusion: %v", err)
+	}
+	if fq.Merge != "ID" || len(fq.Conds) != 2 {
+		t.Fatalf("fusion = %+v", fq)
+	}
+}
+
+func TestFusionBetween(t *testing.T) {
+	schema := workload.DMVSchema()
+	sql := `SELECT u1.L FROM U u1, U u2
+	        WHERE u1.L = u2.L AND u1.D BETWEEN 1990 AND 1995 AND u2.V = 'sp'`
+	fq, err := ParseFusion(sql, schema)
+	if err != nil {
+		t.Fatalf("ParseFusion: %v", err)
+	}
+	if len(fq.Conds) != 2 {
+		t.Fatalf("conds = %d, want 2", len(fq.Conds))
+	}
+	if !strings.Contains(fq.Conds[0].String(), ">= 1990") || !strings.Contains(fq.Conds[0].String(), "<= 1995") {
+		t.Fatalf("BETWEEN not desugared: %v", fq.Conds[0])
+	}
+	if fq.Conds[1].String() != "V = 'sp'" {
+		t.Fatalf("second conjunct corrupted: %v", fq.Conds[1])
+	}
+}

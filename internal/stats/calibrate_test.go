@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"fusionq/internal/cond"
+	"fusionq/internal/netsim"
+	"fusionq/internal/source"
+	"fusionq/internal/workload"
+)
+
+// calibrationScenario builds a synthetic source with enough data for the
+// byte-dependent term to be observable, instrumented on a jitter-free link.
+func calibrationScenario(t *testing.T) (source.Source, *netsim.Network, []cond.Cond, netsim.Link) {
+	t.Helper()
+	sc, err := workload.Synth(workload.SynthConfig{
+		Seed: 21, NumSources: 1, TuplesPerSource: 4000, Universe: 4000,
+		Selectivity: []float64{0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := netsim.Link{Latency: 20 * time.Millisecond, BytesPerSec: 32 << 10, RequestOverhead: 10 * time.Millisecond}
+	network := netsim.NewNetwork(5)
+	network.SetLink(sc.Sources[0].Name(), link)
+	src := source.Instrument(sc.Sources[0], network)
+	probes := []cond.Cond{
+		cond.MustParse("A1 < 10"),
+		cond.MustParse("A1 < 50"),
+		cond.MustParse("A1 < 200"),
+		cond.MustParse("A1 < 500"),
+		cond.MustParse("A1 < 900"),
+	}
+	return src, network, probes, link
+}
+
+func TestCalibrateRecoversLinkParameters(t *testing.T) {
+	src, network, probes, link := calibrationScenario(t)
+	got, err := Calibrate(src, network, probes)
+	if err != nil {
+		t.Fatalf("Calibrate: %v", err)
+	}
+	want := ProfileFromLink(src.Name(), link, 8, SemijoinNative)
+	relErr := func(a, b float64) float64 { return math.Abs(a-b) / math.Max(b, 1e-12) }
+	if relErr(got.PerQuery, want.PerQuery) > 0.15 {
+		t.Errorf("PerQuery = %v, want ≈%v", got.PerQuery, want.PerQuery)
+	}
+	if relErr(got.PerItemRecv, want.PerItemRecv) > 0.15 {
+		t.Errorf("PerItemRecv = %v, want ≈%v", got.PerItemRecv, want.PerItemRecv)
+	}
+	if got.Support != SemijoinNative {
+		t.Errorf("Support = %v", got.Support)
+	}
+	if got.Name != src.Name() {
+		t.Errorf("Name = %q", got.Name)
+	}
+}
+
+func TestCalibratedProfilePredictsCosts(t *testing.T) {
+	src, network, probes, _ := calibrationScenario(t)
+	profile, err := Calibrate(src, network, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predict the cost of a fresh query and compare with its measured
+	// simulated time.
+	network.Reset()
+	c := cond.MustParse("A1 < 700")
+	items, err := src.Select(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := network.Stats().TotalTime.Seconds()
+	predicted := profile.SelectCost(float64(items.Len()))
+	if math.Abs(predicted-measured)/measured > 0.1 {
+		t.Fatalf("predicted %v, measured %v", predicted, measured)
+	}
+}
+
+func TestCalibrateIdenticalPayloads(t *testing.T) {
+	// Probes with identical (empty) results leave the slope unidentifiable;
+	// calibration must degrade gracefully to a pure fixed cost.
+	sc, err := workload.Synth(workload.SynthConfig{
+		Seed: 3, NumSources: 1, TuplesPerSource: 10, Universe: 10,
+		Selectivity: []float64{0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	network := netsim.NewNetwork(1)
+	network.SetLink(sc.Sources[0].Name(), netsim.Link{Latency: 10 * time.Millisecond})
+	src := source.Instrument(sc.Sources[0], network)
+	probes := []cond.Cond{
+		cond.MustParse("A1 < -5"), // empty
+		cond.MustParse("A1 < -1"), // empty
+	}
+	got, err := Calibrate(src, network, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PerQuery <= 0 {
+		t.Fatalf("PerQuery = %v, want positive", got.PerQuery)
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	src, network, probes, _ := calibrationScenario(t)
+	if _, err := Calibrate(src, nil, probes); err == nil {
+		t.Error("nil network should fail")
+	}
+	if _, err := Calibrate(src, network, probes[:1]); err == nil {
+		t.Error("single probe should fail")
+	}
+	bad := []cond.Cond{cond.MustParse("Zz = 1"), cond.MustParse("Zz = 2")}
+	if _, err := Calibrate(src, network, bad); err == nil {
+		t.Error("invalid probe conditions should fail")
+	}
+}

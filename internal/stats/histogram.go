@@ -1,0 +1,315 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fusionq/internal/cond"
+	"fusionq/internal/relation"
+	"fusionq/internal/source"
+)
+
+// This file implements per-attribute summaries — equi-width histograms for
+// numeric attributes and most-common-value lists for strings — so the
+// optimizer can estimate the cardinality of any condition without running
+// it against the sources. One statistics scan per source replaces the
+// per-condition probing of Gather, trading accuracy for generality: this is
+// the "whatever information is available at query optimization time" regime
+// of Section 3, with the flavour of the multidatabase statistics work the
+// paper cites ([5], [15]).
+
+// HistogramBuckets is the number of equi-width buckets per numeric
+// attribute.
+const HistogramBuckets = 32
+
+// MCVLimit is the number of most-common values tracked per string
+// attribute.
+const MCVLimit = 64
+
+// NumericHistogram summarizes one numeric attribute of one source.
+type NumericHistogram struct {
+	Min, Max float64
+	// Counts[b] is the number of distinct items with a tuple whose value
+	// falls in bucket b.
+	Counts [HistogramBuckets]float64
+	// Total is the summed count.
+	Total float64
+}
+
+// bucketWidth returns the width of one bucket.
+func (h *NumericHistogram) bucketWidth() float64 {
+	if h.Max <= h.Min {
+		return 1
+	}
+	return (h.Max - h.Min) / HistogramBuckets
+}
+
+// bucketOf maps a value to its bucket index, clamped.
+func (h *NumericHistogram) bucketOf(v float64) int {
+	if h.Max <= h.Min {
+		return 0
+	}
+	b := int((v - h.Min) / h.bucketWidth())
+	if b < 0 {
+		b = 0
+	}
+	if b >= HistogramBuckets {
+		b = HistogramBuckets - 1
+	}
+	return b
+}
+
+// lessFrac estimates the fraction of values strictly below x, interpolating
+// within the containing bucket.
+func (h *NumericHistogram) lessFrac(x float64) float64 {
+	if h.Total == 0 || x <= h.Min {
+		return 0
+	}
+	if x > h.Max {
+		return 1
+	}
+	b := h.bucketOf(x)
+	sum := 0.0
+	for i := 0; i < b; i++ {
+		sum += h.Counts[i]
+	}
+	lo := h.Min + float64(b)*h.bucketWidth()
+	frac := (x - lo) / h.bucketWidth()
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	sum += h.Counts[b] * frac
+	return sum / h.Total
+}
+
+// eqFrac estimates the fraction of values equal to x: the containing
+// bucket's mass spread uniformly over its width.
+func (h *NumericHistogram) eqFrac(x float64) float64 {
+	if h.Total == 0 || x < h.Min || x > h.Max {
+		return 0
+	}
+	b := h.bucketOf(x)
+	return h.Counts[b] / h.Total / math.Max(1, h.bucketWidth())
+}
+
+// StringStats summarizes one string attribute: exact counts for the most
+// common values, with the remainder spread over the remaining distinct
+// values.
+type StringStats struct {
+	// MCV maps the most common values to their item counts.
+	MCV map[string]float64
+	// OtherCount and OtherDistinct describe the long tail.
+	OtherCount    float64
+	OtherDistinct float64
+	Total         float64
+}
+
+// eqFrac estimates the fraction of values equal to s.
+func (s *StringStats) eqFrac(v string) float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	if c, ok := s.MCV[v]; ok {
+		return c / s.Total
+	}
+	if s.OtherDistinct > 0 {
+		return s.OtherCount / s.OtherDistinct / s.Total
+	}
+	return 0
+}
+
+// Summary holds the per-attribute statistics of one source plus its global
+// counts.
+type Summary struct {
+	Name          string
+	Tuples        int
+	DistinctItems int
+	Bytes         int
+	Numeric       map[string]*NumericHistogram
+	Strings       map[string]*StringStats
+}
+
+// Summarize scans a source once and builds its attribute summaries. Like
+// Gather, it models an offline statistics pass.
+func Summarize(src source.Source) (*Summary, error) {
+	rel, err := src.Load()
+	if err != nil {
+		return nil, fmt.Errorf("stats: summarizing %s: %w", src.Name(), err)
+	}
+	tuples, distinct, bytes := src.Card()
+	sum := &Summary{
+		Name: src.Name(), Tuples: tuples, DistinctItems: distinct, Bytes: bytes,
+		Numeric: map[string]*NumericHistogram{},
+		Strings: map[string]*StringStats{},
+	}
+	schema := rel.Schema()
+	for i, col := range schema.Columns() {
+		switch col.Kind {
+		case relation.KindInt, relation.KindFloat:
+			sum.Numeric[col.Name] = buildNumeric(rel, i)
+		case relation.KindString:
+			sum.Strings[col.Name] = buildString(rel, i)
+		}
+	}
+	return sum, nil
+}
+
+func buildNumeric(rel *relation.Relation, col int) *NumericHistogram {
+	h := &NumericHistogram{Min: math.Inf(1), Max: math.Inf(-1)}
+	rows := rel.Rows()
+	if len(rows) == 0 {
+		h.Min, h.Max = 0, 0
+		return h
+	}
+	for _, t := range rows {
+		v := t[col].AsFloat()
+		if v < h.Min {
+			h.Min = v
+		}
+		if v > h.Max {
+			h.Max = v
+		}
+	}
+	for _, t := range rows {
+		h.Counts[h.bucketOf(t[col].AsFloat())]++
+		h.Total++
+	}
+	return h
+}
+
+func buildString(rel *relation.Relation, col int) *StringStats {
+	counts := map[string]float64{}
+	total := 0.0
+	for _, t := range rel.Rows() {
+		counts[t[col].Raw()]++
+		total++
+	}
+	type kv struct {
+		v string
+		c float64
+	}
+	all := make([]kv, 0, len(counts))
+	for v, c := range counts {
+		all = append(all, kv{v, c})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].c != all[b].c {
+			return all[a].c > all[b].c
+		}
+		return all[a].v < all[b].v
+	})
+	st := &StringStats{MCV: map[string]float64{}, Total: total}
+	for i, e := range all {
+		if i < MCVLimit {
+			st.MCV[e.v] = e.c
+		} else {
+			st.OtherCount += e.c
+			st.OtherDistinct++
+		}
+	}
+	return st
+}
+
+// EstimateSelectivity estimates the fraction of the source's tuples
+// satisfying the condition, walking the AST with the usual independence
+// and containment conventions: conjunctions multiply, disjunctions add
+// with overlap correction, negation complements, unknown constructs
+// default to 1/3.
+func (s *Summary) EstimateSelectivity(c cond.Cond) float64 {
+	const defaultSel = 1.0 / 3
+	switch v := c.(type) {
+	case cond.True:
+		return 1
+	case *cond.And:
+		return clamp01(s.EstimateSelectivity(v.L) * s.EstimateSelectivity(v.R))
+	case *cond.Or:
+		a, b := s.EstimateSelectivity(v.L), s.EstimateSelectivity(v.R)
+		return clamp01(a + b - a*b)
+	case *cond.Not:
+		return clamp01(1 - s.EstimateSelectivity(v.C))
+	case *cond.In:
+		sel := 0.0
+		for _, val := range v.Vals {
+			sel += s.estimateCompare(v.Attr, cond.OpEq, val)
+		}
+		return clamp01(sel)
+	case *cond.Compare:
+		return clamp01(s.estimateCompare(v.Attr, v.Op, v.Lit))
+	default:
+		return defaultSel
+	}
+}
+
+func (s *Summary) estimateCompare(attr string, op cond.Op, lit relation.Value) float64 {
+	const defaultSel = 1.0 / 3
+	if h, ok := s.Numeric[attr]; ok && lit.IsNumeric() {
+		x := lit.AsFloat()
+		switch op {
+		case cond.OpLt:
+			return h.lessFrac(x)
+		case cond.OpLe:
+			return h.lessFrac(x) + h.eqFrac(x)
+		case cond.OpGt:
+			return 1 - h.lessFrac(x) - h.eqFrac(x)
+		case cond.OpGe:
+			return 1 - h.lessFrac(x)
+		case cond.OpEq:
+			return h.eqFrac(x)
+		case cond.OpNe:
+			return 1 - h.eqFrac(x)
+		}
+		return defaultSel
+	}
+	if st, ok := s.Strings[attr]; ok && lit.Kind() == relation.KindString {
+		switch op {
+		case cond.OpEq:
+			return st.eqFrac(lit.Str())
+		case cond.OpNe:
+			return 1 - st.eqFrac(lit.Str())
+		case cond.OpLike:
+			// Prefix patterns behave like mild filters; anything else is
+			// the default guess.
+			return defaultSel
+		default:
+			// Range comparisons on strings are rare; default.
+			return defaultSel
+		}
+	}
+	return defaultSel
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// StatsFromSummary derives the SourceStats the cost-table builder consumes.
+// Histograms estimate tuple-level selectivity p, but CondCard counts
+// distinct items, and an item satisfies the condition if any of its tuples
+// does; with k = tuples/items tuples per item on average, the item-level
+// selectivity is 1 − (1−p)^k.
+func StatsFromSummary(sum *Summary, conds []cond.Cond) SourceStats {
+	st := SourceStats{
+		Name: sum.Name, Tuples: sum.Tuples, DistinctItems: sum.DistinctItems,
+		Bytes: sum.Bytes, CondCard: make([]float64, len(conds)),
+	}
+	k := 1.0
+	if sum.DistinctItems > 0 {
+		k = float64(sum.Tuples) / float64(sum.DistinctItems)
+	}
+	for i, c := range conds {
+		p := sum.EstimateSelectivity(c)
+		itemSel := 1 - math.Pow(1-p, k)
+		st.CondCard[i] = itemSel * float64(sum.DistinctItems)
+	}
+	return st
+}

@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"fusionq/internal/cond"
+	"fusionq/internal/workload"
+)
+
+// summaryFixture builds a summary of a synthetic source with known
+// uniform attribute distributions.
+func summaryFixture(t *testing.T) (*Summary, int) {
+	t.Helper()
+	sc, err := workload.Synth(workload.SynthConfig{
+		Seed: 31, NumSources: 1, TuplesPerSource: 8000, Universe: 8000,
+		Selectivity: []float64{0.5, 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Summarize(sc.Sources[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sum, sc.Relations[0].DistinctItems()
+}
+
+func selErr(got, want float64) float64 { return math.Abs(got - want) }
+
+func TestNumericHistogramRangeEstimates(t *testing.T) {
+	sum, _ := summaryFixture(t)
+	// A1 is uniform over [0, 1000).
+	cases := []struct {
+		expr string
+		want float64
+	}{
+		{"A1 < 250", 0.25},
+		{"A1 < 500", 0.5},
+		{"A1 >= 900", 0.1},
+		{"A1 > 999", 0.0},
+		{"A1 < 0", 0.0},
+		{"A1 <= 1000", 1.0},
+		{"A1 >= 0", 1.0},
+	}
+	for _, c := range cases {
+		got := sum.EstimateSelectivity(cond.MustParse(c.expr))
+		if selErr(got, c.want) > 0.05 {
+			t.Errorf("%q: sel = %v, want ≈%v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestNumericEquality(t *testing.T) {
+	sum, _ := summaryFixture(t)
+	got := sum.EstimateSelectivity(cond.MustParse("A1 = 500"))
+	// Uniform over 1000 values: ≈0.001.
+	if got < 0 || got > 0.01 {
+		t.Fatalf("eq selectivity = %v, want ≈0.001", got)
+	}
+	ne := sum.EstimateSelectivity(cond.MustParse("A1 != 500"))
+	if selErr(ne, 1-got) > 1e-9 {
+		t.Fatalf("ne = %v, want %v", ne, 1-got)
+	}
+}
+
+func TestBooleanCombinators(t *testing.T) {
+	sum, _ := summaryFixture(t)
+	a := sum.EstimateSelectivity(cond.MustParse("A1 < 500"))
+	b := sum.EstimateSelectivity(cond.MustParse("A2 < 200"))
+	and := sum.EstimateSelectivity(cond.MustParse("A1 < 500 AND A2 < 200"))
+	or := sum.EstimateSelectivity(cond.MustParse("A1 < 500 OR A2 < 200"))
+	not := sum.EstimateSelectivity(cond.MustParse("NOT A1 < 500"))
+	if selErr(and, a*b) > 1e-9 {
+		t.Errorf("and = %v, want %v", and, a*b)
+	}
+	if selErr(or, a+b-a*b) > 1e-9 {
+		t.Errorf("or = %v, want %v", or, a+b-a*b)
+	}
+	if selErr(not, 1-a) > 1e-9 {
+		t.Errorf("not = %v, want %v", not, 1-a)
+	}
+	if sum.EstimateSelectivity(cond.True{}) != 1 {
+		t.Error("TRUE should have selectivity 1")
+	}
+}
+
+func TestInEstimate(t *testing.T) {
+	sum, _ := summaryFixture(t)
+	in := sum.EstimateSelectivity(cond.MustParse("A1 IN (1, 2, 3)"))
+	single := sum.EstimateSelectivity(cond.MustParse("A1 = 1"))
+	if in < single || in > 4*single+1e-9 {
+		t.Fatalf("IN estimate %v implausible vs single %v", in, single)
+	}
+}
+
+func TestStringMCV(t *testing.T) {
+	sc := workload.DMV()
+	sum, err := Summarize(sc.Sources[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R1 has 2/3 dui, 1/3 sp.
+	dui := sum.EstimateSelectivity(cond.MustParse("V = 'dui'"))
+	if selErr(dui, 2.0/3) > 1e-9 {
+		t.Fatalf("dui selectivity = %v, want 2/3", dui)
+	}
+	absent := sum.EstimateSelectivity(cond.MustParse("V = 'nothing'"))
+	if absent != 0 {
+		t.Fatalf("absent value selectivity = %v, want 0", absent)
+	}
+}
+
+func TestStatsFromSummaryFeedsOptimizer(t *testing.T) {
+	sc, err := workload.Synth(workload.SynthConfig{
+		Seed: 32, NumSources: 3, TuplesPerSource: 2000, Universe: 1500,
+		Selectivity: []float64{0.1, 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, src := range sc.Sources {
+		sum, err := Summarize(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hist := StatsFromSummary(sum, sc.Conds)
+		exact, err := Gather(src, sc.Conds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range sc.Conds {
+			rel := math.Abs(hist.CondCard[i]-exact.CondCard[i]) / math.Max(exact.CondCard[i], 1)
+			if rel > 0.35 {
+				t.Errorf("source %d cond %d: histogram card %v vs exact %v (rel err %.2f)",
+					j, i, hist.CondCard[i], exact.CondCard[i], rel)
+			}
+		}
+	}
+}
+
+func TestSummarizeEmptySource(t *testing.T) {
+	sc, err := workload.Synth(workload.SynthConfig{
+		Seed: 33, NumSources: 1, TuplesPerSource: 1, Universe: 1,
+		Selectivity: []float64{0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Summarize(sc.Sources[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-tuple histograms should not blow up.
+	if got := sum.EstimateSelectivity(cond.MustParse("A1 < 2000")); got != 1 {
+		t.Fatalf("degenerate histogram lessFrac = %v, want 1", got)
+	}
+}
+
+func TestUnknownAttributeDefaults(t *testing.T) {
+	sum, _ := summaryFixture(t)
+	got := sum.EstimateSelectivity(cond.MustParse("Mystery = 'x'"))
+	if selErr(got, 1.0/3) > 1e-9 {
+		t.Fatalf("unknown attribute selectivity = %v, want default 1/3", got)
+	}
+}

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// This file persists attribute summaries (histogram.go) as JSON, so a
+// mediator can reuse statistics across sessions instead of re-scanning the
+// autonomous sources — the practical mode for Internet sources that are
+// slow to reach and change infrequently. Catalogs point at a summary file
+// per source.
+
+// jsonSummary is the stable wire form of a Summary.
+type jsonSummary struct {
+	Name          string                       `json:"name"`
+	Tuples        int                          `json:"tuples"`
+	DistinctItems int                          `json:"distinctItems"`
+	Bytes         int                          `json:"bytes"`
+	Numeric       map[string]*NumericHistogram `json:"numeric,omitempty"`
+	Strings       map[string]*jsonStringStats  `json:"strings,omitempty"`
+}
+
+type jsonStringStats struct {
+	MCV           map[string]float64 `json:"mcv"`
+	OtherCount    float64            `json:"otherCount"`
+	OtherDistinct float64            `json:"otherDistinct"`
+	Total         float64            `json:"total"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s *Summary) MarshalJSON() ([]byte, error) {
+	js := jsonSummary{
+		Name: s.Name, Tuples: s.Tuples, DistinctItems: s.DistinctItems, Bytes: s.Bytes,
+		Numeric: s.Numeric, Strings: map[string]*jsonStringStats{},
+	}
+	for attr, st := range s.Strings {
+		js.Strings[attr] = &jsonStringStats{
+			MCV: st.MCV, OtherCount: st.OtherCount, OtherDistinct: st.OtherDistinct, Total: st.Total,
+		}
+	}
+	return json.Marshal(js)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Summary) UnmarshalJSON(data []byte) error {
+	var js jsonSummary
+	if err := json.Unmarshal(data, &js); err != nil {
+		return err
+	}
+	out := Summary{
+		Name: js.Name, Tuples: js.Tuples, DistinctItems: js.DistinctItems, Bytes: js.Bytes,
+		Numeric: js.Numeric, Strings: map[string]*StringStats{},
+	}
+	if out.Numeric == nil {
+		out.Numeric = map[string]*NumericHistogram{}
+	}
+	for attr, st := range js.Strings {
+		if st == nil {
+			continue
+		}
+		mcv := st.MCV
+		if mcv == nil {
+			mcv = map[string]float64{}
+		}
+		out.Strings[attr] = &StringStats{
+			MCV: mcv, OtherCount: st.OtherCount, OtherDistinct: st.OtherDistinct, Total: st.Total,
+		}
+	}
+	*s = out
+	return nil
+}
+
+// SaveSummary writes a summary to path as JSON.
+func SaveSummary(sum *Summary, path string) error {
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	return nil
+}
+
+// LoadSummary reads a summary written by SaveSummary.
+func LoadSummary(path string) (*Summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("stats: %w", err)
+	}
+	var sum Summary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		return nil, fmt.Errorf("stats: %s: %w", path, err)
+	}
+	return &sum, nil
+}

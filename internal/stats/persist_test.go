@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fusionq/internal/cond"
+	"fusionq/internal/workload"
+)
+
+func TestSummarySaveLoadRoundTrip(t *testing.T) {
+	sc, err := workload.Synth(workload.SynthConfig{
+		Seed: 61, NumSources: 1, TuplesPerSource: 2000, Universe: 1200,
+		Selectivity: []float64{0.3, 0.7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := Summarize(sc.Sources[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "summary.json")
+	if err := SaveSummary(orig, path); err != nil {
+		t.Fatalf("SaveSummary: %v", err)
+	}
+	loaded, err := LoadSummary(path)
+	if err != nil {
+		t.Fatalf("LoadSummary: %v", err)
+	}
+	if loaded.Name != orig.Name || loaded.Tuples != orig.Tuples || loaded.DistinctItems != orig.DistinctItems {
+		t.Fatalf("metadata changed: %+v vs %+v", loaded, orig)
+	}
+	// Selectivity estimates must be identical after the round trip.
+	for _, expr := range []string{
+		"A1 < 250", "A1 = 500", "A2 >= 900",
+		"A1 BETWEEN 100 AND 300", "A1 < 500 AND A2 < 500",
+		"ID = 'ID000001'",
+	} {
+		c := cond.MustParse(expr)
+		a := orig.EstimateSelectivity(c)
+		b := loaded.EstimateSelectivity(c)
+		if math.Abs(a-b) > 1e-12 {
+			t.Errorf("%q: selectivity changed %v -> %v", expr, a, b)
+		}
+	}
+}
+
+func TestSummaryDMVStringsRoundTrip(t *testing.T) {
+	sc := workload.DMV()
+	orig, err := Summarize(sc.Sources[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "dmv.json")
+	if err := SaveSummary(orig, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSummary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dui := loaded.EstimateSelectivity(cond.MustParse("V = 'dui'"))
+	if math.Abs(dui-2.0/3) > 1e-9 {
+		t.Fatalf("dui selectivity after round trip = %v, want 2/3", dui)
+	}
+}
+
+func TestLoadSummaryErrors(t *testing.T) {
+	if _, err := LoadSummary("/nonexistent/summary.json"); err == nil {
+		t.Error("missing file should fail")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(path, "not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSummary(path); err == nil {
+		t.Error("bad JSON should fail")
+	}
+}
+
+func writeFile(path, data string) error {
+	return os.WriteFile(path, []byte(data), 0o644)
+}

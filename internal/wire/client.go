@@ -1,0 +1,262 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"fusionq/internal/bloom"
+	"fusionq/internal/cond"
+	"fusionq/internal/relation"
+	"fusionq/internal/set"
+	"fusionq/internal/source"
+)
+
+// Client is a remote source: it implements source.Source by speaking the
+// wire protocol to a Server, so a mediator can treat local and remote
+// sources uniformly.
+type Client struct {
+	addr   string
+	meta   Meta
+	schema *relation.Schema
+
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+	bw   *bufio.Writer
+}
+
+var _ source.Source = (*Client)(nil)
+
+// Dial connects to a wire server and fetches its metadata.
+func Dial(addr string) (*Client, error) {
+	c := &Client{addr: addr}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(Request{Op: OpMeta})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Meta == nil {
+		return nil, fmt.Errorf("wire: server sent no metadata")
+	}
+	if resp.Meta.Version > ProtocolVersion {
+		c.Close()
+		return nil, fmt.Errorf("wire: server %s speaks protocol v%d, this client supports up to v%d",
+			addr, resp.Meta.Version, ProtocolVersion)
+	}
+	c.meta = *resp.Meta
+	schema, err := DecodeSchema(c.meta.Merge, c.meta.Columns)
+	if err != nil {
+		return nil, err
+	}
+	c.schema = schema
+	return c, nil
+}
+
+func (c *Client) connect() error {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("wire: dial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.bw = bufio.NewWriter(conn)
+	c.enc = json.NewEncoder(c.bw)
+	c.dec = json.NewDecoder(bufio.NewReader(conn))
+	return nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// roundTrip sends one request and reads one response, reconnecting once on
+// a broken connection.
+func (c *Client) roundTrip(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		if err := c.connect(); err != nil {
+			return Response{}, err
+		}
+	}
+	send := func() (Response, error) {
+		if err := c.enc.Encode(req); err != nil {
+			return Response{}, err
+		}
+		if err := c.bw.Flush(); err != nil {
+			return Response{}, err
+		}
+		var resp Response
+		if err := c.dec.Decode(&resp); err != nil {
+			return Response{}, err
+		}
+		return resp, nil
+	}
+	resp, err := send()
+	if err != nil {
+		// One reconnect attempt for a stale connection.
+		c.conn.Close()
+		if cerr := c.connect(); cerr != nil {
+			return Response{}, cerr
+		}
+		resp, err = send()
+		if err != nil {
+			return Response{}, fmt.Errorf("wire: %s: %w", c.addr, err)
+		}
+	}
+	if resp.Error != "" {
+		return Response{}, fmt.Errorf("wire: remote %s: %s", c.meta.Name, resp.Error)
+	}
+	return resp, nil
+}
+
+// Name implements source.Source.
+func (c *Client) Name() string { return c.meta.Name }
+
+// Schema implements source.Source.
+func (c *Client) Schema() *relation.Schema { return c.schema }
+
+// Caps implements source.Source.
+func (c *Client) Caps() source.Capabilities {
+	return source.Capabilities{
+		NativeSemijoin: c.meta.NativeSemijoin,
+		PassedBindings: c.meta.PassedBindings,
+		BloomSemijoin:  c.meta.BloomSemijoin,
+	}
+}
+
+// Select implements source.Source.
+func (c *Client) Select(cd cond.Cond) (set.Set, error) {
+	resp, err := c.roundTrip(Request{Op: OpSelect, Cond: cd.String()})
+	if err != nil {
+		return set.Set{}, err
+	}
+	return set.New(resp.Items...), nil
+}
+
+// Semijoin implements source.Source.
+func (c *Client) Semijoin(cd cond.Cond, y set.Set) (set.Set, error) {
+	if !c.meta.NativeSemijoin {
+		return set.Set{}, fmt.Errorf("wire: %s: semijoin: %w", c.meta.Name, source.ErrUnsupported)
+	}
+	resp, err := c.roundTrip(Request{Op: OpSemi, Cond: cd.String(), Items: y.Slice()})
+	if err != nil {
+		return set.Set{}, err
+	}
+	return set.New(resp.Items...), nil
+}
+
+// SelectBinding implements source.Source.
+func (c *Client) SelectBinding(cd cond.Cond, item string) (bool, error) {
+	if !c.meta.PassedBindings && !c.meta.NativeSemijoin {
+		return false, fmt.Errorf("wire: %s: passed binding: %w", c.meta.Name, source.ErrUnsupported)
+	}
+	resp, err := c.roundTrip(Request{Op: OpBinding, Cond: cd.String(), Item: item})
+	if err != nil {
+		return false, err
+	}
+	return resp.Match, nil
+}
+
+// Load implements source.Source.
+func (c *Client) Load() (*relation.Relation, error) {
+	resp, err := c.roundTrip(Request{Op: OpLoad})
+	if err != nil {
+		return nil, err
+	}
+	return c.decodeRelation(resp.Tuples)
+}
+
+// Fetch implements source.Source.
+func (c *Client) Fetch(items set.Set) ([]relation.Tuple, error) {
+	resp, err := c.roundTrip(Request{Op: OpFetch, Items: items.Slice()})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]relation.Tuple, len(resp.Tuples))
+	for i, wt := range resp.Tuples {
+		t, err := DecodeTuple(wt)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// SemijoinBloom implements source.Source.
+func (c *Client) SemijoinBloom(cd cond.Cond, f *bloom.Filter) (set.Set, error) {
+	if !c.meta.BloomSemijoin {
+		return set.Set{}, fmt.Errorf("wire: %s: bloom semijoin: %w", c.meta.Name, source.ErrUnsupported)
+	}
+	resp, err := c.roundTrip(Request{Op: OpSemiBloom, Cond: cd.String(), Filter: f.Encode()})
+	if err != nil {
+		return set.Set{}, err
+	}
+	return set.New(resp.Items...), nil
+}
+
+// SelectRecords implements source.Source.
+func (c *Client) SelectRecords(cd cond.Cond) ([]relation.Tuple, error) {
+	resp, err := c.roundTrip(Request{Op: OpSelectRecs, Cond: cd.String()})
+	if err != nil {
+		return nil, err
+	}
+	return c.decodeTuples(resp.Tuples)
+}
+
+// SemijoinRecords implements source.Source.
+func (c *Client) SemijoinRecords(cd cond.Cond, y set.Set) ([]relation.Tuple, error) {
+	if !c.meta.NativeSemijoin {
+		return nil, fmt.Errorf("wire: %s: record semijoin: %w", c.meta.Name, source.ErrUnsupported)
+	}
+	resp, err := c.roundTrip(Request{Op: OpSemiRecs, Cond: cd.String(), Items: y.Slice()})
+	if err != nil {
+		return nil, err
+	}
+	return c.decodeTuples(resp.Tuples)
+}
+
+func (c *Client) decodeTuples(wts []WireTuple) ([]relation.Tuple, error) {
+	out := make([]relation.Tuple, len(wts))
+	for i, wt := range wts {
+		t, err := DecodeTuple(wt)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// Card implements source.Source.
+func (c *Client) Card() (int, int, int) {
+	return c.meta.Tuples, c.meta.Distinct, c.meta.Bytes
+}
+
+func (c *Client) decodeRelation(wts []WireTuple) (*relation.Relation, error) {
+	rel := relation.NewRelation(c.schema)
+	for _, wt := range wts {
+		t, err := DecodeTuple(wt)
+		if err != nil {
+			return nil, err
+		}
+		if err := rel.Insert(t); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}

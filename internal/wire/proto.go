@@ -1,0 +1,166 @@
+// Package wire implements a small JSON-over-TCP protocol that exposes a
+// source wrapper to a remote mediator. It is the "real network" counterpart
+// to the simulated links of internal/netsim: the examples and integration
+// tests run mediators against sources served from other processes (or other
+// goroutines) exactly as an Internet mediator would.
+//
+// The protocol is line-oriented: each request and each response is one JSON
+// object on its own line. Operations mirror the wrapper interface of
+// Section 2: sq, sjq, passed-binding selection, lq, fetch, plus a meta
+// operation for schema, capability and statistics discovery.
+package wire
+
+import (
+	"fmt"
+
+	"fusionq/internal/relation"
+)
+
+// ProtocolVersion is the wire protocol revision this build speaks. Servers
+// report theirs in Meta; clients refuse servers that are newer than they
+// understand.
+const ProtocolVersion = 1
+
+// Op codes of the protocol.
+const (
+	OpMeta       = "meta"
+	OpSelect     = "sq"
+	OpSemi       = "sjq"
+	OpBinding    = "binding"
+	OpLoad       = "lq"
+	OpFetch      = "fetch"
+	OpSelectRecs = "sqr"
+	OpSemiRecs   = "sjqr"
+	OpSemiBloom  = "sjqb"
+)
+
+// Request is one client request.
+type Request struct {
+	Op string `json:"op"`
+	// Cond is the condition in its textual form for sq/sjq/binding.
+	Cond string `json:"cond,omitempty"`
+	// Items carries the semijoin set (sjq) or the items to fetch (fetch).
+	Items []string `json:"items,omitempty"`
+	// Item is the single passed binding for the binding op.
+	Item string `json:"item,omitempty"`
+	// Filter is the encoded Bloom filter for the sjqb op.
+	Filter string `json:"filter,omitempty"`
+}
+
+// Response is one server response.
+type Response struct {
+	Error string `json:"error,omitempty"`
+	// Items answers sq and sjq.
+	Items []string `json:"items,omitempty"`
+	// Match answers binding.
+	Match bool `json:"match,omitempty"`
+	// Tuples answers lq and fetch.
+	Tuples []WireTuple `json:"tuples,omitempty"`
+	// Meta answers meta.
+	Meta *Meta `json:"meta,omitempty"`
+}
+
+// Meta describes the served source.
+type Meta struct {
+	Version        int       `json:"version"`
+	Name           string    `json:"name"`
+	Merge          string    `json:"merge"`
+	Columns        []WireCol `json:"columns"`
+	NativeSemijoin bool      `json:"nativeSemijoin"`
+	PassedBindings bool      `json:"passedBindings"`
+	BloomSemijoin  bool      `json:"bloomSemijoin"`
+	Tuples         int       `json:"tuples"`
+	Distinct       int       `json:"distinct"`
+	Bytes          int       `json:"bytes"`
+}
+
+// WireCol is a schema column on the wire.
+type WireCol struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+// WireValue is a tagged scalar on the wire.
+type WireValue struct {
+	Kind string `json:"k"`
+	Raw  string `json:"v"`
+}
+
+// WireTuple is one row on the wire.
+type WireTuple []WireValue
+
+// encodeKind maps a relation.Kind to its wire tag.
+func encodeKind(k relation.Kind) string { return k.String() }
+
+// decodeKind maps a wire tag back to a relation.Kind.
+func decodeKind(s string) (relation.Kind, error) {
+	switch s {
+	case "string":
+		return relation.KindString, nil
+	case "int":
+		return relation.KindInt, nil
+	case "float":
+		return relation.KindFloat, nil
+	case "bool":
+		return relation.KindBool, nil
+	default:
+		return 0, fmt.Errorf("wire: unknown kind %q", s)
+	}
+}
+
+// EncodeTuple converts a relation tuple to its wire form.
+func EncodeTuple(t relation.Tuple) WireTuple {
+	out := make(WireTuple, len(t))
+	for i, v := range t {
+		out[i] = WireValue{Kind: encodeKind(v.Kind()), Raw: v.Raw()}
+	}
+	return out
+}
+
+// DecodeTuple converts a wire tuple back to a relation tuple.
+func DecodeTuple(wt WireTuple) (relation.Tuple, error) {
+	out := make(relation.Tuple, len(wt))
+	for i, wv := range wt {
+		k, err := decodeKind(wv.Kind)
+		if err != nil {
+			return nil, err
+		}
+		switch k {
+		case relation.KindString:
+			out[i] = relation.String(wv.Raw)
+		default:
+			v, err := relation.ParseValue(wv.Raw)
+			if err != nil {
+				return nil, fmt.Errorf("wire: decoding %q: %v", wv.Raw, err)
+			}
+			if v.Kind() != k {
+				return nil, fmt.Errorf("wire: value %q decoded as %s, want %s", wv.Raw, v.Kind(), k)
+			}
+			out[i] = v
+		}
+	}
+	return out, nil
+}
+
+// EncodeSchema converts a schema to wire columns.
+func EncodeSchema(s *relation.Schema) []WireCol {
+	cols := s.Columns()
+	out := make([]WireCol, len(cols))
+	for i, c := range cols {
+		out[i] = WireCol{Name: c.Name, Kind: encodeKind(c.Kind)}
+	}
+	return out
+}
+
+// DecodeSchema rebuilds a schema from wire columns and a merge attribute.
+func DecodeSchema(merge string, cols []WireCol) (*relation.Schema, error) {
+	out := make([]relation.Column, len(cols))
+	for i, c := range cols {
+		k, err := decodeKind(c.Kind)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = relation.Column{Name: c.Name, Kind: k}
+	}
+	return relation.NewSchema(merge, out...)
+}

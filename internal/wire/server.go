@@ -1,0 +1,237 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"fusionq/internal/bloom"
+	"fusionq/internal/cond"
+	"fusionq/internal/set"
+	"fusionq/internal/source"
+)
+
+// Server exposes one wrapped source over TCP.
+type Server struct {
+	src source.Source
+	ln  net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	// Logf, when set, receives connection-level error messages. Defaults
+	// to log.Printf.
+	Logf func(format string, args ...interface{})
+}
+
+// Serve starts a server for src on the given address (e.g. "127.0.0.1:0")
+// and begins accepting connections in the background.
+func Serve(src source.Source, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen: %w", err)
+	}
+	s := &Server{src: src, ln: ln, conns: map[net.Conn]struct{}{}, Logf: log.Printf}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes live connections and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if !closed && !errors.Is(err, net.ErrClosed) {
+				s.Logf("wire: accept: %v", err)
+			}
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	enc := json.NewEncoder(w)
+	dec := json.NewDecoder(r)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.mu.Lock()
+				closed := s.closed
+				s.mu.Unlock()
+				if !closed {
+					s.Logf("wire: decode: %v", err)
+				}
+			}
+			return
+		}
+		resp := s.dispatch(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch executes one request against the wrapped source.
+func (s *Server) dispatch(req Request) Response {
+	fail := func(err error) Response { return Response{Error: err.Error()} }
+	switch req.Op {
+	case OpMeta:
+		tuples, distinct, bytes := s.src.Card()
+		caps := s.src.Caps()
+		return Response{Meta: &Meta{
+			Version:        ProtocolVersion,
+			Name:           s.src.Name(),
+			Merge:          s.src.Schema().Merge(),
+			Columns:        EncodeSchema(s.src.Schema()),
+			NativeSemijoin: caps.NativeSemijoin,
+			PassedBindings: caps.PassedBindings,
+			BloomSemijoin:  caps.BloomSemijoin,
+			Tuples:         tuples,
+			Distinct:       distinct,
+			Bytes:          bytes,
+		}}
+	case OpSelect:
+		c, err := cond.Parse(req.Cond)
+		if err != nil {
+			return fail(err)
+		}
+		items, err := s.src.Select(c)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{Items: items.Slice()}
+	case OpSemi:
+		c, err := cond.Parse(req.Cond)
+		if err != nil {
+			return fail(err)
+		}
+		items, err := s.src.Semijoin(c, set.New(req.Items...))
+		if err != nil {
+			return fail(err)
+		}
+		return Response{Items: items.Slice()}
+	case OpBinding:
+		c, err := cond.Parse(req.Cond)
+		if err != nil {
+			return fail(err)
+		}
+		match, err := s.src.SelectBinding(c, req.Item)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{Match: match}
+	case OpLoad:
+		rel, err := s.src.Load()
+		if err != nil {
+			return fail(err)
+		}
+		tuples := make([]WireTuple, rel.Len())
+		for i, t := range rel.Rows() {
+			tuples[i] = EncodeTuple(t)
+		}
+		return Response{Tuples: tuples}
+	case OpFetch:
+		ts, err := s.src.Fetch(set.New(req.Items...))
+		if err != nil {
+			return fail(err)
+		}
+		tuples := make([]WireTuple, len(ts))
+		for i, t := range ts {
+			tuples[i] = EncodeTuple(t)
+		}
+		return Response{Tuples: tuples}
+	case OpSelectRecs:
+		c, err := cond.Parse(req.Cond)
+		if err != nil {
+			return fail(err)
+		}
+		ts, err := s.src.SelectRecords(c)
+		if err != nil {
+			return fail(err)
+		}
+		tuples := make([]WireTuple, len(ts))
+		for i, t := range ts {
+			tuples[i] = EncodeTuple(t)
+		}
+		return Response{Tuples: tuples}
+	case OpSemiBloom:
+		c, err := cond.Parse(req.Cond)
+		if err != nil {
+			return fail(err)
+		}
+		f, err := bloom.Decode(req.Filter)
+		if err != nil {
+			return fail(err)
+		}
+		items, err := s.src.SemijoinBloom(c, f)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{Items: items.Slice()}
+	case OpSemiRecs:
+		c, err := cond.Parse(req.Cond)
+		if err != nil {
+			return fail(err)
+		}
+		ts, err := s.src.SemijoinRecords(c, set.New(req.Items...))
+		if err != nil {
+			return fail(err)
+		}
+		tuples := make([]WireTuple, len(ts))
+		for i, t := range ts {
+			tuples[i] = EncodeTuple(t)
+		}
+		return Response{Tuples: tuples}
+	default:
+		return fail(fmt.Errorf("wire: unknown op %q", req.Op))
+	}
+}

@@ -1,0 +1,281 @@
+// Package workload builds the data sets and query scenarios the tests,
+// examples and experiments run against: the paper's Figure 1 DMV example,
+// and synthetic multi-source scenarios with controllable overlap,
+// selectivity, capability mix and storage-backend heterogeneity.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fusionq/internal/cond"
+	"fusionq/internal/oem"
+	"fusionq/internal/relation"
+	"fusionq/internal/source"
+)
+
+// Scenario bundles everything needed to optimize and execute one fusion
+// query: the common schema, the conditions, and the wrapped sources.
+type Scenario struct {
+	Schema  *relation.Schema
+	Conds   []cond.Cond
+	Sources []source.Source
+	// Relations holds the raw per-source data, aligned with Sources.
+	Relations []*relation.Relation
+}
+
+// SourceNames returns the names of the scenario's sources in order.
+func (s *Scenario) SourceNames() []string {
+	out := make([]string, len(s.Sources))
+	for i, src := range s.Sources {
+		out[i] = src.Name()
+	}
+	return out
+}
+
+// DMVSchema is the schema of the paper's running example: license number
+// (the merge attribute), violation and date.
+func DMVSchema() *relation.Schema {
+	return relation.MustSchema("L",
+		relation.Column{Name: "L", Kind: relation.KindString},
+		relation.Column{Name: "V", Kind: relation.KindString},
+		relation.Column{Name: "D", Kind: relation.KindInt},
+	)
+}
+
+// DMV builds the paper's Figure 1 scenario: three state DMV relations and
+// the two conditions of the Section 1 query (a dui violation and an sp
+// violation). The expected answer is {J55, T21}.
+func DMV() *Scenario {
+	schema := DMVSchema()
+	rows := [3][][3]interface{}{
+		{ // R1
+			{"J55", "dui", int64(1993)},
+			{"T21", "sp", int64(1994)},
+			{"T80", "dui", int64(1993)},
+		},
+		{ // R2
+			{"T21", "dui", int64(1996)},
+			{"J55", "sp", int64(1996)},
+			{"T11", "sp", int64(1993)},
+		},
+		{ // R3
+			{"T21", "sp", int64(1993)},
+			{"S07", "sp", int64(1996)},
+			{"S07", "sp", int64(1993)},
+		},
+	}
+	sc := &Scenario{
+		Schema: schema,
+		Conds: []cond.Cond{
+			cond.MustParse("V = 'dui'"),
+			cond.MustParse("V = 'sp'"),
+		},
+	}
+	for j, rws := range rows {
+		rel := relation.NewRelation(schema)
+		for _, r := range rws {
+			rel.MustInsert(relation.String(r[0].(string)), relation.String(r[1].(string)), relation.Int(r[2].(int64)))
+		}
+		sc.Relations = append(sc.Relations, rel)
+		sc.Sources = append(sc.Sources, source.NewWrapper(
+			fmt.Sprintf("R%d", j+1),
+			source.NewRowBackend(rel),
+			source.Capabilities{NativeSemijoin: true, PassedBindings: true},
+		))
+	}
+	return sc
+}
+
+// BackendKind selects the storage engine behind a synthetic source.
+type BackendKind int
+
+const (
+	// BackendRow uses the in-memory row store.
+	BackendRow BackendKind = iota
+	// BackendKV uses the encoded key–value store.
+	BackendKV
+	// BackendOEM uses the semistructured OEM store.
+	BackendOEM
+	// BackendMixed cycles row, kv, oem across the sources.
+	BackendMixed
+)
+
+// SynthConfig parameterizes a synthetic scenario. The schema is
+// (ID*, A1..Am int): condition c_i is "Ai < threshold_i", with each A
+// attribute independently uniform over [0, 1000), so Selectivity[i] sets
+// the per-tuple probability of satisfying c_i.
+type SynthConfig struct {
+	Seed            int64
+	NumSources      int
+	TuplesPerSource int
+	// Universe is the number of distinct items entities are drawn from;
+	// overlap across sources comes from drawing from the shared universe.
+	Universe int
+	// Selectivity[i] in (0,1] controls condition i; its length sets the
+	// number of conditions m.
+	Selectivity []float64
+	// Backend selects the storage engines.
+	Backend BackendKind
+	// Caps[j] sets source j's capabilities; when shorter than NumSources
+	// the last entry repeats, and when empty all sources get native
+	// semijoin support.
+	Caps []source.Capabilities
+	// Zipf skews item popularity when true (s=1.2); uniform otherwise.
+	Zipf bool
+	// PayloadBytes, when positive, adds a wide string column P of that
+	// size to every tuple — the "full record" that makes two-phase
+	// processing worthwhile (Section 1).
+	PayloadBytes int
+	// Correlation in [0,1] couples the later condition attributes to the
+	// first: with this probability a tuple's A_i (i ≥ 2) copies its A1
+	// value instead of drawing independently. Correlated conditions are
+	// the regime where the paper's independence-based optimality of SJA
+	// degrades to a heuristic (Section 1, point 3).
+	Correlation float64
+}
+
+// ItemName formats the canonical synthetic item identifier.
+func ItemName(i int) string { return fmt.Sprintf("ID%06d", i) }
+
+// MustConds returns m generic synthetic conditions (A1 < 500, A2 < 500, …)
+// for symbolic optimization problems where only the statistics matter.
+func MustConds(m int) []cond.Cond {
+	out := make([]cond.Cond, m)
+	for i := range out {
+		out[i] = cond.MustParse(fmt.Sprintf("A%d < 500", i+1))
+	}
+	return out
+}
+
+// Synth builds a synthetic scenario from the configuration.
+func Synth(cfg SynthConfig) (*Scenario, error) {
+	if cfg.NumSources <= 0 || cfg.TuplesPerSource <= 0 || cfg.Universe <= 0 {
+		return nil, fmt.Errorf("workload: sources, tuples and universe must be positive")
+	}
+	m := len(cfg.Selectivity)
+	if m == 0 {
+		return nil, fmt.Errorf("workload: need at least one condition selectivity")
+	}
+	for i, s := range cfg.Selectivity {
+		if s <= 0 || s > 1 {
+			return nil, fmt.Errorf("workload: selectivity[%d] = %v out of (0,1]", i, s)
+		}
+	}
+	if cfg.Correlation < 0 || cfg.Correlation > 1 {
+		return nil, fmt.Errorf("workload: correlation %v out of [0,1]", cfg.Correlation)
+	}
+
+	cols := make([]relation.Column, 0, m+2)
+	cols = append(cols, relation.Column{Name: "ID", Kind: relation.KindString})
+	for i := 0; i < m; i++ {
+		cols = append(cols, relation.Column{Name: fmt.Sprintf("A%d", i+1), Kind: relation.KindInt})
+	}
+	if cfg.PayloadBytes > 0 {
+		cols = append(cols, relation.Column{Name: "P", Kind: relation.KindString})
+	}
+	schema := relation.MustSchema("ID", cols...)
+
+	sc := &Scenario{Schema: schema}
+	for i, s := range cfg.Selectivity {
+		thr := int(s * 1000)
+		if thr < 1 {
+			thr = 1
+		}
+		sc.Conds = append(sc.Conds, cond.MustParse(fmt.Sprintf("A%d < %d", i+1, thr)))
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var zipf *rand.Zipf
+	if cfg.Zipf {
+		zipf = rand.NewZipf(rng, 1.2, 1.0, uint64(cfg.Universe-1))
+	}
+	drawItem := func() string {
+		if zipf != nil {
+			return ItemName(int(zipf.Uint64()))
+		}
+		return ItemName(rng.Intn(cfg.Universe))
+	}
+
+	for j := 0; j < cfg.NumSources; j++ {
+		rel := relation.NewRelation(schema)
+		for k := 0; k < cfg.TuplesPerSource; k++ {
+			t := make(relation.Tuple, 0, schema.NumColumns())
+			t = append(t, relation.String(drawItem()))
+			a1 := int64(rng.Intn(1000))
+			t = append(t, relation.Int(a1))
+			for i := 1; i < m; i++ {
+				if cfg.Correlation > 0 && rng.Float64() < cfg.Correlation {
+					t = append(t, relation.Int(a1))
+				} else {
+					t = append(t, relation.Int(int64(rng.Intn(1000))))
+				}
+			}
+			if cfg.PayloadBytes > 0 {
+				t = append(t, relation.String(randomPayload(rng, cfg.PayloadBytes)))
+			}
+			if err := rel.Insert(t); err != nil {
+				return nil, err
+			}
+		}
+		backend, err := buildBackend(cfg.Backend, j, rel)
+		if err != nil {
+			return nil, err
+		}
+		sc.Relations = append(sc.Relations, rel)
+		sc.Sources = append(sc.Sources, source.NewWrapper(fmt.Sprintf("R%d", j+1), backend, capsFor(cfg, j)))
+	}
+	return sc, nil
+}
+
+// randomPayload builds a printable filler string of exactly n bytes.
+func randomPayload(rng *rand.Rand, n int) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(buf)
+}
+
+func capsFor(cfg SynthConfig, j int) source.Capabilities {
+	if len(cfg.Caps) == 0 {
+		return source.Capabilities{NativeSemijoin: true, PassedBindings: true}
+	}
+	if j < len(cfg.Caps) {
+		return cfg.Caps[j]
+	}
+	return cfg.Caps[len(cfg.Caps)-1]
+}
+
+func buildBackend(kind BackendKind, j int, rel *relation.Relation) (source.Backend, error) {
+	effective := kind
+	if kind == BackendMixed {
+		effective = BackendKind(j % 3)
+	}
+	switch effective {
+	case BackendRow:
+		return source.NewRowBackend(rel), nil
+	case BackendKV:
+		kv := source.NewKVBackend(rel.Schema())
+		for _, t := range rel.Rows() {
+			if err := kv.Put(t); err != nil {
+				return nil, err
+			}
+		}
+		return kv, nil
+	case BackendOEM:
+		st := oem.NewStore()
+		cols := rel.Schema().Columns()
+		for _, t := range rel.Rows() {
+			children := make([]*oem.Object, len(cols))
+			for i, c := range cols {
+				children[i] = oem.Atomic(c.Name, t[i])
+			}
+			st.Add(oem.Complex("rec", children...))
+		}
+		return source.NewOEMBackend(st, oem.Mapping{Schema: rel.Schema()}), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown backend kind %d", int(kind))
+	}
+}
