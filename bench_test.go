@@ -8,10 +8,14 @@ package fusionq_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"fusionq/internal/bench"
+	"fusionq/internal/exec"
+	"fusionq/internal/netsim"
 	"fusionq/internal/optimizer"
 	"fusionq/internal/plan"
+	"fusionq/internal/source"
 	"fusionq/internal/stats"
 	"fusionq/internal/workload"
 )
@@ -49,6 +53,7 @@ func BenchmarkE12ChainOrder(b *testing.B)          { runExperiment(b, "E12") }
 func BenchmarkE13CombinedFetch(b *testing.B)       { runExperiment(b, "E13") }
 func BenchmarkE14BloomSemijoin(b *testing.B)       { runExperiment(b, "E14") }
 func BenchmarkE15Adaptive(b *testing.B)            { runExperiment(b, "E15") }
+func BenchmarkE16ParallelSemijoin(b *testing.B)    { runExperiment(b, "E16") }
 
 // synthProblem builds an m-condition, n-source optimization problem from
 // synthetic statistics for the micro-benchmarks.
@@ -109,6 +114,71 @@ func BenchmarkOptimizers(b *testing.B) {
 				benchAlgo(b, a.fn, s.m, s.n)
 			})
 		}
+	}
+}
+
+// BenchmarkEmulatedSemijoinConns runs an emulated semijoin — a selection
+// feeding per-binding probes at a bindings-only source — through the
+// executor under k per-source connections and reports the SIMULATED
+// response time as sim_s/op (wall time measures only the simulator's
+// bookkeeping). Total work is parallelism-invariant; response time should
+// fall toward 1/k of the sequential figure as k grows.
+func BenchmarkEmulatedSemijoinConns(b *testing.B) {
+	cfg := workload.SynthConfig{
+		Seed: 7, NumSources: 2, TuplesPerSource: 300, Universe: 200,
+		Selectivity: []float64{0.25, 0.3},
+		Caps:        []source.Capabilities{{PassedBindings: true}},
+	}
+	modes := []struct {
+		name     string
+		parallel bool
+		conns    int
+	}{
+		{"sequential", false, 1},
+		{"conns1", true, 1},
+		{"conns2", true, 2},
+		{"conns4", true, 4},
+		{"conns8", true, 8},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			sc, err := workload.Synth(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			network := netsim.NewNetwork(1)
+			link := netsim.Link{
+				Latency: 5 * time.Millisecond, BytesPerSec: 4096,
+				RequestOverhead: 2 * time.Millisecond, MaxConns: mode.conns,
+			}
+			srcs := make([]source.Source, len(sc.Sources))
+			for j, raw := range sc.Sources {
+				network.SetLink(raw.Name(), link)
+				srcs[j] = source.Instrument(raw, network)
+			}
+			p := &plan.Plan{
+				Conds:   sc.Conds,
+				Sources: sc.SourceNames(),
+				Steps: []plan.Step{
+					{Kind: plan.KindSelect, Out: "A", Cond: 0, Source: 0},
+					{Kind: plan.KindSemijoin, Out: "B", Cond: 1, Source: 1, In: []string{"A"}},
+				},
+				Result: "B",
+			}
+			ex := &exec.Executor{Sources: srcs, Network: network, Parallel: mode.parallel}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var resp time.Duration
+			for i := 0; i < b.N; i++ {
+				network.Reset()
+				run, err := ex.Run(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				resp = run.ResponseTime
+			}
+			b.ReportMetric(resp.Seconds(), "sim_s/op")
+		})
 	}
 }
 

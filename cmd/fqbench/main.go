@@ -7,9 +7,16 @@
 //	fqbench            # run all experiments
 //	fqbench -e E3      # run one experiment
 //	fqbench -list      # list experiments
+//	fqbench -json      # emit results as JSON (for BENCH_*.json trajectories)
+//
+// The -parallel and -conns flags set executor defaults honored by the
+// experiments that execute plans (where the knob is not itself the swept
+// variable): -parallel overlaps each round's exchanges, -conns caps
+// per-source concurrent connections.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,10 +26,15 @@ import (
 
 func main() {
 	var (
-		expID = flag.String("e", "", "run a single experiment by id (e.g. E3)")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		expID    = flag.String("e", "", "run a single experiment by id (e.g. E3)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		jsonOut  = flag.Bool("json", false, "emit results as a JSON array of tables")
+		parallel = flag.Bool("parallel", false, "run experiment executors in parallel mode")
+		conns    = flag.Int("conns", 0, "per-source connection capacity for parallel executors (0: link default)")
 	)
 	flag.Parse()
+	bench.Parallel = *parallel
+	bench.Conns = *conns
 
 	if *list {
 		for _, e := range bench.All() {
@@ -31,12 +43,17 @@ func main() {
 		return
 	}
 
+	var tables []*bench.Table
 	run := func(e bench.Experiment) error {
 		table, err := e.Run()
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		fmt.Println(table.Render())
+		if *jsonOut {
+			tables = append(tables, table)
+		} else {
+			fmt.Println(table.Render())
+		}
 		return nil
 	}
 
@@ -50,10 +67,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fqbench: %v\n", err)
 			os.Exit(1)
 		}
-		return
+	} else {
+		for _, e := range bench.All() {
+			if err := run(e); err != nil {
+				fmt.Fprintf(os.Stderr, "fqbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
-	for _, e := range bench.All() {
-		if err := run(e); err != nil {
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
 			fmt.Fprintf(os.Stderr, "fqbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -13,6 +13,13 @@
 //	-merge col   merge attribute (default: first column)
 //	-addr addr   listen address (default 127.0.0.1:7070)
 //	-caps tier   native | bindings | none (what the wrapper advertises)
+//	-cache       answer repeated queries from a server-side cache
+//
+// With -cache, selection, binding and native-semijoin answers are recorded
+// in an exec.Cache shared across every connection, so repeated identical
+// queries from any mediator are answered without touching the relation.
+// The cache is only as fresh as the served CSV, which this process never
+// mutates, so it is always consistent here.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"syscall"
 
 	"fusionq/internal/csvio"
+	"fusionq/internal/exec"
 	"fusionq/internal/source"
 	"fusionq/internal/wire"
 )
@@ -36,16 +44,17 @@ func main() {
 		merge    = flag.String("merge", "", "merge attribute (default: first column)")
 		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
 		capsFlag = flag.String("caps", "native", "capabilities: native | bindings | none")
+		cache    = flag.Bool("cache", false, "answer repeated queries from a server-side cache")
 	)
 	flag.Parse()
-	if err := run(*csvPath, *name, *merge, *addr, *capsFlag); err != nil {
+	if err := run(*csvPath, *name, *merge, *addr, *capsFlag, *cache); err != nil {
 		fmt.Fprintf(os.Stderr, "fqsource: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(csvPath, name, merge, addr, capsFlag string) error {
-	srv, err := start(csvPath, name, merge, addr, capsFlag)
+func run(csvPath, name, merge, addr, capsFlag string, cache bool) error {
+	srv, err := start(csvPath, name, merge, addr, capsFlag, cache)
 	if err != nil {
 		return err
 	}
@@ -58,7 +67,7 @@ func run(csvPath, name, merge, addr, capsFlag string) error {
 
 // start loads the relation and begins serving it; callers own the returned
 // server's lifetime.
-func start(csvPath, name, merge, addr, capsFlag string) (*wire.Server, error) {
+func start(csvPath, name, merge, addr, capsFlag string, cache bool) (*wire.Server, error) {
 	if csvPath == "" {
 		return nil, fmt.Errorf("-csv is required")
 	}
@@ -81,7 +90,10 @@ func start(csvPath, name, merge, addr, capsFlag string) (*wire.Server, error) {
 		return nil, fmt.Errorf("unknown capability tier %q", capsFlag)
 	}
 
-	src := source.NewWrapper(name, source.NewRowBackend(rel), caps)
+	var src source.Source = source.NewWrapper(name, source.NewRowBackend(rel), caps)
+	if cache {
+		src = exec.NewCachedSource(src, exec.NewCache())
+	}
 	srv, err := wire.Serve(src, addr)
 	if err != nil {
 		return nil, err

@@ -21,7 +21,7 @@ func writeCSV(t *testing.T) string {
 }
 
 func TestStartServesRelation(t *testing.T) {
-	srv, err := start(writeCSV(t), "", "", "127.0.0.1:0", "native")
+	srv, err := start(writeCSV(t), "", "", "127.0.0.1:0", "native", false)
 	if err != nil {
 		t.Fatalf("start: %v", err)
 	}
@@ -44,10 +44,44 @@ func TestStartServesRelation(t *testing.T) {
 	}
 }
 
+// TestStartWithCache checks the -cache path: repeated queries — even from
+// separate connections — are answered from the server-side cache and agree
+// with the uncached answers.
+func TestStartWithCache(t *testing.T) {
+	srv, err := start(writeCSV(t), "", "", "127.0.0.1:0", "native", true)
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer srv.Close()
+
+	want := set.New("J55", "T80")
+	for i := 0; i < 2; i++ {
+		cli, err := wire.Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cli.Select(cond.MustParse("V = 'dui'"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("conn %d: sq = %v, want %v", i, got, want)
+		}
+		ok, err := cli.SelectBinding(cond.MustParse("V = 'sp'"), "T21")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("conn %d: binding T21 should match", i)
+		}
+		cli.Close()
+	}
+}
+
 func TestStartCapabilityTiers(t *testing.T) {
 	csv := writeCSV(t)
 	for tier, wantNative := range map[string]bool{"native": true, "bindings": false, "none": false} {
-		srv, err := start(csv, "s-"+tier, "", "127.0.0.1:0", tier)
+		srv, err := start(csv, "s-"+tier, "", "127.0.0.1:0", tier, false)
 		if err != nil {
 			t.Fatalf("%s: %v", tier, err)
 		}
@@ -64,16 +98,16 @@ func TestStartCapabilityTiers(t *testing.T) {
 }
 
 func TestStartErrors(t *testing.T) {
-	if _, err := start("", "", "", "127.0.0.1:0", "native"); err == nil {
+	if _, err := start("", "", "", "127.0.0.1:0", "native", false); err == nil {
 		t.Error("missing csv should fail")
 	}
-	if _, err := start("/nonexistent.csv", "", "", "127.0.0.1:0", "native"); err == nil {
+	if _, err := start("/nonexistent.csv", "", "", "127.0.0.1:0", "native", false); err == nil {
 		t.Error("missing file should fail")
 	}
-	if _, err := start(writeCSV(t), "", "", "127.0.0.1:0", "wizard"); err == nil {
+	if _, err := start(writeCSV(t), "", "", "127.0.0.1:0", "wizard", false); err == nil {
 		t.Error("bad caps should fail")
 	}
-	if _, err := start(writeCSV(t), "", "", "256.256.256.256:0", "native"); err == nil {
+	if _, err := start(writeCSV(t), "", "", "256.256.256.256:0", "native", false); err == nil {
 		t.Error("bad address should fail")
 	}
 }

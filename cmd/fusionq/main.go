@@ -19,6 +19,8 @@
 //	-algo name      filter | sj | sja | sja+ | greedy-sj | greedy-sja | greedy-sja+
 //	-caps tier      capability tier for CSV sources: native | bindings | none
 //	-parallel       execute each round's source queries concurrently
+//	-conns n        per-source connection capacity for -parallel (0: link's MaxConns)
+//	-cache          answer repeated source queries from the mediator cache
 //	-explain        print the plan without executing it
 //	-fetch          run the second phase and print the full records
 package main
@@ -59,6 +61,8 @@ func main() {
 		algo     = flag.String("algo", "sja+", "optimization algorithm")
 		capsFlag = flag.String("caps", "native", "CSV source capabilities: native | bindings | none")
 		parallel = flag.Bool("parallel", false, "execute rounds concurrently")
+		conns    = flag.Int("conns", 0, "per-source connection capacity for -parallel (0: use each link's MaxConns)")
+		cache    = flag.Bool("cache", false, "answer repeated source queries from the mediator's cache")
 		catalogF = flag.String("catalog", "", "JSON catalog of sources (replaces -csv/-remote)")
 		explain  = flag.Bool("explain", false, "print the plan, do not execute")
 		fetch    = flag.Bool("fetch", false, "run the second phase and print full records")
@@ -76,14 +80,15 @@ func main() {
 			os.Exit(1)
 		}
 		defer closer()
-		opts := core.Options{Algorithm: core.Algorithm(*algo), Parallel: *parallel, Trace: *trace}
+		opts := core.Options{Algorithm: core.Algorithm(*algo), Parallel: *parallel, Conns: *conns, Cache: *cache, Trace: *trace}
 		if err := repl(m, os.Stdin, os.Stdout, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "fusionq: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*sql, csvs, remotes, *catalogF, *merge, *algo, *capsFlag, *parallel, *explain, *fetch, *trace); err != nil {
+	opts := core.Options{Algorithm: core.Algorithm(*algo), Parallel: *parallel, Conns: *conns, Cache: *cache, Trace: *trace}
+	if err := run(*sql, csvs, remotes, *catalogF, *merge, *capsFlag, opts, *explain, *fetch); err != nil {
 		fmt.Fprintf(os.Stderr, "fusionq: %v\n", err)
 		os.Exit(1)
 	}
@@ -102,7 +107,7 @@ func parseCaps(tier string) (source.Capabilities, error) {
 	}
 }
 
-func run(sql string, csvs, remotes []string, catalogPath, merge, algo, capsFlag string, parallel, explain, fetch, trace bool) error {
+func run(sql string, csvs, remotes []string, catalogPath, merge, capsFlag string, opts core.Options, explain, fetch bool) error {
 	if sql == "" {
 		return fmt.Errorf("-sql is required")
 	}
@@ -118,7 +123,7 @@ func run(sql string, csvs, remotes []string, catalogPath, merge, algo, capsFlag 
 		if err != nil {
 			return err
 		}
-		res, err := m.Plan(fq.Conds, core.Options{Algorithm: core.Algorithm(algo)})
+		res, err := m.Plan(fq.Conds, core.Options{Algorithm: opts.Algorithm, Conns: opts.Conns})
 		if err != nil {
 			return err
 		}
@@ -126,7 +131,7 @@ func run(sql string, csvs, remotes []string, catalogPath, merge, algo, capsFlag 
 		return nil
 	}
 
-	ans, err := m.Query(sql, core.Options{Algorithm: core.Algorithm(algo), Parallel: parallel, Trace: trace})
+	ans, err := m.Query(sql, opts)
 	if err != nil {
 		return err
 	}
@@ -134,7 +139,10 @@ func run(sql string, csvs, remotes []string, catalogPath, merge, algo, capsFlag 
 	fmt.Printf("plan class: %s, estimated cost %.4f s\n", ans.Plan.Class, ans.EstimatedCost)
 	fmt.Printf("execution: %d source queries, total work %v, response time %v\n",
 		ans.Exec.SourceQueries, ans.Exec.TotalWork, ans.Exec.ResponseTime)
-	if trace {
+	if opts.Cache {
+		fmt.Printf("cache: %d hits, %d misses\n", ans.Exec.CacheHits, ans.Exec.CacheMisses)
+	}
+	if opts.Trace {
 		fmt.Printf("\ntrace:\n%s", exec.RenderTrace(ans.Exec.Trace))
 	}
 

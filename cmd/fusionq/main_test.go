@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"fusionq/internal/core"
 	"fusionq/internal/source"
 	"fusionq/internal/wire"
 	"fusionq/internal/workload"
@@ -35,7 +36,7 @@ func writeCSVs(t *testing.T) []string {
 func TestRunEndToEnd(t *testing.T) {
 	csvs := writeCSVs(t)
 	for _, algo := range []string{"filter", "sja", "sja+", "rt-sja"} {
-		if err := run(dmvSQL, csvs, nil, "", "", algo, "native", false, false, true, true); err != nil {
+		if err := run(dmvSQL, csvs, nil, "", "", "native", core.Options{Algorithm: core.Algorithm(algo), Trace: true}, false, true); err != nil {
 			t.Fatalf("algo %s: %v", algo, err)
 		}
 	}
@@ -43,15 +44,19 @@ func TestRunEndToEnd(t *testing.T) {
 
 func TestRunExplain(t *testing.T) {
 	csvs := writeCSVs(t)
-	if err := run(dmvSQL, csvs, nil, "", "", "sja", "bindings", false, true, false, false); err != nil {
+	if err := run(dmvSQL, csvs, nil, "", "", "bindings", core.Options{Algorithm: "sja"}, true, false); err != nil {
 		t.Fatalf("explain: %v", err)
 	}
 }
 
 func TestRunParallel(t *testing.T) {
 	csvs := writeCSVs(t)
-	if err := run(dmvSQL, csvs, nil, "", "", "filter", "none", true, false, false, true); err != nil {
+	if err := run(dmvSQL, csvs, nil, "", "", "none", core.Options{Algorithm: "filter", Parallel: true, Trace: true}, false, false); err != nil {
 		t.Fatalf("parallel: %v", err)
+	}
+	opts := core.Options{Algorithm: "sja", Parallel: true, Conns: 2, Cache: true}
+	if err := run(dmvSQL, csvs, nil, "", "", "bindings", opts, false, false); err != nil {
+		t.Fatalf("parallel conns+cache: %v", err)
 	}
 }
 
@@ -65,7 +70,7 @@ func TestRunWithRemoteSource(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	if err := run(dmvSQL, csvs[:2], []string{srv.Addr()}, "", "", "sja+", "native", false, false, false, false); err != nil {
+	if err := run(dmvSQL, csvs[:2], []string{srv.Addr()}, "", "", "native", core.Options{Algorithm: "sja+"}, false, false); err != nil {
 		t.Fatalf("remote mix: %v", err)
 	}
 }
@@ -76,18 +81,26 @@ func TestRunErrors(t *testing.T) {
 		name string
 		f    func() error
 	}{
-		{"no sql", func() error { return run("", csvs, nil, "", "", "sja", "native", false, false, false, false) }},
-		{"no sources", func() error { return run(dmvSQL, nil, nil, "", "", "sja", "native", false, false, false, false) }},
-		{"bad caps", func() error { return run(dmvSQL, csvs, nil, "", "", "sja", "wizard", false, false, false, false) }},
-		{"bad algo", func() error { return run(dmvSQL, csvs, nil, "", "", "wizard", "native", false, false, false, false) }},
+		{"no sql", func() error {
+			return run("", csvs, nil, "", "", "native", core.Options{Algorithm: "sja"}, false, false)
+		}},
+		{"no sources", func() error {
+			return run(dmvSQL, nil, nil, "", "", "native", core.Options{Algorithm: "sja"}, false, false)
+		}},
+		{"bad caps", func() error {
+			return run(dmvSQL, csvs, nil, "", "", "wizard", core.Options{Algorithm: "sja"}, false, false)
+		}},
+		{"bad algo", func() error {
+			return run(dmvSQL, csvs, nil, "", "", "native", core.Options{Algorithm: "wizard"}, false, false)
+		}},
 		{"missing file", func() error {
-			return run(dmvSQL, []string{"/nonexistent/x.csv"}, nil, "", "", "sja", "native", false, false, false, false)
+			return run(dmvSQL, []string{"/nonexistent/x.csv"}, nil, "", "", "native", core.Options{Algorithm: "sja"}, false, false)
 		}},
 		{"bad remote", func() error {
-			return run(dmvSQL, nil, []string{"127.0.0.1:1"}, "", "", "sja", "native", false, false, false, false)
+			return run(dmvSQL, nil, []string{"127.0.0.1:1"}, "", "", "native", core.Options{Algorithm: "sja"}, false, false)
 		}},
 		{"not fusion", func() error {
-			return run("SELECT u1.V FROM U u1", csvs, nil, "", "", "sja", "native", false, false, false, false)
+			return run("SELECT u1.V FROM U u1", csvs, nil, "", "", "native", core.Options{Algorithm: "sja"}, false, false)
 		}},
 	}
 	for _, c := range cases {
@@ -108,7 +121,7 @@ func TestRunIncompatibleSchemas(t *testing.T) {
 		t.Fatal(err)
 	}
 	sql := "SELECT u1.L FROM U u1 WHERE u1.V = 'dui'"
-	if err := run(sql, []string{a, b}, nil, "", "", "sja", "native", false, false, false, false); err == nil {
+	if err := run(sql, []string{a, b}, nil, "", "", "native", core.Options{Algorithm: "sja"}, false, false); err == nil {
 		t.Fatal("incompatible schemas should fail")
 	}
 }
@@ -127,10 +140,10 @@ func TestRunWithCatalog(t *testing.T) {
 	if err := os.WriteFile(path, []byte(catJSON), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(dmvSQL, nil, nil, path, "", "sja", "native", false, false, false, false); err != nil {
+	if err := run(dmvSQL, nil, nil, path, "", "native", core.Options{Algorithm: "sja"}, false, false); err != nil {
 		t.Fatalf("catalog run: %v", err)
 	}
-	if err := run(dmvSQL, nil, nil, "/nonexistent.json", "", "sja", "native", false, false, false, false); err == nil {
+	if err := run(dmvSQL, nil, nil, "/nonexistent.json", "", "native", core.Options{Algorithm: "sja"}, false, false); err == nil {
 		t.Fatal("missing catalog should fail")
 	}
 }

@@ -7,10 +7,10 @@ import (
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
-		t.Fatalf("registered %d experiments, want 15 (E1..E15)", len(all))
+	if len(all) != 16 {
+		t.Fatalf("registered %d experiments, want 16 (E1..E16)", len(all))
 	}
-	want := []string{"E1", "E10", "E11", "E12", "E13", "E14", "E15", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	want := []string{"E1", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
 	for i, e := range all {
 		if e.ID != want[i] {
 			t.Fatalf("experiment %d = %s, want %s", i, e.ID, want[i])

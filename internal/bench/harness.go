@@ -18,6 +18,16 @@ import (
 	"strings"
 )
 
+// Exec knobs, set by cmd/fqbench flags. Experiments that execute plans pick
+// them up where the knob is not itself the swept variable: Parallel runs
+// their executors concurrently (it never changes the total work or bytes
+// those experiments report, only how exchanges overlap) and Conns overrides
+// per-source connection capacity for parallel runs.
+var (
+	Parallel bool
+	Conns    int
+)
+
 // Table is one experiment's output: a titled grid of rows.
 type Table struct {
 	ID      string

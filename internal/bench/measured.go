@@ -107,7 +107,7 @@ func runE8() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		ex := &exec.Executor{Sources: ms.sources, Network: ms.network}
+		ex := &exec.Executor{Sources: ms.sources, Network: ms.network, Parallel: Parallel, Conns: Conns}
 		run, err := ex.Run(res.Plan)
 		if err != nil {
 			return nil, err
@@ -163,7 +163,7 @@ func runE9() (*Table, error) {
 		measured := seqRun.TotalWork.Seconds()
 
 		ms.reset()
-		par := &exec.Executor{Sources: ms.sources, Network: ms.network, Parallel: true}
+		par := &exec.Executor{Sources: ms.sources, Network: ms.network, Parallel: true, Conns: Conns}
 		parRun, err := par.Run(res.Plan)
 		if err != nil {
 			return nil, err
@@ -290,7 +290,7 @@ func runE11() (*Table, error) {
 
 		measure := func(res optimizer.Result) (float64, set.Set, error) {
 			ms.reset()
-			ex := &exec.Executor{Sources: ms.sources, Network: ms.network}
+			ex := &exec.Executor{Sources: ms.sources, Network: ms.network, Parallel: Parallel, Conns: Conns}
 			run, err := ex.Run(res.Plan)
 			if err != nil {
 				return 0, set.Set{}, err
@@ -399,7 +399,7 @@ func runE13() (*Table, error) {
 				return nil, err
 			}
 			ms.reset()
-			ex := &exec.Executor{Sources: ms.sources, Network: ms.network}
+			ex := &exec.Executor{Sources: ms.sources, Network: ms.network, Parallel: Parallel, Conns: Conns}
 			run, err := ex.Run(res.Plan)
 			if err != nil {
 				return nil, err
@@ -420,7 +420,7 @@ func runE13() (*Table, error) {
 				return nil, err
 			}
 			ms2.reset()
-			ex2 := &exec.Executor{Sources: ms2.sources, Network: ms2.network}
+			ex2 := &exec.Executor{Sources: ms2.sources, Network: ms2.network, Parallel: Parallel, Conns: Conns}
 			run2, records, err := ex2.RunCombined(res2.Plan)
 			if err != nil {
 				return nil, err
@@ -504,7 +504,7 @@ func runE15() (*Table, error) {
 
 		measure := func(res optimizer.Result) (float64, set.Set, error) {
 			ms.reset()
-			ex := &exec.Executor{Sources: ms.sources, Network: ms.network}
+			ex := &exec.Executor{Sources: ms.sources, Network: ms.network, Parallel: Parallel, Conns: Conns}
 			run, err := ex.Run(res.Plan)
 			if err != nil {
 				return 0, set.Set{}, err
@@ -536,7 +536,7 @@ func runE15() (*Table, error) {
 		}
 
 		ms.reset()
-		ex := &exec.Executor{Sources: ms.sources, Network: ms.network}
+		ex := &exec.Executor{Sources: ms.sources, Network: ms.network, Parallel: Parallel, Conns: Conns}
 		adaptiveRun, _, err := ex.RunAdaptive(ms.problem)
 		if err != nil {
 			return nil, err

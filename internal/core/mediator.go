@@ -83,8 +83,19 @@ type Options struct {
 	// Algorithm defaults to SJA+ (the paper's best pipeline).
 	Algorithm Algorithm
 	// Parallel runs each round's source queries concurrently (Section 6's
-	// response-time direction). Total work is unchanged.
+	// response-time direction), bounded per source by the link's MaxConns
+	// (or the Conns override). Total work is unchanged.
 	Parallel bool
+	// Conns, when positive, overrides every source's connection capacity
+	// for parallel execution and response-time estimation. Zero defers to
+	// each network link's MaxConns (default 1).
+	Conns int
+	// Cache answers repeated selection and binding queries from the
+	// mediator's persistent answer cache, skipping source traffic for
+	// answers already learned — within a query (across adaptive rounds) and
+	// across queries. Sources are autonomous: call Mediator.ClearCache when
+	// their contents may have changed.
+	Cache bool
 	// SampleRate, when in (0,1), gathers statistics from a Bernoulli
 	// sample instead of exact scans. Zero or one means exact statistics.
 	SampleRate float64
@@ -134,6 +145,7 @@ type Mediator struct {
 	sources  []source.Source
 	profiles []stats.SourceProfile
 	network  *netsim.Network
+	cache    *exec.Cache
 }
 
 // New creates a mediator exporting the given common schema.
@@ -147,6 +159,24 @@ func (m *Mediator) SetNetwork(n *netsim.Network) { m.network = n }
 
 // Network returns the attached simulated network, if any.
 func (m *Mediator) Network() *netsim.Network { return m.network }
+
+// Cache returns the mediator's persistent answer cache, creating it on
+// first use. Queries run with Options.Cache consult and feed it.
+func (m *Mediator) Cache() *exec.Cache {
+	if m.cache == nil {
+		m.cache = exec.NewCache()
+	}
+	return m.cache
+}
+
+// ClearCache drops every cached source answer. Sources are autonomous;
+// call this when their contents may have changed since the answers were
+// learned.
+func (m *Mediator) ClearCache() {
+	if m.cache != nil {
+		m.cache.Clear()
+	}
+}
 
 // AddSource registers a source with an explicit cost profile. The source's
 // schema must be compatible with the mediator's. When a network is attached
@@ -257,6 +287,11 @@ func (m *Mediator) Problem(conds []cond.Cond, opts Options) (*optimizer.Problem,
 	if err != nil {
 		return nil, err
 	}
+	if opts.Conns > 0 {
+		for j := range table.Conns {
+			table.Conns[j] = opts.Conns
+		}
+	}
 	if m.network != nil {
 		m.network.Reset()
 	}
@@ -283,12 +318,16 @@ func (m *Mediator) Plan(conds []cond.Cond, opts Options) (optimizer.Result, erro
 
 // QueryConds plans and executes a fusion query given as a condition list.
 func (m *Mediator) QueryConds(conds []cond.Cond, opts Options) (*Answer, error) {
+	var cache *exec.Cache
+	if opts.Cache {
+		cache = m.Cache()
+	}
 	if opts.Adaptive {
 		pr, err := m.Problem(conds, opts)
 		if err != nil {
 			return nil, err
 		}
-		ex := &exec.Executor{Sources: m.sources, Network: m.network, Retries: opts.Retries}
+		ex := &exec.Executor{Sources: m.sources, Network: m.network, Parallel: opts.Parallel, Conns: opts.Conns, Cache: cache, Retries: opts.Retries}
 		run, executed, err := ex.RunAdaptive(pr)
 		if err != nil {
 			return nil, err
@@ -299,7 +338,7 @@ func (m *Mediator) QueryConds(conds []cond.Cond, opts Options) (*Answer, error) 
 	if err != nil {
 		return nil, err
 	}
-	ex := &exec.Executor{Sources: m.sources, Network: m.network, Parallel: opts.Parallel, Trace: opts.Trace, Retries: opts.Retries}
+	ex := &exec.Executor{Sources: m.sources, Network: m.network, Parallel: opts.Parallel, Conns: opts.Conns, Cache: cache, Trace: opts.Trace, Retries: opts.Retries}
 	if opts.CombinedFetch {
 		run, records, err := ex.RunCombined(res.Plan)
 		if err != nil {

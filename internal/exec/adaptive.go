@@ -3,8 +3,10 @@ package exec
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"fusionq/internal/bloom"
+	"fusionq/internal/netsim"
 	"fusionq/internal/optimizer"
 	"fusionq/internal/plan"
 	"fusionq/internal/set"
@@ -46,19 +48,52 @@ func (e *Executor) RunAdaptive(pr *optimizer.Problem) (*Result, *plan.Plan, erro
 	executed := &plan.Plan{Conds: pr.Conds, Sources: pr.Sources, Class: "adaptive"}
 	res := &Result{Vars: map[string]set.Set{}}
 	placed := make([]bool, m)
+	if e.Parallel {
+		conns := make([]int, len(e.Sources))
+		for j := range e.Sources {
+			conns[j] = e.connsFor(j)
+		}
+		e.sched = newScheduler(conns)
+	} else {
+		e.sched = nil
+	}
 	if e.Network != nil {
 		pre := e.Network.Stats().TotalTime
 		defer func() {
-			d := e.Network.Stats().TotalTime - pre
-			res.TotalWork = d
-			res.ResponseTime = d
+			res.TotalWork = e.Network.Stats().TotalTime - pre
+			if !e.Parallel {
+				res.ResponseTime = res.TotalWork
+			}
 		}()
 	}
 
-	record := func(s plan.Step, out set.Set, queries int) {
+	record := func(s plan.Step, out set.Set, qs queryStats) {
 		executed.Steps = append(executed.Steps, s)
 		res.Vars[s.Out] = out
-		res.SourceQueries += queries
+		res.SourceQueries += qs.queries
+		res.CacheHits += qs.hits
+		res.CacheMisses += qs.misses
+	}
+
+	// query issues one adaptive source query. Adaptive rounds issue their
+	// per-source queries one source at a time, so in parallel mode the
+	// response time is the per-call makespan — an emulated semijoin's binding
+	// fan-out over the source's connections is the only intra-call
+	// parallelism.
+	query := func(ci, j int, method optimizer.Method, x set.Set) (set.Set, queryStats, error) {
+		logStart := 0
+		if e.Parallel && e.Network != nil {
+			logStart = len(e.Network.Log())
+		}
+		out, qs, err := e.sourceQuery(pr, ci, j, method, x)
+		if e.Parallel && e.Network != nil {
+			var durs []time.Duration
+			for _, ex := range e.Network.Log()[logStart:] {
+				durs = append(durs, ex.Elapsed)
+			}
+			res.ResponseTime += netsim.Makespan(durs, e.connsFor(j))
+		}
+		return out, qs, err
 	}
 
 	// First round: cheapest estimated selections relative to the set they
@@ -78,17 +113,17 @@ func (e *Executor) RunAdaptive(pr *optimizer.Problem) (*Result, *plan.Plan, erro
 	parts := make([]set.Set, n)
 	var names []string
 	for j := 0; j < n; j++ {
-		out, err := e.sourceQuery(pr, first, j, optimizer.MethodSelect, set.Set{})
+		out, qs, err := query(first, j, optimizer.MethodSelect, set.Set{})
 		if err != nil {
 			return nil, nil, err
 		}
 		name := fmt.Sprintf("X1%d", j+1)
-		record(plan.Step{Kind: plan.KindSelect, Out: name, Cond: first, Source: j}, out, 1)
+		record(plan.Step{Kind: plan.KindSelect, Out: name, Cond: first, Source: j}, out, qs)
 		parts[j] = out
 		names = append(names, name)
 	}
 	x := set.UnionAll(parts...)
-	record(plan.Step{Kind: plan.KindUnion, Out: "X1", Cond: -1, Source: -1, In: names}, x, 0)
+	record(plan.Step{Kind: plan.KindUnion, Out: "X1", Cond: -1, Source: -1, In: names}, x, queryStats{})
 
 	for r := 2; r <= m && !x.IsEmpty(); r++ {
 		// Pick the next condition against the MEASURED |X|.
@@ -117,25 +152,21 @@ func (e *Executor) RunAdaptive(pr *optimizer.Problem) (*Result, *plan.Plan, erro
 		for j := 0; j < n; j++ {
 			method := nextMethods[j]
 			name := fmt.Sprintf("X%d%d", r, j+1)
-			out, err := e.sourceQuery(pr, nextIdx, j, method, x)
+			out, qs, err := query(nextIdx, j, method, x)
 			if err != nil {
 				return nil, nil, err
 			}
 			switch method {
 			case optimizer.MethodSelect:
-				record(plan.Step{Kind: plan.KindSelect, Out: name, Cond: nextIdx, Source: j}, out, 1)
+				record(plan.Step{Kind: plan.KindSelect, Out: name, Cond: nextIdx, Source: j}, out, qs)
 				selVars = append(selVars, name)
 				selSets = append(selSets, out)
 			case optimizer.MethodBloom:
-				record(plan.Step{Kind: plan.KindBloomSemijoin, Out: name, Cond: nextIdx, Source: j, In: []string{fmt.Sprintf("X%d", r-1)}}, out, 1)
+				record(plan.Step{Kind: plan.KindBloomSemijoin, Out: name, Cond: nextIdx, Source: j, In: []string{fmt.Sprintf("X%d", r-1)}}, out, qs)
 				sjVars = append(sjVars, name)
 				sjSets = append(sjSets, out)
 			default:
-				queries := 1
-				if !e.Sources[j].Caps().NativeSemijoin {
-					queries = x.Len()
-				}
-				record(plan.Step{Kind: plan.KindSemijoin, Out: name, Cond: nextIdx, Source: j, In: []string{fmt.Sprintf("X%d", r-1)}}, out, queries)
+				record(plan.Step{Kind: plan.KindSemijoin, Out: name, Cond: nextIdx, Source: j, In: []string{fmt.Sprintf("X%d", r-1)}}, out, qs)
 				sjVars = append(sjVars, name)
 				sjSets = append(sjSets, out)
 			}
@@ -143,10 +174,10 @@ func (e *Executor) RunAdaptive(pr *optimizer.Problem) (*Result, *plan.Plan, erro
 		all := append(append([]string(nil), selVars...), sjVars...)
 		u := set.UnionAll(append(append([]set.Set(nil), selSets...), sjSets...)...)
 		out := fmt.Sprintf("X%d", r)
-		record(plan.Step{Kind: plan.KindUnion, Out: out, Cond: -1, Source: -1, In: all}, u, 0)
+		record(plan.Step{Kind: plan.KindUnion, Out: out, Cond: -1, Source: -1, In: all}, u, queryStats{})
 		if len(selVars) > 0 {
 			u = u.Intersect(x)
-			record(plan.Step{Kind: plan.KindIntersect, Out: out, Cond: -1, Source: -1, In: []string{out, fmt.Sprintf("X%d", r-1)}}, u, 0)
+			record(plan.Step{Kind: plan.KindIntersect, Out: out, Cond: -1, Source: -1, In: []string{out, fmt.Sprintf("X%d", r-1)}}, u, queryStats{})
 		}
 		x = u
 	}
@@ -156,33 +187,50 @@ func (e *Executor) RunAdaptive(pr *optimizer.Problem) (*Result, *plan.Plan, erro
 	return res, executed, nil
 }
 
-// sourceQuery issues one adaptive-round query with the chosen method,
-// honoring the executor's retry budget.
-func (e *Executor) sourceQuery(pr *optimizer.Problem, ci, j int, method optimizer.Method, x set.Set) (set.Set, error) {
+// sourceQuery issues one adaptive-round query with the chosen method through
+// the cache and scheduler, honoring the executor's retry budget. Emulated
+// semijoins retry per binding inside semijoinQuery, so the whole-call retry
+// budget is zeroed for them; failed attempts stay charged in the returned
+// stats.
+func (e *Executor) sourceQuery(pr *optimizer.Problem, ci, j int, method optimizer.Method, x set.Set) (set.Set, queryStats, error) {
 	src := e.Sources[j]
+	budget := e.Retries
+	if method != optimizer.MethodSelect && method != optimizer.MethodBloom {
+		if caps := src.Caps(); !caps.NativeSemijoin && caps.PassedBindings {
+			budget = 0
+		}
+	}
+	var acc queryStats
 	for attempt := 0; ; attempt++ {
 		var (
 			out set.Set
+			qs  queryStats
 			err error
 		)
 		switch method {
 		case optimizer.MethodSelect:
-			out, err = src.Select(pr.Conds[ci])
+			out, qs, err = e.selectQuery(j, pr.Conds[ci])
 		case optimizer.MethodBloom:
 			filter := bloom.FromItems(x.Items(), bloom.DefaultBitsPerItem)
+			release := e.slot(j)
 			var positives set.Set
 			positives, err = src.SemijoinBloom(pr.Conds[ci], filter)
+			release()
+			qs = queryStats{queries: 1}
 			if err == nil {
 				out = positives.Intersect(x)
 			}
 		default:
-			out, err = source.SemijoinAuto(src, pr.Conds[ci], x)
+			out, qs, err = e.semijoinQuery(j, pr.Conds[ci], x)
 		}
+		acc.queries += qs.queries
+		acc.hits += qs.hits
+		acc.misses += qs.misses
 		if err == nil {
-			return out, nil
+			return out, acc, nil
 		}
-		if attempt >= e.Retries || !source.IsTransient(err) {
-			return set.Set{}, fmt.Errorf("exec: adaptive %s at %s: %w", method, src.Name(), err)
+		if attempt >= budget || !source.IsTransient(err) {
+			return set.Set{}, acc, fmt.Errorf("exec: adaptive %s at %s: %w", method, src.Name(), err)
 		}
 	}
 }

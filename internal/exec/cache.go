@@ -1,0 +1,317 @@
+package exec
+
+import (
+	"sync"
+
+	"fusionq/internal/bloom"
+	"fusionq/internal/cond"
+	"fusionq/internal/relation"
+	"fusionq/internal/set"
+	"fusionq/internal/source"
+)
+
+// Cache is the mediator-side answer cache consulted before any selection or
+// binding query. It holds two structures per (source, canonical condition)
+// pair:
+//
+//   - a selection-result cache: the full item set sq(c, R) returned by a
+//     completed selection, which answers membership for EVERY item (a
+//     selection is complete, so absence means "does not satisfy");
+//   - a tri-state membership cache: per-item verdicts learned from
+//     passed-binding selections and native semijoins, where only the probed
+//     items are known and everything else stays unknown.
+//
+// Sources are autonomous (Section 2.1): a cached answer is only guaranteed
+// consistent with the source as of the exchange that produced it. The cache
+// is therefore safe within one query execution (sources are assumed stable
+// for the duration of a plan, exactly the assumption the optimizer's
+// statistics already make) and is a freshness trade-off across queries;
+// callers that share a Cache across queries own the decision of when to
+// Clear it. All methods are safe for concurrent use — the scheduler consults
+// the cache from many binding workers at once.
+type Cache struct {
+	mu sync.Mutex
+	// selects maps source -> condition -> complete selection result.
+	selects map[string]map[string]set.Set
+	// members maps source -> condition -> item -> verdict.
+	members map[string]map[string]map[string]bool
+
+	hits   int
+	misses int
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{
+		selects: map[string]map[string]set.Set{},
+		members: map[string]map[string]map[string]bool{},
+	}
+}
+
+// CacheStats is a snapshot of the cache's hit/miss counters. A "hit" is one
+// source query avoided (a whole selection, or one binding probe); a "miss"
+// is a consultation that had to go to the source.
+type CacheStats struct {
+	Hits   int
+	Misses int
+}
+
+// Stats returns the accumulated counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses}
+}
+
+// Clear drops all cached answers and counters. Call it when cached source
+// state must be considered stale (the sources are autonomous and may have
+// changed).
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.selects = map[string]map[string]set.Set{}
+	c.members = map[string]map[string]map[string]bool{}
+	c.hits = 0
+	c.misses = 0
+}
+
+// Len reports how many cached selection results and membership verdicts the
+// cache holds.
+func (c *Cache) Len() (selections, memberships int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, m := range c.selects {
+		selections += len(m)
+	}
+	for _, m := range c.members {
+		for _, items := range m {
+			memberships += len(items)
+		}
+	}
+	return selections, memberships
+}
+
+// condKey canonicalizes a condition for cache keying. Cond.String renders
+// the parsed tree, so equal conditions render equally regardless of the
+// original SQL spelling.
+func condKey(c cond.Cond) string { return c.String() }
+
+// Select returns the cached sq(c, src) result, counting a hit or miss.
+func (c *Cache) Select(src string, cd cond.Cond) (set.Set, bool) {
+	if c == nil {
+		return set.Set{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out, ok := c.selects[src][condKey(cd)]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return out, ok
+}
+
+// PutSelect stores a complete selection result.
+func (c *Cache) PutSelect(src string, cd cond.Cond, out set.Set) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.selects[src]
+	if !ok {
+		m = map[string]set.Set{}
+		c.selects[src] = m
+	}
+	m[condKey(cd)] = out
+}
+
+// Lookup answers the membership question "does item satisfy cd at src?"
+// from cached state: known reports whether the cache can answer at all, and
+// match is the verdict when it can. A cached complete selection answers for
+// every item; otherwise only explicitly probed items are known. Counts a hit
+// when known, a miss otherwise.
+func (c *Cache) Lookup(src string, cd cond.Cond, item string) (match, known bool) {
+	if c == nil {
+		return false, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := condKey(cd)
+	if sel, ok := c.selects[src][key]; ok {
+		c.hits++
+		return sel.Contains(item), true
+	}
+	if v, ok := c.members[src][key][item]; ok {
+		c.hits++
+		return v, true
+	}
+	c.misses++
+	return false, false
+}
+
+// PutMembership records one probed item's verdict.
+func (c *Cache) PutMembership(src string, cd cond.Cond, item string, match bool) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.put(src, condKey(cd), item, match)
+}
+
+// PutSemijoin records the verdict of every item of a completed semijoin
+// sjq(cd, src, y) with result out ⊆ y: members of out satisfy cd, the rest
+// of y do not.
+func (c *Cache) PutSemijoin(src string, cd cond.Cond, y, out set.Set) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := condKey(cd)
+	for _, item := range y.Items() {
+		c.put(src, key, item, out.Contains(item))
+	}
+}
+
+// put stores one verdict; the caller holds the lock.
+func (c *Cache) put(src, key, item string, match bool) {
+	bySrc, ok := c.members[src]
+	if !ok {
+		bySrc = map[string]map[string]bool{}
+		c.members[src] = bySrc
+	}
+	byCond, ok := bySrc[key]
+	if !ok {
+		byCond = map[string]bool{}
+		bySrc[key] = byCond
+	}
+	byCond[item] = match
+}
+
+// Partition splits y by cached knowledge of cd at src into the items known
+// to satisfy it, and the items whose verdict is unknown (items known NOT to
+// satisfy are dropped — they cannot be in the semijoin result). The hit/miss
+// counters account one consultation per item of y.
+func (c *Cache) Partition(src string, cd cond.Cond, y set.Set) (knownTrue set.Set, unknown set.Set) {
+	if c == nil {
+		return set.Set{}, y
+	}
+	var trues, unk []string
+	for _, item := range y.Items() {
+		match, known := c.Lookup(src, cd, item)
+		switch {
+		case known && match:
+			trues = append(trues, item)
+		case !known:
+			unk = append(unk, item)
+		}
+	}
+	return set.FromSorted(trues), set.FromSorted(unk)
+}
+
+// CachedSource decorates a Source so that selection, binding and semijoin
+// queries are answered from (and recorded into) a shared Cache. It lets a
+// long-lived endpoint — the wire server of cmd/fqsource, or any roster
+// shared across mediator queries — skip repeated identical source traffic.
+// Record-returning operations (Fetch, SelectRecords, SemijoinRecords), loads
+// and Bloom semijoins pass through uncached.
+type CachedSource struct {
+	inner source.Source
+	cache *Cache
+}
+
+var _ source.Source = (*CachedSource)(nil)
+
+// NewCachedSource wraps src with the given cache (which may be shared among
+// several sources; entries are keyed by source name).
+func NewCachedSource(src source.Source, cache *Cache) *CachedSource {
+	return &CachedSource{inner: src, cache: cache}
+}
+
+// Cache returns the underlying cache (for stats and Clear).
+func (s *CachedSource) Cache() *Cache { return s.cache }
+
+// Name implements source.Source.
+func (s *CachedSource) Name() string { return s.inner.Name() }
+
+// Schema implements source.Source.
+func (s *CachedSource) Schema() *relation.Schema { return s.inner.Schema() }
+
+// Caps implements source.Source.
+func (s *CachedSource) Caps() source.Capabilities { return s.inner.Caps() }
+
+// Select implements source.Source, consulting the selection cache.
+func (s *CachedSource) Select(c cond.Cond) (set.Set, error) {
+	if out, ok := s.cache.Select(s.Name(), c); ok {
+		return out, nil
+	}
+	out, err := s.inner.Select(c)
+	if err != nil {
+		return out, err
+	}
+	s.cache.PutSelect(s.Name(), c, out)
+	return out, nil
+}
+
+// SelectBinding implements source.Source, consulting the membership cache.
+func (s *CachedSource) SelectBinding(c cond.Cond, item string) (bool, error) {
+	if match, known := s.cache.Lookup(s.Name(), c, item); known {
+		return match, nil
+	}
+	match, err := s.inner.SelectBinding(c, item)
+	if err != nil {
+		return match, err
+	}
+	s.cache.PutMembership(s.Name(), c, item, match)
+	return match, nil
+}
+
+// Semijoin implements source.Source: cached verdicts shrink the shipped set,
+// and a semijoin whose every item is already known costs no exchange at all.
+func (s *CachedSource) Semijoin(c cond.Cond, y set.Set) (set.Set, error) {
+	if !s.Caps().NativeSemijoin {
+		// Delegate so the inner source produces its canonical error.
+		return s.inner.Semijoin(c, y)
+	}
+	knownTrue, unknown := s.cache.Partition(s.Name(), c, y)
+	if unknown.IsEmpty() {
+		return knownTrue, nil
+	}
+	out, err := s.inner.Semijoin(c, unknown)
+	if err != nil {
+		return out, err
+	}
+	s.cache.PutSemijoin(s.Name(), c, unknown, out)
+	return out.Union(knownTrue), nil
+}
+
+// Load implements source.Source (uncached).
+func (s *CachedSource) Load() (*relation.Relation, error) { return s.inner.Load() }
+
+// Fetch implements source.Source (uncached).
+func (s *CachedSource) Fetch(items set.Set) ([]relation.Tuple, error) { return s.inner.Fetch(items) }
+
+// SelectRecords implements source.Source (uncached).
+func (s *CachedSource) SelectRecords(c cond.Cond) ([]relation.Tuple, error) {
+	return s.inner.SelectRecords(c)
+}
+
+// SemijoinRecords implements source.Source (uncached).
+func (s *CachedSource) SemijoinRecords(c cond.Cond, y set.Set) ([]relation.Tuple, error) {
+	return s.inner.SemijoinRecords(c, y)
+}
+
+// SemijoinBloom implements source.Source (uncached: the filter is
+// set-specific and the result carries false positives).
+func (s *CachedSource) SemijoinBloom(c cond.Cond, f *bloom.Filter) (set.Set, error) {
+	return s.inner.SemijoinBloom(c, f)
+}
+
+// Card implements source.Source.
+func (s *CachedSource) Card() (int, int, int) { return s.inner.Card() }

@@ -32,6 +32,10 @@ func (e *Executor) RunCombined(p *plan.Plan) (*Result, *relation.Relation, error
 		Sources:   e.Sources,
 		Network:   e.Network,
 		Parallel:  e.Parallel,
+		Conns:     e.Conns,
+		Cache:     e.Cache,
+		Trace:     e.Trace,
+		Retries:   e.Retries,
 		finalCond: final,
 		records:   map[int]map[string][]relation.Tuple{},
 	}

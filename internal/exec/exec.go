@@ -8,8 +8,16 @@
 // at a time; its simulated elapsed time equals the "total work" the paper's
 // cost model minimizes. Parallel mode (the response-time direction the
 // paper names as future work in Section 6) issues each round's independent
-// source queries concurrently: total work is unchanged, but the simulated
-// response time drops to the per-round critical path.
+// source queries concurrently through a per-source bounded scheduler
+// (scheduler.go): every source admits at most its connection capacity of
+// in-flight exchanges, emulated semijoins fan their binding queries out
+// across those connections, and the simulated response time drops to the
+// per-round critical path over the per-source k-lane schedules. Total work
+// is unchanged by parallelism.
+//
+// A mediator-side answer cache (cache.go) can be attached to either mode:
+// selection results and per-item membership verdicts learned from earlier
+// queries answer repeated work without source traffic.
 package exec
 
 import (
@@ -37,16 +45,33 @@ type Executor struct {
 	// must be the same network the sources' instrumentation records to.
 	Network *netsim.Network
 	// Parallel enables concurrent execution of each round's independent
-	// source queries.
+	// source queries, bounded per source by Conns / the link's MaxConns.
 	Parallel bool
+	// Conns, when positive, overrides every source's connection capacity
+	// for parallel execution. Zero defers to the network link's MaxConns
+	// (default 1). Sequential mode always runs single-connection.
+	Conns int
+	// Cache, when set, is consulted before every selection and binding
+	// query and filters semijoin sets down to items with unknown verdicts.
+	// Sharing one Cache across runs (adaptive rounds, repeated mediator
+	// queries) lets later executions skip source traffic; see Cache for the
+	// freshness caveats with autonomous sources.
+	Cache *Cache
 	// Trace records a per-step execution trace (Result.Trace): output
-	// cardinalities, issued queries, and elapsed simulated time (elapsed
-	// is only attributed per step in sequential mode).
+	// cardinalities, issued queries, cache hits, and elapsed simulated
+	// time. In parallel batches elapsed is attributed per step from the
+	// network exchange log (steps sharing a source split the source's time
+	// pro rata by issued queries).
 	Trace bool
 	// Retries is how many times a step whose source query fails with a
 	// transient error (source.ErrTransient) is re-issued before the run
-	// fails. Zero disables retries.
+	// fails. Zero disables retries. Emulated semijoins retry per binding
+	// query rather than per step: one flaky binding never re-issues the
+	// bindings that already succeeded.
 	Retries int
+
+	// sched is the per-source slot pool of the current parallel run.
+	sched *scheduler
 
 	// Combined-mode state (set up by RunCombined): when records is
 	// non-nil, final-round queries (condition finalCond) use the
@@ -73,8 +98,15 @@ type Result struct {
 	TotalWork time.Duration
 	// ResponseTime is the simulated wall-clock: equal to TotalWork in
 	// sequential mode, the sum of per-batch critical paths in parallel
-	// mode. Zero without a Network.
+	// mode, where each source's contribution to a batch is the makespan of
+	// its exchanges over its connection capacity (netsim.Makespan). Zero
+	// without a Network.
 	ResponseTime time.Duration
+	// CacheHits and CacheMisses count answer-cache consultations: a hit is
+	// one source query avoided (a whole cached selection, or one binding
+	// verdict), a miss went to the source. Both zero without a cache.
+	CacheHits   int
+	CacheMisses int
 	// Trace is the per-step execution trace, present when the executor's
 	// Trace flag is set, ordered by step index.
 	Trace []StepTrace
@@ -100,11 +132,23 @@ func (e *Executor) Run(p *plan.Plan) (*Result, error) {
 		loaded: map[string]*relation.Relation{},
 	}
 	res := &Result{Vars: st.vars}
+	if e.Parallel {
+		conns := make([]int, len(e.Sources))
+		for j := range e.Sources {
+			conns[j] = e.connsFor(j)
+		}
+		e.sched = newScheduler(conns)
+	} else {
+		e.sched = nil
+	}
 
 	steps := p.Steps
 	for k := 0; k < len(steps); {
 		if e.Parallel {
-			if batch := e.batchEnd(p, steps, k); batch > k+1 {
+			// Even a lone source-query step runs as a (singleton) batch:
+			// an emulated semijoin's binding fan-out needs the k-lane
+			// makespan accounting either way.
+			if batch := e.batchEnd(p, steps, k); batch > k {
 				if err := e.runBatch(p, steps, k, batch, st, res); err != nil {
 					return nil, err
 				}
@@ -175,7 +219,9 @@ func (e *Executor) batchEnd(p *plan.Plan, steps []plan.Step, k int) int {
 }
 
 // runBatch executes source-query steps concurrently and accounts the batch
-// critical path as its response-time contribution.
+// critical path as its response-time contribution: each source contributes
+// the makespan of its exchanges over its connection capacity, and the
+// slowest source bounds the batch.
 func (e *Executor) runBatch(p *plan.Plan, steps []plan.Step, start, end int, st *state, res *Result) error {
 	batch := steps[start:end]
 	var preTotal time.Duration
@@ -215,31 +261,85 @@ func (e *Executor) runBatch(p *plan.Plan, steps []plan.Step, start, end int, st 
 		return firstErr
 	}
 	if e.Network != nil {
-		// The batch's response time is the slowest source's share of it.
-		perSource := map[string]time.Duration{}
+		perSource := map[string][]time.Duration{}
 		for _, ex := range e.Network.Log()[logStart:] {
-			perSource[ex.Source] += ex.Elapsed
+			perSource[ex.Source] = append(perSource[ex.Source], ex.Elapsed)
 		}
-		for _, d := range perSource {
-			if d > critical {
+		conns := map[string]int{}
+		for j, src := range e.Sources {
+			conns[src.Name()] = e.connsFor(j)
+		}
+		for name, durs := range perSource {
+			if d := netsim.Makespan(durs, conns[name]); d > critical {
 				critical = d
 			}
 		}
 		res.ResponseTime += critical
+		if e.Trace {
+			e.attributeElapsed(res, steps, start, end, perSource)
+		}
 	}
 	return nil
+}
+
+// attributeElapsed fixes up the batch's step traces from the exchange log:
+// each step is charged the exchange time of its source during the batch.
+// When several batch steps share one source (non-canonical plans), the
+// source's time is split pro rata by issued queries.
+func (e *Executor) attributeElapsed(res *Result, steps []plan.Step, start, end int, perSource map[string][]time.Duration) {
+	byIdx := map[int]*StepTrace{}
+	for i := range res.Trace {
+		byIdx[res.Trace[i].Index] = &res.Trace[i]
+	}
+	for name, durs := range perSource {
+		var total time.Duration
+		for _, d := range durs {
+			total += d
+		}
+		var entries []*StepTrace
+		queries := 0
+		for k := start; k < end; k++ {
+			if e.Sources[steps[k].Source].Name() != name {
+				continue
+			}
+			if tr := byIdx[k]; tr != nil {
+				entries = append(entries, tr)
+				queries += tr.Queries
+			}
+		}
+		switch {
+		case len(entries) == 1:
+			entries[0].Elapsed = total
+		case len(entries) > 1 && queries > 0:
+			for _, tr := range entries {
+				tr.Elapsed = total * time.Duration(tr.Queries) / time.Duration(queries)
+			}
+		case len(entries) > 1:
+			for _, tr := range entries {
+				tr.Elapsed = total / time.Duration(len(entries))
+			}
+		}
+	}
 }
 
 // runStepRetry runs one step, re-issuing it on transient source failures
 // up to the executor's retry budget. Source queries are reads, so retries
 // are safe; the extra traffic of a failed attempt is genuine extra work.
+// Emulated semijoins are excluded: their retry is per binding query inside
+// emulatedSemijoin, so one flaky binding never re-issues the whole step.
 func (e *Executor) runStepRetry(p *plan.Plan, idx int, s plan.Step, st *state, res *Result, mu *sync.Mutex) error {
+	budget := e.Retries
+	if s.Kind == plan.KindSemijoin {
+		if caps := e.Sources[s.Source].Caps(); !caps.NativeSemijoin && caps.PassedBindings {
+			budget = 0
+		}
+	}
 	for attempt := 0; ; attempt++ {
 		err := e.runStep(p, idx, s, st, res, mu)
 		if err == nil {
 			return nil
 		}
-		if attempt >= e.Retries || !source.IsTransient(err) {
+		if attempt >= budget || !source.IsTransient(err) {
 			return err
 		}
 	}
@@ -253,26 +353,28 @@ func (e *Executor) runStep(p *plan.Plan, idx int, s plan.Step, st *state, res *R
 	if sequential && e.Network != nil && s.IsSourceQuery() {
 		preTotal = e.Network.Stats().TotalTime
 	}
-	queries := 0
+	var qs queryStats
 	switch s.Kind {
 	case plan.KindSelect:
 		src := e.Sources[s.Source]
 		if e.records != nil && s.Cond == e.finalCond {
+			release := e.slot(s.Source)
 			tuples, err := src.SelectRecords(p.Conds[s.Cond])
+			release()
 			if err != nil {
 				return fmt.Errorf("exec: %s: %w", p.StepString(s), err)
 			}
 			e.cacheRecords(s.Source, tuples, src.Schema().MergeIndex())
 			st.setVar(s.Out, itemsOf(tuples, src.Schema().MergeIndex()))
-			queries = 1
+			qs.queries = 1
 			break
 		}
-		out, err := src.Select(p.Conds[s.Cond])
+		out, q, err := e.selectQuery(s.Source, p.Conds[s.Cond])
+		qs = q
 		if err != nil {
 			return fmt.Errorf("exec: %s: %w", p.StepString(s), err)
 		}
 		st.setVar(s.Out, out)
-		queries = 1
 	case plan.KindSemijoin:
 		src := e.Sources[s.Source]
 		in, ok := st.get(s.In[0])
@@ -287,25 +389,23 @@ func (e *Executor) runStep(p *plan.Plan, idx int, s plan.Step, st *state, res *R
 			break
 		}
 		if e.records != nil && s.Cond == e.finalCond && src.Caps().NativeSemijoin {
+			release := e.slot(s.Source)
 			tuples, err := src.SemijoinRecords(p.Conds[s.Cond], in)
+			release()
 			if err != nil {
 				return fmt.Errorf("exec: %s: %w", p.StepString(s), err)
 			}
 			e.cacheRecords(s.Source, tuples, src.Schema().MergeIndex())
 			st.setVar(s.Out, itemsOf(tuples, src.Schema().MergeIndex()))
-			queries = 1
+			qs.queries = 1
 			break
 		}
-		out, err := source.SemijoinAuto(src, p.Conds[s.Cond], in)
+		out, q, err := e.semijoinQuery(s.Source, p.Conds[s.Cond], in)
+		qs = q
 		if err != nil {
 			return fmt.Errorf("exec: %s: %w", p.StepString(s), err)
 		}
 		st.setVar(s.Out, out)
-		if src.Caps().NativeSemijoin {
-			queries = 1
-		} else {
-			queries = in.Len() // emulated: one binding query per item
-		}
 	case plan.KindBloomSemijoin:
 		src := e.Sources[s.Source]
 		in, ok := st.get(s.In[0])
@@ -317,17 +417,21 @@ func (e *Executor) runStep(p *plan.Plan, idx int, s plan.Step, st *state, res *R
 			break
 		}
 		filter := bloom.FromItems(in.Items(), bloom.DefaultBitsPerItem)
+		release := e.slot(s.Source)
 		positives, err := src.SemijoinBloom(p.Conds[s.Cond], filter)
+		release()
 		if err != nil {
 			return fmt.Errorf("exec: %s: %w", p.StepString(s), err)
 		}
 		// Discard the filter's false positives: the exact semijoin result
 		// is the positives restricted to the actual set.
 		st.setVar(s.Out, positives.Intersect(in))
-		queries = 1
+		qs.queries = 1
 	case plan.KindLoad:
 		src := e.Sources[s.Source]
+		release := e.slot(s.Source)
 		rel, err := src.Load()
+		release()
 		if err != nil {
 			return fmt.Errorf("exec: %s: %w", p.StepString(s), err)
 		}
@@ -335,7 +439,7 @@ func (e *Executor) runStep(p *plan.Plan, idx int, s plan.Step, st *state, res *R
 		st.loaded[s.Out] = rel
 		st.vars[s.Out] = set.FromSorted(rel.Items())
 		st.mu.Unlock()
-		queries = 1
+		qs.queries = 1
 	case plan.KindLocalSelect:
 		st.mu.Lock()
 		rel, ok := st.loaded[s.In[0]]
@@ -370,11 +474,13 @@ func (e *Executor) runStep(p *plan.Plan, idx int, s plan.Step, st *state, res *R
 		return fmt.Errorf("exec: unknown step kind %v", s.Kind)
 	}
 
-	if queries > 0 {
+	if qs.queries > 0 || qs.hits > 0 || qs.misses > 0 {
 		if mu != nil {
 			mu.Lock()
 		}
-		res.SourceQueries += queries
+		res.SourceQueries += qs.queries
+		res.CacheHits += qs.hits
+		res.CacheMisses += qs.misses
 		if mu != nil {
 			mu.Unlock()
 		}
@@ -390,7 +496,7 @@ func (e *Executor) runStep(p *plan.Plan, idx int, s plan.Step, st *state, res *R
 		if v, ok := st.get(s.Out); ok {
 			outItems = v.Len()
 		}
-		tr := StepTrace{Index: idx, Text: p.StepString(s), OutItems: outItems, Queries: queries, Elapsed: elapsed}
+		tr := StepTrace{Index: idx, Text: p.StepString(s), OutItems: outItems, Queries: qs.queries, CacheHits: qs.hits, Elapsed: elapsed}
 		if mu != nil {
 			mu.Lock()
 		}

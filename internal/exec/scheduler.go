@@ -1,0 +1,240 @@
+package exec
+
+// This file implements per-source bounded-concurrency scheduling. Every
+// source query a plan execution issues — a round's batch steps and the
+// individual binding queries of an emulated semijoin alike — flows through
+// a scheduler that caps the number of in-flight exchanges per source at
+// that source's connection capacity (netsim.Link.MaxConns, overridable with
+// Executor.Conns). This is the executor-side half of the response-time
+// model: netsim.Makespan accounts the same k-lane schedule the scheduler
+// enforces, and the plan/optimizer estimators rank orderings under it.
+
+import (
+	"fmt"
+	"sync"
+
+	"fusionq/internal/cond"
+	"fusionq/internal/set"
+	"fusionq/internal/source"
+)
+
+// scheduler holds one slot pool per source; acquiring a slot admits one
+// exchange to that source.
+type scheduler struct {
+	slots []chan struct{}
+}
+
+// newScheduler builds pools sized by conns (entries clamped to ≥1).
+func newScheduler(conns []int) *scheduler {
+	s := &scheduler{slots: make([]chan struct{}, len(conns))}
+	for j, k := range conns {
+		if k < 1 {
+			k = 1
+		}
+		s.slots[j] = make(chan struct{}, k)
+	}
+	return s
+}
+
+// acquire blocks until source j has a free connection and returns the
+// release function.
+func (s *scheduler) acquire(j int) func() {
+	s.slots[j] <- struct{}{}
+	return func() { <-s.slots[j] }
+}
+
+// slot admits one exchange to source j, returning a release function. With
+// no scheduler (sequential mode) it is a no-op: queries are already issued
+// one at a time.
+func (e *Executor) slot(j int) func() {
+	if e.sched == nil {
+		return func() {}
+	}
+	return e.sched.acquire(j)
+}
+
+// connsFor resolves source j's connection capacity: the executor-wide
+// override if set, else the network link's MaxConns, else 1. Sequential
+// mode is always single-connection — its accounting identity
+// ResponseTime == TotalWork depends on it.
+func (e *Executor) connsFor(j int) int {
+	if !e.Parallel {
+		return 1
+	}
+	if e.Conns > 0 {
+		return e.Conns
+	}
+	if e.Network != nil {
+		return e.Network.ConnsFor(e.Sources[j].Name())
+	}
+	return 1
+}
+
+// queryStats tallies what one step's source interaction cost: charged
+// queries (including failed attempts that reached the source) and cache
+// consultations answered locally (hits) or referred to the source (misses).
+type queryStats struct {
+	queries int
+	hits    int
+	misses  int
+}
+
+// selectQuery answers sq(c, src) through the cache and the scheduler.
+func (e *Executor) selectQuery(j int, c cond.Cond) (set.Set, queryStats, error) {
+	src := e.Sources[j]
+	if out, ok := e.Cache.Select(src.Name(), c); ok {
+		return out, queryStats{hits: 1}, nil
+	}
+	release := e.slot(j)
+	out, err := src.Select(c)
+	release()
+	if err != nil {
+		return set.Set{}, queryStats{queries: 1, misses: boolToInt(e.Cache != nil)}, err
+	}
+	e.Cache.PutSelect(src.Name(), c, out)
+	return out, queryStats{queries: 1, misses: boolToInt(e.Cache != nil)}, nil
+}
+
+// semijoinQuery evaluates sjq(c, src, y) with the best mechanism the source
+// supports (Section 2.3's emulation rule), consulting the cache first and
+// bounding concurrency by the source's connection capacity.
+func (e *Executor) semijoinQuery(j int, c cond.Cond, y set.Set) (set.Set, queryStats, error) {
+	src := e.Sources[j]
+	caps := src.Caps()
+	switch {
+	case caps.NativeSemijoin:
+		return e.nativeSemijoin(j, c, y)
+	case caps.PassedBindings:
+		return e.emulatedSemijoin(j, c, y)
+	default:
+		return set.Set{}, queryStats{}, fmt.Errorf("source %s: semijoin not emulable: %w", src.Name(), source.ErrUnsupported)
+	}
+}
+
+// nativeSemijoin issues one sjq exchange for the items the cache cannot
+// answer; a fully cached set costs no exchange at all.
+func (e *Executor) nativeSemijoin(j int, c cond.Cond, y set.Set) (set.Set, queryStats, error) {
+	src := e.Sources[j]
+	knownTrue, unknown := e.Cache.Partition(src.Name(), c, y)
+	st := queryStats{hits: y.Len() - unknown.Len(), misses: unknown.Len()}
+	if e.Cache == nil {
+		st = queryStats{}
+	}
+	if e.Cache != nil && unknown.IsEmpty() {
+		return knownTrue, st, nil
+	}
+	release := e.slot(j)
+	out, err := src.Semijoin(c, unknown)
+	release()
+	st.queries = 1
+	if err != nil {
+		return set.Set{}, st, err
+	}
+	e.Cache.PutSemijoin(src.Name(), c, unknown, out)
+	return out.Union(knownTrue), st, nil
+}
+
+// emulatedSemijoin implements a semijoin as passed-binding selections, one
+// per item the cache cannot answer. The bindings are independent exchanges,
+// so they are issued concurrently through the source's connection slots —
+// the single biggest response-time lever for passed-bindings sources, whose
+// per-item queries otherwise serialize into the plan's critical path.
+//
+// Failure handling is per binding: a transient failure retries only that
+// binding (up to the executor's retry budget), and the first permanent
+// failure stops the fan-out — workers finish their in-flight binding and no
+// new bindings are issued. Every attempt that reached the source is charged
+// in queryStats.queries, so measured SourceQueries reflect genuine traffic.
+func (e *Executor) emulatedSemijoin(j int, c cond.Cond, y set.Set) (set.Set, queryStats, error) {
+	src := e.Sources[j]
+	knownTrue, unknown := e.Cache.Partition(src.Name(), c, y)
+	st := queryStats{hits: y.Len() - unknown.Len(), misses: unknown.Len()}
+	if e.Cache == nil {
+		st = queryStats{}
+	}
+	items := unknown.Items()
+	if len(items) == 0 {
+		return knownTrue, st, nil
+	}
+
+	workers := e.connsFor(j)
+	if workers > len(items) {
+		workers = len(items)
+	}
+	var (
+		mu       sync.Mutex
+		next     int
+		attempts int
+		firstErr error
+		matched  = make([]bool, len(items))
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if firstErr != nil || next >= len(items) {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+
+				ok, tries, err := e.bindingQuery(j, c, items[i])
+				mu.Lock()
+				attempts += tries
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				matched[i] = ok
+				mu.Unlock()
+				e.Cache.PutMembership(src.Name(), c, items[i], ok)
+			}
+		}()
+	}
+	wg.Wait()
+	st.queries = attempts
+	if firstErr != nil {
+		return set.Set{}, st, firstErr
+	}
+	out := make([]string, 0, len(items))
+	for i, ok := range matched {
+		if ok {
+			out = append(out, items[i])
+		}
+	}
+	return set.FromSorted(out).Union(knownTrue), st, nil
+}
+
+// bindingQuery issues one passed-binding selection with per-binding
+// transient retry, reporting how many attempts reached the source.
+func (e *Executor) bindingQuery(j int, c cond.Cond, item string) (bool, int, error) {
+	src := e.Sources[j]
+	tries := 0
+	for attempt := 0; ; attempt++ {
+		release := e.slot(j)
+		ok, err := src.SelectBinding(c, item)
+		release()
+		tries++
+		if err == nil {
+			return ok, tries, nil
+		}
+		if attempt >= e.Retries || !source.IsTransient(err) {
+			return false, tries, err
+		}
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,232 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fusionq/internal/cond"
+	"fusionq/internal/plan"
+	"fusionq/internal/source"
+)
+
+// failNthBinding wraps a source and injects one transient failure on the
+// nth SelectBinding call, tracking per-item attempt counts.
+type failNthBinding struct {
+	source.Source
+	mu      sync.Mutex
+	n       int // 1-based call index to fail (once)
+	calls   int
+	fired   bool
+	perItem map[string]int
+}
+
+func (f *failNthBinding) SelectBinding(c cond.Cond, item string) (bool, error) {
+	f.mu.Lock()
+	f.calls++
+	if f.perItem == nil {
+		f.perItem = map[string]int{}
+	}
+	f.perItem[item]++
+	fail := !f.fired && f.calls == f.n
+	if fail {
+		f.fired = true
+	}
+	f.mu.Unlock()
+	if fail {
+		return false, fmt.Errorf("source %s: injected: %w", f.Source.Name(), source.ErrTransient)
+	}
+	return f.Source.SelectBinding(c, item)
+}
+
+// maxInflight wraps a source and records the peak number of concurrent
+// SelectBinding calls.
+type maxInflight struct {
+	source.Source
+	mu       sync.Mutex
+	inflight int
+	peak     int
+}
+
+func (m *maxInflight) SelectBinding(c cond.Cond, item string) (bool, error) {
+	m.mu.Lock()
+	m.inflight++
+	if m.inflight > m.peak {
+		m.peak = m.inflight
+	}
+	m.mu.Unlock()
+	ok, err := m.Source.SelectBinding(c, item)
+	m.mu.Lock()
+	m.inflight--
+	m.mu.Unlock()
+	return ok, err
+}
+
+var semijoinCaps = []source.Capabilities{{}, {PassedBindings: true}, {}}
+
+// semijoinPlan pins a selection at source 0 followed by an emulated
+// semijoin at source 1.
+func semijoinPlan(conds []cond.Cond, sources []string) *plan.Plan {
+	return &plan.Plan{
+		Conds:   conds,
+		Sources: sources,
+		Steps: []plan.Step{
+			{Kind: plan.KindSelect, Out: "A", Cond: 0, Source: 0},
+			{Kind: plan.KindSemijoin, Out: "B", Cond: 1, Source: 1, In: []string{"A"}},
+		},
+		Result: "B",
+	}
+}
+
+// TestTransientBindingRetriesOnlyThatBinding checks the satellite retry
+// semantics: when one binding query of an emulated semijoin fails
+// transiently, only that binding is reissued — not the whole semijoin — and
+// SourceQueries charges exactly the one extra attempt.
+func TestTransientBindingRetriesOnlyThatBinding(t *testing.T) {
+	// Baseline: no failure injection.
+	pr, srcs, _ := dmvSetup(t, semijoinCaps)
+	p := semijoinPlan(pr.Conds, pr.Sources)
+	base, err := (&Executor{Sources: srcs}).Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.SourceQueries < 3 {
+		t.Fatalf("baseline issued %d queries; need >=2 bindings for the test to mean anything", base.SourceQueries)
+	}
+
+	for _, parallel := range []bool{false, true} {
+		name := "sequential"
+		if parallel {
+			name = "parallel"
+		}
+		t.Run(name, func(t *testing.T) {
+			pr, srcs, _ := dmvSetup(t, semijoinCaps)
+			inj := &failNthBinding{Source: srcs[1], n: 2}
+			srcs[1] = inj
+			ex := &Executor{Sources: srcs, Parallel: parallel, Conns: 2, Retries: 3}
+			got, err := ex.Run(semijoinPlan(pr.Conds, pr.Sources))
+			if err != nil {
+				t.Fatalf("run with injected transient: %v", err)
+			}
+			if !inj.fired {
+				t.Fatal("injection never fired; the test is vacuous")
+			}
+			if !got.Answer.Equal(base.Answer) {
+				t.Fatalf("answer = %v, want %v", got.Answer, base.Answer)
+			}
+			// Exactly one extra attempt: the failed binding's retry.
+			if got.SourceQueries != base.SourceQueries+1 {
+				t.Fatalf("SourceQueries = %d, want %d (baseline %d + 1 retried binding)",
+					got.SourceQueries, base.SourceQueries+1, base.SourceQueries)
+			}
+			retried, once := 0, 0
+			for item, n := range inj.perItem {
+				switch n {
+				case 1:
+					once++
+				case 2:
+					retried++
+				default:
+					t.Fatalf("item %s probed %d times; per-binding retry should reissue at most once", item, n)
+				}
+			}
+			if retried != 1 {
+				t.Fatalf("%d bindings retried, want exactly 1 (only the failed one)", retried)
+			}
+			if once != len(inj.perItem)-1 {
+				t.Fatalf("%d bindings probed once, want %d", once, len(inj.perItem)-1)
+			}
+		})
+	}
+}
+
+// TestTransientBindingFailsWithoutRetries checks fail-fast: with no retry
+// budget, one transient binding failure fails the semijoin.
+func TestTransientBindingFailsWithoutRetries(t *testing.T) {
+	pr, srcs, _ := dmvSetup(t, semijoinCaps)
+	srcs[1] = &failNthBinding{Source: srcs[1], n: 1}
+	ex := &Executor{Sources: srcs, Parallel: true, Conns: 2}
+	if _, err := ex.Run(semijoinPlan(pr.Conds, pr.Sources)); !source.IsTransient(err) {
+		t.Fatalf("err = %v, want transient failure", err)
+	}
+}
+
+// TestSchedulerBoundsConcurrency checks the slot pool: the peak number of
+// in-flight binding queries at one source never exceeds Conns.
+func TestSchedulerBoundsConcurrency(t *testing.T) {
+	for _, conns := range []int{1, 2, 3} {
+		t.Run(fmt.Sprintf("conns%d", conns), func(t *testing.T) {
+			pr, srcs, _ := dmvSetup(t, semijoinCaps)
+			probe := &maxInflight{Source: srcs[1]}
+			srcs[1] = probe
+			ex := &Executor{Sources: srcs, Parallel: true, Conns: conns}
+			got, err := ex.Run(semijoinPlan(pr.Conds, pr.Sources))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Answer.IsEmpty() {
+				t.Fatal("empty answer; expected matches")
+			}
+			if probe.peak > conns {
+				t.Fatalf("peak in-flight bindings = %d, exceeds conns = %d", probe.peak, conns)
+			}
+		})
+	}
+}
+
+// TestParallelTraceAttributesElapsed checks the fixed parallel-mode trace:
+// each step's Elapsed comes from the netsim exchange log, so steps that
+// reached a source show nonzero time and the per-step times sum to the
+// total work even when the batch ran concurrently.
+func TestParallelTraceAttributesElapsed(t *testing.T) {
+	pr, srcs, network := dmvSetup(t, semijoinCaps)
+	ex := &Executor{Sources: srcs, Network: network, Parallel: true, Conns: 2, Trace: true}
+	got, err := ex.Run(semijoinPlan(pr.Conds, pr.Sources))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var elapsed time.Duration
+	for _, tr := range got.Trace {
+		if tr.Queries > 0 && tr.Elapsed == 0 {
+			t.Fatalf("step %d issued %d queries but shows zero elapsed:\n%s",
+				tr.Index, tr.Queries, RenderTrace(got.Trace))
+		}
+		elapsed += tr.Elapsed
+	}
+	if elapsed != got.TotalWork {
+		t.Fatalf("trace elapsed %v != total work %v", elapsed, got.TotalWork)
+	}
+}
+
+// TestParallelSemijoinMatchesSequential checks the answer and the work
+// accounting are identical across modes: parallelism overlaps exchanges but
+// must not add, drop, or reorder any.
+func TestParallelSemijoinMatchesSequential(t *testing.T) {
+	pr, srcs, network := dmvSetup(t, semijoinCaps)
+	p := semijoinPlan(pr.Conds, pr.Sources)
+	seq, err := (&Executor{Sources: srcs, Network: network}).Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, conns := range []int{1, 4} {
+		pr, srcs, network := dmvSetup(t, semijoinCaps)
+		ex := &Executor{Sources: srcs, Network: network, Parallel: true, Conns: conns}
+		par, err := ex.Run(semijoinPlan(pr.Conds, pr.Sources))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !par.Answer.Equal(seq.Answer) {
+			t.Fatalf("conns=%d: answer = %v, want %v", conns, par.Answer, seq.Answer)
+		}
+		if par.SourceQueries != seq.SourceQueries {
+			t.Fatalf("conns=%d: SourceQueries = %d, want %d", conns, par.SourceQueries, seq.SourceQueries)
+		}
+		if par.TotalWork != seq.TotalWork {
+			t.Fatalf("conns=%d: TotalWork = %v, want %v", conns, par.TotalWork, seq.TotalWork)
+		}
+		if par.ResponseTime > par.TotalWork {
+			t.Fatalf("conns=%d: ResponseTime %v exceeds TotalWork %v", conns, par.ResponseTime, par.TotalWork)
+		}
+	}
+}

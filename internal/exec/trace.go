@@ -20,8 +20,12 @@ type StepTrace struct {
 	// (more than one for emulated semijoins, zero for local steps and
 	// short-circuited semijoins).
 	Queries int
+	// CacheHits is how many source queries the answer cache avoided for
+	// this step (zero without a cache).
+	CacheHits int
 	// Elapsed is the simulated time the step's exchanges took (zero
-	// without a network or for local steps).
+	// without a network or for local steps). In parallel batches it is
+	// attributed per step from the network exchange log.
 	Elapsed time.Duration
 }
 
@@ -37,10 +41,10 @@ func RenderTrace(traces []StepTrace) string {
 		}
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%3s  %-*s  %9s  %7s  %12s\n", "#", width, "step", "out items", "queries", "elapsed")
+	fmt.Fprintf(&b, "%3s  %-*s  %9s  %7s  %6s  %12s\n", "#", width, "step", "out items", "queries", "cached", "elapsed")
 	for _, tr := range traces {
-		fmt.Fprintf(&b, "%3d  %-*s  %9d  %7d  %12v\n",
-			tr.Index+1, width, tr.Text, tr.OutItems, tr.Queries, tr.Elapsed.Round(time.Microsecond))
+		fmt.Fprintf(&b, "%3d  %-*s  %9d  %7d  %6d  %12v\n",
+			tr.Index+1, width, tr.Text, tr.OutItems, tr.Queries, tr.CacheHits, tr.Elapsed.Round(time.Microsecond))
 	}
 	return b.String()
 }

@@ -28,6 +28,21 @@ type Link struct {
 	// JitterFrac adds deterministic pseudo-random jitter of up to this
 	// fraction of the computed delay (0 disables jitter).
 	JitterFrac float64
+	// MaxConns is the number of concurrent exchanges the source sustains on
+	// this link (its connection pool as seen from the mediator). Zero or one
+	// means a single connection: exchanges are serviced one at a time. The
+	// parallel executor bounds its per-source concurrency to this capacity,
+	// and response-time accounting schedules a batch's exchanges over
+	// MaxConns lanes (see Makespan).
+	MaxConns int
+}
+
+// Conns returns the link's effective connection capacity (at least 1).
+func (l Link) Conns() int {
+	if l.MaxConns < 1 {
+		return 1
+	}
+	return l.MaxConns
 }
 
 // DefaultLink returns a link resembling a late-90s Internet path: 80ms RTT,
@@ -97,6 +112,56 @@ func (n *Network) LinkFor(source string) Link {
 		return l
 	}
 	return DefaultLink()
+}
+
+// ConnsFor returns the connection capacity of the link to the named source
+// (1 when no link is configured, since DefaultLink has no pool).
+func (n *Network) ConnsFor(source string) int {
+	return n.LinkFor(source).Conns()
+}
+
+// Makespan returns the completion time of running the given exchange
+// durations over k connections: each exchange is assigned, in order, to the
+// connection that frees up earliest (greedy list scheduling). With k=1 this
+// is the plain sum; with k lanes it is the critical path a source with a
+// k-connection pool imposes on a batch of concurrently issued queries. It is
+// the accounting counterpart of the executor's bounded per-source scheduler.
+func Makespan(durations []time.Duration, k int) time.Duration {
+	if len(durations) == 0 {
+		return 0
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k == 1 {
+		var sum time.Duration
+		for _, d := range durations {
+			sum += d
+		}
+		return sum
+	}
+	if k > len(durations) {
+		k = len(durations)
+	}
+	// free[i] is when connection i next becomes idle; assign each exchange
+	// to the earliest-free connection.
+	free := make([]time.Duration, k)
+	for _, d := range durations {
+		min := 0
+		for i := 1; i < k; i++ {
+			if free[i] < free[min] {
+				min = i
+			}
+		}
+		free[min] += d
+	}
+	var max time.Duration
+	for _, f := range free {
+		if f > max {
+			max = f
+		}
+	}
+	return max
 }
 
 // Exchange records a round trip to source carrying the given payload sizes

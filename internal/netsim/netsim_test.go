@@ -147,3 +147,59 @@ func TestPropExchangeSubadditive(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMakespan(t *testing.T) {
+	durs := []time.Duration{4 * time.Second, 3 * time.Second, 2 * time.Second, 1 * time.Second}
+	cases := []struct {
+		k    int
+		want time.Duration
+	}{
+		{0, 10 * time.Second}, // k<1 behaves like a single connection
+		{1, 10 * time.Second},
+		{2, 5 * time.Second},  // lanes: [4,1] and [3,2]
+		{4, 4 * time.Second},  // one lane per exchange: the longest wins
+		{99, 4 * time.Second}, // extra lanes beyond the exchanges are idle
+	}
+	for _, c := range cases {
+		if got := Makespan(durs, c.k); got != c.want {
+			t.Errorf("Makespan(k=%d) = %v, want %v", c.k, got, c.want)
+		}
+	}
+	if got := Makespan(nil, 3); got != 0 {
+		t.Errorf("Makespan(nil) = %v, want 0", got)
+	}
+}
+
+func TestMakespanNeverBelowParallelBound(t *testing.T) {
+	// Property: sum/k <= makespan <= sum, and makespan >= max duration.
+	durs := []time.Duration{7, 2, 9, 4, 4, 1, 12, 3}
+	var sum, max time.Duration
+	for _, d := range durs {
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	for k := 1; k <= len(durs)+1; k++ {
+		got := Makespan(durs, k)
+		if got > sum || got < max || got < sum/time.Duration(k) {
+			t.Errorf("Makespan(k=%d) = %v out of bounds [max %v, sum %v]", k, got, max, sum)
+		}
+	}
+}
+
+func TestLinkConnsAndConnsFor(t *testing.T) {
+	if (Link{}).Conns() != 1 || (Link{MaxConns: 4}).Conns() != 4 {
+		t.Fatal("Link.Conns clamp broken")
+	}
+	n := NewNetwork(1)
+	if got := n.ConnsFor("R1"); got != 1 {
+		t.Fatalf("default ConnsFor = %d, want 1", got)
+	}
+	l := DefaultLink()
+	l.MaxConns = 6
+	n.SetLink("R1", l)
+	if got := n.ConnsFor("R1"); got != 6 {
+		t.Fatalf("ConnsFor = %d, want 6", got)
+	}
+}

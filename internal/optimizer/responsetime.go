@@ -8,11 +8,14 @@ import (
 
 // ResponseTimeSJA optimizes for response time under parallel execution —
 // the future-work objective of Section 6 — instead of total work. Within a
-// round the per-source choices that minimize each source's own cost also
-// minimize the round's critical path, so the inner decisions coincide with
-// SJA's; what changes is the objective that ranks condition orderings: the
-// sum over rounds of the slowest source's cost, rather than the sum of all
-// costs.
+// round the per-source choices that minimize each source's own response
+// cost also minimize the round's critical path, so the inner decisions
+// stay per-source independent like SJA's, but they rank methods by
+// response cost: an emulated semijoin's bindings fan out over the source's
+// connections (CostTable.Conns), which can make it the response-time
+// winner where the total-work objective would pick a selection. What also
+// changes is the objective that ranks condition orderings: the sum over
+// rounds of the slowest source's cost, rather than the sum of all costs.
 //
 // Result.Cost is the estimated response time (not total work); tests and
 // experiment E10 compare both objectives across both optimizers.
@@ -41,7 +44,7 @@ func ResponseTimeSJA(pr *Problem) (Result, error) {
 			ci := ord[r-1]
 			roundMax = 0.0
 			for j := 0; j < n; j++ {
-				method, c := bestMethod(t, ci, j, x)
+				method, c := bestMethodResponse(t, ci, j, x)
 				choices[r-1][j] = method
 				if c > roundMax {
 					roundMax = c

@@ -119,3 +119,21 @@ func bestMethod(t *stats.CostTable, ci, j int, x float64) (Method, float64) {
 	}
 	return method, cost
 }
+
+// bestMethodResponse is bestMethod under the response-time objective: the
+// semijoin candidate is priced by SemijoinResponseCost, so an emulated
+// semijoin whose bindings fan out over k connections competes with its
+// per-lane critical path rather than its serial total.
+func bestMethodResponse(t *stats.CostTable, ci, j int, x float64) (Method, float64) {
+	selCost := t.SelectCost(ci, j)
+	sjCost := t.SemijoinResponseCost(ci, j, x)
+	sjbCost := t.BloomSemijoinCost(ci, j, x)
+	method, cost := MethodSelect, selCost
+	if sjCost <= cost {
+		method, cost = MethodSemijoin, sjCost
+	}
+	if sjbCost < cost {
+		method, cost = MethodBloom, sjbCost
+	}
+	return method, cost
+}

@@ -22,6 +22,10 @@ type Estimate struct {
 	Cards map[string]float64
 	// StepCosts holds the charged cost of each step (zero for local ops).
 	StepCosts []float64
+	// RespCosts holds each step's response-time cost: equal to StepCosts
+	// except for emulated semijoins, whose per-binding queries fan out over
+	// the source's connections (CostTable.SemijoinResponseCost).
+	RespCosts []float64
 }
 
 // varInfo tracks what the estimator knows about one plan variable.
@@ -59,7 +63,7 @@ func EstimateCost(p *Plan, table *stats.CostTable) (Estimate, error) {
 		return Estimate{}, fmt.Errorf("plan: %d sources but table has %d", len(p.Sources), table.N())
 	}
 	vars := map[string]varInfo{}
-	est := Estimate{Cards: map[string]float64{}, StepCosts: make([]float64, len(p.Steps))}
+	est := Estimate{Cards: map[string]float64{}, StepCosts: make([]float64, len(p.Steps)), RespCosts: make([]float64, len(p.Steps))}
 	for k, s := range p.Steps {
 		var out varInfo
 		out.condIdx = -1
@@ -72,6 +76,7 @@ func EstimateCost(p *Plan, table *stats.CostTable) (Estimate, error) {
 		case KindSemijoin:
 			in := vars[s.In[0]]
 			est.StepCosts[k] = table.SemijoinCost(s.Cond, s.Source, in.card)
+			est.RespCosts[k] = table.SemijoinResponseCost(s.Cond, s.Source, in.card)
 			out.card = in.card * table.Frac[s.Cond][s.Source]
 			out.condIdx = s.Cond
 			out.subsetOf = s.In[0]
@@ -127,6 +132,9 @@ func EstimateCost(p *Plan, table *stats.CostTable) (Estimate, error) {
 			out.subsetOf = s.In[0]
 		}
 		est.Cost += est.StepCosts[k]
+		if s.Kind != KindSemijoin {
+			est.RespCosts[k] = est.StepCosts[k]
+		}
 		vars[s.Out] = out
 		est.Cards[s.Out] = out.card
 	}

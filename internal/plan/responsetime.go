@@ -8,8 +8,11 @@ import (
 // plan with the parallel (response-time) executor of Section 6: runs of
 // consecutive source queries with no data dependencies execute
 // concurrently, contributing their slowest member ("critical path") rather
-// than their sum; everything else is sequential. Total work is unchanged —
-// this is the second objective the paper names as future work.
+// than their sum; everything else is sequential. Within a source, an
+// emulated semijoin's per-binding queries additionally fan out over the
+// source's connections (CostTable.Conns), so its contribution is the
+// per-lane response cost rather than the serial sum. Total work is
+// unchanged — this is the second objective the paper names as future work.
 //
 // The step costs reuse the EstimateCost bookkeeping, so total-work and
 // response-time estimates for the same plan are consistent.
@@ -23,10 +26,10 @@ func EstimateResponseTime(p *Plan, table *stats.CostTable) (float64, error) {
 		end := batchEnd(p.Steps, k)
 		if end > k+1 {
 			// Concurrent batch: critical path is the per-source maximum
-			// (a source processes its own queries serially).
+			// (a source processes its own queries over its own connections).
 			perSource := map[int]float64{}
 			for i := k; i < end; i++ {
-				perSource[p.Steps[i].Source] += est.StepCosts[i]
+				perSource[p.Steps[i].Source] += est.RespCosts[i]
 			}
 			max := 0.0
 			for _, c := range perSource {
@@ -38,7 +41,7 @@ func EstimateResponseTime(p *Plan, table *stats.CostTable) (float64, error) {
 			k = end
 			continue
 		}
-		rt += est.StepCosts[k]
+		rt += est.RespCosts[k]
 		k++
 	}
 	return rt, nil

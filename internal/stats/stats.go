@@ -94,6 +94,20 @@ type SourceProfile struct {
 	// Bloom-filter semijoins (the Bloomjoin extension) with filters sized
 	// at this many bits per set item.
 	BloomBitsPerItem int
+	// MaxConns is the number of concurrent exchanges the source sustains
+	// (netsim.Link.MaxConns). Zero or one means a single connection. The
+	// response-time estimators divide an emulated semijoin's per-binding
+	// fan-out across this many connections; single-exchange operations gain
+	// nothing from extra connections.
+	MaxConns int
+}
+
+// Conns returns the profile's effective connection capacity (at least 1).
+func (p SourceProfile) Conns() int {
+	if p.MaxConns < 1 {
+		return 1
+	}
+	return p.MaxConns
 }
 
 // ProfileFromLink derives a profile whose unit is seconds of simulated time
@@ -111,6 +125,7 @@ func ProfileFromLink(name string, l netsim.Link, avgItemBytes float64, sup Semij
 		PerByteLoad: perByte,
 		Support:     sup,
 		ItemBytes:   avgItemBytes,
+		MaxConns:    l.MaxConns,
 	}
 }
 

@@ -46,6 +46,12 @@ type CostTable struct {
 	Load        []float64
 	SourceBytes []float64
 	SourceItems []float64
+	// Support[j] is source j's semijoin capability tier and Conns[j] its
+	// connection capacity (≥1); together they let the response-time
+	// estimators divide an emulated semijoin's per-binding fan-out across
+	// the source's concurrent connections.
+	Support []SemijoinSupport
+	Conns   []int
 
 	// Invocations counts cost-function evaluations; the complexity
 	// experiments (E4) read it to verify the O((m!)·m·n) bound.
@@ -70,6 +76,32 @@ func (t *CostTable) SemijoinCost(i, j int, setItems float64) float64 {
 	t.Invocations++
 	if math.IsInf(t.SjFixed[i][j], 1) {
 		return math.Inf(1)
+	}
+	return t.SjFixed[i][j] + t.SjPerItem[i][j]*setItems
+}
+
+// ConnsOf returns source j's connection capacity, defaulting to 1 for
+// tables that never recorded one.
+func (t *CostTable) ConnsOf(j int) int {
+	if j < len(t.Conns) && t.Conns[j] > 1 {
+		return t.Conns[j]
+	}
+	return 1
+}
+
+// SemijoinResponseCost returns the response-time counterpart of
+// SemijoinCost: an emulated semijoin's per-binding selections are
+// independent exchanges that the parallel executor fans out over the
+// source's connections, so the critical path is the per-lane share
+// ⌈|X|/k⌉ of the serial per-item cost. Native semijoins are a single
+// exchange and gain nothing from extra connections.
+func (t *CostTable) SemijoinResponseCost(i, j int, setItems float64) float64 {
+	t.Invocations++
+	if math.IsInf(t.SjFixed[i][j], 1) {
+		return math.Inf(1)
+	}
+	if k := t.ConnsOf(j); k > 1 && j < len(t.Support) && t.Support[j] == SemijoinEmulated {
+		return t.SjFixed[i][j] + t.SjPerItem[i][j]*math.Ceil(setItems/float64(k))
 	}
 	return t.SjFixed[i][j] + t.SjPerItem[i][j]*setItems
 }
@@ -144,6 +176,8 @@ func Build(conds []cond.Cond, stats []SourceStats, profiles []SourceProfile) (*C
 		Load:        make([]float64, n),
 		SourceBytes: make([]float64, n),
 		SourceItems: make([]float64, n),
+		Support:     make([]SemijoinSupport, n),
+		Conns:       make([]int, n),
 	}
 	for i, c := range conds {
 		t.CondNames[i] = c.String()
@@ -164,6 +198,8 @@ func Build(conds []cond.Cond, stats []SourceStats, profiles []SourceProfile) (*C
 		t.Load[j] = p.LoadCost(float64(st.Bytes))
 		t.SourceBytes[j] = float64(st.Bytes)
 		t.SourceItems[j] = float64(st.DistinctItems)
+		t.Support[j] = p.Support
+		t.Conns[j] = p.Conns()
 		for i := range conds {
 			card := st.CondCard[i]
 			frac := card / domain
