@@ -6,6 +6,7 @@
 package fusionq_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -28,7 +29,7 @@ func runExperiment(b *testing.B, id string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		table, err := e.Run()
+		table, err := e.Run(context.Background())
 		if err != nil {
 			b.Fatalf("%s: %v", id, err)
 		}
@@ -171,7 +172,7 @@ func BenchmarkEmulatedSemijoinConns(b *testing.B) {
 			var resp time.Duration
 			for i := 0; i < b.N; i++ {
 				network.Reset()
-				run, err := ex.Run(p)
+				run, err := ex.Run(context.Background(), p)
 				if err != nil {
 					b.Fatal(err)
 				}

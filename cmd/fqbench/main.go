@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,6 +32,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit results as a JSON array of tables")
 		parallel = flag.Bool("parallel", false, "run experiment executors in parallel mode")
 		conns    = flag.Int("conns", 0, "per-source connection capacity for parallel executors (0: link default)")
+		timeout  = flag.Duration("timeout", 0, "per-experiment wall-clock budget (0: none)")
 	)
 	flag.Parse()
 	bench.Parallel = *parallel
@@ -45,7 +47,13 @@ func main() {
 
 	var tables []*bench.Table
 	run := func(e bench.Experiment) error {
-		table, err := e.Run()
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		table, err := e.Run(ctx)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}

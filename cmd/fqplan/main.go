@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -171,7 +172,7 @@ func printDMV() error {
 		srcs[j] = source.Instrument(raw, network)
 		profiles[j] = stats.ProfileFromLink(raw.Name(), link, 3, stats.SupportOf(raw.Caps()))
 	}
-	table, err := stats.BuildFromSources(sc.Conds, srcs, profiles)
+	table, err := stats.BuildFromSources(context.Background(), sc.Conds, srcs, profiles)
 	if err != nil {
 		return err
 	}

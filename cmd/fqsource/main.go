@@ -14,6 +14,11 @@
 //	-addr addr   listen address (default 127.0.0.1:7070)
 //	-caps tier   native | bindings | none (what the wrapper advertises)
 //	-cache       answer repeated queries from a server-side cache
+//	-drain d     graceful-shutdown budget on SIGINT/SIGTERM (default 5s)
+//
+// On SIGINT or SIGTERM the server stops accepting connections and waits up
+// to -drain for in-flight requests to finish before forcing the remaining
+// connections closed. A second signal forces immediate shutdown.
 //
 // With -cache, selection, binding and native-semijoin answers are recorded
 // in an exec.Cache shared across every connection, so repeated identical
@@ -23,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +36,7 @@ import (
 	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
 	"fusionq/internal/csvio"
 	"fusionq/internal/exec"
@@ -45,24 +52,34 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
 		capsFlag = flag.String("caps", "native", "capabilities: native | bindings | none")
 		cache    = flag.Bool("cache", false, "answer repeated queries from a server-side cache")
+		drain    = flag.Duration("drain", 5*time.Second, "graceful-shutdown budget on SIGINT/SIGTERM")
 	)
 	flag.Parse()
-	if err := run(*csvPath, *name, *merge, *addr, *capsFlag, *cache); err != nil {
+	if err := run(*csvPath, *name, *merge, *addr, *capsFlag, *cache, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "fqsource: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(csvPath, name, merge, addr, capsFlag string, cache bool) error {
+func run(csvPath, name, merge, addr, capsFlag string, cache bool, drain time.Duration) error {
 	srv, err := start(csvPath, name, merge, addr, capsFlag, cache)
 	if err != nil {
 		return err
 	}
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("shutting down")
-	return srv.Close()
+	fmt.Println("draining; signal again to force shutdown")
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	go func() {
+		<-sig
+		cancel()
+	}()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "fqsource: forced shutdown: %v\n", err)
+	}
+	return nil
 }
 
 // start loads the relation and begins serving it; callers own the returned

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -35,7 +36,7 @@ func TestStartServesRelation(t *testing.T) {
 	if cli.Name() != "dmv" {
 		t.Fatalf("name = %q, want file basename", cli.Name())
 	}
-	got, err := cli.Select(cond.MustParse("V = 'dui'"))
+	got, err := cli.Select(context.Background(), cond.MustParse("V = 'dui'"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,14 +61,14 @@ func TestStartWithCache(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := cli.Select(cond.MustParse("V = 'dui'"))
+		got, err := cli.Select(context.Background(), cond.MustParse("V = 'dui'"))
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !got.Equal(want) {
 			t.Fatalf("conn %d: sq = %v, want %v", i, got, want)
 		}
-		ok, err := cli.SelectBinding(cond.MustParse("V = 'sp'"), "T21")
+		ok, err := cli.SelectBinding(context.Background(), cond.MustParse("V = 'sp'"), "T21")
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -23,9 +23,11 @@
 //	-cache          answer repeated source queries from the mediator cache
 //	-explain        print the plan without executing it
 //	-fetch          run the second phase and print the full records
+//	-timeout d      per-query wall-clock budget (e.g. 5s; 0 means none)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -65,6 +67,7 @@ func main() {
 		cache    = flag.Bool("cache", false, "answer repeated source queries from the mediator's cache")
 		catalogF = flag.String("catalog", "", "JSON catalog of sources (replaces -csv/-remote)")
 		explain  = flag.Bool("explain", false, "print the plan, do not execute")
+		timeout  = flag.Duration("timeout", 0, "per-query wall-clock budget (0: none)")
 		fetch    = flag.Bool("fetch", false, "run the second phase and print full records")
 		trace    = flag.Bool("trace", false, "print a per-step execution trace")
 		shell    = flag.Bool("i", false, "interactive shell: read SQL statements from stdin")
@@ -80,14 +83,14 @@ func main() {
 			os.Exit(1)
 		}
 		defer closer()
-		opts := core.Options{Algorithm: core.Algorithm(*algo), Parallel: *parallel, Conns: *conns, Cache: *cache, Trace: *trace}
+		opts := core.Options{Algorithm: core.Algorithm(*algo), Parallel: *parallel, Conns: *conns, Cache: *cache, Trace: *trace, Timeout: *timeout}
 		if err := repl(m, os.Stdin, os.Stdout, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "fusionq: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
-	opts := core.Options{Algorithm: core.Algorithm(*algo), Parallel: *parallel, Conns: *conns, Cache: *cache, Trace: *trace}
+	opts := core.Options{Algorithm: core.Algorithm(*algo), Parallel: *parallel, Conns: *conns, Cache: *cache, Trace: *trace, Timeout: *timeout}
 	if err := run(*sql, csvs, remotes, *catalogF, *merge, *capsFlag, opts, *explain, *fetch); err != nil {
 		fmt.Fprintf(os.Stderr, "fusionq: %v\n", err)
 		os.Exit(1)
@@ -123,7 +126,7 @@ func run(sql string, csvs, remotes []string, catalogPath, merge, capsFlag string
 		if err != nil {
 			return err
 		}
-		res, err := m.Plan(fq.Conds, core.Options{Algorithm: opts.Algorithm, Conns: opts.Conns})
+		res, err := m.Plan(context.Background(), fq.Conds, core.Options{Algorithm: opts.Algorithm, Conns: opts.Conns})
 		if err != nil {
 			return err
 		}
@@ -147,7 +150,13 @@ func run(sql string, csvs, remotes []string, catalogPath, merge, capsFlag string
 	}
 
 	if fetch && !ans.Items.IsEmpty() {
-		full, err := m.Fetch(ans.Items)
+		fetchCtx := context.Background()
+		if opts.Timeout > 0 {
+			var cancel context.CancelFunc
+			fetchCtx, cancel = context.WithTimeout(fetchCtx, opts.Timeout)
+			defer cancel()
+		}
+		full, err := m.FetchContext(fetchCtx, ans.Items)
 		if err != nil {
 			return err
 		}

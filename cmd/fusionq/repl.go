@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -66,7 +67,7 @@ func replExplain(m *core.Mediator, out io.Writer, sql string, opts core.Options)
 	if err != nil {
 		return err
 	}
-	res, err := m.Plan(fq.Conds, opts)
+	res, err := m.Plan(context.Background(), fq.Conds, opts)
 	if err != nil {
 		return err
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -122,11 +123,11 @@ func main() {
 	}
 	for _, c := range conds {
 		for _, src := range m.Sources() {
-			items, err := src.Select(c)
+			items, err := src.Select(context.Background(), c)
 			if err != nil {
 				log.Fatal(err)
 			}
-			if _, err := src.Fetch(items); err != nil {
+			if _, err := src.Fetch(context.Background(), items); err != nil {
 				log.Fatal(err)
 			}
 		}

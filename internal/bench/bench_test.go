@@ -1,16 +1,17 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Fatalf("registered %d experiments, want 16 (E1..E16)", len(all))
+	if len(all) != 17 {
+		t.Fatalf("registered %d experiments, want 17 (E1..E17)", len(all))
 	}
-	want := []string{"E1", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	want := []string{"E1", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
 	for i, e := range all {
 		if e.ID != want[i] {
 			t.Fatalf("experiment %d = %s, want %s", i, e.ID, want[i])
@@ -33,7 +34,7 @@ func TestAllExperimentsRun(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tab, err := e.Run()
+			tab, err := e.Run(context.Background())
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}

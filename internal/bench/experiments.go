@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -33,7 +34,7 @@ func init() {
 // sources live in. FILTER pays full selections for every condition at every
 // source; SJ and SJA switch the broad conditions to semijoins over the
 // small running set.
-func runE1() (*Table, error) {
+func runE1(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID: "E1", Title: "plan cost (simulated seconds) vs number of sources; m=3, sel=(0.02, 0.5, 0.5), 1000 items/source",
 		Columns: []string{"n", "FILTER", "SJ", "SJA", "SJA+", "FILTER/SJA"},
@@ -74,7 +75,7 @@ func runE1() (*Table, error) {
 // runE2 sweeps the fraction of semijoin-capable sources. SJ must treat all
 // sources of a union view alike, so a single incapable source forces a
 // whole round back to selections; SJA decides per source.
-func runE2() (*Table, error) {
+func runE2(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID: "E2", Title: "plan cost vs fraction of semijoin-capable sources; n=16, m=2, sel=(0.02, 0.5)",
 		Columns: []string{"native-frac", "FILTER", "SJ", "SJA", "SJ/SJA"},
@@ -118,7 +119,7 @@ func runE2() (*Table, error) {
 // runE3 sweeps the head condition's selectivity: semijoins win while the
 // running set is small, selections win once shipping it costs more than
 // re-fetching the condition's matches.
-func runE3() (*Table, error) {
+func runE3(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID: "E3", Title: "round-2 evaluation choice vs |X1|; n=8, second condition sel=0.3, 1000 items/source",
 		Columns: []string{"sel(c1)", "|X1| est", "sq-cost/source", "sjq-cost/source", "SJA round-2 choice", "SJA total"},
@@ -149,7 +150,7 @@ func runE3() (*Table, error) {
 
 // runE4 measures optimizer work (cost-function invocations, per the
 // constant-time-per-invocation model of Section 3) against n and m.
-func runE4() (*Table, error) {
+func runE4(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID: "E4", Title: "optimizer cost-function invocations and wall time",
 		Columns: []string{"sweep", "m", "n", "SJA invocations", "theory m!(3m-2)n", "Greedy invocations", "theory (3m-2)n", "SJA time"},
@@ -207,7 +208,7 @@ func runE4() (*Table, error) {
 }
 
 // runE5 compares greedy and exact SJA plan quality over random instances.
-func runE5() (*Table, error) {
+func runE5(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID: "E5", Title: "greedy / exact-SJA cost ratios over 200 random instances (m≤4, n≤12)",
 		Columns: []string{"profile-mix", "instances", "sorted=1", "sorted mean", "sorted max", "adaptive=1", "adaptive mean", "adaptive max"},
@@ -298,7 +299,7 @@ func runE5() (*Table, error) {
 }
 
 // runE6 quantifies the two Section 4 postoptimizations.
-func runE6() (*Table, error) {
+func runE6(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID: "E6", Title: "SJA+ postoptimization gains",
 		Columns: []string{"scenario", "FILTER", "SJA", "SJA+", "gain vs SJA", "loads", "diffs"},
@@ -368,7 +369,7 @@ func runE6() (*Table, error) {
 }
 
 // runE7 reports the join-over-union distribution blowup of Section 5.
-func runE7() (*Table, error) {
+func runE7(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID: "E7", Title: "join-over-union distribution (resolution-based mediators) vs fusion-aware planning",
 		Columns: []string{"m", "n", "SPJ subqueries", "naive source queries", "naive cost", "CSE(=FILTER)", "SJA", "naive/SJA", "measured naive q", "measured CSE q"},
@@ -408,11 +409,11 @@ func runE7() (*Table, error) {
 				return nil, err
 			}
 			ex := &exec.Executor{Sources: ms.sources}
-			naive, err := ex.RunJoinOverUnion(ms.problem, false, 0)
+			naive, err := ex.RunJoinOverUnion(ctx, ms.problem, false, 0)
 			if err != nil {
 				return nil, err
 			}
-			memo, err := ex.RunJoinOverUnion(ms.problem, true, 0)
+			memo, err := ex.RunJoinOverUnion(ctx, ms.problem, true, 0)
 			if err != nil {
 				return nil, err
 			}
@@ -435,7 +436,7 @@ func runE7() (*Table, error) {
 // semijoin set first? Sending it first to the source expected to confirm
 // the most items shrinks every later transmission. The ablation compares
 // index order against the confirm-most-first order SJA+ uses.
-func runE12() (*Table, error) {
+func runE12(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID: "E12", Title: "ablation: difference-pruning chain order; m=2, n=6, heterogeneous match fractions",
 		Columns: []string{"skew", "no pruning", "index-order chain", "confirm-most-first", "best-order gain"},
@@ -542,7 +543,7 @@ func workloadConds2() []cond.Cond {
 // width is swept: wide items make exact semijoin sets expensive to ship and
 // Bloom filters proportionally cheaper, at the price of receiving a few
 // false positives.
-func runE14() (*Table, error) {
+func runE14(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID: "E14", Title: "Bloom vs exact semijoins; n=8, m=2, sel=(0.02, 0.4), bits/item=10",
 		Columns: []string{"item bytes", "SJA (no bloom)", "SJA (bloom)", "saving", "round-2 method"},

@@ -13,6 +13,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -107,7 +108,9 @@ func (t *Table) Render() string {
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func() (*Table, error)
+	// Run executes the experiment under ctx; long experiments observe
+	// cancellation between plan executions.
+	Run func(ctx context.Context) (*Table, error)
 }
 
 var registry = map[string]Experiment{}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -48,7 +49,7 @@ func newMeasured(cfg workload.SynthConfig, link netsim.Link) (*measuredSetup, er
 		// Items are the 8-byte "ID%06d" strings.
 		profiles[j] = stats.ProfileFromLink(raw.Name(), link, 8, stats.SupportOf(raw.Caps()))
 	}
-	table, err := stats.BuildFromSources(sc.Conds, srcs, profiles)
+	table, err := stats.BuildFromSources(context.Background(), sc.Conds, srcs, profiles)
 	if err != nil {
 		return nil, err
 	}
@@ -68,7 +69,7 @@ func (ms *measuredSetup) reset() {
 // one-phase strategy that ships full matching records for every condition.
 // The record width is swept: the wider the record, the more the two-phase
 // split saves, because full records travel only for the final answer.
-func runE8() (*Table, error) {
+func runE8(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID: "E8", Title: "bytes moved, one-phase (full records per condition) vs two-phase (items, then answer records)",
 		Columns: []string{"payload B", "answers", "one-phase bytes", "two-phase bytes", "one/two"},
@@ -89,11 +90,11 @@ func runE8() (*Table, error) {
 		ms.reset()
 		for _, c := range ms.scenario.Conds {
 			for _, src := range ms.sources {
-				items, err := src.Select(c)
+				items, err := src.Select(ctx, c)
 				if err != nil {
 					return nil, err
 				}
-				if _, err := src.Fetch(items); err != nil {
+				if _, err := src.Fetch(ctx, items); err != nil {
 					return nil, err
 				}
 			}
@@ -108,11 +109,11 @@ func runE8() (*Table, error) {
 			return nil, err
 		}
 		ex := &exec.Executor{Sources: ms.sources, Network: ms.network, Parallel: Parallel, Conns: Conns}
-		run, err := ex.Run(res.Plan)
+		run, err := ex.Run(ctx, res.Plan)
 		if err != nil {
 			return nil, err
 		}
-		if _, err := exec.FetchAnswer(run.Answer, ms.sources); err != nil {
+		if _, err := exec.FetchAnswer(ctx, run.Answer, ms.sources); err != nil {
 			return nil, err
 		}
 		twoPhase := ms.network.Stats().TotalBytes
@@ -127,7 +128,7 @@ func runE8() (*Table, error) {
 // simulated seconds, profiles derived from the links) must track the
 // measured total work of executing the plan on the simulated network, and
 // parallel execution must cut response time without changing total work.
-func runE9() (*Table, error) {
+func runE9(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID: "E9", Title: "estimated cost vs measured simulated time; n=6, m=3",
 		Columns: []string{"algorithm", "estimate s", "measured s", "est/meas", "seq response s", "par response s", "queries"},
@@ -156,7 +157,7 @@ func runE9() (*Table, error) {
 		}
 		ms.reset()
 		seq := &exec.Executor{Sources: ms.sources, Network: ms.network}
-		seqRun, err := seq.Run(res.Plan)
+		seqRun, err := seq.Run(ctx, res.Plan)
 		if err != nil {
 			return nil, err
 		}
@@ -164,7 +165,7 @@ func runE9() (*Table, error) {
 
 		ms.reset()
 		par := &exec.Executor{Sources: ms.sources, Network: ms.network, Parallel: true, Conns: Conns}
-		parRun, err := par.Run(res.Plan)
+		parRun, err := par.Run(ctx, res.Plan)
 		if err != nil {
 			return nil, err
 		}
@@ -187,7 +188,7 @@ func runE9() (*Table, error) {
 // counts, the objectives rank condition orderings differently: the
 // response-time plan accepts more total work to keep the slowest source off
 // the critical path.
-func runE10() (*Table, error) {
+func runE10(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID: "E10", Title: "objective trade-off; n=6, m=3, heterogeneous links and per-source cardinalities",
 		Columns: []string{"optimizer", "ordering", "est response s", "est total work s", "RT saving", "work overhead"},
@@ -268,7 +269,7 @@ var AnswerOfRecord = set.New("J55", "T21")
 // optimize with (independence-assuming) statistics, execute every condition
 // ordering's SJA plan on the simulated network, and report the regret of
 // SJA's estimate-based pick against the measured best.
-func runE11() (*Table, error) {
+func runE11(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID: "E11", Title: "SJA under condition dependence: measured regret of the estimate-based ordering; n=5, m=3",
 		Columns: []string{"correlation", "SJA pick s", "measured best s", "measured worst s", "regret", "answers"},
@@ -291,7 +292,7 @@ func runE11() (*Table, error) {
 		measure := func(res optimizer.Result) (float64, set.Set, error) {
 			ms.reset()
 			ex := &exec.Executor{Sources: ms.sources, Network: ms.network, Parallel: Parallel, Conns: Conns}
-			run, err := ex.Run(res.Plan)
+			run, err := ex.Run(ctx, res.Plan)
 			if err != nil {
 				return 0, set.Set{}, err
 			}
@@ -367,7 +368,7 @@ func permuteAll(m int) [][]int {
 // final-round match did not come from, so fetches remain) and "mirrored"
 // sources replicating the same data (where the final round covers the
 // whole answer at every source and the fetch round disappears).
-func runE13() (*Table, error) {
+func runE13(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID: "E13", Title: "two-phase vs combined record retrieval; n=4, payload 400B, latency-dominated link (300ms RTT, 1MB/s)",
 		Columns: []string{"topology", "sel(c2)", "answers", "2p bytes", "2p msgs", "2p time s", "comb bytes", "comb msgs", "comb time s", "2p/comb time"},
@@ -400,11 +401,11 @@ func runE13() (*Table, error) {
 			}
 			ms.reset()
 			ex := &exec.Executor{Sources: ms.sources, Network: ms.network, Parallel: Parallel, Conns: Conns}
-			run, err := ex.Run(res.Plan)
+			run, err := ex.Run(ctx, res.Plan)
 			if err != nil {
 				return nil, err
 			}
-			twoRecords, err := exec.FetchAnswer(run.Answer, ms.sources)
+			twoRecords, err := exec.FetchAnswer(ctx, run.Answer, ms.sources)
 			if err != nil {
 				return nil, err
 			}
@@ -421,7 +422,7 @@ func runE13() (*Table, error) {
 			}
 			ms2.reset()
 			ex2 := &exec.Executor{Sources: ms2.sources, Network: ms2.network, Parallel: Parallel, Conns: Conns}
-			run2, records, err := ex2.RunCombined(res2.Plan)
+			run2, records, err := ex2.RunCombined(ctx, res2.Plan)
 			if err != nil {
 				return nil, err
 			}
@@ -465,7 +466,7 @@ func newMirrored(cfg workload.SynthConfig, link netsim.Link) (*measuredSetup, er
 		srcs[j] = source.Instrument(raw, network)
 		profiles[j] = stats.ProfileFromLink(names[j], link, 8, stats.SemijoinNative)
 	}
-	table, err := stats.BuildFromSources(sc.Conds, srcs, profiles)
+	table, err := stats.BuildFromSources(context.Background(), sc.Conds, srcs, profiles)
 	if err != nil {
 		return nil, err
 	}
@@ -482,7 +483,7 @@ func newMirrored(cfg workload.SynthConfig, link netsim.Link) (*measuredSetup, er
 // where the optimizer's independence-based estimates mislead. Adaptivity
 // decides each round against the measured running set, so its execution
 // follows the data rather than the estimates.
-func runE15() (*Table, error) {
+func runE15(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID: "E15", Title: "static SJA vs adaptive execution under condition dependence; n=5, m=3 (measured)",
 		Columns: []string{"correlation", "static pick s", "static best s", "adaptive s", "adaptive/static-pick", "answers"},
@@ -505,7 +506,7 @@ func runE15() (*Table, error) {
 		measure := func(res optimizer.Result) (float64, set.Set, error) {
 			ms.reset()
 			ex := &exec.Executor{Sources: ms.sources, Network: ms.network, Parallel: Parallel, Conns: Conns}
-			run, err := ex.Run(res.Plan)
+			run, err := ex.Run(ctx, res.Plan)
 			if err != nil {
 				return 0, set.Set{}, err
 			}
@@ -537,7 +538,7 @@ func runE15() (*Table, error) {
 
 		ms.reset()
 		ex := &exec.Executor{Sources: ms.sources, Network: ms.network, Parallel: Parallel, Conns: Conns}
-		adaptiveRun, _, err := ex.RunAdaptive(ms.problem)
+		adaptiveRun, _, err := ex.RunAdaptive(ctx, ms.problem)
 		if err != nil {
 			return nil, err
 		}

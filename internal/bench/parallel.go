@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -30,7 +31,7 @@ func init() {
 //
 // Sources are bindings-only (no native semijoin) on a narrow link, the
 // regime where per-binding fan-out dominates the critical path.
-func runE16() (*Table, error) {
+func runE16(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID: "E16", Title: "response time vs per-source connections; answer-cache hits on repeat; n=5, m=3, bindings-only sources",
 		Columns: []string{"mode", "conns", "response s", "total work s", "queries", "cache hits", "speedup"},
@@ -93,7 +94,7 @@ func runE16() (*Table, error) {
 		}
 		ms.reset()
 		ex := &exec.Executor{Sources: ms.sources, Network: ms.network, Parallel: v.parallel}
-		run, err := ex.Run(p)
+		run, err := ex.Run(ctx, p)
 		if err != nil {
 			return nil, err
 		}
@@ -136,7 +137,7 @@ func runE16() (*Table, error) {
 	for i, mode := range []string{"cache run 1", "cache run 2"} {
 		ms.reset()
 		ex := &exec.Executor{Sources: ms.sources, Network: ms.network, Cache: cache}
-		run, err := ex.Run(p)
+		run, err := ex.Run(ctx, p)
 		if err != nil {
 			return nil, err
 		}

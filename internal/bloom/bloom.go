@@ -146,7 +146,7 @@ func (f *Filter) Encode() string {
 func Decode(s string) (*Filter, error) {
 	buf, err := base64.StdEncoding.DecodeString(s)
 	if err != nil {
-		return nil, fmt.Errorf("bloom: %v", err)
+		return nil, fmt.Errorf("bloom: %w", err)
 	}
 	if len(buf) < 24 || (len(buf)-24)%8 != 0 {
 		return nil, fmt.Errorf("bloom: truncated filter (%d bytes)", len(buf))

@@ -16,6 +16,7 @@
 package catalog
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -141,6 +142,11 @@ func capsOf(spec SourceSpec) source.Capabilities {
 // link-derived cost profile. The returned closer releases remote
 // connections.
 func (c *Catalog) Build() (*core.Mediator, func(), error) {
+	return c.BuildContext(context.Background())
+}
+
+// BuildContext is Build honoring ctx while dialing remote sources.
+func (c *Catalog) BuildContext(ctx context.Context) (*core.Mediator, func(), error) {
 	var (
 		m       *core.Mediator
 		schema  *relation.Schema
@@ -167,7 +173,7 @@ func (c *Catalog) Build() (*core.Mediator, func(), error) {
 			}
 			src = source.NewWrapper(spec.Name, source.NewRowBackend(rel), capsOf(spec))
 		default:
-			cli, err := wire.Dial(spec.Remote)
+			cli, err := wire.DialContext(ctx, spec.Remote)
 			if err != nil {
 				closeAll()
 				return nil, nil, err

@@ -80,7 +80,7 @@ func (c *Compare) Eval(schema *relation.Schema, t relation.Tuple) (bool, error) 
 	}
 	cmp, err := v.Compare(c.Lit)
 	if err != nil {
-		return false, fmt.Errorf("cond: %s: %v", c.Attr, err)
+		return false, fmt.Errorf("cond: %s: %w", c.Attr, err)
 	}
 	switch c.Op {
 	case OpEq:

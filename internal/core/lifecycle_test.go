@@ -1,0 +1,156 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fusionq/internal/cond"
+	"fusionq/internal/netsim"
+	"fusionq/internal/set"
+	"fusionq/internal/source"
+	"fusionq/internal/workload"
+)
+
+// stalledMediator builds a three-source synthetic scenario whose last
+// source answers selections promptly but stalls every native semijoin for
+// stall — statistics gathering and the first round complete, then the
+// query wedges until a deadline cuts it loose.
+func stalledMediator(t *testing.T, stall time.Duration) *Mediator {
+	t.Helper()
+	sc, err := workload.Synth(workload.SynthConfig{
+		Seed: 17, NumSources: 3, TuplesPerSource: 300, Universe: 200,
+		Selectivity: []float64{0.05, 0.5},
+		Caps:        []source.Capabilities{{NativeSemijoin: true, PassedBindings: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(sc.Schema)
+	m.SetNetwork(netsim.NewNetwork(17))
+	for j, raw := range sc.Sources {
+		src := raw
+		if j == len(sc.Sources)-1 && stall > 0 {
+			src = source.NewFlaky(raw, 0, 17).SetStallFor("sjq", stall)
+		}
+		if err := m.AddSourceLink(src, netsim.DefaultLink()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+// TestOptionsTimeoutReturnsPartialWork is the acceptance check for the
+// query lifecycle: a query with Options.Timeout against a source that
+// hangs mid-plan returns around the deadline — not after the 10s stall —
+// with errors.Is identifying context.DeadlineExceeded through every
+// decorator layer and a non-nil Answer charging the source queries that
+// were issued before the cutoff.
+func TestOptionsTimeoutReturnsPartialWork(t *testing.T) {
+	const stall = 10 * time.Second
+	m := stalledMediator(t, stall)
+	conds := mustConds(t)
+
+	start := time.Now()
+	ans, err := m.QueryConds(conds, Options{Algorithm: "sja", Timeout: 150 * time.Millisecond})
+	elapsed := time.Since(start)
+
+	if err == nil {
+		t.Fatal("query against stalled source completed despite the timeout")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want errors.Is(err, context.DeadlineExceeded)", err)
+	}
+	if elapsed >= stall/2 {
+		t.Fatalf("returned in %v; the deadline did not cut the %v stall", elapsed, stall)
+	}
+	if ans == nil || ans.Exec == nil {
+		t.Fatalf("abandoned query lost its partial accounting: %+v", ans)
+	}
+	if ans.Exec.SourceQueries == 0 {
+		t.Fatal("partial Answer reports zero source queries; round 1 had completed")
+	}
+}
+
+// TestCallerCancelPropagates checks the other half of the lifecycle: an
+// explicit caller cancel (no Options.Timeout) unwinds the same way, with
+// errors.Is(err, context.Canceled).
+func TestCallerCancelPropagates(t *testing.T) {
+	m := stalledMediator(t, 10*time.Second)
+	conds := mustConds(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := m.QueryCondsContext(ctx, conds, Options{Algorithm: "sja"})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want errors.Is(err, context.Canceled)", err)
+	}
+	if elapsed >= 5*time.Second {
+		t.Fatalf("cancel returned after %v", elapsed)
+	}
+}
+
+func mustConds(t *testing.T) []cond.Cond {
+	t.Helper()
+	sc, err := workload.Synth(workload.SynthConfig{
+		Seed: 17, NumSources: 3, TuplesPerSource: 300, Universe: 200,
+		Selectivity: []float64{0.05, 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc.Conds
+}
+
+// TestConcurrentQueries runs many queries against one mediator at once
+// (plus cache churn) and checks every answer is correct; run under -race
+// this is the mediator's concurrency-safety proof.
+func TestConcurrentQueries(t *testing.T) {
+	m := dmvMediator(t, true)
+	want := set.New("J55", "T21")
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			opts := Options{Algorithm: "sja+", Cache: g%2 == 0}
+			for i := 0; i < 5; i++ {
+				ans, err := m.QueryContext(context.Background(), paperSQL, opts)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d query %d: %w", g, i, err)
+					return
+				}
+				if !ans.Items.Equal(want) {
+					errs <- fmt.Errorf("worker %d query %d: answer %v, want %v", g, i, ans.Items, want)
+					return
+				}
+			}
+		}(g)
+	}
+	// Churn the shared state the queries snapshot.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			m.ClearCache()
+			_ = m.Sources()
+			_ = m.SourceNames()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -10,10 +10,20 @@
 //	stats     → sq_cost / sjq_cost estimation (Sections 2.4, 3)
 //	optimizer → FILTER / SJ / SJA / greedy / SJA+ (Sections 3, 4)
 //	exec      → the mediator runtime (Sections 2.3, 6)
+//
+// A Mediator is safe for concurrent use: queries may run concurrently with
+// each other and with source registration. Each query takes a
+// context.Context (QueryContext / QueryCondsContext) or a per-query
+// Options.Timeout; cancellation propagates through planning, statistics
+// gathering and every source exchange, and a cancelled query still returns
+// the execution counters for the work already performed.
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
+	"time"
 
 	"fusionq/internal/bloom"
 	"fusionq/internal/cond"
@@ -109,7 +119,8 @@ type Options struct {
 	// Trace records a per-step execution trace in Answer.Exec.Trace.
 	Trace bool
 	// Retries re-issues steps whose source queries fail transiently
-	// (source.ErrTransient) up to this many times each.
+	// (source.ErrTransient) up to this many times each. Context
+	// cancellation is never retried.
 	Retries int
 	// Adaptive executes with mid-query re-optimization: each round's
 	// condition and per-source methods are decided against the measured
@@ -120,6 +131,13 @@ type Options struct {
 	// queries return full records, and only uncovered records are fetched
 	// afterwards. The Answer's Records field is populated.
 	CombinedFetch bool
+	// Timeout, when positive, bounds the whole query — statistics
+	// gathering, planning and execution. On expiry the query returns an
+	// error wrapping context.DeadlineExceeded together with the partial
+	// execution counters (Answer.Exec) for the work already performed. It
+	// composes with a caller-supplied context: whichever deadline is
+	// earlier wins.
+	Timeout time.Duration
 }
 
 // Answer is the result of one fusion query.
@@ -131,7 +149,8 @@ type Answer struct {
 	// EstimatedCost is the optimizer's cost for the plan.
 	EstimatedCost float64
 	// Exec carries measured execution counters (source queries, simulated
-	// total work and response time when a network is attached).
+	// total work and response time when a network is attached). After a
+	// failed or cancelled execution it reports the work already performed.
 	Exec *exec.Result
 	// Records holds the answer entities' full records when the query ran
 	// with CombinedFetch; nil otherwise (use Fetch for the classic second
@@ -140,7 +159,13 @@ type Answer struct {
 }
 
 // Mediator coordinates fusion-query processing over registered sources.
+// All methods are safe for concurrent use. Note that when a simulated
+// network is attached, concurrently running queries share its exchange
+// accounting, so per-query TotalWork/ResponseTime attribution is
+// approximate under concurrency; counters in Answer.Exec.SourceQueries
+// remain exact.
 type Mediator struct {
+	mu       sync.RWMutex
 	schema   *relation.Schema
 	sources  []source.Source
 	profiles []stats.SourceProfile
@@ -155,14 +180,24 @@ func New(schema *relation.Schema) *Mediator {
 
 // SetNetwork attaches a simulated network used for execution-time
 // accounting. Sources registered afterwards are instrumented against it.
-func (m *Mediator) SetNetwork(n *netsim.Network) { m.network = n }
+func (m *Mediator) SetNetwork(n *netsim.Network) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.network = n
+}
 
 // Network returns the attached simulated network, if any.
-func (m *Mediator) Network() *netsim.Network { return m.network }
+func (m *Mediator) Network() *netsim.Network {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.network
+}
 
 // Cache returns the mediator's persistent answer cache, creating it on
 // first use. Queries run with Options.Cache consult and feed it.
 func (m *Mediator) Cache() *exec.Cache {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.cache == nil {
 		m.cache = exec.NewCache()
 	}
@@ -173,8 +208,11 @@ func (m *Mediator) Cache() *exec.Cache {
 // call this when their contents may have changed since the answers were
 // learned.
 func (m *Mediator) ClearCache() {
-	if m.cache != nil {
-		m.cache.Clear()
+	m.mu.RLock()
+	cache := m.cache
+	m.mu.RUnlock()
+	if cache != nil {
+		cache.Clear()
 	}
 }
 
@@ -182,6 +220,8 @@ func (m *Mediator) ClearCache() {
 // schema must be compatible with the mediator's. When a network is attached
 // the source is instrumented so executions are accounted.
 func (m *Mediator) AddSource(src source.Source, profile stats.SourceProfile) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if !m.schema.Compatible(src.Schema()) {
 		return fmt.Errorf("core: source %s schema %s incompatible with mediator schema %s",
 			src.Name(), src.Schema(), m.schema)
@@ -205,8 +245,11 @@ func (m *Mediator) AddSource(src source.Source, profile stats.SourceProfile) err
 // AddSourceLink registers a source whose cost profile is derived from a
 // simulated network link, keeping estimated costs in simulated seconds.
 func (m *Mediator) AddSourceLink(src source.Source, link netsim.Link) error {
-	if m.network != nil {
-		m.network.SetLink(src.Name(), link)
+	m.mu.RLock()
+	network := m.network
+	m.mu.RUnlock()
+	if network != nil {
+		network.SetLink(src.Name(), link)
 	}
 	_, _, bytes := src.Card()
 	tuples, _, _ := src.Card()
@@ -226,10 +269,22 @@ func (m *Mediator) AddSourceLink(src source.Source, link netsim.Link) error {
 }
 
 // Sources returns the registered sources in order.
-func (m *Mediator) Sources() []source.Source { return m.sources }
+func (m *Mediator) Sources() []source.Source {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]source.Source, len(m.sources))
+	copy(out, m.sources)
+	return out
+}
 
 // SourceNames returns the registered source names in order.
 func (m *Mediator) SourceNames() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.sourceNamesLocked()
+}
+
+func (m *Mediator) sourceNamesLocked() []string {
 	out := make([]string, len(m.sources))
 	for i, s := range m.sources {
 		out[i] = s.Name()
@@ -240,11 +295,44 @@ func (m *Mediator) SourceNames() []string {
 // Schema returns the mediator's common schema.
 func (m *Mediator) Schema() *relation.Schema { return m.schema }
 
+// roster is one query's consistent snapshot of the mediator's state:
+// sources registered mid-query do not affect a running query.
+type roster struct {
+	sources  []source.Source
+	profiles []stats.SourceProfile
+	network  *netsim.Network
+	cache    *exec.Cache
+}
+
+func (m *Mediator) snapshot(wantCache bool) roster {
+	if wantCache {
+		// Ensure the lazily-created cache exists before snapshotting.
+		m.Cache()
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	r := roster{
+		sources:  make([]source.Source, len(m.sources)),
+		profiles: make([]stats.SourceProfile, len(m.profiles)),
+		network:  m.network,
+	}
+	copy(r.sources, m.sources)
+	copy(r.profiles, m.profiles)
+	if wantCache {
+		r.cache = m.cache
+	}
+	return r
+}
+
 // Problem gathers statistics for the conditions and assembles the
 // optimization problem. Statistics gathering is an offline pass and is not
 // charged to execution: network counters are reset afterwards.
-func (m *Mediator) Problem(conds []cond.Cond, opts Options) (*optimizer.Problem, error) {
-	if len(m.sources) == 0 {
+func (m *Mediator) Problem(ctx context.Context, conds []cond.Cond, opts Options) (*optimizer.Problem, error) {
+	return m.problem(ctx, m.snapshot(false), conds, opts)
+}
+
+func (m *Mediator) problem(ctx context.Context, r roster, conds []cond.Cond, opts Options) (*optimizer.Problem, error) {
+	if len(r.sources) == 0 {
 		return nil, fmt.Errorf("core: no sources registered")
 	}
 	if len(conds) == 0 {
@@ -255,24 +343,25 @@ func (m *Mediator) Problem(conds []cond.Cond, opts Options) (*optimizer.Problem,
 			return nil, fmt.Errorf("core: condition %d: %w", i+1, err)
 		}
 	}
-	sts := make([]stats.SourceStats, len(m.sources))
-	for j, src := range m.sources {
+	sts := make([]stats.SourceStats, len(r.sources))
+	for j, src := range r.sources {
 		var st stats.SourceStats
 		var err error
 		// Statistics gathering rides out transient source failures under
-		// the same retry budget as execution.
+		// the same retry budget as execution. Context errors are never
+		// transient, so cancellation stops the loop at once.
 		for attempt := 0; ; attempt++ {
 			switch {
 			case opts.SampleRate > 0 && opts.SampleRate < 1:
-				st, err = stats.GatherSampled(src, conds, opts.SampleRate, opts.StatsSeed+int64(j))
+				st, err = stats.GatherSampled(ctx, src, conds, opts.SampleRate, opts.StatsSeed+int64(j))
 			case opts.HistogramStats:
 				var sum *stats.Summary
-				sum, err = stats.Summarize(src)
+				sum, err = stats.Summarize(ctx, src)
 				if err == nil {
 					st = stats.StatsFromSummary(sum, conds)
 				}
 			default:
-				st, err = stats.Gather(src, conds)
+				st, err = stats.Gather(ctx, src, conds)
 			}
 			if err == nil || attempt >= opts.Retries || !source.IsTransient(err) {
 				break
@@ -283,7 +372,7 @@ func (m *Mediator) Problem(conds []cond.Cond, opts Options) (*optimizer.Problem,
 		}
 		sts[j] = st
 	}
-	table, err := stats.Build(conds, sts, m.profiles)
+	table, err := stats.Build(conds, sts, r.profiles)
 	if err != nil {
 		return nil, err
 	}
@@ -292,20 +381,28 @@ func (m *Mediator) Problem(conds []cond.Cond, opts Options) (*optimizer.Problem,
 			table.Conns[j] = opts.Conns
 		}
 	}
-	if m.network != nil {
-		m.network.Reset()
+	if r.network != nil {
+		r.network.Reset()
 	}
-	for _, src := range m.sources {
+	for _, src := range r.sources {
 		if inst, ok := src.(*source.Instrumented); ok {
 			inst.ResetCounters()
 		}
 	}
-	return &optimizer.Problem{Conds: conds, Sources: m.SourceNames(), Table: table}, nil
+	names := make([]string, len(r.sources))
+	for i, s := range r.sources {
+		names[i] = s.Name()
+	}
+	return &optimizer.Problem{Conds: conds, Sources: names, Table: table}, nil
 }
 
 // Plan optimizes the conditions with the selected algorithm.
-func (m *Mediator) Plan(conds []cond.Cond, opts Options) (optimizer.Result, error) {
-	pr, err := m.Problem(conds, opts)
+func (m *Mediator) Plan(ctx context.Context, conds []cond.Cond, opts Options) (optimizer.Result, error) {
+	return m.plan(ctx, m.snapshot(false), conds, opts)
+}
+
+func (m *Mediator) plan(ctx context.Context, r roster, conds []cond.Cond, opts Options) (optimizer.Result, error) {
+	pr, err := m.problem(ctx, r, conds, opts)
 	if err != nil {
 		return optimizer.Result{}, err
 	}
@@ -317,54 +414,91 @@ func (m *Mediator) Plan(conds []cond.Cond, opts Options) (optimizer.Result, erro
 }
 
 // QueryConds plans and executes a fusion query given as a condition list.
+// It is QueryCondsContext with a background context.
 func (m *Mediator) QueryConds(conds []cond.Cond, opts Options) (*Answer, error) {
-	var cache *exec.Cache
-	if opts.Cache {
-		cache = m.Cache()
+	return m.QueryCondsContext(context.Background(), conds, opts)
+}
+
+// QueryCondsContext plans and executes a fusion query given as a condition
+// list, under ctx and the Options.Timeout (whichever deadline is earlier).
+//
+// On failure — including cancellation and deadline expiry — the returned
+// Answer is non-nil whenever execution had started: Answer.Exec reports the
+// source queries, cache traffic and simulated work already paid for. The
+// error wraps the cause, so errors.Is(err, context.DeadlineExceeded) and
+// errors.Is(err, context.Canceled) identify abandoned queries.
+func (m *Mediator) QueryCondsContext(ctx context.Context, conds []cond.Cond, opts Options) (*Answer, error) {
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
 	}
+	r := m.snapshot(opts.Cache)
 	if opts.Adaptive {
-		pr, err := m.Problem(conds, opts)
+		pr, err := m.problem(ctx, r, conds, opts)
 		if err != nil {
 			return nil, err
 		}
-		ex := &exec.Executor{Sources: m.sources, Network: m.network, Parallel: opts.Parallel, Conns: opts.Conns, Cache: cache, Retries: opts.Retries}
-		run, executed, err := ex.RunAdaptive(pr)
+		ex := &exec.Executor{Sources: r.sources, Network: r.network, Parallel: opts.Parallel, Conns: opts.Conns, Cache: r.cache, Retries: opts.Retries}
+		run, executed, err := ex.RunAdaptive(ctx, pr)
 		if err != nil {
-			return nil, err
+			return partialAnswer(run, executed), err
 		}
 		return &Answer{Items: run.Answer, Plan: executed, Exec: run}, nil
 	}
-	res, err := m.Plan(conds, opts)
+	res, err := m.plan(ctx, r, conds, opts)
 	if err != nil {
 		return nil, err
 	}
-	ex := &exec.Executor{Sources: m.sources, Network: m.network, Parallel: opts.Parallel, Conns: opts.Conns, Cache: cache, Trace: opts.Trace, Retries: opts.Retries}
+	ex := &exec.Executor{Sources: r.sources, Network: r.network, Parallel: opts.Parallel, Conns: opts.Conns, Cache: r.cache, Trace: opts.Trace, Retries: opts.Retries}
 	if opts.CombinedFetch {
-		run, records, err := ex.RunCombined(res.Plan)
+		run, records, err := ex.RunCombined(ctx, res.Plan)
 		if err != nil {
-			return nil, err
+			return partialAnswer(run, res.Plan), err
 		}
 		return &Answer{Items: run.Answer, Plan: res.Plan, EstimatedCost: res.Cost, Exec: run, Records: records}, nil
 	}
-	run, err := ex.Run(res.Plan)
+	run, err := ex.Run(ctx, res.Plan)
 	if err != nil {
-		return nil, err
+		return partialAnswer(run, res.Plan), err
 	}
 	return &Answer{Items: run.Answer, Plan: res.Plan, EstimatedCost: res.Cost, Exec: run}, nil
 }
 
+// partialAnswer packages the counters of a failed execution; nil when the
+// failure preceded execution.
+func partialAnswer(run *exec.Result, p *plan.Plan) *Answer {
+	if run == nil {
+		return nil
+	}
+	return &Answer{Items: run.Answer, Plan: p, Exec: run}
+}
+
 // Query parses a fusion-query SQL statement, verifies the fusion pattern,
-// and plans and executes it.
+// and plans and executes it. It is QueryContext with a background context.
 func (m *Mediator) Query(sql string, opts Options) (*Answer, error) {
+	return m.QueryContext(context.Background(), sql, opts)
+}
+
+// QueryContext parses a fusion-query SQL statement, verifies the fusion
+// pattern, and plans and executes it under ctx; see QueryCondsContext for
+// the cancellation contract.
+func (m *Mediator) QueryContext(ctx context.Context, sql string, opts Options) (*Answer, error) {
 	fq, err := sqlparse.ParseFusion(sql, m.schema)
 	if err != nil {
 		return nil, err
 	}
-	return m.QueryConds(fq.Conds, opts)
+	return m.QueryCondsContext(ctx, fq.Conds, opts)
 }
 
 // Fetch runs the second phase (Section 1): retrieving the full records of
-// the answer items from every source.
+// the answer items from every source. It is FetchContext with a background
+// context.
 func (m *Mediator) Fetch(items set.Set) (*relation.Relation, error) {
-	return exec.FetchAnswer(items, m.sources)
+	return m.FetchContext(context.Background(), items)
+}
+
+// FetchContext is Fetch under ctx.
+func (m *Mediator) FetchContext(ctx context.Context, items set.Set) (*relation.Relation, error) {
+	return exec.FetchAnswer(ctx, items, m.Sources())
 }

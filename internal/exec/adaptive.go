@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -30,7 +31,11 @@ import (
 // mislead, measured cardinalities correct course round by round
 // (experiment E15). The executed steps are recorded as a plan in Result
 // form for inspection.
-func (e *Executor) RunAdaptive(pr *optimizer.Problem) (*Result, *plan.Plan, error) {
+//
+// Like Run, a failed or cancelled execution returns a non-nil Result whose
+// counters report the work already performed, with the error wrapping the
+// cause.
+func (e *Executor) RunAdaptive(ctx context.Context, pr *optimizer.Problem) (*Result, *plan.Plan, error) {
 	if err := pr.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -48,19 +53,17 @@ func (e *Executor) RunAdaptive(pr *optimizer.Problem) (*Result, *plan.Plan, erro
 	executed := &plan.Plan{Conds: pr.Conds, Sources: pr.Sources, Class: "adaptive"}
 	res := &Result{Vars: map[string]set.Set{}}
 	placed := make([]bool, m)
-	if e.Parallel {
-		conns := make([]int, len(e.Sources))
-		for j := range e.Sources {
-			conns[j] = e.connsFor(j)
-		}
-		e.sched = newScheduler(conns)
-	} else {
-		e.sched = nil
+	conns := make([]int, len(e.Sources))
+	for j := range e.Sources {
+		conns[j] = e.connsFor(j)
 	}
+	e.sched = newScheduler(conns)
 	if e.Network != nil {
 		pre := e.Network.Stats().TotalTime
 		defer func() {
-			res.TotalWork = e.Network.Stats().TotalTime - pre
+			if d := e.Network.Stats().TotalTime - pre; d > 0 {
+				res.TotalWork = d
+			}
 			if !e.Parallel {
 				res.ResponseTime = res.TotalWork
 			}
@@ -70,6 +73,13 @@ func (e *Executor) RunAdaptive(pr *optimizer.Problem) (*Result, *plan.Plan, erro
 	record := func(s plan.Step, out set.Set, qs queryStats) {
 		executed.Steps = append(executed.Steps, s)
 		res.Vars[s.Out] = out
+		res.SourceQueries += qs.queries
+		res.CacheHits += qs.hits
+		res.CacheMisses += qs.misses
+	}
+	// charge flushes a failed query's statistics: the attempts reached the
+	// source, so the partial Result must report them.
+	charge := func(qs queryStats) {
 		res.SourceQueries += qs.queries
 		res.CacheHits += qs.hits
 		res.CacheMisses += qs.misses
@@ -85,10 +95,16 @@ func (e *Executor) RunAdaptive(pr *optimizer.Problem) (*Result, *plan.Plan, erro
 		if e.Parallel && e.Network != nil {
 			logStart = len(e.Network.Log())
 		}
-		out, qs, err := e.sourceQuery(pr, ci, j, method, x)
+		out, qs, err := e.sourceQuery(ctx, pr, ci, j, method, x)
 		if e.Parallel && e.Network != nil {
 			var durs []time.Duration
-			for _, ex := range e.Network.Log()[logStart:] {
+			// Clamp: a concurrent query's planning phase may have reset the
+			// shared exchange log since logStart was captured.
+			log := e.Network.Log()
+			if logStart > len(log) {
+				logStart = len(log)
+			}
+			for _, ex := range log[logStart:] {
 				durs = append(durs, ex.Elapsed)
 			}
 			res.ResponseTime += netsim.Makespan(durs, e.connsFor(j))
@@ -115,7 +131,8 @@ func (e *Executor) RunAdaptive(pr *optimizer.Problem) (*Result, *plan.Plan, erro
 	for j := 0; j < n; j++ {
 		out, qs, err := query(first, j, optimizer.MethodSelect, set.Set{})
 		if err != nil {
-			return nil, nil, err
+			charge(qs)
+			return res, executed, err
 		}
 		name := fmt.Sprintf("X1%d", j+1)
 		record(plan.Step{Kind: plan.KindSelect, Out: name, Cond: first, Source: j}, out, qs)
@@ -126,6 +143,9 @@ func (e *Executor) RunAdaptive(pr *optimizer.Problem) (*Result, *plan.Plan, erro
 	record(plan.Step{Kind: plan.KindUnion, Out: "X1", Cond: -1, Source: -1, In: names}, x, queryStats{})
 
 	for r := 2; r <= m && !x.IsEmpty(); r++ {
+		if err := ctx.Err(); err != nil {
+			return res, executed, fmt.Errorf("exec: adaptive: %w", err)
+		}
 		// Pick the next condition against the MEASURED |X|.
 		measured := float64(x.Len())
 		nextIdx, nextCost := -1, math.Inf(1)
@@ -154,7 +174,8 @@ func (e *Executor) RunAdaptive(pr *optimizer.Problem) (*Result, *plan.Plan, erro
 			name := fmt.Sprintf("X%d%d", r, j+1)
 			out, qs, err := query(nextIdx, j, method, x)
 			if err != nil {
-				return nil, nil, err
+				charge(qs)
+				return res, executed, err
 			}
 			switch method {
 			case optimizer.MethodSelect:
@@ -191,8 +212,9 @@ func (e *Executor) RunAdaptive(pr *optimizer.Problem) (*Result, *plan.Plan, erro
 // the cache and scheduler, honoring the executor's retry budget. Emulated
 // semijoins retry per binding inside semijoinQuery, so the whole-call retry
 // budget is zeroed for them; failed attempts stay charged in the returned
-// stats.
-func (e *Executor) sourceQuery(pr *optimizer.Problem, ci, j int, method optimizer.Method, x set.Set) (set.Set, queryStats, error) {
+// stats. Context errors are never transient, so cancellation stops the
+// retry loop at once.
+func (e *Executor) sourceQuery(ctx context.Context, pr *optimizer.Problem, ci, j int, method optimizer.Method, x set.Set) (set.Set, queryStats, error) {
 	src := e.Sources[j]
 	budget := e.Retries
 	if method != optimizer.MethodSelect && method != optimizer.MethodBloom {
@@ -209,19 +231,24 @@ func (e *Executor) sourceQuery(pr *optimizer.Problem, ci, j int, method optimize
 		)
 		switch method {
 		case optimizer.MethodSelect:
-			out, qs, err = e.selectQuery(j, pr.Conds[ci])
+			out, qs, err = e.selectQuery(ctx, j, pr.Conds[ci])
 		case optimizer.MethodBloom:
 			filter := bloom.FromItems(x.Items(), bloom.DefaultBitsPerItem)
-			release := e.slot(j)
+			var release func()
+			release, err = e.slot(ctx, j)
+			if err != nil {
+				err = fmt.Errorf("source %s: %w", src.Name(), err)
+				break
+			}
 			var positives set.Set
-			positives, err = src.SemijoinBloom(pr.Conds[ci], filter)
+			positives, err = src.SemijoinBloom(ctx, pr.Conds[ci], filter)
 			release()
 			qs = queryStats{queries: 1}
 			if err == nil {
 				out = positives.Intersect(x)
 			}
 		default:
-			out, qs, err = e.semijoinQuery(j, pr.Conds[ci], x)
+			out, qs, err = e.semijoinQuery(ctx, j, pr.Conds[ci], x)
 		}
 		acc.queries += qs.queries
 		acc.hits += qs.hits

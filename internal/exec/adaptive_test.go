@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"testing"
 
 	"fusionq/internal/cond"
@@ -13,7 +14,7 @@ import (
 func TestRunAdaptiveDMV(t *testing.T) {
 	pr, srcs, network := dmvSetup(t, nil)
 	ex := &Executor{Sources: srcs, Network: network}
-	res, executed, err := ex.RunAdaptive(pr)
+	res, executed, err := ex.RunAdaptive(context.Background(), pr)
 	if err != nil {
 		t.Fatalf("RunAdaptive: %v", err)
 	}
@@ -43,14 +44,14 @@ func TestRunAdaptiveMatchesGroundTruthUnderCorrelation(t *testing.T) {
 		PerQuery: 5, PerItemSent: 0.01, PerItemRecv: 0.01, PerByteLoad: 0.001,
 		Support: stats.SemijoinNative,
 	})
-	table, err := stats.BuildFromSources(sc.Conds, sc.Sources, profiles)
+	table, err := stats.BuildFromSources(context.Background(), sc.Conds, sc.Sources, profiles)
 	if err != nil {
 		t.Fatal(err)
 	}
 	pr := &optimizer.Problem{Conds: sc.Conds, Sources: sc.SourceNames(), Table: table}
 	ex := &Executor{Sources: sc.Sources}
 
-	adaptive, _, err := ex.RunAdaptive(pr)
+	adaptive, _, err := ex.RunAdaptive(context.Background(), pr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestRunAdaptiveMatchesGroundTruthUnderCorrelation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	staticRun, err := ex.Run(sja.Plan)
+	staticRun, err := ex.Run(context.Background(), sja.Plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,13 +85,13 @@ func TestRunAdaptiveEmptyFirstRoundShortCircuits(t *testing.T) {
 		PerQuery: 5, PerItemSent: 0.01, PerItemRecv: 0.01, PerByteLoad: 0.001,
 		Support: stats.SemijoinNative,
 	})
-	table, err := stats.BuildFromSources(conds, sc.Sources, profiles)
+	table, err := stats.BuildFromSources(context.Background(), conds, sc.Sources, profiles)
 	if err != nil {
 		t.Fatal(err)
 	}
 	pr := &optimizer.Problem{Conds: conds, Sources: sc.SourceNames(), Table: table}
 	ex := &Executor{Sources: sc.Sources}
-	res, _, err := ex.RunAdaptive(pr)
+	res, _, err := ex.RunAdaptive(context.Background(), pr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestRunAdaptiveWithFlakySources(t *testing.T) {
 		srcs[j] = source.NewFlaky(raw, 0.3, int64(j+7))
 	}
 	ex := &Executor{Sources: srcs, Retries: 30}
-	res, _, err := ex.RunAdaptive(pr)
+	res, _, err := ex.RunAdaptive(context.Background(), pr)
 	if err != nil {
 		t.Fatalf("adaptive with retries: %v", err)
 	}
@@ -123,7 +124,7 @@ func TestRunAdaptiveWithFlakySources(t *testing.T) {
 func TestRunAdaptiveValidatesInputs(t *testing.T) {
 	pr, srcs, _ := dmvSetup(t, nil)
 	ex := &Executor{Sources: srcs[:1]}
-	if _, _, err := ex.RunAdaptive(pr); err == nil {
+	if _, _, err := ex.RunAdaptive(context.Background(), pr); err == nil {
 		t.Fatal("source count mismatch should fail")
 	}
 }

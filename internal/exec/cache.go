@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"sync"
 
 	"fusionq/internal/bloom"
@@ -247,11 +248,11 @@ func (s *CachedSource) Schema() *relation.Schema { return s.inner.Schema() }
 func (s *CachedSource) Caps() source.Capabilities { return s.inner.Caps() }
 
 // Select implements source.Source, consulting the selection cache.
-func (s *CachedSource) Select(c cond.Cond) (set.Set, error) {
+func (s *CachedSource) Select(ctx context.Context, c cond.Cond) (set.Set, error) {
 	if out, ok := s.cache.Select(s.Name(), c); ok {
 		return out, nil
 	}
-	out, err := s.inner.Select(c)
+	out, err := s.inner.Select(ctx, c)
 	if err != nil {
 		return out, err
 	}
@@ -260,11 +261,11 @@ func (s *CachedSource) Select(c cond.Cond) (set.Set, error) {
 }
 
 // SelectBinding implements source.Source, consulting the membership cache.
-func (s *CachedSource) SelectBinding(c cond.Cond, item string) (bool, error) {
+func (s *CachedSource) SelectBinding(ctx context.Context, c cond.Cond, item string) (bool, error) {
 	if match, known := s.cache.Lookup(s.Name(), c, item); known {
 		return match, nil
 	}
-	match, err := s.inner.SelectBinding(c, item)
+	match, err := s.inner.SelectBinding(ctx, c, item)
 	if err != nil {
 		return match, err
 	}
@@ -274,16 +275,16 @@ func (s *CachedSource) SelectBinding(c cond.Cond, item string) (bool, error) {
 
 // Semijoin implements source.Source: cached verdicts shrink the shipped set,
 // and a semijoin whose every item is already known costs no exchange at all.
-func (s *CachedSource) Semijoin(c cond.Cond, y set.Set) (set.Set, error) {
+func (s *CachedSource) Semijoin(ctx context.Context, c cond.Cond, y set.Set) (set.Set, error) {
 	if !s.Caps().NativeSemijoin {
 		// Delegate so the inner source produces its canonical error.
-		return s.inner.Semijoin(c, y)
+		return s.inner.Semijoin(ctx, c, y)
 	}
 	knownTrue, unknown := s.cache.Partition(s.Name(), c, y)
 	if unknown.IsEmpty() {
 		return knownTrue, nil
 	}
-	out, err := s.inner.Semijoin(c, unknown)
+	out, err := s.inner.Semijoin(ctx, c, unknown)
 	if err != nil {
 		return out, err
 	}
@@ -292,25 +293,29 @@ func (s *CachedSource) Semijoin(c cond.Cond, y set.Set) (set.Set, error) {
 }
 
 // Load implements source.Source (uncached).
-func (s *CachedSource) Load() (*relation.Relation, error) { return s.inner.Load() }
+func (s *CachedSource) Load(ctx context.Context) (*relation.Relation, error) {
+	return s.inner.Load(ctx)
+}
 
 // Fetch implements source.Source (uncached).
-func (s *CachedSource) Fetch(items set.Set) ([]relation.Tuple, error) { return s.inner.Fetch(items) }
+func (s *CachedSource) Fetch(ctx context.Context, items set.Set) ([]relation.Tuple, error) {
+	return s.inner.Fetch(ctx, items)
+}
 
 // SelectRecords implements source.Source (uncached).
-func (s *CachedSource) SelectRecords(c cond.Cond) ([]relation.Tuple, error) {
-	return s.inner.SelectRecords(c)
+func (s *CachedSource) SelectRecords(ctx context.Context, c cond.Cond) ([]relation.Tuple, error) {
+	return s.inner.SelectRecords(ctx, c)
 }
 
 // SemijoinRecords implements source.Source (uncached).
-func (s *CachedSource) SemijoinRecords(c cond.Cond, y set.Set) ([]relation.Tuple, error) {
-	return s.inner.SemijoinRecords(c, y)
+func (s *CachedSource) SemijoinRecords(ctx context.Context, c cond.Cond, y set.Set) ([]relation.Tuple, error) {
+	return s.inner.SemijoinRecords(ctx, c, y)
 }
 
 // SemijoinBloom implements source.Source (uncached: the filter is
 // set-specific and the result carries false positives).
-func (s *CachedSource) SemijoinBloom(c cond.Cond, f *bloom.Filter) (set.Set, error) {
-	return s.inner.SemijoinBloom(c, f)
+func (s *CachedSource) SemijoinBloom(ctx context.Context, c cond.Cond, f *bloom.Filter) (set.Set, error) {
+	return s.inner.SemijoinBloom(ctx, c, f)
 }
 
 // Card implements source.Source.

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -176,25 +177,25 @@ type countingSource struct {
 	semis    int
 }
 
-func (s *countingSource) Select(c cond.Cond) (set.Set, error) {
+func (s *countingSource) Select(ctx context.Context, c cond.Cond) (set.Set, error) {
 	s.mu.Lock()
 	s.selects++
 	s.mu.Unlock()
-	return s.Source.Select(c)
+	return s.Source.Select(ctx, c)
 }
 
-func (s *countingSource) SelectBinding(c cond.Cond, item string) (bool, error) {
+func (s *countingSource) SelectBinding(ctx context.Context, c cond.Cond, item string) (bool, error) {
 	s.mu.Lock()
 	s.bindings++
 	s.mu.Unlock()
-	return s.Source.SelectBinding(c, item)
+	return s.Source.SelectBinding(ctx, c, item)
 }
 
-func (s *countingSource) Semijoin(c cond.Cond, y set.Set) (set.Set, error) {
+func (s *countingSource) Semijoin(ctx context.Context, c cond.Cond, y set.Set) (set.Set, error) {
 	s.mu.Lock()
 	s.semis++
 	s.mu.Unlock()
-	return s.Source.Semijoin(c, y)
+	return s.Source.Semijoin(ctx, c, y)
 }
 
 // TestCachedSource checks the decorator used by long-lived endpoints: a
@@ -206,11 +207,11 @@ func TestCachedSource(t *testing.T) {
 	cs := NewCachedSource(inner, NewCache())
 	cd := sc.Conds[0]
 
-	first, err := cs.Select(cd)
+	first, err := cs.Select(context.Background(), cd)
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := cs.Select(cd)
+	second, err := cs.Select(context.Background(), cd)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestCachedSource(t *testing.T) {
 	// semijoin over probed items answer locally too.
 	if !first.IsEmpty() {
 		item := first.Items()[0]
-		ok, err := cs.SelectBinding(cd, item)
+		ok, err := cs.SelectBinding(context.Background(), cd, item)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -235,7 +236,7 @@ func TestCachedSource(t *testing.T) {
 		if inner.bindings != 0 {
 			t.Fatalf("inner bindings = %d, want 0", inner.bindings)
 		}
-		out, err := cs.Semijoin(cd, first)
+		out, err := cs.Semijoin(context.Background(), cd, first)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"fusionq/internal/plan"
@@ -20,7 +21,7 @@ import (
 // The trade-off (quantified in experiment E13): combined mode avoids the
 // per-source fetch round, but ships full records for the final round's
 // whole result — a superset of the answer.
-func (e *Executor) RunCombined(p *plan.Plan) (*Result, *relation.Relation, error) {
+func (e *Executor) RunCombined(ctx context.Context, p *plan.Plan) (*Result, *relation.Relation, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -39,13 +40,14 @@ func (e *Executor) RunCombined(p *plan.Plan) (*Result, *relation.Relation, error
 		finalCond: final,
 		records:   map[int]map[string][]relation.Tuple{},
 	}
-	res, err := combined.Run(p)
+	res, err := combined.Run(ctx, p)
 	if err != nil {
-		return nil, nil, err
+		// res is the partial result; no records were assembled.
+		return res, nil, err
 	}
-	records, err := combined.collectRecords(p, res.Answer)
+	records, err := combined.collectRecords(ctx, p, res.Answer)
 	if err != nil {
-		return nil, nil, err
+		return res, nil, err
 	}
 	return res, records, nil
 }
@@ -81,7 +83,7 @@ func (e *Executor) cacheRecords(srcIdx int, tuples []relation.Tuple, mergeIdx in
 // collectRecords assembles the answer entities' full records: cached
 // final-round records where available, loaded source contents for loaded
 // sources, and targeted fetches for whatever is missing.
-func (e *Executor) collectRecords(p *plan.Plan, answer set.Set) (*relation.Relation, error) {
+func (e *Executor) collectRecords(ctx context.Context, p *plan.Plan, answer set.Set) (*relation.Relation, error) {
 	if len(e.Sources) == 0 {
 		return nil, fmt.Errorf("exec: no sources")
 	}
@@ -137,7 +139,7 @@ func (e *Executor) collectRecords(p *plan.Plan, answer set.Set) (*relation.Relat
 			}
 		}
 		if len(missing) > 0 {
-			tuples, err := src.Fetch(set.New(missing...))
+			tuples, err := src.Fetch(ctx, set.New(missing...))
 			if err != nil {
 				return nil, fmt.Errorf("exec: fetching remainder from %s: %w", src.Name(), err)
 			}

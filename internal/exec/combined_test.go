@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"testing"
 
 	"fusionq/internal/optimizer"
@@ -20,11 +21,11 @@ func TestRunCombinedMatchesTwoPhase(t *testing.T) {
 			t.Fatal(err)
 		}
 		twoEx := &Executor{Sources: srcs, Network: network}
-		twoRun, err := twoEx.Run(res.Plan)
+		twoRun, err := twoEx.Run(context.Background(), res.Plan)
 		if err != nil {
 			t.Fatal(err)
 		}
-		twoRecords, err := FetchAnswer(twoRun.Answer, srcs)
+		twoRecords, err := FetchAnswer(context.Background(), twoRun.Answer, srcs)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -35,7 +36,7 @@ func TestRunCombinedMatchesTwoPhase(t *testing.T) {
 			t.Fatal(err)
 		}
 		comEx := &Executor{Sources: srcs2, Network: network2}
-		comRun, records, err := comEx.RunCombined(res2.Plan)
+		comRun, records, err := comEx.RunCombined(context.Background(), res2.Plan)
 		if err != nil {
 			t.Fatalf("RunCombined: %v\nplan:\n%s", err, res2.Plan)
 		}
@@ -57,7 +58,7 @@ func TestRunCombinedSkipsCoveredFetches(t *testing.T) {
 		t.Fatal(err)
 	}
 	ex := &Executor{Sources: srcs}
-	_, records, err := ex.RunCombined(res.Plan)
+	_, records, err := ex.RunCombined(context.Background(), res.Plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestRunCombinedEmptyAnswer(t *testing.T) {
 		Result: "R",
 	}
 	ex := &Executor{Sources: srcs}
-	run, records, err := ex.RunCombined(p)
+	run, records, err := ex.RunCombined(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestRunCombinedNoSourceQueries(t *testing.T) {
 		Result: "F1",
 	}
 	ex := &Executor{Sources: srcs}
-	if _, _, err := ex.RunCombined(p); err == nil {
+	if _, _, err := ex.RunCombined(context.Background(), p); err == nil {
 		t.Fatal("plan without condition queries should be rejected")
 	}
 }
@@ -135,7 +136,7 @@ func TestRunCombinedEmulatedSemijoinFallsBack(t *testing.T) {
 		t.Fatal(err)
 	}
 	ex := &Executor{Sources: srcs}
-	run, records, err := ex.RunCombined(res.Plan)
+	run, records, err := ex.RunCombined(context.Background(), res.Plan)
 	if err != nil {
 		t.Fatalf("RunCombined with emulated semijoins: %v\nplan:\n%s", err, res.Plan)
 	}
@@ -154,7 +155,7 @@ func TestRunCombinedParallel(t *testing.T) {
 		t.Fatal(err)
 	}
 	ex := &Executor{Sources: srcs, Network: network, Parallel: true}
-	run, records, err := ex.RunCombined(res.Plan)
+	run, records, err := ex.RunCombined(context.Background(), res.Plan)
 	if err != nil {
 		t.Fatalf("parallel combined: %v", err)
 	}
@@ -179,7 +180,7 @@ func TestRunCombinedWithLoadedSources(t *testing.T) {
 		t.Skip("SJA+ did not load any source in this configuration")
 	}
 	ex := &Executor{Sources: srcs}
-	run, records, err := ex.RunCombined(res.Plan)
+	run, records, err := ex.RunCombined(context.Background(), res.Plan)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,16 +4,24 @@
 // selections at the mediator, and issuing selection, semijoin and load
 // queries to the sources.
 //
-// Two execution modes are provided. Sequential mode issues one source query
-// at a time; its simulated elapsed time equals the "total work" the paper's
-// cost model minimizes. Parallel mode (the response-time direction the
-// paper names as future work in Section 6) issues each round's independent
-// source queries concurrently through a per-source bounded scheduler
-// (scheduler.go): every source admits at most its connection capacity of
-// in-flight exchanges, emulated semijoins fan their binding queries out
-// across those connections, and the simulated response time drops to the
-// per-round critical path over the per-source k-lane schedules. Total work
-// is unchanged by parallelism.
+// Two execution modes are provided, both flowing through the same
+// per-source bounded scheduler (scheduler.go). Sequential mode issues one
+// source query at a time — each source-query step is a singleton batch on a
+// single connection — so its simulated elapsed time equals the "total work"
+// the paper's cost model minimizes. Parallel mode (the response-time
+// direction the paper names as future work in Section 6) issues each
+// round's independent source queries concurrently: every source admits at
+// most its connection capacity of in-flight exchanges, emulated semijoins
+// fan their binding queries out across those connections, and the simulated
+// response time drops to the per-round critical path over the per-source
+// k-lane schedules. Total work is unchanged by parallelism.
+//
+// Every run takes a context.Context. Cancellation is observed between
+// steps, between the bindings of an emulated semijoin, and inside
+// individual source exchanges; a cancelled run stops promptly, leaks no
+// goroutines, and still returns a Result whose counters report the source
+// queries and simulated work already paid for, alongside an error wrapping
+// ctx.Err().
 //
 // A mediator-side answer cache (cache.go) can be attached to either mode:
 // selection results and per-item membership verdicts learned from earlier
@@ -21,6 +29,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -59,18 +68,19 @@ type Executor struct {
 	Cache *Cache
 	// Trace records a per-step execution trace (Result.Trace): output
 	// cardinalities, issued queries, cache hits, and elapsed simulated
-	// time. In parallel batches elapsed is attributed per step from the
-	// network exchange log (steps sharing a source split the source's time
-	// pro rata by issued queries).
+	// time. Elapsed is attributed per step from the network exchange log
+	// (steps sharing a source split the source's time pro rata by issued
+	// queries).
 	Trace bool
 	// Retries is how many times a step whose source query fails with a
 	// transient error (source.ErrTransient) is re-issued before the run
 	// fails. Zero disables retries. Emulated semijoins retry per binding
 	// query rather than per step: one flaky binding never re-issues the
-	// bindings that already succeeded.
+	// bindings that already succeeded. Context cancellation is never
+	// retried.
 	Retries int
 
-	// sched is the per-source slot pool of the current parallel run.
+	// sched is the per-source slot pool of the current run.
 	sched *scheduler
 
 	// Combined-mode state (set up by RunCombined): when records is
@@ -85,13 +95,16 @@ type Executor struct {
 // Result summarizes one plan execution.
 type Result struct {
 	// Answer is the value of the plan's result variable: the items
-	// satisfying all conditions of the fusion query.
+	// satisfying all conditions of the fusion query. Empty when the run
+	// failed or was cancelled before the result variable was computed.
 	Answer set.Set
-	// Vars holds the final value of every set variable.
+	// Vars holds the final value of every set variable. After a failed or
+	// cancelled run it holds the variables computed so far.
 	Vars map[string]set.Set
 	// SourceQueries counts charged source operations actually issued
 	// (selections, native semijoins, emulated per-binding selections,
-	// loads).
+	// loads) — including attempts that reached the source before the run
+	// failed or was cancelled.
 	SourceQueries int
 	// TotalWork is the summed simulated duration of all exchanges — the
 	// quantity the optimizers minimize. Zero without a Network.
@@ -112,9 +125,16 @@ type Result struct {
 	Trace []StepTrace
 }
 
-// Run executes the plan and returns the result. The plan's source names
-// must match the executor's sources position by position.
-func (e *Executor) Run(p *plan.Plan) (*Result, error) {
+// Run executes the plan under ctx and returns the result. The plan's
+// source names must match the executor's sources position by position.
+//
+// On failure — including cancellation and deadline expiry — the returned
+// Result is still non-nil: its counters report the source queries, cache
+// traffic and simulated work already performed, and Vars holds the set
+// variables computed before the failure. The error wraps the cause, so
+// errors.Is(err, context.Canceled) and errors.Is(err,
+// context.DeadlineExceeded) identify abandoned runs.
+func (e *Executor) Run(ctx context.Context, p *plan.Plan) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -132,41 +152,48 @@ func (e *Executor) Run(p *plan.Plan) (*Result, error) {
 		loaded: map[string]*relation.Relation{},
 	}
 	res := &Result{Vars: st.vars}
-	if e.Parallel {
-		conns := make([]int, len(e.Sources))
-		for j := range e.Sources {
-			conns[j] = e.connsFor(j)
+	conns := make([]int, len(e.Sources))
+	for j := range e.Sources {
+		conns[j] = e.connsFor(j)
+	}
+	e.sched = newScheduler(conns)
+
+	finish := func(err error) (*Result, error) {
+		res.Answer = st.vars[p.Result]
+		e.lastLoaded = st.loaded
+		if e.Trace {
+			sort.Slice(res.Trace, func(a, b int) bool { return res.Trace[a].Index < res.Trace[b].Index })
 		}
-		e.sched = newScheduler(conns)
-	} else {
-		e.sched = nil
+		return res, err
 	}
 
 	steps := p.Steps
 	for k := 0; k < len(steps); {
-		if e.Parallel {
-			// Even a lone source-query step runs as a (singleton) batch:
+		if err := ctx.Err(); err != nil {
+			return finish(fmt.Errorf("exec: %w", err))
+		}
+		if steps[k].IsSourceQuery() {
+			// Every source-query step runs as a batch — a singleton in
+			// sequential mode, a whole round of independent steps in
+			// parallel mode — so accounting and scheduling are uniform:
 			// an emulated semijoin's binding fan-out needs the k-lane
 			// makespan accounting either way.
-			if batch := e.batchEnd(p, steps, k); batch > k {
-				if err := e.runBatch(p, steps, k, batch, st, res); err != nil {
-					return nil, err
-				}
-				k = batch
-				continue
+			end := k + 1
+			if e.Parallel {
+				end = e.batchEnd(p, steps, k)
 			}
+			if err := e.runBatch(ctx, p, steps, k, end, st, res); err != nil {
+				return finish(err)
+			}
+			k = end
+			continue
 		}
-		if err := e.runStepRetry(p, k, steps[k], st, res, nil); err != nil {
-			return nil, err
+		if err := e.runStep(ctx, p, k, steps[k], st, res, nil); err != nil {
+			return finish(err)
 		}
 		k++
 	}
-	res.Answer = st.vars[p.Result]
-	e.lastLoaded = st.loaded
-	if e.Trace {
-		sort.Slice(res.Trace, func(a, b int) bool { return res.Trace[a].Index < res.Trace[b].Index })
-	}
-	return res, nil
+	return finish(nil)
 }
 
 // state is the mutable execution environment: set variables and loaded
@@ -221,15 +248,23 @@ func (e *Executor) batchEnd(p *plan.Plan, steps []plan.Step, k int) int {
 // runBatch executes source-query steps concurrently and accounts the batch
 // critical path as its response-time contribution: each source contributes
 // the makespan of its exchanges over its connection capacity, and the
-// slowest source bounds the batch.
-func (e *Executor) runBatch(p *plan.Plan, steps []plan.Step, start, end int, st *state, res *Result) error {
+// slowest source bounds the batch. Work already performed is charged even
+// when the batch fails — counters and simulated time reflect the traffic
+// that reached the sources.
+func (e *Executor) runBatch(ctx context.Context, p *plan.Plan, steps []plan.Step, start, end int, st *state, res *Result) error {
 	batch := steps[start:end]
 	var preTotal time.Duration
 	if e.Network != nil {
 		preTotal = e.Network.Stats().TotalTime
 		defer func() {
-			// Total work accrues regardless of parallelism.
-			res.TotalWork += e.Network.Stats().TotalTime - preTotal
+			// Total work accrues regardless of parallelism or failure. A
+			// concurrent query's planning phase may reset the shared
+			// network's accounting mid-batch (the documented approximation
+			// for concurrent mediator queries), so never charge a negative
+			// delta.
+			if d := e.Network.Stats().TotalTime - preTotal; d > 0 {
+				res.TotalWork += d
+			}
 		}()
 	}
 	var (
@@ -246,7 +281,7 @@ func (e *Executor) runBatch(p *plan.Plan, steps []plan.Step, start, end int, st 
 		wg.Add(1)
 		go func(idx int, s plan.Step) {
 			defer wg.Done()
-			err := e.runStepRetry(p, idx, s, st, res, &mu)
+			err := e.runStepRetry(ctx, p, idx, s, st, res, &mu)
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -257,12 +292,15 @@ func (e *Executor) runBatch(p *plan.Plan, steps []plan.Step, start, end int, st 
 		}(start+i, batch[i])
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return firstErr
-	}
 	if e.Network != nil {
 		perSource := map[string][]time.Duration{}
-		for _, ex := range e.Network.Log()[logStart:] {
+		// Clamp: a concurrent query's planning phase may have reset the
+		// shared exchange log since logStart was captured.
+		log := e.Network.Log()
+		if logStart > len(log) {
+			logStart = len(log)
+		}
+		for _, ex := range log[logStart:] {
 			perSource[ex.Source] = append(perSource[ex.Source], ex.Elapsed)
 		}
 		conns := map[string]int{}
@@ -279,7 +317,7 @@ func (e *Executor) runBatch(p *plan.Plan, steps []plan.Step, start, end int, st 
 			e.attributeElapsed(res, steps, start, end, perSource)
 		}
 	}
-	return nil
+	return firstErr
 }
 
 // attributeElapsed fixes up the batch's step traces from the exchange log:
@@ -327,7 +365,8 @@ func (e *Executor) attributeElapsed(res *Result, steps []plan.Step, start, end i
 // are safe; the extra traffic of a failed attempt is genuine extra work.
 // Emulated semijoins are excluded: their retry is per binding query inside
 // emulatedSemijoin, so one flaky binding never re-issues the whole step.
-func (e *Executor) runStepRetry(p *plan.Plan, idx int, s plan.Step, st *state, res *Result, mu *sync.Mutex) error {
+// Context errors are not transient, so cancellation ends the loop at once.
+func (e *Executor) runStepRetry(ctx context.Context, p *plan.Plan, idx int, s plan.Step, st *state, res *Result, mu *sync.Mutex) error {
 	budget := e.Retries
 	if s.Kind == plan.KindSemijoin {
 		if caps := e.Sources[s.Source].Caps(); !caps.NativeSemijoin && caps.PassedBindings {
@@ -335,7 +374,7 @@ func (e *Executor) runStepRetry(p *plan.Plan, idx int, s plan.Step, st *state, r
 		}
 	}
 	for attempt := 0; ; attempt++ {
-		err := e.runStep(p, idx, s, st, res, mu)
+		err := e.runStep(ctx, p, idx, s, st, res, mu)
 		if err == nil {
 			return nil
 		}
@@ -346,133 +385,10 @@ func (e *Executor) runStepRetry(p *plan.Plan, idx int, s plan.Step, st *state, r
 }
 
 // runStep executes one step. mu, when non-nil, guards the shared Result
-// counters during parallel batches.
-func (e *Executor) runStep(p *plan.Plan, idx int, s plan.Step, st *state, res *Result, mu *sync.Mutex) error {
-	var preTotal time.Duration
-	sequential := mu == nil
-	if sequential && e.Network != nil && s.IsSourceQuery() {
-		preTotal = e.Network.Stats().TotalTime
-	}
-	var qs queryStats
-	switch s.Kind {
-	case plan.KindSelect:
-		src := e.Sources[s.Source]
-		if e.records != nil && s.Cond == e.finalCond {
-			release := e.slot(s.Source)
-			tuples, err := src.SelectRecords(p.Conds[s.Cond])
-			release()
-			if err != nil {
-				return fmt.Errorf("exec: %s: %w", p.StepString(s), err)
-			}
-			e.cacheRecords(s.Source, tuples, src.Schema().MergeIndex())
-			st.setVar(s.Out, itemsOf(tuples, src.Schema().MergeIndex()))
-			qs.queries = 1
-			break
-		}
-		out, q, err := e.selectQuery(s.Source, p.Conds[s.Cond])
-		qs = q
-		if err != nil {
-			return fmt.Errorf("exec: %s: %w", p.StepString(s), err)
-		}
-		st.setVar(s.Out, out)
-	case plan.KindSemijoin:
-		src := e.Sources[s.Source]
-		in, ok := st.get(s.In[0])
-		if !ok {
-			return fmt.Errorf("exec: %s: undefined input %q", p.StepString(s), s.In[0])
-		}
-		if in.IsEmpty() {
-			// Runtime short-circuit: a semijoin over the empty set is
-			// empty without asking the source. Once a running set drains,
-			// every later semijoin round costs nothing.
-			st.setVar(s.Out, set.Empty)
-			break
-		}
-		if e.records != nil && s.Cond == e.finalCond && src.Caps().NativeSemijoin {
-			release := e.slot(s.Source)
-			tuples, err := src.SemijoinRecords(p.Conds[s.Cond], in)
-			release()
-			if err != nil {
-				return fmt.Errorf("exec: %s: %w", p.StepString(s), err)
-			}
-			e.cacheRecords(s.Source, tuples, src.Schema().MergeIndex())
-			st.setVar(s.Out, itemsOf(tuples, src.Schema().MergeIndex()))
-			qs.queries = 1
-			break
-		}
-		out, q, err := e.semijoinQuery(s.Source, p.Conds[s.Cond], in)
-		qs = q
-		if err != nil {
-			return fmt.Errorf("exec: %s: %w", p.StepString(s), err)
-		}
-		st.setVar(s.Out, out)
-	case plan.KindBloomSemijoin:
-		src := e.Sources[s.Source]
-		in, ok := st.get(s.In[0])
-		if !ok {
-			return fmt.Errorf("exec: %s: undefined input %q", p.StepString(s), s.In[0])
-		}
-		if in.IsEmpty() {
-			st.setVar(s.Out, set.Empty)
-			break
-		}
-		filter := bloom.FromItems(in.Items(), bloom.DefaultBitsPerItem)
-		release := e.slot(s.Source)
-		positives, err := src.SemijoinBloom(p.Conds[s.Cond], filter)
-		release()
-		if err != nil {
-			return fmt.Errorf("exec: %s: %w", p.StepString(s), err)
-		}
-		// Discard the filter's false positives: the exact semijoin result
-		// is the positives restricted to the actual set.
-		st.setVar(s.Out, positives.Intersect(in))
-		qs.queries = 1
-	case plan.KindLoad:
-		src := e.Sources[s.Source]
-		release := e.slot(s.Source)
-		rel, err := src.Load()
-		release()
-		if err != nil {
-			return fmt.Errorf("exec: %s: %w", p.StepString(s), err)
-		}
-		st.mu.Lock()
-		st.loaded[s.Out] = rel
-		st.vars[s.Out] = set.FromSorted(rel.Items())
-		st.mu.Unlock()
-		qs.queries = 1
-	case plan.KindLocalSelect:
-		st.mu.Lock()
-		rel, ok := st.loaded[s.In[0]]
-		st.mu.Unlock()
-		if !ok {
-			return fmt.Errorf("exec: %s: %q is not loaded source contents", p.StepString(s), s.In[0])
-		}
-		out, err := localSelect(rel, p, s.Cond)
-		if err != nil {
-			return fmt.Errorf("exec: %s: %w", p.StepString(s), err)
-		}
-		st.setVar(s.Out, out)
-	case plan.KindUnion:
-		sets, err := st.gather(s.In)
-		if err != nil {
-			return fmt.Errorf("exec: %s: %w", p.StepString(s), err)
-		}
-		st.setVar(s.Out, set.UnionAll(sets...))
-	case plan.KindIntersect:
-		sets, err := st.gather(s.In)
-		if err != nil {
-			return fmt.Errorf("exec: %s: %w", p.StepString(s), err)
-		}
-		st.setVar(s.Out, set.IntersectAll(sets...))
-	case plan.KindDiff:
-		sets, err := st.gather(s.In)
-		if err != nil {
-			return fmt.Errorf("exec: %s: %w", p.StepString(s), err)
-		}
-		st.setVar(s.Out, sets[0].Diff(sets[1]))
-	default:
-		return fmt.Errorf("exec: unknown step kind %v", s.Kind)
-	}
+// counters during batches. Query counters accrue even when the step fails:
+// the attempts reached the source and their cost is real.
+func (e *Executor) runStep(ctx context.Context, p *plan.Plan, idx int, s plan.Step, st *state, res *Result, mu *sync.Mutex) error {
+	qs, stepErr := e.execStep(ctx, p, s, st)
 
 	if qs.queries > 0 || qs.hits > 0 || qs.misses > 0 {
 		if mu != nil {
@@ -485,18 +401,15 @@ func (e *Executor) runStep(p *plan.Plan, idx int, s plan.Step, st *state, res *R
 			mu.Unlock()
 		}
 	}
-	var elapsed time.Duration
-	if sequential && e.Network != nil && s.IsSourceQuery() {
-		elapsed = e.Network.Stats().TotalTime - preTotal
-		res.TotalWork += elapsed
-		res.ResponseTime += elapsed
+	if stepErr != nil {
+		return stepErr
 	}
 	if e.Trace {
 		outItems := 0
 		if v, ok := st.get(s.Out); ok {
 			outItems = v.Len()
 		}
-		tr := StepTrace{Index: idx, Text: p.StepString(s), OutItems: outItems, Queries: qs.queries, CacheHits: qs.hits, Elapsed: elapsed}
+		tr := StepTrace{Index: idx, Text: p.StepString(s), OutItems: outItems, Queries: qs.queries, CacheHits: qs.hits}
 		if mu != nil {
 			mu.Lock()
 		}
@@ -506,6 +419,144 @@ func (e *Executor) runStep(p *plan.Plan, idx int, s plan.Step, st *state, res *R
 		}
 	}
 	return nil
+}
+
+// execStep performs the step's operation, returning its query statistics
+// alongside any error — the statistics are meaningful in both cases.
+func (e *Executor) execStep(ctx context.Context, p *plan.Plan, s plan.Step, st *state) (queryStats, error) {
+	var qs queryStats
+	switch s.Kind {
+	case plan.KindSelect:
+		src := e.Sources[s.Source]
+		if e.records != nil && s.Cond == e.finalCond {
+			release, err := e.slot(ctx, s.Source)
+			if err != nil {
+				return qs, fmt.Errorf("exec: %s: source %s: %w", p.StepString(s), src.Name(), err)
+			}
+			tuples, err := src.SelectRecords(ctx, p.Conds[s.Cond])
+			release()
+			qs.queries = 1
+			if err != nil {
+				return qs, fmt.Errorf("exec: %s: %w", p.StepString(s), err)
+			}
+			e.cacheRecords(s.Source, tuples, src.Schema().MergeIndex())
+			st.setVar(s.Out, itemsOf(tuples, src.Schema().MergeIndex()))
+			break
+		}
+		out, q, err := e.selectQuery(ctx, s.Source, p.Conds[s.Cond])
+		qs = q
+		if err != nil {
+			return qs, fmt.Errorf("exec: %s: %w", p.StepString(s), err)
+		}
+		st.setVar(s.Out, out)
+	case plan.KindSemijoin:
+		src := e.Sources[s.Source]
+		in, ok := st.get(s.In[0])
+		if !ok {
+			return qs, fmt.Errorf("exec: %s: undefined input %q", p.StepString(s), s.In[0])
+		}
+		if in.IsEmpty() {
+			// Runtime short-circuit: a semijoin over the empty set is
+			// empty without asking the source. Once a running set drains,
+			// every later semijoin round costs nothing.
+			st.setVar(s.Out, set.Empty)
+			break
+		}
+		if e.records != nil && s.Cond == e.finalCond && src.Caps().NativeSemijoin {
+			release, err := e.slot(ctx, s.Source)
+			if err != nil {
+				return qs, fmt.Errorf("exec: %s: source %s: %w", p.StepString(s), src.Name(), err)
+			}
+			tuples, err := src.SemijoinRecords(ctx, p.Conds[s.Cond], in)
+			release()
+			qs.queries = 1
+			if err != nil {
+				return qs, fmt.Errorf("exec: %s: %w", p.StepString(s), err)
+			}
+			e.cacheRecords(s.Source, tuples, src.Schema().MergeIndex())
+			st.setVar(s.Out, itemsOf(tuples, src.Schema().MergeIndex()))
+			break
+		}
+		out, q, err := e.semijoinQuery(ctx, s.Source, p.Conds[s.Cond], in)
+		qs = q
+		if err != nil {
+			return qs, fmt.Errorf("exec: %s: %w", p.StepString(s), err)
+		}
+		st.setVar(s.Out, out)
+	case plan.KindBloomSemijoin:
+		src := e.Sources[s.Source]
+		in, ok := st.get(s.In[0])
+		if !ok {
+			return qs, fmt.Errorf("exec: %s: undefined input %q", p.StepString(s), s.In[0])
+		}
+		if in.IsEmpty() {
+			st.setVar(s.Out, set.Empty)
+			break
+		}
+		filter := bloom.FromItems(in.Items(), bloom.DefaultBitsPerItem)
+		release, err := e.slot(ctx, s.Source)
+		if err != nil {
+			return qs, fmt.Errorf("exec: %s: source %s: %w", p.StepString(s), src.Name(), err)
+		}
+		positives, err := src.SemijoinBloom(ctx, p.Conds[s.Cond], filter)
+		release()
+		qs.queries = 1
+		if err != nil {
+			return qs, fmt.Errorf("exec: %s: %w", p.StepString(s), err)
+		}
+		// Discard the filter's false positives: the exact semijoin result
+		// is the positives restricted to the actual set.
+		st.setVar(s.Out, positives.Intersect(in))
+	case plan.KindLoad:
+		src := e.Sources[s.Source]
+		release, err := e.slot(ctx, s.Source)
+		if err != nil {
+			return qs, fmt.Errorf("exec: %s: source %s: %w", p.StepString(s), src.Name(), err)
+		}
+		rel, err := src.Load(ctx)
+		release()
+		qs.queries = 1
+		if err != nil {
+			return qs, fmt.Errorf("exec: %s: %w", p.StepString(s), err)
+		}
+		st.mu.Lock()
+		st.loaded[s.Out] = rel
+		st.vars[s.Out] = set.FromSorted(rel.Items())
+		st.mu.Unlock()
+	case plan.KindLocalSelect:
+		st.mu.Lock()
+		rel, ok := st.loaded[s.In[0]]
+		st.mu.Unlock()
+		if !ok {
+			return qs, fmt.Errorf("exec: %s: %q is not loaded source contents", p.StepString(s), s.In[0])
+		}
+		out, err := localSelect(rel, p, s.Cond)
+		if err != nil {
+			return qs, fmt.Errorf("exec: %s: %w", p.StepString(s), err)
+		}
+		st.setVar(s.Out, out)
+	case plan.KindUnion:
+		sets, err := st.gather(s.In)
+		if err != nil {
+			return qs, fmt.Errorf("exec: %s: %w", p.StepString(s), err)
+		}
+		st.setVar(s.Out, set.UnionAll(sets...))
+	case plan.KindIntersect:
+		sets, err := st.gather(s.In)
+		if err != nil {
+			return qs, fmt.Errorf("exec: %s: %w", p.StepString(s), err)
+		}
+		st.setVar(s.Out, set.IntersectAll(sets...))
+	case plan.KindDiff:
+		sets, err := st.gather(s.In)
+		if err != nil {
+			return qs, fmt.Errorf("exec: %s: %w", p.StepString(s), err)
+		}
+		st.setVar(s.Out, sets[0].Diff(sets[1]))
+	default:
+		return qs, fmt.Errorf("exec: unknown step kind %v", s.Kind)
+	}
+	return qs, nil
 }
 
 func (st *state) gather(names []string) ([]set.Set, error) {

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -33,7 +34,7 @@ func dmvSetup(t *testing.T, caps []source.Capabilities) (*optimizer.Problem, []s
 		srcs[j] = source.Instrument(inner, network)
 		profiles[j] = stats.ProfileFromLink(w.Name(), link, 3, stats.SupportOf(inner.Caps()))
 	}
-	table, err := stats.BuildFromSources(sc.Conds, srcs, profiles)
+	table, err := stats.BuildFromSources(context.Background(), sc.Conds, srcs, profiles)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestDMVAllOptimizers(t *testing.T) {
 				t.Fatalf("%s: %v", name, err)
 			}
 			ex := &Executor{Sources: srcs, Network: network}
-			got, err := ex.Run(res.Plan)
+			got, err := ex.Run(context.Background(), res.Plan)
 			if err != nil {
 				t.Fatalf("%s: run: %v\nplan:\n%s", name, err, res.Plan)
 			}
@@ -98,7 +99,7 @@ func TestDMVHeterogeneousCapabilities(t *testing.T) {
 		t.Fatal(err)
 	}
 	ex := &Executor{Sources: srcs, Network: network}
-	got, err := ex.Run(res.Plan)
+	got, err := ex.Run(context.Background(), res.Plan)
 	if err != nil {
 		t.Fatalf("run: %v\nplan:\n%s", err, res.Plan)
 	}
@@ -137,7 +138,7 @@ func TestFilterAndSJAAgreeOnSynthetic(t *testing.T) {
 	for j, src := range sc.Sources {
 		profiles[j].Support = stats.SupportOf(src.Caps())
 	}
-	table, err := stats.BuildFromSources(sc.Conds, sc.Sources, profiles)
+	table, err := stats.BuildFromSources(context.Background(), sc.Conds, sc.Sources, profiles)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestFilterAndSJAAgreeOnSynthetic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := ex.Run(fres.Plan)
+	want, err := ex.Run(context.Background(), fres.Plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestFilterAndSJAAgreeOnSynthetic(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		got, err := ex.Run(res.Plan)
+		got, err := ex.Run(context.Background(), res.Plan)
 		if err != nil {
 			t.Fatalf("%s: %v\nplan:\n%s", name, err, res.Plan)
 		}
@@ -180,7 +181,7 @@ func TestParallelModeReducesResponseTime(t *testing.T) {
 	}
 
 	seq := &Executor{Sources: srcs, Network: network}
-	seqRes, err := seq.Run(res.Plan)
+	seqRes, err := seq.Run(context.Background(), res.Plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestParallelModeReducesResponseTime(t *testing.T) {
 		t.Fatal(err)
 	}
 	par := &Executor{Sources: srcs2, Network: network2, Parallel: true}
-	parRes, err := par.Run(res2.Plan)
+	parRes, err := par.Run(context.Background(), res2.Plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,12 +216,12 @@ func TestRunRejectsMismatchedSources(t *testing.T) {
 		t.Fatal(err)
 	}
 	ex := &Executor{Sources: srcs[:2]}
-	if _, err := ex.Run(res.Plan); err == nil {
+	if _, err := ex.Run(context.Background(), res.Plan); err == nil {
 		t.Fatal("source count mismatch should fail")
 	}
 	// Wrong order.
 	ex = &Executor{Sources: []source.Source{srcs[1], srcs[0], srcs[2]}}
-	if _, err := ex.Run(res.Plan); err == nil {
+	if _, err := ex.Run(context.Background(), res.Plan); err == nil {
 		t.Fatal("source name mismatch should fail")
 	}
 }
@@ -229,7 +230,7 @@ func TestRunRejectsInvalidPlan(t *testing.T) {
 	_, srcs, _ := dmvSetup(t, nil)
 	ex := &Executor{Sources: srcs}
 	bad := &plan.Plan{Result: "X"}
-	if _, err := ex.Run(bad); err == nil {
+	if _, err := ex.Run(context.Background(), bad); err == nil {
 		t.Fatal("invalid plan should fail")
 	}
 }
@@ -246,7 +247,7 @@ func TestLocalSelectRequiresLoadedContents(t *testing.T) {
 		Result: "B",
 	}
 	ex := &Executor{Sources: srcs}
-	if _, err := ex.Run(p); err == nil || !strings.Contains(err.Error(), "loaded") {
+	if _, err := ex.Run(context.Background(), p); err == nil || !strings.Contains(err.Error(), "loaded") {
 		t.Fatalf("err = %v, want loaded-contents error", err)
 	}
 }
@@ -263,7 +264,7 @@ func TestLoadAndLocalSelectExecution(t *testing.T) {
 		Result: "X11",
 	}
 	ex := &Executor{Sources: srcs}
-	got, err := ex.Run(p)
+	got, err := ex.Run(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +290,7 @@ func TestDiffExecution(t *testing.T) {
 		Result: "D",
 	}
 	ex := &Executor{Sources: srcs}
-	got, err := ex.Run(p)
+	got, err := ex.Run(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +316,7 @@ func TestEmulatedSemijoinCountsBindingQueries(t *testing.T) {
 		Result: "B",
 	}
 	ex := &Executor{Sources: srcs}
-	got, err := ex.Run(p)
+	got, err := ex.Run(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +331,7 @@ func TestEmulatedSemijoinCountsBindingQueries(t *testing.T) {
 
 func TestFetchAnswerTwoPhase(t *testing.T) {
 	_, srcs, _ := dmvSetup(t, nil)
-	rel, err := FetchAnswer(dmvAnswer, srcs)
+	rel, err := FetchAnswer(context.Background(), dmvAnswer, srcs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,11 +339,11 @@ func TestFetchAnswerTwoPhase(t *testing.T) {
 	if rel.Len() != 5 {
 		t.Fatalf("fetched %d tuples, want 5:\n%s", rel.Len(), rel)
 	}
-	empty, err := FetchAnswer(set.New(), srcs)
+	empty, err := FetchAnswer(context.Background(), set.New(), srcs)
 	if err != nil || empty.Len() != 0 {
 		t.Fatalf("empty answer fetch = %v, %v", empty.Len(), err)
 	}
-	if _, err := FetchAnswer(dmvAnswer, nil); err == nil {
+	if _, err := FetchAnswer(context.Background(), dmvAnswer, nil); err == nil {
 		t.Fatal("no sources should fail")
 	}
 }
@@ -366,7 +367,7 @@ func TestEmptySemijoinShortCircuit(t *testing.T) {
 		Result: "C",
 	}
 	ex := &Executor{Sources: srcs, Network: network}
-	got, err := ex.Run(p)
+	got, err := ex.Run(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -389,7 +390,7 @@ func TestExecutionTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	ex := &Executor{Sources: srcs, Network: network, Trace: true}
-	got, err := ex.Run(res.Plan)
+	got, err := ex.Run(context.Background(), res.Plan)
 	if err != nil {
 		t.Fatal(err)
 	}

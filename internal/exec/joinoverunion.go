@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -19,7 +20,7 @@ import (
 //
 // maxSubqueries guards against accidental n^m explosions; 0 means the
 // default of 100000.
-func (e *Executor) RunJoinOverUnion(pr *optimizer.Problem, memoize bool, maxSubqueries int) (*Result, error) {
+func (e *Executor) RunJoinOverUnion(ctx context.Context, pr *optimizer.Problem, memoize bool, maxSubqueries int) (*Result, error) {
 	if err := pr.Validate(); err != nil {
 		return nil, err
 	}
@@ -43,11 +44,11 @@ func (e *Executor) RunJoinOverUnion(pr *optimizer.Problem, memoize bool, maxSubq
 				return s, nil
 			}
 		}
-		out, err := e.Sources[j].Select(pr.Conds[ci])
+		out, err := e.Sources[j].Select(ctx, pr.Conds[ci])
+		res.SourceQueries++
 		if err != nil {
 			return set.Set{}, err
 		}
-		res.SourceQueries++
 		if memoize {
 			memo[key] = out
 		}
@@ -64,7 +65,7 @@ func (e *Executor) RunJoinOverUnion(pr *optimizer.Problem, memoize bool, maxSubq
 		for i := 0; i < m; i++ {
 			part, err := fetch(i, assign[i])
 			if err != nil {
-				return nil, err
+				return res, err
 			}
 			if i == 0 {
 				sub = part
@@ -77,7 +78,7 @@ func (e *Executor) RunJoinOverUnion(pr *optimizer.Problem, memoize bool, maxSubq
 				if !memoize {
 					for k := i + 1; k < m; k++ {
 						if _, err := fetch(k, assign[k]); err != nil {
-							return nil, err
+							return res, err
 						}
 					}
 				}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"testing"
 
 	"fusionq/internal/optimizer"
@@ -10,7 +11,7 @@ func TestJoinOverUnionMatchesFusionAnswer(t *testing.T) {
 	pr, srcs, _ := dmvSetup(t, nil)
 	ex := &Executor{Sources: srcs}
 
-	naive, err := ex.RunJoinOverUnion(pr, false, 0)
+	naive, err := ex.RunJoinOverUnion(context.Background(), pr, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,7 +23,7 @@ func TestJoinOverUnionMatchesFusionAnswer(t *testing.T) {
 		t.Fatalf("naive queries = %d, want 18", naive.SourceQueries)
 	}
 
-	memo, err := ex.RunJoinOverUnion(pr, true, 0)
+	memo, err := ex.RunJoinOverUnion(context.Background(), pr, true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestJoinOverUnionMatchesFusionAnswer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fusion, err := ex.Run(res.Plan)
+	fusion, err := ex.Run(context.Background(), res.Plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestJoinOverUnionMatchesFusionAnswer(t *testing.T) {
 func TestJoinOverUnionBlowupGuard(t *testing.T) {
 	pr, srcs, _ := dmvSetup(t, nil)
 	ex := &Executor{Sources: srcs}
-	if _, err := ex.RunJoinOverUnion(pr, false, 5); err == nil {
+	if _, err := ex.RunJoinOverUnion(context.Background(), pr, false, 5); err == nil {
 		t.Fatal("guard should reject 9 subqueries with limit 5")
 	}
 }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"testing"
 
 	"fusionq/internal/optimizer"
@@ -28,7 +29,7 @@ func flakySetup(t *testing.T, rate float64) (*optimizer.Problem, []source.Source
 	}
 	// Statistics gathering must not hit failures: gather from the raw
 	// sources.
-	table, err := stats.BuildFromSources(sc.Conds, sc.Sources, profiles)
+	table, err := stats.BuildFromSources(context.Background(), sc.Conds, sc.Sources, profiles)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestRetriesSurviveTransientFailures(t *testing.T) {
 		t.Fatal(err)
 	}
 	ex := &Executor{Sources: srcs, Retries: 25}
-	got, err := ex.Run(res.Plan)
+	got, err := ex.Run(context.Background(), res.Plan)
 	if err != nil {
 		t.Fatalf("run with retries: %v", err)
 	}
@@ -65,7 +66,7 @@ func TestNoRetriesFailsFast(t *testing.T) {
 		t.Fatal(err)
 	}
 	ex := &Executor{Sources: srcs}
-	if _, err := ex.Run(res.Plan); !source.IsTransient(err) {
+	if _, err := ex.Run(context.Background(), res.Plan); !source.IsTransient(err) {
 		t.Fatalf("err = %v, want transient failure", err)
 	}
 }
@@ -77,7 +78,7 @@ func TestRetryBudgetExhausts(t *testing.T) {
 		t.Fatal(err)
 	}
 	ex := &Executor{Sources: srcs, Retries: 3}
-	if _, err := ex.Run(res.Plan); !source.IsTransient(err) {
+	if _, err := ex.Run(context.Background(), res.Plan); !source.IsTransient(err) {
 		t.Fatalf("err = %v, want transient failure after budget", err)
 	}
 }
@@ -89,7 +90,7 @@ func TestRetriesInParallelMode(t *testing.T) {
 		t.Fatal(err)
 	}
 	ex := &Executor{Sources: srcs, Parallel: true, Retries: 25}
-	got, err := ex.Run(res.Plan)
+	got, err := ex.Run(context.Background(), res.Plan)
 	if err != nil {
 		t.Fatalf("parallel run with retries: %v", err)
 	}
@@ -110,7 +111,7 @@ func TestNonTransientErrorsNotRetried(t *testing.T) {
 		Result: "B",
 	}
 	ex := &Executor{Sources: srcs, Retries: 10}
-	if _, err := ex.Run(p); err == nil {
+	if _, err := ex.Run(context.Background(), p); err == nil {
 		t.Fatal("unsupported semijoin should fail despite retries")
 	}
 }

@@ -10,6 +10,7 @@ package exec
 // enforces, and the plan/optimizer estimators rank orderings under it.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -36,21 +37,29 @@ func newScheduler(conns []int) *scheduler {
 	return s
 }
 
-// acquire blocks until source j has a free connection and returns the
-// release function.
-func (s *scheduler) acquire(j int) func() {
-	s.slots[j] <- struct{}{}
-	return func() { <-s.slots[j] }
+// acquire blocks until source j has a free connection or ctx is done,
+// returning the release function. A cancelled wait returns the ctx error
+// unwrapped; callers attribute it.
+func (s *scheduler) acquire(ctx context.Context, j int) (func(), error) {
+	select {
+	case s.slots[j] <- struct{}{}:
+		return func() { <-s.slots[j] }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // slot admits one exchange to source j, returning a release function. With
-// no scheduler (sequential mode) it is a no-op: queries are already issued
-// one at a time.
-func (e *Executor) slot(j int) func() {
+// no scheduler (a bare Executor used outside Run) it degrades to a
+// ctx-check: queries are issued one at a time anyway.
+func (e *Executor) slot(ctx context.Context, j int) (func(), error) {
 	if e.sched == nil {
-		return func() {}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return func() {}, nil
 	}
-	return e.sched.acquire(j)
+	return e.sched.acquire(ctx, j)
 }
 
 // connsFor resolves source j's connection capacity: the executor-wide
@@ -80,13 +89,16 @@ type queryStats struct {
 }
 
 // selectQuery answers sq(c, src) through the cache and the scheduler.
-func (e *Executor) selectQuery(j int, c cond.Cond) (set.Set, queryStats, error) {
+func (e *Executor) selectQuery(ctx context.Context, j int, c cond.Cond) (set.Set, queryStats, error) {
 	src := e.Sources[j]
 	if out, ok := e.Cache.Select(src.Name(), c); ok {
 		return out, queryStats{hits: 1}, nil
 	}
-	release := e.slot(j)
-	out, err := src.Select(c)
+	release, err := e.slot(ctx, j)
+	if err != nil {
+		return set.Set{}, queryStats{}, fmt.Errorf("source %s: %w", src.Name(), err)
+	}
+	out, err := src.Select(ctx, c)
 	release()
 	if err != nil {
 		return set.Set{}, queryStats{queries: 1, misses: boolToInt(e.Cache != nil)}, err
@@ -98,14 +110,14 @@ func (e *Executor) selectQuery(j int, c cond.Cond) (set.Set, queryStats, error) 
 // semijoinQuery evaluates sjq(c, src, y) with the best mechanism the source
 // supports (Section 2.3's emulation rule), consulting the cache first and
 // bounding concurrency by the source's connection capacity.
-func (e *Executor) semijoinQuery(j int, c cond.Cond, y set.Set) (set.Set, queryStats, error) {
+func (e *Executor) semijoinQuery(ctx context.Context, j int, c cond.Cond, y set.Set) (set.Set, queryStats, error) {
 	src := e.Sources[j]
 	caps := src.Caps()
 	switch {
 	case caps.NativeSemijoin:
-		return e.nativeSemijoin(j, c, y)
+		return e.nativeSemijoin(ctx, j, c, y)
 	case caps.PassedBindings:
-		return e.emulatedSemijoin(j, c, y)
+		return e.emulatedSemijoin(ctx, j, c, y)
 	default:
 		return set.Set{}, queryStats{}, fmt.Errorf("source %s: semijoin not emulable: %w", src.Name(), source.ErrUnsupported)
 	}
@@ -113,7 +125,7 @@ func (e *Executor) semijoinQuery(j int, c cond.Cond, y set.Set) (set.Set, queryS
 
 // nativeSemijoin issues one sjq exchange for the items the cache cannot
 // answer; a fully cached set costs no exchange at all.
-func (e *Executor) nativeSemijoin(j int, c cond.Cond, y set.Set) (set.Set, queryStats, error) {
+func (e *Executor) nativeSemijoin(ctx context.Context, j int, c cond.Cond, y set.Set) (set.Set, queryStats, error) {
 	src := e.Sources[j]
 	knownTrue, unknown := e.Cache.Partition(src.Name(), c, y)
 	st := queryStats{hits: y.Len() - unknown.Len(), misses: unknown.Len()}
@@ -123,8 +135,11 @@ func (e *Executor) nativeSemijoin(j int, c cond.Cond, y set.Set) (set.Set, query
 	if e.Cache != nil && unknown.IsEmpty() {
 		return knownTrue, st, nil
 	}
-	release := e.slot(j)
-	out, err := src.Semijoin(c, unknown)
+	release, err := e.slot(ctx, j)
+	if err != nil {
+		return set.Set{}, st, fmt.Errorf("source %s: %w", src.Name(), err)
+	}
+	out, err := src.Semijoin(ctx, c, unknown)
 	release()
 	st.queries = 1
 	if err != nil {
@@ -143,9 +158,11 @@ func (e *Executor) nativeSemijoin(j int, c cond.Cond, y set.Set) (set.Set, query
 // Failure handling is per binding: a transient failure retries only that
 // binding (up to the executor's retry budget), and the first permanent
 // failure stops the fan-out — workers finish their in-flight binding and no
-// new bindings are issued. Every attempt that reached the source is charged
-// in queryStats.queries, so measured SourceQueries reflect genuine traffic.
-func (e *Executor) emulatedSemijoin(j int, c cond.Cond, y set.Set) (set.Set, queryStats, error) {
+// new bindings are issued. Cancellation behaves the same way: workers
+// observe ctx between bindings, so a cancelled query stops promptly without
+// leaking goroutines. Every attempt that reached the source is charged in
+// queryStats.queries, so measured SourceQueries reflect genuine traffic.
+func (e *Executor) emulatedSemijoin(ctx context.Context, j int, c cond.Cond, y set.Set) (set.Set, queryStats, error) {
 	src := e.Sources[j]
 	knownTrue, unknown := e.Cache.Partition(src.Name(), c, y)
 	st := queryStats{hits: y.Len() - unknown.Len(), misses: unknown.Len()}
@@ -174,6 +191,14 @@ func (e *Executor) emulatedSemijoin(j int, c cond.Cond, y set.Set) (set.Set, que
 		go func() {
 			defer wg.Done()
 			for {
+				if err := ctx.Err(); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("source %s: emulated semijoin: %w", src.Name(), err)
+					}
+					mu.Unlock()
+					return
+				}
 				mu.Lock()
 				if firstErr != nil || next >= len(items) {
 					mu.Unlock()
@@ -183,7 +208,7 @@ func (e *Executor) emulatedSemijoin(j int, c cond.Cond, y set.Set) (set.Set, que
 				next++
 				mu.Unlock()
 
-				ok, tries, err := e.bindingQuery(j, c, items[i])
+				ok, tries, err := e.bindingQuery(ctx, j, c, items[i])
 				mu.Lock()
 				attempts += tries
 				if err != nil {
@@ -214,13 +239,18 @@ func (e *Executor) emulatedSemijoin(j int, c cond.Cond, y set.Set) (set.Set, que
 }
 
 // bindingQuery issues one passed-binding selection with per-binding
-// transient retry, reporting how many attempts reached the source.
-func (e *Executor) bindingQuery(j int, c cond.Cond, item string) (bool, int, error) {
+// transient retry, reporting how many attempts reached the source. A
+// context error is never transient (source.IsTransient), so cancellation
+// stops the retry loop on its first appearance.
+func (e *Executor) bindingQuery(ctx context.Context, j int, c cond.Cond, item string) (bool, int, error) {
 	src := e.Sources[j]
 	tries := 0
 	for attempt := 0; ; attempt++ {
-		release := e.slot(j)
-		ok, err := src.SelectBinding(c, item)
+		release, err := e.slot(ctx, j)
+		if err != nil {
+			return false, tries, fmt.Errorf("source %s: %w", src.Name(), err)
+		}
+		ok, err := src.SelectBinding(ctx, c, item)
 		release()
 		tries++
 		if err == nil {

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -22,7 +23,7 @@ type failNthBinding struct {
 	perItem map[string]int
 }
 
-func (f *failNthBinding) SelectBinding(c cond.Cond, item string) (bool, error) {
+func (f *failNthBinding) SelectBinding(ctx context.Context, c cond.Cond, item string) (bool, error) {
 	f.mu.Lock()
 	f.calls++
 	if f.perItem == nil {
@@ -37,7 +38,7 @@ func (f *failNthBinding) SelectBinding(c cond.Cond, item string) (bool, error) {
 	if fail {
 		return false, fmt.Errorf("source %s: injected: %w", f.Source.Name(), source.ErrTransient)
 	}
-	return f.Source.SelectBinding(c, item)
+	return f.Source.SelectBinding(ctx, c, item)
 }
 
 // maxInflight wraps a source and records the peak number of concurrent
@@ -49,14 +50,14 @@ type maxInflight struct {
 	peak     int
 }
 
-func (m *maxInflight) SelectBinding(c cond.Cond, item string) (bool, error) {
+func (m *maxInflight) SelectBinding(ctx context.Context, c cond.Cond, item string) (bool, error) {
 	m.mu.Lock()
 	m.inflight++
 	if m.inflight > m.peak {
 		m.peak = m.inflight
 	}
 	m.mu.Unlock()
-	ok, err := m.Source.SelectBinding(c, item)
+	ok, err := m.Source.SelectBinding(ctx, c, item)
 	m.mu.Lock()
 	m.inflight--
 	m.mu.Unlock()
@@ -87,7 +88,7 @@ func TestTransientBindingRetriesOnlyThatBinding(t *testing.T) {
 	// Baseline: no failure injection.
 	pr, srcs, _ := dmvSetup(t, semijoinCaps)
 	p := semijoinPlan(pr.Conds, pr.Sources)
-	base, err := (&Executor{Sources: srcs}).Run(p)
+	base, err := (&Executor{Sources: srcs}).Run(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestTransientBindingRetriesOnlyThatBinding(t *testing.T) {
 			inj := &failNthBinding{Source: srcs[1], n: 2}
 			srcs[1] = inj
 			ex := &Executor{Sources: srcs, Parallel: parallel, Conns: 2, Retries: 3}
-			got, err := ex.Run(semijoinPlan(pr.Conds, pr.Sources))
+			got, err := ex.Run(context.Background(), semijoinPlan(pr.Conds, pr.Sources))
 			if err != nil {
 				t.Fatalf("run with injected transient: %v", err)
 			}
@@ -147,7 +148,7 @@ func TestTransientBindingFailsWithoutRetries(t *testing.T) {
 	pr, srcs, _ := dmvSetup(t, semijoinCaps)
 	srcs[1] = &failNthBinding{Source: srcs[1], n: 1}
 	ex := &Executor{Sources: srcs, Parallel: true, Conns: 2}
-	if _, err := ex.Run(semijoinPlan(pr.Conds, pr.Sources)); !source.IsTransient(err) {
+	if _, err := ex.Run(context.Background(), semijoinPlan(pr.Conds, pr.Sources)); !source.IsTransient(err) {
 		t.Fatalf("err = %v, want transient failure", err)
 	}
 }
@@ -161,7 +162,7 @@ func TestSchedulerBoundsConcurrency(t *testing.T) {
 			probe := &maxInflight{Source: srcs[1]}
 			srcs[1] = probe
 			ex := &Executor{Sources: srcs, Parallel: true, Conns: conns}
-			got, err := ex.Run(semijoinPlan(pr.Conds, pr.Sources))
+			got, err := ex.Run(context.Background(), semijoinPlan(pr.Conds, pr.Sources))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -182,7 +183,7 @@ func TestSchedulerBoundsConcurrency(t *testing.T) {
 func TestParallelTraceAttributesElapsed(t *testing.T) {
 	pr, srcs, network := dmvSetup(t, semijoinCaps)
 	ex := &Executor{Sources: srcs, Network: network, Parallel: true, Conns: 2, Trace: true}
-	got, err := ex.Run(semijoinPlan(pr.Conds, pr.Sources))
+	got, err := ex.Run(context.Background(), semijoinPlan(pr.Conds, pr.Sources))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,14 +206,14 @@ func TestParallelTraceAttributesElapsed(t *testing.T) {
 func TestParallelSemijoinMatchesSequential(t *testing.T) {
 	pr, srcs, network := dmvSetup(t, semijoinCaps)
 	p := semijoinPlan(pr.Conds, pr.Sources)
-	seq, err := (&Executor{Sources: srcs, Network: network}).Run(p)
+	seq, err := (&Executor{Sources: srcs, Network: network}).Run(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, conns := range []int{1, 4} {
 		pr, srcs, network := dmvSetup(t, semijoinCaps)
 		ex := &Executor{Sources: srcs, Network: network, Parallel: true, Conns: conns}
-		par, err := ex.Run(semijoinPlan(pr.Conds, pr.Sources))
+		par, err := ex.Run(context.Background(), semijoinPlan(pr.Conds, pr.Sources))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"fusionq/internal/relation"
@@ -12,7 +13,7 @@ import (
 // processing (Section 1): once phase one has identified the matching items,
 // fetch the full records of those entities from every source. The returned
 // relation holds the union of the sources' tuples for the answer items.
-func FetchAnswer(answer set.Set, sources []source.Source) (*relation.Relation, error) {
+func FetchAnswer(ctx context.Context, answer set.Set, sources []source.Source) (*relation.Relation, error) {
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("exec: no sources to fetch from")
 	}
@@ -25,7 +26,7 @@ func FetchAnswer(answer set.Set, sources []source.Source) (*relation.Relation, e
 		if !schema.Compatible(src.Schema()) {
 			return nil, fmt.Errorf("exec: source %s schema %s incompatible with %s", src.Name(), src.Schema(), schema)
 		}
-		tuples, err := src.Fetch(answer)
+		tuples, err := src.Fetch(ctx, answer)
 		if err != nil {
 			return nil, fmt.Errorf("exec: fetching from %s: %w", src.Name(), err)
 		}

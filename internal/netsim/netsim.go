@@ -10,6 +10,7 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -82,6 +83,10 @@ type Network struct {
 	links map[string]Link
 	rng   *rand.Rand
 	log   []Exchange
+
+	// realScale, when positive, makes every exchange take realScale × its
+	// simulated duration of wall-clock time, so context deadlines bite.
+	realScale float64
 
 	totalBytes int
 	totalTime  time.Duration
@@ -164,11 +169,38 @@ func Makespan(durations []time.Duration, k int) time.Duration {
 	return max
 }
 
+// SetRealTime makes exchanges take wall-clock time: each exchange sleeps
+// scale × its simulated duration before returning, so context deadlines and
+// cancellation actually interrupt in-flight traffic. Zero (the default)
+// keeps exchanges instantaneous — purely simulated time.
+func (n *Network) SetRealTime(scale float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if scale < 0 {
+		scale = 0
+	}
+	n.realScale = scale
+}
+
 // Exchange records a round trip to source carrying the given payload sizes
 // and returns the simulated elapsed time for this exchange.
 func (n *Network) Exchange(source, kind string, reqBytes, respBytes int) time.Duration {
+	d, _ := n.ExchangeContext(context.Background(), source, kind, reqBytes, respBytes)
+	return d
+}
+
+// ExchangeContext records a round trip like Exchange, honoring ctx: a
+// cancelled or expired context aborts the exchange with ctx's error (wrapped
+// so errors.Is sees context.Canceled / context.DeadlineExceeded). An
+// exchange that was already in flight when the deadline hit stays recorded —
+// the traffic was paid for — but its caller gets the error. In real-time
+// mode (SetRealTime) the exchange sleeps its scaled duration and the
+// deadline interrupts the sleep.
+func (n *Network) ExchangeContext(ctx context.Context, source, kind string, reqBytes, respBytes int) (time.Duration, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, fmt.Errorf("netsim: exchange with %s: %w", source, err)
+	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	l, ok := n.links[source]
 	if !ok {
 		l = DefaultLink()
@@ -181,7 +213,19 @@ func (n *Network) Exchange(source, kind string, reqBytes, respBytes int) time.Du
 	n.totalBytes += reqBytes + respBytes
 	n.totalTime += d
 	n.messages++
-	return d
+	scale := n.realScale
+	n.mu.Unlock()
+
+	if scale > 0 {
+		timer := time.NewTimer(time.Duration(scale * float64(d)))
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			return d, fmt.Errorf("netsim: exchange with %s: %w", source, ctx.Err())
+		}
+	}
+	return d, nil
 }
 
 // Stats summarizes all traffic recorded so far.

@@ -120,7 +120,7 @@ func (s *Store) ToRelation(m Mapping) (*relation.Relation, error) {
 			continue
 		}
 		if err := r.Insert(t); err != nil {
-			return nil, fmt.Errorf("oem: object %s: %v", o.Label, err)
+			return nil, fmt.Errorf("oem: object %s: %w", o.Label, err)
 		}
 	}
 	return r, nil

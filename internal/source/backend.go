@@ -116,7 +116,7 @@ func (b *KVBackend) decode(rec string) (relation.Tuple, error) {
 	for i, col := range b.schema.Columns() {
 		v, err := decodeValue(parts[i], col.Kind)
 		if err != nil {
-			return nil, fmt.Errorf("kv: column %s: %v", col.Name, err)
+			return nil, fmt.Errorf("kv: column %s: %w", col.Name, err)
 		}
 		t[i] = v
 	}

@@ -1,6 +1,7 @@
 package source
 
 import (
+	"context"
 	"fmt"
 
 	"fusionq/internal/cond"
@@ -15,26 +16,30 @@ import (
 //   - otherwise the operation is unsupported and an error wrapping
 //     ErrUnsupported is returned (the optimizer models this as infinite
 //     cost and never emits such a step).
-func SemijoinAuto(src Source, c cond.Cond, y set.Set) (set.Set, error) {
+func SemijoinAuto(ctx context.Context, src Source, c cond.Cond, y set.Set) (set.Set, error) {
 	caps := src.Caps()
 	switch {
 	case caps.NativeSemijoin:
-		return src.Semijoin(c, y)
+		return src.Semijoin(ctx, c, y)
 	case caps.PassedBindings:
-		return EmulateSemijoin(src, c, y)
+		return EmulateSemijoin(ctx, src, c, y)
 	default:
 		return set.Set{}, fmt.Errorf("source %s: semijoin not emulable: %w", src.Name(), ErrUnsupported)
 	}
 }
 
 // EmulateSemijoin implements a semijoin as a sequence of passed-binding
-// selection queries, one per item of y. The extra per-item query overhead is
-// what makes emulated semijoins expensive in the cost model and is why the
-// semijoin-adaptive class (per-source choice) beats the semijoin class.
-func EmulateSemijoin(src Source, c cond.Cond, y set.Set) (set.Set, error) {
+// selection queries, one per item of y, observing ctx between bindings. The
+// extra per-item query overhead is what makes emulated semijoins expensive
+// in the cost model and is why the semijoin-adaptive class (per-source
+// choice) beats the semijoin class.
+func EmulateSemijoin(ctx context.Context, src Source, c cond.Cond, y set.Set) (set.Set, error) {
 	out := make([]string, 0, y.Len())
 	for _, item := range y.Items() {
-		ok, err := src.SelectBinding(c, item)
+		if err := ctx.Err(); err != nil {
+			return set.Set{}, fmt.Errorf("source %s: emulated semijoin: %w", src.Name(), err)
+		}
+		ok, err := src.SelectBinding(ctx, c, item)
 		if err != nil {
 			return set.Set{}, err
 		}

@@ -1,10 +1,12 @@
 package source
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"fusionq/internal/bloom"
 	"fusionq/internal/cond"
@@ -18,16 +20,28 @@ import (
 // classify.
 var ErrTransient = errors.New("source: transient failure")
 
-// IsTransient reports whether the error is retryable.
-func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+// IsTransient reports whether the error is retryable. Context cancellation
+// and deadline expiry are never transient: the caller gave up, so retrying
+// is wrong even when the underlying failure looks retryable.
+func IsTransient(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return errors.Is(err, ErrTransient)
+}
 
 // Flaky decorates a source with deterministic, seeded failure injection:
 // each operation independently fails with the configured rate before
 // reaching the inner source. Tests and experiments use it to exercise the
-// mediator's retry policy.
+// mediator's retry policy. An optional per-operation stall (SetStall) makes
+// every operation take real wall-clock time, honoring context cancellation —
+// the model of a slow or hung autonomous source that only a deadline
+// rescues.
 type Flaky struct {
-	inner Source
-	rate  float64
+	inner    Source
+	rate     float64
+	stall    time.Duration
+	stallOps map[string]time.Duration
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -47,6 +61,32 @@ func NewFlaky(src Source, rate float64, seed int64) *Flaky {
 	return &Flaky{inner: src, rate: rate, rng: rand.New(rand.NewSource(seed))}
 }
 
+// SetStall makes every operation sleep d of wall-clock time before reaching
+// the inner source. The sleep observes the operation's context: a cancelled
+// or expired context aborts the stall with an error wrapping ctx.Err().
+// Returns the receiver for chaining.
+func (f *Flaky) SetStall(d time.Duration) *Flaky {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stall = d
+	return f
+}
+
+// SetStallFor stalls only the named operation ("sq", "sjq", "binding",
+// "lq", "fetch", "sqr", "sjqr", "sjqb"), overriding the uniform SetStall
+// duration for that operation. Experiments use it to model a source that
+// answers selections promptly but hangs on semijoins, so a deadline is the
+// only way out mid-query. Returns the receiver for chaining.
+func (f *Flaky) SetStallFor(op string, d time.Duration) *Flaky {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.stallOps == nil {
+		f.stallOps = map[string]time.Duration{}
+	}
+	f.stallOps[op] = d
+	return f
+}
+
 // Failures returns how many operations were failed so far.
 func (f *Flaky) Failures() int {
 	f.mu.Lock()
@@ -54,8 +94,25 @@ func (f *Flaky) Failures() int {
 	return f.failures
 }
 
-// trip decides whether this operation fails.
-func (f *Flaky) trip(op string) error {
+// trip stalls, then decides whether this operation fails.
+func (f *Flaky) trip(ctx context.Context, op string) error {
+	f.mu.Lock()
+	stall := f.stall
+	if d, ok := f.stallOps[op]; ok {
+		stall = d
+	}
+	f.mu.Unlock()
+	if stall > 0 {
+		timer := time.NewTimer(stall)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return fmt.Errorf("source %s: %s: %w", f.inner.Name(), op, ctx.Err())
+		}
+	} else if err := ctx.Err(); err != nil {
+		return fmt.Errorf("source %s: %s: %w", f.inner.Name(), op, err)
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.rng.Float64() < f.rate {
@@ -75,67 +132,67 @@ func (f *Flaky) Schema() *relation.Schema { return f.inner.Schema() }
 func (f *Flaky) Caps() Capabilities { return f.inner.Caps() }
 
 // Select implements Source.
-func (f *Flaky) Select(c cond.Cond) (set.Set, error) {
-	if err := f.trip("sq"); err != nil {
+func (f *Flaky) Select(ctx context.Context, c cond.Cond) (set.Set, error) {
+	if err := f.trip(ctx, "sq"); err != nil {
 		return set.Set{}, err
 	}
-	return f.inner.Select(c)
+	return f.inner.Select(ctx, c)
 }
 
 // Semijoin implements Source.
-func (f *Flaky) Semijoin(c cond.Cond, y set.Set) (set.Set, error) {
-	if err := f.trip("sjq"); err != nil {
+func (f *Flaky) Semijoin(ctx context.Context, c cond.Cond, y set.Set) (set.Set, error) {
+	if err := f.trip(ctx, "sjq"); err != nil {
 		return set.Set{}, err
 	}
-	return f.inner.Semijoin(c, y)
+	return f.inner.Semijoin(ctx, c, y)
 }
 
 // SelectBinding implements Source.
-func (f *Flaky) SelectBinding(c cond.Cond, item string) (bool, error) {
-	if err := f.trip("binding"); err != nil {
+func (f *Flaky) SelectBinding(ctx context.Context, c cond.Cond, item string) (bool, error) {
+	if err := f.trip(ctx, "binding"); err != nil {
 		return false, err
 	}
-	return f.inner.SelectBinding(c, item)
+	return f.inner.SelectBinding(ctx, c, item)
 }
 
 // Load implements Source.
-func (f *Flaky) Load() (*relation.Relation, error) {
-	if err := f.trip("lq"); err != nil {
+func (f *Flaky) Load(ctx context.Context) (*relation.Relation, error) {
+	if err := f.trip(ctx, "lq"); err != nil {
 		return nil, err
 	}
-	return f.inner.Load()
+	return f.inner.Load(ctx)
 }
 
 // Fetch implements Source.
-func (f *Flaky) Fetch(items set.Set) ([]relation.Tuple, error) {
-	if err := f.trip("fetch"); err != nil {
+func (f *Flaky) Fetch(ctx context.Context, items set.Set) ([]relation.Tuple, error) {
+	if err := f.trip(ctx, "fetch"); err != nil {
 		return nil, err
 	}
-	return f.inner.Fetch(items)
+	return f.inner.Fetch(ctx, items)
 }
 
 // SelectRecords implements Source.
-func (f *Flaky) SelectRecords(c cond.Cond) ([]relation.Tuple, error) {
-	if err := f.trip("sqr"); err != nil {
+func (f *Flaky) SelectRecords(ctx context.Context, c cond.Cond) ([]relation.Tuple, error) {
+	if err := f.trip(ctx, "sqr"); err != nil {
 		return nil, err
 	}
-	return f.inner.SelectRecords(c)
+	return f.inner.SelectRecords(ctx, c)
 }
 
 // SemijoinRecords implements Source.
-func (f *Flaky) SemijoinRecords(c cond.Cond, y set.Set) ([]relation.Tuple, error) {
-	if err := f.trip("sjqr"); err != nil {
+func (f *Flaky) SemijoinRecords(ctx context.Context, c cond.Cond, y set.Set) ([]relation.Tuple, error) {
+	if err := f.trip(ctx, "sjqr"); err != nil {
 		return nil, err
 	}
-	return f.inner.SemijoinRecords(c, y)
+	return f.inner.SemijoinRecords(ctx, c, y)
 }
 
 // SemijoinBloom implements Source.
-func (f *Flaky) SemijoinBloom(c cond.Cond, fl *bloom.Filter) (set.Set, error) {
-	if err := f.trip("sjqb"); err != nil {
+func (f *Flaky) SemijoinBloom(ctx context.Context, c cond.Cond, fl *bloom.Filter) (set.Set, error) {
+	if err := f.trip(ctx, "sjqb"); err != nil {
 		return set.Set{}, err
 	}
-	return f.inner.SemijoinBloom(c, fl)
+	return f.inner.SemijoinBloom(ctx, c, fl)
 }
 
 // Card implements Source.

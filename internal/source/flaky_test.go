@@ -1,6 +1,7 @@
 package source
 
 import (
+	"context"
 	"testing"
 
 	"fusionq/internal/cond"
@@ -10,7 +11,7 @@ import (
 func TestFlakyNeverFailsAtRateZero(t *testing.T) {
 	f := NewFlaky(NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{NativeSemijoin: true, PassedBindings: true}), 0, 1)
 	for i := 0; i < 50; i++ {
-		if _, err := f.Select(cond.MustParse("V = 'dui'")); err != nil {
+		if _, err := f.Select(context.Background(), cond.MustParse("V = 'dui'")); err != nil {
 			t.Fatalf("rate-0 flaky failed: %v", err)
 		}
 	}
@@ -22,13 +23,22 @@ func TestFlakyNeverFailsAtRateZero(t *testing.T) {
 func TestFlakyAlwaysFailsAtRateOne(t *testing.T) {
 	f := NewFlaky(NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{NativeSemijoin: true, PassedBindings: true}), 1, 1)
 	ops := []func() error{
-		func() error { _, err := f.Select(cond.MustParse("V = 'dui'")); return err },
-		func() error { _, err := f.Semijoin(cond.MustParse("V = 'dui'"), set.New("J55")); return err },
-		func() error { _, err := f.SelectBinding(cond.MustParse("V = 'dui'"), "J55"); return err },
-		func() error { _, err := f.Load(); return err },
-		func() error { _, err := f.Fetch(set.New("J55")); return err },
-		func() error { _, err := f.SelectRecords(cond.MustParse("V = 'dui'")); return err },
-		func() error { _, err := f.SemijoinRecords(cond.MustParse("V = 'dui'"), set.New("J55")); return err },
+		func() error { _, err := f.Select(context.Background(), cond.MustParse("V = 'dui'")); return err },
+		func() error {
+			_, err := f.Semijoin(context.Background(), cond.MustParse("V = 'dui'"), set.New("J55"))
+			return err
+		},
+		func() error {
+			_, err := f.SelectBinding(context.Background(), cond.MustParse("V = 'dui'"), "J55")
+			return err
+		},
+		func() error { _, err := f.Load(context.Background()); return err },
+		func() error { _, err := f.Fetch(context.Background(), set.New("J55")); return err },
+		func() error { _, err := f.SelectRecords(context.Background(), cond.MustParse("V = 'dui'")); return err },
+		func() error {
+			_, err := f.SemijoinRecords(context.Background(), cond.MustParse("V = 'dui'"), set.New("J55"))
+			return err
+		},
 	}
 	for i, op := range ops {
 		if err := op(); !IsTransient(err) {
@@ -45,7 +55,7 @@ func TestFlakyDeterministic(t *testing.T) {
 		f := NewFlaky(NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{}), 0.5, 42)
 		out := make([]bool, 20)
 		for i := range out {
-			_, err := f.Select(cond.MustParse("V = 'dui'"))
+			_, err := f.Select(context.Background(), cond.MustParse("V = 'dui'"))
 			out[i] = err != nil
 		}
 		return out
@@ -60,11 +70,11 @@ func TestFlakyDeterministic(t *testing.T) {
 
 func TestFlakyRateClamped(t *testing.T) {
 	f := NewFlaky(NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{}), -3, 1)
-	if _, err := f.Select(cond.MustParse("V = 'dui'")); err != nil {
+	if _, err := f.Select(context.Background(), cond.MustParse("V = 'dui'")); err != nil {
 		t.Fatalf("negative rate should clamp to 0: %v", err)
 	}
 	f = NewFlaky(NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{}), 7, 1)
-	if _, err := f.Select(cond.MustParse("V = 'dui'")); !IsTransient(err) {
+	if _, err := f.Select(context.Background(), cond.MustParse("V = 'dui'")); !IsTransient(err) {
 		t.Fatal("rate above 1 should clamp to always-fail")
 	}
 }

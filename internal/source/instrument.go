@@ -1,6 +1,8 @@
 package source
 
 import (
+	"context"
+	"fmt"
 	"sync"
 
 	"fusionq/internal/bloom"
@@ -83,45 +85,57 @@ func (s *Instrumented) ResetCounters() {
 	s.counters = Counters{}
 }
 
-func (s *Instrumented) record(kind string, reqBytes, respBytes int, update func(*Counters)) {
+// record accounts one completed exchange: the counters always accrue (the
+// inner operation did run), and the network charge honors ctx — in
+// real-time network mode a deadline can interrupt the exchange, in which
+// case the error (wrapping ctx.Err()) is returned and the caller must
+// discard the operation's result.
+func (s *Instrumented) record(ctx context.Context, kind string, reqBytes, respBytes int, update func(*Counters)) error {
 	s.mu.Lock()
 	update(&s.counters)
 	s.mu.Unlock()
 	if s.net != nil {
-		s.net.Exchange(s.inner.Name(), kind, reqBytes, respBytes)
+		if _, err := s.net.ExchangeContext(ctx, s.inner.Name(), kind, reqBytes, respBytes); err != nil {
+			return fmt.Errorf("source %s: %w", s.inner.Name(), err)
+		}
 	}
+	return nil
 }
 
 // Select implements Source.
-func (s *Instrumented) Select(c cond.Cond) (set.Set, error) {
-	out, err := s.inner.Select(c)
+func (s *Instrumented) Select(ctx context.Context, c cond.Cond) (set.Set, error) {
+	out, err := s.inner.Select(ctx, c)
 	if err != nil {
 		return out, err
 	}
-	s.record("sq", queryHeaderBytes+len(c.String()), out.Bytes(), func(ct *Counters) {
+	if err := s.record(ctx, "sq", queryHeaderBytes+len(c.String()), out.Bytes(), func(ct *Counters) {
 		ct.SelectQueries++
 		ct.ItemsReceived += out.Len()
-	})
+	}); err != nil {
+		return set.Set{}, err
+	}
 	return out, nil
 }
 
 // Semijoin implements Source.
-func (s *Instrumented) Semijoin(c cond.Cond, y set.Set) (set.Set, error) {
-	out, err := s.inner.Semijoin(c, y)
+func (s *Instrumented) Semijoin(ctx context.Context, c cond.Cond, y set.Set) (set.Set, error) {
+	out, err := s.inner.Semijoin(ctx, c, y)
 	if err != nil {
 		return out, err
 	}
-	s.record("sjq", queryHeaderBytes+len(c.String())+y.Bytes(), out.Bytes(), func(ct *Counters) {
+	if err := s.record(ctx, "sjq", queryHeaderBytes+len(c.String())+y.Bytes(), out.Bytes(), func(ct *Counters) {
 		ct.SemijoinQueries++
 		ct.ItemsSent += y.Len()
 		ct.ItemsReceived += out.Len()
-	})
+	}); err != nil {
+		return set.Set{}, err
+	}
 	return out, nil
 }
 
 // SelectBinding implements Source.
-func (s *Instrumented) SelectBinding(c cond.Cond, item string) (bool, error) {
-	ok, err := s.inner.SelectBinding(c, item)
+func (s *Instrumented) SelectBinding(ctx context.Context, c cond.Cond, item string) (bool, error) {
+	ok, err := s.inner.SelectBinding(ctx, c, item)
 	if err != nil {
 		return ok, err
 	}
@@ -129,68 +143,78 @@ func (s *Instrumented) SelectBinding(c cond.Cond, item string) (bool, error) {
 	if ok {
 		resp = len(item)
 	}
-	s.record("sq", queryHeaderBytes+len(c.String())+len(item), resp, func(ct *Counters) {
+	if err := s.record(ctx, "sq", queryHeaderBytes+len(c.String())+len(item), resp, func(ct *Counters) {
 		ct.BindingQueries++
 		ct.ItemsSent++
 		if ok {
 			ct.ItemsReceived++
 		}
-	})
+	}); err != nil {
+		return false, err
+	}
 	return ok, nil
 }
 
 // Load implements Source.
-func (s *Instrumented) Load() (*relation.Relation, error) {
-	rel, err := s.inner.Load()
+func (s *Instrumented) Load(ctx context.Context) (*relation.Relation, error) {
+	rel, err := s.inner.Load(ctx)
 	if err != nil {
 		return nil, err
 	}
-	s.record("lq", queryHeaderBytes, rel.Bytes(), func(ct *Counters) {
+	if err := s.record(ctx, "lq", queryHeaderBytes, rel.Bytes(), func(ct *Counters) {
 		ct.LoadQueries++
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return rel, nil
 }
 
 // SemijoinBloom implements Source: one exchange shipping the Bloom filter
 // and receiving the positive items (including false positives).
-func (s *Instrumented) SemijoinBloom(c cond.Cond, f *bloom.Filter) (set.Set, error) {
-	out, err := s.inner.SemijoinBloom(c, f)
+func (s *Instrumented) SemijoinBloom(ctx context.Context, c cond.Cond, f *bloom.Filter) (set.Set, error) {
+	out, err := s.inner.SemijoinBloom(ctx, c, f)
 	if err != nil {
 		return out, err
 	}
-	s.record("sjqb", queryHeaderBytes+len(c.String())+f.Bytes(), out.Bytes(), func(ct *Counters) {
+	if err := s.record(ctx, "sjqb", queryHeaderBytes+len(c.String())+f.Bytes(), out.Bytes(), func(ct *Counters) {
 		ct.SemijoinQueries++
 		ct.ItemsReceived += out.Len()
-	})
+	}); err != nil {
+		return set.Set{}, err
+	}
 	return out, nil
 }
 
 // SelectRecords implements Source: one exchange shipping the condition and
 // receiving the matching items' full records.
-func (s *Instrumented) SelectRecords(c cond.Cond) ([]relation.Tuple, error) {
-	tuples, err := s.inner.SelectRecords(c)
+func (s *Instrumented) SelectRecords(ctx context.Context, c cond.Cond) ([]relation.Tuple, error) {
+	tuples, err := s.inner.SelectRecords(ctx, c)
 	if err != nil {
 		return nil, err
 	}
-	s.record("sqr", queryHeaderBytes+len(c.String()), tuplesBytes(tuples), func(ct *Counters) {
+	if err := s.record(ctx, "sqr", queryHeaderBytes+len(c.String()), tuplesBytes(tuples), func(ct *Counters) {
 		ct.SelectQueries++
 		ct.ItemsReceived += len(tuples)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return tuples, nil
 }
 
 // SemijoinRecords implements Source: one exchange shipping the semijoin set
 // and receiving the surviving items' full records.
-func (s *Instrumented) SemijoinRecords(c cond.Cond, y set.Set) ([]relation.Tuple, error) {
-	tuples, err := s.inner.SemijoinRecords(c, y)
+func (s *Instrumented) SemijoinRecords(ctx context.Context, c cond.Cond, y set.Set) ([]relation.Tuple, error) {
+	tuples, err := s.inner.SemijoinRecords(ctx, c, y)
 	if err != nil {
 		return nil, err
 	}
-	s.record("sjqr", queryHeaderBytes+len(c.String())+y.Bytes(), tuplesBytes(tuples), func(ct *Counters) {
+	if err := s.record(ctx, "sjqr", queryHeaderBytes+len(c.String())+y.Bytes(), tuplesBytes(tuples), func(ct *Counters) {
 		ct.SemijoinQueries++
 		ct.ItemsSent += y.Len()
 		ct.ItemsReceived += len(tuples)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return tuples, nil
 }
 
@@ -205,15 +229,17 @@ func tuplesBytes(tuples []relation.Tuple) int {
 }
 
 // Fetch implements Source.
-func (s *Instrumented) Fetch(items set.Set) ([]relation.Tuple, error) {
-	tuples, err := s.inner.Fetch(items)
+func (s *Instrumented) Fetch(ctx context.Context, items set.Set) ([]relation.Tuple, error) {
+	tuples, err := s.inner.Fetch(ctx, items)
 	if err != nil {
 		return nil, err
 	}
-	s.record("fetch", queryHeaderBytes+items.Bytes(), tuplesBytes(tuples), func(ct *Counters) {
+	if err := s.record(ctx, "fetch", queryHeaderBytes+items.Bytes(), tuplesBytes(tuples), func(ct *Counters) {
 		ct.FetchQueries++
 		ct.ItemsSent += items.Len()
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return tuples, nil
 }
 

@@ -11,9 +11,16 @@
 // Section 4) and the phase-two record fetch (Section 1). Capability flags
 // model the paper's three tiers of semijoin support: native, emulable via
 // passed bindings (c AND M = m), or unsupported.
+//
+// Every query operation takes a context.Context: sources are autonomous and
+// their latency is not under the mediator's control (Section 2.1), so the
+// caller owns the right to abandon a slow exchange. Implementations must
+// observe cancellation promptly — between items for multi-item operations —
+// and return an error wrapping ctx.Err() so callers can errors.Is it.
 package source
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -64,35 +71,35 @@ type Source interface {
 	// Caps reports the wrapper's query capabilities.
 	Caps() Capabilities
 	// Select answers sq(c, R): the distinct items whose tuples satisfy c.
-	Select(c cond.Cond) (set.Set, error)
+	Select(ctx context.Context, c cond.Cond) (set.Set, error)
 	// Semijoin answers sjq(c, R, y): the subset of y whose items satisfy c
 	// in R. Returns ErrUnsupported unless Caps().NativeSemijoin.
-	Semijoin(c cond.Cond, y set.Set) (set.Set, error)
+	Semijoin(ctx context.Context, c cond.Cond, y set.Set) (set.Set, error)
 	// SelectBinding answers the passed-binding selection "c AND M = item",
 	// reporting whether the item satisfies c at this source. Returns
 	// ErrUnsupported unless Caps().PassedBindings.
-	SelectBinding(c cond.Cond, item string) (bool, error)
+	SelectBinding(ctx context.Context, c cond.Cond, item string) (bool, error)
 	// Load answers lq(R): the source's entire relation (Section 4).
-	Load() (*relation.Relation, error)
+	Load(ctx context.Context) (*relation.Relation, error)
 	// Fetch returns the full tuples for the given items, the "second
 	// phase" query of Section 1.
-	Fetch(items set.Set) ([]relation.Tuple, error)
+	Fetch(ctx context.Context, items set.Set) ([]relation.Tuple, error)
 	// SelectRecords answers a selection query that returns the matching
 	// full tuples instead of bare items, in one exchange. It is the
 	// building block of the "beyond two-phase" plans of Section 6, where
 	// source queries return other attributes in addition to the merge
 	// attribute.
-	SelectRecords(c cond.Cond) ([]relation.Tuple, error)
+	SelectRecords(ctx context.Context, c cond.Cond) ([]relation.Tuple, error)
 	// SemijoinRecords answers a semijoin query returning the full tuples
 	// of the y items that satisfy c, in one exchange. Returns
 	// ErrUnsupported unless Caps().NativeSemijoin.
-	SemijoinRecords(c cond.Cond, y set.Set) ([]relation.Tuple, error)
+	SemijoinRecords(ctx context.Context, c cond.Cond, y set.Set) ([]relation.Tuple, error)
 	// SemijoinBloom answers a semijoin query against a Bloom filter of the
 	// running set: the items satisfying c at this source that test
 	// positive in the filter. The result may include false positives;
 	// callers intersect it with the actual set. Returns ErrUnsupported
 	// unless Caps().BloomSemijoin.
-	SemijoinBloom(c cond.Cond, f *bloom.Filter) (set.Set, error)
+	SemijoinBloom(ctx context.Context, c cond.Cond, f *bloom.Filter) (set.Set, error)
 	// Card returns coarse statistics: tuple count, distinct item count and
 	// approximate size in bytes, the inputs cost models and statistics
 	// gathering build on.
@@ -122,8 +129,20 @@ func (w *Wrapper) Schema() *relation.Schema { return w.backend.Schema() }
 // Caps implements Source.
 func (w *Wrapper) Caps() Capabilities { return w.caps }
 
+// ctxErr wraps a context error with the source's name so the failure is
+// attributable; nil in, nil out.
+func (w *Wrapper) ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("source %s: %w", w.name, err)
+	}
+	return nil
+}
+
 // Select implements Source.
-func (w *Wrapper) Select(c cond.Cond) (set.Set, error) {
+func (w *Wrapper) Select(ctx context.Context, c cond.Cond) (set.Set, error) {
+	if err := w.ctxErr(ctx); err != nil {
+		return set.Set{}, err
+	}
 	schema := w.backend.Schema()
 	if err := c.Check(schema); err != nil {
 		return set.Set{}, fmt.Errorf("source %s: %w", w.name, err)
@@ -151,8 +170,8 @@ func (w *Wrapper) Select(c cond.Cond) (set.Set, error) {
 	return set.New(items...), nil
 }
 
-// Semijoin implements Source.
-func (w *Wrapper) Semijoin(c cond.Cond, y set.Set) (set.Set, error) {
+// Semijoin implements Source, observing ctx between per-item probes.
+func (w *Wrapper) Semijoin(ctx context.Context, c cond.Cond, y set.Set) (set.Set, error) {
 	if !w.caps.NativeSemijoin {
 		return set.Set{}, fmt.Errorf("source %s: semijoin: %w", w.name, ErrUnsupported)
 	}
@@ -162,6 +181,9 @@ func (w *Wrapper) Semijoin(c cond.Cond, y set.Set) (set.Set, error) {
 	}
 	out := make([]string, 0, y.Len())
 	for _, item := range y.Items() {
+		if err := w.ctxErr(ctx); err != nil {
+			return set.Set{}, err
+		}
 		match, err := w.matchBinding(c, item)
 		if err != nil {
 			return set.Set{}, fmt.Errorf("source %s: %w", w.name, err)
@@ -174,9 +196,12 @@ func (w *Wrapper) Semijoin(c cond.Cond, y set.Set) (set.Set, error) {
 }
 
 // SelectBinding implements Source.
-func (w *Wrapper) SelectBinding(c cond.Cond, item string) (bool, error) {
+func (w *Wrapper) SelectBinding(ctx context.Context, c cond.Cond, item string) (bool, error) {
 	if !w.caps.PassedBindings && !w.caps.NativeSemijoin {
 		return false, fmt.Errorf("source %s: passed binding: %w", w.name, ErrUnsupported)
+	}
+	if err := w.ctxErr(ctx); err != nil {
+		return false, err
 	}
 	schema := w.backend.Schema()
 	if err := c.Check(schema); err != nil {
@@ -207,7 +232,10 @@ func (w *Wrapper) matchBinding(c cond.Cond, item string) (bool, error) {
 }
 
 // Load implements Source.
-func (w *Wrapper) Load() (*relation.Relation, error) {
+func (w *Wrapper) Load(ctx context.Context) (*relation.Relation, error) {
+	if err := w.ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	schema := w.backend.Schema()
 	r := relation.NewRelation(schema)
 	err := w.backend.Scan(func(t relation.Tuple) error {
@@ -219,10 +247,13 @@ func (w *Wrapper) Load() (*relation.Relation, error) {
 	return r, nil
 }
 
-// Fetch implements Source.
-func (w *Wrapper) Fetch(items set.Set) ([]relation.Tuple, error) {
+// Fetch implements Source, observing ctx between per-item lookups.
+func (w *Wrapper) Fetch(ctx context.Context, items set.Set) ([]relation.Tuple, error) {
 	var out []relation.Tuple
 	for _, item := range items.Items() {
+		if err := w.ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		err := w.backend.Lookup(item, func(t relation.Tuple) error {
 			out = append(out, t)
 			return nil
@@ -235,11 +266,11 @@ func (w *Wrapper) Fetch(items set.Set) ([]relation.Tuple, error) {
 }
 
 // SemijoinBloom implements Source.
-func (w *Wrapper) SemijoinBloom(c cond.Cond, f *bloom.Filter) (set.Set, error) {
+func (w *Wrapper) SemijoinBloom(ctx context.Context, c cond.Cond, f *bloom.Filter) (set.Set, error) {
 	if !w.caps.BloomSemijoin {
 		return set.Set{}, fmt.Errorf("source %s: bloom semijoin: %w", w.name, ErrUnsupported)
 	}
-	all, err := w.Select(c)
+	all, err := w.Select(ctx, c)
 	if err != nil {
 		return set.Set{}, err
 	}
@@ -256,25 +287,25 @@ func (w *Wrapper) SemijoinBloom(c cond.Cond, f *bloom.Filter) (set.Set, error) {
 // holds every tuple of every item that satisfies c somewhere at this
 // source, so combined plans reconstruct exactly what a phase-two fetch of
 // those items would return.
-func (w *Wrapper) SelectRecords(c cond.Cond) ([]relation.Tuple, error) {
-	items, err := w.Select(c)
+func (w *Wrapper) SelectRecords(ctx context.Context, c cond.Cond) ([]relation.Tuple, error) {
+	items, err := w.Select(ctx, c)
 	if err != nil {
 		return nil, err
 	}
-	return w.Fetch(items)
+	return w.Fetch(ctx, items)
 }
 
 // SemijoinRecords implements Source. Matching is item-level, like
 // SelectRecords.
-func (w *Wrapper) SemijoinRecords(c cond.Cond, y set.Set) ([]relation.Tuple, error) {
+func (w *Wrapper) SemijoinRecords(ctx context.Context, c cond.Cond, y set.Set) ([]relation.Tuple, error) {
 	if !w.caps.NativeSemijoin {
 		return nil, fmt.Errorf("source %s: record semijoin: %w", w.name, ErrUnsupported)
 	}
-	items, err := w.Semijoin(c, y)
+	items, err := w.Semijoin(ctx, c, y)
 	if err != nil {
 		return nil, err
 	}
-	return w.Fetch(items)
+	return w.Fetch(ctx, items)
 }
 
 // Card implements Source.

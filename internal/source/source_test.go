@@ -1,6 +1,7 @@
 package source
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -62,7 +63,7 @@ func TestWrapperSelectAcrossBackends(t *testing.T) {
 	for name, b := range backends(t) {
 		t.Run(name, func(t *testing.T) {
 			w := NewWrapper("R1", b, Capabilities{NativeSemijoin: true, PassedBindings: true})
-			got, err := w.Select(cond.MustParse("V = 'dui'"))
+			got, err := w.Select(context.Background(), cond.MustParse("V = 'dui'"))
 			if err != nil {
 				t.Fatalf("Select: %v", err)
 			}
@@ -70,7 +71,7 @@ func TestWrapperSelectAcrossBackends(t *testing.T) {
 				t.Fatalf("sq(V='dui') = %v, want %v", got, want)
 			}
 			// Empty result.
-			got, err = w.Select(cond.MustParse("V = 'nothing'"))
+			got, err = w.Select(context.Background(), cond.MustParse("V = 'nothing'"))
 			if err != nil || !got.IsEmpty() {
 				t.Fatalf("sq(V='nothing') = %v, %v", got, err)
 			}
@@ -83,7 +84,7 @@ func TestWrapperSemijoinAcrossBackends(t *testing.T) {
 	for name, b := range backends(t) {
 		t.Run(name, func(t *testing.T) {
 			w := NewWrapper("R1", b, Capabilities{NativeSemijoin: true})
-			got, err := w.Semijoin(cond.MustParse("V = 'sp'"), y)
+			got, err := w.Semijoin(context.Background(), cond.MustParse("V = 'sp'"), y)
 			if err != nil {
 				t.Fatalf("Semijoin: %v", err)
 			}
@@ -110,29 +111,29 @@ func TestWrapperSizeAcrossBackends(t *testing.T) {
 
 func TestWrapperCapabilityEnforcement(t *testing.T) {
 	w := NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{})
-	if _, err := w.Semijoin(cond.MustParse("V = 'sp'"), set.New("T21")); !errors.Is(err, ErrUnsupported) {
+	if _, err := w.Semijoin(context.Background(), cond.MustParse("V = 'sp'"), set.New("T21")); !errors.Is(err, ErrUnsupported) {
 		t.Fatalf("Semijoin on selection-only source: err = %v, want ErrUnsupported", err)
 	}
-	if _, err := w.SelectBinding(cond.MustParse("V = 'sp'"), "T21"); !errors.Is(err, ErrUnsupported) {
+	if _, err := w.SelectBinding(context.Background(), cond.MustParse("V = 'sp'"), "T21"); !errors.Is(err, ErrUnsupported) {
 		t.Fatalf("SelectBinding on selection-only source: err = %v, want ErrUnsupported", err)
 	}
 	// Selections always work.
-	if _, err := w.Select(cond.MustParse("V = 'sp'")); err != nil {
+	if _, err := w.Select(context.Background(), cond.MustParse("V = 'sp'")); err != nil {
 		t.Fatalf("Select should work on selection-only source: %v", err)
 	}
 }
 
 func TestWrapperSelectBinding(t *testing.T) {
 	w := NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{PassedBindings: true})
-	ok, err := w.SelectBinding(cond.MustParse("V = 'dui'"), "J55")
+	ok, err := w.SelectBinding(context.Background(), cond.MustParse("V = 'dui'"), "J55")
 	if err != nil || !ok {
 		t.Fatalf("SelectBinding(J55) = %v,%v, want true", ok, err)
 	}
-	ok, err = w.SelectBinding(cond.MustParse("V = 'dui'"), "T21")
+	ok, err = w.SelectBinding(context.Background(), cond.MustParse("V = 'dui'"), "T21")
 	if err != nil || ok {
 		t.Fatalf("SelectBinding(T21) = %v,%v, want false", ok, err)
 	}
-	ok, err = w.SelectBinding(cond.MustParse("V = 'dui'"), "Z99")
+	ok, err = w.SelectBinding(context.Background(), cond.MustParse("V = 'dui'"), "Z99")
 	if err != nil || ok {
 		t.Fatalf("SelectBinding(absent) = %v,%v, want false", ok, err)
 	}
@@ -141,34 +142,34 @@ func TestWrapperSelectBinding(t *testing.T) {
 func TestWrapperCheckErrors(t *testing.T) {
 	w := NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{NativeSemijoin: true, PassedBindings: true})
 	bad := cond.MustParse("Nope = 1")
-	if _, err := w.Select(bad); err == nil {
+	if _, err := w.Select(context.Background(), bad); err == nil {
 		t.Error("Select with unknown attribute should fail")
 	}
-	if _, err := w.Semijoin(bad, set.New("J55")); err == nil {
+	if _, err := w.Semijoin(context.Background(), bad, set.New("J55")); err == nil {
 		t.Error("Semijoin with unknown attribute should fail")
 	}
-	if _, err := w.SelectBinding(bad, "J55"); err == nil {
+	if _, err := w.SelectBinding(context.Background(), bad, "J55"); err == nil {
 		t.Error("SelectBinding with unknown attribute should fail")
 	}
 }
 
 func TestWrapperLoadAndFetch(t *testing.T) {
 	w := NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{})
-	rel, err := w.Load()
+	rel, err := w.Load(context.Background())
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}
 	if rel.Len() != 3 {
 		t.Fatalf("Load returned %d tuples, want 3", rel.Len())
 	}
-	tuples, err := w.Fetch(set.New("J55", "T80"))
+	tuples, err := w.Fetch(context.Background(), set.New("J55", "T80"))
 	if err != nil {
 		t.Fatalf("Fetch: %v", err)
 	}
 	if len(tuples) != 2 {
 		t.Fatalf("Fetch returned %d tuples, want 2", len(tuples))
 	}
-	tuples, err = w.Fetch(set.New("absent"))
+	tuples, err = w.Fetch(context.Background(), set.New("absent"))
 	if err != nil || len(tuples) != 0 {
 		t.Fatalf("Fetch(absent) = %v,%v", tuples, err)
 	}
@@ -176,7 +177,7 @@ func TestWrapperLoadAndFetch(t *testing.T) {
 
 func TestSemijoinAutoNative(t *testing.T) {
 	w := NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{NativeSemijoin: true})
-	got, err := SemijoinAuto(w, cond.MustParse("V = 'dui'"), set.New("J55", "T21"))
+	got, err := SemijoinAuto(context.Background(), w, cond.MustParse("V = 'dui'"), set.New("J55", "T21"))
 	if err != nil {
 		t.Fatalf("SemijoinAuto: %v", err)
 	}
@@ -188,7 +189,7 @@ func TestSemijoinAutoNative(t *testing.T) {
 func TestSemijoinAutoEmulated(t *testing.T) {
 	inner := NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{PassedBindings: true})
 	src := Instrument(inner, nil)
-	got, err := SemijoinAuto(src, cond.MustParse("V = 'dui'"), set.New("J55", "T21", "T80"))
+	got, err := SemijoinAuto(context.Background(), src, cond.MustParse("V = 'dui'"), set.New("J55", "T21", "T80"))
 	if err != nil {
 		t.Fatalf("SemijoinAuto: %v", err)
 	}
@@ -204,7 +205,7 @@ func TestSemijoinAutoEmulated(t *testing.T) {
 
 func TestSemijoinAutoUnsupported(t *testing.T) {
 	w := NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{})
-	if _, err := SemijoinAuto(w, cond.MustParse("V = 'dui'"), set.New("J55")); !errors.Is(err, ErrUnsupported) {
+	if _, err := SemijoinAuto(context.Background(), w, cond.MustParse("V = 'dui'"), set.New("J55")); !errors.Is(err, ErrUnsupported) {
 		t.Fatalf("err = %v, want ErrUnsupported", err)
 	}
 }
@@ -214,16 +215,16 @@ func TestInstrumentedCountersAndNetwork(t *testing.T) {
 	network.SetLink("R1", netsim.Link{})
 	src := Instrument(NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{NativeSemijoin: true, PassedBindings: true}), network)
 
-	if _, err := src.Select(cond.MustParse("V = 'dui'")); err != nil {
+	if _, err := src.Select(context.Background(), cond.MustParse("V = 'dui'")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := src.Semijoin(cond.MustParse("V = 'sp'"), set.New("J55", "T21")); err != nil {
+	if _, err := src.Semijoin(context.Background(), cond.MustParse("V = 'sp'"), set.New("J55", "T21")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := src.Load(); err != nil {
+	if _, err := src.Load(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := src.Fetch(set.New("J55")); err != nil {
+	if _, err := src.Fetch(context.Background(), set.New("J55")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -275,7 +276,7 @@ func TestInstrumentedPassesThroughMetadata(t *testing.T) {
 
 func TestInstrumentedErrorsDoNotRecord(t *testing.T) {
 	src := Instrument(NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{}), nil)
-	if _, err := src.Semijoin(cond.MustParse("V = 'sp'"), set.New("a")); err == nil {
+	if _, err := src.Semijoin(context.Background(), cond.MustParse("V = 'sp'"), set.New("a")); err == nil {
 		t.Fatal("expected error")
 	}
 	if src.Counters().Queries() != 0 {
@@ -287,7 +288,7 @@ func TestSemijoinBloom(t *testing.T) {
 	w := NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{NativeSemijoin: true, BloomSemijoin: true})
 	y := set.New("J55", "T21", "T80")
 	f := bloom.FromItems(y.Items(), bloom.DefaultBitsPerItem)
-	got, err := w.SemijoinBloom(cond.MustParse("V = 'dui'"), f)
+	got, err := w.SemijoinBloom(context.Background(), cond.MustParse("V = 'dui'"), f)
 	if err != nil {
 		t.Fatalf("SemijoinBloom: %v", err)
 	}
@@ -305,7 +306,7 @@ func TestSemijoinBloom(t *testing.T) {
 func TestSemijoinBloomUnsupported(t *testing.T) {
 	w := NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{NativeSemijoin: true})
 	f := bloom.FromItems([]string{"J55"}, 10)
-	if _, err := w.SemijoinBloom(cond.MustParse("V = 'dui'"), f); !errors.Is(err, ErrUnsupported) {
+	if _, err := w.SemijoinBloom(context.Background(), cond.MustParse("V = 'dui'"), f); !errors.Is(err, ErrUnsupported) {
 		t.Fatalf("err = %v, want ErrUnsupported", err)
 	}
 }
@@ -315,7 +316,7 @@ func TestInstrumentedBloomCharges(t *testing.T) {
 	network.SetLink("R1", netsim.Link{})
 	src := Instrument(NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{BloomSemijoin: true}), network)
 	f := bloom.FromItems([]string{"J55", "T80"}, 10)
-	if _, err := src.SemijoinBloom(cond.MustParse("V = 'dui'"), f); err != nil {
+	if _, err := src.SemijoinBloom(context.Background(), cond.MustParse("V = 'dui'"), f); err != nil {
 		t.Fatal(err)
 	}
 	ct := src.Counters()
@@ -333,14 +334,14 @@ func TestInstrumentedBloomCharges(t *testing.T) {
 
 func TestSelectAndSemijoinRecords(t *testing.T) {
 	w := NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{NativeSemijoin: true})
-	tuples, err := w.SelectRecords(cond.MustParse("V = 'dui'"))
+	tuples, err := w.SelectRecords(context.Background(), cond.MustParse("V = 'dui'"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(tuples) != 2 {
 		t.Fatalf("SelectRecords = %d tuples, want 2", len(tuples))
 	}
-	tuples, err = w.SemijoinRecords(cond.MustParse("V = 'dui'"), set.New("J55", "T21"))
+	tuples, err = w.SemijoinRecords(context.Background(), cond.MustParse("V = 'dui'"), set.New("J55", "T21"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +349,7 @@ func TestSelectAndSemijoinRecords(t *testing.T) {
 		t.Fatalf("SemijoinRecords = %v", tuples)
 	}
 	weak := NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{})
-	if _, err := weak.SemijoinRecords(cond.MustParse("V = 'dui'"), set.New("J55")); !errors.Is(err, ErrUnsupported) {
+	if _, err := weak.SemijoinRecords(context.Background(), cond.MustParse("V = 'dui'"), set.New("J55")); !errors.Is(err, ErrUnsupported) {
 		t.Fatalf("err = %v, want ErrUnsupported", err)
 	}
 }

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"context"
 	"fmt"
 
 	"fusionq/internal/cond"
@@ -23,7 +24,7 @@ import (
 // The source must already be instrumented against network; probe traffic is
 // left on the network's counters (callers typically Reset afterwards, as
 // statistics gathering is not charged to execution).
-func Calibrate(src source.Source, network *netsim.Network, probes []cond.Cond) (SourceProfile, error) {
+func Calibrate(ctx context.Context, src source.Source, network *netsim.Network, probes []cond.Cond) (SourceProfile, error) {
 	if network == nil {
 		return SourceProfile{}, fmt.Errorf("stats: calibration needs a network")
 	}
@@ -33,7 +34,7 @@ func Calibrate(src source.Source, network *netsim.Network, probes []cond.Cond) (
 	logStart := len(network.Log())
 	totalItems, totalItemBytes := 0, 0
 	for _, c := range probes {
-		items, err := src.Select(c)
+		items, err := src.Select(ctx, c)
 		if err != nil {
 			return SourceProfile{}, fmt.Errorf("stats: probing %s with %q: %w", src.Name(), c, err)
 		}

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -38,7 +39,7 @@ func calibrationScenario(t *testing.T) (source.Source, *netsim.Network, []cond.C
 
 func TestCalibrateRecoversLinkParameters(t *testing.T) {
 	src, network, probes, link := calibrationScenario(t)
-	got, err := Calibrate(src, network, probes)
+	got, err := Calibrate(context.Background(), src, network, probes)
 	if err != nil {
 		t.Fatalf("Calibrate: %v", err)
 	}
@@ -60,7 +61,7 @@ func TestCalibrateRecoversLinkParameters(t *testing.T) {
 
 func TestCalibratedProfilePredictsCosts(t *testing.T) {
 	src, network, probes, _ := calibrationScenario(t)
-	profile, err := Calibrate(src, network, probes)
+	profile, err := Calibrate(context.Background(), src, network, probes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestCalibratedProfilePredictsCosts(t *testing.T) {
 	// simulated time.
 	network.Reset()
 	c := cond.MustParse("A1 < 700")
-	items, err := src.Select(c)
+	items, err := src.Select(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestCalibrateIdenticalPayloads(t *testing.T) {
 		cond.MustParse("A1 < -5"), // empty
 		cond.MustParse("A1 < -1"), // empty
 	}
-	got, err := Calibrate(src, network, probes)
+	got, err := Calibrate(context.Background(), src, network, probes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,14 +108,14 @@ func TestCalibrateIdenticalPayloads(t *testing.T) {
 
 func TestCalibrateErrors(t *testing.T) {
 	src, network, probes, _ := calibrationScenario(t)
-	if _, err := Calibrate(src, nil, probes); err == nil {
+	if _, err := Calibrate(context.Background(), src, nil, probes); err == nil {
 		t.Error("nil network should fail")
 	}
-	if _, err := Calibrate(src, network, probes[:1]); err == nil {
+	if _, err := Calibrate(context.Background(), src, network, probes[:1]); err == nil {
 		t.Error("single probe should fail")
 	}
 	bad := []cond.Cond{cond.MustParse("Zz = 1"), cond.MustParse("Zz = 2")}
-	if _, err := Calibrate(src, network, bad); err == nil {
+	if _, err := Calibrate(context.Background(), src, network, bad); err == nil {
 		t.Error("invalid probe conditions should fail")
 	}
 }

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -135,8 +136,8 @@ type Summary struct {
 
 // Summarize scans a source once and builds its attribute summaries. Like
 // Gather, it models an offline statistics pass.
-func Summarize(src source.Source) (*Summary, error) {
-	rel, err := src.Load()
+func Summarize(ctx context.Context, src source.Source) (*Summary, error) {
+	rel, err := src.Load(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("stats: summarizing %s: %w", src.Name(), err)
 	}

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -19,7 +20,7 @@ func summaryFixture(t *testing.T) (*Summary, int) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sum, err := Summarize(sc.Sources[0])
+	sum, err := Summarize(context.Background(), sc.Sources[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestInEstimate(t *testing.T) {
 
 func TestStringMCV(t *testing.T) {
 	sc := workload.DMV()
-	sum, err := Summarize(sc.Sources[0])
+	sum, err := Summarize(context.Background(), sc.Sources[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,12 +121,12 @@ func TestStatsFromSummaryFeedsOptimizer(t *testing.T) {
 		t.Fatal(err)
 	}
 	for j, src := range sc.Sources {
-		sum, err := Summarize(src)
+		sum, err := Summarize(context.Background(), src)
 		if err != nil {
 			t.Fatal(err)
 		}
 		hist := StatsFromSummary(sum, sc.Conds)
-		exact, err := Gather(src, sc.Conds)
+		exact, err := Gather(context.Background(), src, sc.Conds)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -147,7 +148,7 @@ func TestSummarizeEmptySource(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sum, err := Summarize(sc.Sources[0])
+	sum, err := Summarize(context.Background(), sc.Sources[0])
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"context"
 	"math"
 	"os"
 	"path/filepath"
@@ -18,7 +19,7 @@ func TestSummarySaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	orig, err := Summarize(sc.Sources[0])
+	orig, err := Summarize(context.Background(), sc.Sources[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestSummarySaveLoadRoundTrip(t *testing.T) {
 
 func TestSummaryDMVStringsRoundTrip(t *testing.T) {
 	sc := workload.DMV()
-	orig, err := Summarize(sc.Sources[0])
+	orig, err := Summarize(context.Background(), sc.Sources[0])
 	if err != nil {
 		t.Fatal(err)
 	}

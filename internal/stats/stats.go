@@ -19,6 +19,7 @@
 package stats
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -195,11 +196,11 @@ type SourceStats struct {
 // Gather computes exact statistics for the given conditions by scanning the
 // source. It models an offline statistics-collection pass; the scan is not
 // charged to query execution.
-func Gather(src source.Source, conds []cond.Cond) (SourceStats, error) {
+func Gather(ctx context.Context, src source.Source, conds []cond.Cond) (SourceStats, error) {
 	tuples, distinct, bytes := src.Card()
 	st := SourceStats{Name: src.Name(), Tuples: tuples, DistinctItems: distinct, Bytes: bytes, CondCard: make([]float64, len(conds))}
 	for i, c := range conds {
-		items, err := src.Select(c)
+		items, err := src.Select(ctx, c)
 		if err != nil {
 			return SourceStats{}, fmt.Errorf("stats: gathering %q at %s: %w", c, src.Name(), err)
 		}
@@ -212,11 +213,11 @@ func Gather(src source.Source, conds []cond.Cond) (SourceStats, error) {
 // tuples with the given rate, scaling counts up by 1/rate. seed makes the
 // sample deterministic. Sampling mirrors the query-sampling approach for
 // estimating cost parameters in multidatabase systems [25].
-func GatherSampled(src source.Source, conds []cond.Cond, rate float64, seed int64) (SourceStats, error) {
+func GatherSampled(ctx context.Context, src source.Source, conds []cond.Cond, rate float64, seed int64) (SourceStats, error) {
 	if rate <= 0 || rate > 1 {
 		return SourceStats{}, fmt.Errorf("stats: sample rate %v out of (0,1]", rate)
 	}
-	rel, err := src.Load()
+	rel, err := src.Load(ctx)
 	if err != nil {
 		return SourceStats{}, fmt.Errorf("stats: sampling %s: %w", src.Name(), err)
 	}

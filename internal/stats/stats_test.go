@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -21,7 +22,7 @@ func dmvSource(t *testing.T) (source.Source, []cond.Cond) {
 
 func TestGatherExact(t *testing.T) {
 	src, conds := dmvSource(t)
-	st, err := Gather(src, conds)
+	st, err := Gather(context.Background(), src, conds)
 	if err != nil {
 		t.Fatalf("Gather: %v", err)
 	}
@@ -39,11 +40,11 @@ func TestGatherExact(t *testing.T) {
 
 func TestGatherSampledFullRateMatchesExact(t *testing.T) {
 	src, conds := dmvSource(t)
-	exact, err := Gather(src, conds)
+	exact, err := Gather(context.Background(), src, conds)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sampled, err := GatherSampled(src, conds, 1.0, 7)
+	sampled, err := GatherSampled(context.Background(), src, conds, 1.0, 7)
 	if err != nil {
 		t.Fatalf("GatherSampled: %v", err)
 	}
@@ -65,11 +66,11 @@ func TestGatherSampledApproximates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	exact, err := Gather(sc.Sources[0], sc.Conds)
+	exact, err := Gather(context.Background(), sc.Sources[0], sc.Conds)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sampled, err := GatherSampled(sc.Sources[0], sc.Conds, 0.2, 99)
+	sampled, err := GatherSampled(context.Background(), sc.Sources[0], sc.Conds, 0.2, 99)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestGatherSampledApproximates(t *testing.T) {
 func TestGatherSampledBadRate(t *testing.T) {
 	src, conds := dmvSource(t)
 	for _, rate := range []float64{0, -0.5, 1.5} {
-		if _, err := GatherSampled(src, conds, rate, 1); err == nil {
+		if _, err := GatherSampled(context.Background(), src, conds, rate, 1); err == nil {
 			t.Errorf("rate %v should fail", rate)
 		}
 	}
@@ -171,7 +172,7 @@ func TestBuildTable(t *testing.T) {
 	profiles := UniformProfiles(sc.SourceNames(), SourceProfile{
 		PerQuery: 10, PerItemSent: 1, PerItemRecv: 1, PerByteLoad: 0.1, Support: SemijoinNative,
 	})
-	table, err := BuildFromSources(sc.Conds, sc.Sources, profiles)
+	table, err := BuildFromSources(context.Background(), sc.Conds, sc.Sources, profiles)
 	if err != nil {
 		t.Fatalf("BuildFromSources: %v", err)
 	}
@@ -261,7 +262,7 @@ func TestBuildBloomColumns(t *testing.T) {
 		PerQuery: 10, PerItemSent: 1, PerItemRecv: 1, PerByteLoad: 0.1,
 		Support: SemijoinNative, ItemBytes: 8, BloomBitsPerItem: 10,
 	}
-	table, err := BuildFromSources(sc.Conds, sc.Sources, UniformProfiles(sc.SourceNames(), base))
+	table, err := BuildFromSources(context.Background(), sc.Conds, sc.Sources, UniformProfiles(sc.SourceNames(), base))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +276,7 @@ func TestBuildBloomColumns(t *testing.T) {
 	}
 	// Without bloom support the columns are +Inf.
 	base.BloomBitsPerItem = 0
-	table2, err := BuildFromSources(sc.Conds, sc.Sources, UniformProfiles(sc.SourceNames(), base))
+	table2, err := BuildFromSources(context.Background(), sc.Conds, sc.Sources, UniformProfiles(sc.SourceNames(), base))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +303,7 @@ func TestCostTableString(t *testing.T) {
 		PerQuery: 10, PerItemSent: 1, PerItemRecv: 1, PerByteLoad: 0.1,
 		Support: SemijoinNative, ItemBytes: 8, BloomBitsPerItem: 10,
 	}
-	table, err := BuildFromSources(sc.Conds, sc.Sources, UniformProfiles(sc.SourceNames(), base))
+	table, err := BuildFromSources(context.Background(), sc.Conds, sc.Sources, UniformProfiles(sc.SourceNames(), base))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +316,7 @@ func TestCostTableString(t *testing.T) {
 	// Unsupported semijoins render as infinity.
 	base.Support = SemijoinNone
 	base.BloomBitsPerItem = 0
-	t2, err := BuildFromSources(sc.Conds, sc.Sources, UniformProfiles(sc.SourceNames(), base))
+	t2, err := BuildFromSources(context.Background(), sc.Conds, sc.Sources, UniformProfiles(sc.SourceNames(), base))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -235,10 +236,10 @@ func Build(conds []cond.Cond, stats []SourceStats, profiles []SourceProfile) (*C
 
 // BuildFromSources gathers exact statistics from the given sources and
 // assembles the table with the given profiles.
-func BuildFromSources(conds []cond.Cond, sources []source.Source, profiles []SourceProfile) (*CostTable, error) {
+func BuildFromSources(ctx context.Context, conds []cond.Cond, sources []source.Source, profiles []SourceProfile) (*CostTable, error) {
 	sts := make([]SourceStats, len(sources))
 	for j, src := range sources {
-		st, err := Gather(src, conds)
+		st, err := Gather(ctx, src, conds)
 		if err != nil {
 			return nil, err
 		}

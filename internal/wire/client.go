@@ -2,10 +2,12 @@ package wire
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"fusionq/internal/bloom"
 	"fusionq/internal/cond"
@@ -16,7 +18,10 @@ import (
 
 // Client is a remote source: it implements source.Source by speaking the
 // wire protocol to a Server, so a mediator can treat local and remote
-// sources uniformly.
+// sources uniformly. Each operation's context maps onto the connection's
+// read/write deadlines, so a deadline or cancellation abandons a stalled
+// exchange instead of blocking forever; transport failures are reported as
+// transient (source.ErrTransient) so the mediator's retry policy applies.
 type Client struct {
 	addr   string
 	meta   Meta
@@ -33,11 +38,17 @@ var _ source.Source = (*Client)(nil)
 
 // Dial connects to a wire server and fetches its metadata.
 func Dial(addr string) (*Client, error) {
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext is Dial honoring ctx for the connection setup and the
+// metadata exchange.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
 	c := &Client{addr: addr}
-	if err := c.connect(); err != nil {
+	if err := c.connect(ctx); err != nil {
 		return nil, err
 	}
-	resp, err := c.roundTrip(Request{Op: OpMeta})
+	resp, err := c.roundTrip(ctx, Request{Op: OpMeta})
 	if err != nil {
 		return nil, err
 	}
@@ -58,8 +69,9 @@ func Dial(addr string) (*Client, error) {
 	return c, nil
 }
 
-func (c *Client) connect() error {
-	conn, err := net.Dial("tcp", c.addr)
+func (c *Client) connect(ctx context.Context) error {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
 	if err != nil {
 		return fmt.Errorf("wire: dial %s: %w", c.addr, err)
 	}
@@ -83,16 +95,30 @@ func (c *Client) Close() error {
 }
 
 // roundTrip sends one request and reads one response, reconnecting once on
-// a broken connection.
-func (c *Client) roundTrip(req Request) (Response, error) {
+// a broken connection. The context's deadline is installed as the
+// connection's read/write deadline for the exchange; on expiry the
+// returned error wraps context.DeadlineExceeded (or Canceled), and other
+// transport failures wrap source.ErrTransient so retry policies can
+// classify them.
+func (c *Client) roundTrip(ctx context.Context, req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return Response{}, fmt.Errorf("wire: %s: %w", c.addr, err)
+	}
 	if c.conn == nil {
-		if err := c.connect(); err != nil {
+		if err := c.connect(ctx); err != nil {
 			return Response{}, err
 		}
 	}
 	send := func() (Response, error) {
+		deadline, ok := ctx.Deadline()
+		if !ok {
+			deadline = time.Time{} // clear any deadline from a prior call
+		}
+		if err := c.conn.SetDeadline(deadline); err != nil {
+			return Response{}, err
+		}
 		if err := c.enc.Encode(req); err != nil {
 			return Response{}, err
 		}
@@ -107,14 +133,27 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 	}
 	resp, err := send()
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			// The deadline (not the transport) killed the exchange. Drop the
+			// connection: the response may still arrive and desynchronize
+			// the stream otherwise.
+			c.conn.Close()
+			c.conn = nil
+			return Response{}, fmt.Errorf("wire: %s: %w", c.addr, ctxErr)
+		}
 		// One reconnect attempt for a stale connection.
 		c.conn.Close()
-		if cerr := c.connect(); cerr != nil {
-			return Response{}, cerr
+		if cerr := c.connect(ctx); cerr != nil {
+			return Response{}, fmt.Errorf("%w: %w", cerr, source.ErrTransient)
 		}
 		resp, err = send()
 		if err != nil {
-			return Response{}, fmt.Errorf("wire: %s: %w", c.addr, err)
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				c.conn.Close()
+				c.conn = nil
+				return Response{}, fmt.Errorf("wire: %s: %w", c.addr, ctxErr)
+			}
+			return Response{}, fmt.Errorf("wire: %s: %w: %w", c.addr, err, source.ErrTransient)
 		}
 	}
 	if resp.Error != "" {
@@ -139,8 +178,8 @@ func (c *Client) Caps() source.Capabilities {
 }
 
 // Select implements source.Source.
-func (c *Client) Select(cd cond.Cond) (set.Set, error) {
-	resp, err := c.roundTrip(Request{Op: OpSelect, Cond: cd.String()})
+func (c *Client) Select(ctx context.Context, cd cond.Cond) (set.Set, error) {
+	resp, err := c.roundTrip(ctx, Request{Op: OpSelect, Cond: cd.String()})
 	if err != nil {
 		return set.Set{}, err
 	}
@@ -148,11 +187,11 @@ func (c *Client) Select(cd cond.Cond) (set.Set, error) {
 }
 
 // Semijoin implements source.Source.
-func (c *Client) Semijoin(cd cond.Cond, y set.Set) (set.Set, error) {
+func (c *Client) Semijoin(ctx context.Context, cd cond.Cond, y set.Set) (set.Set, error) {
 	if !c.meta.NativeSemijoin {
 		return set.Set{}, fmt.Errorf("wire: %s: semijoin: %w", c.meta.Name, source.ErrUnsupported)
 	}
-	resp, err := c.roundTrip(Request{Op: OpSemi, Cond: cd.String(), Items: y.Slice()})
+	resp, err := c.roundTrip(ctx, Request{Op: OpSemi, Cond: cd.String(), Items: y.Slice()})
 	if err != nil {
 		return set.Set{}, err
 	}
@@ -160,11 +199,11 @@ func (c *Client) Semijoin(cd cond.Cond, y set.Set) (set.Set, error) {
 }
 
 // SelectBinding implements source.Source.
-func (c *Client) SelectBinding(cd cond.Cond, item string) (bool, error) {
+func (c *Client) SelectBinding(ctx context.Context, cd cond.Cond, item string) (bool, error) {
 	if !c.meta.PassedBindings && !c.meta.NativeSemijoin {
 		return false, fmt.Errorf("wire: %s: passed binding: %w", c.meta.Name, source.ErrUnsupported)
 	}
-	resp, err := c.roundTrip(Request{Op: OpBinding, Cond: cd.String(), Item: item})
+	resp, err := c.roundTrip(ctx, Request{Op: OpBinding, Cond: cd.String(), Item: item})
 	if err != nil {
 		return false, err
 	}
@@ -172,8 +211,8 @@ func (c *Client) SelectBinding(cd cond.Cond, item string) (bool, error) {
 }
 
 // Load implements source.Source.
-func (c *Client) Load() (*relation.Relation, error) {
-	resp, err := c.roundTrip(Request{Op: OpLoad})
+func (c *Client) Load(ctx context.Context) (*relation.Relation, error) {
+	resp, err := c.roundTrip(ctx, Request{Op: OpLoad})
 	if err != nil {
 		return nil, err
 	}
@@ -181,28 +220,20 @@ func (c *Client) Load() (*relation.Relation, error) {
 }
 
 // Fetch implements source.Source.
-func (c *Client) Fetch(items set.Set) ([]relation.Tuple, error) {
-	resp, err := c.roundTrip(Request{Op: OpFetch, Items: items.Slice()})
+func (c *Client) Fetch(ctx context.Context, items set.Set) ([]relation.Tuple, error) {
+	resp, err := c.roundTrip(ctx, Request{Op: OpFetch, Items: items.Slice()})
 	if err != nil {
 		return nil, err
 	}
-	out := make([]relation.Tuple, len(resp.Tuples))
-	for i, wt := range resp.Tuples {
-		t, err := DecodeTuple(wt)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = t
-	}
-	return out, nil
+	return c.decodeTuples(resp.Tuples)
 }
 
 // SemijoinBloom implements source.Source.
-func (c *Client) SemijoinBloom(cd cond.Cond, f *bloom.Filter) (set.Set, error) {
+func (c *Client) SemijoinBloom(ctx context.Context, cd cond.Cond, f *bloom.Filter) (set.Set, error) {
 	if !c.meta.BloomSemijoin {
 		return set.Set{}, fmt.Errorf("wire: %s: bloom semijoin: %w", c.meta.Name, source.ErrUnsupported)
 	}
-	resp, err := c.roundTrip(Request{Op: OpSemiBloom, Cond: cd.String(), Filter: f.Encode()})
+	resp, err := c.roundTrip(ctx, Request{Op: OpSemiBloom, Cond: cd.String(), Filter: f.Encode()})
 	if err != nil {
 		return set.Set{}, err
 	}
@@ -210,8 +241,8 @@ func (c *Client) SemijoinBloom(cd cond.Cond, f *bloom.Filter) (set.Set, error) {
 }
 
 // SelectRecords implements source.Source.
-func (c *Client) SelectRecords(cd cond.Cond) ([]relation.Tuple, error) {
-	resp, err := c.roundTrip(Request{Op: OpSelectRecs, Cond: cd.String()})
+func (c *Client) SelectRecords(ctx context.Context, cd cond.Cond) ([]relation.Tuple, error) {
+	resp, err := c.roundTrip(ctx, Request{Op: OpSelectRecs, Cond: cd.String()})
 	if err != nil {
 		return nil, err
 	}
@@ -219,11 +250,11 @@ func (c *Client) SelectRecords(cd cond.Cond) ([]relation.Tuple, error) {
 }
 
 // SemijoinRecords implements source.Source.
-func (c *Client) SemijoinRecords(cd cond.Cond, y set.Set) ([]relation.Tuple, error) {
+func (c *Client) SemijoinRecords(ctx context.Context, cd cond.Cond, y set.Set) ([]relation.Tuple, error) {
 	if !c.meta.NativeSemijoin {
 		return nil, fmt.Errorf("wire: %s: record semijoin: %w", c.meta.Name, source.ErrUnsupported)
 	}
-	resp, err := c.roundTrip(Request{Op: OpSemiRecs, Cond: cd.String(), Items: y.Slice()})
+	resp, err := c.roundTrip(ctx, Request{Op: OpSemiRecs, Cond: cd.String(), Items: y.Slice()})
 	if err != nil {
 		return nil, err
 	}

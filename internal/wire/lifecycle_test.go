@@ -1,0 +1,145 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"fusionq/internal/workload"
+)
+
+// TestIdleConnectionReclaimed checks the idle-timeout fix: a client that
+// connects and then goes silent no longer pins a handler goroutine forever
+// — the server closes the connection once IdleTimeout elapses.
+func TestIdleConnectionReclaimed(t *testing.T) {
+	sc := workload.DMV()
+	srv, err := ServeConfig(sc.Sources[0], "127.0.0.1:0", Config{
+		IdleTimeout: 50 * time.Millisecond,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// A raw TCP client that never sends a request.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// The server must hang up: the next read observes EOF/close rather
+	// than blocking forever.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("read returned data from a server that should have hung up")
+	} else if errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatal("server never closed the idle connection within 5s")
+	}
+}
+
+// TestShutdownDrainsInFlight checks graceful drain: Shutdown returns once
+// idle connections are nudged closed, a live client's in-flight request
+// completes, and new connections are refused.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	sc := workload.DMV()
+	srv, err := ServeConfig(sc.Sources[0], "127.0.0.1:0", Config{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	// Prime the connection so a handler goroutine is parked on it.
+	if _, err := cli.Load(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(ctx) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+	case <-time.After(4 * time.Second):
+		t.Fatal("Shutdown did not return: idle connection was not drained")
+	}
+
+	// The listener is closed: new connections are refused.
+	if _, err := net.DialTimeout("tcp", srv.Addr(), time.Second); err == nil {
+		t.Fatal("server accepted a connection after Shutdown")
+	}
+	// Shutdown on an already-stopped server is a no-op.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}
+
+// TestShutdownExpiredContextForces checks the other branch: when the drain
+// budget is already spent, Shutdown force-closes and reports the ctx error.
+func TestShutdownExpiredContextForces(t *testing.T) {
+	sc := workload.DMV()
+	srv, err := ServeConfig(sc.Sources[0], "127.0.0.1:0", Config{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A connection the server believes is mid-session.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	time.Sleep(20 * time.Millisecond) // let the server register it
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = srv.Shutdown(ctx)
+	// Either the nudge already drained the connection (nil) or the expired
+	// budget forced it; both must return promptly, and a forced close
+	// wraps the context error.
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("Shutdown = %v, want nil or context.Canceled", err)
+	}
+}
+
+// TestClientDeadlineIdentified checks the client half of the lifecycle: a
+// context deadline on a call surfaces as context.DeadlineExceeded, not as
+// a bare i/o timeout, and the next call on the same client still works
+// (the client dropped the desynchronized connection and reconnected).
+func TestClientDeadlineIdentified(t *testing.T) {
+	sc := workload.DMV()
+	srv, err := Serve(sc.Sources[0], "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := cli.Load(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want errors.Is(err, context.DeadlineExceeded)", err)
+	}
+	// The client recovers on the next call with a live context.
+	rel, err := cli.Load(context.Background())
+	if err != nil {
+		t.Fatalf("Load after expired call: %v", err)
+	}
+	if rel.Len() == 0 {
+		t.Fatal("empty relation after reconnect")
+	}
+}

@@ -131,7 +131,7 @@ func DecodeTuple(wt WireTuple) (relation.Tuple, error) {
 		default:
 			v, err := relation.ParseValue(wv.Raw)
 			if err != nil {
-				return nil, fmt.Errorf("wire: decoding %q: %v", wv.Raw, err)
+				return nil, fmt.Errorf("wire: decoding %q: %w", wv.Raw, err)
 			}
 			if v.Kind() != k {
 				return nil, fmt.Errorf("wire: value %q decoded as %s, want %s", wv.Raw, v.Kind(), k)

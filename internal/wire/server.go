@@ -2,13 +2,16 @@ package wire
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net"
+	"os"
 	"sync"
+	"time"
 
 	"fusionq/internal/bloom"
 	"fusionq/internal/cond"
@@ -16,28 +19,68 @@ import (
 	"fusionq/internal/source"
 )
 
+// DefaultIdleTimeout bounds how long a connected client may sit between
+// requests before the server reclaims the connection. Without it a client
+// that silently disappears (no FIN — a dropped laptop lid, a dead NAT
+// entry) would leak a handler goroutine forever.
+const DefaultIdleTimeout = 2 * time.Minute
+
+// Config tunes a Server.
+type Config struct {
+	// IdleTimeout is the per-connection read deadline between requests.
+	// Zero means DefaultIdleTimeout; negative disables the timeout.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds writing one response. Zero means no limit.
+	WriteTimeout time.Duration
+	// Logf receives connection-level error messages. Nil means log.Printf.
+	Logf func(format string, args ...interface{})
+}
+
 // Server exposes one wrapped source over TCP.
 type Server struct {
 	src source.Source
 	ln  net.Listener
+	cfg Config
+
+	// baseCtx is cancelled on forced close, aborting in-flight source
+	// operations; Shutdown leaves it alive so handlers can finish.
+	baseCtx context.Context
+	cancel  context.CancelFunc
 
 	mu     sync.Mutex
 	closed bool
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
-	// Logf, when set, receives connection-level error messages. Defaults
-	// to log.Printf.
-	Logf func(format string, args ...interface{})
 }
 
 // Serve starts a server for src on the given address (e.g. "127.0.0.1:0")
-// and begins accepting connections in the background.
+// with the default configuration and begins accepting connections in the
+// background.
 func Serve(src source.Source, addr string) (*Server, error) {
+	return ServeConfig(src, addr, Config{})
+}
+
+// ServeConfig is Serve with explicit tuning.
+func ServeConfig(src source.Source, addr string, cfg Config) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: listen: %w", err)
 	}
-	s := &Server{src: src, ln: ln, conns: map[net.Conn]struct{}{}, Logf: log.Printf}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = DefaultIdleTimeout
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		src:     src,
+		ln:      ln,
+		cfg:     cfg,
+		baseCtx: ctx,
+		cancel:  cancel,
+		conns:   map[net.Conn]struct{}{},
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -46,10 +89,12 @@ func Serve(src source.Source, addr string) (*Server, error) {
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops accepting, closes live connections and waits for handlers.
+// Close force-stops the server: it stops accepting, cancels in-flight
+// source operations, closes live connections and waits for handlers.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
+	s.cancel()
 	for c := range s.conns {
 		c.Close()
 	}
@@ -57,6 +102,47 @@ func (s *Server) Close() error {
 	err := s.ln.Close()
 	s.wg.Wait()
 	return err
+}
+
+// Shutdown drains the server gracefully: it stops accepting new
+// connections, lets in-flight requests finish, and nudges idle connections
+// closed. If ctx expires before the drain completes, remaining connections
+// are force-closed and ctx's error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	// Wake connections blocked reading the next request; handlers treat
+	// the resulting timeout on a closed server as a clean exit. A handler
+	// mid-dispatch is unaffected — its response write proceeds.
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	lnErr := s.ln.Close()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.cancel()
+		return lnErr
+	case <-ctx.Done():
+		s.mu.Lock()
+		s.cancel()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return fmt.Errorf("wire: shutdown: %w", ctx.Err())
+	}
 }
 
 func (s *Server) acceptLoop() {
@@ -68,7 +154,7 @@ func (s *Server) acceptLoop() {
 			closed := s.closed
 			s.mu.Unlock()
 			if !closed && !errors.Is(err, net.ErrClosed) {
-				s.Logf("wire: accept: %v", err)
+				s.cfg.Logf("wire: accept: %v", err)
 			}
 			return
 		}
@@ -98,30 +184,52 @@ func (s *Server) handle(conn net.Conn) {
 	enc := json.NewEncoder(w)
 	dec := json.NewDecoder(r)
 	for {
+		if s.cfg.IdleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
+				return
+			}
+		}
 		var req Request
 		if err := dec.Decode(&req); err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				s.cfg.Logf("wire: closing idle connection %s", conn.RemoteAddr())
+				return
+			}
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
-				s.mu.Lock()
-				closed := s.closed
-				s.mu.Unlock()
-				if !closed {
-					s.Logf("wire: decode: %v", err)
-				}
+				s.cfg.Logf("wire: decode: %v", err)
 			}
 			return
 		}
-		resp := s.dispatch(req)
+		resp := s.dispatch(s.baseCtx, req)
+		if s.cfg.WriteTimeout > 0 {
+			if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
+				return
+			}
+		}
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
 		if err := w.Flush(); err != nil {
 			return
 		}
+		if s.cfg.WriteTimeout > 0 {
+			if err := conn.SetWriteDeadline(time.Time{}); err != nil {
+				return
+			}
+		}
 	}
 }
 
-// dispatch executes one request against the wrapped source.
-func (s *Server) dispatch(req Request) Response {
+// dispatch executes one request against the wrapped source. ctx is the
+// server's base context: force-closing the server aborts in-flight
+// operations.
+func (s *Server) dispatch(ctx context.Context, req Request) Response {
 	fail := func(err error) Response { return Response{Error: err.Error()} }
 	switch req.Op {
 	case OpMeta:
@@ -144,7 +252,7 @@ func (s *Server) dispatch(req Request) Response {
 		if err != nil {
 			return fail(err)
 		}
-		items, err := s.src.Select(c)
+		items, err := s.src.Select(ctx, c)
 		if err != nil {
 			return fail(err)
 		}
@@ -154,7 +262,7 @@ func (s *Server) dispatch(req Request) Response {
 		if err != nil {
 			return fail(err)
 		}
-		items, err := s.src.Semijoin(c, set.New(req.Items...))
+		items, err := s.src.Semijoin(ctx, c, set.New(req.Items...))
 		if err != nil {
 			return fail(err)
 		}
@@ -164,13 +272,13 @@ func (s *Server) dispatch(req Request) Response {
 		if err != nil {
 			return fail(err)
 		}
-		match, err := s.src.SelectBinding(c, req.Item)
+		match, err := s.src.SelectBinding(ctx, c, req.Item)
 		if err != nil {
 			return fail(err)
 		}
 		return Response{Match: match}
 	case OpLoad:
-		rel, err := s.src.Load()
+		rel, err := s.src.Load(ctx)
 		if err != nil {
 			return fail(err)
 		}
@@ -180,7 +288,7 @@ func (s *Server) dispatch(req Request) Response {
 		}
 		return Response{Tuples: tuples}
 	case OpFetch:
-		ts, err := s.src.Fetch(set.New(req.Items...))
+		ts, err := s.src.Fetch(ctx, set.New(req.Items...))
 		if err != nil {
 			return fail(err)
 		}
@@ -194,7 +302,7 @@ func (s *Server) dispatch(req Request) Response {
 		if err != nil {
 			return fail(err)
 		}
-		ts, err := s.src.SelectRecords(c)
+		ts, err := s.src.SelectRecords(ctx, c)
 		if err != nil {
 			return fail(err)
 		}
@@ -212,7 +320,7 @@ func (s *Server) dispatch(req Request) Response {
 		if err != nil {
 			return fail(err)
 		}
-		items, err := s.src.SemijoinBloom(c, f)
+		items, err := s.src.SemijoinBloom(ctx, c, f)
 		if err != nil {
 			return fail(err)
 		}
@@ -222,7 +330,7 @@ func (s *Server) dispatch(req Request) Response {
 		if err != nil {
 			return fail(err)
 		}
-		ts, err := s.src.SemijoinRecords(c, set.New(req.Items...))
+		ts, err := s.src.SemijoinRecords(ctx, c, set.New(req.Items...))
 		if err != nil {
 			return fail(err)
 		}

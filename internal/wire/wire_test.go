@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -62,7 +63,7 @@ func TestMetaRoundTrip(t *testing.T) {
 
 func TestRemoteSelect(t *testing.T) {
 	clients := startDMVServers(t)
-	got, err := clients[0].Select(cond.MustParse("V = 'dui'"))
+	got, err := clients[0].Select(context.Background(), cond.MustParse("V = 'dui'"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestRemoteSelect(t *testing.T) {
 
 func TestRemoteSemijoin(t *testing.T) {
 	clients := startDMVServers(t)
-	got, err := clients[1].Semijoin(cond.MustParse("V = 'sp'"), set.New("J55", "T80", "T21"))
+	got, err := clients[1].Semijoin(context.Background(), cond.MustParse("V = 'sp'"), set.New("J55", "T80", "T21"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,11 +85,11 @@ func TestRemoteSemijoin(t *testing.T) {
 
 func TestRemoteBinding(t *testing.T) {
 	clients := startDMVServers(t)
-	ok, err := clients[0].SelectBinding(cond.MustParse("V = 'dui'"), "J55")
+	ok, err := clients[0].SelectBinding(context.Background(), cond.MustParse("V = 'dui'"), "J55")
 	if err != nil || !ok {
 		t.Fatalf("binding = %v, %v", ok, err)
 	}
-	ok, err = clients[0].SelectBinding(cond.MustParse("V = 'dui'"), "T21")
+	ok, err = clients[0].SelectBinding(context.Background(), cond.MustParse("V = 'dui'"), "T21")
 	if err != nil || ok {
 		t.Fatalf("binding = %v, %v, want false", ok, err)
 	}
@@ -96,14 +97,14 @@ func TestRemoteBinding(t *testing.T) {
 
 func TestRemoteLoadAndFetch(t *testing.T) {
 	clients := startDMVServers(t)
-	rel, err := clients[2].Load()
+	rel, err := clients[2].Load(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rel.Len() != 3 {
 		t.Fatalf("remote lq = %d tuples, want 3", rel.Len())
 	}
-	tuples, err := clients[2].Fetch(set.New("S07"))
+	tuples, err := clients[2].Fetch(context.Background(), set.New("S07"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,12 +115,12 @@ func TestRemoteLoadAndFetch(t *testing.T) {
 
 func TestRemoteConditionError(t *testing.T) {
 	clients := startDMVServers(t)
-	_, err := clients[0].Select(cond.MustParse("Nope = 1"))
+	_, err := clients[0].Select(context.Background(), cond.MustParse("Nope = 1"))
 	if err == nil || !strings.Contains(err.Error(), "remote") {
 		t.Fatalf("err = %v, want remote error", err)
 	}
 	// The connection stays usable after a remote error.
-	if _, err := clients[0].Select(cond.MustParse("V = 'dui'")); err != nil {
+	if _, err := clients[0].Select(context.Background(), cond.MustParse("V = 'dui'")); err != nil {
 		t.Fatalf("connection unusable after error: %v", err)
 	}
 }
@@ -136,7 +137,7 @@ func TestEndToEndOverTCP(t *testing.T) {
 			Support: stats.SupportOf(c.Caps()),
 		}
 	}
-	table, err := stats.BuildFromSources(sc.Conds, clients, profiles)
+	table, err := stats.BuildFromSources(context.Background(), sc.Conds, clients, profiles)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestEndToEndOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	ex := &exec.Executor{Sources: clients}
-	got, err := ex.Run(res.Plan)
+	got, err := ex.Run(context.Background(), res.Plan)
 	if err != nil {
 		t.Fatalf("run over TCP: %v\nplan:\n%s", err, res.Plan)
 	}
@@ -158,7 +159,7 @@ func TestEndToEndOverTCP(t *testing.T) {
 		t.Fatalf("answer = %v, want %v", got.Answer, want)
 	}
 	// Second phase over the wire.
-	full, err := exec.FetchAnswer(got.Answer, clients)
+	full, err := exec.FetchAnswer(context.Background(), got.Answer, clients)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,10 +181,10 @@ func TestCapabilityEnforcedClientSide(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cli.Close()
-	if _, err := cli.Semijoin(cond.MustParse("V = 'sp'"), set.New("a")); !errors.Is(err, source.ErrUnsupported) {
+	if _, err := cli.Semijoin(context.Background(), cond.MustParse("V = 'sp'"), set.New("a")); !errors.Is(err, source.ErrUnsupported) {
 		t.Fatalf("err = %v, want ErrUnsupported", err)
 	}
-	if _, err := cli.SelectBinding(cond.MustParse("V = 'sp'"), "a"); !errors.Is(err, source.ErrUnsupported) {
+	if _, err := cli.SelectBinding(context.Background(), cond.MustParse("V = 'sp'"), "a"); !errors.Is(err, source.ErrUnsupported) {
 		t.Fatalf("err = %v, want ErrUnsupported", err)
 	}
 }
@@ -207,7 +208,7 @@ func TestRemoteBloomSemijoin(t *testing.T) {
 	}
 	y := set.New("J55", "T21", "T80")
 	f := bloom.FromItems(y.Items(), bloom.DefaultBitsPerItem)
-	got, err := cli.SemijoinBloom(cond.MustParse("V = 'dui'"), f)
+	got, err := cli.SemijoinBloom(context.Background(), cond.MustParse("V = 'dui'"), f)
 	if err != nil {
 		t.Fatalf("remote bloom semijoin: %v", err)
 	}
@@ -217,21 +218,21 @@ func TestRemoteBloomSemijoin(t *testing.T) {
 	}
 	// Capability enforced client side.
 	plain := startDMVServers(t)[0].(*Client)
-	if _, err := plain.SemijoinBloom(cond.MustParse("V = 'dui'"), f); !errors.Is(err, source.ErrUnsupported) {
+	if _, err := plain.SemijoinBloom(context.Background(), cond.MustParse("V = 'dui'"), f); !errors.Is(err, source.ErrUnsupported) {
 		t.Fatalf("err = %v, want ErrUnsupported", err)
 	}
 }
 
 func TestRemoteRecordQueries(t *testing.T) {
 	clients := startDMVServers(t)
-	tuples, err := clients[0].SelectRecords(cond.MustParse("V = 'dui'"))
+	tuples, err := clients[0].SelectRecords(context.Background(), cond.MustParse("V = 'dui'"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(tuples) != 2 {
 		t.Fatalf("remote SelectRecords = %d tuples, want 2", len(tuples))
 	}
-	tuples, err = clients[0].SemijoinRecords(cond.MustParse("V = 'dui'"), set.New("J55", "T21"))
+	tuples, err = clients[0].SemijoinRecords(context.Background(), cond.MustParse("V = 'dui'"), set.New("J55", "T21"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +295,7 @@ func TestServerUnknownOp(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cli.Close()
-	if _, err := cli.roundTrip(Request{Op: "bogus"}); err == nil {
+	if _, err := cli.roundTrip(context.Background(), Request{Op: "bogus"}); err == nil {
 		t.Fatal("unknown op should error")
 	}
 }
@@ -323,7 +324,7 @@ func TestConcurrentClientsAndCalls(t *testing.T) {
 			go func(cli *Client) {
 				defer wg.Done()
 				for i := 0; i < 20; i++ {
-					got, err := cli.Select(cond.MustParse("V = 'dui'"))
+					got, err := cli.Select(context.Background(), cond.MustParse("V = 'dui'"))
 					if err != nil {
 						errs <- err
 						return
@@ -360,7 +361,7 @@ func TestClientReconnects(t *testing.T) {
 	cli.mu.Lock()
 	cli.conn.Close()
 	cli.mu.Unlock()
-	got, err := cli.Select(cond.MustParse("V = 'dui'"))
+	got, err := cli.Select(context.Background(), cond.MustParse("V = 'dui'"))
 	if err != nil {
 		t.Fatalf("reconnect failed: %v", err)
 	}

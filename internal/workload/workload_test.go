@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"testing"
 
 	"fusionq/internal/set"
@@ -16,14 +17,14 @@ func TestDMVScenario(t *testing.T) {
 		t.Fatalf("SourceNames = %v", got)
 	}
 	// Verify the Figure 1 contents via the wrappers.
-	dui, err := sc.Sources[0].Select(sc.Conds[0])
+	dui, err := sc.Sources[0].Select(context.Background(), sc.Conds[0])
 	if err != nil {
 		t.Fatal(err)
 	}
 	if want := set.New("J55", "T80"); !dui.Equal(want) {
 		t.Fatalf("R1 dui items = %v, want %v", dui, want)
 	}
-	sp, err := sc.Sources[2].Select(sc.Conds[1])
+	sp, err := sc.Sources[2].Select(context.Background(), sc.Conds[1])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,11 +44,11 @@ func TestSynthDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	for j := range a.Sources {
-		sa, err := a.Sources[j].Select(a.Conds[0])
+		sa, err := a.Sources[j].Select(context.Background(), a.Conds[0])
 		if err != nil {
 			t.Fatal(err)
 		}
-		sb, err := b.Sources[j].Select(b.Conds[0])
+		sb, err := b.Sources[j].Select(context.Background(), b.Conds[0])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -65,7 +66,7 @@ func TestSynthSelectivityRoughlyHolds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	items, err := sc.Sources[0].Select(sc.Conds[0])
+	items, err := sc.Sources[0].Select(context.Background(), sc.Conds[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestSynthBackendsAgree(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := sc.Sources[0].Select(sc.Conds[0])
+		got, err := sc.Sources[0].Select(context.Background(), sc.Conds[0])
 		if err != nil {
 			t.Fatal(err)
 		}
