@@ -14,6 +14,8 @@
 //	-addr addr   listen address (default 127.0.0.1:7070)
 //	-caps tier   native | bindings | none (what the wrapper advertises)
 //	-cache       answer repeated queries from a server-side cache
+//	-admin addr  serve /metrics (Prometheus text), /metrics.json and
+//	             /healthz on this address (e.g. 127.0.0.1:9090)
 //	-drain d     graceful-shutdown budget on SIGINT/SIGTERM (default 5s)
 //
 // On SIGINT or SIGTERM the server stops accepting connections and waits up
@@ -25,6 +27,11 @@
 // queries from any mediator are answered without touching the relation.
 // The cache is only as fresh as the served CSV, which this process never
 // mutates, so it is always consistent here.
+//
+// With -admin, the process exposes its metrics registry over HTTP: wire
+// request counts and latency per op, plus — when -cache is on — the cache's
+// hit/miss counters. Request log lines carry the mediator's query ID
+// (qid=...), so server-side logs correlate with mediator-side traces.
 package main
 
 import (
@@ -40,29 +47,31 @@ import (
 
 	"fusionq/internal/csvio"
 	"fusionq/internal/exec"
+	"fusionq/internal/obs"
 	"fusionq/internal/source"
 	"fusionq/internal/wire"
 )
 
 func main() {
 	var (
-		csvPath  = flag.String("csv", "", "CSV file to serve (required)")
-		name     = flag.String("name", "", "source name (default: file basename)")
-		merge    = flag.String("merge", "", "merge attribute (default: first column)")
-		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
-		capsFlag = flag.String("caps", "native", "capabilities: native | bindings | none")
-		cache    = flag.Bool("cache", false, "answer repeated queries from a server-side cache")
-		drain    = flag.Duration("drain", 5*time.Second, "graceful-shutdown budget on SIGINT/SIGTERM")
+		csvPath   = flag.String("csv", "", "CSV file to serve (required)")
+		name      = flag.String("name", "", "source name (default: file basename)")
+		merge     = flag.String("merge", "", "merge attribute (default: first column)")
+		addr      = flag.String("addr", "127.0.0.1:7070", "listen address")
+		capsFlag  = flag.String("caps", "native", "capabilities: native | bindings | none")
+		cache     = flag.Bool("cache", false, "answer repeated queries from a server-side cache")
+		adminAddr = flag.String("admin", "", "serve /metrics and /healthz on this address")
+		drain     = flag.Duration("drain", 5*time.Second, "graceful-shutdown budget on SIGINT/SIGTERM")
 	)
 	flag.Parse()
-	if err := run(*csvPath, *name, *merge, *addr, *capsFlag, *cache, *drain); err != nil {
+	if err := run(*csvPath, *name, *merge, *addr, *capsFlag, *cache, *adminAddr, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "fqsource: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(csvPath, name, merge, addr, capsFlag string, cache bool, drain time.Duration) error {
-	srv, err := start(csvPath, name, merge, addr, capsFlag, cache)
+func run(csvPath, name, merge, addr, capsFlag string, cache bool, adminAddr string, drain time.Duration) error {
+	srv, admin, err := start(csvPath, name, merge, addr, capsFlag, cache, adminAddr)
 	if err != nil {
 		return err
 	}
@@ -76,21 +85,25 @@ func run(csvPath, name, merge, addr, capsFlag string, cache bool, drain time.Dur
 		<-sig
 		cancel()
 	}()
+	if admin != nil {
+		admin.Close()
+	}
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "fqsource: forced shutdown: %v\n", err)
 	}
 	return nil
 }
 
-// start loads the relation and begins serving it; callers own the returned
-// server's lifetime.
-func start(csvPath, name, merge, addr, capsFlag string, cache bool) (*wire.Server, error) {
+// start loads the relation and begins serving it, plus the admin listener
+// when adminAddr is non-empty; callers own both returned servers' lifetimes
+// (the admin server is nil without -admin).
+func start(csvPath, name, merge, addr, capsFlag string, cache bool, adminAddr string) (*wire.Server, *obs.AdminServer, error) {
 	if csvPath == "" {
-		return nil, fmt.Errorf("-csv is required")
+		return nil, nil, fmt.Errorf("-csv is required")
 	}
 	rel, err := csvio.Load(csvPath, merge)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if name == "" {
 		name = strings.TrimSuffix(filepath.Base(csvPath), filepath.Ext(csvPath))
@@ -104,17 +117,27 @@ func start(csvPath, name, merge, addr, capsFlag string, cache bool) (*wire.Serve
 	case "none":
 		caps = source.Capabilities{}
 	default:
-		return nil, fmt.Errorf("unknown capability tier %q", capsFlag)
+		return nil, nil, fmt.Errorf("unknown capability tier %q", capsFlag)
 	}
 
 	var src source.Source = source.NewWrapper(name, source.NewRowBackend(rel), caps)
 	if cache {
 		src = exec.NewCachedSource(src, exec.NewCache())
 	}
-	srv, err := wire.Serve(src, addr)
+	reg := obs.NewRegistry()
+	srv, err := wire.ServeConfig(src, addr, wire.Config{Metrics: reg})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	var admin *obs.AdminServer
+	if adminAddr != "" {
+		admin, err = obs.ServeAdmin(adminAddr, reg)
+		if err != nil {
+			srv.Close()
+			return nil, nil, err
+		}
+		fmt.Printf("admin endpoint on http://%s/metrics\n", admin.Addr())
 	}
 	fmt.Printf("serving %s (%d tuples, %s) on %s\n", name, rel.Len(), caps, srv.Addr())
-	return srv, nil
+	return srv, admin, nil
 }

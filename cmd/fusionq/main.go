@@ -24,6 +24,9 @@
 //	-explain        print the plan without executing it
 //	-fetch          run the second phase and print the full records
 //	-timeout d      per-query wall-clock budget (e.g. 5s; 0 means none)
+//	-trace-json f   write the query's span trace (query → plan phases →
+//	                steps → retry attempts → exchanges) as JSON to f
+//	                ("-" for stdout), for offline analysis
 package main
 
 import (
@@ -56,21 +59,22 @@ func (s *stringList) Set(v string) error {
 
 func main() {
 	var (
-		csvs     stringList
-		remotes  stringList
-		sql      = flag.String("sql", "", "fusion query in SQL form (required)")
-		merge    = flag.String("merge", "", "merge attribute for CSV sources (default: first column)")
-		algo     = flag.String("algo", "sja+", "optimization algorithm")
-		capsFlag = flag.String("caps", "native", "CSV source capabilities: native | bindings | none")
-		parallel = flag.Bool("parallel", false, "execute rounds concurrently")
-		conns    = flag.Int("conns", 0, "per-source connection capacity for -parallel (0: use each link's MaxConns)")
-		cache    = flag.Bool("cache", false, "answer repeated source queries from the mediator's cache")
-		catalogF = flag.String("catalog", "", "JSON catalog of sources (replaces -csv/-remote)")
-		explain  = flag.Bool("explain", false, "print the plan, do not execute")
-		timeout  = flag.Duration("timeout", 0, "per-query wall-clock budget (0: none)")
-		fetch    = flag.Bool("fetch", false, "run the second phase and print full records")
-		trace    = flag.Bool("trace", false, "print a per-step execution trace")
-		shell    = flag.Bool("i", false, "interactive shell: read SQL statements from stdin")
+		csvs      stringList
+		remotes   stringList
+		sql       = flag.String("sql", "", "fusion query in SQL form (required)")
+		merge     = flag.String("merge", "", "merge attribute for CSV sources (default: first column)")
+		algo      = flag.String("algo", "sja+", "optimization algorithm")
+		capsFlag  = flag.String("caps", "native", "CSV source capabilities: native | bindings | none")
+		parallel  = flag.Bool("parallel", false, "execute rounds concurrently")
+		conns     = flag.Int("conns", 0, "per-source connection capacity for -parallel (0: use each link's MaxConns)")
+		cache     = flag.Bool("cache", false, "answer repeated source queries from the mediator's cache")
+		catalogF  = flag.String("catalog", "", "JSON catalog of sources (replaces -csv/-remote)")
+		explain   = flag.Bool("explain", false, "print the plan, do not execute")
+		timeout   = flag.Duration("timeout", 0, "per-query wall-clock budget (0: none)")
+		fetch     = flag.Bool("fetch", false, "run the second phase and print full records")
+		trace     = flag.Bool("trace", false, "print a per-step execution trace")
+		traceJSON = flag.String("trace-json", "", `write the query's span trace as JSON to this file ("-" for stdout)`)
+		shell     = flag.Bool("i", false, "interactive shell: read SQL statements from stdin")
 	)
 	flag.Var(&csvs, "csv", "local CSV source file (repeatable)")
 	flag.Var(&remotes, "remote", "remote source address (repeatable)")
@@ -90,8 +94,8 @@ func main() {
 		}
 		return
 	}
-	opts := core.Options{Algorithm: core.Algorithm(*algo), Parallel: *parallel, Conns: *conns, Cache: *cache, Trace: *trace, Timeout: *timeout}
-	if err := run(*sql, csvs, remotes, *catalogF, *merge, *capsFlag, opts, *explain, *fetch); err != nil {
+	opts := core.Options{Algorithm: core.Algorithm(*algo), Parallel: *parallel, Conns: *conns, Cache: *cache, Trace: *trace, Spans: *traceJSON != "", Timeout: *timeout}
+	if err := run(*sql, csvs, remotes, *catalogF, *merge, *capsFlag, opts, *explain, *fetch, *traceJSON); err != nil {
 		fmt.Fprintf(os.Stderr, "fusionq: %v\n", err)
 		os.Exit(1)
 	}
@@ -110,7 +114,7 @@ func parseCaps(tier string) (source.Capabilities, error) {
 	}
 }
 
-func run(sql string, csvs, remotes []string, catalogPath, merge, capsFlag string, opts core.Options, explain, fetch bool) error {
+func run(sql string, csvs, remotes []string, catalogPath, merge, capsFlag string, opts core.Options, explain, fetch bool, traceJSON string) error {
 	if sql == "" {
 		return fmt.Errorf("-sql is required")
 	}
@@ -135,8 +139,18 @@ func run(sql string, csvs, remotes []string, catalogPath, merge, capsFlag string
 	}
 
 	ans, err := m.Query(sql, opts)
+	if ans != nil && traceJSON != "" {
+		// A failed query that reached execution still has a partial trace
+		// worth exporting.
+		if werr := writeTrace(ans, traceJSON); werr != nil && err == nil {
+			err = werr
+		}
+	}
 	if err != nil {
 		return err
+	}
+	if opts.Spans {
+		fmt.Printf("query id: %s\n", ans.QueryID)
 	}
 	fmt.Printf("answer (%d items): %s\n", ans.Items.Len(), ans.Items)
 	fmt.Printf("plan class: %s, estimated cost %.4f s\n", ans.Plan.Class, ans.EstimatedCost)
@@ -163,6 +177,24 @@ func run(sql string, csvs, remotes []string, catalogPath, merge, capsFlag string
 		fmt.Printf("\nphase two: %d full records\n%s", full.Len(), full)
 	}
 	return nil
+}
+
+// writeTrace exports the answer's span trace as JSON to path ("-" means
+// stdout).
+func writeTrace(ans *core.Answer, path string) error {
+	if ans.Trace == nil {
+		return nil
+	}
+	data, err := ans.Trace.JSON()
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // assemble builds the mediator either from a catalog file or from the

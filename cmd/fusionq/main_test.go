@@ -1,11 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"fusionq/internal/core"
+	"fusionq/internal/obs"
 	"fusionq/internal/source"
 	"fusionq/internal/wire"
 	"fusionq/internal/workload"
@@ -36,7 +38,7 @@ func writeCSVs(t *testing.T) []string {
 func TestRunEndToEnd(t *testing.T) {
 	csvs := writeCSVs(t)
 	for _, algo := range []string{"filter", "sja", "sja+", "rt-sja"} {
-		if err := run(dmvSQL, csvs, nil, "", "", "native", core.Options{Algorithm: core.Algorithm(algo), Trace: true}, false, true); err != nil {
+		if err := run(dmvSQL, csvs, nil, "", "", "native", core.Options{Algorithm: core.Algorithm(algo), Trace: true}, false, true, ""); err != nil {
 			t.Fatalf("algo %s: %v", algo, err)
 		}
 	}
@@ -44,18 +46,18 @@ func TestRunEndToEnd(t *testing.T) {
 
 func TestRunExplain(t *testing.T) {
 	csvs := writeCSVs(t)
-	if err := run(dmvSQL, csvs, nil, "", "", "bindings", core.Options{Algorithm: "sja"}, true, false); err != nil {
+	if err := run(dmvSQL, csvs, nil, "", "", "bindings", core.Options{Algorithm: "sja"}, true, false, ""); err != nil {
 		t.Fatalf("explain: %v", err)
 	}
 }
 
 func TestRunParallel(t *testing.T) {
 	csvs := writeCSVs(t)
-	if err := run(dmvSQL, csvs, nil, "", "", "none", core.Options{Algorithm: "filter", Parallel: true, Trace: true}, false, false); err != nil {
+	if err := run(dmvSQL, csvs, nil, "", "", "none", core.Options{Algorithm: "filter", Parallel: true, Trace: true}, false, false, ""); err != nil {
 		t.Fatalf("parallel: %v", err)
 	}
 	opts := core.Options{Algorithm: "sja", Parallel: true, Conns: 2, Cache: true}
-	if err := run(dmvSQL, csvs, nil, "", "", "bindings", opts, false, false); err != nil {
+	if err := run(dmvSQL, csvs, nil, "", "", "bindings", opts, false, false, ""); err != nil {
 		t.Fatalf("parallel conns+cache: %v", err)
 	}
 }
@@ -70,8 +72,41 @@ func TestRunWithRemoteSource(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	if err := run(dmvSQL, csvs[:2], []string{srv.Addr()}, "", "", "native", core.Options{Algorithm: "sja+"}, false, false); err != nil {
+	if err := run(dmvSQL, csvs[:2], []string{srv.Addr()}, "", "", "native", core.Options{Algorithm: "sja+"}, false, false, ""); err != nil {
 		t.Fatalf("remote mix: %v", err)
+	}
+}
+
+// TestRunTraceJSON exports a span trace and checks its shape: one root
+// query span whose query ID every span shares, with plan/execute phases and
+// at least one step beneath.
+func TestRunTraceJSON(t *testing.T) {
+	csvs := writeCSVs(t)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	opts := core.Options{Algorithm: "sja", Spans: true}
+	if err := run(dmvSQL, csvs, nil, "", "", "native", opts, false, false, path); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans []obs.SpanData
+	if err := json.Unmarshal(data, &spans); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if len(spans) < 4 {
+		t.Fatalf("trace has %d spans, want query+phases+steps", len(spans))
+	}
+	kinds := map[string]int{}
+	for _, sp := range spans {
+		kinds[sp.Kind]++
+		if sp.QueryID == "" || sp.QueryID != spans[0].QueryID {
+			t.Fatalf("span %d qid %q diverges from %q", sp.ID, sp.QueryID, spans[0].QueryID)
+		}
+	}
+	if kinds[obs.KindQuery] != 1 || kinds[obs.KindPhase] < 2 || kinds[obs.KindStep] < 1 {
+		t.Fatalf("span kinds = %v", kinds)
 	}
 }
 
@@ -82,25 +117,25 @@ func TestRunErrors(t *testing.T) {
 		f    func() error
 	}{
 		{"no sql", func() error {
-			return run("", csvs, nil, "", "", "native", core.Options{Algorithm: "sja"}, false, false)
+			return run("", csvs, nil, "", "", "native", core.Options{Algorithm: "sja"}, false, false, "")
 		}},
 		{"no sources", func() error {
-			return run(dmvSQL, nil, nil, "", "", "native", core.Options{Algorithm: "sja"}, false, false)
+			return run(dmvSQL, nil, nil, "", "", "native", core.Options{Algorithm: "sja"}, false, false, "")
 		}},
 		{"bad caps", func() error {
-			return run(dmvSQL, csvs, nil, "", "", "wizard", core.Options{Algorithm: "sja"}, false, false)
+			return run(dmvSQL, csvs, nil, "", "", "wizard", core.Options{Algorithm: "sja"}, false, false, "")
 		}},
 		{"bad algo", func() error {
-			return run(dmvSQL, csvs, nil, "", "", "native", core.Options{Algorithm: "wizard"}, false, false)
+			return run(dmvSQL, csvs, nil, "", "", "native", core.Options{Algorithm: "wizard"}, false, false, "")
 		}},
 		{"missing file", func() error {
-			return run(dmvSQL, []string{"/nonexistent/x.csv"}, nil, "", "", "native", core.Options{Algorithm: "sja"}, false, false)
+			return run(dmvSQL, []string{"/nonexistent/x.csv"}, nil, "", "", "native", core.Options{Algorithm: "sja"}, false, false, "")
 		}},
 		{"bad remote", func() error {
-			return run(dmvSQL, nil, []string{"127.0.0.1:1"}, "", "", "native", core.Options{Algorithm: "sja"}, false, false)
+			return run(dmvSQL, nil, []string{"127.0.0.1:1"}, "", "", "native", core.Options{Algorithm: "sja"}, false, false, "")
 		}},
 		{"not fusion", func() error {
-			return run("SELECT u1.V FROM U u1", csvs, nil, "", "", "native", core.Options{Algorithm: "sja"}, false, false)
+			return run("SELECT u1.V FROM U u1", csvs, nil, "", "", "native", core.Options{Algorithm: "sja"}, false, false, "")
 		}},
 	}
 	for _, c := range cases {
@@ -121,7 +156,7 @@ func TestRunIncompatibleSchemas(t *testing.T) {
 		t.Fatal(err)
 	}
 	sql := "SELECT u1.L FROM U u1 WHERE u1.V = 'dui'"
-	if err := run(sql, []string{a, b}, nil, "", "", "native", core.Options{Algorithm: "sja"}, false, false); err == nil {
+	if err := run(sql, []string{a, b}, nil, "", "", "native", core.Options{Algorithm: "sja"}, false, false, ""); err == nil {
 		t.Fatal("incompatible schemas should fail")
 	}
 }
@@ -140,10 +175,10 @@ func TestRunWithCatalog(t *testing.T) {
 	if err := os.WriteFile(path, []byte(catJSON), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(dmvSQL, nil, nil, path, "", "native", core.Options{Algorithm: "sja"}, false, false); err != nil {
+	if err := run(dmvSQL, nil, nil, path, "", "native", core.Options{Algorithm: "sja"}, false, false, ""); err != nil {
 		t.Fatalf("catalog run: %v", err)
 	}
-	if err := run(dmvSQL, nil, nil, "/nonexistent.json", "", "native", core.Options{Algorithm: "sja"}, false, false); err == nil {
+	if err := run(dmvSQL, nil, nil, "/nonexistent.json", "", "native", core.Options{Algorithm: "sja"}, false, false, ""); err == nil {
 		t.Fatal("missing catalog should fail")
 	}
 }

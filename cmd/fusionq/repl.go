@@ -19,6 +19,7 @@ import (
 //	\algo NAME       switch the optimization algorithm
 //	\trace on|off    toggle per-step execution traces
 //	\parallel on|off toggle parallel round execution
+//	\cache on|off    toggle the mediator answer cache
 //	\explain SQL     print the plan for SQL without executing
 //	\help            list commands
 //	\quit            exit
@@ -35,7 +36,7 @@ func repl(m *core.Mediator, in io.Reader, out io.Writer, opts core.Options) erro
 		case line == `\quit` || line == `\q`:
 			return nil
 		case line == `\help`:
-			fmt.Fprintln(out, `commands: \algo NAME, \trace on|off, \parallel on|off, \explain SQL, \quit`)
+			fmt.Fprintln(out, `commands: \algo NAME, \trace on|off, \parallel on|off, \cache on|off, \explain SQL, \quit`)
 		case strings.HasPrefix(line, `\algo `):
 			opts.Algorithm = core.Algorithm(strings.TrimSpace(strings.TrimPrefix(line, `\algo `)))
 			fmt.Fprintf(out, "algorithm: %s\n", opts.Algorithm)
@@ -45,6 +46,9 @@ func repl(m *core.Mediator, in io.Reader, out io.Writer, opts core.Options) erro
 		case strings.HasPrefix(line, `\parallel`):
 			opts.Parallel = strings.Contains(line, "on")
 			fmt.Fprintf(out, "parallel: %v\n", opts.Parallel)
+		case strings.HasPrefix(line, `\cache`):
+			opts.Cache = strings.Contains(line, "on")
+			fmt.Fprintf(out, "cache: %v\n", opts.Cache)
 		case strings.HasPrefix(line, `\explain `):
 			sql := strings.TrimPrefix(line, `\explain `)
 			if err := replExplain(m, out, sql, opts); err != nil {
@@ -83,6 +87,12 @@ func replQuery(m *core.Mediator, out io.Writer, sql string, opts core.Options) e
 	fmt.Fprintf(out, "answer (%d items): %s\n", ans.Items.Len(), ans.Items)
 	fmt.Fprintf(out, "plan: %s, estimated %.4f s, %d queries, total work %v\n",
 		ans.Plan.Class, ans.EstimatedCost, ans.Exec.SourceQueries, ans.Exec.TotalWork)
+	if opts.Cache {
+		// Per-query counters from Answer.Exec, deliberately NOT the shared
+		// cache's cumulative Stats(): the cache itself outlives queries in a
+		// REPL session, but each answer reports only its own consultations.
+		fmt.Fprintf(out, "cache: %d hits, %d misses\n", ans.Exec.CacheHits, ans.Exec.CacheMisses)
+	}
 	if opts.Trace {
 		fmt.Fprint(out, exec.RenderTrace(ans.Exec.Trace))
 	}

@@ -21,6 +21,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -29,6 +30,7 @@ import (
 	"fusionq/internal/cond"
 	"fusionq/internal/exec"
 	"fusionq/internal/netsim"
+	"fusionq/internal/obs"
 	"fusionq/internal/optimizer"
 	"fusionq/internal/plan"
 	"fusionq/internal/relation"
@@ -118,6 +120,11 @@ type Options struct {
 	HistogramStats bool
 	// Trace records a per-step execution trace in Answer.Exec.Trace.
 	Trace bool
+	// Spans records a span trace of the whole query — planning phases, plan
+	// steps, retry attempts and source exchanges — in Answer.Trace. When the
+	// caller's context already carries a trace (obs.With), spans go there
+	// instead and this option is redundant.
+	Spans bool
 	// Retries re-issues steps whose source queries fail transiently
 	// (source.ErrTransient) up to this many times each. Context
 	// cancellation is never retried.
@@ -142,6 +149,13 @@ type Options struct {
 
 // Answer is the result of one fusion query.
 type Answer struct {
+	// QueryID is the identifier minted for this query. Every span the query
+	// recorded — and, for wire-backed sources, every server-side log line —
+	// carries it.
+	QueryID string
+	// Trace holds the query's span trace when Options.Spans was set (or the
+	// caller's context carried a trace); nil otherwise.
+	Trace *obs.Trace
 	// Items are the merge-attribute values satisfying all conditions.
 	Items set.Set
 	// Plan is the executed plan.
@@ -171,6 +185,9 @@ type Mediator struct {
 	profiles []stats.SourceProfile
 	network  *netsim.Network
 	cache    *exec.Cache
+	metrics  *obs.Registry
+
+	describeOnce sync.Once
 }
 
 // New creates a mediator exporting the given common schema.
@@ -191,6 +208,30 @@ func (m *Mediator) Network() *netsim.Network {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return m.network
+}
+
+// SetMetrics attaches a metrics registry receiving the mediator's query,
+// scheduler, cache and exchange metrics. Without one, metrics go to the
+// process-wide obs.Default() registry. A context-carried registry (obs.With)
+// takes precedence for that query.
+func (m *Mediator) SetMetrics(reg *obs.Registry) {
+	obs.DescribeAll(reg)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.metrics = reg
+}
+
+// metricsRegistry resolves the registry queries emit to, registering the
+// canonical metric descriptions on first use.
+func (m *Mediator) metricsRegistry() *obs.Registry {
+	m.mu.RLock()
+	reg := m.metrics
+	m.mu.RUnlock()
+	if reg == nil {
+		reg = obs.Default()
+	}
+	m.describeOnce.Do(func() { obs.DescribeAll(reg) })
+	return reg
 }
 
 // Cache returns the mediator's persistent answer cache, creating it on
@@ -433,32 +474,84 @@ func (m *Mediator) QueryCondsContext(ctx context.Context, conds []cond.Cond, opt
 		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
 		defer cancel()
 	}
+	// Each query gets a fresh identity. The trace and registry are inherited
+	// from the caller's context when present (cmd/fqbench installs one pair
+	// for a whole run), created or defaulted otherwise.
+	parent := obs.From(ctx)
+	o := &obs.Obs{QueryID: obs.NewQueryID(), Trace: parent.Trace, Metrics: parent.Metrics}
+	if o.Trace == nil && opts.Spans {
+		o.Trace = obs.NewTrace()
+	}
+	if o.Metrics == nil {
+		o.Metrics = m.metricsRegistry()
+	}
+	ctx = obs.With(ctx, o)
+
+	qctx, qspan := obs.StartSpan(ctx, obs.KindQuery, "fusion query")
+	start := time.Now()
+	ans, err := m.queryConds(qctx, conds, opts)
+	qspan.End(err)
+	o.Metrics.Counter(obs.MQueries, "status", queryStatus(err)).Inc()
+	o.Metrics.Histogram(obs.MQuerySeconds).Observe(time.Since(start).Seconds())
+	if ans != nil {
+		ans.QueryID = o.QueryID
+		ans.Trace = o.Trace
+	}
+	return ans, err
+}
+
+// queryStatus classifies a query's outcome for the fq_queries_total label.
+func queryStatus(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "cancel"
+	default:
+		return "error"
+	}
+}
+
+// queryConds is the body of QueryCondsContext, running with the query's Obs
+// installed in ctx.
+func (m *Mediator) queryConds(ctx context.Context, conds []cond.Cond, opts Options) (*Answer, error) {
 	r := m.snapshot(opts.Cache)
 	if opts.Adaptive {
-		pr, err := m.problem(ctx, r, conds, opts)
+		pctx, psp := obs.StartSpan(ctx, obs.KindPhase, "plan")
+		pr, err := m.problem(pctx, r, conds, opts)
+		psp.End(err)
 		if err != nil {
 			return nil, err
 		}
 		ex := &exec.Executor{Sources: r.sources, Network: r.network, Parallel: opts.Parallel, Conns: opts.Conns, Cache: r.cache, Retries: opts.Retries}
-		run, executed, err := ex.RunAdaptive(ctx, pr)
+		ectx, esp := obs.StartSpan(ctx, obs.KindPhase, "execute")
+		run, executed, err := ex.RunAdaptive(ectx, pr)
+		esp.End(err)
 		if err != nil {
 			return partialAnswer(run, executed), err
 		}
 		return &Answer{Items: run.Answer, Plan: executed, Exec: run}, nil
 	}
-	res, err := m.plan(ctx, r, conds, opts)
+	pctx, psp := obs.StartSpan(ctx, obs.KindPhase, "plan")
+	res, err := m.plan(pctx, r, conds, opts)
+	psp.End(err)
 	if err != nil {
 		return nil, err
 	}
 	ex := &exec.Executor{Sources: r.sources, Network: r.network, Parallel: opts.Parallel, Conns: opts.Conns, Cache: r.cache, Trace: opts.Trace, Retries: opts.Retries}
+	ectx, esp := obs.StartSpan(ctx, obs.KindPhase, "execute")
 	if opts.CombinedFetch {
-		run, records, err := ex.RunCombined(ctx, res.Plan)
+		run, records, err := ex.RunCombined(ectx, res.Plan)
+		esp.End(err)
 		if err != nil {
 			return partialAnswer(run, res.Plan), err
 		}
 		return &Answer{Items: run.Answer, Plan: res.Plan, EstimatedCost: res.Cost, Exec: run, Records: records}, nil
 	}
-	run, err := ex.Run(ctx, res.Plan)
+	run, err := ex.Run(ectx, res.Plan)
+	esp.End(err)
 	if err != nil {
 		return partialAnswer(run, res.Plan), err
 	}

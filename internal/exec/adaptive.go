@@ -8,6 +8,7 @@ import (
 
 	"fusionq/internal/bloom"
 	"fusionq/internal/netsim"
+	"fusionq/internal/obs"
 	"fusionq/internal/optimizer"
 	"fusionq/internal/plan"
 	"fusionq/internal/set"
@@ -76,6 +77,7 @@ func (e *Executor) RunAdaptive(ctx context.Context, pr *optimizer.Problem) (*Res
 		res.SourceQueries += qs.queries
 		res.CacheHits += qs.hits
 		res.CacheMisses += qs.misses
+		res.Retries += qs.retries
 	}
 	// charge flushes a failed query's statistics: the attempts reached the
 	// source, so the partial Result must report them.
@@ -83,6 +85,7 @@ func (e *Executor) RunAdaptive(ctx context.Context, pr *optimizer.Problem) (*Res
 		res.SourceQueries += qs.queries
 		res.CacheHits += qs.hits
 		res.CacheMisses += qs.misses
+		res.Retries += qs.retries
 	}
 
 	// query issues one adaptive source query. Adaptive rounds issue their
@@ -213,7 +216,9 @@ func (e *Executor) RunAdaptive(ctx context.Context, pr *optimizer.Problem) (*Res
 // semijoins retry per binding inside semijoinQuery, so the whole-call retry
 // budget is zeroed for them; failed attempts stay charged in the returned
 // stats. Context errors are never transient, so cancellation stops the
-// retry loop at once.
+// retry loop at once. Each call is a step span (re-attempts get attempt
+// spans beneath it) and emits the same per-source counters as planned-mode
+// steps.
 func (e *Executor) sourceQuery(ctx context.Context, pr *optimizer.Problem, ci, j int, method optimizer.Method, x set.Set) (set.Set, queryStats, error) {
 	src := e.Sources[j]
 	budget := e.Retries
@@ -222,42 +227,66 @@ func (e *Executor) sourceQuery(ctx context.Context, pr *optimizer.Problem, ci, j
 			budget = 0
 		}
 	}
+	sctx, span := obs.StartSpan(ctx, obs.KindStep, fmt.Sprintf("adaptive %s(c%d) @ %s", method, ci+1, src.Name()))
+	span.SetAttr("source", src.Name())
+
 	var acc queryStats
+	var out set.Set
+	var err error
 	for attempt := 0; ; attempt++ {
-		var (
-			out set.Set
-			qs  queryStats
-			err error
-		)
-		switch method {
-		case optimizer.MethodSelect:
-			out, qs, err = e.selectQuery(ctx, j, pr.Conds[ci])
-		case optimizer.MethodBloom:
-			filter := bloom.FromItems(x.Items(), bloom.DefaultBitsPerItem)
-			var release func()
-			release, err = e.slot(ctx, j)
-			if err != nil {
-				err = fmt.Errorf("source %s: %w", src.Name(), err)
-				break
-			}
-			var positives set.Set
-			positives, err = src.SemijoinBloom(ctx, pr.Conds[ci], filter)
-			release()
-			qs = queryStats{queries: 1}
-			if err == nil {
-				out = positives.Intersect(x)
-			}
-		default:
-			out, qs, err = e.semijoinQuery(ctx, j, pr.Conds[ci], x)
+		actx := sctx
+		var asp *obs.Span
+		if attempt > 0 {
+			actx, asp = obs.StartSpan(sctx, obs.KindAttempt, fmt.Sprintf("attempt %d", attempt+1))
 		}
-		acc.queries += qs.queries
-		acc.hits += qs.hits
-		acc.misses += qs.misses
+		var qs queryStats
+		out, qs, err = e.attemptSourceQuery(actx, pr, ci, j, method, x)
+		asp.End(err)
+		acc.add(qs)
 		if err == nil {
-			return out, acc, nil
+			break
 		}
+		acc.errors++
 		if attempt >= budget || !source.IsTransient(err) {
-			return set.Set{}, acc, fmt.Errorf("exec: adaptive %s at %s: %w", method, src.Name(), err)
+			err = fmt.Errorf("exec: adaptive %s at %s: %w", method, src.Name(), err)
+			break
 		}
+		acc.retries++
+	}
+	span.End(err)
+
+	met := obs.Meter(ctx)
+	met.Counter(obs.MSourceQueries, "source", src.Name()).Add(int64(acc.queries))
+	met.Counter(obs.MCacheHits, "source", src.Name()).Add(int64(acc.hits))
+	met.Counter(obs.MCacheMisses, "source", src.Name()).Add(int64(acc.misses))
+	met.Counter(obs.MRetries, "source", src.Name()).Add(int64(acc.retries))
+	if err != nil {
+		met.Counter(obs.MStepErrors, "source", src.Name()).Inc()
+		return set.Set{}, acc, err
+	}
+	return out, acc, nil
+}
+
+// attemptSourceQuery performs one attempt of an adaptive-round query.
+func (e *Executor) attemptSourceQuery(ctx context.Context, pr *optimizer.Problem, ci, j int, method optimizer.Method, x set.Set) (set.Set, queryStats, error) {
+	src := e.Sources[j]
+	switch method {
+	case optimizer.MethodSelect:
+		return e.selectQuery(ctx, j, pr.Conds[ci])
+	case optimizer.MethodBloom:
+		filter := bloom.FromItems(x.Items(), bloom.DefaultBitsPerItem)
+		release, err := e.slot(ctx, j)
+		if err != nil {
+			return set.Set{}, queryStats{}, fmt.Errorf("source %s: %w", src.Name(), err)
+		}
+		positives, err := src.SemijoinBloom(ctx, pr.Conds[ci], filter)
+		release()
+		qs := queryStats{queries: 1}
+		if err != nil {
+			return set.Set{}, qs, err
+		}
+		return positives.Intersect(x), qs, nil
+	default:
+		return e.semijoinQuery(ctx, j, pr.Conds[ci], x)
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"fusionq/internal/bloom"
 	"fusionq/internal/cond"
+	"fusionq/internal/obs"
 	"fusionq/internal/relation"
 	"fusionq/internal/set"
 	"fusionq/internal/source"
@@ -247,11 +248,21 @@ func (s *CachedSource) Schema() *relation.Schema { return s.inner.Schema() }
 // Caps implements source.Source.
 func (s *CachedSource) Caps() source.Capabilities { return s.inner.Caps() }
 
+// meterCache emits hit/miss counters for one cache consultation to the
+// context's registry (a no-op without one).
+func (s *CachedSource) meterCache(ctx context.Context, hits, misses int) {
+	met := obs.Meter(ctx)
+	met.Counter(obs.MCacheHits, "source", s.Name()).Add(int64(hits))
+	met.Counter(obs.MCacheMisses, "source", s.Name()).Add(int64(misses))
+}
+
 // Select implements source.Source, consulting the selection cache.
 func (s *CachedSource) Select(ctx context.Context, c cond.Cond) (set.Set, error) {
 	if out, ok := s.cache.Select(s.Name(), c); ok {
+		s.meterCache(ctx, 1, 0)
 		return out, nil
 	}
+	s.meterCache(ctx, 0, 1)
 	out, err := s.inner.Select(ctx, c)
 	if err != nil {
 		return out, err
@@ -263,8 +274,10 @@ func (s *CachedSource) Select(ctx context.Context, c cond.Cond) (set.Set, error)
 // SelectBinding implements source.Source, consulting the membership cache.
 func (s *CachedSource) SelectBinding(ctx context.Context, c cond.Cond, item string) (bool, error) {
 	if match, known := s.cache.Lookup(s.Name(), c, item); known {
+		s.meterCache(ctx, 1, 0)
 		return match, nil
 	}
+	s.meterCache(ctx, 0, 1)
 	match, err := s.inner.SelectBinding(ctx, c, item)
 	if err != nil {
 		return match, err
@@ -281,6 +294,7 @@ func (s *CachedSource) Semijoin(ctx context.Context, c cond.Cond, y set.Set) (se
 		return s.inner.Semijoin(ctx, c, y)
 	}
 	knownTrue, unknown := s.cache.Partition(s.Name(), c, y)
+	s.meterCache(ctx, y.Len()-unknown.Len(), unknown.Len())
 	if unknown.IsEmpty() {
 		return knownTrue, nil
 	}

@@ -37,6 +37,7 @@ import (
 
 	"fusionq/internal/bloom"
 	"fusionq/internal/netsim"
+	"fusionq/internal/obs"
 	"fusionq/internal/plan"
 	"fusionq/internal/relation"
 	"fusionq/internal/set"
@@ -120,6 +121,10 @@ type Result struct {
 	// verdict), a miss went to the source. Both zero without a cache.
 	CacheHits   int
 	CacheMisses int
+	// Retries counts source operations re-issued after a transient failure
+	// — whole steps, or individual bindings of an emulated semijoin. The
+	// re-issues themselves are already charged in SourceQueries.
+	Retries int
 	// Trace is the per-step execution trace, present when the executor's
 	// Trace flag is set, ordered by step index.
 	Trace []StepTrace
@@ -188,7 +193,7 @@ func (e *Executor) Run(ctx context.Context, p *plan.Plan) (*Result, error) {
 			k = end
 			continue
 		}
-		if err := e.runStep(ctx, p, k, steps[k], st, res, nil); err != nil {
+		if err := e.runStepRetry(ctx, p, k, steps[k], st, res, nil); err != nil {
 			return finish(err)
 		}
 		k++
@@ -360,65 +365,94 @@ func (e *Executor) attributeElapsed(res *Result, steps []plan.Step, start, end i
 	}
 }
 
-// runStepRetry runs one step, re-issuing it on transient source failures
-// up to the executor's retry budget. Source queries are reads, so retries
-// are safe; the extra traffic of a failed attempt is genuine extra work.
-// Emulated semijoins are excluded: their retry is per binding query inside
-// emulatedSemijoin, so one flaky binding never re-issues the whole step.
-// Context errors are not transient, so cancellation ends the loop at once.
+// runStepRetry runs one step to completion, re-issuing it on transient
+// source failures up to the executor's retry budget. Source queries are
+// reads, so retries are safe; the extra traffic of a failed attempt is
+// genuine extra work and stays charged. Emulated semijoins are excluded
+// from the whole-step budget: their retry is per binding query inside
+// emulatedSemijoin, so one flaky binding never re-issues the bindings that
+// already succeeded. Context errors are not transient, so cancellation ends
+// the loop at once.
+//
+// The step is wrapped in a step span; re-attempts after a transient failure
+// get attempt spans beneath it. Counters and the step trace aggregate over
+// all attempts; failed steps appear in the trace with Err set. mu, when
+// non-nil, guards the shared Result during batches.
 func (e *Executor) runStepRetry(ctx context.Context, p *plan.Plan, idx int, s plan.Step, st *state, res *Result, mu *sync.Mutex) error {
-	budget := e.Retries
-	if s.Kind == plan.KindSemijoin {
-		if caps := e.Sources[s.Source].Caps(); !caps.NativeSemijoin && caps.PassedBindings {
-			budget = 0
+	budget := 0
+	isSource := s.IsSourceQuery()
+	var srcName string
+	if isSource {
+		srcName = e.Sources[s.Source].Name()
+		budget = e.Retries
+		if s.Kind == plan.KindSemijoin {
+			if caps := e.Sources[s.Source].Caps(); !caps.NativeSemijoin && caps.PassedBindings {
+				budget = 0
+			}
 		}
 	}
+	text := p.StepString(s)
+	sctx, span := obs.StartSpan(ctx, obs.KindStep, text)
+	if isSource {
+		span.SetAttr("source", srcName)
+	}
+
+	var agg queryStats
+	var stepErr error
 	for attempt := 0; ; attempt++ {
-		err := e.runStep(ctx, p, idx, s, st, res, mu)
+		actx := sctx
+		var asp *obs.Span
+		if attempt > 0 {
+			actx, asp = obs.StartSpan(sctx, obs.KindAttempt, fmt.Sprintf("attempt %d", attempt+1))
+		}
+		qs, err := e.execStep(actx, p, s, st)
+		asp.End(err)
+		agg.add(qs)
+		stepErr = err
 		if err == nil {
-			return nil
+			break
 		}
+		agg.errors++
 		if attempt >= budget || !source.IsTransient(err) {
-			return err
+			break
+		}
+		agg.retries++
+	}
+	span.End(stepErr)
+
+	if isSource {
+		met := obs.Meter(ctx)
+		met.Counter(obs.MSourceQueries, "source", srcName).Add(int64(agg.queries))
+		met.Counter(obs.MCacheHits, "source", srcName).Add(int64(agg.hits))
+		met.Counter(obs.MCacheMisses, "source", srcName).Add(int64(agg.misses))
+		met.Counter(obs.MRetries, "source", srcName).Add(int64(agg.retries))
+		if stepErr != nil {
+			met.Counter(obs.MStepErrors, "source", srcName).Inc()
 		}
 	}
-}
 
-// runStep executes one step. mu, when non-nil, guards the shared Result
-// counters during batches. Query counters accrue even when the step fails:
-// the attempts reached the source and their cost is real.
-func (e *Executor) runStep(ctx context.Context, p *plan.Plan, idx int, s plan.Step, st *state, res *Result, mu *sync.Mutex) error {
-	qs, stepErr := e.execStep(ctx, p, s, st)
-
-	if qs.queries > 0 || qs.hits > 0 || qs.misses > 0 {
+	if agg != (queryStats{}) || e.Trace {
 		if mu != nil {
 			mu.Lock()
 		}
-		res.SourceQueries += qs.queries
-		res.CacheHits += qs.hits
-		res.CacheMisses += qs.misses
+		res.SourceQueries += agg.queries
+		res.CacheHits += agg.hits
+		res.CacheMisses += agg.misses
+		res.Retries += agg.retries
+		if e.Trace {
+			tr := StepTrace{Index: idx, Text: text, Queries: agg.queries, CacheHits: agg.hits, Retries: agg.retries, Errors: agg.errors}
+			if stepErr != nil {
+				tr.Err = stepErr.Error()
+			} else if v, ok := st.get(s.Out); ok {
+				tr.OutItems = v.Len()
+			}
+			res.Trace = append(res.Trace, tr)
+		}
 		if mu != nil {
 			mu.Unlock()
 		}
 	}
-	if stepErr != nil {
-		return stepErr
-	}
-	if e.Trace {
-		outItems := 0
-		if v, ok := st.get(s.Out); ok {
-			outItems = v.Len()
-		}
-		tr := StepTrace{Index: idx, Text: p.StepString(s), OutItems: outItems, Queries: qs.queries, CacheHits: qs.hits}
-		if mu != nil {
-			mu.Lock()
-		}
-		res.Trace = append(res.Trace, tr)
-		if mu != nil {
-			mu.Unlock()
-		}
-	}
-	return nil
+	return stepErr
 }
 
 // execStep performs the step's operation, returning its query statistics

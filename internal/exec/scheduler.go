@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"fusionq/internal/cond"
+	"fusionq/internal/obs"
 	"fusionq/internal/set"
 	"fusionq/internal/source"
 )
@@ -51,7 +52,9 @@ func (s *scheduler) acquire(ctx context.Context, j int) (func(), error) {
 
 // slot admits one exchange to source j, returning a release function. With
 // no scheduler (a bare Executor used outside Run) it degrades to a
-// ctx-check: queries are issued one at a time anyway.
+// ctx-check: queries are issued one at a time anyway. When the context
+// carries a metrics registry, the wait and the admission are visible as the
+// per-source queue-depth and lane-occupancy gauges.
 func (e *Executor) slot(ctx context.Context, j int) (func(), error) {
 	if e.sched == nil {
 		if err := ctx.Err(); err != nil {
@@ -59,7 +62,21 @@ func (e *Executor) slot(ctx context.Context, j int) (func(), error) {
 		}
 		return func() {}, nil
 	}
-	return e.sched.acquire(ctx, j)
+	met := obs.Meter(ctx)
+	name := e.Sources[j].Name()
+	queue := met.Gauge(obs.MSchedQueueDepth, "source", name)
+	queue.Inc()
+	release, err := e.sched.acquire(ctx, j)
+	queue.Dec()
+	if err != nil {
+		return nil, err
+	}
+	occ := met.Gauge(obs.MSchedLaneOccupancy, "source", name)
+	occ.Inc()
+	return func() {
+		occ.Dec()
+		release()
+	}, nil
 }
 
 // connsFor resolves source j's connection capacity: the executor-wide
@@ -80,12 +97,24 @@ func (e *Executor) connsFor(j int) int {
 }
 
 // queryStats tallies what one step's source interaction cost: charged
-// queries (including failed attempts that reached the source) and cache
-// consultations answered locally (hits) or referred to the source (misses).
+// queries (including failed attempts that reached the source), cache
+// consultations answered locally (hits) or referred to the source (misses),
+// transient-failure re-issues (retries), and failed attempts (errors).
 type queryStats struct {
 	queries int
 	hits    int
 	misses  int
+	retries int
+	errors  int
+}
+
+// add accumulates o into q.
+func (q *queryStats) add(o queryStats) {
+	q.queries += o.queries
+	q.hits += o.hits
+	q.misses += o.misses
+	q.retries += o.retries
+	q.errors += o.errors
 }
 
 // selectQuery answers sq(c, src) through the cache and the scheduler.
@@ -181,7 +210,7 @@ func (e *Executor) emulatedSemijoin(ctx context.Context, j int, c cond.Cond, y s
 	var (
 		mu       sync.Mutex
 		next     int
-		attempts int
+		bind     queryStats
 		firstErr error
 		matched  = make([]bool, len(items))
 		wg       sync.WaitGroup
@@ -208,9 +237,9 @@ func (e *Executor) emulatedSemijoin(ctx context.Context, j int, c cond.Cond, y s
 				next++
 				mu.Unlock()
 
-				ok, tries, err := e.bindingQuery(ctx, j, c, items[i])
+				ok, bqs, err := e.bindingQuery(ctx, j, c, items[i])
 				mu.Lock()
-				attempts += tries
+				bind.add(bqs)
 				if err != nil {
 					if firstErr == nil {
 						firstErr = err
@@ -225,7 +254,7 @@ func (e *Executor) emulatedSemijoin(ctx context.Context, j int, c cond.Cond, y s
 		}()
 	}
 	wg.Wait()
-	st.queries = attempts
+	st.add(bind)
 	if firstErr != nil {
 		return set.Set{}, st, firstErr
 	}
@@ -239,26 +268,37 @@ func (e *Executor) emulatedSemijoin(ctx context.Context, j int, c cond.Cond, y s
 }
 
 // bindingQuery issues one passed-binding selection with per-binding
-// transient retry, reporting how many attempts reached the source. A
+// transient retry, reporting the attempts, retries and errors that reached
+// the source. Re-attempts after a transient failure record an attempt span
+// (first attempts are covered by the enclosing step and exchange spans). A
 // context error is never transient (source.IsTransient), so cancellation
 // stops the retry loop on its first appearance.
-func (e *Executor) bindingQuery(ctx context.Context, j int, c cond.Cond, item string) (bool, int, error) {
+func (e *Executor) bindingQuery(ctx context.Context, j int, c cond.Cond, item string) (bool, queryStats, error) {
 	src := e.Sources[j]
-	tries := 0
+	var qs queryStats
 	for attempt := 0; ; attempt++ {
-		release, err := e.slot(ctx, j)
+		actx := ctx
+		var asp *obs.Span
+		if attempt > 0 {
+			actx, asp = obs.StartSpan(ctx, obs.KindAttempt, fmt.Sprintf("binding %s attempt %d", item, attempt+1))
+		}
+		release, err := e.slot(actx, j)
 		if err != nil {
-			return false, tries, fmt.Errorf("source %s: %w", src.Name(), err)
+			asp.End(err)
+			return false, qs, fmt.Errorf("source %s: %w", src.Name(), err)
 		}
-		ok, err := src.SelectBinding(ctx, c, item)
+		ok, err := src.SelectBinding(actx, c, item)
 		release()
-		tries++
+		qs.queries++
+		asp.End(err)
 		if err == nil {
-			return ok, tries, nil
+			return ok, qs, nil
 		}
+		qs.errors++
 		if attempt >= e.Retries || !source.IsTransient(err) {
-			return false, tries, err
+			return false, qs, err
 		}
+		qs.retries++
 	}
 }
 

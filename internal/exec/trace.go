@@ -14,22 +14,32 @@ type StepTrace struct {
 	// Text is the step in the paper's notation.
 	Text string
 	// OutItems is the cardinality of the step's output set (or loaded
-	// relation's distinct items).
+	// relation's distinct items). Zero when the step failed.
 	OutItems int
 	// Queries is the number of charged source queries the step issued
 	// (more than one for emulated semijoins, zero for local steps and
-	// short-circuited semijoins).
+	// short-circuited semijoins), including failed attempts.
 	Queries int
 	// CacheHits is how many source queries the answer cache avoided for
 	// this step (zero without a cache).
 	CacheHits int
+	// Retries counts the step's transient-failure re-issues: whole-step
+	// re-attempts, or per-binding re-attempts for emulated semijoins.
+	Retries int
+	// Errors counts attempts that failed — every retry implies one error,
+	// and a step that ultimately failed has one more error than retries.
+	Errors int
+	// Err is the step's final error text; empty when the step succeeded.
+	// Failed steps appear in the trace with the work they charged.
+	Err string
 	// Elapsed is the simulated time the step's exchanges took (zero
 	// without a network or for local steps). In parallel batches it is
 	// attributed per step from the network exchange log.
 	Elapsed time.Duration
 }
 
-// RenderTrace formats a trace as an aligned table.
+// RenderTrace formats a trace as an aligned table. Steps that failed are
+// footnoted with their error text below the table.
 func RenderTrace(traces []StepTrace) string {
 	if len(traces) == 0 {
 		return ""
@@ -41,10 +51,17 @@ func RenderTrace(traces []StepTrace) string {
 		}
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%3s  %-*s  %9s  %7s  %6s  %12s\n", "#", width, "step", "out items", "queries", "cached", "elapsed")
+	fmt.Fprintf(&b, "%3s  %-*s  %9s  %7s  %6s  %7s  %6s  %12s\n",
+		"#", width, "step", "out items", "queries", "cached", "retries", "errors", "elapsed")
 	for _, tr := range traces {
-		fmt.Fprintf(&b, "%3d  %-*s  %9d  %7d  %6d  %12v\n",
-			tr.Index+1, width, tr.Text, tr.OutItems, tr.Queries, tr.CacheHits, tr.Elapsed.Round(time.Microsecond))
+		fmt.Fprintf(&b, "%3d  %-*s  %9d  %7d  %6d  %7d  %6d  %12v\n",
+			tr.Index+1, width, tr.Text, tr.OutItems, tr.Queries, tr.CacheHits,
+			tr.Retries, tr.Errors, tr.Elapsed.Round(time.Microsecond))
+	}
+	for _, tr := range traces {
+		if tr.Err != "" {
+			fmt.Fprintf(&b, "  ! step %d failed: %s\n", tr.Index+1, tr.Err)
+		}
 	}
 	return b.String()
 }

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// AdminServer is a small HTTP listener exposing a Registry — the
+// /metrics-style admin endpoint of cmd/fqsource. Endpoints:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  the same registry as JSON
+//	/healthz       liveness probe ("ok")
+type AdminServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeAdmin starts an admin listener for reg on addr (e.g. "127.0.0.1:0").
+// The returned server is running; callers own its lifetime via Close.
+func ServeAdmin(addr string, reg *Registry) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: admin listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, reg.PrometheusText())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		data, err := reg.MarshalJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(data)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	a := &AdminServer{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go a.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close.
+	return a, nil
+}
+
+// Addr returns the listener's address.
+func (a *AdminServer) Addr() string { return a.ln.Addr().String() }
+
+// Close stops the listener and its in-flight handlers.
+func (a *AdminServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return a.srv.Shutdown(ctx)
+}

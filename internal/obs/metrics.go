@@ -1,0 +1,465 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a lightweight metrics registry: named counter, gauge and
+// histogram families, each fanned out by label sets. It exposes its contents
+// in Prometheus text exposition format (PrometheusText) and as JSON
+// (Snapshot / MarshalJSON), which the fqsource admin listener serves and
+// fqbench embeds in its -json output.
+//
+// All methods are safe for concurrent use, and every method on a nil
+// *Registry (and on the nil instruments it then returns) is a no-op, so
+// instrumented code paths never branch on whether metrics are enabled.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// metric family kinds.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+type family struct {
+	name    string
+	help    string
+	kind    string
+	buckets []float64 // histogram upper bounds, ascending
+
+	mu      sync.Mutex
+	metrics map[string]*instrument
+	order   []string
+}
+
+// instrument is one (family, label set) time series.
+type instrument struct {
+	labels []string // alternating key, value — sorted by key
+
+	val atomic.Int64 // counter / gauge value
+
+	// histogram state, guarded by mu.
+	mu     sync.Mutex
+	counts []int64 // one per bucket, plus +Inf at the end
+	sum    float64
+	count  int64
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ in *instrument }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ in *instrument }
+
+// Histogram accumulates observations into fixed buckets.
+type Histogram struct{ in *instrument }
+
+// DefaultBuckets are the fixed latency buckets (seconds) used for every
+// histogram: tuned so that both real wire round trips (sub-millisecond on
+// loopback) and simulated WAN exchanges (tens to hundreds of milliseconds)
+// land in the interior.
+var DefaultBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+var (
+	defaultRegistry     *Registry
+	defaultRegistryOnce sync.Once
+)
+
+// Default returns the process-wide registry, the sink for components not
+// given an explicit one (the mediator's query counters, by default).
+func Default() *Registry {
+	defaultRegistryOnce.Do(func() { defaultRegistry = NewRegistry() })
+	return defaultRegistry
+}
+
+// Describe sets a family's help text (shown in the Prometheus exposition).
+// Creating an instrument with an undescribed name auto-registers the family
+// with empty help. A family described this way (kind unknown) stays out of
+// the exposition until its first instrument fixes the kind; use
+// describeTyped to render the header up front.
+func (r *Registry) Describe(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		f.help = help
+	} else {
+		// Remember the help for when the family is created; kind is fixed at
+		// first instrument creation.
+		r.families[name] = &family{name: name, help: help, metrics: map[string]*instrument{}}
+		r.order = append(r.order, name)
+	}
+}
+
+// describeTyped is Describe plus an up-front kind, so the family appears in
+// Snapshot and PrometheusText (as a HELP/TYPE header with no series) even
+// before its first instrument exists — a scrape then documents the full
+// metric vocabulary, not just the series this process happened to touch.
+func (r *Registry) describeTyped(name, kind, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, metrics: map[string]*instrument{}}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	f.help = help
+	if f.kind == "" {
+		f.kind = kind
+		if kind == kindHistogram {
+			f.buckets = DefaultBuckets
+		}
+	}
+}
+
+func (r *Registry) familyFor(name, kind string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, metrics: map[string]*instrument{}}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.kind == "" {
+		f.kind = kind
+		f.buckets = buckets
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	return f
+}
+
+// labelPairs normalizes alternating key/value labels: sorted by key. An odd
+// trailing key gets an empty value rather than panicking.
+func labelPairs(labels []string) []string {
+	if len(labels) == 0 {
+		return nil
+	}
+	if len(labels)%2 == 1 {
+		labels = append(append([]string(nil), labels...), "")
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.SliceStable(pairs, func(a, b int) bool { return pairs[a].k < pairs[b].k })
+	out := make([]string, 0, len(pairs)*2)
+	for _, p := range pairs {
+		out = append(out, p.k, p.v)
+	}
+	return out
+}
+
+func labelKey(pairs []string) string {
+	var b strings.Builder
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(pairs[i+1]))
+	}
+	return b.String()
+}
+
+func (f *family) instrumentFor(labels []string) *instrument {
+	pairs := labelPairs(labels)
+	key := labelKey(pairs)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	in, ok := f.metrics[key]
+	if !ok {
+		in = &instrument{labels: pairs}
+		if f.kind == kindHistogram {
+			in.counts = make([]int64, len(f.buckets)+1)
+		}
+		f.metrics[key] = in
+		f.order = append(f.order, key)
+	}
+	return in
+}
+
+// Counter returns the counter time series for name and the given
+// alternating label key/value pairs, creating it on first use.
+func (r *Registry) Counter(name string, labels ...string) Counter {
+	if r == nil {
+		return Counter{}
+	}
+	return Counter{in: r.familyFor(name, kindCounter, nil).instrumentFor(labels)}
+}
+
+// Gauge returns the gauge time series for name and labels.
+func (r *Registry) Gauge(name string, labels ...string) Gauge {
+	if r == nil {
+		return Gauge{}
+	}
+	return Gauge{in: r.familyFor(name, kindGauge, nil).instrumentFor(labels)}
+}
+
+// Histogram returns the histogram time series for name and labels, bucketed
+// by DefaultBuckets.
+func (r *Registry) Histogram(name string, labels ...string) Histogram {
+	if r == nil {
+		return Histogram{}
+	}
+	return Histogram{in: r.familyFor(name, kindHistogram, DefaultBuckets).instrumentFor(labels)}
+}
+
+// Add increments the counter by n (negative n is ignored — counters are
+// monotonic).
+func (c Counter) Add(n int64) {
+	if c.in == nil || n <= 0 {
+		return
+	}
+	c.in.val.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c Counter) Inc() { c.Add(1) }
+
+// Value returns the counter's current value.
+func (c Counter) Value() int64 {
+	if c.in == nil {
+		return 0
+	}
+	return c.in.val.Load()
+}
+
+// Add moves the gauge by n (either sign).
+func (g Gauge) Add(n int64) {
+	if g.in == nil {
+		return
+	}
+	g.in.val.Add(n)
+}
+
+// Set sets the gauge to n.
+func (g Gauge) Set(n int64) {
+	if g.in == nil {
+		return
+	}
+	g.in.val.Store(n)
+}
+
+// Inc and Dec move the gauge by ±1.
+func (g Gauge) Inc() { g.Add(1) }
+
+// Dec decrements the gauge by one.
+func (g Gauge) Dec() { g.Add(-1) }
+
+// Value returns the gauge's current value.
+func (g Gauge) Value() int64 {
+	if g.in == nil {
+		return 0
+	}
+	return g.in.val.Load()
+}
+
+// Observe records one observation (in the histogram's native unit —
+// seconds, for every latency histogram in this codebase).
+func (h Histogram) Observe(v float64) {
+	if h.in == nil || math.IsNaN(v) {
+		return
+	}
+	in := h.in
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	idx := len(in.counts) - 1 // +Inf
+	for i, ub := range DefaultBuckets {
+		if v <= ub {
+			idx = i
+			break
+		}
+	}
+	in.counts[idx]++
+	in.sum += v
+	in.count++
+}
+
+// ObserveDuration records d as seconds.
+func (h Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns how many observations the histogram has recorded.
+func (h Histogram) Count() int64 {
+	if h.in == nil {
+		return 0
+	}
+	h.in.mu.Lock()
+	defer h.in.mu.Unlock()
+	return h.in.count
+}
+
+// MetricPoint is one time series in a Snapshot.
+type MetricPoint struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value is the counter/gauge value.
+	Value int64 `json:"value,omitempty"`
+	// Histogram fields.
+	Count   int64            `json:"count,omitempty"`
+	Sum     float64          `json:"sum,omitempty"`
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+// MetricFamily is one named metric in a Snapshot.
+type MetricFamily struct {
+	Name   string        `json:"name"`
+	Type   string        `json:"type"`
+	Help   string        `json:"help,omitempty"`
+	Points []MetricPoint `json:"points"`
+}
+
+// Snapshot returns the registry's current contents in registration order,
+// suitable for JSON embedding.
+func (r *Registry) Snapshot() []MetricFamily {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, len(r.order))
+	copy(names, r.order)
+	fams := make([]*family, 0, len(names))
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+
+	var out []MetricFamily
+	for _, f := range fams {
+		f.mu.Lock()
+		if f.kind == "" { // described without a kind and never used
+			f.mu.Unlock()
+			continue
+		}
+		mf := MetricFamily{Name: f.name, Type: f.kind, Help: f.help}
+		for _, key := range f.order {
+			in := f.metrics[key]
+			p := MetricPoint{}
+			if len(in.labels) > 0 {
+				p.Labels = map[string]string{}
+				for i := 0; i+1 < len(in.labels); i += 2 {
+					p.Labels[in.labels[i]] = in.labels[i+1]
+				}
+			}
+			switch f.kind {
+			case kindHistogram:
+				in.mu.Lock()
+				p.Count = in.count
+				p.Sum = in.sum
+				p.Buckets = map[string]int64{}
+				cum := int64(0)
+				for i, ub := range f.buckets {
+					cum += in.counts[i]
+					p.Buckets[formatBound(ub)] = cum
+				}
+				cum += in.counts[len(in.counts)-1]
+				p.Buckets["+Inf"] = cum
+				in.mu.Unlock()
+			default:
+				p.Value = in.val.Load()
+			}
+			mf.Points = append(mf.Points, p)
+		}
+		f.mu.Unlock()
+		out = append(out, mf)
+	}
+	return out
+}
+
+// MarshalJSON renders the snapshot as a JSON array of metric families.
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Snapshot())
+}
+
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// PrometheusText renders the registry in the Prometheus text exposition
+// format (version 0.0.4), the payload of the fqsource admin listener's
+// /metrics endpoint.
+func (r *Registry) PrometheusText() string {
+	if r == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, mf := range r.Snapshot() {
+		if mf.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", mf.Name, mf.Help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", mf.Name, mf.Type)
+		for _, p := range mf.Points {
+			switch mf.Type {
+			case kindHistogram:
+				bounds := make([]float64, 0, len(p.Buckets))
+				for k := range p.Buckets {
+					if k == "+Inf" {
+						continue
+					}
+					f, err := strconv.ParseFloat(k, 64)
+					if err == nil {
+						bounds = append(bounds, f)
+					}
+				}
+				sort.Float64s(bounds)
+				for _, ub := range bounds {
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", mf.Name,
+						promLabels(p.Labels, "le", formatBound(ub)), p.Buckets[formatBound(ub)])
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", mf.Name, promLabels(p.Labels, "le", "+Inf"), p.Buckets["+Inf"])
+				fmt.Fprintf(&b, "%s_sum%s %s\n", mf.Name, promLabels(p.Labels), strconv.FormatFloat(p.Sum, 'g', -1, 64))
+				fmt.Fprintf(&b, "%s_count%s %d\n", mf.Name, promLabels(p.Labels), p.Count)
+			default:
+				fmt.Fprintf(&b, "%s%s %d\n", mf.Name, promLabels(p.Labels), p.Value)
+			}
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders a label set ({k="v",...}), with optional extra
+// key/value appended (for histogram le bounds). Empty sets render as "".
+func promLabels(labels map[string]string, extra ...string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var parts []string
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%q", k, labels[k]))
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		parts = append(parts, fmt.Sprintf("%s=%q", extra[i], extra[i+1]))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,73 @@
+package obs
+
+// Canonical metric names. Every layer that emits a metric references these
+// constants, so the mediator, the executor, the source decorators and the
+// wire server agree on one vocabulary and a scrape of any registry is
+// self-consistent.
+const (
+	// MQueries counts fusion queries run, labeled by final status
+	// (ok | error | timeout | cancel).
+	MQueries = "fq_queries_total"
+	// MQuerySeconds is the wall-clock latency histogram of whole queries
+	// (planning + execution), in seconds.
+	MQuerySeconds = "fq_query_seconds"
+	// MSourceQueries counts charged source operations, labeled by source.
+	MSourceQueries = "fq_source_queries_total"
+	// MCacheHits / MCacheMisses count answer-cache consultations, labeled
+	// by source.
+	MCacheHits   = "fq_cache_hits_total"
+	MCacheMisses = "fq_cache_misses_total"
+	// MRetries counts transient-failure re-issues, labeled by source.
+	MRetries = "fq_retries_total"
+	// MStepErrors counts plan steps that ultimately failed, labeled by
+	// source.
+	MStepErrors = "fq_step_errors_total"
+	// MSchedQueueDepth is the number of exchanges waiting for a connection
+	// slot; MSchedLaneOccupancy is the number currently holding one. Both
+	// labeled by source.
+	MSchedQueueDepth    = "fq_sched_queue_depth"
+	MSchedLaneOccupancy = "fq_sched_lane_occupancy"
+	// MBytesSent / MBytesReceived count modeled request and response bytes
+	// per source exchange, labeled by source.
+	MBytesSent     = "fq_source_bytes_sent_total"
+	MBytesReceived = "fq_source_bytes_received_total"
+	// MExchangeSeconds is the simulated per-exchange latency histogram,
+	// labeled by source.
+	MExchangeSeconds = "fq_exchange_seconds"
+	// MInjectedFailures counts failures injected by the flaky decorator,
+	// labeled by source and op.
+	MInjectedFailures = "fq_injected_failures_total"
+	// MWireRequests / MWireErrors count wire-protocol requests served,
+	// labeled by op; MWireSeconds is the server-side dispatch latency
+	// histogram.
+	MWireRequests = "fq_wire_requests_total"
+	MWireErrors   = "fq_wire_errors_total"
+	MWireSeconds  = "fq_wire_request_seconds"
+)
+
+// DescribeAll registers help text and type for every canonical metric on r,
+// so a scrape shows # HELP / # TYPE headers for the whole vocabulary — even
+// families this process never touches (e.g. the mediator-side retry counter
+// on an fqsource registry). Safe on a nil registry.
+func DescribeAll(r *Registry) {
+	for _, d := range []struct{ name, kind, help string }{
+		{MQueries, kindCounter, "Fusion queries run, by final status."},
+		{MQuerySeconds, kindHistogram, "Whole-query wall-clock latency in seconds."},
+		{MSourceQueries, kindCounter, "Charged source operations (selections, semijoins, bindings, loads)."},
+		{MCacheHits, kindCounter, "Answer-cache consultations answered without source traffic."},
+		{MCacheMisses, kindCounter, "Answer-cache consultations referred to the source."},
+		{MRetries, kindCounter, "Source operations re-issued after a transient failure."},
+		{MStepErrors, kindCounter, "Plan steps that failed after exhausting retries."},
+		{MSchedQueueDepth, kindGauge, "Exchanges waiting for a per-source connection slot."},
+		{MSchedLaneOccupancy, kindGauge, "Exchanges currently holding a connection slot."},
+		{MBytesSent, kindCounter, "Modeled bytes sent to sources."},
+		{MBytesReceived, kindCounter, "Modeled bytes received from sources."},
+		{MExchangeSeconds, kindHistogram, "Simulated per-exchange latency in seconds."},
+		{MInjectedFailures, kindCounter, "Failures injected by the flaky source decorator."},
+		{MWireRequests, kindCounter, "Wire-protocol requests served, by op."},
+		{MWireErrors, kindCounter, "Wire-protocol requests that returned an error, by op."},
+		{MWireSeconds, kindHistogram, "Server-side wire request dispatch latency in seconds."},
+	} {
+		r.describeTyped(d.name, d.kind, d.help)
+	}
+}

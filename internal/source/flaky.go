@@ -10,6 +10,7 @@ import (
 
 	"fusionq/internal/bloom"
 	"fusionq/internal/cond"
+	"fusionq/internal/obs"
 	"fusionq/internal/relation"
 	"fusionq/internal/set"
 )
@@ -114,9 +115,13 @@ func (f *Flaky) trip(ctx context.Context, op string) error {
 		return fmt.Errorf("source %s: %s: %w", f.inner.Name(), op, err)
 	}
 	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.rng.Float64() < f.rate {
+	failed := f.rng.Float64() < f.rate
+	if failed {
 		f.failures++
+	}
+	f.mu.Unlock()
+	if failed {
+		obs.Meter(ctx).Counter(obs.MInjectedFailures, "source", f.inner.Name(), "op", op).Inc()
 		return fmt.Errorf("source %s: %s: %w", f.inner.Name(), op, ErrTransient)
 	}
 	return nil

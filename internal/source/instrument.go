@@ -8,6 +8,7 @@ import (
 	"fusionq/internal/bloom"
 	"fusionq/internal/cond"
 	"fusionq/internal/netsim"
+	"fusionq/internal/obs"
 	"fusionq/internal/relation"
 	"fusionq/internal/set"
 )
@@ -89,16 +90,29 @@ func (s *Instrumented) ResetCounters() {
 // inner operation did run), and the network charge honors ctx — in
 // real-time network mode a deadline can interrupt the exchange, in which
 // case the error (wrapping ctx.Err()) is returned and the caller must
-// discard the operation's result.
+// discard the operation's result. When the context carries an Obs, the
+// exchange is also visible as an exchange span and as per-source byte
+// counters and a simulated-latency histogram.
 func (s *Instrumented) record(ctx context.Context, kind string, reqBytes, respBytes int, update func(*Counters)) error {
 	s.mu.Lock()
 	update(&s.counters)
 	s.mu.Unlock()
+	name := s.inner.Name()
+	_, sp := obs.StartSpan(ctx, obs.KindExchange, kind+" @ "+name)
+	sp.SetAttr("source", name)
+	met := obs.Meter(ctx)
+	met.Counter(obs.MBytesSent, "source", name).Add(int64(reqBytes))
+	met.Counter(obs.MBytesReceived, "source", name).Add(int64(respBytes))
 	if s.net != nil {
-		if _, err := s.net.ExchangeContext(ctx, s.inner.Name(), kind, reqBytes, respBytes); err != nil {
-			return fmt.Errorf("source %s: %w", s.inner.Name(), err)
+		d, err := s.net.ExchangeContext(ctx, name, kind, reqBytes, respBytes)
+		if err != nil {
+			sp.End(err)
+			return fmt.Errorf("source %s: %w", name, err)
 		}
+		met.Histogram(obs.MExchangeSeconds, "source", name).Observe(d.Seconds())
+		sp.SetAttr("simElapsed", d.String())
 	}
+	sp.End(nil)
 	return nil
 }
 

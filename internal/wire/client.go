@@ -11,6 +11,7 @@ import (
 
 	"fusionq/internal/bloom"
 	"fusionq/internal/cond"
+	"fusionq/internal/obs"
 	"fusionq/internal/relation"
 	"fusionq/internal/set"
 	"fusionq/internal/source"
@@ -100,7 +101,19 @@ func (c *Client) Close() error {
 // returned error wraps context.DeadlineExceeded (or Canceled), and other
 // transport failures wrap source.ErrTransient so retry policies can
 // classify them.
+//
+// The context's query ID (obs.QueryID) rides along in the request, so the
+// server's log lines correlate with the mediator's trace, and each round
+// trip is recorded as a wire span.
 func (c *Client) roundTrip(ctx context.Context, req Request) (Response, error) {
+	req.QueryID = obs.QueryID(ctx)
+	_, sp := obs.StartSpan(ctx, obs.KindWire, req.Op+" @ "+c.addr)
+	resp, err := c.doRoundTrip(ctx, req)
+	sp.End(err)
+	return resp, err
+}
+
+func (c *Client) doRoundTrip(ctx context.Context, req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := ctx.Err(); err != nil {

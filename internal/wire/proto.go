@@ -37,6 +37,11 @@ const (
 // Request is one client request.
 type Request struct {
 	Op string `json:"op"`
+	// QueryID correlates this request with the mediator-side query that
+	// issued it: the server tags its log lines with it and echoes it in the
+	// response. Empty for requests outside a query (e.g. meta). Optional, so
+	// v1 peers without it interoperate.
+	QueryID string `json:"qid,omitempty"`
 	// Cond is the condition in its textual form for sq/sjq/binding.
 	Cond string `json:"cond,omitempty"`
 	// Items carries the semijoin set (sjq) or the items to fetch (fetch).
@@ -50,6 +55,9 @@ type Request struct {
 // Response is one server response.
 type Response struct {
 	Error string `json:"error,omitempty"`
+	// QueryID echoes the request's query ID, confirming the correlation
+	// header survived the round trip.
+	QueryID string `json:"qid,omitempty"`
 	// Items answers sq and sjq.
 	Items []string `json:"items,omitempty"`
 	// Match answers binding.

@@ -15,6 +15,7 @@ import (
 
 	"fusionq/internal/bloom"
 	"fusionq/internal/cond"
+	"fusionq/internal/obs"
 	"fusionq/internal/set"
 	"fusionq/internal/source"
 )
@@ -32,8 +33,14 @@ type Config struct {
 	IdleTimeout time.Duration
 	// WriteTimeout bounds writing one response. Zero means no limit.
 	WriteTimeout time.Duration
-	// Logf receives connection-level error messages. Nil means log.Printf.
+	// Logf receives connection-level error messages and the per-request
+	// correlation lines (qid=... op=...). Nil means log.Printf.
 	Logf func(format string, args ...interface{})
+	// Metrics, when set, receives the server's wire metrics
+	// (fq_wire_requests_total, fq_wire_errors_total, fq_wire_request_seconds)
+	// and is installed in the dispatch context so decorators on the served
+	// source (e.g. a server-side answer cache) emit theirs to it too.
+	Metrics *obs.Registry
 }
 
 // Server exposes one wrapped source over TCP.
@@ -72,7 +79,11 @@ func ServeConfig(src source.Source, addr string, cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
+	obs.DescribeAll(cfg.Metrics)
 	ctx, cancel := context.WithCancel(context.Background())
+	if cfg.Metrics != nil {
+		ctx = obs.With(ctx, &obs.Obs{Metrics: cfg.Metrics})
+	}
 	s := &Server{
 		src:     src,
 		ln:      ln,
@@ -206,7 +217,7 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return
 		}
-		resp := s.dispatch(s.baseCtx, req)
+		resp := s.serve(req)
 		if s.cfg.WriteTimeout > 0 {
 			if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
 				return
@@ -224,6 +235,40 @@ func (s *Server) handle(conn net.Conn) {
 			}
 		}
 	}
+}
+
+// serve runs one request through dispatch with correlation and accounting:
+// the request's query ID is installed in the dispatch context and echoed in
+// the response, a structured log line ties the server-side work to the
+// mediator-side query, and the wire metrics are charged.
+func (s *Server) serve(req Request) Response {
+	ctx := s.baseCtx
+	if req.QueryID != "" {
+		o := *obs.From(s.baseCtx)
+		o.QueryID = req.QueryID
+		ctx = obs.With(s.baseCtx, &o)
+	}
+	start := time.Now()
+	resp := s.dispatch(ctx, req)
+	elapsed := time.Since(start)
+	resp.QueryID = req.QueryID
+
+	met := s.cfg.Metrics
+	met.Counter(obs.MWireRequests, "op", req.Op).Inc()
+	if resp.Error != "" {
+		met.Counter(obs.MWireErrors, "op", req.Op).Inc()
+	}
+	met.Histogram(obs.MWireSeconds).Observe(elapsed.Seconds())
+
+	if req.QueryID != "" {
+		status := "ok"
+		if resp.Error != "" {
+			status = fmt.Sprintf("error=%q", resp.Error)
+		}
+		s.cfg.Logf("wire: qid=%s op=%s source=%s elapsed=%s %s",
+			req.QueryID, req.Op, s.src.Name(), elapsed.Round(time.Microsecond), status)
+	}
+	return resp
 }
 
 // dispatch executes one request against the wrapped source. ctx is the
