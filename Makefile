@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test race lint fuzz bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Run the custom analyzer suite both through go vet (reusing the build
+# cache and export data) and standalone (self-contained package loading).
+lint:
+	$(GO) build -o bin/fqlint ./cmd/fqlint
+	$(GO) vet -vettool="$(CURDIR)/bin/fqlint" ./...
+	./bin/fqlint ./...
+
+fuzz:
+	$(GO) test -fuzz=FuzzParseFusion -fuzztime=30s -run='^$$' ./internal/sqlparse
+
+bench:
+	mkdir -p bench-out
+	set -e; for e in E1 E16 E17; do \
+		$(GO) run ./cmd/fqbench -e $$e -json -trace-json bench-out/$$e-trace.json > bench-out/$$e.json; \
+	done

@@ -1,0 +1,97 @@
+// go vet -vettool integration. When cmd/go drives a vet tool it invokes it
+// once per package with a single argument, a JSON config file describing
+// the unit of work: the package's source files plus the compiled export
+// data of every dependency. The tool type-checks the unit against that
+// export data (no re-parsing of dependencies), reports findings on stderr
+// in file:line:col form, and writes its serialized facts — empty here, the
+// fqlint analyzers are package-local — to cfg.VetxOutput so cmd/go can
+// cache the run. This mirrors golang.org/x/tools/go/analysis/unitchecker,
+// which is not vendorable offline.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+
+	"fusionq/internal/lint/analysis"
+	"fusionq/internal/lint/load"
+)
+
+// vetConfig is the subset of cmd/go's vet config fqlint consumes.
+type vetConfig struct {
+	ID          string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one vet unit; its return value is the process exit
+// code (vet convention: non-zero on findings).
+func unitcheck(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fqlint: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "fqlint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// Facts first: even a facts-only run (a dependency of the package being
+	// vetted) must produce its output file or cmd/go reports a build
+	// failure.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "fqlint: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	pkg, err := load.Check(fset, imp, cfg.ImportPath, cfg.GoFiles)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fqlint: %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	if len(pkg.TypeErrors) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "fqlint: %s: %v\n", cfg.ImportPath, terr)
+		}
+		return 2
+	}
+	diags := runAnalyzers(pkg, analyzers)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

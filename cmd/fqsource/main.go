@@ -86,7 +86,7 @@ func run(csvPath, name, merge, addr, capsFlag string, cache bool, adminAddr stri
 		cancel()
 	}()
 	if admin != nil {
-		admin.Close()
+		_ = admin.Close()
 	}
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "fqsource: forced shutdown: %v\n", err)
@@ -133,7 +133,7 @@ func start(csvPath, name, merge, addr, capsFlag string, cache bool, adminAddr st
 	if adminAddr != "" {
 		admin, err = obs.ServeAdmin(adminAddr, reg)
 		if err != nil {
-			srv.Close()
+			_ = srv.Close()
 			return nil, nil, err
 		}
 		fmt.Printf("admin endpoint on http://%s/metrics\n", admin.Addr())

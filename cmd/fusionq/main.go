@@ -246,7 +246,7 @@ func assemble(csvs, remotes []string, catalogPath, merge, capsFlag string) (*cor
 			closeAll()
 			return nil, nil, err
 		}
-		closers = append(closers, func() { cli.Close() })
+		closers = append(closers, func() { _ = cli.Close() })
 		if schema == nil {
 			schema = cli.Schema()
 		} else if !schema.Compatible(cli.Schema()) {

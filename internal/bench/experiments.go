@@ -401,7 +401,7 @@ func runE7(ctx context.Context) (*Table, error) {
 		// data, confirming the analytic counts.
 		measuredNaive, measuredCSE := "-", "-"
 		if math.Pow(float64(n), float64(m)) <= 1024 {
-			ms, err := newMeasured(workload.SynthConfig{
+			ms, err := newMeasured(ctx, workload.SynthConfig{
 				Seed: 7, NumSources: n, TuplesPerSource: 200, Universe: 150,
 				Selectivity: sel,
 			}, netsim.DefaultLink())

@@ -35,7 +35,7 @@ type measuredSetup struct {
 	problem  *optimizer.Problem
 }
 
-func newMeasured(cfg workload.SynthConfig, link netsim.Link) (*measuredSetup, error) {
+func newMeasured(ctx context.Context, cfg workload.SynthConfig, link netsim.Link) (*measuredSetup, error) {
 	sc, err := workload.Synth(cfg)
 	if err != nil {
 		return nil, err
@@ -49,7 +49,7 @@ func newMeasured(cfg workload.SynthConfig, link netsim.Link) (*measuredSetup, er
 		// Items are the 8-byte "ID%06d" strings.
 		profiles[j] = stats.ProfileFromLink(raw.Name(), link, 8, stats.SupportOf(raw.Caps()))
 	}
-	table, err := stats.BuildFromSources(context.Background(), sc.Conds, srcs, profiles)
+	table, err := stats.BuildFromSources(ctx, sc.Conds, srcs, profiles)
 	if err != nil {
 		return nil, err
 	}
@@ -76,7 +76,7 @@ func runE8(ctx context.Context) (*Table, error) {
 	}
 	link := netsim.DefaultLink()
 	for _, payload := range []int{0, 100, 1000} {
-		ms, err := newMeasured(workload.SynthConfig{
+		ms, err := newMeasured(ctx, workload.SynthConfig{
 			Seed: 8, NumSources: 4, TuplesPerSource: 400, Universe: 300,
 			Selectivity:  []float64{0.15, 0.3},
 			PayloadBytes: payload,
@@ -144,7 +144,7 @@ func runE9(ctx context.Context) (*Table, error) {
 		{"SJA+", optimizer.SJAPlus},
 	}
 	for _, algo := range algos {
-		ms, err := newMeasured(workload.SynthConfig{
+		ms, err := newMeasured(ctx, workload.SynthConfig{
 			Seed: 9, NumSources: 6, TuplesPerSource: 800, Universe: 500,
 			Selectivity: []float64{0.03, 0.4, 0.6},
 		}, link)
@@ -280,7 +280,7 @@ func runE11(ctx context.Context) (*Table, error) {
 	// passes c2, so the true |X2| far exceeds the independence estimate.
 	link := netsim.Link{Latency: 10 * time.Millisecond, BytesPerSec: 2048, RequestOverhead: 5 * time.Millisecond}
 	for _, rho := range []float64{0, 0.5, 0.9} {
-		ms, err := newMeasured(workload.SynthConfig{
+		ms, err := newMeasured(ctx, workload.SynthConfig{
 			Seed: 13, NumSources: 5, TuplesPerSource: 700, Universe: 450,
 			Selectivity: []float64{0.06, 0.06, 0.15},
 			Correlation: rho,
@@ -385,9 +385,9 @@ func runE13(ctx context.Context) (*Table, error) {
 			}
 			build := func() (*measuredSetup, error) {
 				if topology == "dispersed" {
-					return newMeasured(cfg, link)
+					return newMeasured(ctx, cfg, link)
 				}
-				return newMirrored(cfg, link)
+				return newMirrored(ctx, cfg, link)
 			}
 
 			// Two-phase.
@@ -447,7 +447,7 @@ func runE13(ctx context.Context) (*Table, error) {
 
 // newMirrored builds a scenario in which every source serves the same
 // relation (full replication), instrumented like newMeasured.
-func newMirrored(cfg workload.SynthConfig, link netsim.Link) (*measuredSetup, error) {
+func newMirrored(ctx context.Context, cfg workload.SynthConfig, link netsim.Link) (*measuredSetup, error) {
 	one := cfg
 	one.NumSources = 1
 	sc, err := workload.Synth(one)
@@ -466,7 +466,7 @@ func newMirrored(cfg workload.SynthConfig, link netsim.Link) (*measuredSetup, er
 		srcs[j] = source.Instrument(raw, network)
 		profiles[j] = stats.ProfileFromLink(names[j], link, 8, stats.SemijoinNative)
 	}
-	table, err := stats.BuildFromSources(context.Background(), sc.Conds, srcs, profiles)
+	table, err := stats.BuildFromSources(ctx, sc.Conds, srcs, profiles)
 	if err != nil {
 		return nil, err
 	}
@@ -494,7 +494,7 @@ func runE15(ctx context.Context) (*Table, error) {
 	// passes c2, so the true |X2| far exceeds the independence estimate.
 	link := netsim.Link{Latency: 10 * time.Millisecond, BytesPerSec: 2048, RequestOverhead: 5 * time.Millisecond}
 	for _, rho := range []float64{0, 0.5, 0.9} {
-		ms, err := newMeasured(workload.SynthConfig{
+		ms, err := newMeasured(ctx, workload.SynthConfig{
 			Seed: 13, NumSources: 5, TuplesPerSource: 700, Universe: 450,
 			Selectivity: []float64{0.06, 0.06, 0.15},
 			Correlation: rho,

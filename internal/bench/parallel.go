@@ -84,7 +84,7 @@ func runE16(ctx context.Context) (*Table, error) {
 	for _, v := range variants {
 		link := baseLink
 		link.MaxConns = v.conns
-		ms, err := newMeasured(cfg, link)
+		ms, err := newMeasured(ctx, cfg, link)
 		if err != nil {
 			return nil, err
 		}
@@ -125,7 +125,7 @@ func runE16(ctx context.Context) (*Table, error) {
 
 	// Cache: the same query twice against one shared cache. The second run
 	// answers every selection and binding locally and issues no queries.
-	ms, err := newMeasured(cfg, baseLink)
+	ms, err := newMeasured(ctx, cfg, baseLink)
 	if err != nil {
 		return nil, err
 	}

@@ -178,7 +178,7 @@ func (c *Catalog) BuildContext(ctx context.Context) (*core.Mediator, func(), err
 				closeAll()
 				return nil, nil, err
 			}
-			closers = append(closers, func() { cli.Close() })
+			closers = append(closers, func() { _ = cli.Close() })
 			src = cli
 		}
 		if schema == nil {

@@ -1,0 +1,12 @@
+package ctxfirst_test
+
+import (
+	"testing"
+
+	"fusionq/internal/lint/ctxfirst"
+	"fusionq/internal/lint/linttest"
+)
+
+func TestCtxFirst(t *testing.T) {
+	linttest.Run(t, ctxfirst.Analyzer, "testdata/fixture")
+}

@@ -1,0 +1,12 @@
+package metricnames_test
+
+import (
+	"testing"
+
+	"fusionq/internal/lint/linttest"
+	"fusionq/internal/lint/metricnames"
+)
+
+func TestMetricNames(t *testing.T) {
+	linttest.Run(t, metricnames.Analyzer, "testdata/fixture")
+}

@@ -1,0 +1,9 @@
+// Fixture vocabulary file: the analyzer keys on the names.go basename.
+package fixture
+
+const (
+	MGood    = "fq_good_total"
+	MHidden  = "fq_hidden_total"
+	MOrphan  = "fq_orphan_total" // want `metric constant MOrphan is not covered by DescribeAll`
+	notAName = 7                 // non-string constants are outside the vocabulary
+)

@@ -1,0 +1,12 @@
+package nakedgo_test
+
+import (
+	"testing"
+
+	"fusionq/internal/lint/linttest"
+	"fusionq/internal/lint/nakedgo"
+)
+
+func TestNakedGo(t *testing.T) {
+	linttest.Run(t, nakedgo.Analyzer, "testdata/fixture")
+}

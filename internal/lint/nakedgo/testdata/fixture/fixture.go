@@ -1,0 +1,52 @@
+// Fixture for the nakedgo analyzer: untracked vs WaitGroup-tracked goroutines.
+package fixture
+
+import "sync"
+
+type server struct {
+	wg sync.WaitGroup
+}
+
+func (s *server) run() {}
+
+// GoodDoneInBody: the goroutine body signals the WaitGroup itself.
+func (s *server) GoodDoneInBody() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.run()
+	}()
+}
+
+// GoodAddThenGo: an Add immediately before the go statement counts as
+// tracking even when Done lives inside the spawned function.
+func GoodAddThenGo(wg *sync.WaitGroup, f func()) {
+	wg.Add(1)
+	go runTracked(wg, f)
+}
+
+func runTracked(wg *sync.WaitGroup, f func()) {
+	defer wg.Done()
+	f()
+}
+
+func BadBare() {
+	go func() {}() // want `untracked goroutine`
+}
+
+func (s *server) BadMethod() {
+	go s.run() // want `untracked goroutine`
+}
+
+func BadSeparated(wg *sync.WaitGroup, f func()) {
+	wg.Add(1)
+	prepare()
+	go f() // want `untracked goroutine`
+}
+
+func prepare() {}
+
+func Suppressed(f func()) {
+	//fqlint:ignore nakedgo fixture demonstrates the suppression mechanism
+	go f()
+}

@@ -1,0 +1,12 @@
+package spanbalance_test
+
+import (
+	"testing"
+
+	"fusionq/internal/lint/linttest"
+	"fusionq/internal/lint/spanbalance"
+)
+
+func TestSpanBalance(t *testing.T) {
+	linttest.Run(t, spanbalance.Analyzer, "testdata/fixture")
+}

@@ -1,0 +1,72 @@
+// Fixture for the spanbalance analyzer. It imports the real obs package:
+// the analyzer keys on fusionq/internal/obs.StartSpan specifically.
+package fixture
+
+import (
+	"context"
+	"errors"
+
+	"fusionq/internal/obs"
+)
+
+// GoodDefer is the canonical shape: defer End right after start.
+func GoodDefer(ctx context.Context) {
+	ctx, sp := obs.StartSpan(ctx, "fixture", "good")
+	defer sp.End(nil)
+	_ = ctx
+}
+
+// GoodExplicit ends on every path before returning.
+func GoodExplicit(ctx context.Context, fail bool) error {
+	_, sp := obs.StartSpan(ctx, "fixture", "explicit")
+	if fail {
+		err := errors.New("boom")
+		sp.End(err)
+		return err
+	}
+	sp.End(nil)
+	return nil
+}
+
+// GoodClosure defers a closure that ends the span with the final error.
+func GoodClosure(ctx context.Context) (err error) {
+	_, sp := obs.StartSpan(ctx, "fixture", "closure")
+	defer func() {
+		sp.End(err)
+	}()
+	return nil
+}
+
+// GoodEscape hands the span to a helper; ownership transfers with it.
+func GoodEscape(ctx context.Context) {
+	_, sp := obs.StartSpan(ctx, "fixture", "escape")
+	finish(sp)
+}
+
+func finish(sp *obs.Span) {
+	sp.End(nil)
+}
+
+func BadLeak(ctx context.Context) {
+	_, sp := obs.StartSpan(ctx, "fixture", "leak") // want `span started here is never ended`
+	sp.SetAttr("k", "v")
+}
+
+func BadEarlyReturn(ctx context.Context, fail bool) error {
+	_, sp := obs.StartSpan(ctx, "fixture", "early")
+	if fail {
+		return errors.New("boom") // want `return may leave the span started at .* unended`
+	}
+	sp.End(nil)
+	return nil
+}
+
+func BadDiscard(ctx context.Context) {
+	_, _ = obs.StartSpan(ctx, "fixture", "discard") // want `span discarded at start`
+}
+
+func Suppressed(ctx context.Context) {
+	//fqlint:ignore spanbalance fixture demonstrates the suppression mechanism
+	_, sp := obs.StartSpan(ctx, "fixture", "suppressed")
+	sp.SetAttr("k", "v")
+}

@@ -1,0 +1,69 @@
+// Fixture for the wrapcheck analyzer: error wrapping and discarded returns.
+package fixture
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strings"
+)
+
+func work() error { return errors.New("boom") }
+
+func value() int { return 0 }
+
+// GoodWrap keeps the chain visible to errors.Is/As.
+func GoodWrap() error {
+	if err := work(); err != nil {
+		return fmt.Errorf("working: %w", err)
+	}
+	return nil
+}
+
+func BadWrap() error {
+	if err := work(); err != nil {
+		return fmt.Errorf("working: %v", err) // want `error operand formatted without %w`
+	}
+	return nil
+}
+
+// GoodVerb: %v over a non-error operand is fine.
+func GoodVerb(n int) error {
+	return fmt.Errorf("n=%v", n)
+}
+
+func Discarded() {
+	work() // want `error return discarded`
+}
+
+func ExplicitDiscard() {
+	_ = work()
+	value() // non-error results need no ceremony
+}
+
+// Deferred calls and deferred closures are cleanup paths; wrapcheck leaves
+// them alone.
+func DeferredCleanup(f *os.File) {
+	defer f.Close()
+	defer func() {
+		f.Close()
+	}()
+}
+
+// Exempt receivers: strings.Builder, bytes.Buffer, and hash.Hash never fail.
+func ExemptWriters() string {
+	var sb strings.Builder
+	sb.WriteString("a")
+	var buf bytes.Buffer
+	buf.WriteByte('b')
+	h := fnv.New64a()
+	h.Write([]byte("c"))
+	fmt.Println(sb.String()) // fmt package calls are exempt
+	return sb.String()
+}
+
+func Suppressed() {
+	work() //fqlint:ignore wrapcheck fixture demonstrates the suppression mechanism
+}

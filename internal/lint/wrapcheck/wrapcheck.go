@@ -1,0 +1,131 @@
+// Package wrapcheck enforces the error-propagation contract: fmt.Errorf
+// with an error operand uses %w (so errors.Is/As see through mediator and
+// wrapper layers — a %v flattens context.DeadlineExceeded into text and
+// breaks timeout classification), and an error-returning call is never used
+// as a bare statement in non-test code. An explicitly discarded error
+// (`_ = conn.Close()`) is allowed: the discard is visible in review.
+// Deferred calls — `defer f.Close()` and cleanup closures — are exempt,
+// as are fmt printers and the never-failing strings.Builder/bytes.Buffer
+// writers.
+package wrapcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"fusionq/internal/lint/analysis"
+)
+
+// Analyzer enforces %w wrapping and checked error returns.
+var Analyzer = &analysis.Analyzer{
+	Name: "wrapcheck",
+	Doc:  "fmt.Errorf must wrap error operands with %w; error returns must not be silently discarded",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		deferred := deferredFuncLits(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok && !insideAny(deferred, n.Pos()) {
+					checkDiscarded(pass, call)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorf flags fmt.Errorf calls that format an error operand without
+// %w.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "Errorf" || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING || strings.Contains(lit.Value, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		t := pass.TypesInfo.Types[arg].Type
+		if t != nil && analysis.ImplementsError(t) {
+			pass.Reportf(arg.Pos(), "error operand formatted without %%w; errors.Is/As cannot see through this wrap")
+			return
+		}
+	}
+}
+
+// checkDiscarded flags bare-statement calls whose results include an error.
+func checkDiscarded(pass *analysis.Pass, call *ast.CallExpr) {
+	t := pass.TypesInfo.Types[call].Type
+	if t == nil || !returnsError(t) {
+		return
+	}
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return
+	}
+	if recv := analysis.ReceiverNamed(pass.TypesInfo, call); recv != nil && recv.Obj().Pkg() != nil {
+		switch pkg := recv.Obj().Pkg().Path(); {
+		case pkg == "strings" && recv.Obj().Name() == "Builder",
+			pkg == "bytes" && recv.Obj().Name() == "Buffer",
+			pkg == "hash": // hash.Hash.Write is documented to never fail
+			return
+		}
+	}
+	pass.Reportf(call.Pos(), "error return discarded; handle it or assign to _ explicitly")
+}
+
+// returnsError reports whether a call-result type includes an error value.
+func returnsError(t types.Type) bool {
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if analysis.ImplementsError(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return analysis.ImplementsError(t)
+}
+
+// deferredFuncLits returns the source ranges of function literals invoked
+// directly by a defer statement — cleanup blocks whose error discards are
+// idiomatic.
+func deferredFuncLits(f *ast.File) [][2]token.Pos {
+	var out [][2]token.Pos
+	ast.Inspect(f, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			out = append(out, [2]token.Pos{lit.Pos(), lit.End()})
+		}
+		return true
+	})
+	return out
+}
+
+func insideAny(ranges [][2]token.Pos, pos token.Pos) bool {
+	for _, r := range ranges {
+		if r[0] <= pos && pos < r[1] {
+			return true
+		}
+	}
+	return false
+}

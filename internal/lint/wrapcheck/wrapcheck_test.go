@@ -1,0 +1,12 @@
+package wrapcheck_test
+
+import (
+	"testing"
+
+	"fusionq/internal/lint/linttest"
+	"fusionq/internal/lint/wrapcheck"
+)
+
+func TestWrapCheck(t *testing.T) {
+	linttest.Run(t, wrapcheck.Analyzer, "testdata/fixture")
+}

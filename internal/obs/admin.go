@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 )
 
@@ -17,6 +18,7 @@ import (
 type AdminServer struct {
 	ln  net.Listener
 	srv *http.Server
+	wg  sync.WaitGroup
 }
 
 // ServeAdmin starts an admin listener for reg on addr (e.g. "127.0.0.1:0").
@@ -32,15 +34,16 @@ func ServeAdmin(addr string, reg *Registry) (*AdminServer, error) {
 		fmt.Fprint(w, reg.PrometheusText())
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
 		data, err := reg.MarshalJSON()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		w.Write(data)
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(data)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
 	a := &AdminServer{
@@ -50,16 +53,24 @@ func ServeAdmin(addr string, reg *Registry) (*AdminServer, error) {
 			ReadHeaderTimeout: 5 * time.Second,
 		},
 	}
-	go a.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close.
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		_ = a.srv.Serve(ln) // Serve returns ErrServerClosed on Close.
+	}()
 	return a, nil
 }
 
 // Addr returns the listener's address.
 func (a *AdminServer) Addr() string { return a.ln.Addr().String() }
 
-// Close stops the listener and its in-flight handlers.
+// Close stops the listener, waits out in-flight handlers (bounded), and
+// waits for the serve goroutine to exit.
 func (a *AdminServer) Close() error {
+	//fqlint:ignore ctxfirst Close implements io.Closer; the shutdown budget has no caller context to inherit.
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
-	return a.srv.Shutdown(ctx)
+	err := a.srv.Shutdown(ctx)
+	a.wg.Wait()
+	return err
 }

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// declaredNames parses names.go and returns ident -> string value for every
+// string constant declared there. Parsing the source (rather than listing the
+// constants by hand) means a constant added to names.go is in scope for this
+// test with no edit here.
+func declaredNames(t *testing.T) map[string]string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "names.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parse names.go: %v", err)
+	}
+	out := map[string]string{}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs := spec.(*ast.ValueSpec)
+			for i, name := range vs.Names {
+				if i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				val, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					t.Fatalf("unquote %s: %v", lit.Value, err)
+				}
+				out[name.Name] = val
+			}
+		}
+	}
+	return out
+}
+
+// TestNamesDescribeAllBijection pins the contract the metricnames analyzer
+// assumes: the constants in names.go and the families registered by
+// DescribeAll are the same set, one-to-one.
+func TestNamesDescribeAllBijection(t *testing.T) {
+	names := declaredNames(t)
+	if len(names) == 0 {
+		t.Fatal("no string constants found in names.go")
+	}
+
+	// Constant values must be unique (two idents for one family would make
+	// scrapes ambiguous) and follow the fq_* convention.
+	byValue := map[string]string{}
+	for ident, val := range names {
+		if prev, dup := byValue[val]; dup {
+			t.Errorf("constants %s and %s share the value %q", prev, ident, val)
+		}
+		byValue[val] = ident
+		if !strings.HasPrefix(val, "fq_") {
+			t.Errorf("constant %s = %q does not follow the fq_* convention", ident, val)
+		}
+	}
+
+	r := NewRegistry()
+	DescribeAll(r)
+	described := map[string]MetricFamily{}
+	for _, mf := range r.Snapshot() {
+		described[mf.Name] = mf
+	}
+
+	// Every declared constant is described, with a kind and help text.
+	for ident, val := range names {
+		mf, ok := described[val]
+		if !ok {
+			t.Errorf("constant %s = %q is not registered by DescribeAll", ident, val)
+			continue
+		}
+		if mf.Type == "" || mf.Type == "untyped" {
+			t.Errorf("family %q has no concrete type after DescribeAll (got %q)", val, mf.Type)
+		}
+		if mf.Help == "" {
+			t.Errorf("family %q has no help text after DescribeAll", val)
+		}
+	}
+
+	// Every described family traces back to a declared constant: no family
+	// exists only as a literal inside DescribeAll.
+	for name := range described {
+		if _, ok := byValue[name]; !ok {
+			t.Errorf("DescribeAll registers %q, which has no constant in names.go", name)
+		}
+	}
+}

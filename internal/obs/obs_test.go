@@ -236,3 +236,42 @@ func TestAdminServerServesMetrics(t *testing.T) {
 		t.Fatal("/healthz not ok")
 	}
 }
+
+// TestAdminServerResponseShape pins the HTTP contract of the admin endpoints:
+// status codes and explicit Content-Type headers, so scrapers and probes can
+// dispatch on the header instead of sniffing bodies.
+func TestAdminServerResponseShape(t *testing.T) {
+	reg := NewRegistry()
+	DescribeAll(reg) // header-only families are enough to give every body content
+	srv, err := ServeAdmin("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cases := []struct {
+		path        string
+		contentType string
+	}{
+		{"/metrics", "text/plain; version=0.0.4; charset=utf-8"},
+		{"/metrics.json", "application/json"},
+		{"/healthz", "text/plain; charset=utf-8"},
+	}
+	for _, tc := range cases {
+		resp, err := http.Get("http://" + srv.Addr() + tc.path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", tc.path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d, want 200", tc.path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Content-Type"); got != tc.contentType {
+			t.Errorf("GET %s: Content-Type %q, want %q", tc.path, got, tc.contentType)
+		}
+		if len(body) == 0 {
+			t.Errorf("GET %s: empty body", tc.path)
+		}
+	}
+}

@@ -57,7 +57,7 @@ func DialContext(ctx context.Context, addr string) (*Client, error) {
 		return nil, fmt.Errorf("wire: server sent no metadata")
 	}
 	if resp.Meta.Version > ProtocolVersion {
-		c.Close()
+		_ = c.Close()
 		return nil, fmt.Errorf("wire: server %s speaks protocol v%d, this client supports up to v%d",
 			addr, resp.Meta.Version, ProtocolVersion)
 	}
@@ -150,19 +150,19 @@ func (c *Client) doRoundTrip(ctx context.Context, req Request) (Response, error)
 			// The deadline (not the transport) killed the exchange. Drop the
 			// connection: the response may still arrive and desynchronize
 			// the stream otherwise.
-			c.conn.Close()
+			_ = c.conn.Close()
 			c.conn = nil
 			return Response{}, fmt.Errorf("wire: %s: %w", c.addr, ctxErr)
 		}
 		// One reconnect attempt for a stale connection.
-		c.conn.Close()
+		_ = c.conn.Close()
 		if cerr := c.connect(ctx); cerr != nil {
 			return Response{}, fmt.Errorf("%w: %w", cerr, source.ErrTransient)
 		}
 		resp, err = send()
 		if err != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {
-				c.conn.Close()
+				_ = c.conn.Close()
 				c.conn = nil
 				return Response{}, fmt.Errorf("wire: %s: %w", c.addr, ctxErr)
 			}

@@ -80,6 +80,7 @@ func ServeConfig(src source.Source, addr string, cfg Config) (*Server, error) {
 		cfg.Logf = log.Printf
 	}
 	obs.DescribeAll(cfg.Metrics)
+	//fqlint:ignore ctxfirst the server owns its root context; Close/Shutdown cancel it, not a caller.
 	ctx, cancel := context.WithCancel(context.Background())
 	if cfg.Metrics != nil {
 		ctx = obs.With(ctx, &obs.Obs{Metrics: cfg.Metrics})
@@ -107,7 +108,7 @@ func (s *Server) Close() error {
 	s.closed = true
 	s.cancel()
 	for c := range s.conns {
-		c.Close()
+		_ = c.Close()
 	}
 	s.mu.Unlock()
 	err := s.ln.Close()
@@ -130,12 +131,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// the resulting timeout on a closed server as a clean exit. A handler
 	// mid-dispatch is unaffected — its response write proceeds.
 	for c := range s.conns {
-		c.SetReadDeadline(time.Now())
+		_ = c.SetReadDeadline(time.Now())
 	}
 	s.mu.Unlock()
 	lnErr := s.ln.Close()
 
 	done := make(chan struct{})
+	//fqlint:ignore nakedgo the watcher exits exactly when wg.Wait returns; both arms of the select below join it via done.
 	go func() {
 		s.wg.Wait()
 		close(done)
@@ -148,7 +150,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.mu.Lock()
 		s.cancel()
 		for c := range s.conns {
-			c.Close()
+			_ = c.Close()
 		}
 		s.mu.Unlock()
 		<-done
@@ -172,7 +174,7 @@ func (s *Server) acceptLoop() {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			conn.Close()
+			_ = conn.Close()
 			return
 		}
 		s.conns[conn] = struct{}{}
