@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint fuzz bench
+.PHONY: build test race lint fuzz bench oracle
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,14 @@ lint:
 
 fuzz:
 	$(GO) test -fuzz=FuzzParseFusion -fuzztime=30s -run='^$$' ./internal/sqlparse
+
+# Differential oracle: a 60s soak of random universes against the naive
+# reference executor, writing a shrunk repro artifact on failure, then a
+# fuzz smoke over the generator's seed space under the race detector.
+oracle:
+	mkdir -p oracle-out
+	$(GO) run ./cmd/fqoracle -duration 60s -seed 1 -repro oracle-out/repro.json
+	$(GO) test -race -fuzz=FuzzOracle -fuzztime=30s -run='^$$' ./internal/oracle
 
 bench:
 	mkdir -p bench-out

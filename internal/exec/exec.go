@@ -416,6 +416,13 @@ func (e *Executor) runStepRetry(ctx context.Context, p *plan.Plan, idx int, s pl
 		if attempt >= budget || !source.IsTransient(err) {
 			break
 		}
+		// A transient failure is only worth retrying while the caller still
+		// wants the answer: once ctx is done, stop with the context error so
+		// fault sweeps cannot burn the whole retry budget after cancellation.
+		if cerr := ctx.Err(); cerr != nil {
+			stepErr = fmt.Errorf("exec: %s: %w", text, cerr)
+			break
+		}
 		agg.retries++
 	}
 	span.End(stepErr)

@@ -2,10 +2,14 @@ package exec
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"testing"
 
+	"fusionq/internal/cond"
 	"fusionq/internal/optimizer"
 	"fusionq/internal/plan"
+	"fusionq/internal/set"
 	"fusionq/internal/source"
 	"fusionq/internal/stats"
 	"fusionq/internal/workload"
@@ -96,6 +100,57 @@ func TestRetriesInParallelMode(t *testing.T) {
 	}
 	if !got.Answer.Equal(dmvAnswer) {
 		t.Fatalf("answer = %v, want %v", got.Answer, dmvAnswer)
+	}
+}
+
+// stubTransient always fails with a bare transient error and never checks
+// its context — the worst case for a retry loop, which must then notice the
+// dead context itself between attempts.
+type stubTransient struct {
+	source.Source
+	calls  int
+	onCall func(int)
+}
+
+func (s *stubTransient) Select(ctx context.Context, c cond.Cond) (set.Set, error) {
+	s.calls++
+	if s.onCall != nil {
+		s.onCall(s.calls)
+	}
+	return set.Set{}, fmt.Errorf("stub %s: select: %w", s.Name(), source.ErrTransient)
+}
+
+// TestRetryLoopStopsWhenContextDies pins that an enormous retry budget does
+// not outlive the caller: when the context is cancelled mid-retry against a
+// source that keeps returning bare transient errors, the loop must stop at
+// the next attempt boundary with a cancellation-classified error instead of
+// burning the remaining budget.
+func TestRetryLoopStopsWhenContextDies(t *testing.T) {
+	sc := workload.DMV()
+	stub := &stubTransient{Source: sc.Sources[0]}
+	p := &plan.Plan{
+		Conds:   sc.Conds[:1],
+		Sources: []string{sc.Sources[0].Name()},
+		Steps:   []plan.Step{{Kind: plan.KindSelect, Out: "A", Cond: 0, Source: 0}},
+		Result:  "A",
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stub.onCall = func(n int) {
+		if n == 5 {
+			cancel()
+		}
+	}
+	ex := &Executor{Sources: []source.Source{stub}, Retries: 1 << 30}
+	_, err := ex.Run(ctx, p)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if stub.calls > 6 {
+		t.Fatalf("retry loop ran %d attempts after cancellation", stub.calls)
+	}
+	if stub.calls < 5 {
+		t.Fatalf("cancellation hook never fired: only %d attempts", stub.calls)
 	}
 }
 

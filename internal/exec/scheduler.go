@@ -298,6 +298,12 @@ func (e *Executor) bindingQuery(ctx context.Context, j int, c cond.Cond, item st
 		if attempt >= e.Retries || !source.IsTransient(err) {
 			return false, qs, err
 		}
+		// Between retries the context may have died (the failed attempt races
+		// with cancellation); re-issuing the binding then is wasted traffic,
+		// so surface the context error instead.
+		if cerr := ctx.Err(); cerr != nil {
+			return false, qs, fmt.Errorf("source %s: binding %s: %w", src.Name(), item, cerr)
+		}
 		qs.retries++
 	}
 }

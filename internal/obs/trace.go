@@ -67,6 +67,10 @@ type SpanData struct {
 	DurationUS int64             `json:"durationUs"`
 	Attrs      map[string]string `json:"attrs,omitempty"`
 	Error      string            `json:"error,omitempty"`
+	// Finished reports whether End was called. DurationUS alone cannot
+	// distinguish an unfinished span from a sub-microsecond one, so balance
+	// checks (every started span must end) key on this field.
+	Finished bool `json:"finished,omitempty"`
 }
 
 // StartSpan begins a span named name of the given kind as a child of the
@@ -139,13 +143,14 @@ func (s *Span) Snapshot() SpanData {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	d := SpanData{
-		ID:      s.id,
-		Parent:  s.parent,
-		QueryID: s.queryID,
-		Kind:    s.kind,
-		Name:    s.name,
-		Start:   s.start,
-		Error:   s.errText,
+		ID:       s.id,
+		Parent:   s.parent,
+		QueryID:  s.queryID,
+		Kind:     s.kind,
+		Name:     s.name,
+		Start:    s.start,
+		Error:    s.errText,
+		Finished: s.finished,
 	}
 	if !s.end.IsZero() {
 		d.DurationUS = s.end.Sub(s.start).Microseconds()

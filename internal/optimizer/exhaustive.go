@@ -62,7 +62,7 @@ func Exhaustive(pr *Problem) (Result, error) {
 				firstErr = err
 				return
 			}
-			if est.Cost < best.Cost {
+			if improves(est.Cost, sk.Ordering, best.Cost, best.Sketch.Ordering) {
 				best = Result{Plan: p, Cost: est.Cost, Sketch: sk}
 			}
 		}

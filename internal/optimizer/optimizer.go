@@ -141,6 +141,32 @@ func permutations(m int, fn func([]int)) int {
 	return count
 }
 
+// lexLess reports whether ordering a precedes ordering b lexicographically.
+func lexLess(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// improves reports whether a candidate plan (cost, ord) should replace the
+// incumbent best (bestCost, bestOrd). Strictly cheaper always wins; an exact
+// cost tie falls to the lexicographically smaller condition ordering. The
+// deterministic tie-break makes every enumerating optimizer's choice a
+// function of the problem alone, independent of the order permutations are
+// visited in — equal-cost plans cannot flip with a refactor of the
+// enumeration. Candidates visited earlier under the same ordering (e.g. the
+// method masks of the exhaustive search) keep first-wins behavior, which is
+// deterministic already.
+func improves(cost float64, ord []int, bestCost float64, bestOrd []int) bool {
+	if cost != bestCost {
+		return cost < bestCost
+	}
+	return bestOrd != nil && lexLess(ord, bestOrd)
+}
+
 // varName renders the X_{ij} round variables, matching the paper's figures
 // for single-digit indices and remaining unambiguous beyond.
 func varName(round, src int) string {

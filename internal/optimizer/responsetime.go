@@ -53,7 +53,7 @@ func ResponseTimeSJA(pr *Problem) (Result, error) {
 			rt += roundMax
 			x = t.RoundCard(ci, x)
 		}
-		if rt < best.Cost {
+		if improves(rt, ord, best.Cost, best.Sketch.Ordering) {
 			best.Cost = rt
 			best.Sketch = Sketch{Ordering: append([]int(nil), ord...), Choices: choices, Class: "response-time-sja"}
 		}

@@ -57,7 +57,7 @@ func SJ(pr *Problem) (Result, error) {
 			planCost += cost
 			x = t.RoundCard(ci, x)
 		}
-		if planCost < best.Cost {
+		if improves(planCost, ord, best.Cost, best.Sketch.Ordering) {
 			best.Cost = planCost
 			best.Sketch = Sketch{Ordering: append([]int(nil), ord...), Choices: choices, Class: "semijoin"}
 		}

@@ -37,7 +37,7 @@ func SJA(pr *Problem) (Result, error) {
 			}
 			x = t.RoundCard(ci, x)
 		}
-		if planCost < best.Cost {
+		if improves(planCost, ord, best.Cost, best.Sketch.Ordering) {
 			best.Cost = planCost
 			best.Sketch = Sketch{Ordering: append([]int(nil), ord...), Choices: choices, Class: "semijoin-adaptive"}
 		}

@@ -1,0 +1,537 @@
+package oracle
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"fusionq/internal/bloom"
+	"fusionq/internal/exec"
+	"fusionq/internal/netsim"
+	"fusionq/internal/obs"
+	"fusionq/internal/optimizer"
+	"fusionq/internal/plan"
+	"fusionq/internal/set"
+	"fusionq/internal/source"
+	"fusionq/internal/stats"
+	"fusionq/internal/workload"
+)
+
+// exhaustiveGate bounds the brute-force plan count the per-instance
+// exhaustive cross-check is willing to enumerate.
+const exhaustiveGate = 5000
+
+// realTimeScale converts simulated seconds to wall-clock seconds during the
+// deadline sweep: small enough that a sweep costs milliseconds, large
+// enough that a context deadline interrupts mid-exchange.
+const realTimeScale = 0.05
+
+// Driver checks generated instances against the oracle's properties.
+// The zero value is the production configuration.
+type Driver struct {
+	// Mutate, when non-nil, corrupts the executed answer of plan class
+	// MutateClass before comparison — a deliberate bug injection used by
+	// the tests to prove the oracle actually catches answer divergence and
+	// by the shrinker self-test. Never set outside tests.
+	MutateClass string
+	Mutate      func(set.Set) set.Set
+}
+
+// planClass is one optimizer entry point under differential test.
+type planClass struct {
+	name string
+	opt  func(*optimizer.Problem) (optimizer.Result, error)
+}
+
+// planClasses lists every plan class the driver executes. rt-sja optimizes
+// response time rather than total work, so its Result.Cost lives outside
+// the total-work dominance chain but its plan must still compute the same
+// answer.
+func planClasses() []planClass {
+	return []planClass{
+		{"filter", optimizer.Filter},
+		{"sj", optimizer.SJ},
+		{"sja", optimizer.SJA},
+		{"sja+", optimizer.SJAPlus},
+		{"greedy-sj", optimizer.GreedySJ},
+		{"greedy-sja", optimizer.GreedySJA},
+		{"greedy-adaptive-sja", optimizer.GreedyAdaptiveSJA},
+		{"greedy-sja+", optimizer.GreedySJAPlus},
+		{"rt-sja", optimizer.ResponseTimeSJA},
+	}
+}
+
+// env is one materialized instance: scenario, network, instrumented
+// sources, cost table and reference answer.
+type env struct {
+	inst    Instance
+	sc      *workload.Scenario
+	network *netsim.Network
+	sources []source.Source
+	pr      *optimizer.Problem
+	ref     set.Set
+}
+
+// buildEnv materializes the instance. An error here means the instance
+// could not even be constructed — an infrastructure problem, not a property
+// violation.
+func buildEnv(ctx context.Context, inst Instance) (*env, error) {
+	sc, err := workload.Synth(inst.synthConfig())
+	if err != nil {
+		return nil, fmt.Errorf("oracle: synth: %w", err)
+	}
+	ref, err := ReferenceAnswer(sc)
+	if err != nil {
+		return nil, err
+	}
+	network := netsim.NewNetwork(inst.Seed + 1)
+	srcs := make([]source.Source, len(sc.Sources))
+	profiles := make([]stats.SourceProfile, len(sc.Sources))
+	for j, raw := range sc.Sources {
+		link := netsim.Link{
+			Latency:         time.Duration(inst.LatencyUS[j]) * time.Microsecond,
+			BytesPerSec:     1 << 20,
+			RequestOverhead: 100 * time.Microsecond,
+			MaxConns:        inst.MaxConns[j],
+		}
+		network.SetLink(raw.Name(), link)
+		srcs[j] = source.Instrument(raw, network)
+		// Items are the 8-byte "ID%06d" strings of the synthetic workload.
+		prof := stats.ProfileFromLink(raw.Name(), link, 8, stats.SupportOf(raw.Caps()))
+		if raw.Caps().BloomSemijoin {
+			prof.BloomBitsPerItem = bloom.DefaultBitsPerItem
+		}
+		profiles[j] = prof
+	}
+	table, err := stats.BuildFromSources(ctx, sc.Conds, srcs, profiles)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: stats: %w", err)
+	}
+	network.Reset()
+	return &env{
+		inst:    inst,
+		sc:      sc,
+		network: network,
+		sources: srcs,
+		pr:      &optimizer.Problem{Conds: sc.Conds, Sources: sc.SourceNames(), Table: table},
+		ref:     ref,
+	}, nil
+}
+
+// Check materializes the instance and verifies every oracle property,
+// returning all violations found (empty means the instance passes). The
+// returned error reports an infrastructure failure only.
+func (d *Driver) Check(ctx context.Context, inst Instance) ([]Failure, error) {
+	ev, err := buildEnv(ctx, inst)
+	if err != nil {
+		return nil, err
+	}
+	var fs []Failure
+
+	// Phase 1: optimize every class and check the cost model.
+	results := map[string]optimizer.Result{}
+	for _, pc := range planClasses() {
+		r, err := pc.opt(ev.pr)
+		if err != nil {
+			fs = append(fs, Failure{Property: "optimize-error", Class: pc.name, Detail: err.Error()})
+			continue
+		}
+		results[pc.name] = r
+	}
+	fs = append(fs, checkCosts(ev, results)...)
+
+	// Phase 2: execute every class sequentially, uncached and faultless.
+	// These runs must succeed and agree with the reference byte for byte.
+	for _, pc := range planClasses() {
+		r, ok := results[pc.name]
+		if !ok {
+			continue
+		}
+		fs = append(fs, d.runPlan(ctx, ev, ev.sources, pc.name, r.Plan, runOpts{mode: "seq"})...)
+	}
+
+	// Phase 3: parallel execution of every class.
+	if inst.Parallel {
+		for _, pc := range planClasses() {
+			r, ok := results[pc.name]
+			if !ok {
+				continue
+			}
+			fs = append(fs, d.runPlan(ctx, ev, ev.sources, pc.name, r.Plan, runOpts{mode: "par", parallel: true})...)
+		}
+	}
+
+	// Phase 4: answer-cache reuse across repeated runs.
+	if inst.CacheRuns {
+		fs = append(fs, d.checkCacheReuse(ctx, ev, results)...)
+	}
+
+	// Phase 5: the join-over-union baseline, memoized and not.
+	fs = append(fs, d.checkJoinOverUnion(ctx, ev)...)
+
+	// Phase 6: fault sweep — flaky sources with a retry budget. Runs are
+	// sequential so the injected failure sequence is deterministic.
+	if inst.Faults {
+		fs = append(fs, d.checkFaults(ctx, ev, results)...)
+	}
+
+	// Phase 7: deadline sweep — real-time exchanges under a tight context
+	// deadline must yield an honestly-classified error or the exact answer.
+	if inst.Deadline {
+		fs = append(fs, d.checkDeadline(ctx, ev, results)...)
+	}
+	return fs, nil
+}
+
+// checkCosts verifies the cost-model invariants over the optimized classes:
+// algorithm bookkeeping equals the shared estimator, the dominance chain
+// SJA ≤ {SJ, FILTER, greedy variants} and SJA+ ≤ SJA holds, and on small
+// instances SJA matches the exhaustive optimum.
+func checkCosts(ev *env, results map[string]optimizer.Result) []Failure {
+	var fs []Failure
+	tol := func(x float64) float64 { return 1e-6 * (1 + math.Abs(x)) }
+
+	for _, cls := range []string{"filter", "sj", "sja"} {
+		r, ok := results[cls]
+		if !ok {
+			continue
+		}
+		est, err := plan.EstimateCost(r.Plan, ev.pr.Table)
+		if err != nil {
+			fs = append(fs, Failure{Property: "cost-bookkeeping", Class: cls, Detail: "estimator failed: " + err.Error()})
+			continue
+		}
+		if math.Abs(est.Cost-r.Cost) > tol(r.Cost) {
+			fs = append(fs, Failure{Property: "cost-bookkeeping", Class: cls,
+				Detail: fmt.Sprintf("algorithm bookkeeping %v != estimator %v", r.Cost, est.Cost)})
+		}
+	}
+
+	sja, haveSJA := results["sja"]
+	if haveSJA {
+		// SJA is optimal within the class containing FILTER, SJ and the
+		// greedy (non-postoptimized) variants.
+		for _, cls := range []string{"filter", "sj", "greedy-sj", "greedy-sja", "greedy-adaptive-sja"} {
+			if r, ok := results[cls]; ok && sja.Cost > r.Cost+tol(r.Cost) {
+				fs = append(fs, Failure{Property: "cost-dominance", Class: cls,
+					Detail: fmt.Sprintf("sja cost %v exceeds %s cost %v", sja.Cost, cls, r.Cost)})
+			}
+		}
+		if plus, ok := results["sja+"]; ok && plus.Cost > sja.Cost+tol(sja.Cost) {
+			fs = append(fs, Failure{Property: "cost-dominance", Class: "sja+",
+				Detail: fmt.Sprintf("sja+ cost %v exceeds sja cost %v", plus.Cost, sja.Cost)})
+		}
+	}
+	if plus, ok := results["sja+"]; ok {
+		if gplus, ok2 := results["greedy-sja+"]; ok2 && plus.Cost > gplus.Cost+tol(gplus.Cost) {
+			fs = append(fs, Failure{Property: "cost-dominance", Class: "greedy-sja+",
+				Detail: fmt.Sprintf("sja+ cost %v exceeds greedy-sja+ cost %v", plus.Cost, gplus.Cost)})
+		}
+	}
+
+	// Exhaustive cross-check on small instances: the chosen SJA plan's cost
+	// must match the brute-force optimum over every enumerated alternative.
+	if haveSJA {
+		m, n := len(ev.pr.Conds), len(ev.pr.Sources)
+		count := 1.0
+		for i := 2; i <= m; i++ {
+			count *= float64(i)
+		}
+		count *= math.Pow(3, float64(n*(m-1)))
+		if count <= exhaustiveGate {
+			ex, err := optimizer.Exhaustive(ev.pr)
+			if err != nil {
+				fs = append(fs, Failure{Property: "optimize-error", Class: "exhaustive", Detail: err.Error()})
+			} else if math.Abs(ex.Cost-sja.Cost) > tol(ex.Cost) {
+				fs = append(fs, Failure{Property: "cost-dominance", Class: "exhaustive",
+					Detail: fmt.Sprintf("sja cost %v != exhaustive optimum %v (ordering %v vs %v)", sja.Cost, ex.Cost, sja.Sketch.Ordering, ex.Sketch.Ordering)})
+			}
+		}
+	}
+	return fs
+}
+
+// runOpts configures one execution of one plan class.
+type runOpts struct {
+	mode     string
+	parallel bool
+	cache    *exec.Cache
+	retries  int
+	// allowErr classifies acceptable failures (fault and deadline sweeps).
+	// Nil means the run must succeed.
+	allowErr func(error) bool
+}
+
+// runPlan executes one plan with fresh observability state and checks every
+// per-run property: answer equality (or honest partials), the accounting
+// identities, and span/metric balance.
+func (d *Driver) runPlan(ctx context.Context, ev *env, srcs []source.Source, cls string, p *plan.Plan, opts runOpts) []Failure {
+	ev.network.Reset()
+	o := &obs.Obs{QueryID: obs.NewQueryID(), Trace: obs.NewTrace(), Metrics: obs.NewRegistry()}
+	rctx := obs.With(ctx, o)
+	ex := &exec.Executor{
+		Sources:  srcs,
+		Network:  ev.network,
+		Parallel: opts.parallel,
+		Cache:    opts.cache,
+		Retries:  opts.retries,
+	}
+	res, err := ex.Run(rctx, p)
+	var fs []Failure
+
+	if err != nil {
+		switch {
+		case opts.allowErr == nil:
+			fs = append(fs, Failure{Property: "exec-error", Class: cls, Mode: opts.mode, Detail: err.Error()})
+		case !opts.allowErr(err):
+			fs = append(fs, Failure{Property: "error-class", Class: cls, Mode: opts.mode,
+				Detail: "unclassified failure: " + err.Error()})
+		default:
+			// Honest partial: a failed run may report the exact answer
+			// (failure after the result was computed cannot happen — the
+			// run would have succeeded — but the empty set is the honest
+			// "no answer yet") and must never report a wrong non-empty one.
+			if !res.Answer.IsEmpty() && !res.Answer.Equal(ev.ref) {
+				fs = append(fs, Failure{Property: "partial-dishonest", Class: cls, Mode: opts.mode,
+					Detail: fmt.Sprintf("failed run reported non-empty wrong answer (%d items, want %d): %v", res.Answer.Len(), ev.ref.Len(), err)})
+			}
+		}
+	} else {
+		got := res.Answer
+		if d.Mutate != nil && cls == d.MutateClass {
+			got = d.Mutate(got)
+		}
+		if !got.Equal(ev.ref) {
+			fs = append(fs, Failure{Property: "answer-mismatch", Class: cls, Mode: opts.mode,
+				Detail: answerDiff(got, ev.ref)})
+		}
+	}
+
+	// Accounting identities hold for successful and failed runs alike: the
+	// counters report the traffic actually paid for.
+	if opts.parallel {
+		if res.ResponseTime > res.TotalWork {
+			fs = append(fs, Failure{Property: "par-response", Class: cls, Mode: opts.mode,
+				Detail: fmt.Sprintf("parallel response time %v exceeds total work %v", res.ResponseTime, res.TotalWork)})
+		}
+	} else if res.ResponseTime != res.TotalWork {
+		fs = append(fs, Failure{Property: "seq-identity", Class: cls, Mode: opts.mode,
+			Detail: fmt.Sprintf("sequential response time %v != total work %v", res.ResponseTime, res.TotalWork)})
+	}
+
+	fs = append(fs, checkObsBalance(cls, opts.mode, res, o)...)
+	return fs
+}
+
+// answerDiff summarizes how an executed answer diverges from the reference.
+func answerDiff(got, want set.Set) string {
+	missing := want.Diff(got)
+	extra := got.Diff(want)
+	return fmt.Sprintf("answer has %d items, reference %d; missing %s, extra %s",
+		got.Len(), want.Len(), sample(missing), sample(extra))
+}
+
+// sample renders a set, eliding beyond 5 items.
+func sample(s set.Set) string {
+	if s.Len() <= 5 {
+		return s.String()
+	}
+	return fmt.Sprintf("%v… (%d items)", set.New(s.Items()[:5]...), s.Len())
+}
+
+// checkObsBalance verifies zero span/metric imbalance: every started span
+// ended, the per-source counter sums equal the executor's result counters,
+// and the scheduler gauges drained back to zero.
+func checkObsBalance(cls, mode string, res *exec.Result, o *obs.Obs) []Failure {
+	var fs []Failure
+	unfinished := 0
+	for _, sp := range o.Trace.Export() {
+		if !sp.Finished {
+			unfinished++
+		}
+	}
+	if unfinished > 0 {
+		fs = append(fs, Failure{Property: "span-unfinished", Class: cls, Mode: mode,
+			Detail: fmt.Sprintf("%d of %d spans never ended", unfinished, o.Trace.Len())})
+	}
+	snap := o.Metrics.Snapshot()
+	for _, chk := range []struct {
+		metric string
+		want   int
+	}{
+		{obs.MSourceQueries, res.SourceQueries},
+		{obs.MCacheHits, res.CacheHits},
+		{obs.MCacheMisses, res.CacheMisses},
+		{obs.MRetries, res.Retries},
+	} {
+		if got := metricSum(snap, chk.metric); got != int64(chk.want) {
+			fs = append(fs, Failure{Property: "metric-imbalance", Class: cls, Mode: mode,
+				Detail: fmt.Sprintf("%s sums to %d, result counter says %d", chk.metric, got, chk.want)})
+		}
+	}
+	for _, gauge := range []string{obs.MSchedQueueDepth, obs.MSchedLaneOccupancy} {
+		if got := metricSum(snap, gauge); got != 0 {
+			fs = append(fs, Failure{Property: "gauge-leak", Class: cls, Mode: mode,
+				Detail: fmt.Sprintf("%s left at %d after the run", gauge, got)})
+		}
+	}
+	return fs
+}
+
+// metricSum totals a family's point values across all label sets.
+func metricSum(snap []obs.MetricFamily, name string) int64 {
+	var sum int64
+	for _, f := range snap {
+		if f.Name != name {
+			continue
+		}
+		for _, p := range f.Points {
+			sum += p.Value
+		}
+	}
+	return sum
+}
+
+// checkCacheReuse runs the SJA plan twice against one shared answer cache:
+// the first run must register misses, the second must convert them into
+// hits and never issue more source queries than the first — and both must
+// still return the exact answer.
+func (d *Driver) checkCacheReuse(ctx context.Context, ev *env, results map[string]optimizer.Result) []Failure {
+	r, ok := results["sja"]
+	if !ok {
+		return nil
+	}
+	cache := exec.NewCache()
+	var fs []Failure
+	run := func() (*exec.Result, []Failure, error) {
+		o := &obs.Obs{QueryID: obs.NewQueryID(), Trace: obs.NewTrace(), Metrics: obs.NewRegistry()}
+		ev.network.Reset()
+		ex := &exec.Executor{Sources: ev.sources, Network: ev.network, Cache: cache}
+		res, err := ex.Run(obs.With(ctx, o), r.Plan)
+		if err != nil {
+			return nil, nil, err
+		}
+		sub := checkObsBalance("sja", "cached", res, o)
+		if got := d.mutated("sja", res.Answer); !got.Equal(ev.ref) {
+			sub = append(sub, Failure{Property: "answer-mismatch", Class: "sja", Mode: "cached", Detail: answerDiff(got, ev.ref)})
+		}
+		return res, sub, nil
+	}
+
+	res1, sub, err := run()
+	if err != nil {
+		return append(fs, Failure{Property: "exec-error", Class: "sja", Mode: "cached", Detail: err.Error()})
+	}
+	fs = append(fs, sub...)
+	if res1.CacheMisses == 0 {
+		fs = append(fs, Failure{Property: "cache-reuse", Class: "sja", Mode: "cached",
+			Detail: "first cached run registered no misses"})
+	}
+
+	res2, sub, err := run()
+	if err != nil {
+		return append(fs, Failure{Property: "exec-error", Class: "sja", Mode: "cached", Detail: err.Error()})
+	}
+	fs = append(fs, sub...)
+	if res2.CacheHits == 0 {
+		fs = append(fs, Failure{Property: "cache-reuse", Class: "sja", Mode: "cached",
+			Detail: fmt.Sprintf("warm run scored no hits (first run: %d misses)", res1.CacheMisses)})
+	}
+	if res2.SourceQueries > res1.SourceQueries {
+		fs = append(fs, Failure{Property: "cache-reuse", Class: "sja", Mode: "cached",
+			Detail: fmt.Sprintf("warm run issued %d source queries, cold run %d", res2.SourceQueries, res1.SourceQueries)})
+	}
+	return fs
+}
+
+// mutated applies the corruption hook when the class matches.
+func (d *Driver) mutated(cls string, answer set.Set) set.Set {
+	if d.Mutate != nil && cls == d.MutateClass {
+		return d.Mutate(answer)
+	}
+	return answer
+}
+
+// checkJoinOverUnion runs the Section 5 baseline — distribute the join over
+// the union into n^m SPJ subqueries — with and without memoization. The
+// baseline bypasses the scheduler's accounting, so only answer equality is
+// checked.
+func (d *Driver) checkJoinOverUnion(ctx context.Context, ev *env) []Failure {
+	var fs []Failure
+	for _, memoize := range []bool{false, true} {
+		cls := "jou"
+		if memoize {
+			cls = "jou-memo"
+		}
+		ev.network.Reset()
+		ex := &exec.Executor{Sources: ev.sources, Network: ev.network}
+		res, err := ex.RunJoinOverUnion(ctx, ev.pr, memoize, 0)
+		if err != nil {
+			fs = append(fs, Failure{Property: "exec-error", Class: cls, Detail: err.Error()})
+			continue
+		}
+		if got := d.mutated(cls, res.Answer); !got.Equal(ev.ref) {
+			fs = append(fs, Failure{Property: "answer-mismatch", Class: cls, Detail: answerDiff(got, ev.ref)})
+		}
+	}
+	return fs
+}
+
+// checkFaults reruns representative classes against flaky sources with a
+// retry budget. A run must either absorb the injected failures and return
+// the exact answer, or fail with an honestly-classified error and no wrong
+// partial answer. Runs are sequential: the injected failure sequence is
+// then a pure function of the instance seed.
+func (d *Driver) checkFaults(ctx context.Context, ev *env, results map[string]optimizer.Result) []Failure {
+	flaky := make([]source.Source, len(ev.sources))
+	for j, src := range ev.sources {
+		flaky[j] = source.NewFlaky(src, ev.inst.FaultRate, ev.inst.Seed+int64(j)*7919)
+	}
+	allow := func(err error) bool {
+		return errors.Is(err, source.ErrTransient) ||
+			errors.Is(err, context.Canceled) ||
+			errors.Is(err, context.DeadlineExceeded)
+	}
+	var fs []Failure
+	for _, cls := range []string{"filter", "sja+"} {
+		r, ok := results[cls]
+		if !ok {
+			continue
+		}
+		fs = append(fs, d.runPlan(ctx, ev, flaky, cls, r.Plan, runOpts{
+			mode:     "faults",
+			retries:  ev.inst.Retries + 2,
+			allowErr: allow,
+		})...)
+	}
+	return fs
+}
+
+// checkDeadline executes the SJA plan with real-time exchanges under a
+// context deadline sized from the plan's own cost estimate, so both
+// outcomes — completion and expiry — occur across instances. Either way the
+// run must be honest: the exact answer, or a context-classified error.
+func (d *Driver) checkDeadline(ctx context.Context, ev *env, results map[string]optimizer.Result) []Failure {
+	r, ok := results["sja"]
+	if !ok {
+		return nil
+	}
+	frac := []float64{0.05, 0.2, 0.7, 2.0}[int(ev.inst.Seed&3)]
+	timeout := time.Duration(frac * realTimeScale * r.Cost * float64(time.Second))
+	if timeout < 200*time.Microsecond {
+		timeout = 200 * time.Microsecond
+	}
+	if timeout > 100*time.Millisecond {
+		timeout = 100 * time.Millisecond
+	}
+	ev.network.SetRealTime(realTimeScale)
+	defer ev.network.SetRealTime(0)
+	dctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	allow := func(err error) bool {
+		return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+	}
+	return d.runPlan(dctx, ev, ev.sources, "sja", r.Plan, runOpts{mode: "deadline", allowErr: allow})
+}

@@ -1,0 +1,32 @@
+package oracle
+
+import (
+	"context"
+	"testing"
+)
+
+// FuzzOracle drives the differential oracle from a fuzzed seed: the corpus
+// explores the generator's whole parameter space one int64 at a time, and
+// any failing seed becomes a permanent regression input. The deadline sweep
+// is disabled (it sleeps real wall-clock time) and the data volume capped,
+// so individual executions stay fast enough for fuzzing throughput.
+func FuzzOracle(f *testing.F) {
+	for _, seed := range []int64{0, 1, 2, 42, -7, 1 << 40, -(1 << 52)} {
+		f.Add(seed)
+	}
+	d := &Driver{}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		inst := Generate(seed)
+		inst.Deadline = false
+		if inst.TuplesPerSource > 60 {
+			inst.TuplesPerSource = 60
+		}
+		fs, err := d.Check(context.Background(), inst)
+		if err != nil {
+			t.Fatalf("seed %d: instance could not be built: %v\n%s", seed, err, inst.JSON())
+		}
+		if len(fs) > 0 {
+			reportFailures(t, d, inst, fs)
+		}
+	})
+}

@@ -1,0 +1,53 @@
+package oracle
+
+import (
+	"fmt"
+
+	"fusionq/internal/set"
+	"fusionq/internal/workload"
+)
+
+// ReferenceAnswer computes the fusion query's ground-truth answer the naive
+// way: conceptually load every source to the mediator and evaluate every
+// condition there. An item is in the answer iff, for each condition, some
+// tuple at some source carries the item and satisfies the condition
+// (Section 2.1's semantics — conditions may be witnessed at different
+// sources). The implementation reads the scenario's raw relations directly,
+// sharing no code with the optimizer or executor under test.
+func ReferenceAnswer(sc *workload.Scenario) (set.Set, error) {
+	m := len(sc.Conds)
+	satisfied := make([]map[string]bool, m)
+	for i := range satisfied {
+		satisfied[i] = map[string]bool{}
+	}
+	for _, rel := range sc.Relations {
+		schema := rel.Schema()
+		mi := schema.MergeIndex()
+		for _, t := range rel.Rows() {
+			item := t[mi].Raw()
+			for i, c := range sc.Conds {
+				ok, err := c.Eval(schema, t)
+				if err != nil {
+					return set.Set{}, fmt.Errorf("oracle: reference eval %q: %w", c, err)
+				}
+				if ok {
+					satisfied[i][item] = true
+				}
+			}
+		}
+	}
+	var items []string
+	for item := range satisfied[0] {
+		all := true
+		for i := 1; i < m; i++ {
+			if !satisfied[i][item] {
+				all = false
+				break
+			}
+		}
+		if all {
+			items = append(items, item)
+		}
+	}
+	return set.New(items...), nil
+}

@@ -1,0 +1,116 @@
+package set
+
+import "testing"
+
+// These tests pin the difference/intersection edge cases the SJA+
+// postoptimizer's pruning chain relies on (Section 4): a pruned semijoin
+// set is X minus what earlier chain members already confirmed, so the
+// algebra must be exact on empty sets, on inputs with duplicates, and when
+// the overlap is total.
+
+func TestIntersectEdgeCases(t *testing.T) {
+	s := New("a", "b", "c")
+	if got := s.Intersect(Empty); !got.IsEmpty() {
+		t.Errorf("s ∩ {} = %v, want {}", got)
+	}
+	if got := Empty.Intersect(s); !got.IsEmpty() {
+		t.Errorf("{} ∩ s = %v, want {}", got)
+	}
+	if got := Empty.Intersect(Empty); !got.IsEmpty() {
+		t.Errorf("{} ∩ {} = %v, want {}", got)
+	}
+	if got := s.Intersect(s); !got.Equal(s) {
+		t.Errorf("s ∩ s = %v, want %v", got, s)
+	}
+}
+
+func TestDiffDisjointAndAllOverlap(t *testing.T) {
+	s := New("a", "b", "c")
+	disjoint := New("x", "y")
+	if got := s.Diff(disjoint); !got.Equal(s) {
+		t.Errorf("disjoint diff = %v, want %v", got, s)
+	}
+	// All-overlap through a superset: every item pruned away.
+	super := New("a", "b", "c", "d")
+	if got := s.Diff(super); !got.IsEmpty() {
+		t.Errorf("s - superset = %v, want {}", got)
+	}
+	// Interleaved partial overlap exercises every branch of the merge.
+	if got := New("a", "c", "e").Diff(New("b", "c", "d")); !got.Equal(New("a", "e")) {
+		t.Errorf("interleaved diff = %v, want {a, e}", got)
+	}
+}
+
+func TestDuplicateInputsNormalize(t *testing.T) {
+	// New must collapse duplicates before any algebra sees them; a pruning
+	// chain fed a multiset would otherwise over- or under-prune.
+	dup := New("b", "a", "b", "a", "b")
+	if dup.Len() != 2 {
+		t.Fatalf("duplicates survived New: %v", dup)
+	}
+	other := New("b", "b", "c")
+	if got := dup.Diff(other); !got.Equal(New("a")) {
+		t.Errorf("dup diff = %v, want {a}", got)
+	}
+	if got := dup.Intersect(other); !got.Equal(New("b")) {
+		t.Errorf("dup intersect = %v, want {b}", got)
+	}
+	if got := dup.Union(other); !got.Equal(New("a", "b", "c")) {
+		t.Errorf("dup union = %v, want {a, b, c}", got)
+	}
+}
+
+func TestDiffIntersectPartitionIdentity(t *testing.T) {
+	// (X − Y) ∪ (X ∩ Y) = X and the two halves are disjoint — the exact
+	// identity difference pruning depends on: confirmed plus still-unknown
+	// items must reconstruct the running set with nothing lost or invented.
+	x := New("a", "b", "c", "d", "e")
+	for _, y := range []Set{
+		Empty,
+		x,
+		New("b", "d"),
+		New("z"),
+		New("a", "b", "c", "d", "e", "f", "g"),
+	} {
+		minus, inter := x.Diff(y), x.Intersect(y)
+		if got := minus.Union(inter); !got.Equal(x) {
+			t.Errorf("(x−%v) ∪ (x∩%v) = %v, want %v", y, y, got, x)
+		}
+		if got := minus.Intersect(inter); !got.IsEmpty() {
+			t.Errorf("(x−%v) ∩ (x∩%v) = %v, want {}", y, y, got)
+		}
+	}
+}
+
+func TestIntersectLopsidedThresholdBoundary(t *testing.T) {
+	// Both sides of the 8× binary-search switch must agree.
+	big := make([]string, 0, 33)
+	for i := 0; i < 33; i++ {
+		big = append(big, string(rune('a'+i%26))+string(rune('a'+i/26)))
+	}
+	small := New(big[0], big[32])
+	atThreshold := New(big[:16]...)   // 16 ≤ 8×2: merge path
+	overThreshold := New(big[:33]...) // 33 > 8×2: binary-search path
+	if got := small.Intersect(atThreshold); !got.Equal(New(big[0])) {
+		t.Errorf("merge-path intersect = %v, want {%s}", got, big[0])
+	}
+	if got := small.Intersect(overThreshold); !got.Equal(small) {
+		t.Errorf("binary-path intersect = %v, want %v", got, small)
+	}
+}
+
+func TestUnionAllAndIntersectAllEdges(t *testing.T) {
+	if got := UnionAll(); !got.IsEmpty() {
+		t.Errorf("UnionAll() = %v, want {}", got)
+	}
+	if got := UnionAll(Empty, Empty); !got.IsEmpty() {
+		t.Errorf("UnionAll({}, {}) = %v, want {}", got)
+	}
+	same := New("a", "b")
+	if got := IntersectAll(same, same, same); !got.Equal(same) {
+		t.Errorf("IntersectAll(s, s, s) = %v, want %v", got, same)
+	}
+	if got := IntersectAll(same, Empty, same); !got.IsEmpty() {
+		t.Errorf("IntersectAll with {} = %v, want {}", got)
+	}
+}

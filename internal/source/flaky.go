@@ -111,7 +111,13 @@ func (f *Flaky) trip(ctx context.Context, op string) error {
 			timer.Stop()
 			return fmt.Errorf("source %s: %s: %w", f.inner.Name(), op, ctx.Err())
 		}
-	} else if err := ctx.Err(); err != nil {
+	}
+	// Checked after the stall as well: the context may expire while the
+	// timer fires (the select picks arbitrarily among ready cases), and a
+	// retry loop may re-enter trip with an already-dead context. Injecting a
+	// transient failure then would let a retrying caller spin through its
+	// whole budget after it should have stopped.
+	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("source %s: %s: %w", f.inner.Name(), op, err)
 	}
 	f.mu.Lock()

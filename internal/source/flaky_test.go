@@ -2,7 +2,9 @@ package source
 
 import (
 	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"fusionq/internal/cond"
 	"fusionq/internal/set"
@@ -47,6 +49,36 @@ func TestFlakyAlwaysFailsAtRateOne(t *testing.T) {
 	}
 	if f.Failures() != len(ops) {
 		t.Fatalf("Failures = %d, want %d", f.Failures(), len(ops))
+	}
+}
+
+// TestFlakyCancelledContextNotTransient pins the retry-safety contract: once
+// the context is dead, trip must report the cancellation — never inject a
+// transient failure — even at rate 1, and even when a stall timer was already
+// ready when the select ran (the select picks arbitrarily among ready cases,
+// so only the post-stall re-check makes this deterministic). A retrying
+// caller would otherwise spin through its whole budget after it should have
+// stopped.
+func TestFlakyCancelledContextNotTransient(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, stall := range []time.Duration{0, time.Nanosecond} {
+		f := NewFlaky(NewWrapper("R1", NewRowBackend(rowRel(t)), Capabilities{}), 1, 1).SetStall(stall)
+		for i := 0; i < 100; i++ {
+			_, err := f.Select(ctx, cond.MustParse("V = 'dui'"))
+			if err == nil {
+				t.Fatalf("stall %v: select with dead context succeeded", stall)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("stall %v: err = %v, want wrapped context.Canceled", stall, err)
+			}
+			if IsTransient(err) {
+				t.Fatalf("stall %v: dead-context error classified transient: %v", stall, err)
+			}
+		}
+		if f.Failures() != 0 {
+			t.Fatalf("stall %v: injected %d failures under a dead context", stall, f.Failures())
+		}
 	}
 }
 
