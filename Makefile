@@ -31,6 +31,7 @@ oracle:
 
 bench:
 	mkdir -p bench-out
-	set -e; for e in E1 E16 E17; do \
+	set -e; for e in E1 E16 E17 E18; do \
 		$(GO) run ./cmd/fqbench -e $$e -json -trace-json bench-out/$$e-trace.json > bench-out/$$e.json; \
 	done
+	cp bench-out/E18.json BENCH_streaming.json

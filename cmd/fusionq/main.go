@@ -73,6 +73,8 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "per-query wall-clock budget (0: none)")
 		fetch     = flag.Bool("fetch", false, "run the second phase and print full records")
 		trace     = flag.Bool("trace", false, "print a per-step execution trace")
+		stream    = flag.Bool("stream", false, "execute as a pull-based streaming pipeline (bounded batches, early first answer)")
+		batch     = flag.Int("batch", 0, "streaming batch size for -stream (0: default)")
 		traceJSON = flag.String("trace-json", "", `write the query's span trace as JSON to this file ("-" for stdout)`)
 		shell     = flag.Bool("i", false, "interactive shell: read SQL statements from stdin")
 	)
@@ -87,14 +89,14 @@ func main() {
 			os.Exit(1)
 		}
 		defer closer()
-		opts := core.Options{Algorithm: core.Algorithm(*algo), Parallel: *parallel, Conns: *conns, Cache: *cache, Trace: *trace, Timeout: *timeout}
+		opts := core.Options{Algorithm: core.Algorithm(*algo), Parallel: *parallel, Conns: *conns, Cache: *cache, Trace: *trace, Timeout: *timeout, Streaming: *stream, BatchSize: *batch}
 		if err := repl(m, os.Stdin, os.Stdout, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "fusionq: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
-	opts := core.Options{Algorithm: core.Algorithm(*algo), Parallel: *parallel, Conns: *conns, Cache: *cache, Trace: *trace, Spans: *traceJSON != "", Timeout: *timeout}
+	opts := core.Options{Algorithm: core.Algorithm(*algo), Parallel: *parallel, Conns: *conns, Cache: *cache, Trace: *trace, Spans: *traceJSON != "", Timeout: *timeout, Streaming: *stream, BatchSize: *batch}
 	if err := run(*sql, csvs, remotes, *catalogF, *merge, *capsFlag, opts, *explain, *fetch, *traceJSON); err != nil {
 		fmt.Fprintf(os.Stderr, "fusionq: %v\n", err)
 		os.Exit(1)
@@ -156,6 +158,10 @@ func run(sql string, csvs, remotes []string, catalogPath, merge, capsFlag string
 	fmt.Printf("plan class: %s, estimated cost %.4f s\n", ans.Plan.Class, ans.EstimatedCost)
 	fmt.Printf("execution: %d source queries, total work %v, response time %v\n",
 		ans.Exec.SourceQueries, ans.Exec.TotalWork, ans.Exec.ResponseTime)
+	if opts.Streaming && ans.Exec.FirstAnswer > 0 {
+		fmt.Printf("streaming: first answer after %v, peak intermediate bytes %d\n",
+			ans.Exec.FirstAnswer, ans.Exec.PeakBytes)
+	}
 	if opts.Cache {
 		fmt.Printf("cache: %d hits, %d misses\n", ans.Exec.CacheHits, ans.Exec.CacheMisses)
 	}

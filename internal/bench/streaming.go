@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"fusionq/internal/exec"
+	"fusionq/internal/netsim"
+	"fusionq/internal/optimizer"
+	"fusionq/internal/plan"
+	"fusionq/internal/workload"
+)
+
+func init() {
+	register(Experiment{ID: "E18", Title: "Materialized vs streaming execution: first-answer latency, peak bytes (tentpole)", Run: runE18})
+}
+
+// runE18 is the streaming executor's perf trajectory: the same plan runs
+// materialized and streaming (across batch sizes) on the same simulated
+// network, comparing total work, response time, peak intermediate bytes and
+// first-answer latency. The network runs in real-time mode (scaled), so
+// first-answer latency is wall-clock and the decoupling from total work is
+// directly visible: the streaming run's first answer batch lands after
+// roughly one chunk per first-round selection, while the materialized run
+// cannot answer before every exchange in the plan completes.
+//
+// The workload is the large-universe regime from ROADMAP item 1: broad
+// selectivities make every intermediate a large fraction of the universe,
+// which is exactly where bounded-batch flow beats whole-set materialization
+// on peak bytes. The batch sweep exposes streaming's price: each
+// continuation chunk is a separate exchange paying the link's fixed costs,
+// so total work falls toward the materialized baseline as batches grow.
+func runE18(ctx context.Context) (*Table, error) {
+	const realScale = 0.2
+	t := &Table{
+		ID: "E18", Title: fmt.Sprintf("materialized vs streaming across batch sizes; n=3, m=3, broad selectivities, real-time scale %v", realScale),
+		Columns: []string{"mode", "batch", "total work s", "response s", "peak bytes", "first answer s", "first vs mat", "queries", "est stream s", "est/meas", "est first s"},
+	}
+	link := netsim.Link{Latency: 5 * time.Millisecond, BytesPerSec: 256 << 10, RequestOverhead: 2 * time.Millisecond}
+	cfg := workload.SynthConfig{
+		Seed: 18, NumSources: 3, TuplesPerSource: 2000, Universe: 1000,
+		Selectivity: []float64{0.5, 0.5, 0.5},
+	}
+	ms, err := newMeasured(ctx, cfg, link)
+	if err != nil {
+		return nil, err
+	}
+	res, err := optimizer.SJAPlus(ms.problem)
+	if err != nil {
+		return nil, err
+	}
+	ms.network.SetRealTime(realScale)
+
+	ms.reset()
+	mat := &exec.Executor{Sources: ms.sources, Network: ms.network}
+	matRun, err := mat.Run(ctx, res.Plan)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("materialized", "-", matRun.TotalWork.Seconds(), matRun.ResponseTime.Seconds(),
+		matRun.PeakBytes, matRun.FirstAnswer.Seconds(), "1.00x", matRun.SourceQueries, "-", "-", "-")
+
+	prevWork := time.Duration(0)
+	for _, batch := range []int{32, 64, 512} {
+		est, err := plan.EstimateStreamCost(res.Plan, ms.problem.Table, batch)
+		if err != nil {
+			return nil, err
+		}
+		ms.reset()
+		str := &exec.Executor{Sources: ms.sources, Network: ms.network, Streaming: true, BatchSize: batch}
+		run, err := str.Run(ctx, res.Plan)
+		if err != nil {
+			return nil, err
+		}
+
+		// Invariants the tentpole promises: identical answers, honest
+		// first-answer latency, and — in this broad-selectivity regime —
+		// a lower intermediate high-water mark.
+		if !run.Answer.Equal(matRun.Answer) {
+			return nil, fmt.Errorf("E18: batch %d: streaming answer differs from materialized", batch)
+		}
+		if run.FirstAnswer <= 0 {
+			return nil, fmt.Errorf("E18: batch %d: streaming run reported no first-answer latency", batch)
+		}
+		if run.FirstAnswer >= matRun.FirstAnswer {
+			return nil, fmt.Errorf("E18: batch %d: streaming first answer %v not before materialized completion %v",
+				batch, run.FirstAnswer, matRun.FirstAnswer)
+		}
+		if run.PeakBytes >= matRun.PeakBytes {
+			return nil, fmt.Errorf("E18: batch %d: streaming peak bytes %d not below materialized %d",
+				batch, run.PeakBytes, matRun.PeakBytes)
+		}
+		// Chunking overhead shrinks as batches grow: total work must fall
+		// monotonically across the sweep toward the materialized baseline.
+		if prevWork > 0 && run.TotalWork >= prevWork {
+			return nil, fmt.Errorf("E18: batch %d: total work %v did not fall below batch predecessor's %v",
+				batch, run.TotalWork, prevWork)
+		}
+		prevWork = run.TotalWork
+		// The static estimator must track the measured streaming work: the
+		// profiles derive from the links and the stats are exact, so only
+		// chunk-boundary rounding separates them.
+		ratio := est.Cost / run.TotalWork.Seconds()
+		if ratio < 0.5 || ratio > 2 {
+			return nil, fmt.Errorf("E18: batch %d: estimate %v vs measured %v (ratio %.2f) out of band",
+				batch, est.Cost, run.TotalWork.Seconds(), ratio)
+		}
+
+		t.AddRow("streaming", batch, run.TotalWork.Seconds(), run.ResponseTime.Seconds(),
+			run.PeakBytes, run.FirstAnswer.Seconds(),
+			fmt.Sprintf("%.2fx", run.FirstAnswer.Seconds()/matRun.FirstAnswer.Seconds()),
+			run.SourceQueries, est.Cost, ratio, est.FirstAnswerCost)
+	}
+	t.Notes = append(t.Notes,
+		"answers are bit-identical across modes (asserted); streaming preserves honest-partial semantics",
+		"first answer s is wall-clock under real-time simulation: materialized cannot answer before the whole plan completes, streaming answers after ~one chunk per first-round selection (asserted earlier and smaller)",
+		"peak bytes is the mediator's intermediate high-water mark (set.Bytes plus edge buffers): bounded batches beat whole-set materialization in the broad-selectivity regime (asserted lower)",
+		"each continuation chunk is a separate exchange paying the link's fixed costs, so streaming total work falls toward the materialized baseline as the batch grows (asserted monotone)",
+		"est stream s is plan.EstimateStreamCost's static prediction (chunked-exchange overhead on total work); est/meas is asserted within [0.5, 2]")
+	return t, nil
+}

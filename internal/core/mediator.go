@@ -145,6 +145,20 @@ type Options struct {
 	// composes with a caller-supplied context: whichever deadline is
 	// earlier wins.
 	Timeout time.Duration
+	// Streaming executes the plan as a pull-based dataflow pipeline
+	// (DESIGN.md §12): every step runs concurrently, item sets flow between
+	// steps as bounded sorted batches, and the first answer batch surfaces
+	// before the plan completes (Answer.Exec.FirstAnswer). The answer,
+	// counters and honest-partial semantics are identical to materialized
+	// execution; peak intermediate memory (Answer.Exec.PeakBytes) is
+	// bounded by the batch size instead of the largest intermediate set.
+	// Ignored for Adaptive and CombinedFetch queries, which need
+	// materialized intermediates.
+	Streaming bool
+	// BatchSize is the item-batch granularity of streaming execution
+	// (default set.DefaultBatch). Smaller batches lower first-answer
+	// latency and peak memory but pay more per-chunk exchange overhead.
+	BatchSize int
 }
 
 // Answer is the result of one fusion query.
@@ -540,7 +554,11 @@ func (m *Mediator) queryConds(ctx context.Context, conds []cond.Cond, opts Optio
 	if err != nil {
 		return nil, err
 	}
-	ex := &exec.Executor{Sources: r.sources, Network: r.network, Parallel: opts.Parallel, Conns: opts.Conns, Cache: r.cache, Trace: opts.Trace, Retries: opts.Retries}
+	ex := &exec.Executor{
+		Sources: r.sources, Network: r.network, Parallel: opts.Parallel, Conns: opts.Conns,
+		Cache: r.cache, Trace: opts.Trace, Retries: opts.Retries,
+		Streaming: opts.Streaming, BatchSize: opts.BatchSize,
+	}
 	ectx, esp := obs.StartSpan(ctx, obs.KindPhase, "execute")
 	if opts.CombinedFetch {
 		run, records, err := ex.RunCombined(ectx, res.Plan)

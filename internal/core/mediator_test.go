@@ -52,6 +52,28 @@ func TestDMVFigure1(t *testing.T) {
 	}
 }
 
+// TestQueryStreaming runs the Figure 1 query through the streaming
+// executor via the public API: same answer, first-answer latency and peak
+// accounting populated.
+func TestQueryStreaming(t *testing.T) {
+	m := dmvMediator(t, true)
+	for _, algo := range Algorithms() {
+		ans, err := m.Query(paperSQL, Options{Algorithm: algo, Streaming: true, BatchSize: 8})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if want := set.New("J55", "T21"); !ans.Items.Equal(want) {
+			t.Fatalf("%s: streaming answer = %v, want %v", algo, ans.Items, want)
+		}
+		if ans.Exec.FirstAnswer <= 0 {
+			t.Fatalf("%s: FirstAnswer = %v, want > 0", algo, ans.Exec.FirstAnswer)
+		}
+		if ans.Exec.PeakBytes < ans.Items.Bytes() {
+			t.Fatalf("%s: PeakBytes = %d below answer bytes %d", algo, ans.Exec.PeakBytes, ans.Items.Bytes())
+		}
+	}
+}
+
 func TestQueryCondsDirect(t *testing.T) {
 	m := dmvMediator(t, false)
 	ans, err := m.QueryConds([]cond.Cond{

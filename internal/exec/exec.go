@@ -80,6 +80,18 @@ type Executor struct {
 	// bindings that already succeeded. Context cancellation is never
 	// retried.
 	Retries int
+	// Streaming switches Run to the pull-based dataflow executor
+	// (stream.go): every plan step becomes a concurrent node exchanging
+	// sorted item batches, source selections are consumed chunk by chunk,
+	// and semijoins fan out as input batches arrive. The answer and the
+	// honest-partial guarantees are identical to the materialized path;
+	// what changes is peak intermediate memory (bounded batch buffers
+	// instead of whole variables) and the latency of the first answer
+	// batch. Combined-record mode (RunCombined) always runs materialized.
+	Streaming bool
+	// BatchSize is the item-batch granularity of streaming execution and
+	// of chunked source transfers; zero means set.DefaultBatch.
+	BatchSize int
 
 	// sched is the per-source slot pool of the current run.
 	sched *scheduler
@@ -125,6 +137,20 @@ type Result struct {
 	// — whole steps, or individual bindings of an emulated semijoin. The
 	// re-issues themselves are already charged in SourceQueries.
 	Retries int
+	// PeakBytes is the high-water mark of mediator-held intermediate item
+	// bytes (set.Bytes units). Materialized runs count the live set
+	// variables and loaded relations; streaming runs count the in-flight
+	// batch buffers, barrier materializations, loaded relations and the
+	// accumulating answer. Bytes buffered at a source or inside a
+	// streaming adapter play the server's role and are not mediator
+	// memory.
+	PeakBytes int
+	// FirstAnswer is the wall-clock time from run start until the first
+	// answer items existed: the first result batch in streaming mode, the
+	// completed answer in materialized mode (where nothing is answerable
+	// earlier). Zero when the run failed before producing any answer
+	// items.
+	FirstAnswer time.Duration
 	// Trace is the per-step execution trace, present when the executor's
 	// Trace flag is set, ordered by step index.
 	Trace []StepTrace
@@ -163,9 +189,27 @@ func (e *Executor) Run(ctx context.Context, p *plan.Plan) (*Result, error) {
 	}
 	e.sched = newScheduler(conns)
 
+	if e.Streaming && e.records == nil {
+		return e.runStreaming(ctx, p, st, res)
+	}
+
+	start := time.Now()
+	// In materialized mode nothing is answerable before the run completes:
+	// the first-answer phase spans the whole execution, which is exactly
+	// the coupling streaming execution breaks.
+	_, faSpan := obs.StartSpan(ctx, obs.KindPhase, "first-answer")
+
 	finish := func(err error) (*Result, error) {
 		res.Answer = st.vars[p.Result]
 		e.lastLoaded = st.loaded
+		st.mu.Lock()
+		res.PeakBytes = st.peakBytes
+		st.mu.Unlock()
+		faSpan.End(err)
+		if err == nil {
+			res.FirstAnswer = time.Since(start)
+			obs.Meter(ctx).Histogram(obs.MFirstAnswerSeconds).Observe(res.FirstAnswer.Seconds())
+		}
 		if e.Trace {
 			sort.Slice(res.Trace, func(a, b int) bool { return res.Trace[a].Index < res.Trace[b].Index })
 		}
@@ -202,11 +246,16 @@ func (e *Executor) Run(ctx context.Context, p *plan.Plan) (*Result, error) {
 }
 
 // state is the mutable execution environment: set variables and loaded
-// source contents.
+// source contents, plus the live-bytes accounting behind Result.PeakBytes.
 type state struct {
 	mu     sync.Mutex
 	vars   map[string]set.Set
 	loaded map[string]*relation.Relation
+
+	// liveBytes is the item bytes currently held in vars plus the bytes of
+	// loaded relations; peakBytes is its high-water mark.
+	liveBytes int
+	peakBytes int
 }
 
 func (s *state) get(name string) (set.Set, bool) {
@@ -219,7 +268,22 @@ func (s *state) get(name string) (set.Set, bool) {
 func (s *state) setVar(name string, v set.Set) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.setVarLocked(name, v)
+}
+
+func (s *state) setVarLocked(name string, v set.Set) {
+	if old, ok := s.vars[name]; ok {
+		s.liveBytes -= old.Bytes()
+	}
 	s.vars[name] = v
+	s.addBytesLocked(v.Bytes())
+}
+
+func (s *state) addBytesLocked(n int) {
+	s.liveBytes += n
+	if s.liveBytes > s.peakBytes {
+		s.peakBytes = s.liveBytes
+	}
 }
 
 // batchEnd finds the longest run of source-query steps starting at k whose
@@ -562,7 +626,8 @@ func (e *Executor) execStep(ctx context.Context, p *plan.Plan, s plan.Step, st *
 		}
 		st.mu.Lock()
 		st.loaded[s.Out] = rel
-		st.vars[s.Out] = set.FromSorted(rel.Items())
+		st.setVarLocked(s.Out, set.FromSorted(rel.Items()))
+		st.addBytesLocked(rel.Bytes())
 		st.mu.Unlock()
 	case plan.KindLocalSelect:
 		st.mu.Lock()
@@ -613,9 +678,15 @@ func (st *state) gather(names []string) ([]set.Set, error) {
 }
 
 // itemsOf extracts the distinct merge-attribute items of tuples, sorted.
+// The extraction runs on every record-returning exchange, so both the item
+// buffer and the dedup map are pre-sized to the tuple count (the common
+// case is few or no duplicate merge values).
 func itemsOf(tuples []relation.Tuple, mergeIdx int) set.Set {
-	seen := map[string]bool{}
-	var items []string
+	if len(tuples) == 0 {
+		return set.Empty
+	}
+	seen := make(map[string]bool, len(tuples))
+	items := make([]string, 0, len(tuples))
 	for _, t := range tuples {
 		item := t[mergeIdx].Raw()
 		if !seen[item] {

@@ -81,10 +81,11 @@ func (e *Executor) slot(ctx context.Context, j int) (func(), error) {
 
 // connsFor resolves source j's connection capacity: the executor-wide
 // override if set, else the network link's MaxConns, else 1. Sequential
-// mode is always single-connection — its accounting identity
-// ResponseTime == TotalWork depends on it.
+// materialized mode is always single-connection — its accounting identity
+// ResponseTime == TotalWork depends on it. Streaming mode is inherently
+// concurrent (the dataflow nodes overlap), so it uses the parallel rule.
 func (e *Executor) connsFor(j int) int {
-	if !e.Parallel {
+	if !e.Parallel && !e.Streaming {
 		return 1
 	}
 	if e.Conns > 0 {

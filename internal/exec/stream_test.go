@@ -1,0 +1,312 @@
+package exec
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"fusionq/internal/optimizer"
+	"fusionq/internal/plan"
+	"fusionq/internal/set"
+	"fusionq/internal/source"
+	"fusionq/internal/stats"
+	"fusionq/internal/workload"
+)
+
+// synthProblem builds a fresh synthetic workload plus its optimization
+// problem, for differential materialized-vs-streaming runs.
+func synthProblem(t *testing.T, cfg workload.SynthConfig) (*optimizer.Problem, []source.Source) {
+	t.Helper()
+	sc, err := workload.Synth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := stats.UniformProfiles(sc.SourceNames(), stats.SourceProfile{
+		PerQuery: 10, PerItemSent: 0.5, PerItemRecv: 0.5, PerByteLoad: 0.001,
+	})
+	for j, src := range sc.Sources {
+		profiles[j].Support = stats.SupportOf(src.Caps())
+	}
+	table, err := stats.BuildFromSources(context.Background(), sc.Conds, sc.Sources, profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &optimizer.Problem{Conds: sc.Conds, Sources: sc.SourceNames(), Table: table}, sc.Sources
+}
+
+// TestStreamingDMVAllOptimizers runs the Section 1 query through every
+// optimizer on the streaming executor: identical answers, sane accounting.
+func TestStreamingDMVAllOptimizers(t *testing.T) {
+	algos := map[string]func(*optimizer.Problem) (optimizer.Result, error){
+		"filter":     optimizer.Filter,
+		"sj":         optimizer.SJ,
+		"sja":        optimizer.SJA,
+		"greedy-sj":  optimizer.GreedySJ,
+		"greedy-sja": optimizer.GreedySJA,
+		"sja+":       optimizer.SJAPlus,
+		"greedy+":    optimizer.GreedySJAPlus,
+	}
+	for name, algo := range algos {
+		t.Run(name, func(t *testing.T) {
+			pr, srcs, network := dmvSetup(t, nil)
+			res, err := algo(pr)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			ex := &Executor{Sources: srcs, Network: network, Streaming: true, BatchSize: 8, Trace: true}
+			got, err := ex.Run(context.Background(), res.Plan)
+			if err != nil {
+				t.Fatalf("%s: run: %v\nplan:\n%s", name, err, res.Plan)
+			}
+			if !got.Answer.Equal(dmvAnswer) {
+				t.Fatalf("%s: answer = %v, want %v\nplan:\n%s", name, got.Answer, dmvAnswer, res.Plan)
+			}
+			if got.SourceQueries == 0 {
+				t.Fatalf("%s: no source queries recorded", name)
+			}
+			if got.TotalWork <= 0 || got.ResponseTime <= 0 || got.ResponseTime > got.TotalWork {
+				t.Fatalf("%s: streaming timing = work %v, response %v", name, got.TotalWork, got.ResponseTime)
+			}
+			if got.FirstAnswer <= 0 {
+				t.Fatalf("%s: FirstAnswer = %v, want > 0", name, got.FirstAnswer)
+			}
+			if len(got.Trace) != len(res.Plan.Steps) {
+				t.Fatalf("%s: trace has %d entries for %d steps", name, len(got.Trace), len(res.Plan.Steps))
+			}
+		})
+	}
+}
+
+// TestStreamingMatchesMaterializedSynthetic is the in-package differential
+// check: on a mixed-capability synthetic workload, the streaming executor
+// must produce exactly the materialized answer for every plan class.
+func TestStreamingMatchesMaterializedSynthetic(t *testing.T) {
+	cfg := workload.SynthConfig{
+		Seed: 42, NumSources: 4, TuplesPerSource: 300, Universe: 150,
+		Selectivity: []float64{0.1, 0.5, 0.8},
+		Backend:     workload.BackendMixed,
+		Caps: []source.Capabilities{
+			{NativeSemijoin: true, PassedBindings: true},
+			{PassedBindings: true},
+			{NativeSemijoin: true},
+			{},
+		},
+	}
+	pr, srcs := synthProblem(t, cfg)
+	mat := &Executor{Sources: srcs}
+	str := &Executor{Sources: srcs, Streaming: true, BatchSize: 16}
+	for name, algo := range map[string]func(*optimizer.Problem) (optimizer.Result, error){
+		"filter": optimizer.Filter, "sj": optimizer.SJ, "sja": optimizer.SJA,
+		"sja+": optimizer.SJAPlus, "greedy-sja": optimizer.GreedySJA,
+	} {
+		res, err := algo(pr)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want, err := mat.Run(context.Background(), res.Plan)
+		if err != nil {
+			t.Fatalf("%s: materialized: %v", name, err)
+		}
+		got, err := str.Run(context.Background(), res.Plan)
+		if err != nil {
+			t.Fatalf("%s: streaming: %v\nplan:\n%s", name, err, res.Plan)
+		}
+		if !got.Answer.Equal(want.Answer) {
+			t.Fatalf("%s: streaming answer %v != materialized %v", name, got.Answer, want.Answer)
+		}
+	}
+}
+
+// TestStreamingEmptyShortCircuit: an empty selection closes its edge
+// immediately, so the downstream semijoin node never probes the source —
+// the streaming counterpart of the materialized empty-set elision.
+func TestStreamingEmptyShortCircuit(t *testing.T) {
+	pr, srcs, network := dmvSetup(t, nil)
+	p := &plan.Plan{
+		Conds:   pr.Conds,
+		Sources: pr.Sources,
+		Steps: []plan.Step{
+			{Kind: plan.KindSelect, Out: "A", Cond: 0, Source: 0},
+			{Kind: plan.KindDiff, Out: "Z", Cond: -1, Source: -1, In: []string{"A", "A"}}, // empty
+			{Kind: plan.KindSemijoin, Out: "B", Cond: 1, Source: 1, In: []string{"Z"}},
+			{Kind: plan.KindSemijoin, Out: "C", Cond: 1, Source: 2, In: []string{"B"}},
+		},
+		Result: "C",
+	}
+	ex := &Executor{Sources: srcs, Network: network, Streaming: true}
+	got, err := ex.Run(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Answer.IsEmpty() {
+		t.Fatalf("answer = %v, want empty", got.Answer)
+	}
+	if got.SourceQueries != 1 {
+		t.Fatalf("SourceQueries = %d, want 1 (semijoins over empty streams elided)", got.SourceQueries)
+	}
+	// An empty run still reports when its (empty) answer was known.
+	if got.FirstAnswer <= 0 {
+		t.Fatalf("FirstAnswer = %v, want > 0 for an empty but successful run", got.FirstAnswer)
+	}
+}
+
+// TestStreamingHonestPartial: a permanently failing source fails the run
+// with an empty answer, while the traffic already paid for stays counted.
+func TestStreamingHonestPartial(t *testing.T) {
+	sc := workload.DMV()
+	srcs := make([]source.Source, len(sc.Sources))
+	for j, raw := range sc.Sources {
+		if j == 1 {
+			srcs[j] = source.NewFlaky(raw, 1.0, 7) // every operation fails
+		} else {
+			srcs[j] = raw
+		}
+	}
+	p := &plan.Plan{
+		Conds:   sc.Conds,
+		Sources: sc.SourceNames(),
+		Steps: []plan.Step{
+			{Kind: plan.KindSelect, Out: "A", Cond: 0, Source: 0},
+			{Kind: plan.KindSelect, Out: "B", Cond: 1, Source: 1},
+			{Kind: plan.KindUnion, Out: "U", Cond: -1, Source: -1, In: []string{"A", "B"}},
+		},
+		Result: "U",
+	}
+	ex := &Executor{Sources: srcs, Streaming: true}
+	got, err := ex.Run(context.Background(), p)
+	if err == nil {
+		t.Fatal("run against a dead source should fail")
+	}
+	if !strings.Contains(err.Error(), "sq(") {
+		t.Fatalf("error %q does not name the failing step", err)
+	}
+	if !got.Answer.IsEmpty() {
+		t.Fatalf("failed run leaked a partial answer: %v", got.Answer)
+	}
+	if got.FirstAnswer != 0 {
+		t.Fatalf("failed run reported FirstAnswer = %v", got.FirstAnswer)
+	}
+	if got.SourceQueries == 0 {
+		t.Fatal("failed run must still report the queries it issued")
+	}
+}
+
+// TestStreamingCancellation: a cancelled context fails the run promptly
+// and honestly (empty answer, wrapped context error, no leaked goroutines
+// — the latter enforced by -race and the test exiting at all).
+func TestStreamingCancellation(t *testing.T) {
+	pr, srcs, network := dmvSetup(t, nil)
+	res, err := optimizer.SJA(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ex := &Executor{Sources: srcs, Network: network, Streaming: true}
+	got, err := ex.Run(ctx, res.Plan)
+	if err == nil {
+		t.Fatal("cancelled run should fail")
+	}
+	if !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Fatalf("error %q does not report cancellation", err)
+	}
+	if !got.Answer.IsEmpty() {
+		t.Fatalf("cancelled run leaked an answer: %v", got.Answer)
+	}
+}
+
+// TestStreamingReducesPeakBytes: on a workload whose intermediates dwarf
+// the answer, the streaming executor's peak mediator memory must come in
+// under the materialized executor's, while the answers stay identical.
+func TestStreamingReducesPeakBytes(t *testing.T) {
+	cfg := workload.SynthConfig{
+		Seed: 3, NumSources: 3, TuplesPerSource: 2000, Universe: 1000,
+		Selectivity: []float64{0.5, 0.5, 0.5},
+	}
+	pr, srcs := synthProblem(t, cfg)
+	res, err := optimizer.Filter(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat := &Executor{Sources: srcs}
+	matRes, err := mat.Run(context.Background(), res.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str := &Executor{Sources: srcs, Streaming: true, BatchSize: 32}
+	strRes, err := str.Run(context.Background(), res.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strRes.Answer.Equal(matRes.Answer) {
+		t.Fatalf("answers differ: streaming %d items, materialized %d", strRes.Answer.Len(), matRes.Answer.Len())
+	}
+	if matRes.PeakBytes == 0 || strRes.PeakBytes == 0 {
+		t.Fatalf("peak bytes not accounted: materialized %d, streaming %d", matRes.PeakBytes, strRes.PeakBytes)
+	}
+	if strRes.PeakBytes >= matRes.PeakBytes {
+		t.Fatalf("streaming peak %d not below materialized %d", strRes.PeakBytes, matRes.PeakBytes)
+	}
+}
+
+// TestStreamingCacheParity: the streaming select node both consults and
+// fills the answer cache, so a second run over the same cache answers
+// selections locally.
+func TestStreamingCacheParity(t *testing.T) {
+	pr, srcs, network := dmvSetup(t, nil)
+	res, err := optimizer.Filter(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache()
+	ex := &Executor{Sources: srcs, Network: network, Streaming: true, Cache: cache}
+	first, err := ex.Run(context.Background(), res.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := ex.Run(context.Background(), res.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Answer.Equal(first.Answer) {
+		t.Fatalf("cached rerun answer %v != first %v", second.Answer, first.Answer)
+	}
+	if second.CacheHits == 0 || second.SourceQueries != 0 {
+		t.Fatalf("cached rerun: hits %d, queries %d; want all selections answered locally", second.CacheHits, second.SourceQueries)
+	}
+}
+
+// TestStreamingHandlesReassignment: plans that reassign a variable (as the
+// canonical filter plan does with X2 := X2 ∩ X1) are rewritten to
+// single-assignment form, so each version gets its own producing node and
+// later uses resolve to the version current at that point.
+func TestStreamingHandlesReassignment(t *testing.T) {
+	pr, srcs, _ := dmvSetup(t, nil)
+	p := &plan.Plan{
+		Conds:   pr.Conds,
+		Sources: pr.Sources,
+		Steps: []plan.Step{
+			{Kind: plan.KindSelect, Out: "X", Cond: 0, Source: 0}, // {J55, T80}
+			{Kind: plan.KindSemijoin, Out: "X", Cond: 1, Source: 1, In: []string{"X"}},
+		},
+		Result: "X",
+	}
+	steps, resultVar := ssaSteps(p)
+	if steps[0].Out == steps[1].Out {
+		t.Fatalf("SSA rewrite kept duplicate producer %q", steps[0].Out)
+	}
+	if steps[1].In[0] != steps[0].Out {
+		t.Fatalf("SSA rewrite broke the def-use chain: %q reads %q", steps[1].Out, steps[1].In[0])
+	}
+	if resultVar != steps[1].Out {
+		t.Fatalf("result resolves to %q, want final version %q", resultVar, steps[1].Out)
+	}
+	ex := &Executor{Sources: srcs, Streaming: true}
+	got, err := ex.Run(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := set.New("J55"); !got.Answer.Equal(want) {
+		t.Fatalf("answer = %v, want %v", got.Answer, want)
+	}
+}

@@ -1,0 +1,12 @@
+package iterclose_test
+
+import (
+	"testing"
+
+	"fusionq/internal/lint/iterclose"
+	"fusionq/internal/lint/linttest"
+)
+
+func TestIterClose(t *testing.T) {
+	linttest.Run(t, iterclose.Analyzer, "testdata/fixture")
+}

@@ -1,0 +1,105 @@
+// Fixture for the iterclose analyzer. It imports the real set package: the
+// analyzer keys on the fusionq/internal/set.Iter type specifically.
+package fixture
+
+import (
+	"context"
+	"errors"
+
+	"fusionq/internal/set"
+)
+
+// GoodDefer is the canonical shape: defer Close right after open.
+func GoodDefer(s set.Set) {
+	it := set.IterOf(s, 16)
+	defer it.Close()
+}
+
+// GoodDeferTuple destructures an (Iter, error) pair before deferring.
+func GoodDeferTuple(ctx context.Context, s set.Set) error {
+	it, err := open(ctx, s)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	return nil
+}
+
+// GoodExplicit closes on every path before returning.
+func GoodExplicit(s set.Set, fail bool) error {
+	it := set.IterOf(s, 16)
+	if fail {
+		it.Close()
+		return errors.New("boom")
+	}
+	it.Close()
+	return nil
+}
+
+// GoodClosure defers a closure that closes the iterator.
+func GoodClosure(s set.Set) {
+	it := set.IterOf(s, 16)
+	defer func() {
+		it.Close()
+	}()
+}
+
+// GoodEscapeMerge hands ownership to a merge operator, whose Close closes
+// its inputs.
+func GoodEscapeMerge(a, b set.Set) set.Iter {
+	x := set.IterOf(a, 16)
+	y := set.IterOf(b, 16)
+	return set.MergeUnion(16, x, y)
+}
+
+// GoodEscapeReturn returns the iterator; the caller owns it.
+func GoodEscapeReturn(s set.Set) set.Iter {
+	it := set.IterOf(s, 16)
+	return it
+}
+
+// GoodEscapeSlice stores the iterator in a composite literal.
+func GoodEscapeSlice(s set.Set) []set.Iter {
+	it := set.IterOf(s, 16)
+	return []set.Iter{it}
+}
+
+// GoodEscapeAssign transfers the iterator into another variable.
+func GoodEscapeAssign(s set.Set) {
+	it := set.IterOf(s, 16)
+	var kept set.Iter
+	kept = it
+	defer kept.Close()
+}
+
+func BadLeak(ctx context.Context, s set.Set) error {
+	it := set.IterOf(s, 16) // want `iterator opened here is never closed`
+	_, err := it.Next(ctx)
+	return err
+}
+
+func BadEarlyReturn(s set.Set, fail bool) error {
+	it := set.IterOf(s, 16)
+	if fail {
+		return errors.New("boom") // want `return may leave the iterator opened at .* unclosed`
+	}
+	it.Close()
+	return nil
+}
+
+func BadDiscard(ctx context.Context, s set.Set) {
+	_, _ = open(ctx, s) // want `iterator discarded at open`
+}
+
+func Suppressed(ctx context.Context, s set.Set) {
+	//fqlint:ignore iterclose fixture demonstrates the suppression mechanism
+	it := set.IterOf(s, 16)
+	_, _ = it.Next(ctx)
+}
+
+// open stands in for source.OpenSelectStream's (Iter, error) shape without
+// dragging the source package into the fixture.
+func open(ctx context.Context, s set.Set) (set.Iter, error) {
+	_ = ctx
+	return set.IterOf(s, 16), nil
+}

@@ -7,6 +7,7 @@ package lint
 import (
 	"fusionq/internal/lint/analysis"
 	"fusionq/internal/lint/ctxfirst"
+	"fusionq/internal/lint/iterclose"
 	"fusionq/internal/lint/metricnames"
 	"fusionq/internal/lint/nakedgo"
 	"fusionq/internal/lint/spanbalance"
@@ -20,6 +21,7 @@ func All() []*analysis.Analyzer {
 		metricnames.Analyzer,
 		wrapcheck.Analyzer,
 		spanbalance.Analyzer,
+		iterclose.Analyzer,
 		nakedgo.Analyzer,
 	}
 }

@@ -43,6 +43,14 @@ const (
 	MWireRequests = "fq_wire_requests_total"
 	MWireErrors   = "fq_wire_errors_total"
 	MWireSeconds  = "fq_wire_request_seconds"
+	// MFirstAnswerSeconds is the wall-clock latency histogram from run
+	// start to the first answer batch — the quantity streaming execution
+	// decouples from total work.
+	MFirstAnswerSeconds = "fq_first_answer_seconds"
+	// MStreamBatches counts answer batches emitted by streaming plan
+	// nodes, labeled by source for source-query nodes ("" for local
+	// operators).
+	MStreamBatches = "fq_stream_batches_total"
 )
 
 // DescribeAll registers help text and type for every canonical metric on r,
@@ -67,6 +75,8 @@ func DescribeAll(r *Registry) {
 		{MWireRequests, kindCounter, "Wire-protocol requests served, by op."},
 		{MWireErrors, kindCounter, "Wire-protocol requests that returned an error, by op."},
 		{MWireSeconds, kindHistogram, "Server-side wire request dispatch latency in seconds."},
+		{MFirstAnswerSeconds, kindHistogram, "Wall-clock latency to the first answer batch in seconds."},
+		{MStreamBatches, kindCounter, "Answer batches emitted by streaming plan nodes."},
 	} {
 		r.describeTyped(d.name, d.kind, d.help)
 	}

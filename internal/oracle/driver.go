@@ -163,6 +163,20 @@ func (d *Driver) Check(ctx context.Context, inst Instance) ([]Failure, error) {
 		}
 	}
 
+	// Phase 3b: streaming execution of every class. The batch size varies
+	// with the seed so tiny batches (many edges, heavy fan-out traffic) and
+	// large ones (single-batch degenerate case) are both exercised. The
+	// streaming answer must agree with the reference — and therefore with
+	// every materialized run — byte for byte.
+	batch := []int{4, 16, 64, 512}[int(inst.Seed&3)]
+	for _, pc := range planClasses() {
+		r, ok := results[pc.name]
+		if !ok {
+			continue
+		}
+		fs = append(fs, d.runPlan(ctx, ev, ev.sources, pc.name, r.Plan, runOpts{mode: "stream", streaming: true, batch: batch})...)
+	}
+
 	// Phase 4: answer-cache reuse across repeated runs.
 	if inst.CacheRuns {
 		fs = append(fs, d.checkCacheReuse(ctx, ev, results)...)
@@ -255,10 +269,12 @@ func checkCosts(ev *env, results map[string]optimizer.Result) []Failure {
 
 // runOpts configures one execution of one plan class.
 type runOpts struct {
-	mode     string
-	parallel bool
-	cache    *exec.Cache
-	retries  int
+	mode      string
+	parallel  bool
+	streaming bool
+	batch     int
+	cache     *exec.Cache
+	retries   int
 	// allowErr classifies acceptable failures (fault and deadline sweeps).
 	// Nil means the run must succeed.
 	allowErr func(error) bool
@@ -272,11 +288,13 @@ func (d *Driver) runPlan(ctx context.Context, ev *env, srcs []source.Source, cls
 	o := &obs.Obs{QueryID: obs.NewQueryID(), Trace: obs.NewTrace(), Metrics: obs.NewRegistry()}
 	rctx := obs.With(ctx, o)
 	ex := &exec.Executor{
-		Sources:  srcs,
-		Network:  ev.network,
-		Parallel: opts.parallel,
-		Cache:    opts.cache,
-		Retries:  opts.retries,
+		Sources:   srcs,
+		Network:   ev.network,
+		Parallel:  opts.parallel,
+		Streaming: opts.streaming,
+		BatchSize: opts.batch,
+		Cache:     opts.cache,
+		Retries:   opts.retries,
 	}
 	res, err := ex.Run(rctx, p)
 	var fs []Failure
@@ -311,14 +329,29 @@ func (d *Driver) runPlan(ctx context.Context, ev *env, srcs []source.Source, cls
 
 	// Accounting identities hold for successful and failed runs alike: the
 	// counters report the traffic actually paid for.
-	if opts.parallel {
+	switch {
+	case opts.parallel, opts.streaming:
+		// Overlapped execution: the critical path can never exceed the
+		// summed work.
 		if res.ResponseTime > res.TotalWork {
 			fs = append(fs, Failure{Property: "par-response", Class: cls, Mode: opts.mode,
-				Detail: fmt.Sprintf("parallel response time %v exceeds total work %v", res.ResponseTime, res.TotalWork)})
+				Detail: fmt.Sprintf("overlapped response time %v exceeds total work %v", res.ResponseTime, res.TotalWork)})
 		}
-	} else if res.ResponseTime != res.TotalWork {
+	case res.ResponseTime != res.TotalWork:
 		fs = append(fs, Failure{Property: "seq-identity", Class: cls, Mode: opts.mode,
 			Detail: fmt.Sprintf("sequential response time %v != total work %v", res.ResponseTime, res.TotalWork)})
+	}
+	if err == nil {
+		// A successful run knows when its answer first existed, and its peak
+		// memory accounting can never be below the answer it holds.
+		if res.FirstAnswer <= 0 {
+			fs = append(fs, Failure{Property: "first-answer", Class: cls, Mode: opts.mode,
+				Detail: "successful run reported no first-answer latency"})
+		}
+		if res.PeakBytes < res.Answer.Bytes() {
+			fs = append(fs, Failure{Property: "peak-accounting", Class: cls, Mode: opts.mode,
+				Detail: fmt.Sprintf("peak bytes %d below answer bytes %d", res.PeakBytes, res.Answer.Bytes())})
+		}
 	}
 
 	fs = append(fs, checkObsBalance(cls, opts.mode, res, o)...)
@@ -506,6 +539,28 @@ func (d *Driver) checkFaults(ctx context.Context, ev *env, results map[string]op
 			allowErr: allow,
 		})...)
 	}
+
+	// Streaming fault sweep on fresh flaky wrappers: the concurrent nodes
+	// draw injected failures in a nondeterministic order (the materialized
+	// sweep above keeps its deterministic sequence by running first on its
+	// own wrappers), but the property is order-independent — absorb the
+	// faults and return the exact answer, or fail honestly.
+	streamFlaky := make([]source.Source, len(ev.sources))
+	for j, src := range ev.sources {
+		streamFlaky[j] = source.NewFlaky(src, ev.inst.FaultRate, ev.inst.Seed+int64(j)*104729)
+	}
+	for _, cls := range []string{"filter", "sja+"} {
+		r, ok := results[cls]
+		if !ok {
+			continue
+		}
+		fs = append(fs, d.runPlan(ctx, ev, streamFlaky, cls, r.Plan, runOpts{
+			mode:      "stream-faults",
+			streaming: true,
+			retries:   ev.inst.Retries + 2,
+			allowErr:  allow,
+		})...)
+	}
 	return fs
 }
 
@@ -528,10 +583,16 @@ func (d *Driver) checkDeadline(ctx context.Context, ev *env, results map[string]
 	}
 	ev.network.SetRealTime(realTimeScale)
 	defer ev.network.SetRealTime(0)
-	dctx, cancel := context.WithTimeout(ctx, timeout)
-	defer cancel()
 	allow := func(err error) bool {
 		return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
 	}
-	return d.runPlan(dctx, ev, ev.sources, "sja", r.Plan, runOpts{mode: "deadline", allowErr: allow})
+	dctx, cancel := context.WithTimeout(ctx, timeout)
+	fs := d.runPlan(dctx, ev, ev.sources, "sja", r.Plan, runOpts{mode: "deadline", allowErr: allow})
+	cancel()
+	// The streaming pipeline must honor the same deadline honestly: exact
+	// answer or a context-classified error, never a wrong partial.
+	sctx, scancel := context.WithTimeout(ctx, timeout)
+	defer scancel()
+	fs = append(fs, d.runPlan(sctx, ev, ev.sources, "sja", r.Plan, runOpts{mode: "stream-deadline", streaming: true, allowErr: allow})...)
+	return fs
 }

@@ -1,0 +1,91 @@
+package set
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// The set algebra is the mediator's hottest local path: every round of every
+// plan flows through Union/Intersect/UnionAll. These tests pin the
+// allocation counts of the pre-sized implementations so a regression back to
+// grow-by-append or fold-of-pairwise shows up as a test failure, and the
+// benchmarks report allocs/op under -benchmem for the perf trajectory.
+
+func mkSet(n, stride, offset int) Set {
+	items := make([]string, n)
+	for i := range items {
+		items[i] = fmt.Sprintf("ID%06d", offset+i*stride)
+	}
+	return FromSorted(items)
+}
+
+func TestAllocBounds(t *testing.T) {
+	a := mkSet(1000, 2, 0)
+	b := mkSet(1000, 3, 1)
+	c := mkSet(1000, 5, 2)
+	var sink Set
+	cases := []struct {
+		name string
+		max  float64
+		fn   func()
+	}{
+		// One output buffer each.
+		{"Union", 1, func() { sink = a.Union(b) }},
+		{"Intersect", 1, func() { sink = a.Intersect(b) }},
+		{"Diff", 1, func() { sink = a.Diff(b) }},
+		// One output buffer plus the k-way index vector.
+		{"UnionAll", 2, func() { sink = UnionAll(a, b, c) }},
+		// Two non-empty inputs short-circuit to a single pairwise merge.
+		{"UnionAllPair", 1, func() { sink = UnionAll(a, Empty, b) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := testing.AllocsPerRun(20, tc.fn); got > tc.max {
+				t.Errorf("%s allocates %.1f times per op, want <= %.0f", tc.name, got, tc.max)
+			}
+		})
+	}
+	_ = sink
+}
+
+func BenchmarkUnion(b *testing.B) {
+	x := mkSet(4096, 2, 0)
+	y := mkSet(4096, 3, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Union(y)
+	}
+}
+
+func BenchmarkIntersect(b *testing.B) {
+	x := mkSet(4096, 2, 0)
+	y := mkSet(4096, 3, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Intersect(y)
+	}
+}
+
+func BenchmarkUnionAll(b *testing.B) {
+	sets := []Set{mkSet(2048, 2, 0), mkSet(2048, 3, 1), mkSet(2048, 5, 2), mkSet(2048, 7, 3)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = UnionAll(sets...)
+	}
+}
+
+func BenchmarkMergeUnionStream(b *testing.B) {
+	sets := []Set{mkSet(2048, 2, 0), mkSet(2048, 3, 1), mkSet(2048, 5, 2)}
+	b.ReportAllocs()
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		its := make([]Iter, len(sets))
+		for j := range sets {
+			its[j] = IterOf(sets[j], DefaultBatch)
+		}
+		if _, err := Collect(ctx, MergeUnion(DefaultBatch, its...)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -222,14 +222,56 @@ func (s Set) String() string {
 	return b.String()
 }
 
-// UnionAll folds Union over the given sets, the mediator step
-// X_i := ∪_{j=1..n} X_ij that closes every condition round.
+// UnionAll merges the given sets, the mediator step
+// X_i := ∪_{j=1..n} X_ij that closes every condition round. It runs as a
+// single pre-sized k-way merge instead of folding Union, so the hot path
+// allocates one output buffer regardless of how many sets it combines.
 func UnionAll(sets ...Set) Set {
-	out := Set{}
-	for _, s := range sets {
-		out = out.Union(s)
+	nonEmpty, total, last := 0, 0, -1
+	for i, s := range sets {
+		if !s.IsEmpty() {
+			nonEmpty++
+			total += len(s.items)
+			last = i
+		}
 	}
-	return out
+	switch nonEmpty {
+	case 0:
+		return Set{}
+	case 1:
+		return sets[last]
+	case 2:
+		first := -1
+		for i, s := range sets {
+			if !s.IsEmpty() {
+				first = i
+				break
+			}
+		}
+		return sets[first].Union(sets[last])
+	}
+	idx := make([]int, len(sets))
+	out := make([]string, 0, total)
+	for {
+		min, any := "", false
+		for i, s := range sets {
+			if idx[i] < len(s.items) {
+				if h := s.items[idx[i]]; !any || h < min {
+					min, any = h, true
+				}
+			}
+		}
+		if !any {
+			break
+		}
+		out = append(out, min)
+		for i, s := range sets {
+			if idx[i] < len(s.items) && s.items[idx[i]] == min {
+				idx[i]++
+			}
+		}
+	}
+	return Set{items: out}
 }
 
 // IntersectAll folds Intersect over the given sets. It returns the empty set

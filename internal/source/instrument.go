@@ -169,6 +169,60 @@ func (s *Instrumented) SelectBinding(ctx context.Context, c cond.Cond, item stri
 	return ok, nil
 }
 
+// SelectStream implements ItemStreamer: the selection is delivered as
+// sorted batches, and every batch is recorded as its own exchange — the
+// first as the "sq" request/response, later ones as "sqc" continuation
+// chunks with no request payload. Under a real-time network this is what
+// makes streaming measurable: the first batch completes its (small)
+// exchange long before the materialized transfer of the whole result would
+// have, at the price of per-chunk request overhead. An empty result still
+// records the one "sq" round trip, matching the materialized path.
+func (s *Instrumented) SelectStream(ctx context.Context, c cond.Cond, batch int) (set.Iter, error) {
+	inner, err := OpenSelectStream(ctx, s.inner, c, batch)
+	if err != nil {
+		return nil, err
+	}
+	return &instrumentedStream{src: s, inner: inner, cond: c}, nil
+}
+
+// instrumentedStream charges one exchange per delivered batch.
+type instrumentedStream struct {
+	src     *Instrumented
+	inner   set.Iter
+	cond    cond.Cond
+	started bool
+}
+
+func (it *instrumentedStream) Next(ctx context.Context) ([]string, error) {
+	batch, err := it.inner.Next(ctx)
+	if err != nil {
+		return nil, err
+	}
+	kind, req := "sqc", 0
+	if !it.started {
+		it.started = true
+		kind, req = "sq", queryHeaderBytes+len(it.cond.String())
+	} else if batch == nil {
+		// Exhaustion after at least one batch: the last chunk already paid.
+		return nil, nil
+	}
+	resp := 0
+	for _, v := range batch {
+		resp += len(v)
+	}
+	if err := it.src.record(ctx, kind, req, resp, func(ct *Counters) {
+		if kind == "sq" {
+			ct.SelectQueries++
+		}
+		ct.ItemsReceived += len(batch)
+	}); err != nil {
+		return nil, err
+	}
+	return batch, nil
+}
+
+func (it *instrumentedStream) Close() error { return it.inner.Close() }
+
 // Load implements Source.
 func (s *Instrumented) Load(ctx context.Context) (*relation.Relation, error) {
 	rel, err := s.inner.Load(ctx)

@@ -1,0 +1,41 @@
+package source
+
+// Streaming selection. A source that can deliver a selection result
+// incrementally — the wire client over a chunking server, or any wrapper
+// over an ordered index — implements ItemStreamer; everything else is
+// adapted through OpenSelectStream, which falls back to the materialized
+// Select wrapped in a batch iterator. Either way the executor's streaming
+// pipeline consumes one interface.
+
+import (
+	"context"
+
+	"fusionq/internal/cond"
+	"fusionq/internal/set"
+)
+
+// ItemStreamer is the optional streaming face of a Source: SelectStream is
+// sq(c, R) delivered as sorted item batches of at most batch items
+// (set.DefaultBatch when batch <= 0). The returned iterator follows the
+// set.Iter contract; closing it before exhaustion abandons the rest of the
+// transfer. Decorators that wrap a Source should preserve this interface
+// when the inner source provides it.
+type ItemStreamer interface {
+	SelectStream(ctx context.Context, c cond.Cond, batch int) (set.Iter, error)
+}
+
+// OpenSelectStream opens a streaming selection against src, using its
+// native ItemStreamer when available and falling back to one materialized
+// Select otherwise. With the fallback, the first batch still costs the full
+// exchange — streaming buys nothing at a source that cannot chunk — but the
+// pipeline above remains uniform.
+func OpenSelectStream(ctx context.Context, src Source, c cond.Cond, batch int) (set.Iter, error) {
+	if st, ok := src.(ItemStreamer); ok {
+		return st.SelectStream(ctx, c, batch)
+	}
+	out, err := src.Select(ctx, c)
+	if err != nil {
+		return nil, err
+	}
+	return set.IterOf(out, batch), nil
+}

@@ -47,6 +47,11 @@ type CostTable struct {
 	Load        []float64
 	SourceBytes []float64
 	SourceItems []float64
+	// QueryFixed[j] is the fixed per-exchange cost of any query to source j
+	// (the profile's PerQuery). The streaming estimator charges it for each
+	// continuation chunk of a chunked selection and for each extra probe of
+	// a batched native semijoin.
+	QueryFixed []float64
 	// Support[j] is source j's semijoin capability tier and Conns[j] its
 	// connection capacity (≥1); together they let the response-time
 	// estimators divide an emulated semijoin's per-binding fan-out across
@@ -88,6 +93,15 @@ func (t *CostTable) ConnsOf(j int) int {
 		return t.Conns[j]
 	}
 	return 1
+}
+
+// QueryFixedOf returns source j's fixed per-exchange cost, defaulting to 0
+// for hand-built tables that never recorded one.
+func (t *CostTable) QueryFixedOf(j int) float64 {
+	if j < len(t.QueryFixed) {
+		return t.QueryFixed[j]
+	}
+	return 0
 }
 
 // SemijoinResponseCost returns the response-time counterpart of
@@ -177,6 +191,7 @@ func Build(conds []cond.Cond, stats []SourceStats, profiles []SourceProfile) (*C
 		Load:        make([]float64, n),
 		SourceBytes: make([]float64, n),
 		SourceItems: make([]float64, n),
+		QueryFixed:  make([]float64, n),
 		Support:     make([]SemijoinSupport, n),
 		Conns:       make([]int, n),
 	}
@@ -201,6 +216,7 @@ func Build(conds []cond.Cond, stats []SourceStats, profiles []SourceProfile) (*C
 		t.SourceItems[j] = float64(st.DistinctItems)
 		t.Support[j] = p.Support
 		t.Conns[j] = p.Conns()
+		t.QueryFixed[j] = p.PerQuery
 		for i := range conds {
 			card := st.CondCard[i]
 			frac := card / domain

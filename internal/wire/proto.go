@@ -50,6 +50,13 @@ type Request struct {
 	Item string `json:"item,omitempty"`
 	// Filter is the encoded Bloom filter for the sjqb op.
 	Filter string `json:"filter,omitempty"`
+	// Chunk, when positive, asks the server to deliver an item-returning
+	// response in chunks of at most this many items, each on its own line
+	// with More set on all but the last. Like qid, it is a v1-compatible
+	// optional extension: servers that predate it ignore the field and
+	// send one unchunked response (whose absent More reads as false), and
+	// clients discover support through Meta.Chunking before relying on it.
+	Chunk int `json:"chunk,omitempty"`
 }
 
 // Response is one server response.
@@ -66,6 +73,9 @@ type Response struct {
 	Tuples []WireTuple `json:"tuples,omitempty"`
 	// Meta answers meta.
 	Meta *Meta `json:"meta,omitempty"`
+	// More marks a chunked response with further chunks to follow; the
+	// final chunk (and every unchunked response) leaves it false.
+	More bool `json:"more,omitempty"`
 }
 
 // Meta describes the served source.
@@ -80,6 +90,8 @@ type Meta struct {
 	Tuples         int       `json:"tuples"`
 	Distinct       int       `json:"distinct"`
 	Bytes          int       `json:"bytes"`
+	// Chunking advertises support for the Request.Chunk extension.
+	Chunking bool `json:"chunking,omitempty"`
 }
 
 // WireCol is a schema column on the wire.

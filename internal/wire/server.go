@@ -220,23 +220,52 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		resp := s.serve(req)
-		if s.cfg.WriteTimeout > 0 {
-			if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
+		// Each chunk is flushed as soon as it is encoded, so a chunking
+		// client starts consuming items while later chunks are still being
+		// written — the wire half of streaming execution.
+		for _, chunk := range chunkResponses(req, resp) {
+			if s.cfg.WriteTimeout > 0 {
+				if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
+					return
+				}
+			}
+			if err := enc.Encode(chunk); err != nil {
 				return
 			}
-		}
-		if err := enc.Encode(resp); err != nil {
-			return
-		}
-		if err := w.Flush(); err != nil {
-			return
-		}
-		if s.cfg.WriteTimeout > 0 {
-			if err := conn.SetWriteDeadline(time.Time{}); err != nil {
+			if err := w.Flush(); err != nil {
 				return
+			}
+			if s.cfg.WriteTimeout > 0 {
+				if err := conn.SetWriteDeadline(time.Time{}); err != nil {
+					return
+				}
 			}
 		}
 	}
+}
+
+// chunkResponses splits an item-carrying response into chunks of at most
+// req.Chunk items when the client asked for chunking. Errors, non-item
+// responses and unchunked requests pass through as a single response. Every
+// chunk echoes the query ID; More is set on all but the last.
+func chunkResponses(req Request, resp Response) []Response {
+	if req.Chunk <= 0 || resp.Error != "" || len(resp.Items) <= req.Chunk {
+		return []Response{resp}
+	}
+	n := (len(resp.Items) + req.Chunk - 1) / req.Chunk
+	out := make([]Response, 0, n)
+	for start := 0; start < len(resp.Items); start += req.Chunk {
+		end := start + req.Chunk
+		if end > len(resp.Items) {
+			end = len(resp.Items)
+		}
+		out = append(out, Response{
+			QueryID: resp.QueryID,
+			Items:   resp.Items[start:end],
+			More:    end < len(resp.Items),
+		})
+	}
+	return out
 }
 
 // serve runs one request through dispatch with correlation and accounting:
@@ -293,6 +322,7 @@ func (s *Server) dispatch(ctx context.Context, req Request) Response {
 			Tuples:         tuples,
 			Distinct:       distinct,
 			Bytes:          bytes,
+			Chunking:       true,
 		}}
 	case OpSelect:
 		c, err := cond.Parse(req.Cond)

@@ -1,0 +1,233 @@
+package wire
+
+// Client-side streaming selection over the chunking extension. A chunked sq
+// holds the client's single connection only for the duration of the
+// transfer: a background pump goroutine decodes chunks into a client-side
+// buffer as fast as the server sends them and releases the connection at
+// the final chunk, so a slow consumer never holds the connection (or a
+// same-source exchange queued behind it) hostage — the decoupling that
+// keeps a streaming executor's backpressure from deadlocking against the
+// client's connection serialization. Worst case (consumer fully stalled)
+// the buffer grows to the result size, i.e. no worse than a materialized
+// Select; best case batches are consumed as they land.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"fusionq/internal/cond"
+	"fusionq/internal/obs"
+	"fusionq/internal/set"
+	"fusionq/internal/source"
+)
+
+// SelectStream implements source.ItemStreamer: sq(c, R) delivered as sorted
+// chunks of at most batch items. Against a server that does not advertise
+// chunking (Meta.Chunking false — a v1 peer from before the extension) it
+// degrades to one materialized Select wrapped in a batch iterator, so the
+// caller sees the same interface either way. The whole stream is recorded
+// as one wire span, ended when the transfer completes.
+func (c *Client) SelectStream(ctx context.Context, cd cond.Cond, batch int) (set.Iter, error) {
+	batch = normChunk(batch)
+	if !c.meta.Chunking {
+		out, err := c.Select(ctx, cd)
+		if err != nil {
+			return nil, err
+		}
+		return set.IterOf(out, batch), nil
+	}
+	_, sp := obs.StartSpan(ctx, obs.KindWire, OpSelect+"-stream @ "+c.addr)
+	st := &clientStream{c: c, sp: sp, notify: make(chan struct{}, 1)}
+	c.mu.Lock() // held until the pump finishes the transfer
+	if err := st.send(ctx, Request{
+		Op:      OpSelect,
+		QueryID: obs.QueryID(ctx),
+		Cond:    cd.String(),
+		Chunk:   batch,
+	}); err != nil {
+		sp.End(err)
+		c.mu.Unlock()
+		return nil, err
+	}
+	st.conn = c.conn
+	st.wg.Add(1)
+	go st.pump()
+	return st, nil
+}
+
+func normChunk(batch int) int {
+	if batch <= 0 {
+		return set.DefaultBatch
+	}
+	return batch
+}
+
+// clientStream is one in-flight chunked selection.
+type clientStream struct {
+	c    *Client
+	sp   *obs.Span
+	conn net.Conn // snapshot for Close; the pump owns c.conn itself
+
+	wg     sync.WaitGroup
+	notify chan struct{}
+
+	mu     sync.Mutex
+	chunks [][]string
+	err    error
+	eof    bool
+	closed bool
+}
+
+// send issues the chunked request on the locked connection. Called with
+// c.mu held; a failure leaves the connection dropped so the next operation
+// reconnects cleanly.
+func (st *clientStream) send(ctx context.Context, req Request) error {
+	c := st.c
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("wire: %s: %w", c.addr, err)
+	}
+	if c.conn == nil {
+		if err := c.connect(ctx); err != nil {
+			return err
+		}
+	}
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		deadline = time.Time{}
+	}
+	fail := func(err error) error {
+		_ = c.conn.Close()
+		c.conn = nil
+		return fmt.Errorf("wire: %s: %w: %w", c.addr, err, source.ErrTransient)
+	}
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		return fail(err)
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return fail(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fail(err)
+	}
+	return nil
+}
+
+// pump drains the server's chunks into the buffer. It runs with c.mu held
+// (locked by SelectStream) and releases it when the transfer ends, in sync
+// for the next exchange on success, dropped on failure.
+func (st *clientStream) pump() {
+	defer st.wg.Done()
+	c := st.c
+	last, any := "", false
+	var perr error
+	for {
+		var resp Response
+		if err := c.dec.Decode(&resp); err != nil {
+			_ = c.conn.Close()
+			c.conn = nil
+			st.mu.Lock()
+			closed := st.closed
+			st.mu.Unlock()
+			if !closed {
+				perr = fmt.Errorf("wire: %s: %w: %w", c.addr, err, source.ErrTransient)
+			}
+			break
+		}
+		if resp.Error != "" {
+			perr = fmt.Errorf("wire: remote %s: %s", c.meta.Name, resp.Error)
+			break
+		}
+		bad := ""
+		for _, v := range resp.Items {
+			if any && v <= last {
+				bad = v
+				break
+			}
+			last, any = v, true
+		}
+		if bad != "" {
+			_ = c.conn.Close()
+			c.conn = nil
+			perr = fmt.Errorf("wire: %s: unsorted chunk (%q after %q)", c.addr, bad, last)
+			break
+		}
+		if len(resp.Items) > 0 {
+			st.mu.Lock()
+			if !st.closed {
+				st.chunks = append(st.chunks, resp.Items)
+			}
+			st.mu.Unlock()
+			st.kick()
+		}
+		if !resp.More {
+			break
+		}
+	}
+	st.mu.Lock()
+	st.err = perr
+	st.eof = true
+	st.mu.Unlock()
+	st.kick()
+	st.sp.End(perr)
+	c.mu.Unlock()
+}
+
+// kick wakes a consumer blocked in Next, without blocking the pump.
+func (st *clientStream) kick() {
+	select {
+	case st.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Next pops the next buffered chunk, waiting for the pump when the buffer
+// is empty.
+func (st *clientStream) Next(ctx context.Context) ([]string, error) {
+	for {
+		st.mu.Lock()
+		switch {
+		case len(st.chunks) > 0:
+			chunk := st.chunks[0]
+			st.chunks = st.chunks[1:]
+			st.mu.Unlock()
+			return chunk, nil
+		case st.err != nil:
+			err := st.err
+			st.mu.Unlock()
+			return nil, err
+		case st.eof:
+			st.mu.Unlock()
+			return nil, nil
+		}
+		st.mu.Unlock()
+		select {
+		case <-st.notify:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("wire: %s: %w", st.c.addr, ctx.Err())
+		}
+	}
+}
+
+// Close abandons the stream. If the transfer is still in flight the
+// connection is dropped to unblock the pump (the client reconnects on its
+// next operation); a completed transfer costs nothing. Close waits for the
+// pump to exit, so after it returns the client is free for other work.
+func (st *clientStream) Close() error {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil
+	}
+	st.closed = true
+	finished := st.eof
+	st.chunks = nil
+	st.mu.Unlock()
+	if !finished {
+		_ = st.conn.Close()
+	}
+	st.wg.Wait()
+	return nil
+}
