@@ -27,11 +27,13 @@ fuzz:
 oracle:
 	mkdir -p oracle-out
 	$(GO) run ./cmd/fqoracle -duration 60s -seed 1 -repro oracle-out/repro.json
+	$(GO) run -race ./cmd/fqoracle -churn -duration 60s -seed 1 -repro oracle-out/repro-churn.json
 	$(GO) test -race -fuzz=FuzzOracle -fuzztime=30s -run='^$$' ./internal/oracle
 
 bench:
 	mkdir -p bench-out
-	set -e; for e in E1 E16 E17 E18; do \
+	set -e; for e in E1 E16 E17 E18 E19; do \
 		$(GO) run ./cmd/fqbench -e $$e -json -trace-json bench-out/$$e-trace.json > bench-out/$$e.json; \
 	done
 	cp bench-out/E18.json BENCH_streaming.json
+	cp bench-out/E19.json BENCH_hedging.json

@@ -8,13 +8,16 @@
 //
 // Usage:
 //
-//	fqoracle [-n 500] [-seed 1] [-duration 0] [-repro out.json] [-selftest] [-v]
+//	fqoracle [-n 500] [-seed 1] [-duration 0] [-churn] [-repro out.json] [-selftest] [-v]
 //
 // With -duration set, fqoracle runs until the wall clock expires instead of
 // counting instances (the CI soak mode). -seed 0 derives a seed from the
-// clock and prints it, so even ad-hoc soaks are reproducible. -selftest
-// injects a deliberate answer corruption and verifies the oracle catches
-// and shrinks it — a meta-check that the safety net is live.
+// clock and prints it, so even ad-hoc soaks are reproducible. -churn forces
+// the replica-churn sweep on every instance, alternating between a
+// surviving-replica kill (the answer must still be exact) and a kill of
+// every replica (the failure must classify honestly) — the CI churn soak.
+// -selftest injects a deliberate answer corruption and verifies the oracle
+// catches and shrinks it — a meta-check that the safety net is live.
 package main
 
 import (
@@ -34,12 +37,13 @@ func main() {
 		n        = flag.Int("n", 500, "instances to run (ignored when -duration is set)")
 		seed     = flag.Int64("seed", 1, "master seed; instance i uses seed+i (0 derives one from the clock)")
 		duration = flag.Duration("duration", 0, "soak for this long instead of counting instances")
+		churn    = flag.Bool("churn", false, "force the replica-churn sweep on every instance, alternating surviving-replica and kill-all scenarios")
 		repro    = flag.String("repro", "", "write the minimal reproducing instance JSON to this file on failure")
 		selftest = flag.Bool("selftest", false, "inject an answer corruption and verify the oracle catches and shrinks it")
 		verbose  = flag.Bool("v", false, "log every instance")
 	)
 	flag.Parse()
-	os.Exit(run(context.Background(), *n, *seed, *duration, *repro, *selftest, *verbose))
+	os.Exit(run(context.Background(), *n, *seed, *duration, *churn, *repro, *selftest, *verbose))
 }
 
 // reproArtifact is the JSON document written for a failing run.
@@ -51,7 +55,7 @@ type reproArtifact struct {
 	Command  string           `json:"command"`
 }
 
-func run(ctx context.Context, n int, seed int64, duration time.Duration, reproPath string, selftest, verbose bool) int {
+func run(ctx context.Context, n int, seed int64, duration time.Duration, churn bool, reproPath string, selftest, verbose bool) int {
 	if seed == 0 {
 		seed = time.Now().UnixNano()
 		fmt.Printf("fqoracle: derived seed %d (pass -seed=%d to replay this soak)\n", seed, seed)
@@ -80,6 +84,10 @@ func run(ctx context.Context, n int, seed int64, duration time.Duration, reproPa
 		}
 		instSeed := seed + int64(i)
 		inst := oracle.Generate(instSeed)
+		if churn {
+			inst.Replicate = true
+			inst.ChurnKillAll = i%2 == 1
+		}
 		fs, err := d.Check(ctx, inst)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fqoracle: seed %d: instance could not be built: %v\n", instSeed, err)

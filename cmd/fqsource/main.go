@@ -32,6 +32,24 @@
 // request counts and latency per op, plus — when -cache is on — the cache's
 // hit/miss counters. Request log lines carry the mediator's query ID
 // (qid=...), so server-side logs correlate with mediator-side traces.
+//
+// # Serving as a replica
+//
+// Replica membership is a mediator-side concept: an fqsource process is
+// just one physical endpoint, and it is the mediator's catalog that groups
+// endpoints into a logical source. Run one fqsource per replica — each
+// with its own -name and -addr, all serving the same relation — and name
+// the shared logical source with "replicaOf" in the catalog:
+//
+//	fqsource -csv ca.csv -name dmv_ca_a -addr :7070 &
+//	fqsource -csv ca.csv -name dmv_ca_b -addr :7071 &
+//
+//	{"name": "dmv_ca_a", "remote": "127.0.0.1:7070", "replicaOf": "dmv_ca"},
+//	{"name": "dmv_ca_b", "remote": "127.0.0.1:7071", "replicaOf": "dmv_ca"}
+//
+// The mediator then plans against "dmv_ca" only; replica selection, hedged
+// exchanges and failover happen in its source fabric (DESIGN.md §13), so
+// killing one of the processes mid-query costs a failover, not the answer.
 package main
 
 import (

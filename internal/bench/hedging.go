@@ -1,0 +1,328 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"fusionq/internal/exec"
+	"fusionq/internal/fabric"
+	"fusionq/internal/netsim"
+	"fusionq/internal/obs"
+	"fusionq/internal/optimizer"
+	"fusionq/internal/source"
+	"fusionq/internal/stats"
+	"fusionq/internal/workload"
+)
+
+func init() {
+	register(Experiment{ID: "E19", Title: "Hedged vs unhedged exchanges under a straggler replica; replica-kill failover (tentpole)", Run: runE19})
+}
+
+// runE19 measures the source fabric's two operational promises on a
+// two-replica logical source:
+//
+//  1. Tail latency: one replica is degraded into a straggler by a scripted
+//     churn event, and the same deterministic exchange sequence runs with
+//     hedging off and on. Exploration keeps routing a fraction of exchanges
+//     onto the straggler; unhedged, those exchanges pay the degraded link in
+//     full and dominate the tail. Hedged, the latency-percentile deadline
+//     fires, a backup launches on the healthy sibling, and the tail collapses
+//     to roughly the hedge delay plus one fast exchange. Quantiles come from
+//     the fq_logical_exchange_seconds histogram — the wall-clock distribution
+//     hedging is designed to tighten. Asserted: hedged p99 is at least 2x
+//     below unhedged, and hedging's total-work overhead (the extra backup
+//     exchanges, charged even when the loser is cancelled) stays within 10%.
+//
+//  2. Failover: one replica of the logical source is killed by scripted
+//     churn mid-query, and the full DMV query still returns the complete
+//     (non-partial) answer — the fabric fails the dead endpoint's exchanges
+//     over to its sibling. Asserted: answer equals the answer of record and
+//     at least one failover occurred.
+func runE19(ctx context.Context) (*Table, error) {
+	const (
+		realScale = 0.2
+		warmup    = 60
+		exchanges = 300
+	)
+	t := &Table{
+		ID: "E19", Title: fmt.Sprintf("two-replica logical source: hedged vs unhedged tails, replica-kill failover; real-time scale %v", realScale),
+		Columns: []string{"mode", "exchanges", "p50 ms", "p95 ms", "p99 ms", "hedges", "wins", "failovers", "work s"},
+	}
+
+	// The straggler regime: both replicas start on a fast path; a scripted
+	// degrade event stretches replica b's latency ~60x at time zero. The
+	// fabric's EWMA routes steady traffic to the healthy sibling, but
+	// ε-greedy exploration keeps sampling the straggler — exactly the
+	// exchanges whose latency hedging bounds.
+	fast := netsim.Link{Latency: 2 * time.Millisecond, BytesPerSec: 1 << 20, RequestOverhead: time.Millisecond, MaxConns: 2}
+	slow := fast
+	slow.Latency = 150 * time.Millisecond
+
+	type tailRun struct {
+		p50, p95, p99 float64 // milliseconds
+		stats         fabric.Stats
+		work          time.Duration
+	}
+	runTail := func(hedged bool) (tailRun, error) {
+		sc := workload.DMV()
+		network := netsim.NewNetwork(19)
+		network.SetRealTime(realScale)
+		opts := fabric.Options{
+			Seed:        19,
+			ExploreProb: 0.2,
+			// The hedge percentile must sit above the straggler fraction
+			// (~10% of exchanges land on the degraded replica), else raw
+			// straggler samples in the latency ring drag the deadline up to
+			// the straggler latency itself and hedges fire too late. The
+			// deadline floor sits well above a fast exchange's wall time
+			// (~1ms at this scale) and far below the straggler's (~60ms), so
+			// only genuinely straggling exchanges hedge.
+			HedgePercentile: 0.8,
+			HedgeMin:        4 * time.Millisecond,
+			DisableHedging:  !hedged,
+		}
+		w := sc.Sources[0].(*source.Wrapper)
+		var eps []*fabric.Endpoint
+		for _, suffix := range []string{"-a", "-b"} {
+			rep := source.NewWrapper(w.Name()+suffix, source.NewRowBackend(sc.Relations[0]), w.Caps())
+			network.SetLink(rep.Name(), fast)
+			eps = append(eps, fabric.NewEndpoint(source.Instrument(rep, network), fast.Conns()))
+		}
+		logical, err := fabric.NewLogical(w.Name(), eps, opts)
+		if err != nil {
+			return tailRun{}, err
+		}
+		network.ScheduleChurn([]netsim.ChurnEvent{
+			{At: 0, Source: eps[1].Name(), Kind: netsim.ChurnDegrade, Link: slow},
+		})
+
+		// Warmup converges health EWMAs and the hedge deadline before
+		// anything is measured: the first straggler observations predate an
+		// armed hedge timer and would otherwise contaminate the tail. The
+		// measured window then sees steady-state behavior; resetting the
+		// network scopes the total-work comparison to it (churn re-arms, so
+		// the degrade event re-fires immediately).
+		for i := 0; i < warmup; i++ {
+			if _, err := logical.Select(ctx, sc.Conds[0]); err != nil {
+				return tailRun{}, fmt.Errorf("warmup exchange %d (hedged=%v): %w", i, hedged, err)
+			}
+		}
+		network.Reset()
+
+		reg := obs.NewRegistry()
+		obs.DescribeAll(reg)
+		mctx := obs.With(ctx, &obs.Obs{Metrics: reg})
+		for i := 0; i < exchanges; i++ {
+			if _, err := logical.Select(mctx, sc.Conds[0]); err != nil {
+				return tailRun{}, fmt.Errorf("exchange %d (hedged=%v): %w", i, hedged, err)
+			}
+		}
+		point, err := histogramPoint(reg, obs.MLogicalExchangeSeconds, logical.Name())
+		if err != nil {
+			return tailRun{}, err
+		}
+		if point.Count != exchanges {
+			return tailRun{}, fmt.Errorf("histogram count %d, want %d", point.Count, exchanges)
+		}
+		return tailRun{
+			p50:   histQuantile(point, 0.50) * 1000,
+			p95:   histQuantile(point, 0.95) * 1000,
+			p99:   histQuantile(point, 0.99) * 1000,
+			stats: logical.Stats(),
+			work:  network.Stats().TotalTime,
+		}, nil
+	}
+
+	unhedged, err := runTail(false)
+	if err != nil {
+		return nil, err
+	}
+	hedged, err := runTail(true)
+	if err != nil {
+		return nil, err
+	}
+
+	if hedged.stats.Hedges == 0 || hedged.stats.HedgeWins == 0 {
+		return nil, fmt.Errorf("E19: hedged run launched %d hedges, won %d — hedging never engaged",
+			hedged.stats.Hedges, hedged.stats.HedgeWins)
+	}
+	if hedged.p99*2 > unhedged.p99 {
+		return nil, fmt.Errorf("E19: hedged p99 %.2fms not at least 2x below unhedged %.2fms",
+			hedged.p99, unhedged.p99)
+	}
+	if float64(hedged.work) > 1.10*float64(unhedged.work) {
+		return nil, fmt.Errorf("E19: hedged total work %v exceeds unhedged %v by more than 10%%",
+			hedged.work, unhedged.work)
+	}
+	t.AddRow("unhedged", exchanges, unhedged.p50, unhedged.p95, unhedged.p99,
+		unhedged.stats.Hedges, unhedged.stats.HedgeWins, unhedged.stats.Failovers, unhedged.work.Seconds())
+	t.AddRow("hedged", exchanges, hedged.p50, hedged.p95, hedged.p99,
+		hedged.stats.Hedges, hedged.stats.HedgeWins, hedged.stats.Failovers, hedged.work.Seconds())
+
+	killRun, err := runE19Kill(ctx)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("replica-kill", killRun.SourceQueries, "-", "-", "-", 0, 0, killRun.Failovers, killRun.TotalWork.Seconds())
+
+	t.Notes = append(t.Notes,
+		"quantiles are interpolated from the fq_logical_exchange_seconds histogram: wall-clock whole-logical-exchange latency, hedging and failover included",
+		"a scripted churn event degrades replica b into a straggler at time zero; ε-greedy exploration keeps ~10% of exchanges landing on it",
+		fmt.Sprintf("asserted: hedged p99 ≥2x below unhedged (measured %.1fx) with total-work overhead ≤10%% (measured %+.1f%%)",
+			unhedged.p99/hedged.p99, (float64(hedged.work)/float64(unhedged.work)-1)*100),
+		"replica-kill: scripted churn kills one replica of the logical source mid-query; the DMV query still returns the full, non-partial answer via failover (asserted)")
+	return t, nil
+}
+
+// runE19Kill is the failover acceptance scenario: the DMV workload with
+// source R1 behind a two-replica logical source; a dry run locates a
+// replica-a exchange, the schedule kills replica a just as that exchange
+// begins, and the rerun must still produce the full answer.
+func runE19Kill(ctx context.Context) (*exec.Result, error) {
+	sc := workload.DMV()
+	network := netsim.NewNetwork(1)
+	link := netsim.Link{Latency: 10 * time.Millisecond, BytesPerSec: 10000, RequestOverhead: 5 * time.Millisecond}
+	opts := fabric.Options{Seed: 1, ExploreProb: -1, DisableHedging: true}
+	srcs := make([]source.Source, len(sc.Sources))
+	profiles := make([]stats.SourceProfile, len(sc.Sources))
+	var logical *fabric.Logical
+	for j, raw := range sc.Sources {
+		w := raw.(*source.Wrapper)
+		if j == 0 {
+			var eps []*fabric.Endpoint
+			for _, suffix := range []string{"-a", "-b"} {
+				rep := source.NewWrapper(w.Name()+suffix, source.NewRowBackend(sc.Relations[j]), w.Caps())
+				network.SetLink(rep.Name(), link)
+				eps = append(eps, fabric.NewEndpoint(source.Instrument(rep, network), link.Conns()))
+			}
+			var err error
+			logical, err = fabric.NewLogical(w.Name(), eps, opts)
+			if err != nil {
+				return nil, err
+			}
+			srcs[j] = logical
+		} else {
+			network.SetLink(w.Name(), link)
+			srcs[j] = source.Instrument(w, network)
+		}
+		profiles[j] = stats.ProfileFromLink(w.Name(), link, 3, stats.SupportOf(srcs[j].Caps()))
+	}
+	table, err := stats.BuildFromSources(ctx, sc.Conds, srcs, profiles)
+	if err != nil {
+		return nil, err
+	}
+	res, err := optimizer.Filter(&optimizer.Problem{Conds: sc.Conds, Sources: sc.SourceNames(), Table: table})
+	if err != nil {
+		return nil, err
+	}
+
+	// Dry run on a fresh fabric to find when replica a first serves an
+	// exchange; the kill fires exactly as that exchange begins. Rebuilding
+	// the logical source resets health and the selection rng, so the rerun
+	// replays the dry run's routing deterministically up to the kill.
+	rebuild := func() error {
+		logical, err = fabric.NewLogical(logical.Name(), logical.Endpoints(), opts)
+		if err != nil {
+			return err
+		}
+		srcs[0] = logical
+		return nil
+	}
+	if err := rebuild(); err != nil {
+		return nil, err
+	}
+	network.Reset()
+	ex := &exec.Executor{Sources: srcs, Network: network, Retries: 1}
+	if _, err := ex.Run(ctx, res.Plan); err != nil {
+		return nil, fmt.Errorf("E19 dry run: %w", err)
+	}
+	victim := logical.Endpoints()[0].Name()
+	killAt := time.Duration(-1)
+	var cum time.Duration
+	for _, e := range network.Log() {
+		if e.Source == victim {
+			killAt = cum
+			break
+		}
+		cum += e.Elapsed
+	}
+	if killAt < 0 {
+		return nil, fmt.Errorf("E19: dry run never routed an exchange to %s", victim)
+	}
+
+	if err := rebuild(); err != nil {
+		return nil, err
+	}
+	network.Reset()
+	network.ScheduleChurn([]netsim.ChurnEvent{{At: killAt, Source: victim, Kind: netsim.ChurnKill}})
+	ex = &exec.Executor{Sources: srcs, Network: network, Retries: 1}
+	run, err := ex.Run(ctx, res.Plan)
+	if err != nil {
+		return nil, fmt.Errorf("E19: run with replica killed at %v: %w", killAt, err)
+	}
+	if !run.Answer.Equal(AnswerOfRecord) {
+		return nil, fmt.Errorf("E19: answer %v after replica kill, want the full answer %v", run.Answer, AnswerOfRecord)
+	}
+	if run.Failovers < 1 {
+		return nil, fmt.Errorf("E19: no failover recorded — the kill at %v never bit", killAt)
+	}
+	return run, nil
+}
+
+// histogramPoint finds the named histogram's time series for one source
+// label in a registry snapshot.
+func histogramPoint(reg *obs.Registry, name, src string) (obs.MetricPoint, error) {
+	for _, mf := range reg.Snapshot() {
+		if mf.Name != name {
+			continue
+		}
+		for _, p := range mf.Points {
+			if p.Labels["source"] == src {
+				return p, nil
+			}
+		}
+	}
+	return obs.MetricPoint{}, fmt.Errorf("histogram %s{source=%q} not found", name, src)
+}
+
+// histQuantile interpolates the q-quantile (q in (0,1]) from a histogram
+// point's cumulative buckets, Prometheus histogram_quantile style: linear
+// within the bucket the rank falls into. Observations beyond the last finite
+// bound report that bound (no upper edge to interpolate toward).
+func histQuantile(p obs.MetricPoint, q float64) float64 {
+	if p.Count == 0 {
+		return 0
+	}
+	bounds := make([]float64, 0, len(p.Buckets))
+	for k := range p.Buckets {
+		if k == "+Inf" {
+			continue
+		}
+		if f, err := strconv.ParseFloat(k, 64); err == nil {
+			bounds = append(bounds, f)
+		}
+	}
+	sort.Float64s(bounds)
+	rank := q * float64(p.Count)
+	var lower float64
+	var prevCum int64
+	for _, ub := range bounds {
+		cum := p.Buckets[strconv.FormatFloat(ub, 'g', -1, 64)]
+		if float64(cum) >= rank {
+			in := cum - prevCum
+			if in == 0 {
+				return ub
+			}
+			return lower + (ub-lower)*(rank-float64(prevCum))/float64(in)
+		}
+		lower = ub
+		prevCum = cum
+	}
+	if len(bounds) == 0 {
+		return 0
+	}
+	return bounds[len(bounds)-1]
+}

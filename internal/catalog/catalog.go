@@ -13,6 +13,15 @@
 //	    {"name": "dmv_nv", "remote": "10.0.0.2:7070"}
 //	  ]
 //	}
+//
+// A source may instead declare itself a replica of a logical source with
+// "replicaOf": every spec naming the same logical source becomes one
+// physical endpoint behind it, and the mediator plans against the logical
+// name only — replica selection, failover and hedging happen in the
+// source fabric:
+//
+//	{"name": "dmv_ca_a", "csv": "ca.csv", "replicaOf": "dmv_ca"},
+//	{"name": "dmv_ca_b", "remote": "10.0.0.3:7070", "replicaOf": "dmv_ca"}
 package catalog
 
 import (
@@ -26,6 +35,7 @@ import (
 
 	"fusionq/internal/core"
 	"fusionq/internal/csvio"
+	"fusionq/internal/fabric"
 	"fusionq/internal/netsim"
 	"fusionq/internal/relation"
 	"fusionq/internal/source"
@@ -61,6 +71,10 @@ type SourceSpec struct {
 	Caps   string    `json:"caps,omitempty"` // native | bindings | none
 	Bloom  bool      `json:"bloom,omitempty"`
 	Link   *LinkSpec `json:"link,omitempty"`
+	// ReplicaOf names the logical source this spec is one physical replica
+	// of. All specs sharing a ReplicaOf value are registered as one
+	// replicated source under that logical name.
+	ReplicaOf string `json:"replicaOf,omitempty"`
 }
 
 // Catalog is a parsed configuration.
@@ -100,6 +114,7 @@ func Parse(data []byte) (*Catalog, error) {
 		return nil, fmt.Errorf("no sources")
 	}
 	seen := map[string]bool{}
+	groups := map[string]bool{}
 	for i, s := range cat.Sources {
 		if (s.CSV == "") == (s.Remote == "") {
 			return nil, fmt.Errorf("source %d: exactly one of csv or remote must be set", i)
@@ -118,6 +133,17 @@ func Parse(data []byte) (*Catalog, error) {
 		case "", "native", "bindings", "none":
 		default:
 			return nil, fmt.Errorf("source %d: unknown caps %q", i, s.Caps)
+		}
+		if s.ReplicaOf != "" {
+			if cat.Sources[i].Name == "" {
+				return nil, fmt.Errorf("source %d: a replica of %q needs its own name", i, s.ReplicaOf)
+			}
+			groups[s.ReplicaOf] = true
+		}
+	}
+	for g := range groups {
+		if seen[g] {
+			return nil, fmt.Errorf("logical source %q collides with a replica or source name", g)
 		}
 	}
 	return &cat, nil
@@ -139,7 +165,10 @@ func capsOf(spec SourceSpec) source.Capabilities {
 
 // Build assembles a mediator from the catalog: CSV sources are loaded into
 // row stores, remote sources dialed, every source registered with its
-// link-derived cost profile. The returned closer releases remote
+// link-derived cost profile. A remote replica that cannot be dialed is
+// skipped — its group only needs one live member, and the fabric routes
+// around the rest — but a plain source failing, or a replica group with no
+// reachable member, fails the build. The returned closer releases remote
 // connections.
 func (c *Catalog) Build() (*core.Mediator, func(), error) {
 	return c.BuildContext(context.Background())
@@ -151,6 +180,7 @@ func (c *Catalog) BuildContext(ctx context.Context) (*core.Mediator, func(), err
 		m       *core.Mediator
 		schema  *relation.Schema
 		closers []func()
+		built   []source.Source
 	)
 	closeAll := func() {
 		for _, f := range closers {
@@ -175,6 +205,13 @@ func (c *Catalog) BuildContext(ctx context.Context) (*core.Mediator, func(), err
 		default:
 			cli, err := wire.DialContext(ctx, spec.Remote)
 			if err != nil {
+				if spec.ReplicaOf != "" && ctx.Err() == nil {
+					// A dead replica must not block assembly: its group only
+					// needs one live member, and the fabric routes around the
+					// rest. Registration below fails if none survived.
+					built = append(built, nil)
+					continue
+				}
 				closeAll()
 				return nil, nil, err
 			}
@@ -190,7 +227,35 @@ func (c *Catalog) BuildContext(ctx context.Context) (*core.Mediator, func(), err
 			return nil, nil, fmt.Errorf("catalog: source %s schema %s incompatible with %s",
 				src.Name(), src.Schema(), schema)
 		}
-		if err := m.AddSourceLink(src, spec.Link.Link()); err != nil {
+		built = append(built, src)
+	}
+	// Register sources in catalog order: plain sources directly, replica
+	// groups as one fabric-backed logical source at their first member's
+	// position.
+	registered := map[string]bool{}
+	for i, spec := range c.Sources {
+		if spec.ReplicaOf == "" {
+			if err := m.AddSourceLink(built[i], spec.Link.Link()); err != nil {
+				closeAll()
+				return nil, nil, err
+			}
+			continue
+		}
+		if registered[spec.ReplicaOf] {
+			continue
+		}
+		registered[spec.ReplicaOf] = true
+		var replicas []core.ReplicaSpec
+		for j, other := range c.Sources {
+			if other.ReplicaOf == spec.ReplicaOf && built[j] != nil {
+				replicas = append(replicas, core.ReplicaSpec{Source: built[j], Link: other.Link.Link()})
+			}
+		}
+		if len(replicas) == 0 {
+			closeAll()
+			return nil, nil, fmt.Errorf("catalog: logical source %q: no replica reachable", spec.ReplicaOf)
+		}
+		if _, err := m.AddReplicatedSource(spec.ReplicaOf, replicas, fabric.Options{}); err != nil {
 			closeAll()
 			return nil, nil, err
 		}

@@ -1,12 +1,15 @@
 package catalog
 
 import (
+	"net"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"fusionq/internal/core"
+	"fusionq/internal/fabric"
 	"fusionq/internal/set"
 	"fusionq/internal/source"
 	"fusionq/internal/wire"
@@ -111,15 +114,143 @@ func TestBuildWithRemoteSource(t *testing.T) {
 	}
 }
 
+func TestBuildReplicatedSource(t *testing.T) {
+	dir := writeCatalogDir(t)
+	sc := workload.DMV()
+	srv, err := wire.Serve(source.NewWrapper("ca_b", source.NewRowBackend(sc.Relations[0]),
+		source.Capabilities{NativeSemijoin: true, PassedBindings: true}), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	catJSON := `{
+	  "merge": "L",
+	  "sources": [
+	    {"name": "ca_a", "csv": "r1.csv", "replicaOf": "ca"},
+	    {"name": "ca_b", "remote": "` + srv.Addr() + `", "replicaOf": "ca"},
+	    {"csv": "r2.csv"},
+	    {"csv": "r3.csv"}
+	  ]
+	}`
+	path := filepath.Join(dir, "catalog.json")
+	if err := os.WriteFile(path, []byte(catJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	m, closer, err := cat.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	defer closer()
+	// The mediator plans against the logical name at the group's position;
+	// replicas never appear in the roster.
+	if got := m.SourceNames(); len(got) != 3 || got[0] != "ca" || got[1] != "r2" || got[2] != "r3" {
+		t.Fatalf("SourceNames = %v, want [ca r2 r3]", got)
+	}
+	logical, ok := m.Sources()[0].(*fabric.Logical)
+	if !ok {
+		t.Fatalf("roster source 0 is %T, want *fabric.Logical", m.Sources()[0])
+	}
+	if got := len(logical.Endpoints()); got != 2 {
+		t.Fatalf("logical endpoints = %d, want 2", got)
+	}
+	ans, err := m.Query(`SELECT u1.L FROM U u1, U u2 WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'`, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := set.New("J55", "T21"); !ans.Items.Equal(want) {
+		t.Fatalf("answer = %v, want %v", ans.Items, want)
+	}
+}
+
+// TestBuildReplicaDeadAtAssembly: a replica that is down when the catalog
+// is built must not block assembly — its group only needs one live member —
+// but a group with no reachable replica at all must fail.
+func TestBuildReplicaDeadAtAssembly(t *testing.T) {
+	dir := writeCatalogDir(t)
+	sc := workload.DMV()
+	srv, err := wire.Serve(source.NewWrapper("ca_b", source.NewRowBackend(sc.Relations[0]),
+		source.Capabilities{NativeSemijoin: true, PassedBindings: true}), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	_ = ln.Close() // nothing listens here now: dials are refused
+
+	catJSON := `{
+	  "merge": "L",
+	  "sources": [
+	    {"name": "ca_a", "remote": "` + deadAddr + `", "replicaOf": "ca"},
+	    {"name": "ca_b", "remote": "` + srv.Addr() + `", "replicaOf": "ca"},
+	    {"csv": "r2.csv"},
+	    {"csv": "r3.csv"}
+	  ]
+	}`
+	path := filepath.Join(dir, "catalog.json")
+	if err := os.WriteFile(path, []byte(catJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	m, closer, err := cat.Build()
+	if err != nil {
+		t.Fatalf("Build with one dead replica: %v", err)
+	}
+	defer closer()
+	logical, ok := m.Sources()[0].(*fabric.Logical)
+	if !ok {
+		t.Fatalf("roster source 0 is %T, want *fabric.Logical", m.Sources()[0])
+	}
+	if got := len(logical.Endpoints()); got != 1 {
+		t.Fatalf("logical endpoints = %d, want 1 (the survivor)", got)
+	}
+	ans, err := m.Query(`SELECT u1.L FROM U u1, U u2 WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'`, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := set.New("J55", "T21"); !ans.Items.Equal(want) {
+		t.Fatalf("answer = %v, want %v", ans.Items, want)
+	}
+
+	// Every replica dead: assembly must fail, naming the logical source.
+	allDead := `{
+	  "merge": "L",
+	  "sources": [
+	    {"name": "ca_a", "remote": "` + deadAddr + `", "replicaOf": "ca"},
+	    {"csv": "r2.csv"}
+	  ]
+	}`
+	cat2, err := Parse([]byte(allDead))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	cat2.dir = dir
+	if _, _, err := cat2.Build(); err == nil || !strings.Contains(err.Error(), `"ca"`) {
+		t.Fatalf("Build with every replica dead = %v, want error naming the group", err)
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	cases := map[string]string{
-		"empty":         `{}`,
-		"no locator":    `{"sources": [{"name": "x"}]}`,
-		"both locators": `{"sources": [{"csv": "a.csv", "remote": "x:1"}]}`,
-		"bad caps":      `{"sources": [{"csv": "a.csv", "caps": "wizard"}]}`,
-		"duplicate":     `{"sources": [{"csv": "a.csv", "name": "x"}, {"csv": "b.csv", "name": "x"}]}`,
-		"unknown field": `{"sources": [{"csv": "a.csv", "wat": 1}]}`,
-		"not json":      `nope`,
+		"empty":            `{}`,
+		"no locator":       `{"sources": [{"name": "x"}]}`,
+		"both locators":    `{"sources": [{"csv": "a.csv", "remote": "x:1"}]}`,
+		"bad caps":         `{"sources": [{"csv": "a.csv", "caps": "wizard"}]}`,
+		"duplicate":        `{"sources": [{"csv": "a.csv", "name": "x"}, {"csv": "b.csv", "name": "x"}]}`,
+		"unknown field":    `{"sources": [{"csv": "a.csv", "wat": 1}]}`,
+		"not json":         `nope`,
+		"nameless replica": `{"sources": [{"remote": "x:1", "replicaOf": "r"}]}`,
+		"logical collides": `{"sources": [{"csv": "a.csv", "name": "r"}, {"csv": "b.csv", "name": "r_b", "replicaOf": "r"}]}`,
 	}
 	for name, data := range cases {
 		if _, err := Parse([]byte(data)); err == nil {

@@ -29,6 +29,7 @@ import (
 	"fusionq/internal/bloom"
 	"fusionq/internal/cond"
 	"fusionq/internal/exec"
+	"fusionq/internal/fabric"
 	"fusionq/internal/netsim"
 	"fusionq/internal/obs"
 	"fusionq/internal/optimizer"
@@ -159,6 +160,14 @@ type Options struct {
 	// (default set.DefaultBatch). Smaller batches lower first-answer
 	// latency and peak memory but pay more per-chunk exchange overhead.
 	BatchSize int
+	// DisableRepair turns off mid-query roster repair. By default, when
+	// every replica of a logical source is exhausted mid-query
+	// (fabric.ExhaustedError), the mediator keeps the completed rounds'
+	// running set and re-plans the remaining conditions over the surviving
+	// sources, reporting the repaired (possibly partial) answer via
+	// Answer.Repair. With repair disabled such failures surface as errors
+	// with the usual honest-partial counters.
+	DisableRepair bool
 }
 
 // Answer is the result of one fusion query.
@@ -184,6 +193,11 @@ type Answer struct {
 	// with CombinedFetch; nil otherwise (use Fetch for the classic second
 	// phase).
 	Records *relation.Relation
+	// Repair is non-nil when the roster was repaired mid-query: a logical
+	// source's replicas were exhausted, and the remaining conditions were
+	// re-planned over the surviving sources. Items then satisfies the
+	// honest envelope answer(survivors) ⊆ Items ⊆ answer(full roster).
+	Repair *RepairInfo
 }
 
 // Mediator coordinates fusion-query processing over registered sources.
@@ -323,6 +337,80 @@ func (m *Mediator) AddSourceLink(src source.Source, link netsim.Link) error {
 	return m.AddSource(src, profile)
 }
 
+// ReplicaSpec describes one physical replica endpoint of a logical source:
+// the replica's source (its name must be unique and distinct from the
+// logical name) and its own network link.
+type ReplicaSpec struct {
+	// Source serves the replica's exchanges. Replicas of one logical source
+	// must hold the same data under compatible schemas.
+	Source source.Source
+	// Link is the replica's network link when a simulated network is
+	// attached; its MaxConns is the replica's connection capacity.
+	Link netsim.Link
+}
+
+// AddReplicatedSource registers one logical source (the paper's R_j) backed
+// by several physical replica endpoints, managed by the source fabric:
+// per-endpoint health tracking and circuit breaking, fastest-healthy
+// replica selection, hedged exchanges against stragglers, and failover
+// across replicas on transient failures. Everything above the source layer
+// — statistics, optimization, plans, answers — sees only the logical name.
+//
+// Each endpoint is instrumented against the attached network under its own
+// link, so endpoint exchanges are accounted physically; the logical source
+// itself is not re-instrumented. The cost profile is derived from the
+// fastest replica link — the fabric routes to the fastest healthy replica,
+// so that is the calibrated cost a planner should assume.
+func (m *Mediator) AddReplicatedSource(name string, replicas []ReplicaSpec, opts fabric.Options) (*fabric.Logical, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("core: replicated source %s: no replicas", name)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range m.sources {
+		if s.Name() == name {
+			return nil, fmt.Errorf("core: duplicate source name %q", name)
+		}
+	}
+	best := replicas[0].Link
+	eps := make([]*fabric.Endpoint, len(replicas))
+	for i, rep := range replicas {
+		src := rep.Source
+		if !m.schema.Compatible(src.Schema()) {
+			return nil, fmt.Errorf("core: replica %s schema %s incompatible with mediator schema %s",
+				src.Name(), src.Schema(), m.schema)
+		}
+		if m.network != nil {
+			m.network.SetLink(src.Name(), rep.Link)
+			src = source.Instrument(src, m.network)
+		}
+		conns := rep.Link.MaxConns
+		eps[i] = fabric.NewEndpoint(src, conns)
+		if rep.Link.Latency+rep.Link.RequestOverhead < best.Latency+best.RequestOverhead {
+			best = rep.Link
+		}
+	}
+	logical, err := fabric.NewLogical(name, eps, opts)
+	if err != nil {
+		return nil, err
+	}
+	_, _, bytes := logical.Card()
+	tuples, _, _ := logical.Card()
+	avgItem := 8.0
+	if tuples > 0 {
+		if avg := float64(bytes) / float64(tuples); avg > 0 {
+			avgItem = avg / float64(logical.Schema().NumColumns())
+		}
+	}
+	profile := stats.ProfileFromLink(name, best, avgItem, stats.SupportOf(logical.Caps()))
+	if logical.Caps().BloomSemijoin {
+		profile.BloomBitsPerItem = bloom.DefaultBitsPerItem
+	}
+	m.sources = append(m.sources, logical)
+	m.profiles = append(m.profiles, profile)
+	return logical, nil
+}
+
 // Sources returns the registered sources in order.
 func (m *Mediator) Sources() []source.Source {
 	m.mu.RLock()
@@ -440,8 +528,15 @@ func (m *Mediator) problem(ctx context.Context, r roster, conds []cond.Cond, opt
 		r.network.Reset()
 	}
 	for _, src := range r.sources {
-		if inst, ok := src.(*source.Instrumented); ok {
-			inst.ResetCounters()
+		switch s := src.(type) {
+		case *source.Instrumented:
+			s.ResetCounters()
+		case *fabric.Logical:
+			for _, ep := range s.Endpoints() {
+				if inst, ok := ep.Source().(*source.Instrumented); ok {
+					inst.ResetCounters()
+				}
+			}
 		}
 	}
 	names := make([]string, len(r.sources))
@@ -571,6 +666,9 @@ func (m *Mediator) queryConds(ctx context.Context, conds []cond.Cond, opts Optio
 	run, err := ex.Run(ectx, res.Plan)
 	esp.End(err)
 	if err != nil {
+		if ans, rerr, handled := m.tryRepair(ctx, r, opts, res.Plan, run, res.Cost, err); handled {
+			return ans, rerr
+		}
 		return partialAnswer(run, res.Plan), err
 	}
 	return &Answer{Items: run.Answer, Plan: res.Plan, EstimatedCost: res.Cost, Exec: run}, nil

@@ -1,0 +1,228 @@
+package core
+
+// Mid-query roster repair. When a logical source's replicas are all
+// exhausted mid-query (fabric.ExhaustedError), the mediator does not have
+// to discard the rounds that already completed: fusion-query semantics are
+// monotone per condition — an item is in the answer iff for EACH condition
+// SOME source satisfies it — so the running set after the last completed
+// round is a correct upper bound on the answer, and the remaining
+// conditions can be re-planned as a fresh fusion query over the surviving
+// sources. The repaired answer is
+//
+//	seed ∩ answer(pending conditions, survivors)
+//
+// which is bracketed by the honest envelope
+//
+//	answer(all conditions, survivors) ⊆ repaired ⊆ answer(all conditions, full roster):
+//
+// completed rounds keep the dead source's contributions (lower bound is
+// strict whenever they mattered), while pending conditions can no longer
+// count items only the dead source satisfied (upper bound). The repair is
+// a partial answer in that precise sense, reported via Answer.Repair.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"fusionq/internal/cond"
+	"fusionq/internal/exec"
+	"fusionq/internal/fabric"
+	"fusionq/internal/obs"
+	"fusionq/internal/plan"
+	"fusionq/internal/set"
+)
+
+// RepairInfo describes how a query's roster was repaired mid-flight.
+type RepairInfo struct {
+	// Dead lists the logical sources whose replica sets were exhausted and
+	// that were dropped from the roster, in the order they died.
+	Dead []string
+	// Replans is how many re-planning rounds ran (more than one when
+	// another source died during a repair execution).
+	Replans int
+	// Partial reports that the answer may omit items only the dead sources
+	// could have vouched for on the re-planned conditions. It is always
+	// true for a repaired query; completed rounds retain the dead sources'
+	// contributions.
+	Partial bool
+}
+
+// splitCompleted divides an interrupted plan into what finished and what
+// remains. Rounds are the plan's conditions in first-staging order; a round
+// is complete when every one of its steps precedes the first failed step
+// (exec.Result.FailedStep is the minimum failed index, so everything before
+// it succeeded). The seed is the variable produced by the last step before
+// the first incomplete round — the running set incorporating every
+// completed condition. When the structure cannot be recovered (no failed
+// step recorded, streaming runs that keep no variables, seed variable
+// missing), it falls back to a conservative full re-plan: no seed, all
+// conditions pending.
+func splitCompleted(p *plan.Plan, run *exec.Result) (seed set.Set, hasSeed bool, pending []cond.Cond) {
+	all := append([]cond.Cond(nil), p.Conds...)
+	if run == nil || run.FailedStep <= 0 || run.Vars == nil {
+		return set.Set{}, false, all
+	}
+	var order []int
+	starts := map[int]int{}
+	for i, s := range p.Steps {
+		if s.Cond >= 0 {
+			if _, ok := starts[s.Cond]; !ok {
+				starts[s.Cond] = i
+				order = append(order, s.Cond)
+			}
+		}
+	}
+	if len(order) != len(p.Conds) {
+		// Not a round-structured plan (some condition never staged as its
+		// own round); repair conservatively.
+		return set.Set{}, false, all
+	}
+	completed := 0
+	for completed < len(order) {
+		nextStart := len(p.Steps)
+		if completed+1 < len(order) {
+			nextStart = starts[order[completed+1]]
+		}
+		if nextStart > run.FailedStep {
+			break
+		}
+		completed++
+	}
+	if completed == 0 {
+		return set.Set{}, false, all
+	}
+	pending = make([]cond.Cond, 0, len(order)-completed)
+	for _, ci := range order[completed:] {
+		pending = append(pending, p.Conds[ci])
+	}
+	seedVar := p.Steps[starts[order[completed]]-1].Out
+	seed, ok := run.Vars[seedVar]
+	if !ok {
+		return set.Set{}, false, all
+	}
+	return seed, true, pending
+}
+
+// without returns r minus the named logical source.
+func (r roster) without(name string) roster {
+	out := roster{network: r.network, cache: r.cache}
+	for i, s := range r.sources {
+		if s.Name() == name {
+			continue
+		}
+		out.sources = append(out.sources, s)
+		out.profiles = append(out.profiles, r.profiles[i])
+	}
+	return out
+}
+
+// mergeExec folds the counters of a repair execution into the original
+// run's, so Answer.Exec reports the query's total traffic and work.
+func mergeExec(dst, src *exec.Result) {
+	if src == nil {
+		return
+	}
+	dst.SourceQueries += src.SourceQueries
+	dst.TotalWork += src.TotalWork
+	dst.ResponseTime += src.ResponseTime
+	dst.CacheHits += src.CacheHits
+	dst.CacheMisses += src.CacheMisses
+	dst.Retries += src.Retries
+	dst.Failovers += src.Failovers
+	dst.Hedges += src.Hedges
+	if src.PeakBytes > dst.PeakBytes {
+		dst.PeakBytes = src.PeakBytes
+	}
+}
+
+// tryRepair attempts mid-query roster repair after ex.Run failed with
+// cause. It handles only fabric exhaustion (every replica of a logical
+// source failed); any other failure is left to the caller's
+// partial-answer path. Returns handled=false when repair does not apply.
+//
+// The loop survives cascading deaths: when another logical source is
+// exhausted during a repair execution, its completed rounds tighten the
+// seed and the loop re-plans the still-pending conditions over the
+// remaining survivors. It is bounded by the roster size.
+func (m *Mediator) tryRepair(ctx context.Context, r roster, opts Options, p *plan.Plan, run *exec.Result, estCost float64, cause error) (*Answer, error, bool) {
+	if opts.DisableRepair || run == nil {
+		return nil, nil, false
+	}
+	var exh *fabric.ExhaustedError
+	if !errors.As(cause, &exh) {
+		return nil, nil, false
+	}
+
+	rctx, rspan := obs.StartSpan(ctx, obs.KindPhase, "repair")
+	met := obs.Meter(rctx)
+	info := &RepairInfo{Partial: true}
+	total := &exec.Result{Vars: run.Vars, FailedStep: -1}
+	mergeExec(total, run)
+
+	seed, hasSeed, pending := splitCompleted(p, run)
+	cur := r
+	dead := exh.Source
+	var err error
+	for range r.sources {
+		info.Dead = append(info.Dead, dead)
+		cur = cur.without(dead)
+		if len(cur.sources) == 0 {
+			err = fmt.Errorf("core: repair: no sources survive: %w", cause)
+			break
+		}
+		if len(pending) == 0 {
+			// Every condition completed before the death was observed; the
+			// seed is the answer.
+			total.Answer = seed
+			rspan.End(nil)
+			return &Answer{Items: seed, Plan: p, EstimatedCost: estCost, Exec: total, Repair: info}, nil, true
+		}
+
+		info.Replans++
+		met.Counter(obs.MReplans, "dead", dead).Inc()
+		res, perr := m.plan(rctx, cur, pending, opts)
+		if perr != nil {
+			err = fmt.Errorf("core: repair re-plan: %w", perr)
+			break
+		}
+		ex := &exec.Executor{
+			Sources: cur.sources, Network: cur.network, Parallel: opts.Parallel, Conns: opts.Conns,
+			Cache: cur.cache, Trace: opts.Trace, Retries: opts.Retries,
+			Streaming: opts.Streaming, BatchSize: opts.BatchSize,
+		}
+		rerun, rerr := ex.Run(rctx, res.Plan)
+		mergeExec(total, rerun)
+		if rerr == nil {
+			answer := rerun.Answer
+			if hasSeed {
+				answer = answer.Intersect(seed)
+			}
+			total.Answer = answer
+			rspan.End(nil)
+			return &Answer{Items: answer, Plan: p, EstimatedCost: estCost, Exec: total, Repair: info}, nil, true
+		}
+		var again *fabric.ExhaustedError
+		if !errors.As(rerr, &again) {
+			err = rerr
+			break
+		}
+		// Another logical source died during the repair run: keep its
+		// completed rounds and re-plan what is still pending.
+		s2, has2, pend2 := splitCompleted(res.Plan, rerun)
+		if has2 {
+			if hasSeed {
+				seed = seed.Intersect(s2)
+			} else {
+				seed, hasSeed = s2, true
+			}
+		}
+		pending = pend2
+		dead = again.Source
+	}
+	if err == nil {
+		err = fmt.Errorf("core: repair did not converge: %w", cause)
+	}
+	rspan.End(err)
+	return &Answer{Items: total.Answer, Plan: p, Exec: total, Repair: info}, err, true
+}

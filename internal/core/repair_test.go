@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"fusionq/internal/cond"
+	"fusionq/internal/fabric"
+	"fusionq/internal/netsim"
+	"fusionq/internal/set"
+	"fusionq/internal/source"
+	"fusionq/internal/stats"
+	"fusionq/internal/workload"
+)
+
+// replicatedDMVMediator builds the Figure 1 scenario with R1 behind a
+// two-replica fabric source (endpoints R1-a, R1-b over the same relation)
+// and R2, R3 as plain sources.
+func replicatedDMVMediator(t *testing.T) (*Mediator, *fabric.Logical, *netsim.Network) {
+	t.Helper()
+	sc := workload.DMV()
+	m := New(sc.Schema)
+	network := netsim.NewNetwork(1)
+	m.SetNetwork(network)
+	link := netsim.Link{Latency: 5 * time.Millisecond, BytesPerSec: 50000, RequestOverhead: 2 * time.Millisecond}
+	w := sc.Sources[0].(*source.Wrapper)
+	logical, err := m.AddReplicatedSource(w.Name(), []ReplicaSpec{
+		{Source: source.NewWrapper(w.Name()+"-a", source.NewRowBackend(sc.Relations[0]), w.Caps()), Link: link},
+		{Source: source.NewWrapper(w.Name()+"-b", source.NewRowBackend(sc.Relations[0]), w.Caps()), Link: link},
+	}, fabric.Options{DisableHedging: true, ExploreProb: -1})
+	if err != nil {
+		t.Fatalf("AddReplicatedSource: %v", err)
+	}
+	for _, src := range sc.Sources[1:] {
+		if err := m.AddSourceLink(src, link); err != nil {
+			t.Fatalf("AddSourceLink: %v", err)
+		}
+	}
+	return m, logical, network
+}
+
+var paperConds = []cond.Cond{cond.MustParse("V = 'dui'"), cond.MustParse("V = 'sp'")}
+
+// TestReplicaKilledMidQueryFullAnswer is the acceptance scenario behind the
+// public API: one replica of the two-replica R1 dies (the kill fires on the
+// very first exchange, so statistics gathering and execution both ride on
+// the survivor) and the query still completes with the FULL answer and no
+// repair.
+func TestReplicaKilledMidQueryFullAnswer(t *testing.T) {
+	m, logical, network := replicatedDMVMediator(t)
+	network.ScheduleChurn([]netsim.ChurnEvent{
+		{At: 0, Source: logical.Endpoints()[0].Name(), Kind: netsim.ChurnKill},
+	})
+	ans, err := m.QueryConds(paperConds, Options{Algorithm: AlgoFilter, Retries: 1})
+	if err != nil {
+		t.Fatalf("query with one dead replica: %v", err)
+	}
+	if want := set.New("J55", "T21"); !ans.Items.Equal(want) {
+		t.Fatalf("answer = %v, want the full answer %v", ans.Items, want)
+	}
+	if ans.Repair != nil {
+		t.Fatalf("Repair = %+v, want nil: a surviving replica needs no roster repair", ans.Repair)
+	}
+	if ans.Exec.Failovers+ans.Exec.Retries < 1 {
+		t.Fatalf("failovers=%d retries=%d: the dead replica was never exercised", ans.Exec.Failovers, ans.Exec.Retries)
+	}
+}
+
+// TestRosterRepairAfterLogicalSourceDies kills BOTH replicas of R1 midway
+// through execution: the fabric reports exhaustion, and the mediator must
+// repair the roster — keep the completed rounds' running set, re-plan the
+// pending conditions over R2 and R3, and return an answer inside the
+// honest envelope answer(survivors) ⊆ repaired ⊆ answer(full roster).
+func TestRosterRepairAfterLogicalSourceDies(t *testing.T) {
+	opts := Options{Algorithm: AlgoFilter, HistogramStats: true}
+
+	// A third condition makes execution three rounds long, so the logical
+	// source's last exchange lands well after the statistics phase and a
+	// kill can be scheduled strictly between them. The full-roster answer
+	// stays {J55, T21}; survivors-only shrinks to {T21} (only R2 can vouch
+	// for a dui), so the envelope is non-trivial.
+	conds := append(append([]cond.Cond(nil), paperConds...), cond.MustParse("D < 1995"))
+
+	// Reference answers over plain (non-replicated) rosters.
+	sc := workload.DMV()
+	refAnswer := func(srcs []source.Source) set.Set {
+		t.Helper()
+		ref := New(sc.Schema)
+		for _, src := range srcs {
+			if err := ref.AddSourceLink(src, netsim.Link{Latency: time.Millisecond}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ans, err := ref.QueryConds(conds, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ans.Items
+	}
+	fullRef := refAnswer(sc.Sources)
+	survivorRef := refAnswer(sc.Sources[1:])
+	if fullRef.Equal(survivorRef) {
+		t.Fatalf("degenerate scenario: survivors alone compute the full answer %v", fullRef)
+	}
+
+	// Calibrate the kill time. Statistics gathering and execution each
+	// start from simulated time zero (problem() resets the network), so the
+	// kill must land after the stats phase's duration but before the
+	// logical source's last execution exchange. Replay the HistogramStats
+	// scans to measure the former; read the latter off a dry run's
+	// exchange log.
+	m, logical, network := replicatedDMVMediator(t)
+	for _, src := range m.Sources() {
+		if _, err := stats.Summarize(t.Context(), src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	statsTime := network.Stats().TotalTime
+	network.Reset()
+	dry, err := m.QueryConds(conds, opts)
+	if err != nil {
+		t.Fatalf("dry run: %v", err)
+	}
+	replicaNames := map[string]bool{}
+	for _, ep := range logical.Endpoints() {
+		replicaNames[ep.Name()] = true
+	}
+	var cum, lastReplicaStart time.Duration
+	for _, ex := range network.Log() {
+		if replicaNames[ex.Source] {
+			lastReplicaStart = cum
+		}
+		cum += ex.Elapsed
+	}
+	if statsTime >= lastReplicaStart {
+		t.Fatalf("cannot place mid-execution kill: stats %v >= last replica exchange at %v (exec total %v)",
+			statsTime, lastReplicaStart, dry.Exec.TotalWork)
+	}
+	killAt := statsTime + (lastReplicaStart-statsTime)/2
+
+	network.Reset() // the dry run advanced simulated time; start churn at zero
+	network.ScheduleChurn([]netsim.ChurnEvent{
+		{At: killAt, Source: logical.Endpoints()[0].Name(), Kind: netsim.ChurnKill},
+		{At: killAt, Source: logical.Endpoints()[1].Name(), Kind: netsim.ChurnKill},
+	})
+	ans, err := m.QueryConds(conds, opts)
+	if err != nil {
+		t.Fatalf("repaired query: %v", err)
+	}
+	if ans.Repair == nil {
+		t.Fatalf("Repair = nil after both replicas died (answer %v)", ans.Items)
+	}
+	if len(ans.Repair.Dead) != 1 || ans.Repair.Dead[0] != logical.Name() {
+		t.Fatalf("Repair.Dead = %v, want [%s]", ans.Repair.Dead, logical.Name())
+	}
+	if ans.Repair.Replans < 1 || !ans.Repair.Partial {
+		t.Fatalf("Repair = %+v, want >=1 replans and Partial", ans.Repair)
+	}
+	if !survivorRef.Diff(ans.Items).IsEmpty() {
+		t.Fatalf("repaired answer %v misses survivor-only items %v", ans.Items, survivorRef.Diff(ans.Items))
+	}
+	if !ans.Items.Diff(fullRef).IsEmpty() {
+		t.Fatalf("repaired answer %v contains items outside the full answer %v", ans.Items, fullRef)
+	}
+
+	// With repair disabled the same death surfaces as an error.
+	network.Reset()
+	network.ScheduleChurn([]netsim.ChurnEvent{
+		{At: killAt, Source: logical.Endpoints()[0].Name(), Kind: netsim.ChurnKill},
+		{At: killAt, Source: logical.Endpoints()[1].Name(), Kind: netsim.ChurnKill},
+	})
+	nrOpts := opts
+	nrOpts.DisableRepair = true
+	if _, err := m.QueryConds(conds, nrOpts); err == nil {
+		t.Fatal("DisableRepair query succeeded, want the exhaustion error")
+	}
+}

@@ -52,7 +52,7 @@ func (e *Executor) RunAdaptive(ctx context.Context, pr *optimizer.Problem) (*Res
 	t := pr.Table
 
 	executed := &plan.Plan{Conds: pr.Conds, Sources: pr.Sources, Class: "adaptive"}
-	res := &Result{Vars: map[string]set.Set{}}
+	res := &Result{Vars: map[string]set.Set{}, FailedStep: -1}
 	placed := make([]bool, m)
 	conns := make([]int, len(e.Sources))
 	for j := range e.Sources {

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"fusionq/internal/bloom"
+	"fusionq/internal/fabric"
 	"fusionq/internal/netsim"
 	"fusionq/internal/obs"
 	"fusionq/internal/plan"
@@ -154,6 +155,17 @@ type Result struct {
 	// Trace is the per-step execution trace, present when the executor's
 	// Trace flag is set, ordered by step index.
 	Trace []StepTrace
+	// Failovers and Hedges count replica-fabric activity across the run:
+	// exchanges re-issued on another replica after a failure, and hedged
+	// backup exchanges launched against stragglers. Zero for rosters
+	// without replicated sources.
+	Failovers int
+	Hedges    int
+	// FailedStep is the plan index of the first step that failed — the
+	// minimum failed index when a parallel batch fails several steps — or
+	// -1 when every executed step succeeded. Mid-query roster repair uses
+	// it to locate the last completed round.
+	FailedStep int
 }
 
 // Run executes the plan under ctx and returns the result. The plan's
@@ -182,7 +194,7 @@ func (e *Executor) Run(ctx context.Context, p *plan.Plan) (*Result, error) {
 		vars:   map[string]set.Set{},
 		loaded: map[string]*relation.Relation{},
 	}
-	res := &Result{Vars: st.vars}
+	res := &Result{Vars: st.vars, FailedStep: -1}
 	conns := make([]int, len(e.Sources))
 	for j := range e.Sources {
 		conns[j] = e.connsFor(j)
@@ -362,31 +374,75 @@ func (e *Executor) runBatch(ctx context.Context, p *plan.Plan, steps []plan.Step
 	}
 	wg.Wait()
 	if e.Network != nil {
-		perSource := map[string][]time.Duration{}
 		// Clamp: a concurrent query's planning phase may have reset the
 		// shared exchange log since logStart was captured.
 		log := e.Network.Log()
 		if logStart > len(log) {
 			logStart = len(log)
 		}
-		for _, ex := range log[logStart:] {
-			perSource[ex.Source] = append(perSource[ex.Source], ex.Elapsed)
-		}
-		conns := map[string]int{}
-		for j, src := range e.Sources {
-			conns[src.Name()] = e.connsFor(j)
-		}
-		for name, durs := range perSource {
-			if d := netsim.Makespan(durs, conns[name]); d > critical {
+		lanes, owners, laneConns := e.exchangeGroups(log[logStart:])
+		for name, durs := range lanes {
+			if d := netsim.Makespan(durs, laneConns[name]); d > critical {
 				critical = d
 			}
 		}
 		res.ResponseTime += critical
 		if e.Trace {
-			e.attributeElapsed(res, steps, start, end, perSource)
+			e.attributeElapsed(res, steps, start, end, owners)
 		}
 	}
 	return firstErr
+}
+
+// replicaSource is the fabric's accounting face: a logical source exposing
+// its physical endpoints' connection capacities.
+type replicaSource interface {
+	ReplicaConns() map[string]int
+}
+
+// exchangeGroups buckets a slice of the exchange log two ways. lanes feeds
+// makespan accounting: one lane per physical endpoint in parallel and
+// streaming modes (each endpoint owns its connection pool), collapsed into
+// the owning logical source at one connection in sequential mode so the
+// sequential TotalWork == ResponseTime identity survives failover and
+// hedging. owners rolls every endpoint up to its logical source for
+// per-step elapsed attribution, which matches plan steps by logical name.
+func (e *Executor) exchangeGroups(entries []netsim.Exchange) (lanes, owners map[string][]time.Duration, laneConns map[string]int) {
+	seq := !e.Parallel && !e.Streaming
+	owner := map[string]string{}
+	laneConns = map[string]int{}
+	for j, src := range e.Sources {
+		name := src.Name()
+		laneConns[name] = e.connsFor(j)
+		if rc, ok := src.(replicaSource); ok {
+			for epName, k := range rc.ReplicaConns() {
+				owner[epName] = name
+				if seq {
+					laneConns[epName] = 1
+				} else {
+					if e.Conns > 0 {
+						k = e.Conns
+					}
+					laneConns[epName] = k
+				}
+			}
+		}
+	}
+	lanes = map[string][]time.Duration{}
+	owners = map[string][]time.Duration{}
+	for _, ex := range entries {
+		own := ex.Source
+		if o, ok := owner[ex.Source]; ok {
+			own = o
+		}
+		owners[own] = append(owners[own], ex.Elapsed)
+		lane := ex.Source
+		if seq {
+			lane = own
+		}
+		lanes[lane] = append(lanes[lane], ex.Elapsed)
+	}
+	return lanes, owners, laneConns
 }
 
 // attributeElapsed fixes up the batch's step traces from the exchange log:
@@ -460,6 +516,15 @@ func (e *Executor) runStepRetry(ctx context.Context, p *plan.Plan, idx int, s pl
 	if isSource {
 		span.SetAttr("source", srcName)
 	}
+	// A replicated source's failovers and hedges are attributed to this
+	// step through context-carried call stats.
+	var cs *fabric.CallStats
+	if isSource {
+		if _, ok := e.Sources[s.Source].(replicaSource); ok {
+			cs = &fabric.CallStats{}
+			sctx = fabric.WithCallStats(sctx, cs)
+		}
+	}
 
 	var agg queryStats
 	var stepErr error
@@ -502,7 +567,12 @@ func (e *Executor) runStepRetry(ctx context.Context, p *plan.Plan, idx int, s pl
 		}
 	}
 
-	if agg != (queryStats{}) || e.Trace {
+	var failovers, hedges int
+	if cs != nil {
+		failovers = int(cs.Failovers.Load())
+		hedges = int(cs.Hedges.Load())
+	}
+	if agg != (queryStats{}) || e.Trace || failovers+hedges > 0 || stepErr != nil {
 		if mu != nil {
 			mu.Lock()
 		}
@@ -510,8 +580,13 @@ func (e *Executor) runStepRetry(ctx context.Context, p *plan.Plan, idx int, s pl
 		res.CacheHits += agg.hits
 		res.CacheMisses += agg.misses
 		res.Retries += agg.retries
+		res.Failovers += failovers
+		res.Hedges += hedges
+		if stepErr != nil && (res.FailedStep < 0 || idx < res.FailedStep) {
+			res.FailedStep = idx
+		}
 		if e.Trace {
-			tr := StepTrace{Index: idx, Text: text, Queries: agg.queries, CacheHits: agg.hits, Retries: agg.retries, Errors: agg.errors}
+			tr := StepTrace{Index: idx, Text: text, Queries: agg.queries, CacheHits: agg.hits, Retries: agg.retries, Errors: agg.errors, Failovers: failovers, Hedges: hedges}
 			if stepErr != nil {
 				tr.Err = stepErr.Error()
 			} else if v, ok := st.get(s.Out); ok {

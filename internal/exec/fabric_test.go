@@ -1,0 +1,170 @@
+package exec
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"fusionq/internal/fabric"
+	"fusionq/internal/netsim"
+	"fusionq/internal/optimizer"
+	"fusionq/internal/source"
+	"fusionq/internal/stats"
+	"fusionq/internal/workload"
+)
+
+// replicatedDMVSetup wires the DMV scenario with source 0 replaced by a
+// two-replica logical fabric source: two physical endpoints over the same
+// relation, each with its own network link, behind the original logical
+// name — so plans and statistics stay replica-oblivious.
+func replicatedDMVSetup(t *testing.T, opts fabric.Options) (*optimizer.Problem, []source.Source, *netsim.Network, *fabric.Logical) {
+	t.Helper()
+	sc := workload.DMV()
+	network := netsim.NewNetwork(1)
+	link := netsim.Link{Latency: 10 * time.Millisecond, BytesPerSec: 10000, RequestOverhead: 5 * time.Millisecond}
+	srcs := make([]source.Source, len(sc.Sources))
+	profiles := make([]stats.SourceProfile, len(sc.Sources))
+	var logical *fabric.Logical
+	for j, raw := range sc.Sources {
+		w := raw.(*source.Wrapper)
+		if j == 0 {
+			var eps []*fabric.Endpoint
+			for _, suffix := range []string{"-a", "-b"} {
+				rep := source.NewWrapper(w.Name()+suffix, source.NewRowBackend(sc.Relations[j]), w.Caps())
+				network.SetLink(rep.Name(), link)
+				eps = append(eps, fabric.NewEndpoint(source.Instrument(rep, network), 1))
+			}
+			var err error
+			logical, err = fabric.NewLogical(w.Name(), eps, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srcs[j] = logical
+		} else {
+			network.SetLink(w.Name(), link)
+			srcs[j] = source.Instrument(w, network)
+		}
+		profiles[j] = stats.ProfileFromLink(w.Name(), link, 3, stats.SupportOf(srcs[j].Caps()))
+	}
+	table, err := stats.BuildFromSources(context.Background(), sc.Conds, srcs, profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	network.Reset() // statistics gathering is free
+	// Rebuild the logical source so the run starts with fresh health and
+	// breakers: an unobserved endpoint scores zero and is always preferred,
+	// so both replicas deterministically receive traffic within the first
+	// two logical exchanges regardless of statistics-phase warmup.
+	logical, err = fabric.NewLogical(logical.Name(), logical.Endpoints(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs[0] = logical
+	pr := &optimizer.Problem{Conds: sc.Conds, Sources: sc.SourceNames(), Table: table}
+	return pr, srcs, network, logical
+}
+
+// TestFailoverAcrossReplicasMidQuery is the acceptance scenario: one replica
+// of a two-replica logical source is killed by scripted churn, and the
+// query still completes with the FULL answer — the fabric fails the dead
+// endpoint's exchanges over to its sibling.
+func TestFailoverAcrossReplicasMidQuery(t *testing.T) {
+	pr, srcs, network, logical := replicatedDMVSetup(t, fabric.Options{ExploreProb: -1, DisableHedging: true})
+	network.ScheduleChurn([]netsim.ChurnEvent{
+		{At: 0, Source: logical.Endpoints()[0].Name(), Kind: netsim.ChurnKill},
+	})
+	res, err := optimizer.Filter(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &Executor{Sources: srcs, Network: network, Trace: true, Retries: 1}
+	got, err := ex.Run(context.Background(), res.Plan)
+	if err != nil {
+		t.Fatalf("run with one dead replica: %v\nplan:\n%s", err, res.Plan)
+	}
+	if !got.Answer.Equal(dmvAnswer) {
+		t.Fatalf("answer = %v, want the full answer %v", got.Answer, dmvAnswer)
+	}
+	if got.Failovers < 1 {
+		t.Fatalf("Failovers = %d, want >= 1 (dead replica must have been tried)", got.Failovers)
+	}
+	if st := logical.Stats(); st.Failovers < 1 {
+		t.Fatalf("logical stats failovers = %d, want >= 1", st.Failovers)
+	}
+	if got.FailedStep != -1 {
+		t.Fatalf("FailedStep = %d, want -1 for a fully repaired run", got.FailedStep)
+	}
+	// The sequential accounting identity must survive failover: endpoint
+	// exchanges collapse into the logical source's single lane.
+	if got.TotalWork <= 0 || got.ResponseTime != got.TotalWork {
+		t.Fatalf("sequential timing = total %v / response %v, want equal", got.TotalWork, got.ResponseTime)
+	}
+	// The trace attributes every failover to some step.
+	sum := 0
+	for _, tr := range got.Trace {
+		sum += tr.Failovers
+	}
+	if sum != got.Failovers {
+		t.Fatalf("trace failovers sum = %d, result reports %d", sum, got.Failovers)
+	}
+}
+
+// TestFailoverAcrossReplicasStreaming runs the same dead-replica scenario
+// through the streaming dataflow. A stream that lands on the dead endpoint
+// dies mid-stream (stream opens carry no exchange; the first chunk does),
+// which by design surfaces to the executor's whole-stream retry rather
+// than failing over inside the fabric — the retry re-picks, the dead
+// endpoint accumulates breaker failures, and selection converges on the
+// survivor. The run must still produce the full answer.
+func TestFailoverAcrossReplicasStreaming(t *testing.T) {
+	pr, srcs, network, logical := replicatedDMVSetup(t, fabric.Options{ExploreProb: -1, DisableHedging: true})
+	network.ScheduleChurn([]netsim.ChurnEvent{
+		{At: 0, Source: logical.Endpoints()[0].Name(), Kind: netsim.ChurnKill},
+	})
+	res, err := optimizer.Filter(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget: the dead endpoint can absorb at most FailureThreshold (3)
+	// consecutive attempts before its breaker opens and every later pick
+	// goes to the survivor.
+	ex := &Executor{Sources: srcs, Network: network, Streaming: true, Retries: 3}
+	got, err := ex.Run(context.Background(), res.Plan)
+	if err != nil {
+		t.Fatalf("streaming run with one dead replica: %v\nplan:\n%s", err, res.Plan)
+	}
+	if !got.Answer.Equal(dmvAnswer) {
+		t.Fatalf("answer = %v, want the full answer %v", got.Answer, dmvAnswer)
+	}
+	if got.Retries+got.Failovers < 1 {
+		t.Fatalf("retries=%d failovers=%d: the dead replica was never exercised", got.Retries, got.Failovers)
+	}
+}
+
+// TestReplicatedSourceHealthySteadyState checks the no-churn baseline: a
+// replicated roster behaves exactly like a flat one — full answer, no
+// failovers, sequential identity intact.
+func TestReplicatedSourceHealthySteadyState(t *testing.T) {
+	pr, srcs, network, logical := replicatedDMVSetup(t, fabric.Options{ExploreProb: -1, DisableHedging: true})
+	res, err := optimizer.SJA(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &Executor{Sources: srcs, Network: network}
+	got, err := ex.Run(context.Background(), res.Plan)
+	if err != nil {
+		t.Fatalf("run: %v\nplan:\n%s", err, res.Plan)
+	}
+	if !got.Answer.Equal(dmvAnswer) {
+		t.Fatalf("answer = %v, want %v", got.Answer, dmvAnswer)
+	}
+	if got.Failovers != 0 || got.Hedges != 0 {
+		t.Fatalf("healthy roster reported failovers=%d hedges=%d", got.Failovers, got.Hedges)
+	}
+	if !logical.Alive() {
+		t.Fatal("healthy logical source reports not alive")
+	}
+	if got.TotalWork <= 0 || got.ResponseTime != got.TotalWork {
+		t.Fatalf("sequential timing = total %v / response %v, want equal", got.TotalWork, got.ResponseTime)
+	}
+}

@@ -35,7 +35,7 @@ func (e *Executor) RunJoinOverUnion(ctx context.Context, pr *optimizer.Problem, 
 		return nil, fmt.Errorf("exec: join-over-union would expand to %.0f subqueries (limit %d)", total, maxSubqueries)
 	}
 
-	res := &Result{Vars: map[string]set.Set{}}
+	res := &Result{Vars: map[string]set.Set{}, FailedStep: -1}
 	memo := map[[2]int]set.Set{}
 	fetch := func(ci, j int) (set.Set, error) {
 		key := [2]int{ci, j}

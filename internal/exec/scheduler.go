@@ -50,12 +50,28 @@ func (s *scheduler) acquire(ctx context.Context, j int) (func(), error) {
 	}
 }
 
+// selfScheduling marks sources that own their connection slots — the
+// replica fabric queues exchanges per physical endpoint itself, so the
+// executor's per-source scheduler steps aside for them.
+type selfScheduling interface {
+	SelfScheduling()
+}
+
 // slot admits one exchange to source j, returning a release function. With
 // no scheduler (a bare Executor used outside Run) it degrades to a
-// ctx-check: queries are issued one at a time anyway. When the context
-// carries a metrics registry, the wait and the admission are visible as the
+// ctx-check: queries are issued one at a time anyway. Self-scheduling
+// sources (the replica fabric) slot per physical endpoint internally and
+// bypass the executor-side pool — double-slotting would serialize a
+// logical source's replicas behind one lane. When the context carries a
+// metrics registry, the wait and the admission are visible as the
 // per-source queue-depth and lane-occupancy gauges.
 func (e *Executor) slot(ctx context.Context, j int) (func(), error) {
+	if _, ok := e.Sources[j].(selfScheduling); ok {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return func() {}, nil
+	}
 	if e.sched == nil {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -84,9 +100,25 @@ func (e *Executor) slot(ctx context.Context, j int) (func(), error) {
 // materialized mode is always single-connection — its accounting identity
 // ResponseTime == TotalWork depends on it. Streaming mode is inherently
 // concurrent (the dataflow nodes overlap), so it uses the parallel rule.
+// A replicated source's capacity is the sum of its endpoints' pools (each
+// endpoint enforces its own share inside the fabric); the Conns override
+// applies per endpoint.
 func (e *Executor) connsFor(j int) int {
 	if !e.Parallel && !e.Streaming {
 		return 1
+	}
+	if rc, ok := e.Sources[j].(replicaSource); ok {
+		total := 0
+		for _, k := range rc.ReplicaConns() {
+			if e.Conns > 0 {
+				k = e.Conns
+			}
+			total += k
+		}
+		if total < 1 {
+			total = 1
+		}
+		return total
 	}
 	if e.Conns > 0 {
 		return e.Conns

@@ -43,6 +43,7 @@ import (
 
 	"fusionq/internal/bloom"
 	"fusionq/internal/cond"
+	"fusionq/internal/fabric"
 	"fusionq/internal/netsim"
 	"fusionq/internal/obs"
 	"fusionq/internal/plan"
@@ -479,17 +480,10 @@ func (e *Executor) runStreaming(ctx context.Context, p *plan.Plan, st *state, re
 		if logStart > len(log) {
 			logStart = len(log)
 		}
-		perSource := map[string][]time.Duration{}
-		for _, ex := range log[logStart:] {
-			perSource[ex.Source] = append(perSource[ex.Source], ex.Elapsed)
-		}
-		conns := map[string]int{}
-		for j, src := range e.Sources {
-			conns[src.Name()] = e.connsFor(j)
-		}
+		lanes, _, laneConns := e.exchangeGroups(log[logStart:])
 		var critical time.Duration
-		for name, durs := range perSource {
-			if d := netsim.Makespan(durs, conns[name]); d > critical {
+		for name, durs := range lanes {
+			if d := netsim.Makespan(durs, laneConns[name]); d > critical {
 				critical = d
 			}
 		}
@@ -521,6 +515,15 @@ func (r *streamRun) node(idx int, s plan.Step, ins []*streamEdge, outs []*stream
 	if isSource {
 		srcName = e.Sources[s.Source].Name()
 		span.SetAttr("source", srcName)
+	}
+	// A replicated source's failovers and hedges are attributed to this
+	// node through context-carried call stats, as in the materialized path.
+	var cs *fabric.CallStats
+	if isSource {
+		if _, ok := e.Sources[s.Source].(replicaSource); ok {
+			cs = &fabric.CallStats{}
+			sctx = fabric.WithCallStats(sctx, cs)
+		}
 	}
 
 	em := newEmitter(outs)
@@ -555,13 +558,23 @@ func (r *streamRun) node(idx int, s plan.Step, ins []*streamEdge, outs []*stream
 		met.Counter(obs.MStreamBatches, "source", srcName).Add(int64(em.batches))
 	}
 
+	var failovers, hedges int
+	if cs != nil {
+		failovers = int(cs.Failovers.Load())
+		hedges = int(cs.Hedges.Load())
+	}
 	r.mu.Lock()
 	r.res.SourceQueries += agg.queries
 	r.res.CacheHits += agg.hits
 	r.res.CacheMisses += agg.misses
 	r.res.Retries += agg.retries
+	r.res.Failovers += failovers
+	r.res.Hedges += hedges
+	if err != nil && (r.res.FailedStep < 0 || idx < r.res.FailedStep) {
+		r.res.FailedStep = idx
+	}
 	if e.Trace {
-		tr := StepTrace{Index: idx, Text: text, Queries: agg.queries, CacheHits: agg.hits, Retries: agg.retries, Errors: agg.errors}
+		tr := StepTrace{Index: idx, Text: text, Queries: agg.queries, CacheHits: agg.hits, Retries: agg.retries, Errors: agg.errors, Failovers: failovers, Hedges: hedges}
 		if err != nil {
 			tr.Err = err.Error()
 		} else {

@@ -29,6 +29,12 @@ type StepTrace struct {
 	// Errors counts attempts that failed — every retry implies one error,
 	// and a step that ultimately failed has one more error than retries.
 	Errors int
+	// Failovers counts how many times the step's exchanges moved to another
+	// replica of a logical source (zero for unreplicated sources).
+	Failovers int
+	// Hedges counts backup exchanges the replica fabric launched for this
+	// step when the primary exceeded its latency deadline.
+	Hedges int
 	// Err is the step's final error text; empty when the step succeeded.
 	// Failed steps appear in the trace with the work they charged.
 	Err string
@@ -51,12 +57,12 @@ func RenderTrace(traces []StepTrace) string {
 		}
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%3s  %-*s  %9s  %7s  %6s  %7s  %6s  %12s\n",
-		"#", width, "step", "out items", "queries", "cached", "retries", "errors", "elapsed")
+	fmt.Fprintf(&b, "%3s  %-*s  %9s  %7s  %6s  %7s  %6s  %9s  %6s  %12s\n",
+		"#", width, "step", "out items", "queries", "cached", "retries", "errors", "failovers", "hedges", "elapsed")
 	for _, tr := range traces {
-		fmt.Fprintf(&b, "%3d  %-*s  %9d  %7d  %6d  %7d  %6d  %12v\n",
+		fmt.Fprintf(&b, "%3d  %-*s  %9d  %7d  %6d  %7d  %6d  %9d  %6d  %12v\n",
 			tr.Index+1, width, tr.Text, tr.OutItems, tr.Queries, tr.CacheHits,
-			tr.Retries, tr.Errors, tr.Elapsed.Round(time.Microsecond))
+			tr.Retries, tr.Errors, tr.Failovers, tr.Hedges, tr.Elapsed.Round(time.Microsecond))
 	}
 	for _, tr := range traces {
 		if tr.Err != "" {

@@ -1,0 +1,658 @@
+// Package fabric turns a flat source roster into a two-level source fabric:
+// one Logical source (the paper's R_j) backed by one or more physical
+// replica Endpoints. The Logical implements source.Source, so every layer
+// above it — executor, mediator, optimizer — keeps the paper's single-roster
+// model while the fabric handles the operational weather real federations
+// see (SkyQuery being the canonical exemplar):
+//
+//   - per-endpoint health tracking: an EWMA of observed exchange latencies
+//     plus a consecutive-failure count;
+//   - a three-state circuit breaker per endpoint (closed / open / half-open
+//     with probe exchanges);
+//   - replica selection by power-of-two-choices over the health score
+//     (EWMA × (1 + in-flight load)), with ε-greedy exploration so a
+//     recovered or degraded replica keeps producing fresh observations;
+//   - hedged exchanges: when the primary replica exceeds a latency-
+//     percentile deadline, a backup exchange launches on another replica
+//     and the loser is cancelled through ctx;
+//   - failover: a transiently failed exchange re-issues on the next best
+//     replica until every replica was tried, and only then surfaces an
+//     ExhaustedError for the mediator's mid-query roster repair.
+//
+// Each Endpoint owns its connection slots (from the replica's link
+// capacity), so the executor's per-source scheduler steps aside: Logical
+// exposes the SelfScheduling marker and the executor skips its own slot
+// accounting for fabric sources.
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fusionq/internal/bloom"
+	"fusionq/internal/cond"
+	"fusionq/internal/obs"
+	"fusionq/internal/relation"
+	"fusionq/internal/set"
+	"fusionq/internal/source"
+)
+
+// ErrExhausted marks an exchange that tried every replica of a logical
+// source and watched each one fail. Use errors.Is(err, ErrExhausted) to
+// classify; errors.As with *ExhaustedError recovers the logical source's
+// name for roster repair.
+var ErrExhausted = errors.New("fabric: replicas exhausted")
+
+// ExhaustedError reports that every replica of a logical source failed one
+// exchange. It wraps the last per-replica error, so transient causes stay
+// visible to retry classification, and matches ErrExhausted via errors.Is.
+type ExhaustedError struct {
+	// Source is the logical source's name.
+	Source string
+	// Replicas is how many endpoints were tried.
+	Replicas int
+	// Kind is the exchange kind ("sq", "sjq", ...).
+	Kind string
+	// Last is the final replica's error.
+	Last error
+}
+
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("fabric: %s: %s: all %d replicas failed: %v", e.Source, e.Kind, e.Replicas, e.Last)
+}
+
+// Is matches ErrExhausted.
+func (e *ExhaustedError) Is(target error) bool { return target == ErrExhausted }
+
+// Unwrap exposes the last replica error for cause classification.
+func (e *ExhaustedError) Unwrap() error { return e.Last }
+
+// Options tune a Logical source's selection, breaker and hedging policy.
+// The zero value means defaults.
+type Options struct {
+	// Seed drives replica selection and exploration determinism.
+	Seed int64
+	// EWMAAlpha is the latency EWMA's smoothing factor (default 0.3).
+	EWMAAlpha float64
+	// FailureThreshold is how many consecutive failures trip an endpoint's
+	// breaker closed→open (default 3).
+	FailureThreshold int
+	// Cooldown is how long an open breaker rejects selection before
+	// admitting a half-open probe (default 250ms).
+	Cooldown time.Duration
+	// ExploreProb is the ε of ε-greedy selection: the fraction of picks
+	// routed to a uniformly random selectable replica instead of the
+	// power-of-two-choices winner, keeping every replica's EWMA fresh
+	// (default 0.05; negative disables exploration).
+	ExploreProb float64
+	// DisableHedging turns hedged exchanges off.
+	DisableHedging bool
+	// HedgePercentile is the quantile of recent logical-exchange latencies
+	// the primary must exceed before a backup launches (default 0.95).
+	HedgePercentile float64
+	// HedgeMin floors the hedge deadline so noise-level percentiles do not
+	// cause hedge storms (default 1ms).
+	HedgeMin time.Duration
+	// HedgeMinSamples is how many logical exchanges must be observed
+	// before hedging arms (default 8).
+	HedgeMinSamples int
+}
+
+func (o Options) withDefaults() Options {
+	if o.EWMAAlpha <= 0 || o.EWMAAlpha > 1 {
+		o.EWMAAlpha = 0.3
+	}
+	if o.FailureThreshold <= 0 {
+		o.FailureThreshold = 3
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 250 * time.Millisecond
+	}
+	if o.ExploreProb == 0 {
+		o.ExploreProb = 0.05
+	}
+	if o.ExploreProb < 0 {
+		o.ExploreProb = 0
+	}
+	if o.HedgePercentile <= 0 || o.HedgePercentile > 1 {
+		o.HedgePercentile = 0.95
+	}
+	if o.HedgeMin <= 0 {
+		o.HedgeMin = time.Millisecond
+	}
+	if o.HedgeMinSamples <= 0 {
+		o.HedgeMinSamples = 8
+	}
+	return o
+}
+
+// Endpoint is one physical replica of a logical source: the wrapped source
+// plus its connection slots, health score and circuit breaker.
+type Endpoint struct {
+	src    source.Source
+	conns  int
+	slots  chan struct{}
+	health *health
+	brk    *breaker
+}
+
+// NewEndpoint wraps src as a physical replica endpoint with the given
+// connection capacity (the replica's link MaxConns; values below 1 mean a
+// single connection). Health and breaker state attach when the endpoint
+// joins a Logical.
+func NewEndpoint(src source.Source, conns int) *Endpoint {
+	if conns < 1 {
+		conns = 1
+	}
+	return &Endpoint{src: src, conns: conns, slots: make(chan struct{}, conns)}
+}
+
+// Name is the endpoint's physical name (distinct from the logical name).
+func (ep *Endpoint) Name() string { return ep.src.Name() }
+
+// Source returns the wrapped physical source.
+func (ep *Endpoint) Source() source.Source { return ep.src }
+
+// BreakerState returns the endpoint's current circuit-breaker position.
+func (ep *Endpoint) BreakerState() BreakerState { return ep.brk.State() }
+
+// acquire claims a connection slot, honoring ctx while queued.
+func (ep *Endpoint) acquire(ctx context.Context) error {
+	select {
+	case ep.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (ep *Endpoint) release() { <-ep.slots }
+
+// inflight is the endpoint's current in-flight exchange count.
+func (ep *Endpoint) inflight() int { return len(ep.slots) }
+
+// endpointScore orders replica selection: EWMA latency stretched by
+// in-flight load. Zero until the first observation, so fresh replicas get
+// traffic immediately.
+func endpointScore(ep *Endpoint) float64 {
+	return ep.health.score() * float64(1+ep.inflight())
+}
+
+// CallStats accumulates fabric activity for one plan step. The executor
+// installs one per step via WithCallStats so Result traces can attribute
+// failovers and hedges exactly.
+type CallStats struct {
+	Failovers atomic.Int64
+	Hedges    atomic.Int64
+	HedgeWins atomic.Int64
+}
+
+type callStatsKey struct{}
+
+// WithCallStats returns a ctx whose fabric exchanges also count into cs.
+func WithCallStats(ctx context.Context, cs *CallStats) context.Context {
+	return context.WithValue(ctx, callStatsKey{}, cs)
+}
+
+func callStats(ctx context.Context) *CallStats {
+	cs, _ := ctx.Value(callStatsKey{}).(*CallStats)
+	return cs
+}
+
+// Stats is a Logical source's cumulative fabric activity.
+type Stats struct {
+	Failovers int64
+	Hedges    int64
+	HedgeWins int64
+}
+
+// Logical is one logical source backed by replica endpoints. It implements
+// source.Source (and source.ItemStreamer), so everything above the source
+// layer is replica-oblivious.
+type Logical struct {
+	name   string
+	opts   Options
+	eps    []*Endpoint
+	schema *relation.Schema
+	caps   source.Capabilities
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// ring holds recent whole-logical-exchange wall latencies across all
+	// endpoints: the percentile basis of the hedge deadline.
+	ring *latencyRing
+
+	failovers atomic.Int64
+	hedges    atomic.Int64
+	hedgeWins atomic.Int64
+}
+
+const logicalRingSize = 64
+
+// NewLogical builds a logical source named name over the given replica
+// endpoints. Replicas must export compatible schemas; the logical
+// capability set is the intersection of the replicas' capabilities, so any
+// replica can serve any exchange routed to the logical source.
+func NewLogical(name string, eps []*Endpoint, opts Options) (*Logical, error) {
+	if len(eps) == 0 {
+		return nil, fmt.Errorf("fabric: logical source %s: no endpoints", name)
+	}
+	opts = opts.withDefaults()
+	seen := make(map[string]bool, len(eps)+1)
+	seen[name] = true
+	schema := eps[0].src.Schema()
+	caps := eps[0].src.Caps()
+	for _, ep := range eps {
+		if ep.Name() == name {
+			return nil, fmt.Errorf("fabric: logical source %s: endpoint name collides with logical name", name)
+		}
+		if seen[ep.Name()] {
+			return nil, fmt.Errorf("fabric: logical source %s: duplicate endpoint name %q", name, ep.Name())
+		}
+		seen[ep.Name()] = true
+		if !schema.Compatible(ep.src.Schema()) {
+			return nil, fmt.Errorf("fabric: logical source %s: endpoint %s schema %s incompatible with %s",
+				name, ep.Name(), ep.src.Schema(), schema)
+		}
+		c := ep.src.Caps()
+		caps.NativeSemijoin = caps.NativeSemijoin && c.NativeSemijoin
+		caps.PassedBindings = caps.PassedBindings && c.PassedBindings
+		caps.BloomSemijoin = caps.BloomSemijoin && c.BloomSemijoin
+		ep.health = newHealth(opts.EWMAAlpha)
+		ep.brk = newBreaker(opts.FailureThreshold, opts.Cooldown)
+	}
+	return &Logical{
+		name:   name,
+		opts:   opts,
+		eps:    eps,
+		schema: schema,
+		caps:   caps,
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+		ring:   newLatencyRing(logicalRingSize),
+	}, nil
+}
+
+// Name returns the logical source name (the optimizer's R_j).
+func (l *Logical) Name() string { return l.name }
+
+// Schema returns the common schema the replicas export.
+func (l *Logical) Schema() *relation.Schema { return l.schema }
+
+// Caps is the intersection of the replicas' capabilities.
+func (l *Logical) Caps() source.Capabilities { return l.caps }
+
+// Card delegates to the first replica: replicas hold the same data, so any
+// endpoint's statistics describe the logical source.
+func (l *Logical) Card() (tuples, distinct, bytes int) { return l.eps[0].src.Card() }
+
+// SelfScheduling marks the fabric as owning its per-endpoint connection
+// slots; the executor's per-source scheduler skips Logical sources.
+func (l *Logical) SelfScheduling() {}
+
+// Endpoints returns the replica endpoints in registration order.
+func (l *Logical) Endpoints() []*Endpoint {
+	out := make([]*Endpoint, len(l.eps))
+	copy(out, l.eps)
+	return out
+}
+
+// ReplicaConns maps each physical endpoint name to its connection capacity,
+// for the executor's accounting and fan-out sizing.
+func (l *Logical) ReplicaConns() map[string]int {
+	out := make(map[string]int, len(l.eps))
+	for _, ep := range l.eps {
+		out[ep.Name()] = ep.conns
+	}
+	return out
+}
+
+// EndpointStates reports each endpoint's breaker position.
+func (l *Logical) EndpointStates() map[string]BreakerState {
+	out := make(map[string]BreakerState, len(l.eps))
+	for _, ep := range l.eps {
+		out[ep.Name()] = ep.brk.State()
+	}
+	return out
+}
+
+// Alive reports whether any replica's breaker is not open — i.e. the
+// logical source may still answer exchanges.
+func (l *Logical) Alive() bool {
+	for _, ep := range l.eps {
+		if ep.brk.State() != BreakerOpen {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns the cumulative fabric activity counters.
+func (l *Logical) Stats() Stats {
+	return Stats{
+		Failovers: l.failovers.Load(),
+		Hedges:    l.hedges.Load(),
+		HedgeWins: l.hedgeWins.Load(),
+	}
+}
+
+// pick selects the next replica for an exchange among those not yet tried:
+// breaker-selectable endpoints are preferred (falling back to all untried
+// ones, so exhaustion means every replica actually failed), ε-greedy
+// exploration keeps every replica observed, and otherwise power-of-two-
+// choices takes the lower health score. Nil when every replica was tried.
+func (l *Logical) pick(tried map[*Endpoint]bool) *Endpoint {
+	cands := make([]*Endpoint, 0, len(l.eps))
+	for _, ep := range l.eps {
+		if !tried[ep] {
+			cands = append(cands, ep)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	pool := make([]*Endpoint, 0, len(cands))
+	for _, ep := range cands {
+		if ep.brk.selectable() {
+			pool = append(pool, ep)
+		}
+	}
+	if len(pool) == 0 {
+		// Every untried breaker is open: the breaker gates preference, not
+		// correctness — try the candidates anyway so ErrExhausted is honest.
+		pool = cands
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(pool) == 1 {
+		return pool[0]
+	}
+	if l.opts.ExploreProb > 0 && l.rng.Float64() < l.opts.ExploreProb {
+		return pool[l.rng.Intn(len(pool))]
+	}
+	i := l.rng.Intn(len(pool))
+	j := l.rng.Intn(len(pool) - 1)
+	if j >= i {
+		j++
+	}
+	a, b := pool[i], pool[j]
+	if endpointScore(b) < endpointScore(a) {
+		return b
+	}
+	return a
+}
+
+// pickBackup selects the hedge target: the best-scoring selectable replica
+// other than the primary and the already-failed ones. Unlike pick it never
+// falls back to open-breaker endpoints — a hedge is an optimization, not a
+// correctness path.
+func (l *Logical) pickBackup(primary *Endpoint, tried map[*Endpoint]bool) *Endpoint {
+	var best *Endpoint
+	var bestScore float64
+	for _, ep := range l.eps {
+		if ep == primary || tried[ep] || !ep.brk.selectable() {
+			continue
+		}
+		s := endpointScore(ep)
+		if best == nil || s < bestScore {
+			best = ep
+			bestScore = s
+		}
+	}
+	return best
+}
+
+// hedgeDelay returns how long the primary may run before a backup launches,
+// or 0 when hedging should not arm (disabled, no spare replica, or not
+// enough latency history yet).
+func (l *Logical) hedgeDelay(tried map[*Endpoint]bool) time.Duration {
+	if l.opts.DisableHedging || len(l.eps) < 2 {
+		return 0
+	}
+	if len(tried) >= len(l.eps)-1 {
+		return 0
+	}
+	if l.ring.count() < l.opts.HedgeMinSamples {
+		return 0
+	}
+	d := l.ring.percentile(l.opts.HedgePercentile)
+	if d < l.opts.HedgeMin {
+		d = l.opts.HedgeMin
+	}
+	return d
+}
+
+// opFunc is one source operation to run on whichever replica is selected.
+type opFunc[T any] func(ctx context.Context, src source.Source) (T, error)
+
+// exchange runs op through the fabric: pick a replica, hedge if it
+// straggles, fail over across replicas on transient errors, and surface
+// *ExhaustedError only after every replica failed.
+func exchange[T any](ctx context.Context, l *Logical, kind string, op opFunc[T]) (T, error) {
+	var zero T
+	if err := ctx.Err(); err != nil {
+		return zero, fmt.Errorf("fabric: %s: %s: %w", l.name, kind, err)
+	}
+	start := time.Now()
+	tried := make(map[*Endpoint]bool, len(l.eps))
+	var lastErr error
+	for hop := 0; ; hop++ {
+		ep := l.pick(tried)
+		if ep == nil {
+			return zero, &ExhaustedError{Source: l.name, Replicas: len(l.eps), Kind: kind, Last: lastErr}
+		}
+		if hop > 0 {
+			l.failovers.Add(1)
+			if cs := callStats(ctx); cs != nil {
+				cs.Failovers.Add(1)
+			}
+			obs.Meter(ctx).Counter(obs.MFailovers, "source", l.name).Inc()
+		}
+		out, err := attempt(ctx, l, ep, tried, kind, op)
+		if err == nil {
+			el := time.Since(start)
+			l.ring.observe(el)
+			obs.Meter(ctx).Histogram(obs.MLogicalExchangeSeconds, "source", l.name).Observe(el.Seconds())
+			return out, nil
+		}
+		lastErr = err
+		if cerr := ctx.Err(); cerr != nil {
+			return zero, fmt.Errorf("fabric: %s: %s: %w", l.name, kind, cerr)
+		}
+		if !source.IsTransient(err) {
+			return zero, err
+		}
+	}
+}
+
+// outcome is one replica leg's result.
+type outcome[T any] struct {
+	ep  *Endpoint
+	out T
+	err error
+}
+
+// attempt runs op on the primary replica, hedging onto a backup when the
+// primary outlives the latency-percentile deadline. The losing leg is
+// cancelled through ctx and awaited before return, so no goroutine outlives
+// the attempt. Replicas that genuinely failed are recorded in tried.
+func attempt[T any](ctx context.Context, l *Logical, primary *Endpoint, tried map[*Endpoint]bool, kind string, op opFunc[T]) (T, error) {
+	var zero T
+	results := make(chan outcome[T], 2)
+	var wg sync.WaitGroup
+	cancels := make([]context.CancelFunc, 0, 2)
+	launch := func(ep *Endpoint) {
+		lctx, cancel := context.WithCancel(ctx)
+		cancels = append(cancels, cancel)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := runOne(lctx, l, ep, op)
+			results <- outcome[T]{ep: ep, out: out, err: err}
+		}()
+	}
+	cancelAll := func() {
+		for _, c := range cancels {
+			c()
+		}
+	}
+	defer func() {
+		cancelAll()
+		wg.Wait()
+	}()
+	launch(primary)
+
+	var hedgeC <-chan time.Time
+	if d := l.hedgeDelay(tried); d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+
+	pending := 1
+	var firstErr error
+	for pending > 0 {
+		select {
+		case oc := <-results:
+			pending--
+			if oc.err == nil {
+				if oc.ep != primary {
+					l.hedgeWins.Add(1)
+					if cs := callStats(ctx); cs != nil {
+						cs.HedgeWins.Add(1)
+					}
+					obs.Meter(ctx).Counter(obs.MHedgeWins, "source", l.name).Inc()
+				}
+				return oc.out, nil
+			}
+			tried[oc.ep] = true
+			if firstErr == nil {
+				firstErr = oc.err
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			backup := l.pickBackup(primary, tried)
+			if backup != nil {
+				l.hedges.Add(1)
+				if cs := callStats(ctx); cs != nil {
+					cs.Hedges.Add(1)
+				}
+				obs.Meter(ctx).Counter(obs.MHedges, "source", l.name).Inc()
+				launch(backup)
+				pending++
+			}
+		case <-ctx.Done():
+			return zero, fmt.Errorf("fabric: %s: %s: %w", l.name, kind, ctx.Err())
+		}
+	}
+	return zero, firstErr
+}
+
+// runOne runs op on one endpoint: queue for a connection slot, mark the
+// breaker attempt, execute, and feed the outcome back into health and
+// breaker state. A leg cancelled from above (the other replica won, or the
+// caller gave up) is not evidence about this endpoint's health.
+func runOne[T any](ctx context.Context, l *Logical, ep *Endpoint, op opFunc[T]) (T, error) {
+	var zero T
+	met := obs.Meter(ctx)
+	queue := met.Gauge(obs.MSchedQueueDepth, "source", ep.Name())
+	queue.Inc()
+	err := ep.acquire(ctx)
+	queue.Dec()
+	if err != nil {
+		return zero, fmt.Errorf("fabric: %s: endpoint %s: %w", l.name, ep.Name(), err)
+	}
+	occ := met.Gauge(obs.MSchedLaneOccupancy, "source", ep.Name())
+	occ.Inc()
+	ep.brk.markAttempt()
+	publishBreaker(ctx, ep)
+	start := time.Now()
+	out, err := op(ctx, ep.src)
+	elapsed := time.Since(start)
+	occ.Dec()
+	ep.release()
+	if err != nil {
+		if ctx.Err() == nil {
+			ep.health.fail()
+			ep.brk.failure()
+			publishBreaker(ctx, ep)
+		}
+		return zero, err
+	}
+	ep.health.observe(elapsed)
+	ep.brk.success()
+	publishBreaker(ctx, ep)
+	return out, nil
+}
+
+// publishBreaker exports the endpoint's breaker position on the
+// fq_breaker_state gauge.
+func publishBreaker(ctx context.Context, ep *Endpoint) {
+	obs.Meter(ctx).Gauge(obs.MBreakerState, "source", ep.Name()).Set(int64(ep.brk.State()))
+}
+
+// The source.Source exchange operations, each routed through the fabric.
+
+// Select answers sq(c, R) on the selected replica.
+func (l *Logical) Select(ctx context.Context, c cond.Cond) (set.Set, error) {
+	return exchange(ctx, l, "sq", func(ctx context.Context, src source.Source) (set.Set, error) {
+		return src.Select(ctx, c)
+	})
+}
+
+// Semijoin answers sjq(c, R, y) on the selected replica.
+func (l *Logical) Semijoin(ctx context.Context, c cond.Cond, y set.Set) (set.Set, error) {
+	return exchange(ctx, l, "sjq", func(ctx context.Context, src source.Source) (set.Set, error) {
+		return src.Semijoin(ctx, c, y)
+	})
+}
+
+// SelectBinding answers the passed-binding selection on the selected
+// replica.
+func (l *Logical) SelectBinding(ctx context.Context, c cond.Cond, item string) (bool, error) {
+	return exchange(ctx, l, "sq", func(ctx context.Context, src source.Source) (bool, error) {
+		return src.SelectBinding(ctx, c, item)
+	})
+}
+
+// Load answers lq(R) on the selected replica.
+func (l *Logical) Load(ctx context.Context) (*relation.Relation, error) {
+	return exchange(ctx, l, "lq", func(ctx context.Context, src source.Source) (*relation.Relation, error) {
+		return src.Load(ctx)
+	})
+}
+
+// Fetch retrieves the full tuples for items on the selected replica.
+func (l *Logical) Fetch(ctx context.Context, items set.Set) ([]relation.Tuple, error) {
+	return exchange(ctx, l, "fetch", func(ctx context.Context, src source.Source) ([]relation.Tuple, error) {
+		return src.Fetch(ctx, items)
+	})
+}
+
+// SelectRecords answers a record-returning selection on the selected
+// replica.
+func (l *Logical) SelectRecords(ctx context.Context, c cond.Cond) ([]relation.Tuple, error) {
+	return exchange(ctx, l, "sqr", func(ctx context.Context, src source.Source) ([]relation.Tuple, error) {
+		return src.SelectRecords(ctx, c)
+	})
+}
+
+// SemijoinRecords answers a record-returning semijoin on the selected
+// replica.
+func (l *Logical) SemijoinRecords(ctx context.Context, c cond.Cond, y set.Set) ([]relation.Tuple, error) {
+	return exchange(ctx, l, "sjqr", func(ctx context.Context, src source.Source) ([]relation.Tuple, error) {
+		return src.SemijoinRecords(ctx, c, y)
+	})
+}
+
+// SemijoinBloom answers a Bloom-filter semijoin on the selected replica.
+func (l *Logical) SemijoinBloom(ctx context.Context, c cond.Cond, f *bloom.Filter) (set.Set, error) {
+	return exchange(ctx, l, "sjqb", func(ctx context.Context, src source.Source) (set.Set, error) {
+		return src.SemijoinBloom(ctx, c, f)
+	})
+}

@@ -1,0 +1,420 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fusionq/internal/bloom"
+	"fusionq/internal/cond"
+	"fusionq/internal/relation"
+	"fusionq/internal/set"
+	"fusionq/internal/source"
+)
+
+var testSchema = relation.MustSchema("M", relation.Column{Name: "M"})
+
+// stub is a controllable physical source: optional per-op delay (honoring
+// ctx) and an optional injected failure.
+type stub struct {
+	name   string
+	delay  time.Duration
+	answer set.Set
+
+	mu         sync.Mutex
+	fail       error
+	calls      int
+	ctxAborted int
+}
+
+func newStub(name string) *stub { return &stub{name: name, answer: set.New("a", "b")} }
+
+func (s *stub) setFail(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fail = err
+}
+
+func (s *stub) callCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+func (s *stub) aborted() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctxAborted
+}
+
+func (s *stub) run(ctx context.Context) error {
+	s.mu.Lock()
+	s.calls++
+	fail := s.fail
+	s.mu.Unlock()
+	if s.delay > 0 {
+		t := time.NewTimer(s.delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			s.mu.Lock()
+			s.ctxAborted++
+			s.mu.Unlock()
+			return fmt.Errorf("stub %s: %w", s.name, ctx.Err())
+		}
+	}
+	if fail != nil {
+		return fmt.Errorf("stub %s: %w", s.name, fail)
+	}
+	return nil
+}
+
+func (s *stub) Name() string                 { return s.name }
+func (s *stub) Schema() *relation.Schema     { return testSchema }
+func (s *stub) Caps() source.Capabilities    { return source.Capabilities{PassedBindings: true} }
+func (s *stub) Card() (int, int, int)        { return 2, 2, 16 }
+func (s *stub) Load(ctx context.Context) (*relation.Relation, error) {
+	return nil, source.ErrUnsupported
+}
+func (s *stub) Select(ctx context.Context, c cond.Cond) (set.Set, error) {
+	if err := s.run(ctx); err != nil {
+		return set.Set{}, err
+	}
+	return s.answer, nil
+}
+func (s *stub) Semijoin(ctx context.Context, c cond.Cond, y set.Set) (set.Set, error) {
+	return set.Set{}, source.ErrUnsupported
+}
+func (s *stub) SelectBinding(ctx context.Context, c cond.Cond, item string) (bool, error) {
+	if err := s.run(ctx); err != nil {
+		return false, err
+	}
+	return s.answer.Contains(item), nil
+}
+func (s *stub) Fetch(ctx context.Context, items set.Set) ([]relation.Tuple, error) {
+	return nil, source.ErrUnsupported
+}
+func (s *stub) SelectRecords(ctx context.Context, c cond.Cond) ([]relation.Tuple, error) {
+	return nil, source.ErrUnsupported
+}
+func (s *stub) SemijoinRecords(ctx context.Context, c cond.Cond, y set.Set) ([]relation.Tuple, error) {
+	return nil, source.ErrUnsupported
+}
+func (s *stub) SemijoinBloom(ctx context.Context, c cond.Cond, f *bloom.Filter) (set.Set, error) {
+	return set.Set{}, source.ErrUnsupported
+}
+
+func mustLogical(t *testing.T, name string, opts Options, stubs ...*stub) *Logical {
+	t.Helper()
+	eps := make([]*Endpoint, len(stubs))
+	for i, s := range stubs {
+		eps[i] = NewEndpoint(s, 2)
+	}
+	l, err := NewLogical(name, eps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestFailoverAcrossReplicas(t *testing.T) {
+	bad, good := newStub("R1a"), newStub("R1b")
+	bad.setFail(source.ErrTransient)
+	l := mustLogical(t, "R1", Options{Seed: 1, ExploreProb: -1}, bad, good)
+
+	cs := &CallStats{}
+	ctx := WithCallStats(context.Background(), cs)
+	// Run enough exchanges that both replicas are hit as primary at least
+	// once; every exchange must succeed via failover.
+	for i := 0; i < 10; i++ {
+		got, err := l.Select(ctx, cond.True{})
+		if err != nil {
+			t.Fatalf("exchange %d: %v", i, err)
+		}
+		if !got.Equal(good.answer) {
+			t.Fatalf("exchange %d: answer %v", i, got)
+		}
+	}
+	if l.Stats().Failovers == 0 {
+		t.Fatal("no failovers recorded despite a dead replica")
+	}
+	if cs.Failovers.Load() != l.Stats().Failovers {
+		t.Fatalf("call stats failovers %d != logical stats %d", cs.Failovers.Load(), l.Stats().Failovers)
+	}
+	// The dead replica's breaker must have tripped, steering primaries away.
+	if st := l.EndpointStates()["R1a"]; st != BreakerOpen {
+		t.Fatalf("dead replica breaker = %v, want open", st)
+	}
+	if l.Alive() != true {
+		t.Fatal("logical source with a healthy replica reported dead")
+	}
+}
+
+func TestExhaustedWhenAllReplicasFail(t *testing.T) {
+	a, b := newStub("R1a"), newStub("R1b")
+	a.setFail(source.ErrTransient)
+	b.setFail(source.ErrTransient)
+	l := mustLogical(t, "R1", Options{Seed: 1}, a, b)
+
+	_, err := l.Select(context.Background(), cond.True{})
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) || ex.Source != "R1" || ex.Replicas != 2 {
+		t.Fatalf("ExhaustedError not recoverable from %v", err)
+	}
+	// The transient cause stays visible through the wrap.
+	if !source.IsTransient(err) {
+		t.Fatalf("exhausted-over-transient should classify transient: %v", err)
+	}
+	if a.callCount() == 0 || b.callCount() == 0 {
+		t.Fatal("exhaustion reported without trying every replica")
+	}
+}
+
+func TestPermanentErrorDoesNotFailOver(t *testing.T) {
+	a, b := newStub("R1a"), newStub("R1b")
+	perm := errors.New("malformed condition")
+	a.setFail(perm)
+	b.setFail(perm)
+	l := mustLogical(t, "R1", Options{Seed: 1}, a, b)
+
+	_, err := l.Select(context.Background(), cond.True{})
+	if !errors.Is(err, perm) {
+		t.Fatalf("err = %v, want the permanent cause", err)
+	}
+	if errors.Is(err, ErrExhausted) {
+		t.Fatalf("permanent failure misclassified as exhaustion: %v", err)
+	}
+	if a.callCount()+b.callCount() != 1 {
+		t.Fatalf("permanent failure was retried across replicas: %d+%d calls", a.callCount(), b.callCount())
+	}
+}
+
+func TestBreakerTripsProbesAndRecovers(t *testing.T) {
+	a := newStub("R1a")
+	a.setFail(source.ErrTransient)
+	l := mustLogical(t, "R1", Options{Seed: 1, FailureThreshold: 2, Cooldown: 20 * time.Millisecond}, a)
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		if _, err := l.Select(ctx, cond.True{}); err == nil {
+			t.Fatal("expected failure")
+		}
+	}
+	if st := l.Endpoints()[0].BreakerState(); st != BreakerOpen {
+		t.Fatalf("breaker = %v after threshold failures, want open", st)
+	}
+	if l.Alive() {
+		t.Fatal("logical source with every breaker open reported alive")
+	}
+	// Within the cooldown the endpoint is not selectable, but a single-
+	// replica logical source still tries it (correctness over preference).
+	if _, err := l.Select(ctx, cond.True{}); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+	// After the cooldown the next attempt is a half-open probe; a success
+	// closes the breaker.
+	a.setFail(nil)
+	time.Sleep(25 * time.Millisecond)
+	if _, err := l.Select(ctx, cond.True{}); err != nil {
+		t.Fatalf("probe exchange failed: %v", err)
+	}
+	if st := l.Endpoints()[0].BreakerState(); st != BreakerClosed {
+		t.Fatalf("breaker = %v after successful probe, want closed", st)
+	}
+}
+
+// warmRing seeds the logical latency history so hedging arms.
+func warmRing(l *Logical, d time.Duration, n int) {
+	for i := 0; i < n; i++ {
+		l.ring.observe(d)
+	}
+}
+
+func TestHedgeBackupWinsAndLoserCancelled(t *testing.T) {
+	slow, fast := newStub("R1a"), newStub("R1b")
+	slow.delay = 200 * time.Millisecond
+	fast.delay = time.Millisecond
+	l := mustLogical(t, "R1", Options{Seed: 1, HedgeMin: 5 * time.Millisecond, HedgePercentile: 0.5}, slow, fast)
+	warmRing(l, 2*time.Millisecond, l.opts.HedgeMinSamples)
+
+	cs := &CallStats{}
+	ctx := WithCallStats(context.Background(), cs)
+	start := time.Now()
+	// Force the slow endpoint as primary so the hedge path is exercised
+	// deterministically.
+	tried := map[*Endpoint]bool{}
+	out, err := attempt(ctx, l, l.eps[0], tried, "sq", func(ctx context.Context, src source.Source) (set.Set, error) {
+		return src.Select(ctx, cond.True{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(fast.answer) {
+		t.Fatalf("answer %v", out)
+	}
+	if el := time.Since(start); el >= slow.delay {
+		t.Fatalf("hedged exchange took %v, not faster than the straggler's %v", el, slow.delay)
+	}
+	if got := l.Stats(); got.Hedges != 1 || got.HedgeWins != 1 {
+		t.Fatalf("stats = %+v, want one hedge and one win", got)
+	}
+	if cs.Hedges.Load() != 1 || cs.HedgeWins.Load() != 1 {
+		t.Fatalf("call stats hedges=%d wins=%d", cs.Hedges.Load(), cs.HedgeWins.Load())
+	}
+	// The losing primary was cancelled through ctx and its cancellation is
+	// not held against its health.
+	if slow.aborted() != 1 {
+		t.Fatalf("straggler saw %d ctx aborts, want 1", slow.aborted())
+	}
+	if fails := l.eps[0].health.consecutiveFails(); fails != 0 {
+		t.Fatalf("cancelled loser charged %d health failures", fails)
+	}
+}
+
+func TestHedgeDisarmedWithoutHistoryOrReplicas(t *testing.T) {
+	a, b := newStub("R1a"), newStub("R1b")
+	l := mustLogical(t, "R1", Options{Seed: 1}, a, b)
+	if d := l.hedgeDelay(map[*Endpoint]bool{}); d != 0 {
+		t.Fatalf("hedge armed with no latency history: %v", d)
+	}
+	warmRing(l, time.Millisecond, l.opts.HedgeMinSamples)
+	if d := l.hedgeDelay(map[*Endpoint]bool{}); d == 0 {
+		t.Fatal("hedge not armed despite history and a spare replica")
+	}
+	// No spare replica → no hedge.
+	if d := l.hedgeDelay(map[*Endpoint]bool{l.eps[1]: true}); d != 0 {
+		t.Fatalf("hedge armed with no spare replica: %v", d)
+	}
+	single := mustLogical(t, "R2", Options{Seed: 1}, newStub("R2a"))
+	warmRing(single, time.Millisecond, single.opts.HedgeMinSamples)
+	if d := single.hedgeDelay(map[*Endpoint]bool{}); d != 0 {
+		t.Fatalf("hedge armed on single-replica source: %v", d)
+	}
+}
+
+func TestStreamFailureMarksEndpointUnhealthy(t *testing.T) {
+	a, b := newStub("R1a"), newStub("R1b")
+	// The sibling replica refuses the open, so the stream deterministically
+	// lands on the dying endpoint (exercising open-failover on the way).
+	b.setFail(source.ErrTransient)
+	l := mustLogical(t, "R1", Options{Seed: 1}, a, b)
+	// Wrap the endpoint's source with a streamer that dies mid-stream.
+	ep := l.eps[0]
+	ep.src = &dyingStreamer{stub: a}
+
+	it, err := l.SelectStream(context.Background(), cond.True{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := it.Next(context.Background())
+	if err != nil || len(first) == 0 {
+		t.Fatalf("first batch: %v, %v", first, err)
+	}
+	_, err = it.Next(context.Background())
+	if !source.IsTransient(err) {
+		t.Fatalf("mid-stream death surfaced as %v, want transient", err)
+	}
+	if fails := ep.health.consecutiveFails(); fails == 0 {
+		t.Fatal("mid-stream failure not charged to endpoint health")
+	}
+	if err := it.Close(); err != nil {
+		t.Fatalf("close after failure: %v", err)
+	}
+}
+
+// TestStreamOpenDoesNotResetBreaker pins the breaker semantics for streams
+// whose opens carry no exchange: an endpoint that reliably opens a stream
+// and then dies on the first pull must accumulate consecutive breaker
+// failures and trip after FailureThreshold attempts — a successful open
+// records nothing, or every retry would reset the count and the dead
+// endpoint could be re-picked forever.
+func TestStreamOpenDoesNotResetBreaker(t *testing.T) {
+	a := newStub("R1a")
+	l := mustLogical(t, "R1", Options{Seed: 1, DisableHedging: true, ExploreProb: -1}, a)
+	ep := l.eps[0]
+	ep.src = &bornDeadStreamer{stub: a}
+	ctx := context.Background()
+	for i := 0; i < l.opts.FailureThreshold; i++ {
+		it, err := l.SelectStream(ctx, cond.True{}, 1)
+		if err != nil {
+			t.Fatalf("open %d: %v", i, err)
+		}
+		if _, err := it.Next(ctx); !source.IsTransient(err) {
+			t.Fatalf("pull %d: %v, want transient", i, err)
+		}
+		_ = it.Close()
+	}
+	if st := ep.BreakerState(); st != BreakerOpen {
+		t.Fatalf("breaker = %v after %d consecutive mid-stream deaths, want open", st, l.opts.FailureThreshold)
+	}
+}
+
+// bornDeadStreamer opens streams that fail on the very first pull.
+type bornDeadStreamer struct {
+	*stub
+}
+
+func (d *bornDeadStreamer) SelectStream(ctx context.Context, c cond.Cond, batch int) (set.Iter, error) {
+	return &bornDeadIter{}, nil
+}
+
+type bornDeadIter struct{}
+
+func (d *bornDeadIter) Next(ctx context.Context) ([]string, error) {
+	return nil, fmt.Errorf("born dead: %w", source.ErrTransient)
+}
+
+func (d *bornDeadIter) Close() error { return nil }
+
+// dyingStreamer streams one batch then fails transiently.
+type dyingStreamer struct {
+	*stub
+}
+
+func (d *dyingStreamer) SelectStream(ctx context.Context, c cond.Cond, batch int) (set.Iter, error) {
+	return &dyingIter{}, nil
+}
+
+type dyingIter struct{ n int }
+
+func (d *dyingIter) Next(ctx context.Context) ([]string, error) {
+	d.n++
+	if d.n == 1 {
+		return []string{"a"}, nil
+	}
+	return nil, fmt.Errorf("dying iter: connection reset: %w", source.ErrTransient)
+}
+
+func (d *dyingIter) Close() error { return nil }
+
+func TestNewLogicalValidation(t *testing.T) {
+	if _, err := NewLogical("R1", nil, Options{}); err == nil {
+		t.Fatal("empty endpoint list accepted")
+	}
+	a := newStub("R1a")
+	if _, err := NewLogical("R1", []*Endpoint{NewEndpoint(a, 1), NewEndpoint(newStub("R1a"), 1)}, Options{}); err == nil {
+		t.Fatal("duplicate endpoint names accepted")
+	}
+	if _, err := NewLogical("R1", []*Endpoint{NewEndpoint(newStub("R1"), 1)}, Options{}); err == nil {
+		t.Fatal("endpoint name colliding with logical name accepted")
+	}
+}
+
+func TestCapsIntersection(t *testing.T) {
+	a, b := newStub("R1a"), newStub("R1b")
+	l := mustLogical(t, "R1", Options{}, a, b)
+	if !l.Caps().PassedBindings || l.Caps().NativeSemijoin {
+		t.Fatalf("caps = %+v, want intersection {PassedBindings}", l.Caps())
+	}
+	rc := l.ReplicaConns()
+	if rc["R1a"] != 2 || rc["R1b"] != 2 {
+		t.Fatalf("replica conns = %v", rc)
+	}
+}

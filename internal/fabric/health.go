@@ -1,0 +1,112 @@
+package fabric
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyRing is a fixed-capacity ring of recent latency observations,
+// used both per endpoint (informational) and per logical source (the hedge
+// deadline's percentile basis).
+type latencyRing struct {
+	mu   sync.Mutex
+	buf  []float64 // seconds
+	next int
+	n    int
+}
+
+func newLatencyRing(capacity int) *latencyRing {
+	return &latencyRing{buf: make([]float64, capacity)}
+}
+
+func (r *latencyRing) observe(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = d.Seconds()
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+func (r *latencyRing) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// percentile returns the p-quantile (0 < p ≤ 1) of the retained
+// observations, 0 when empty.
+func (r *latencyRing) percentile(p float64) time.Duration {
+	r.mu.Lock()
+	vals := make([]float64, r.n)
+	copy(vals, r.buf[:r.n])
+	r.mu.Unlock()
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Float64s(vals)
+	idx := int(math.Ceil(p*float64(len(vals)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(vals) {
+		idx = len(vals) - 1
+	}
+	return time.Duration(vals[idx] * float64(time.Second))
+}
+
+// health scores one endpoint: an EWMA of observed exchange latencies plus a
+// consecutive-failure count. Replica selection prefers low scores; an
+// endpoint with no observations yet scores zero so fresh replicas get
+// traffic immediately.
+type health struct {
+	mu     sync.Mutex
+	alpha  float64
+	ewma   float64 // seconds; 0 until the first observation
+	seeded bool
+	fails  int
+	recent *latencyRing
+}
+
+func newHealth(alpha float64) *health {
+	return &health{alpha: alpha, recent: newLatencyRing(endpointRingSize)}
+}
+
+const endpointRingSize = 64
+
+func (h *health) observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := d.Seconds()
+	if !h.seeded {
+		h.ewma = s
+		h.seeded = true
+	} else {
+		h.ewma = h.alpha*s + (1-h.alpha)*h.ewma
+	}
+	h.fails = 0
+	h.recent.observe(d)
+}
+
+func (h *health) fail() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.fails++
+}
+
+// score is the EWMA latency in seconds; selection multiplies it by the
+// endpoint's in-flight load.
+func (h *health) score() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ewma
+}
+
+func (h *health) consecutiveFails() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.fails
+}

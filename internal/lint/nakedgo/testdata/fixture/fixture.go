@@ -50,3 +50,30 @@ func Suppressed(f func()) {
 	//fqlint:ignore nakedgo fixture demonstrates the suppression mechanism
 	go f()
 }
+
+// GoodHedgeLaunch mirrors a hedged exchange: every leg — primary and
+// hedge alike — is tracked by the attempt's WaitGroup, so the losing leg
+// is awaited after its cancellation instead of outliving the exchange.
+func GoodHedgeLaunch(primary, backup func() int) int {
+	var wg sync.WaitGroup
+	results := make(chan int, 2)
+	launch := func(run func() int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results <- run()
+		}()
+	}
+	launch(primary)
+	launch(backup) // the hedge leg rides the same tracking
+	defer wg.Wait()
+	return <-results
+}
+
+// BadHedgeFireAndForget launches the hedge leg with nothing joining it:
+// when the primary wins, the loser leaks unobserved.
+func BadHedgeFireAndForget(backup func() int, results chan int) {
+	go func() { // want `untracked goroutine`
+		results <- backup()
+	}()
+}

@@ -70,3 +70,33 @@ func Suppressed(ctx context.Context) {
 	_, sp := obs.StartSpan(ctx, "fixture", "suppressed")
 	sp.SetAttr("k", "v")
 }
+
+// GoodHedgeArms covers a hedged exchange with one span, ended explicitly
+// in both arms of the race: the winner's delivery and the hedge-timer
+// path alike.
+func GoodHedgeArms(ctx context.Context, results chan error, hedge chan struct{}) error {
+	_, sp := obs.StartSpan(ctx, "fixture", "hedge-arms")
+	select {
+	case err := <-results:
+		sp.End(err)
+		return err
+	case <-hedge:
+		err := errors.New("hedged")
+		sp.End(err)
+		return err
+	}
+}
+
+// BadHedgeTimerLeak leaks the span on the hedge-timer arm: that path
+// returns before any End, so a hedged exchange that times out would
+// leave its span open.
+func BadHedgeTimerLeak(ctx context.Context, results chan error, hedge chan struct{}) error {
+	_, sp := obs.StartSpan(ctx, "fixture", "hedge-leak")
+	select {
+	case <-hedge:
+		return errors.New("hedged") // want `return may leave the span started at .* unended`
+	case err := <-results:
+		sp.End(err)
+		return err
+	}
+}

@@ -11,11 +11,19 @@ package netsim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 )
+
+// ErrDown marks an exchange with a source whose link has been killed by a
+// churn event: the endpoint is unreachable until a revive event restores it.
+// The failure is transient from the mediator's perspective (source.IsTransient
+// matches it), so retry and replica-failover machinery engages.
+var ErrDown = errors.New("netsim: source down")
 
 // Link models the path between the mediator and one source.
 type Link struct {
@@ -75,6 +83,30 @@ type Exchange struct {
 	Elapsed   time.Duration
 }
 
+// ChurnKind classifies a scripted churn event.
+type ChurnKind string
+
+// The churn event kinds: kill makes a source unreachable (exchanges fail
+// with ErrDown), degrade replaces its link, revive restores the original
+// link and reachability.
+const (
+	ChurnKill    ChurnKind = "kill"
+	ChurnDegrade ChurnKind = "degrade"
+	ChurnRevive  ChurnKind = "revive"
+)
+
+// ChurnEvent is one scripted change to a source's connectivity, fired when
+// the network's accumulated simulated time first reaches At.
+type ChurnEvent struct {
+	// At is the simulated-time threshold: the event fires at the first
+	// exchange attempted once total simulated time has reached At.
+	At     time.Duration
+	Source string
+	Kind   ChurnKind
+	// Link is the replacement link for degrade events; ignored otherwise.
+	Link Link
+}
+
 // Network simulates the mediator's connectivity to all sources and records
 // every exchange. It is safe for concurrent use so the parallel
 // (response-time) executor can share it.
@@ -87,6 +119,14 @@ type Network struct {
 	// realScale, when positive, makes every exchange take realScale × its
 	// simulated duration of wall-clock time, so context deadlines bite.
 	realScale float64
+
+	// Scripted churn: events fire in At order as simulated time advances.
+	// baseLinks snapshots the configuration at ScheduleChurn time so Reset
+	// and revive events can restore it; down marks killed sources.
+	churn      []ChurnEvent
+	churnFired int
+	baseLinks  map[string]Link
+	down       map[string]bool
 
 	totalBytes int
 	totalTime  time.Duration
@@ -169,6 +209,52 @@ func Makespan(durations []time.Duration, k int) time.Duration {
 	return max
 }
 
+// ScheduleChurn installs a scripted churn sequence. Events fire in At order
+// as the network's simulated time advances past each threshold; the current
+// link configuration is snapshotted so revive events and Reset restore it.
+// Reset re-arms the whole schedule, so a statistics-gathering pass that
+// advances simulated time before execution does not consume the script.
+func (n *Network) ScheduleChurn(events []ChurnEvent) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.churn = make([]ChurnEvent, len(events))
+	copy(n.churn, events)
+	sort.SliceStable(n.churn, func(i, j int) bool { return n.churn[i].At < n.churn[j].At })
+	n.churnFired = 0
+	n.baseLinks = make(map[string]Link, len(n.links))
+	for name, l := range n.links {
+		n.baseLinks[name] = l
+	}
+	n.down = make(map[string]bool)
+}
+
+// Down reports whether a kill event has made the named source unreachable.
+func (n *Network) Down(source string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down[source]
+}
+
+// applyChurnLocked fires every scheduled event whose threshold the simulated
+// clock has reached. Callers hold n.mu.
+func (n *Network) applyChurnLocked() {
+	for n.churnFired < len(n.churn) && n.churn[n.churnFired].At <= n.totalTime {
+		ev := n.churn[n.churnFired]
+		n.churnFired++
+		switch ev.Kind {
+		case ChurnKill:
+			n.down[ev.Source] = true
+		case ChurnDegrade:
+			n.links[ev.Source] = ev.Link
+		case ChurnRevive:
+			delete(n.down, ev.Source)
+			if base, ok := n.baseLinks[ev.Source]; ok {
+				n.links[ev.Source] = base
+			}
+		}
+	}
+}
+
 // SetRealTime makes exchanges take wall-clock time: each exchange sleeps
 // scale × its simulated duration before returning, so context deadlines and
 // cancellation actually interrupt in-flight traffic. Zero (the default)
@@ -201,6 +287,12 @@ func (n *Network) ExchangeContext(ctx context.Context, source, kind string, reqB
 		return 0, fmt.Errorf("netsim: exchange with %s: %w", source, err)
 	}
 	n.mu.Lock()
+	n.applyChurnLocked()
+	if n.down[source] {
+		n.mu.Unlock()
+		// Connection refused: instantaneous, no traffic is paid for.
+		return 0, fmt.Errorf("netsim: exchange with %s: %w", source, ErrDown)
+	}
 	l, ok := n.links[source]
 	if !ok {
 		l = DefaultLink()
@@ -254,6 +346,9 @@ func (n *Network) Log() []Exchange {
 }
 
 // Reset clears counters and the exchange log but keeps link configuration.
+// Any scheduled churn is re-armed: links revert to their ScheduleChurn-time
+// snapshot, killed sources come back, and the event script fires again as
+// simulated time re-accumulates.
 func (n *Network) Reset() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -261,6 +356,13 @@ func (n *Network) Reset() {
 	n.totalBytes = 0
 	n.totalTime = 0
 	n.messages = 0
+	if n.churn != nil {
+		n.churnFired = 0
+		for name, l := range n.baseLinks {
+			n.links[name] = l
+		}
+		n.down = make(map[string]bool)
+	}
 }
 
 // String renders the aggregate counters.

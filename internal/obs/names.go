@@ -51,6 +51,24 @@ const (
 	// nodes, labeled by source for source-query nodes ("" for local
 	// operators).
 	MStreamBatches = "fq_stream_batches_total"
+	// MHedges counts hedged backup exchanges launched by the source
+	// fabric, labeled by logical source; MHedgeWins counts the subset the
+	// backup replica won.
+	MHedges    = "fq_hedge_total"
+	MHedgeWins = "fq_hedge_won_total"
+	// MBreakerState is each physical endpoint's circuit-breaker state
+	// (0 closed, 1 half-open, 2 open), labeled by endpoint.
+	MBreakerState = "fq_breaker_state"
+	// MFailovers counts exchanges re-issued on another replica after a
+	// replica failed, labeled by logical source.
+	MFailovers = "fq_failover_total"
+	// MReplans counts mid-query roster repairs: the remaining conditions
+	// re-planned over surviving sources after a logical source died.
+	MReplans = "fq_replan_total"
+	// MLogicalExchangeSeconds is the wall-clock latency histogram of whole
+	// logical exchanges through the fabric — failover and hedging included —
+	// labeled by logical source. This is the distribution hedging tightens.
+	MLogicalExchangeSeconds = "fq_logical_exchange_seconds"
 )
 
 // DescribeAll registers help text and type for every canonical metric on r,
@@ -77,6 +95,12 @@ func DescribeAll(r *Registry) {
 		{MWireSeconds, kindHistogram, "Server-side wire request dispatch latency in seconds."},
 		{MFirstAnswerSeconds, kindHistogram, "Wall-clock latency to the first answer batch in seconds."},
 		{MStreamBatches, kindCounter, "Answer batches emitted by streaming plan nodes."},
+		{MHedges, kindCounter, "Hedged backup exchanges launched by the source fabric."},
+		{MHedgeWins, kindCounter, "Hedged exchanges the backup replica won."},
+		{MBreakerState, kindGauge, "Endpoint circuit-breaker state (0 closed, 1 half-open, 2 open)."},
+		{MFailovers, kindCounter, "Exchanges re-issued on another replica after a failure."},
+		{MReplans, kindCounter, "Mid-query roster repairs re-planned over surviving sources."},
+		{MLogicalExchangeSeconds, kindHistogram, "Wall-clock whole-logical-exchange latency in seconds."},
 	} {
 		r.describeTyped(d.name, d.kind, d.help)
 	}

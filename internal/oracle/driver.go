@@ -9,6 +9,7 @@ import (
 
 	"fusionq/internal/bloom"
 	"fusionq/internal/exec"
+	"fusionq/internal/fabric"
 	"fusionq/internal/netsim"
 	"fusionq/internal/obs"
 	"fusionq/internal/optimizer"
@@ -195,6 +196,13 @@ func (d *Driver) Check(ctx context.Context, inst Instance) ([]Failure, error) {
 	// deadline must yield an honestly-classified error or the exact answer.
 	if inst.Deadline {
 		fs = append(fs, d.checkDeadline(ctx, ev, results)...)
+	}
+
+	// Phase 8: replica churn sweep — the first source goes behind a
+	// two-replica fabric logical and scripted churn kills one or both
+	// replicas.
+	if inst.Replicate {
+		fs = append(fs, d.checkChurn(ctx, ev, results)...)
 	}
 	return fs, nil
 }
@@ -561,6 +569,68 @@ func (d *Driver) checkFaults(ctx context.Context, ev *env, results map[string]op
 			allowErr:  allow,
 		})...)
 	}
+	return fs
+}
+
+// checkChurn rebuilds the roster with the first source behind a
+// two-replica fabric logical and replays the filter plan — materialized and
+// streaming — while scripted churn kills replicas at time zero. With a
+// surviving replica the run must absorb the death (fabric failover for
+// materialized exchanges, whole-stream retry for streaming ones) and return
+// the exact answer; with every replica dead it must fail with a classified
+// exhaustion or link-down error and never a wrong non-empty answer. The
+// sweep is deterministic: the network is non-realtime, hedging is disabled,
+// and a fresh logical's unobserved endpoints bound how often the dead
+// replica can be picked before its breaker opens.
+func (d *Driver) checkChurn(ctx context.Context, ev *env, results map[string]optimizer.Result) []Failure {
+	r, ok := results["filter"]
+	if !ok {
+		return nil
+	}
+	name := ev.sources[0].Name()
+	link := netsim.Link{
+		Latency:         time.Duration(ev.inst.LatencyUS[0]) * time.Microsecond,
+		BytesPerSec:     1 << 20,
+		RequestOverhead: 100 * time.Microsecond,
+		MaxConns:        ev.inst.MaxConns[0],
+	}
+	var eps []*fabric.Endpoint
+	for _, suffix := range []string{"-a", "-b"} {
+		rep := source.NewWrapper(name+suffix, source.NewRowBackend(ev.sc.Relations[0]), ev.sc.Sources[0].Caps())
+		ev.network.SetLink(rep.Name(), link)
+		eps = append(eps, fabric.NewEndpoint(source.Instrument(rep, ev.network), ev.inst.MaxConns[0]))
+	}
+	logical, err := fabric.NewLogical(name, eps, fabric.Options{DisableHedging: true, ExploreProb: -1})
+	if err != nil {
+		return []Failure{{Property: "exec-error", Class: "filter", Mode: "churn", Detail: err.Error()}}
+	}
+	srcs := append([]source.Source(nil), ev.sources...)
+	srcs[0] = logical
+
+	events := []netsim.ChurnEvent{{At: 0, Source: eps[0].Name(), Kind: netsim.ChurnKill}}
+	if ev.inst.ChurnKillAll {
+		events = append(events, netsim.ChurnEvent{At: 0, Source: eps[1].Name(), Kind: netsim.ChurnKill})
+	}
+	ev.network.ScheduleChurn(events)
+	defer ev.network.ScheduleChurn(nil)
+
+	var allow func(error) bool
+	if ev.inst.ChurnKillAll {
+		allow = func(err error) bool {
+			return errors.Is(err, fabric.ErrExhausted) || errors.Is(err, netsim.ErrDown)
+		}
+	}
+	var fs []Failure
+	fs = append(fs, d.runPlan(ctx, ev, srcs, "filter", r.Plan, runOpts{
+		mode: "churn", retries: 1, allowErr: allow,
+	})...)
+	// Streaming: a stream that lands on a dead replica fails mid-stream and
+	// recovers through the executor's whole-stream retry; the breaker's
+	// failure threshold (3) bounds how many consecutive retries the dead
+	// endpoint can absorb before selection converges on the survivor.
+	fs = append(fs, d.runPlan(ctx, ev, srcs, "filter", r.Plan, runOpts{
+		mode: "stream-churn", streaming: true, retries: 3, allowErr: allow,
+	})...)
 	return fs
 }
 

@@ -71,5 +71,9 @@ func Generate(seed int64) Instance {
 		in.FaultRate = 0.01 + 0.24*rng.Float64()
 	}
 	in.Deadline = rng.Float64() < 0.2
+	if rng.Float64() < 0.3 {
+		in.Replicate = true
+		in.ChurnKillAll = rng.Float64() < 0.5
+	}
 	return in
 }

@@ -88,6 +88,13 @@ type Instance struct {
 	FaultRate float64 `json:"faultRate,omitempty"`
 	Retries   int     `json:"retries"`
 	Deadline  bool    `json:"deadline,omitempty"`
+	// Replicate puts the first source behind a two-replica fabric logical
+	// and runs the churn sweep: a scripted kill takes down one replica
+	// (ChurnKillAll false — the run must still return the exact answer) or
+	// both (ChurnKillAll true — the run must fail with a classified
+	// exhaustion and never a wrong non-empty answer).
+	Replicate    bool `json:"replicate,omitempty"`
+	ChurnKillAll bool `json:"churnKillAll,omitempty"`
 }
 
 // JSON renders the instance as indented JSON — the repro artifact format of

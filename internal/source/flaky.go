@@ -10,6 +10,7 @@ import (
 
 	"fusionq/internal/bloom"
 	"fusionq/internal/cond"
+	"fusionq/internal/netsim"
 	"fusionq/internal/obs"
 	"fusionq/internal/relation"
 	"fusionq/internal/set"
@@ -23,12 +24,14 @@ var ErrTransient = errors.New("source: transient failure")
 
 // IsTransient reports whether the error is retryable. Context cancellation
 // and deadline expiry are never transient: the caller gave up, so retrying
-// is wrong even when the underlying failure looks retryable.
+// is wrong even when the underlying failure looks retryable. A source killed
+// by simulated churn (netsim.ErrDown) is transient — it may revive, and a
+// replica fabric can fail the exchange over to another endpoint.
 func IsTransient(err error) bool {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return false
 	}
-	return errors.Is(err, ErrTransient)
+	return errors.Is(err, ErrTransient) || errors.Is(err, netsim.ErrDown)
 }
 
 // Flaky decorates a source with deterministic, seeded failure injection:

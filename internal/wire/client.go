@@ -74,7 +74,13 @@ func (c *Client) connect(ctx context.Context) error {
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", c.addr)
 	if err != nil {
-		return fmt.Errorf("wire: dial %s: %w", c.addr, err)
+		if ctx.Err() != nil {
+			return fmt.Errorf("wire: dial %s: %w", c.addr, err)
+		}
+		// A refused or unreachable dial is a transport failure like any
+		// other: transient, so retry policies and replica failover engage —
+		// this is exactly how a dead replica presents to the fabric.
+		return fmt.Errorf("wire: dial %s: %w: %w", c.addr, err, source.ErrTransient)
 	}
 	c.conn = conn
 	c.bw = bufio.NewWriter(conn)
