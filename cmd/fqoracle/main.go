@@ -28,9 +28,23 @@ import (
 	"os"
 	"time"
 
+	"fusionq/internal/obs"
 	"fusionq/internal/oracle"
 	"fusionq/internal/set"
 )
+
+// writeFlight dumps the soak's flight recorder as a JSON artifact.
+func writeFlight(rec *obs.Recorder, path string) {
+	data, err := rec.ExportJSON()
+	if err == nil {
+		err = os.WriteFile(path, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fqoracle: flight artifact: %v\n", err)
+		return
+	}
+	fmt.Printf("fqoracle: flight recorder written to %s\n", path)
+}
 
 func main() {
 	var (
@@ -39,11 +53,12 @@ func main() {
 		duration = flag.Duration("duration", 0, "soak for this long instead of counting instances")
 		churn    = flag.Bool("churn", false, "force the replica-churn sweep on every instance, alternating surviving-replica and kill-all scenarios")
 		repro    = flag.String("repro", "", "write the minimal reproducing instance JSON to this file on failure")
+		flight   = flag.String("flight", "", "write the soak's flight-recorder JSON (tail-retained traces of every plan run) to this file")
 		selftest = flag.Bool("selftest", false, "inject an answer corruption and verify the oracle catches and shrinks it")
 		verbose  = flag.Bool("v", false, "log every instance")
 	)
 	flag.Parse()
-	os.Exit(run(context.Background(), *n, *seed, *duration, *churn, *repro, *selftest, *verbose))
+	os.Exit(run(context.Background(), *n, *seed, *duration, *churn, *repro, *flight, *selftest, *verbose))
 }
 
 // reproArtifact is the JSON document written for a failing run.
@@ -55,12 +70,18 @@ type reproArtifact struct {
 	Command  string           `json:"command"`
 }
 
-func run(ctx context.Context, n int, seed int64, duration time.Duration, churn bool, reproPath string, selftest, verbose bool) int {
+func run(ctx context.Context, n int, seed int64, duration time.Duration, churn bool, reproPath, flightPath string, selftest, verbose bool) int {
 	if seed == 0 {
 		seed = time.Now().UnixNano()
 		fmt.Printf("fqoracle: derived seed %d (pass -seed=%d to replay this soak)\n", seed, seed)
 	}
 	d := &oracle.Driver{}
+	if flightPath != "" {
+		d.Recorder = obs.NewRecorder(obs.RecorderConfig{})
+		// The artifact is written however the soak ends — a failing run's
+		// flight tail is exactly the interesting one.
+		defer writeFlight(d.Recorder, flightPath)
+	}
 	if selftest {
 		d.MutateClass = "sja+"
 		d.Mutate = func(s set.Set) set.Set {

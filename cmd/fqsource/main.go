@@ -149,7 +149,10 @@ func start(csvPath, name, merge, addr, capsFlag string, cache bool, adminAddr st
 	}
 	var admin *obs.AdminServer
 	if adminAddr != "" {
-		admin, err = obs.ServeAdmin(adminAddr, reg)
+		// No flight recorder on a source server (queries begin at the
+		// mediator); the /debug/* endpoints serve empty collections so any
+		// admin listener feeds cmd/fqtop.
+		admin, err = obs.ServeAdminConfig(adminAddr, obs.AdminConfig{Registry: reg})
 		if err != nil {
 			_ = srv.Close()
 			return nil, nil, err

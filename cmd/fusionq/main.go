@@ -27,6 +27,12 @@
 //	-trace-json f   write the query's span trace (query → plan phases →
 //	                steps → retry attempts → exchanges) as JSON to f
 //	                ("-" for stdout), for offline analysis
+//	-spans          print the query's span tree; exchanges over wire-backed
+//	                sources show the mediator-wait / server-work / wire-time
+//	                split from the server's grafted timing fragment
+//	-admin addr     serve the admin endpoints (/metrics, /debug/queries,
+//	                /debug/traces, /debug/trace?qid=, /debug/endpoints) —
+//	                the feed of cmd/fqtop
 package main
 
 import (
@@ -42,6 +48,7 @@ import (
 	"fusionq/internal/csvio"
 	"fusionq/internal/exec"
 	"fusionq/internal/netsim"
+	"fusionq/internal/obs"
 	"fusionq/internal/relation"
 	"fusionq/internal/source"
 	"fusionq/internal/sqlparse"
@@ -76,6 +83,8 @@ func main() {
 		stream    = flag.Bool("stream", false, "execute as a pull-based streaming pipeline (bounded batches, early first answer)")
 		batch     = flag.Int("batch", 0, "streaming batch size for -stream (0: default)")
 		traceJSON = flag.String("trace-json", "", `write the query's span trace as JSON to this file ("-" for stdout)`)
+		spans     = flag.Bool("spans", false, "print the query's span tree with per-exchange wait/server/wire split")
+		admin     = flag.String("admin", "", "serve admin endpoints (/metrics, /debug/*) on this address (e.g. 127.0.0.1:9100)")
 		shell     = flag.Bool("i", false, "interactive shell: read SQL statements from stdin")
 	)
 	flag.Var(&csvs, "csv", "local CSV source file (repeatable)")
@@ -89,6 +98,15 @@ func main() {
 			os.Exit(1)
 		}
 		defer closer()
+		if *admin != "" {
+			adm, err := serveAdmin(m, *admin)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fusionq: %v\n", err)
+				os.Exit(1)
+			}
+			defer func() { _ = adm.Close() }()
+			fmt.Fprintf(os.Stderr, "fusionq: admin endpoints on http://%s\n", adm.Addr())
+		}
 		opts := core.Options{Algorithm: core.Algorithm(*algo), Parallel: *parallel, Conns: *conns, Cache: *cache, Trace: *trace, Timeout: *timeout, Streaming: *stream, BatchSize: *batch}
 		if err := repl(m, os.Stdin, os.Stdout, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "fusionq: %v\n", err)
@@ -96,11 +114,24 @@ func main() {
 		}
 		return
 	}
-	opts := core.Options{Algorithm: core.Algorithm(*algo), Parallel: *parallel, Conns: *conns, Cache: *cache, Trace: *trace, Spans: *traceJSON != "", Timeout: *timeout, Streaming: *stream, BatchSize: *batch}
-	if err := run(*sql, csvs, remotes, *catalogF, *merge, *capsFlag, opts, *explain, *fetch, *traceJSON); err != nil {
+	opts := core.Options{Algorithm: core.Algorithm(*algo), Parallel: *parallel, Conns: *conns, Cache: *cache, Trace: *trace, Spans: *traceJSON != "" || *spans, Timeout: *timeout, Streaming: *stream, BatchSize: *batch}
+	if err := run(*sql, csvs, remotes, *catalogF, *merge, *capsFlag, opts, *explain, *fetch, *traceJSON, *spans, *admin); err != nil {
 		fmt.Fprintf(os.Stderr, "fusionq: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// serveAdmin starts the admin listener over the mediator's observability
+// state: a dedicated metrics registry, the always-on flight recorder, and
+// the replica-fabric scorecards.
+func serveAdmin(m *core.Mediator, addr string) (*obs.AdminServer, error) {
+	reg := obs.NewRegistry()
+	m.SetMetrics(reg)
+	return obs.ServeAdminConfig(addr, obs.AdminConfig{
+		Registry:   reg,
+		Recorder:   m.Recorder(),
+		Scorecards: func() any { return m.Scorecards() },
+	})
 }
 
 func parseCaps(tier string) (source.Capabilities, error) {
@@ -116,7 +147,7 @@ func parseCaps(tier string) (source.Capabilities, error) {
 	}
 }
 
-func run(sql string, csvs, remotes []string, catalogPath, merge, capsFlag string, opts core.Options, explain, fetch bool, traceJSON string) error {
+func run(sql string, csvs, remotes []string, catalogPath, merge, capsFlag string, opts core.Options, explain, fetch bool, traceJSON string, spans bool, adminAddr string) error {
 	if sql == "" {
 		return fmt.Errorf("-sql is required")
 	}
@@ -125,6 +156,14 @@ func run(sql string, csvs, remotes []string, catalogPath, merge, capsFlag string
 		return err
 	}
 	defer closer()
+	if adminAddr != "" {
+		adm, err := serveAdmin(m, adminAddr)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = adm.Close() }()
+		fmt.Fprintf(os.Stderr, "fusionq: admin endpoints on http://%s\n", adm.Addr())
+	}
 	schema := m.Schema()
 
 	if explain {
@@ -167,6 +206,9 @@ func run(sql string, csvs, remotes []string, catalogPath, merge, capsFlag string
 	}
 	if opts.Trace {
 		fmt.Printf("\ntrace:\n%s", exec.RenderTrace(ans.Exec.Trace))
+	}
+	if spans && ans.Trace != nil {
+		fmt.Printf("\nspans:\n%s", obs.RenderTrace(ans.Trace.Export()))
 	}
 
 	if fetch && !ans.Items.IsEmpty() {

@@ -23,6 +23,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -176,8 +177,12 @@ type Answer struct {
 	// recorded — and, for wire-backed sources, every server-side log line —
 	// carries it.
 	QueryID string
-	// Trace holds the query's span trace when Options.Spans was set (or the
-	// caller's context carried a trace); nil otherwise.
+	// Trace holds the query's span trace: tracing is always on while the
+	// mediator has a flight recorder (the default), so exchange spans,
+	// per-leg fabric attempts, and grafted server fragments are available
+	// for every query. The caller's context trace (obs.With) takes
+	// precedence when present. Nil only after SetRecorder(nil) without
+	// Options.Spans.
 	Trace *obs.Trace
 	// Items are the merge-attribute values satisfying all conditions.
 	Items set.Set
@@ -214,6 +219,10 @@ type Mediator struct {
 	network  *netsim.Network
 	cache    *exec.Cache
 	metrics  *obs.Registry
+	recorder *obs.Recorder
+	// recorderSet distinguishes SetRecorder(nil) — recording deliberately
+	// off — from the never-configured state that lazily gets the default.
+	recorderSet bool
 
 	describeOnce sync.Once
 }
@@ -260,6 +269,51 @@ func (m *Mediator) metricsRegistry() *obs.Registry {
 	}
 	m.describeOnce.Do(func() { obs.DescribeAll(reg) })
 	return reg
+}
+
+// SetRecorder attaches a flight recorder replacing the default one. Pass a
+// recorder with custom bounds (or a slow-query log sink) before serving
+// queries; a nil recorder disables flight recording entirely.
+func (m *Mediator) SetRecorder(rec *obs.Recorder) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recorder = rec
+	m.recorderSet = true
+}
+
+// Recorder returns the mediator's flight recorder, creating the default
+// always-on one (obs.NewRecorder with default bounds, charging the
+// mediator's metrics registry) on first use. Returns nil after
+// SetRecorder(nil).
+func (m *Mediator) Recorder() *obs.Recorder {
+	m.mu.RLock()
+	rec, set := m.recorder, m.recorderSet
+	m.mu.RUnlock()
+	if rec != nil || set {
+		return rec
+	}
+	reg := m.metricsRegistry()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.recorder == nil && !m.recorderSet {
+		m.recorder = obs.NewRecorder(obs.RecorderConfig{Metrics: reg})
+	}
+	return m.recorder
+}
+
+// Scorecards reports the per-endpoint replica-fabric scorecards of every
+// replicated logical source, in registration order. Sources without a
+// fabric (plain, non-replicated) contribute no rows.
+func (m *Mediator) Scorecards() []fabric.Scorecard {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := []fabric.Scorecard{}
+	for _, s := range m.sources {
+		if l, ok := s.(*fabric.Logical); ok {
+			out = append(out, l.Scorecards()...)
+		}
+	}
+	return out
 }
 
 // Cache returns the mediator's persistent answer cache, creating it on
@@ -585,15 +639,19 @@ func (m *Mediator) QueryCondsContext(ctx context.Context, conds []cond.Cond, opt
 	}
 	// Each query gets a fresh identity. The trace and registry are inherited
 	// from the caller's context when present (cmd/fqbench installs one pair
-	// for a whole run), created or defaulted otherwise.
+	// for a whole run), created or defaulted otherwise. While a flight
+	// recorder is active (the default), tracing is always on: the recorder's
+	// retention policy, not a per-query flag, decides which traces survive.
 	parent := obs.From(ctx)
 	o := &obs.Obs{QueryID: obs.NewQueryID(), Trace: parent.Trace, Metrics: parent.Metrics}
-	if o.Trace == nil && opts.Spans {
+	rec := m.Recorder()
+	if o.Trace == nil && (opts.Spans || rec != nil) {
 		o.Trace = obs.NewTrace()
 	}
 	if o.Metrics == nil {
 		o.Metrics = m.metricsRegistry()
 	}
+	o.Live = rec.Begin(o.QueryID, condsText(conds))
 	ctx = obs.With(ctx, o)
 
 	qctx, qspan := obs.StartSpan(ctx, obs.KindQuery, "fusion query")
@@ -602,11 +660,29 @@ func (m *Mediator) QueryCondsContext(ctx context.Context, conds []cond.Cond, opt
 	qspan.End(err)
 	o.Metrics.Counter(obs.MQueries, "status", queryStatus(err)).Inc()
 	o.Metrics.Histogram(obs.MQuerySeconds).Observe(time.Since(start).Seconds())
+	info := obs.EndInfo{Err: err, Trace: o.Trace}
 	if ans != nil {
 		ans.QueryID = o.QueryID
 		ans.Trace = o.Trace
+		info.Items = ans.Items.Len()
+		info.Repaired = ans.Repair != nil
+		if ans.Exec != nil {
+			info.Hedges = ans.Exec.Hedges
+			info.Failovers = ans.Exec.Failovers
+		}
 	}
+	rec.End(o.Live, info)
 	return ans, err
+}
+
+// condsText renders a condition list as the query text shown by the live
+// registry and the flight recorder.
+func condsText(conds []cond.Cond) string {
+	parts := make([]string, len(conds))
+	for i, c := range conds {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " AND ")
 }
 
 // queryStatus classifies a query's outcome for the fq_queries_total label.

@@ -101,6 +101,14 @@ type Options struct {
 	// HedgeMinSamples is how many logical exchanges must be observed
 	// before hedging arms (default 8).
 	HedgeMinSamples int
+	// HedgeGrace is how long, after a winning leg returns, the attempt
+	// keeps waiting for outstanding legs to finish before cancelling them.
+	// The answer is not delayed by correctness needs — the winner's result
+	// is returned either way — but a harvested loser contributes its health
+	// observation and, over the wire, its server-side span fragment, so the
+	// trace shows both legs of a hedged exchange. Zero (the default)
+	// cancels losers immediately, the pre-grace behavior.
+	HedgeGrace time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -341,6 +349,47 @@ func (l *Logical) Stats() Stats {
 	}
 }
 
+// Scorecard is one endpoint's operational snapshot: health, breaker and
+// load, plus the owning logical source's cumulative hedge/failover activity
+// (repeated on each of its endpoints' rows). This is the payload of the
+// mediator's /debug/endpoints admin view and cmd/fqtop's endpoint table.
+//
+// Scorecard rows are keyed by registered endpoint names only — the fabric
+// never emits a row (or a metric label) for an endpoint outside the roster,
+// so replica churn cannot grow the set unboundedly.
+type Scorecard struct {
+	Logical     string  `json:"logical"`
+	Endpoint    string  `json:"endpoint"`
+	Breaker     string  `json:"breaker"`
+	EWMASeconds float64 `json:"ewmaSeconds"`
+	Inflight    int     `json:"inflight"`
+	ConsecFails int     `json:"consecFails"`
+	Hedges      int64   `json:"hedges"`
+	HedgeWins   int64   `json:"hedgeWins"`
+	Failovers   int64   `json:"failovers"`
+}
+
+// Scorecards returns one row per registered endpoint, in registration
+// order.
+func (l *Logical) Scorecards() []Scorecard {
+	st := l.Stats()
+	out := make([]Scorecard, 0, len(l.eps))
+	for _, ep := range l.eps {
+		out = append(out, Scorecard{
+			Logical:     l.name,
+			Endpoint:    ep.Name(),
+			Breaker:     ep.brk.State().String(),
+			EWMASeconds: ep.health.score(),
+			Inflight:    ep.inflight(),
+			ConsecFails: ep.health.consecutiveFails(),
+			Hedges:      st.Hedges,
+			HedgeWins:   st.HedgeWins,
+			Failovers:   st.Failovers,
+		})
+	}
+	return out
+}
+
 // pick selects the next replica for an exchange among those not yet tried:
 // breaker-selectable endpoints are preferred (falling back to all untried
 // ones, so exhaustion means every replica actually failed), ε-greedy
@@ -475,25 +524,35 @@ type outcome[T any] struct {
 	ep  *Endpoint
 	out T
 	err error
+	sp  *obs.Span
 }
 
 // attempt runs op on the primary replica, hedging onto a backup when the
 // primary outlives the latency-percentile deadline. The losing leg is
-// cancelled through ctx and awaited before return, so no goroutine outlives
-// the attempt. Replicas that genuinely failed are recorded in tried.
+// cancelled through ctx and awaited before return — or, with HedgeGrace
+// set, given a bounded window to finish first so its trace leg completes.
+// No goroutine outlives the attempt either way. Replicas that genuinely
+// failed are recorded in tried.
 func attempt[T any](ctx context.Context, l *Logical, primary *Endpoint, tried map[*Endpoint]bool, kind string, op opFunc[T]) (T, error) {
 	var zero T
 	results := make(chan outcome[T], 2)
 	var wg sync.WaitGroup
 	cancels := make([]context.CancelFunc, 0, 2)
-	launch := func(ep *Endpoint) {
+	launch := func(ep *Endpoint, role string) {
 		lctx, cancel := context.WithCancel(ctx)
 		cancels = append(cancels, cancel)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			out, err := runOne(lctx, l, ep, op)
-			results <- outcome[T]{ep: ep, out: out, err: err}
+			// One span per leg, so hedge losers and failover legs are
+			// visible in the trace with their endpoint and role; the wire
+			// span (and any grafted server fragment) nests under it.
+			sctx, sp := obs.StartSpan(lctx, obs.KindAttempt, kind+" leg @ "+ep.Name())
+			sp.SetAttr("endpoint", ep.Name())
+			sp.SetAttr("role", role)
+			out, err := runOne(sctx, l, ep, op)
+			sp.End(err)
+			results <- outcome[T]{ep: ep, out: out, err: err, sp: sp}
 		}()
 	}
 	cancelAll := func() {
@@ -505,7 +564,7 @@ func attempt[T any](ctx context.Context, l *Logical, primary *Endpoint, tried ma
 		cancelAll()
 		wg.Wait()
 	}()
-	launch(primary)
+	launch(primary, "primary")
 
 	var hedgeC <-chan time.Time
 	if d := l.hedgeDelay(tried); d > 0 {
@@ -528,8 +587,11 @@ func attempt[T any](ctx context.Context, l *Logical, primary *Endpoint, tried ma
 					}
 					obs.Meter(ctx).Counter(obs.MHedgeWins, "source", l.name).Inc()
 				}
+				oc.sp.SetAttr("outcome", "won")
+				harvestLosers(ctx, l, results, &pending, tried)
 				return oc.out, nil
 			}
+			oc.sp.SetAttr("outcome", "failed")
 			tried[oc.ep] = true
 			if firstErr == nil {
 				firstErr = oc.err
@@ -543,7 +605,7 @@ func attempt[T any](ctx context.Context, l *Logical, primary *Endpoint, tried ma
 					cs.Hedges.Add(1)
 				}
 				obs.Meter(ctx).Counter(obs.MHedges, "source", l.name).Inc()
-				launch(backup)
+				launch(backup, "hedge")
 				pending++
 			}
 		case <-ctx.Done():
@@ -551,6 +613,36 @@ func attempt[T any](ctx context.Context, l *Logical, primary *Endpoint, tried ma
 		}
 	}
 	return zero, firstErr
+}
+
+// harvestLosers drains outstanding legs after a winner returned. With
+// HedgeGrace set it waits up to that long for each straggler to finish on
+// its own — completing the loser's trace leg (and health observation)
+// instead of cancelling it mid-flight. With a zero grace, or once the grace
+// or the caller's context expires, the deferred cancelAll in attempt cuts
+// the stragglers down as before.
+func harvestLosers[T any](ctx context.Context, l *Logical, results <-chan outcome[T], pending *int, tried map[*Endpoint]bool) {
+	if l.opts.HedgeGrace <= 0 || *pending == 0 {
+		return
+	}
+	grace := time.NewTimer(l.opts.HedgeGrace)
+	defer grace.Stop()
+	for *pending > 0 {
+		select {
+		case oc := <-results:
+			*pending = *pending - 1
+			if oc.err != nil {
+				oc.sp.SetAttr("outcome", "failed")
+				tried[oc.ep] = true
+			} else {
+				oc.sp.SetAttr("outcome", "lost")
+			}
+		case <-grace.C:
+			return
+		case <-ctx.Done():
+			return
+		}
+	}
 }
 
 // runOne runs op on one endpoint: queue for a connection slot, mark the

@@ -24,6 +24,14 @@ func charge(r *Registry, dynamic string) {
 	other().Counter("fq_ok_total") // not a Registry: out of scope
 }
 
+// chargeFlight exercises the flight-recorder families: constants pass, a
+// literal trace-family name is rejected like any other.
+func chargeFlight(r *Registry) {
+	r.Counter(MTraceRetained, "class", "interesting")
+	r.Counter(MSlowQueries)
+	r.Gauge("fq_trace_bytes") // want `string-literal metric name "fq_trace_bytes"`
+}
+
 type counterish struct{}
 
 func (counterish) Counter(name string) int { return 0 }
@@ -35,5 +43,7 @@ func other() counterish { return counterish{} }
 func DescribeAll(r *Registry) {
 	r.Describe(MGood, "a good metric")
 	r.Describe(MHidden, "another good metric")
+	r.Describe(MTraceRetained, "flight-recorder records retained, by class")
+	r.Describe(MSlowQueries, "queries at or above the slow threshold")
 	r.Describe("fq_smuggled_total", "no constant") // want `string-literal metric name "fq_smuggled_total" in DescribeAll`
 }

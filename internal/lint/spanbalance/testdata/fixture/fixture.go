@@ -5,6 +5,7 @@ package fixture
 import (
 	"context"
 	"errors"
+	"time"
 
 	"fusionq/internal/obs"
 )
@@ -85,6 +86,26 @@ func GoodHedgeArms(ctx context.Context, results chan error, hedge chan struct{})
 		sp.End(err)
 		return err
 	}
+}
+
+// GoodGraft mirrors the wire client's remote-fragment pattern: the locally
+// started wire span is deferred-Ended as usual, while the grafted server
+// fragment is born finished — obs.Graft results need no End and spanbalance
+// must not demand one.
+func GoodGraft(ctx context.Context, start time.Time, d time.Duration) {
+	ctx, sp := obs.StartSpan(ctx, "wire", "sq @ remote")
+	defer sp.End(nil)
+	frag := obs.Graft(ctx, sp, "server", "server: sq", start, d, map[string]string{"bytesIn": "17"})
+	_ = frag // already finished; never Ended, never flagged
+}
+
+// BadGraftBesideLeak grafts a root fragment but leaks the locally started
+// span: Graft only appends the remote's finished interval, it does not End
+// the local span it sits beside.
+func BadGraftBesideLeak(ctx context.Context, start time.Time, d time.Duration) {
+	ctx, sp := obs.StartSpan(ctx, "wire", "graft-leak") // want `span started here is never ended`
+	sp.SetAttr("endpoint", "r1")
+	obs.Graft(ctx, nil, "server", "server: sq", start, d, nil)
 }
 
 // BadHedgeTimerLeak leaks the span on the hedge-timer arm: that path

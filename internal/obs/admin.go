@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -9,25 +10,61 @@ import (
 	"time"
 )
 
-// AdminServer is a small HTTP listener exposing a Registry — the
-// /metrics-style admin endpoint of cmd/fqsource. Endpoints:
+// AdminServer is a small HTTP listener exposing a Registry and, when one is
+// attached, the flight recorder — the admin endpoint of cmd/fqsource and
+// cmd/fusionq, and the feed of cmd/fqtop. Endpoints:
 //
-//	/metrics       Prometheus text exposition
-//	/metrics.json  the same registry as JSON
-//	/healthz       liveness probe ("ok")
+//	/metrics          Prometheus text exposition
+//	/metrics.json     the same registry as JSON
+//	/healthz          liveness probe ("ok")
+//	/debug/queries    in-flight queries from the recorder's live registry
+//	/debug/traces     index of retained query records
+//	/debug/trace?qid= one full retained record, spans included (404 unknown)
+//	/debug/endpoints  per-endpoint fabric scorecards, when supplied
 type AdminServer struct {
 	ln  net.Listener
 	srv *http.Server
 	wg  sync.WaitGroup
 }
 
+// AdminConfig configures an admin listener beyond the bare registry.
+type AdminConfig struct {
+	// Registry backs /metrics and /metrics.json (may be nil).
+	Registry *Registry
+	// Recorder backs the /debug/queries, /debug/traces and /debug/trace
+	// endpoints; with a nil recorder they serve empty collections, so
+	// pollers (cmd/fqtop) work against any admin listener.
+	Recorder *Recorder
+	// Scorecards, when non-nil, supplies the /debug/endpoints payload —
+	// typically the mediator's per-endpoint fabric scorecards. The result
+	// must be JSON-marshalable.
+	Scorecards func() any
+}
+
 // ServeAdmin starts an admin listener for reg on addr (e.g. "127.0.0.1:0").
 // The returned server is running; callers own its lifetime via Close.
 func ServeAdmin(addr string, reg *Registry) (*AdminServer, error) {
+	return ServeAdminConfig(addr, AdminConfig{Registry: reg})
+}
+
+// writeJSON marshals v with the right Content-Type.
+func writeJSON(w http.ResponseWriter, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+}
+
+// ServeAdminConfig is ServeAdmin with a recorder and scorecard feed attached.
+func ServeAdminConfig(addr string, cfg AdminConfig) (*AdminServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: admin listen: %w", err)
 	}
+	reg, rec := cfg.Registry, cfg.Recorder
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -45,6 +82,48 @@ func ServeAdmin(addr string, reg *Registry) (*AdminServer, error) {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, r *http.Request) {
+		live := rec.Live()
+		if live == nil {
+			live = []LiveQueryInfo{}
+		}
+		writeJSON(w, struct {
+			Queries []LiveQueryInfo `json:"queries"`
+		}{Queries: live})
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		idx := rec.Index()
+		if idx == nil {
+			idx = []RecordSummary{}
+		}
+		writeJSON(w, struct {
+			Traces []RecordSummary `json:"traces"`
+		}{Traces: idx})
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		qid := r.URL.Query().Get("qid")
+		if qid == "" {
+			http.Error(w, "missing qid parameter", http.StatusBadRequest)
+			return
+		}
+		record, ok := rec.Get(qid)
+		if !ok {
+			http.Error(w, fmt.Sprintf("no retained trace for qid %q", qid), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, record)
+	})
+	mux.HandleFunc("/debug/endpoints", func(w http.ResponseWriter, r *http.Request) {
+		var cards any = []struct{}{}
+		if cfg.Scorecards != nil {
+			if c := cfg.Scorecards(); c != nil {
+				cards = c
+			}
+		}
+		writeJSON(w, struct {
+			Endpoints any `json:"endpoints"`
+		}{Endpoints: cards})
 	})
 	a := &AdminServer{
 		ln: ln,

@@ -1,0 +1,429 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder is the always-on flight recorder: a bounded ring of completed
+// query records with tail-based retention, plus a live registry of queries
+// currently in flight. The mediator begins a LiveQuery per query and ends it
+// with the outcome; the recorder decides what to keep.
+//
+// Retention is tail-based: every interesting record — error, slow, hedged,
+// failed-over, or repaired — is kept, while boring (fast, clean) queries are
+// sampled one in SampleEvery. Under the Capacity/MaxBytes bound the recorder
+// evicts oldest-boring-first, so the interesting tail survives workloads
+// that would otherwise wash it out of a plain ring buffer. This is the
+// in-process analogue of tail-based trace sampling: the keep/drop decision
+// happens after the outcome is known, never before.
+//
+// All methods are safe for concurrent use, and a nil *Recorder (like a nil
+// *LiveQuery) is a no-op, so callers never branch on whether recording is
+// enabled.
+type Recorder struct {
+	cfg RecorderConfig
+
+	mu        sync.Mutex
+	live      map[string]*LiveQuery
+	ring      []*QueryRecord // oldest first
+	bytes     int
+	boringSeq uint64
+}
+
+// RecorderConfig bounds a Recorder. The zero value gets usable defaults.
+type RecorderConfig struct {
+	// Capacity is the maximum number of retained records (default 512).
+	Capacity int
+	// MaxBytes bounds the approximate memory footprint of retained records
+	// (default 4 MiB). Eviction is oldest-boring-first.
+	MaxBytes int
+	// SlowThreshold marks queries at or above this duration as slow: always
+	// retained, counted in MSlowQueries, and logged via Logf (default 250ms).
+	SlowThreshold time.Duration
+	// SampleEvery keeps one in N boring (fast, clean) queries; values < 2
+	// keep them all (default 16).
+	SampleEvery int
+	// Logf, when non-nil, receives one structured line per slow query.
+	Logf func(format string, args ...any)
+	// Metrics receives the recorder's own counters and gauges (may be nil).
+	Metrics *Registry
+}
+
+// NewRecorder returns a recorder with cfg's bounds, defaults applied.
+func NewRecorder(cfg RecorderConfig) *Recorder {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 512
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = 4 << 20
+	}
+	if cfg.SlowThreshold <= 0 {
+		cfg.SlowThreshold = 250 * time.Millisecond
+	}
+	if cfg.SampleEvery == 0 {
+		cfg.SampleEvery = 16
+	}
+	return &Recorder{cfg: cfg, live: map[string]*LiveQuery{}}
+}
+
+// LiveQuery is one in-flight query's entry in the recorder's live registry.
+// It rides in the query's Obs; the tracer and the source instrumentation
+// update it as the query progresses. All methods are nil-safe.
+type LiveQuery struct {
+	rec   *Recorder
+	qid   string
+	start time.Time
+
+	mu      sync.Mutex
+	text    string
+	phase   string
+	step    string
+	bytes   int64
+	sources map[string]*liveSource
+}
+
+type liveSource struct {
+	exchanges int
+	bytes     int64
+	lastOp    string
+}
+
+// LiveSourceInfo is one source's accumulated state within a live query.
+type LiveSourceInfo struct {
+	Exchanges int    `json:"exchanges"`
+	Bytes     int64  `json:"bytes"`
+	LastOp    string `json:"lastOp,omitempty"`
+}
+
+// LiveQueryInfo is the exported snapshot of one in-flight query.
+type LiveQueryInfo struct {
+	QueryID   string                    `json:"queryId"`
+	Text      string                    `json:"text,omitempty"`
+	Start     time.Time                 `json:"start"`
+	ElapsedUS int64                     `json:"elapsedUs"`
+	Phase     string                    `json:"phase,omitempty"`
+	Step      string                    `json:"step,omitempty"`
+	Bytes     int64                     `json:"bytes"`
+	Sources   map[string]LiveSourceInfo `json:"sources,omitempty"`
+}
+
+// QueryRecord is one completed query as retained by the recorder: outcome,
+// fabric activity, per-source traffic, and the full span trace.
+type QueryRecord struct {
+	QueryID    string                    `json:"queryId"`
+	Text       string                    `json:"text,omitempty"`
+	Start      time.Time                 `json:"start"`
+	DurationUS int64                     `json:"durationUs"`
+	Status     string                    `json:"status"` // ok | error
+	Error      string                    `json:"error,omitempty"`
+	Items      int                       `json:"items"`
+	Bytes      int64                     `json:"bytes"`
+	Hedges     int                       `json:"hedges,omitempty"`
+	Failovers  int                       `json:"failovers,omitempty"`
+	Repaired   bool                      `json:"repaired,omitempty"`
+	Slow       bool                      `json:"slow,omitempty"`
+	// Sampled marks a boring record retained only as a 1-in-N sample.
+	Sampled bool                      `json:"sampled,omitempty"`
+	Sources map[string]LiveSourceInfo `json:"sources,omitempty"`
+	Spans   []SpanData                `json:"spans,omitempty"`
+
+	approxBytes int
+}
+
+// RecordSummary is the index form of a QueryRecord (no span bodies), the
+// payload of the /debug/traces endpoint.
+type RecordSummary struct {
+	QueryID    string    `json:"queryId"`
+	Start      time.Time `json:"start"`
+	DurationUS int64     `json:"durationUs"`
+	Status     string    `json:"status"`
+	Error      string    `json:"error,omitempty"`
+	Items      int       `json:"items"`
+	Bytes      int64     `json:"bytes"`
+	Hedges     int       `json:"hedges,omitempty"`
+	Failovers  int       `json:"failovers,omitempty"`
+	Repaired   bool      `json:"repaired,omitempty"`
+	Slow       bool      `json:"slow,omitempty"`
+	Sampled    bool      `json:"sampled,omitempty"`
+	Spans      int       `json:"spans"`
+}
+
+// EndInfo carries a query's outcome into Recorder.End.
+type EndInfo struct {
+	Err       error
+	Trace     *Trace
+	Items     int
+	Hedges    int
+	Failovers int
+	Repaired  bool
+}
+
+// Begin registers a query in the live registry and returns its entry, to be
+// installed in the query's Obs. Nil-safe: a nil recorder returns a nil
+// LiveQuery, whose methods are all no-ops.
+func (r *Recorder) Begin(qid, text string) *LiveQuery {
+	if r == nil {
+		return nil
+	}
+	lq := &LiveQuery{rec: r, qid: qid, start: time.Now(), text: text}
+	r.mu.Lock()
+	r.live[qid] = lq
+	n := len(r.live)
+	r.mu.Unlock()
+	r.cfg.Metrics.Gauge(MLiveQueries).Set(int64(n))
+	return lq
+}
+
+// setStep records where the query currently is; called from StartSpan for
+// phase and step spans.
+func (q *LiveQuery) setStep(kind, name string) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	if kind == KindPhase {
+		q.phase = name
+	} else {
+		q.step = name
+	}
+	q.mu.Unlock()
+}
+
+// Exchange accumulates one source exchange's traffic against the live
+// query: n payload bytes moved for op against source. Nil-safe.
+func (q *LiveQuery) Exchange(src, op string, n int64) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	if q.sources == nil {
+		q.sources = map[string]*liveSource{}
+	}
+	ls := q.sources[src]
+	if ls == nil {
+		ls = &liveSource{}
+		q.sources[src] = ls
+	}
+	ls.exchanges++
+	ls.bytes += n
+	ls.lastOp = op
+	q.bytes += n
+	q.mu.Unlock()
+}
+
+func (q *LiveQuery) snapshot() LiveQueryInfo {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	info := LiveQueryInfo{
+		QueryID:   q.qid,
+		Text:      q.text,
+		Start:     q.start,
+		ElapsedUS: time.Since(q.start).Microseconds(),
+		Phase:     q.phase,
+		Step:      q.step,
+		Bytes:     q.bytes,
+	}
+	if len(q.sources) > 0 {
+		info.Sources = make(map[string]LiveSourceInfo, len(q.sources))
+		for name, ls := range q.sources {
+			info.Sources[name] = LiveSourceInfo{Exchanges: ls.exchanges, Bytes: ls.bytes, LastOp: ls.lastOp}
+		}
+	}
+	return info
+}
+
+// Live returns a snapshot of every in-flight query, oldest first.
+func (r *Recorder) Live() []LiveQueryInfo {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	lqs := make([]*LiveQuery, 0, len(r.live))
+	for _, lq := range r.live {
+		lqs = append(lqs, lq)
+	}
+	r.mu.Unlock()
+	out := make([]LiveQueryInfo, 0, len(lqs))
+	for _, lq := range lqs {
+		out = append(out, lq.snapshot())
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if !out[a].Start.Equal(out[b].Start) {
+			return out[a].Start.Before(out[b].Start)
+		}
+		return out[a].QueryID < out[b].QueryID
+	})
+	return out
+}
+
+// interesting reports whether a record is exempt from sampling and from
+// boring-first eviction.
+func (rec *QueryRecord) interesting() bool {
+	return rec.Status != "ok" || rec.Slow || rec.Hedges > 0 || rec.Failovers > 0 || rec.Repaired
+}
+
+// approxSize estimates a record's retained footprint, the currency of the
+// MaxBytes bound. It only needs to be proportional and stable, not exact.
+func (rec *QueryRecord) approxSize() int {
+	n := 256 + len(rec.QueryID) + len(rec.Text) + len(rec.Error)
+	for _, sp := range rec.Spans {
+		n += 96 + len(sp.Kind) + len(sp.Name) + len(sp.QueryID) + len(sp.Error)
+		for k, v := range sp.Attrs {
+			n += 16 + len(k) + len(v)
+		}
+	}
+	n += 64 * len(rec.Sources)
+	return n
+}
+
+// End completes a live query: it leaves the live registry and its record
+// enters retention. Nil-safe on both the recorder and the entry.
+func (r *Recorder) End(lq *LiveQuery, info EndInfo) {
+	if r == nil || lq == nil {
+		return
+	}
+	rec := &QueryRecord{
+		QueryID:    lq.qid,
+		Start:      lq.start,
+		DurationUS: time.Since(lq.start).Microseconds(),
+		Status:     "ok",
+		Items:      info.Items,
+		Hedges:     info.Hedges,
+		Failovers:  info.Failovers,
+		Repaired:   info.Repaired,
+	}
+	if info.Err != nil {
+		rec.Status = "error"
+		rec.Error = info.Err.Error()
+	}
+	lq.mu.Lock()
+	rec.Text = lq.text
+	rec.Bytes = lq.bytes
+	if len(lq.sources) > 0 {
+		rec.Sources = make(map[string]LiveSourceInfo, len(lq.sources))
+		for name, ls := range lq.sources {
+			rec.Sources[name] = LiveSourceInfo{Exchanges: ls.exchanges, Bytes: ls.bytes, LastOp: ls.lastOp}
+		}
+	}
+	lq.mu.Unlock()
+	if info.Trace != nil {
+		rec.Spans = info.Trace.Export()
+	}
+	rec.Slow = time.Duration(rec.DurationUS)*time.Microsecond >= r.cfg.SlowThreshold
+	rec.approxBytes = rec.approxSize()
+
+	m := r.cfg.Metrics
+	if rec.Slow {
+		m.Counter(MSlowQueries).Inc()
+		if r.cfg.Logf != nil {
+			r.cfg.Logf("obs: slow-query qid=%s dur=%s status=%s items=%d bytes=%d hedges=%d failovers=%d repaired=%t spans=%d text=%q",
+				rec.QueryID, (time.Duration(rec.DurationUS) * time.Microsecond).Round(time.Microsecond),
+				rec.Status, rec.Items, rec.Bytes, rec.Hedges, rec.Failovers, rec.Repaired, len(rec.Spans), rec.Text)
+		}
+	}
+
+	r.mu.Lock()
+	delete(r.live, lq.qid)
+	liveN := len(r.live)
+	if !rec.interesting() {
+		r.boringSeq++
+		if r.cfg.SampleEvery > 1 && r.boringSeq%uint64(r.cfg.SampleEvery) != 0 {
+			r.mu.Unlock()
+			m.Gauge(MLiveQueries).Set(int64(liveN))
+			m.Counter(MTraceDropped, "reason", "sampled").Inc()
+			return
+		}
+		rec.Sampled = true
+	}
+	r.ring = append(r.ring, rec)
+	r.bytes += rec.approxBytes
+	evicted := 0
+	for (len(r.ring) > r.cfg.Capacity || r.bytes > r.cfg.MaxBytes) && len(r.ring) > 0 {
+		idx := 0
+		for i, q := range r.ring {
+			if !q.interesting() {
+				idx = i
+				break
+			}
+		}
+		r.bytes -= r.ring[idx].approxBytes
+		r.ring = append(r.ring[:idx], r.ring[idx+1:]...)
+		evicted++
+	}
+	bytesNow := r.bytes
+	r.mu.Unlock()
+
+	m.Gauge(MLiveQueries).Set(int64(liveN))
+	class := "interesting"
+	if rec.Sampled {
+		class = "sampled"
+	}
+	m.Counter(MTraceRetained, "class", class).Inc()
+	if evicted > 0 {
+		m.Counter(MTraceDropped, "reason", "evicted").Add(int64(evicted))
+	}
+	m.Gauge(MTraceBytes).Set(int64(bytesNow))
+}
+
+// Index returns summaries of every retained record, oldest first.
+func (r *Recorder) Index() []RecordSummary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]RecordSummary, 0, len(r.ring))
+	for _, rec := range r.ring {
+		out = append(out, RecordSummary{
+			QueryID: rec.QueryID, Start: rec.Start, DurationUS: rec.DurationUS,
+			Status: rec.Status, Error: rec.Error, Items: rec.Items, Bytes: rec.Bytes,
+			Hedges: rec.Hedges, Failovers: rec.Failovers, Repaired: rec.Repaired,
+			Slow: rec.Slow, Sampled: rec.Sampled, Spans: len(rec.Spans),
+		})
+	}
+	return out
+}
+
+// Get returns the full record for qid, if retained.
+func (r *Recorder) Get(qid string) (*QueryRecord, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Newest wins, though query IDs are process-unique in practice.
+	for i := len(r.ring) - 1; i >= 0; i-- {
+		if r.ring[i].QueryID == qid {
+			return r.ring[i], true
+		}
+	}
+	return nil, false
+}
+
+// RetainedBytes reports the recorder's current approximate footprint.
+func (r *Recorder) RetainedBytes() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bytes
+}
+
+// ExportJSON dumps every retained record — the flight-recorder artifact the
+// oracle soak uploads from CI.
+func (r *Recorder) ExportJSON() ([]byte, error) {
+	if r == nil {
+		return []byte("{\"records\":[]}\n"), nil
+	}
+	r.mu.Lock()
+	recs := make([]*QueryRecord, len(r.ring))
+	copy(recs, r.ring)
+	r.mu.Unlock()
+	return json.MarshalIndent(struct {
+		Records []*QueryRecord `json:"records"`
+	}{Records: recs}, "", "  ")
+}

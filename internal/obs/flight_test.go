@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRecorderRetainsEveryInterestingQuery drives a seeded mixed workload —
+// mostly boring queries with a sprinkle of errors, hedges, failovers and
+// repairs — through a small recorder and checks the tail-based retention
+// contract: every interesting query survives, boring ones are sampled, and
+// both the record count and the byte footprint stay within bounds.
+func TestRecorderRetainsEveryInterestingQuery(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(RecorderConfig{
+		Capacity:    256,
+		MaxBytes:    1 << 20,
+		SampleEvery: 8,
+		Metrics:     reg,
+	})
+	rng := rand.New(rand.NewSource(7))
+	interesting := map[string]bool{}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		qid := fmt.Sprintf("q-%04d", i)
+		lq := rec.Begin(qid, "SELECT ...")
+		lq.Exchange("R1", "sq", 64)
+		info := EndInfo{Items: 3}
+		switch draw := rng.Float64(); {
+		case draw < 0.02:
+			info.Err = errors.New("replica exhausted")
+		case draw < 0.04:
+			info.Hedges = 1
+		case draw < 0.05:
+			info.Failovers = 1
+		case draw < 0.06:
+			info.Repaired = true
+		}
+		if info.Err != nil || info.Hedges > 0 || info.Failovers > 0 || info.Repaired {
+			interesting[qid] = true
+		}
+		rec.End(lq, info)
+	}
+	if len(interesting) == 0 || len(interesting) > 256 {
+		t.Fatalf("workload drew %d interesting queries; the seed should give a tail that fits capacity", len(interesting))
+	}
+
+	// 100% of the interesting tail survives the boring flood.
+	for qid := range interesting {
+		if _, ok := rec.Get(qid); !ok {
+			t.Fatalf("interesting query %s was evicted", qid)
+		}
+	}
+	idx := rec.Index()
+	if len(idx) > 256 {
+		t.Fatalf("retained %d records, capacity 256", len(idx))
+	}
+	if rec.RetainedBytes() > 1<<20 {
+		t.Fatalf("retained %d bytes, bound 1MiB", rec.RetainedBytes())
+	}
+	boring := 0
+	for _, s := range idx {
+		if s.Sampled {
+			boring++
+			continue
+		}
+		if !interesting[s.QueryID] {
+			t.Fatalf("record %s retained unsampled but never marked interesting: %+v", s.QueryID, s)
+		}
+	}
+	// Boring retention is a 1-in-8 sample of ~1880 clean queries, further
+	// trimmed by eviction; it must be present but nowhere near the flood.
+	if boring == 0 || boring > n/8 {
+		t.Fatalf("boring sample count %d outside (0, %d]", boring, n/8)
+	}
+
+	// The recorder's own accounting agrees with what was kept: every query
+	// either entered the ring or was dropped by sampling, and the ring holds
+	// exactly the entered-minus-evicted survivors.
+	entered := counterSum(reg, MTraceRetained)
+	sampledOut := counterPoint(reg, MTraceDropped, "reason", "sampled")
+	evicted := counterPoint(reg, MTraceDropped, "reason", "evicted")
+	if entered+sampledOut != n {
+		t.Fatalf("entered %d + sampled-out %d != %d queries", entered, sampledOut, n)
+	}
+	if entered-evicted != len(idx) {
+		t.Fatalf("entered %d - evicted %d != %d retained records", entered, evicted, len(idx))
+	}
+	if live := len(rec.Live()); live != 0 {
+		t.Fatalf("%d queries still live after the workload", live)
+	}
+}
+
+func counterSum(reg *Registry, name string) int {
+	total := 0
+	for _, fam := range reg.Snapshot() {
+		if fam.Name != name {
+			continue
+		}
+		for _, p := range fam.Points {
+			total += int(p.Value)
+		}
+	}
+	return total
+}
+
+func counterPoint(reg *Registry, name, label, value string) int {
+	total := 0
+	for _, fam := range reg.Snapshot() {
+		if fam.Name != name {
+			continue
+		}
+		for _, p := range fam.Points {
+			if p.Labels[label] == value {
+				total += int(p.Value)
+			}
+		}
+	}
+	return total
+}
+
+// TestRecorderEvictsBoringBeforeInteresting overfills the ring and checks the
+// eviction order: the boring records go first, oldest first.
+func TestRecorderEvictsBoringBeforeInteresting(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{Capacity: 4, SampleEvery: 1})
+	end := func(qid string, err error) {
+		var info EndInfo
+		info.Err = err
+		rec.End(rec.Begin(qid, ""), info)
+	}
+	end("boring-1", nil)
+	end("err-1", errors.New("x"))
+	end("boring-2", nil)
+	end("err-2", errors.New("x"))
+	end("err-3", errors.New("x"))
+	end("err-4", errors.New("x"))
+
+	if _, ok := rec.Get("boring-1"); ok {
+		t.Fatal("oldest boring record survived past capacity")
+	}
+	if _, ok := rec.Get("boring-2"); ok {
+		t.Fatal("boring record outlived interesting ones")
+	}
+	for _, qid := range []string{"err-1", "err-2", "err-3", "err-4"} {
+		if _, ok := rec.Get(qid); !ok {
+			t.Fatalf("interesting record %s evicted while boring ones existed", qid)
+		}
+	}
+}
+
+// TestRecorderSlowQueryLog checks the slow path: a query at or above the
+// threshold is marked slow, always retained, counted, and logged.
+func TestRecorderSlowQueryLog(t *testing.T) {
+	var logged []string
+	reg := NewRegistry()
+	rec := NewRecorder(RecorderConfig{
+		SlowThreshold: time.Nanosecond, // every real query qualifies
+		SampleEvery:   1 << 30,         // sampling would drop it if slowness didn't protect it
+		Logf: func(format string, args ...any) {
+			logged = append(logged, fmt.Sprintf(format, args...))
+		},
+		Metrics: reg,
+	})
+	lq := rec.Begin("q-slow", "SELECT L FROM dmv")
+	time.Sleep(time.Millisecond)
+	rec.End(lq, EndInfo{Items: 1})
+
+	recd, ok := rec.Get("q-slow")
+	if !ok || !recd.Slow || recd.Sampled {
+		t.Fatalf("slow query not retained as interesting: ok=%t rec=%+v", ok, recd)
+	}
+	if got := reg.Counter(MSlowQueries).Value(); got != 1 {
+		t.Fatalf("fq_slow_queries_total = %d, want 1", got)
+	}
+	if len(logged) != 1 || !strings.Contains(logged[0], "qid=q-slow") {
+		t.Fatalf("slow-query log = %q, want one line naming the qid", logged)
+	}
+}
+
+// TestRecorderLiveRegistry checks the in-flight view: Begin makes a query
+// visible with its accumulated per-source traffic, End removes it.
+func TestRecorderLiveRegistry(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{})
+	lq := rec.Begin("q-live", "SELECT ...")
+	lq.Exchange("R1", "sq", 100)
+	lq.Exchange("R1", "sjq", 28)
+	lq.Exchange("R2", "lq", 512)
+
+	live := rec.Live()
+	if len(live) != 1 || live[0].QueryID != "q-live" {
+		t.Fatalf("live = %+v, want the one in-flight query", live)
+	}
+	r1 := live[0].Sources["R1"]
+	if r1.Exchanges != 2 || r1.Bytes != 128 || r1.LastOp != "sjq" {
+		t.Fatalf("R1 live source info = %+v", r1)
+	}
+	if live[0].Bytes != 640 {
+		t.Fatalf("live bytes = %d, want 640", live[0].Bytes)
+	}
+
+	rec.End(lq, EndInfo{})
+	if len(rec.Live()) != 0 {
+		t.Fatal("query still live after End")
+	}
+}
+
+// TestRecorderNilSafety exercises the disabled path: nil recorders and nil
+// live queries are inert, so call sites never branch on recording being on.
+func TestRecorderNilSafety(t *testing.T) {
+	var rec *Recorder
+	lq := rec.Begin("q", "text")
+	if lq != nil {
+		t.Fatalf("nil recorder minted a live query: %+v", lq)
+	}
+	lq.Exchange("R1", "sq", 1) // must not panic
+	lq.setStep(KindPhase, "plan")
+	rec.End(lq, EndInfo{})
+	if rec.Live() != nil || rec.Index() != nil || rec.RetainedBytes() != 0 {
+		t.Fatal("nil recorder reported state")
+	}
+	if _, ok := rec.Get("q"); ok {
+		t.Fatal("nil recorder returned a record")
+	}
+	data, err := rec.ExportJSON()
+	if err != nil || !strings.Contains(string(data), "records") {
+		t.Fatalf("nil recorder export = %q, %v", data, err)
+	}
+}

@@ -51,11 +51,15 @@ type instrument struct {
 
 	val atomic.Int64 // counter / gauge value
 
-	// histogram state, guarded by mu.
-	mu     sync.Mutex
-	counts []int64 // one per bucket, plus +Inf at the end
-	sum    float64
-	count  int64
+	// histogram state, guarded by mu. buckets is the owning family's upper
+	// bounds at creation time (immutable): observations must bucket against
+	// the family's own bounds, not the package default, or a family with
+	// custom buckets would misfile every sample.
+	mu      sync.Mutex
+	buckets []float64
+	counts  []int64 // one per bucket, plus +Inf at the end
+	sum     float64
+	count   int64
 }
 
 // Counter is a monotonically increasing metric.
@@ -198,6 +202,7 @@ func (f *family) instrumentFor(labels []string) *instrument {
 	if !ok {
 		in = &instrument{labels: pairs}
 		if f.kind == kindHistogram {
+			in.buckets = f.buckets
 			in.counts = make([]int64, len(f.buckets)+1)
 		}
 		f.metrics[key] = in
@@ -292,7 +297,7 @@ func (h Histogram) Observe(v float64) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	idx := len(in.counts) - 1 // +Inf
-	for i, ub := range DefaultBuckets {
+	for i, ub := range in.buckets {
 		if v <= ub {
 			idx = i
 			break
@@ -395,6 +400,38 @@ func (r *Registry) Snapshot() []MetricFamily {
 // MarshalJSON renders the snapshot as a JSON array of metric families.
 func (r *Registry) MarshalJSON() ([]byte, error) {
 	return json.Marshal(r.Snapshot())
+}
+
+// LabelValues returns the distinct values the given label takes across every
+// series of family name, sorted. Cardinality guards use it to assert that a
+// label set stays bounded by a known roster (e.g. per-endpoint fabric series
+// never outgrow the registered replica set).
+func (r *Registry) LabelValues(name, label string) []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	f := r.families[name]
+	r.mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	seen := map[string]bool{}
+	for _, in := range f.metrics {
+		for i := 0; i+1 < len(in.labels); i += 2 {
+			if in.labels[i] == label {
+				seen[in.labels[i+1]] = true
+			}
+		}
+	}
+	f.mu.Unlock()
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func formatBound(v float64) string {

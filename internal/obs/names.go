@@ -69,6 +69,24 @@ const (
 	// logical exchanges through the fabric — failover and hedging included —
 	// labeled by logical source. This is the distribution hedging tightens.
 	MLogicalExchangeSeconds = "fq_logical_exchange_seconds"
+	// MWireBytesIn / MWireBytesOut count semantic payload bytes crossing the
+	// wire server, labeled by op: condition/item/filter bytes in, item/tuple
+	// bytes out. Computed identically to the byte counts in server-side span
+	// fragments, so the oracle can reconcile the two.
+	MWireBytesIn  = "fq_wire_bytes_in_total"
+	MWireBytesOut = "fq_wire_bytes_out_total"
+	// MTraceRetained counts query records kept by the flight recorder,
+	// labeled by class (interesting | sampled); MTraceDropped counts records
+	// it let go, labeled by reason (sampled | evicted). MTraceBytes is the
+	// recorder's approximate retained-bytes footprint.
+	MTraceRetained = "fq_trace_retained_total"
+	MTraceDropped  = "fq_trace_dropped_total"
+	MTraceBytes    = "fq_trace_bytes"
+	// MLiveQueries is the number of queries currently in flight through the
+	// flight recorder's live registry.
+	MLiveQueries = "fq_live_queries"
+	// MSlowQueries counts queries at or above the recorder's slow threshold.
+	MSlowQueries = "fq_slow_queries_total"
 )
 
 // DescribeAll registers help text and type for every canonical metric on r,
@@ -101,6 +119,13 @@ func DescribeAll(r *Registry) {
 		{MFailovers, kindCounter, "Exchanges re-issued on another replica after a failure."},
 		{MReplans, kindCounter, "Mid-query roster repairs re-planned over surviving sources."},
 		{MLogicalExchangeSeconds, kindHistogram, "Wall-clock whole-logical-exchange latency in seconds."},
+		{MWireBytesIn, kindCounter, "Semantic request payload bytes received by the wire server, by op."},
+		{MWireBytesOut, kindCounter, "Semantic response payload bytes sent by the wire server, by op."},
+		{MTraceRetained, kindCounter, "Query records retained by the flight recorder, by class."},
+		{MTraceDropped, kindCounter, "Query records dropped by the flight recorder, by reason."},
+		{MTraceBytes, kindGauge, "Approximate bytes of query records the flight recorder holds."},
+		{MLiveQueries, kindGauge, "Queries currently in flight through the recorder's live registry."},
+		{MSlowQueries, kindCounter, "Queries at or above the flight recorder's slow threshold."},
 	} {
 		r.describeTyped(d.name, d.kind, d.help)
 	}

@@ -39,6 +39,10 @@ type Obs struct {
 	// Metrics receives counters, gauges and histogram observations; nil
 	// disables them.
 	Metrics *Registry
+	// Live is this query's entry in the flight recorder's in-flight
+	// registry (see Recorder.Begin); nil when no recorder is attached.
+	// All LiveQuery methods are nil-safe.
+	Live *LiveQuery
 }
 
 // noop is returned by From for contexts without an Obs, so callers can use
@@ -76,6 +80,10 @@ func QueryID(ctx context.Context) string { return From(ctx).QueryID }
 // Meter returns the context's metrics registry (possibly nil; all Registry
 // methods are nil-safe).
 func Meter(ctx context.Context) *Registry { return From(ctx).Metrics }
+
+// LiveOf returns the context's live-query registry entry (possibly nil; all
+// LiveQuery methods are nil-safe).
+func LiveOf(ctx context.Context) *LiveQuery { return From(ctx).Live }
 
 // queryIDPrefix distinguishes processes so query IDs from different
 // mediators rarely collide in merged logs; queryIDSeq orders queries within

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RenderTrace renders spans as an indented tree, one line per span. For an
+// exchange that went over the wire it decomposes the elapsed time into the
+// three quantities the federation story is about:
+//
+//	wait   time the mediator spent around the round trip (scheduling,
+//	       encode/decode) — exchange duration minus wire duration
+//	server time the remote server itself reported working (its grafted
+//	       fragment's duration)
+//	wire   time on the network — wire duration minus server work
+//
+// Spans that never ended render with "…" in place of a duration, so a leaked
+// span is visible in the output rather than silently zero.
+func RenderTrace(spans []SpanData) string {
+	byID := make(map[int64]SpanData, len(spans))
+	children := map[int64][]SpanData{}
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+		children[sp.Parent] = append(children[sp.Parent], sp)
+	}
+	for _, kids := range children {
+		sort.SliceStable(kids, func(a, b int) bool { return kids[a].ID < kids[b].ID })
+	}
+	var b strings.Builder
+	var roots []SpanData
+	for _, sp := range spans {
+		if _, ok := byID[sp.Parent]; !ok || sp.Parent == 0 {
+			roots = append(roots, sp)
+		}
+	}
+	sort.SliceStable(roots, func(a, b int) bool { return roots[a].ID < roots[b].ID })
+	for _, root := range roots {
+		renderSpan(&b, root, children, 0)
+	}
+	return b.String()
+}
+
+func renderSpan(b *strings.Builder, sp SpanData, children map[int64][]SpanData, depth int) {
+	fmt.Fprintf(b, "%s%s %s %s", strings.Repeat("  ", depth), sp.Kind, sp.Name, renderDur(sp))
+	if split := renderSplit(sp, children); split != "" {
+		fmt.Fprintf(b, " (%s)", split)
+	}
+	if sp.Error != "" {
+		fmt.Fprintf(b, " error=%q", sp.Error)
+	}
+	b.WriteByte('\n')
+	for _, kid := range children[sp.ID] {
+		renderSpan(b, kid, children, depth+1)
+	}
+}
+
+func renderDur(sp SpanData) string {
+	if !sp.Finished {
+		return "…"
+	}
+	return fmtDur(sp.DurationUS)
+}
+
+func fmtDur(us int64) string {
+	d := time.Duration(us) * time.Microsecond
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.String()
+	}
+}
+
+// renderSplit computes the mediator-wait / server-work / wire-time split for
+// an exchange (or bare wire) span whose descendants include a wire round trip
+// and, when the server spoke the fragment extension, a grafted server span.
+func renderSplit(sp SpanData, children map[int64][]SpanData) string {
+	var wireSp, serverSp *SpanData
+	switch sp.Kind {
+	case KindExchange:
+		for _, kid := range children[sp.ID] {
+			if kid.Kind == KindWire {
+				w := kid
+				wireSp = &w
+				break
+			}
+		}
+	case KindWire:
+		// A wire span whose parent is an exchange is summarized on the
+		// exchange line; only orphaned wire spans (e.g. streaming pumps)
+		// report their own split.
+		return ""
+	default:
+		return ""
+	}
+	if wireSp == nil {
+		return ""
+	}
+	for _, kid := range children[wireSp.ID] {
+		if kid.Kind == KindServer {
+			s := kid
+			serverSp = &s
+			break
+		}
+	}
+	if !sp.Finished || !wireSp.Finished {
+		return ""
+	}
+	wait := sp.DurationUS - wireSp.DurationUS
+	if wait < 0 {
+		wait = 0
+	}
+	if serverSp == nil {
+		return fmt.Sprintf("wait=%s wire=%s", fmtDur(wait), fmtDur(wireSp.DurationUS))
+	}
+	wire := wireSp.DurationUS - serverSp.DurationUS
+	if wire < 0 {
+		wire = 0
+	}
+	return fmt.Sprintf("wait=%s server=%s wire=%s", fmtDur(wait), fmtDur(serverSp.DurationUS), fmtDur(wire))
+}

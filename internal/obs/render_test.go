@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRenderTraceSplit checks the wait/server/wire decomposition on an
+// exchange line: with a grafted server fragment the elapsed time splits
+// three ways; without one it degrades to wait/wire; and the split never goes
+// negative when the children overrun their parent.
+func TestRenderTraceSplit(t *testing.T) {
+	base := time.Now()
+	spans := []SpanData{
+		{ID: 1, Kind: KindExchange, Name: "sq R1", Start: base, DurationUS: 1000, Finished: true},
+		{ID: 2, Parent: 1, Kind: KindWire, Name: "sq @ host", Start: base.Add(100 * time.Microsecond), DurationUS: 600, Finished: true},
+		{ID: 3, Parent: 2, Kind: KindServer, Name: "server sq @ R1", Start: base.Add(200 * time.Microsecond), DurationUS: 250, Finished: true},
+	}
+	out := RenderTrace(spans)
+	if !strings.Contains(out, "(wait=400µs server=250µs wire=350µs)") {
+		t.Fatalf("exchange line lacks the three-way split:\n%s", out)
+	}
+	// The wire child under an exchange must not repeat the split on its own
+	// line — the exchange line owns the summary.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "wire sq @ host") && strings.Contains(line, "wait=") {
+			t.Fatalf("wire child repeats the split:\n%s", out)
+		}
+	}
+
+	// No grafted fragment (a v1 server): wait/wire only.
+	out = RenderTrace(spans[:2])
+	if !strings.Contains(out, "(wait=400µs wire=600µs)") {
+		t.Fatalf("fragment-free exchange lacks wait/wire split:\n%s", out)
+	}
+
+	// A server fragment clamped to the full wire time leaves zero wire time,
+	// never a negative one.
+	over := []SpanData{
+		{ID: 1, Kind: KindExchange, Name: "sq R1", Start: base, DurationUS: 500, Finished: true},
+		{ID: 2, Parent: 1, Kind: KindWire, Name: "sq @ host", Start: base, DurationUS: 600, Finished: true},
+		{ID: 3, Parent: 2, Kind: KindServer, Name: "server sq @ R1", Start: base, DurationUS: 700, Finished: true},
+	}
+	out = RenderTrace(over)
+	if !strings.Contains(out, "wait=0s") || !strings.Contains(out, "wire=0s") {
+		t.Fatalf("overrun split went negative:\n%s", out)
+	}
+}
+
+// TestRenderTraceUnfinishedSpan keeps leaked spans visible: a span that
+// never ended renders with an ellipsis, not a bogus zero duration.
+func TestRenderTraceUnfinishedSpan(t *testing.T) {
+	out := RenderTrace([]SpanData{{ID: 1, Kind: KindQuery, Name: "q"}})
+	if !strings.Contains(out, "query q …") {
+		t.Fatalf("unfinished span not marked:\n%s", out)
+	}
+}

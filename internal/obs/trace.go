@@ -13,7 +13,9 @@ import (
 // (stats gathering, optimization, execution, fetch); a step span covers one
 // plan step; an attempt span covers one issue of a retryable operation; an
 // exchange span covers one accounted source exchange; a wire span covers one
-// request/response round trip to a remote source.
+// request/response round trip to a remote source; a server span is a remote
+// server's own timing fragment, grafted under the wire span that carried it
+// (see Graft and internal/wire's fragment extension).
 const (
 	KindQuery    = "query"
 	KindPhase    = "phase"
@@ -21,6 +23,7 @@ const (
 	KindAttempt  = "attempt"
 	KindExchange = "exchange"
 	KindWire     = "wire"
+	KindServer   = "server"
 )
 
 // Trace collects the spans of one query — or of several queries, when a
@@ -79,6 +82,11 @@ type SpanData struct {
 // span; all Span methods are nil-safe, so call sites need no branches.
 func StartSpan(ctx context.Context, kind, name string) (context.Context, *Span) {
 	o := From(ctx)
+	if o.Live != nil && (kind == KindPhase || kind == KindStep) {
+		// Keep the flight recorder's live registry current: phase and step
+		// starts are the "where is this query right now" signal.
+		o.Live.setStep(kind, name)
+	}
 	if o.Trace == nil {
 		return ctx, nil
 	}
@@ -98,6 +106,51 @@ func (t *Trace) start(parent int64, queryID, kind, name string) *Span {
 		kind:    kind,
 		name:    name,
 		start:   time.Now(),
+	}
+	t.spans = append(t.spans, sp)
+	return sp
+}
+
+// Graft appends an already-timed, already-finished span to the context's
+// trace as a child of parent — the mechanism by which a remote server's
+// self-reported timing fragment (internal/wire) lands inside the mediator's
+// trace. The caller supplies the absolute start and duration, normalized
+// into the parent's envelope beforehand (the wire client centers the server
+// interval in the round trip and clamps it, so nesting holds even under
+// clock skew). A nil parent grafts a root span. Without a Trace in ctx it
+// returns nil; the result needs no End — the span is born finished, which
+// is why spanbalance does not require a matching End for Graft results.
+func Graft(ctx context.Context, parent *Span, kind, name string, start time.Time, d time.Duration, attrs map[string]string) *Span {
+	o := From(ctx)
+	if o.Trace == nil {
+		return nil
+	}
+	var parentID int64
+	if parent != nil {
+		parentID = parent.id
+	}
+	if d < 0 {
+		d = 0
+	}
+	t := o.Trace
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	sp := &Span{
+		id:       t.nextID,
+		parent:   parentID,
+		queryID:  o.QueryID,
+		kind:     kind,
+		name:     name,
+		start:    start,
+		end:      start.Add(d),
+		finished: true,
+	}
+	if len(attrs) > 0 {
+		sp.attrs = make(map[string]string, len(attrs))
+		for k, v := range attrs {
+			sp.attrs[k] = v
+		}
 	}
 	t.spans = append(t.spans, sp)
 	return sp

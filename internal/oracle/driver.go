@@ -38,6 +38,12 @@ type Driver struct {
 	// by the shrinker self-test. Never set outside tests.
 	MutateClass string
 	Mutate      func(set.Set) set.Set
+
+	// Recorder, when non-nil, receives every plan execution as a flight-
+	// recorder entry (Begin/End around each run, trace attached), so a soak
+	// leaves a tail-retained artifact of what it executed — errors and slow
+	// runs kept, boring runs sampled. cmd/fqoracle dumps it with -flight.
+	Recorder *obs.Recorder
 }
 
 // planClass is one optimizer entry point under differential test.
@@ -204,6 +210,13 @@ func (d *Driver) Check(ctx context.Context, inst Instance) ([]Failure, error) {
 	if inst.Replicate {
 		fs = append(fs, d.checkChurn(ctx, ev, results)...)
 	}
+
+	// Phase 9: wire trace-completeness sweep — the sources go behind real
+	// loopback wire servers and every exchange must leave a grafted,
+	// skew-normalized, byte-reconciled server fragment in the trace.
+	if inst.WireTrace {
+		fs = append(fs, d.checkWireTrace(ctx, ev, results)...)
+	}
 	return fs, nil
 }
 
@@ -294,6 +307,7 @@ type runOpts struct {
 func (d *Driver) runPlan(ctx context.Context, ev *env, srcs []source.Source, cls string, p *plan.Plan, opts runOpts) []Failure {
 	ev.network.Reset()
 	o := &obs.Obs{QueryID: obs.NewQueryID(), Trace: obs.NewTrace(), Metrics: obs.NewRegistry()}
+	o.Live = d.Recorder.Begin(o.QueryID, cls+" ["+opts.mode+"]")
 	rctx := obs.With(ctx, o)
 	ex := &exec.Executor{
 		Sources:   srcs,
@@ -305,6 +319,8 @@ func (d *Driver) runPlan(ctx context.Context, ev *env, srcs []source.Source, cls
 		Retries:   opts.retries,
 	}
 	res, err := ex.Run(rctx, p)
+	d.Recorder.End(o.Live, obs.EndInfo{Err: err, Trace: o.Trace,
+		Items: res.Answer.Len(), Hedges: res.Hedges, Failovers: res.Failovers})
 	var fs []Failure
 
 	if err != nil {

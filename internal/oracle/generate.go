@@ -75,5 +75,7 @@ func Generate(seed int64) Instance {
 		in.Replicate = true
 		in.ChurnKillAll = rng.Float64() < 0.5
 	}
+	// Drawn last so enabling the sweep perturbs no earlier field.
+	in.WireTrace = rng.Float64() < 0.4
 	return in
 }

@@ -95,6 +95,11 @@ type Instance struct {
 	// exhaustion and never a wrong non-empty answer).
 	Replicate    bool `json:"replicate,omitempty"`
 	ChurnKillAll bool `json:"churnKillAll,omitempty"`
+	// WireTrace serves the sources over real loopback wire servers and runs
+	// the trace-completeness sweep: every exchange must leave a grafted,
+	// skew-normalized server fragment in the trace, and the fragments' byte
+	// counts must reconcile with the servers' fq_wire_bytes_* counters.
+	WireTrace bool `json:"wireTrace,omitempty"`
 }
 
 // JSON renders the instance as indented JSON — the repro artifact format of
@@ -154,7 +159,8 @@ type Failure struct {
 	// "partial-dishonest", "error-class", "cost-bookkeeping",
 	// "cost-dominance", "seq-identity", "par-response", "span-unfinished",
 	// "metric-imbalance", "gauge-leak", "cache-reuse", "optimize-error",
-	// "exec-error".
+	// "exec-error", "wire-frag-missing", "wire-frag-nesting",
+	// "wire-bytes-mismatch".
 	Property string `json:"property"`
 	// Class is the plan class involved ("filter", "sja+", "jou", ...).
 	Class string `json:"class,omitempty"`

@@ -78,6 +78,13 @@ var shrinkTransforms = []struct {
 		in.CacheRuns = false
 		return in, true
 	}},
+	{"drop-wiretrace", func(in Instance) (Instance, bool) {
+		if !in.WireTrace {
+			return in, false
+		}
+		in.WireTrace = false
+		return in, true
+	}},
 	{"drop-zipf", func(in Instance) (Instance, bool) {
 		if !in.Zipf {
 			return in, false

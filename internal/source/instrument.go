@@ -86,23 +86,33 @@ func (s *Instrumented) ResetCounters() {
 	s.counters = Counters{}
 }
 
+// begin opens the exchange span that envelops the inner operation, so wire
+// round trips (and their grafted server fragments) run inside it: RenderTrace
+// can then split the exchange line into mediator-wait / server-work /
+// wire-time. The span is ended by record on success or by the caller on an
+// inner error.
+func (s *Instrumented) begin(ctx context.Context, kind string) (context.Context, *obs.Span) {
+	ctx, sp := obs.StartSpan(ctx, obs.KindExchange, kind+" @ "+s.inner.Name())
+	sp.SetAttr("source", s.inner.Name())
+	return ctx, sp
+}
+
 // record accounts one completed exchange: the counters always accrue (the
 // inner operation did run), and the network charge honors ctx — in
 // real-time network mode a deadline can interrupt the exchange, in which
 // case the error (wrapping ctx.Err()) is returned and the caller must
 // discard the operation's result. When the context carries an Obs, the
-// exchange is also visible as an exchange span and as per-source byte
-// counters and a simulated-latency histogram.
-func (s *Instrumented) record(ctx context.Context, kind string, reqBytes, respBytes int, update func(*Counters)) error {
+// exchange is also visible as per-source byte counters and a
+// simulated-latency histogram, and the span begin opened is closed here.
+func (s *Instrumented) record(ctx context.Context, sp *obs.Span, kind string, reqBytes, respBytes int, update func(*Counters)) error {
 	s.mu.Lock()
 	update(&s.counters)
 	s.mu.Unlock()
 	name := s.inner.Name()
-	_, sp := obs.StartSpan(ctx, obs.KindExchange, kind+" @ "+name)
-	sp.SetAttr("source", name)
 	met := obs.Meter(ctx)
 	met.Counter(obs.MBytesSent, "source", name).Add(int64(reqBytes))
 	met.Counter(obs.MBytesReceived, "source", name).Add(int64(respBytes))
+	obs.LiveOf(ctx).Exchange(name, kind, int64(reqBytes+respBytes))
 	if s.net != nil {
 		d, err := s.net.ExchangeContext(ctx, name, kind, reqBytes, respBytes)
 		if err != nil {
@@ -118,11 +128,13 @@ func (s *Instrumented) record(ctx context.Context, kind string, reqBytes, respBy
 
 // Select implements Source.
 func (s *Instrumented) Select(ctx context.Context, c cond.Cond) (set.Set, error) {
+	ctx, sp := s.begin(ctx, "sq")
 	out, err := s.inner.Select(ctx, c)
 	if err != nil {
+		sp.End(err)
 		return out, err
 	}
-	if err := s.record(ctx, "sq", queryHeaderBytes+len(c.String()), out.Bytes(), func(ct *Counters) {
+	if err := s.record(ctx, sp, "sq", queryHeaderBytes+len(c.String()), out.Bytes(), func(ct *Counters) {
 		ct.SelectQueries++
 		ct.ItemsReceived += out.Len()
 	}); err != nil {
@@ -133,11 +145,13 @@ func (s *Instrumented) Select(ctx context.Context, c cond.Cond) (set.Set, error)
 
 // Semijoin implements Source.
 func (s *Instrumented) Semijoin(ctx context.Context, c cond.Cond, y set.Set) (set.Set, error) {
+	ctx, sp := s.begin(ctx, "sjq")
 	out, err := s.inner.Semijoin(ctx, c, y)
 	if err != nil {
+		sp.End(err)
 		return out, err
 	}
-	if err := s.record(ctx, "sjq", queryHeaderBytes+len(c.String())+y.Bytes(), out.Bytes(), func(ct *Counters) {
+	if err := s.record(ctx, sp, "sjq", queryHeaderBytes+len(c.String())+y.Bytes(), out.Bytes(), func(ct *Counters) {
 		ct.SemijoinQueries++
 		ct.ItemsSent += y.Len()
 		ct.ItemsReceived += out.Len()
@@ -149,15 +163,17 @@ func (s *Instrumented) Semijoin(ctx context.Context, c cond.Cond, y set.Set) (se
 
 // SelectBinding implements Source.
 func (s *Instrumented) SelectBinding(ctx context.Context, c cond.Cond, item string) (bool, error) {
+	ctx, sp := s.begin(ctx, "sq")
 	ok, err := s.inner.SelectBinding(ctx, c, item)
 	if err != nil {
+		sp.End(err)
 		return ok, err
 	}
 	resp := 0
 	if ok {
 		resp = len(item)
 	}
-	if err := s.record(ctx, "sq", queryHeaderBytes+len(c.String())+len(item), resp, func(ct *Counters) {
+	if err := s.record(ctx, sp, "sq", queryHeaderBytes+len(c.String())+len(item), resp, func(ct *Counters) {
 		ct.BindingQueries++
 		ct.ItemsSent++
 		if ok {
@@ -210,7 +226,10 @@ func (it *instrumentedStream) Next(ctx context.Context) ([]string, error) {
 	for _, v := range batch {
 		resp += len(v)
 	}
-	if err := it.src.record(ctx, kind, req, resp, func(ct *Counters) {
+	// The batch was pulled by a background pump, so its wire span cannot nest
+	// here; the exchange span records the per-batch accounting only.
+	ctx, sp := it.src.begin(ctx, kind)
+	if err := it.src.record(ctx, sp, kind, req, resp, func(ct *Counters) {
 		if kind == "sq" {
 			ct.SelectQueries++
 		}
@@ -225,11 +244,13 @@ func (it *instrumentedStream) Close() error { return it.inner.Close() }
 
 // Load implements Source.
 func (s *Instrumented) Load(ctx context.Context) (*relation.Relation, error) {
+	ctx, sp := s.begin(ctx, "lq")
 	rel, err := s.inner.Load(ctx)
 	if err != nil {
+		sp.End(err)
 		return nil, err
 	}
-	if err := s.record(ctx, "lq", queryHeaderBytes, rel.Bytes(), func(ct *Counters) {
+	if err := s.record(ctx, sp, "lq", queryHeaderBytes, rel.Bytes(), func(ct *Counters) {
 		ct.LoadQueries++
 	}); err != nil {
 		return nil, err
@@ -240,11 +261,13 @@ func (s *Instrumented) Load(ctx context.Context) (*relation.Relation, error) {
 // SemijoinBloom implements Source: one exchange shipping the Bloom filter
 // and receiving the positive items (including false positives).
 func (s *Instrumented) SemijoinBloom(ctx context.Context, c cond.Cond, f *bloom.Filter) (set.Set, error) {
+	ctx, sp := s.begin(ctx, "sjqb")
 	out, err := s.inner.SemijoinBloom(ctx, c, f)
 	if err != nil {
+		sp.End(err)
 		return out, err
 	}
-	if err := s.record(ctx, "sjqb", queryHeaderBytes+len(c.String())+f.Bytes(), out.Bytes(), func(ct *Counters) {
+	if err := s.record(ctx, sp, "sjqb", queryHeaderBytes+len(c.String())+f.Bytes(), out.Bytes(), func(ct *Counters) {
 		ct.SemijoinQueries++
 		ct.ItemsReceived += out.Len()
 	}); err != nil {
@@ -256,11 +279,13 @@ func (s *Instrumented) SemijoinBloom(ctx context.Context, c cond.Cond, f *bloom.
 // SelectRecords implements Source: one exchange shipping the condition and
 // receiving the matching items' full records.
 func (s *Instrumented) SelectRecords(ctx context.Context, c cond.Cond) ([]relation.Tuple, error) {
+	ctx, sp := s.begin(ctx, "sqr")
 	tuples, err := s.inner.SelectRecords(ctx, c)
 	if err != nil {
+		sp.End(err)
 		return nil, err
 	}
-	if err := s.record(ctx, "sqr", queryHeaderBytes+len(c.String()), tuplesBytes(tuples), func(ct *Counters) {
+	if err := s.record(ctx, sp, "sqr", queryHeaderBytes+len(c.String()), tuplesBytes(tuples), func(ct *Counters) {
 		ct.SelectQueries++
 		ct.ItemsReceived += len(tuples)
 	}); err != nil {
@@ -272,11 +297,13 @@ func (s *Instrumented) SelectRecords(ctx context.Context, c cond.Cond) ([]relati
 // SemijoinRecords implements Source: one exchange shipping the semijoin set
 // and receiving the surviving items' full records.
 func (s *Instrumented) SemijoinRecords(ctx context.Context, c cond.Cond, y set.Set) ([]relation.Tuple, error) {
+	ctx, sp := s.begin(ctx, "sjqr")
 	tuples, err := s.inner.SemijoinRecords(ctx, c, y)
 	if err != nil {
+		sp.End(err)
 		return nil, err
 	}
-	if err := s.record(ctx, "sjqr", queryHeaderBytes+len(c.String())+y.Bytes(), tuplesBytes(tuples), func(ct *Counters) {
+	if err := s.record(ctx, sp, "sjqr", queryHeaderBytes+len(c.String())+y.Bytes(), tuplesBytes(tuples), func(ct *Counters) {
 		ct.SemijoinQueries++
 		ct.ItemsSent += y.Len()
 		ct.ItemsReceived += len(tuples)
@@ -298,11 +325,13 @@ func tuplesBytes(tuples []relation.Tuple) int {
 
 // Fetch implements Source.
 func (s *Instrumented) Fetch(ctx context.Context, items set.Set) ([]relation.Tuple, error) {
+	ctx, sp := s.begin(ctx, "fetch")
 	tuples, err := s.inner.Fetch(ctx, items)
 	if err != nil {
+		sp.End(err)
 		return nil, err
 	}
-	if err := s.record(ctx, "fetch", queryHeaderBytes+items.Bytes(), tuplesBytes(tuples), func(ct *Counters) {
+	if err := s.record(ctx, sp, "fetch", queryHeaderBytes+items.Bytes(), tuplesBytes(tuples), func(ct *Counters) {
 		ct.FetchQueries++
 		ct.ItemsSent += items.Len()
 	}); err != nil {

@@ -110,12 +110,20 @@ func (c *Client) Close() error {
 //
 // The context's query ID (obs.QueryID) rides along in the request, so the
 // server's log lines correlate with the mediator's trace, and each round
-// trip is recorded as a wire span.
+// trip is recorded as a wire span. Against a server that advertises the
+// fragment extension, the request asks for the server's own timing
+// fragment, which lands in the trace as a grafted child of the wire span.
 func (c *Client) roundTrip(ctx context.Context, req Request) (Response, error) {
 	req.QueryID = obs.QueryID(ctx)
+	if c.meta.Fragments {
+		req.Frag = true
+	}
 	_, sp := obs.StartSpan(ctx, obs.KindWire, req.Op+" @ "+c.addr)
 	resp, err := c.doRoundTrip(ctx, req)
 	sp.End(err)
+	if err == nil {
+		graftFragment(ctx, sp, resp.Frag)
+	}
 	return resp, err
 }
 

@@ -61,12 +61,20 @@ func TestQueryIDCorrelation(t *testing.T) {
 		t.Fatalf("server log line incomplete:\n%s", joined)
 	}
 
+	// One wire span for the round trip, plus the server's grafted fragment
+	// under it (the server advertises the fragment extension).
 	spans := tr.Export()
-	if len(spans) != 1 {
-		t.Fatalf("client recorded %d spans, want 1", len(spans))
+	if len(spans) != 2 {
+		t.Fatalf("client recorded %d spans, want 2 (wire + grafted server fragment): %+v", len(spans), spans)
 	}
 	if spans[0].Kind != obs.KindWire || spans[0].QueryID != qid {
 		t.Fatalf("wire span = %+v", spans[0])
+	}
+	if spans[1].Kind != obs.KindServer || spans[1].Parent != spans[0].ID || spans[1].QueryID != qid {
+		t.Fatalf("server fragment span = %+v, want kind=server parent=%d qid=%s", spans[1], spans[0].ID, qid)
+	}
+	if !spans[1].Finished {
+		t.Fatalf("grafted fragment span not finished: %+v", spans[1])
 	}
 
 	if got := reg.Counter(obs.MWireRequests, "op", OpSelect).Value(); got != 1 {

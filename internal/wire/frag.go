@@ -1,0 +1,52 @@
+package wire
+
+import (
+	"context"
+	"strconv"
+	"time"
+
+	"fusionq/internal/obs"
+)
+
+// graftFragment grafts a server-side span fragment into the mediator trace
+// as a finished child of the (already ended) wire span that carried it.
+//
+// Clock-skew normalization: the server reports only durations in its own
+// clock — its absolute timestamps are unusable across machines. Assuming
+// symmetric request/response transit, the server's working interval is
+// centered inside the round-trip envelope: start = wireStart + (rtt −
+// serverTotal)/2. The server total is clamped to the round trip first, so
+// the grafted span always nests inside the wire span no matter how skewed
+// the clocks are; only relative placement, never absolute server time, is
+// asserted.
+func graftFragment(ctx context.Context, sp *obs.Span, f *Fragment) {
+	if f == nil {
+		return
+	}
+	env := sp.Snapshot()
+	if !env.Finished {
+		// Nil span (tracing off) or a live one — nothing to anchor against.
+		return
+	}
+	rtt := time.Duration(env.DurationUS) * time.Microsecond
+	total := time.Duration(f.TotalUS) * time.Microsecond
+	if total > rtt {
+		total = rtt
+	}
+	if total < 0 {
+		total = 0
+	}
+	start := env.Start.Add((rtt - total) / 2)
+	attrs := map[string]string{
+		"op":         f.Op,
+		"source":     f.Source,
+		"queueUs":    strconv.FormatInt(f.QueueUS, 10),
+		"parseUs":    strconv.FormatInt(f.ParseUS, 10),
+		"scanUs":     strconv.FormatInt(f.ScanUS, 10),
+		"chunkUs":    strconv.FormatInt(f.ChunkUS, 10),
+		"queueDepth": strconv.Itoa(f.QueueDepth),
+		"bytesIn":    strconv.Itoa(f.BytesIn),
+		"bytesOut":   strconv.Itoa(f.BytesOut),
+	}
+	obs.Graft(ctx, sp, obs.KindServer, "server "+f.Op+" @ "+f.Source, start, total, attrs)
+}

@@ -57,6 +57,12 @@ type Request struct {
 	// send one unchunked response (whose absent More reads as false), and
 	// clients discover support through Meta.Chunking before relying on it.
 	Chunk int `json:"chunk,omitempty"`
+	// Frag asks the server to attach its span fragment — the server-side
+	// timing breakdown — to the (final) response. A third v1-compatible
+	// optional extension in the qid/chunk mold: old servers ignore the
+	// field, old clients never set it, and clients discover support through
+	// Meta.Fragments before relying on it.
+	Frag bool `json:"frag,omitempty"`
 }
 
 // Response is one server response.
@@ -76,6 +82,37 @@ type Response struct {
 	// More marks a chunked response with further chunks to follow; the
 	// final chunk (and every unchunked response) leaves it false.
 	More bool `json:"more,omitempty"`
+	// Frag is the server's span fragment, attached to the final (or only)
+	// response when the request set Frag and the server supports the
+	// extension.
+	Frag *Fragment `json:"frag,omitempty"`
+}
+
+// Fragment is a server-side span fragment: the server's own accounting of
+// one request — accept-to-dispatch queue wait, condition parse, source scan,
+// chunk emission — in the server's clock. Durations are microseconds; the
+// mediator grafts the fragment into its trace after normalizing the interval
+// against the round-trip envelope (the clocks need not agree, only tick at
+// the same rate). Byte counts are semantic payload bytes, computed exactly
+// as the server's fq_wire_bytes_* counters, so the two reconcile.
+type Fragment struct {
+	Source string `json:"source"`
+	Op     string `json:"op"`
+	// QueueUS is time from request receipt to dispatch start; QueueDepth is
+	// how many other requests this server had in dispatch at that moment.
+	QueueUS    int64 `json:"queueUs"`
+	QueueDepth int   `json:"queueDepth,omitempty"`
+	// ParseUS covers condition/filter parsing, ScanUS the source operation
+	// itself, ChunkUS chunk assembly and the emission of all but the final
+	// chunk. TotalUS is receipt-to-final-chunk, so it bounds the sum.
+	ParseUS int64 `json:"parseUs"`
+	ScanUS  int64 `json:"scanUs"`
+	ChunkUS int64 `json:"chunkUs"`
+	TotalUS int64 `json:"totalUs"`
+	// BytesIn counts condition/item/filter payload bytes in the request,
+	// BytesOut item/tuple payload bytes in the response.
+	BytesIn  int `json:"bytesIn"`
+	BytesOut int `json:"bytesOut"`
 }
 
 // Meta describes the served source.
@@ -92,6 +129,8 @@ type Meta struct {
 	Bytes          int       `json:"bytes"`
 	// Chunking advertises support for the Request.Chunk extension.
 	Chunking bool `json:"chunking,omitempty"`
+	// Fragments advertises support for the Request.Frag extension.
+	Fragments bool `json:"fragments,omitempty"`
 }
 
 // WireCol is a schema column on the wire.

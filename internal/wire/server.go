@@ -11,6 +11,7 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fusionq/internal/bloom"
@@ -53,6 +54,10 @@ type Server struct {
 	// operations; Shutdown leaves it alive so handlers can finish.
 	baseCtx context.Context
 	cancel  context.CancelFunc
+
+	// inflight counts requests currently in dispatch across all
+	// connections; fragments report it as their queue depth.
+	inflight atomic.Int64
 
 	mu     sync.Mutex
 	closed bool
@@ -219,17 +224,27 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return
 		}
-		resp := s.serve(req)
+		recv := time.Now()
+		resp, frag := s.serve(req, recv)
 		// Each chunk is flushed as soon as it is encoded, so a chunking
 		// client starts consuming items while later chunks are still being
 		// written — the wire half of streaming execution.
-		for _, chunk := range chunkResponses(req, resp) {
+		chunkStart := time.Now()
+		chunks := chunkResponses(req, resp)
+		for i := range chunks {
+			if frag != nil && i == len(chunks)-1 {
+				// The fragment rides the final chunk so it can account for
+				// the emission of every chunk before it.
+				frag.ChunkUS = time.Since(chunkStart).Microseconds()
+				frag.TotalUS = time.Since(recv).Microseconds()
+				chunks[i].Frag = frag
+			}
 			if s.cfg.WriteTimeout > 0 {
 				if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
 					return
 				}
 			}
-			if err := enc.Encode(chunk); err != nil {
+			if err := enc.Encode(chunks[i]); err != nil {
 				return
 			}
 			if err := w.Flush(); err != nil {
@@ -268,28 +283,82 @@ func chunkResponses(req Request, resp Response) []Response {
 	return out
 }
 
+// fragTimer accumulates the parse share of one dispatch, so the fragment
+// can split dispatch time into parse vs scan without instrumenting every op
+// case individually.
+type fragTimer struct{ parse time.Duration }
+
+// parseCond is cond.Parse with its cost charged to the fragment's parse
+// phase.
+func parseCond(ft *fragTimer, s string) (cond.Cond, error) {
+	start := time.Now()
+	c, err := cond.Parse(s)
+	ft.parse += time.Since(start)
+	return c, err
+}
+
+// requestBytes counts a request's semantic payload bytes: condition, item
+// and filter text. Framing and field names are deliberately excluded — the
+// fragment and the fq_wire_bytes_* counters must agree on one definition,
+// and payload bytes are the quantity the paper's cost model traffics in.
+func requestBytes(req Request) int {
+	n := len(req.Cond) + len(req.Item) + len(req.Filter)
+	for _, it := range req.Items {
+		n += len(it)
+	}
+	return n
+}
+
+// responseBytes counts a response's semantic payload bytes: items, tuple
+// values, a matched binding, error text.
+func responseBytes(resp Response) int {
+	n := len(resp.Error)
+	for _, it := range resp.Items {
+		n += len(it)
+	}
+	for _, t := range resp.Tuples {
+		for _, v := range t {
+			n += len(v.Raw)
+		}
+	}
+	if resp.Match {
+		n++
+	}
+	return n
+}
+
 // serve runs one request through dispatch with correlation and accounting:
 // the request's query ID is installed in the dispatch context and echoed in
 // the response, a structured log line ties the server-side work to the
-// mediator-side query, and the wire metrics are charged.
-func (s *Server) serve(req Request) Response {
+// mediator-side query, and the wire metrics are charged. recv is when the
+// request finished decoding; the gap to dispatch start is the fragment's
+// queue time. When the request asked for a fragment, the returned Fragment
+// has every field but the chunk/total timings filled in — the handle loop
+// completes those when it emits the final chunk.
+func (s *Server) serve(req Request, recv time.Time) (Response, *Fragment) {
 	ctx := s.baseCtx
 	if req.QueryID != "" {
 		o := *obs.From(s.baseCtx)
 		o.QueryID = req.QueryID
 		ctx = obs.With(s.baseCtx, &o)
 	}
+	depth := s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	ft := &fragTimer{}
 	start := time.Now()
-	resp := s.dispatch(ctx, req)
+	resp := s.dispatch(ctx, req, ft)
 	elapsed := time.Since(start)
 	resp.QueryID = req.QueryID
 
+	bytesIn, bytesOut := requestBytes(req), responseBytes(resp)
 	met := s.cfg.Metrics
 	met.Counter(obs.MWireRequests, "op", req.Op).Inc()
 	if resp.Error != "" {
 		met.Counter(obs.MWireErrors, "op", req.Op).Inc()
 	}
 	met.Histogram(obs.MWireSeconds).Observe(elapsed.Seconds())
+	met.Counter(obs.MWireBytesIn, "op", req.Op).Add(int64(bytesIn))
+	met.Counter(obs.MWireBytesOut, "op", req.Op).Add(int64(bytesOut))
 
 	if req.QueryID != "" {
 		status := "ok"
@@ -299,13 +368,30 @@ func (s *Server) serve(req Request) Response {
 		s.cfg.Logf("wire: qid=%s op=%s source=%s elapsed=%s %s",
 			req.QueryID, req.Op, s.src.Name(), elapsed.Round(time.Microsecond), status)
 	}
-	return resp
+	var frag *Fragment
+	if req.Frag {
+		scan := elapsed - ft.parse
+		if scan < 0 {
+			scan = 0
+		}
+		frag = &Fragment{
+			Source:     s.src.Name(),
+			Op:         req.Op,
+			QueueUS:    start.Sub(recv).Microseconds(),
+			QueueDepth: int(depth) - 1,
+			ParseUS:    ft.parse.Microseconds(),
+			ScanUS:     scan.Microseconds(),
+			BytesIn:    bytesIn,
+			BytesOut:   bytesOut,
+		}
+	}
+	return resp, frag
 }
 
-// dispatch executes one request against the wrapped source. ctx is the
-// server's base context: force-closing the server aborts in-flight
-// operations.
-func (s *Server) dispatch(ctx context.Context, req Request) Response {
+// dispatch executes one request against the wrapped source, charging parse
+// time to ft. ctx is the server's base context: force-closing the server
+// aborts in-flight operations.
+func (s *Server) dispatch(ctx context.Context, req Request, ft *fragTimer) Response {
 	fail := func(err error) Response { return Response{Error: err.Error()} }
 	switch req.Op {
 	case OpMeta:
@@ -323,9 +409,10 @@ func (s *Server) dispatch(ctx context.Context, req Request) Response {
 			Distinct:       distinct,
 			Bytes:          bytes,
 			Chunking:       true,
+			Fragments:      true,
 		}}
 	case OpSelect:
-		c, err := cond.Parse(req.Cond)
+		c, err := parseCond(ft, req.Cond)
 		if err != nil {
 			return fail(err)
 		}
@@ -335,7 +422,7 @@ func (s *Server) dispatch(ctx context.Context, req Request) Response {
 		}
 		return Response{Items: items.Slice()}
 	case OpSemi:
-		c, err := cond.Parse(req.Cond)
+		c, err := parseCond(ft, req.Cond)
 		if err != nil {
 			return fail(err)
 		}
@@ -345,7 +432,7 @@ func (s *Server) dispatch(ctx context.Context, req Request) Response {
 		}
 		return Response{Items: items.Slice()}
 	case OpBinding:
-		c, err := cond.Parse(req.Cond)
+		c, err := parseCond(ft, req.Cond)
 		if err != nil {
 			return fail(err)
 		}
@@ -375,7 +462,7 @@ func (s *Server) dispatch(ctx context.Context, req Request) Response {
 		}
 		return Response{Tuples: tuples}
 	case OpSelectRecs:
-		c, err := cond.Parse(req.Cond)
+		c, err := parseCond(ft, req.Cond)
 		if err != nil {
 			return fail(err)
 		}
@@ -389,7 +476,7 @@ func (s *Server) dispatch(ctx context.Context, req Request) Response {
 		}
 		return Response{Tuples: tuples}
 	case OpSemiBloom:
-		c, err := cond.Parse(req.Cond)
+		c, err := parseCond(ft, req.Cond)
 		if err != nil {
 			return fail(err)
 		}
@@ -403,7 +490,7 @@ func (s *Server) dispatch(ctx context.Context, req Request) Response {
 		}
 		return Response{Items: items.Slice()}
 	case OpSemiRecs:
-		c, err := cond.Parse(req.Cond)
+		c, err := parseCond(ft, req.Cond)
 		if err != nil {
 			return fail(err)
 		}

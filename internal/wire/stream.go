@@ -41,12 +41,16 @@ func (c *Client) SelectStream(ctx context.Context, cd cond.Cond, batch int) (set
 	}
 	_, sp := obs.StartSpan(ctx, obs.KindWire, OpSelect+"-stream @ "+c.addr)
 	st := &clientStream{c: c, sp: sp, notify: make(chan struct{}, 1)}
+	// The pump has no context of its own; close over this one so the
+	// fragment riding the final chunk can be grafted into its trace.
+	st.graft = func(f *Fragment) { graftFragment(ctx, sp, f) }
 	c.mu.Lock() // held until the pump finishes the transfer
 	if err := st.send(ctx, Request{
 		Op:      OpSelect,
 		QueryID: obs.QueryID(ctx),
 		Cond:    cd.String(),
 		Chunk:   batch,
+		Frag:    c.meta.Fragments,
 	}); err != nil {
 		sp.End(err)
 		c.mu.Unlock()
@@ -67,9 +71,10 @@ func normChunk(batch int) int {
 
 // clientStream is one in-flight chunked selection.
 type clientStream struct {
-	c    *Client
-	sp   *obs.Span
-	conn net.Conn // snapshot for Close; the pump owns c.conn itself
+	c     *Client
+	sp    *obs.Span
+	graft func(*Fragment)
+	conn  net.Conn // snapshot for Close; the pump owns c.conn itself
 
 	wg     sync.WaitGroup
 	notify chan struct{}
@@ -123,6 +128,7 @@ func (st *clientStream) pump() {
 	c := st.c
 	last, any := "", false
 	var perr error
+	var frag *Fragment
 	for {
 		var resp Response
 		if err := c.dec.Decode(&resp); err != nil {
@@ -162,6 +168,9 @@ func (st *clientStream) pump() {
 			st.mu.Unlock()
 			st.kick()
 		}
+		if resp.Frag != nil {
+			frag = resp.Frag // rides the final chunk
+		}
 		if !resp.More {
 			break
 		}
@@ -172,6 +181,9 @@ func (st *clientStream) pump() {
 	st.mu.Unlock()
 	st.kick()
 	st.sp.End(perr)
+	if perr == nil && frag != nil {
+		st.graft(frag)
+	}
 	c.mu.Unlock()
 }
 
