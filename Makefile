@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint fuzz bench oracle
+.PHONY: build test race lint lint-concurrency fuzz bench oracle
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,14 @@ lint:
 	$(GO) build -o bin/fqlint ./cmd/fqlint
 	$(GO) vet -vettool="$(CURDIR)/bin/fqlint" ./...
 	./bin/fqlint ./...
+
+# Just the concurrency-contract analyzers (CFG/dataflow based), in both
+# modes, plus the machine-readable report CI archives.
+lint-concurrency:
+	$(GO) build -o bin/fqlint ./cmd/fqlint
+	$(GO) vet -vettool="$(CURDIR)/bin/fqlint" -only=lockorder,blockinglock,chandiscipline ./...
+	./bin/fqlint -only lockorder,blockinglock,chandiscipline ./...
+	./bin/fqlint -only lockorder,blockinglock,chandiscipline -json ./... > fqlint-concurrency.json
 
 fuzz:
 	$(GO) test -fuzz=FuzzParseFusion -fuzztime=30s -run='^$$' ./internal/sqlparse

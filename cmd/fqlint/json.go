@@ -1,0 +1,38 @@
+// Machine-readable findings for CI artifacts and editor integrations:
+// fqlint -json prints one JSON object with a findings array (file, line,
+// col, analyzer, message), sorted by position — stable enough to diff
+// across runs.
+package main
+
+import (
+	"encoding/json"
+
+	"fusionq/internal/lint/analysis"
+)
+
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+type jsonReport struct {
+	Findings []jsonFinding `json:"findings"`
+}
+
+// renderJSON encodes sorted diagnostics as the -json report.
+func renderJSON(diags []analysis.Diagnostic) ([]byte, error) {
+	report := jsonReport{Findings: []jsonFinding{}}
+	for _, d := range diags {
+		report.Findings = append(report.Findings, jsonFinding{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return json.MarshalIndent(report, "", "  ")
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"flag"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fusionq/internal/lint/analysis"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestRenderJSONGolden pins the -json output shape byte-for-byte: CI
+// uploads it as an artifact and editor integrations parse it, so a field
+// rename or formatting change must be a deliberate diff here.
+func TestRenderJSONGolden(t *testing.T) {
+	diags := []analysis.Diagnostic{
+		{
+			Pos:      token.Position{Filename: "internal/wire/client.go", Line: 131, Column: 2},
+			Analyzer: "blockinglock",
+			Message:  "network I/O (net.DialContext) while wire.Client.mu is held (locked at internal/wire/client.go:131:2)",
+		},
+		{
+			Pos:      token.Position{Filename: "internal/fabric/fabric.go", Line: 555, Column: 12},
+			Analyzer: "chandiscipline",
+			Message:  "unguarded channel send in goroutine: use a select with a default (non-blocking kick) or a ctx.Done()/done case",
+		},
+	}
+	checkGolden(t, diags, filepath.Join("testdata", "findings.golden"))
+}
+
+// TestRenderJSONEmpty: a clean run still emits a findings array (not
+// null), so `jq '.findings | length'` works unconditionally.
+func TestRenderJSONEmpty(t *testing.T) {
+	checkGolden(t, nil, filepath.Join("testdata", "empty.golden"))
+}
+
+func checkGolden(t *testing.T, diags []analysis.Diagnostic, golden string) {
+	t.Helper()
+	got, err := renderJSON(diags)
+	if err != nil {
+		t.Fatalf("renderJSON: %v", err)
+	}
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("-json output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}

@@ -44,12 +44,14 @@ func main() {
 			return
 		case "-flags", "--flags":
 			// JSON flag description consumed by cmd/go's vetflag parser.
-			fmt.Println(`[{"Name":"only","Bool":false,"Usage":"comma-separated analyzer names to run (default: all)"}]`)
+			fmt.Println(`[{"Name":"only","Bool":false,"Usage":"comma-separated analyzer names to run (default: all)"},` +
+				`{"Name":"json","Bool":true,"Usage":"standalone mode: print findings as JSON"}]`)
 			return
 		}
 	}
 	listFlag := flag.Bool("list", false, "list analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "standalone mode: print findings as JSON ({\"findings\":[{file,line,col,analyzer,message}]})")
 	flag.Parse()
 
 	analyzers, err := selectAnalyzers(*only)
@@ -71,7 +73,7 @@ func main() {
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
-	os.Exit(standalone(args, analyzers))
+	os.Exit(standalone(args, analyzers, *jsonOut))
 }
 
 func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
@@ -95,22 +97,25 @@ func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
 }
 
 // standalone loads packages itself (go list + source-level type checking)
-// and reports findings to stdout.
-func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
+// and reports findings to stdout. Packages run in dependency order so
+// fact-exporting analyzers (lockorder, blockinglock) see their summaries
+// propagate exactly as they do through go vet's vetx files.
+func standalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut bool) int {
 	pkgs, err := load.Packages(patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fqlint: %v\n", err)
 		return 2
 	}
+	facts := newFactStore()
 	var diags []analysis.Diagnostic
-	for _, pkg := range pkgs {
+	for _, pkg := range dependencyOrder(pkgs) {
 		for _, terr := range pkg.TypeErrors {
 			fmt.Fprintf(os.Stderr, "fqlint: %s: %v\n", pkg.PkgPath, terr)
 		}
 		if len(pkg.TypeErrors) > 0 {
 			return 2
 		}
-		diags = append(diags, runAnalyzers(pkg, analyzers)...)
+		diags = append(diags, runAnalyzers(pkg, analyzers, facts)...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
@@ -122,8 +127,17 @@ func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
 		}
 		return a.Column < b.Column
 	})
-	for _, d := range diags {
-		fmt.Println(d)
+	if jsonOut {
+		out, err := renderJSON(diags)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fqlint: %v\n", err)
+			return 2
+		}
+		fmt.Println(string(out))
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "fqlint: %d finding(s)\n", len(diags))
@@ -132,20 +146,82 @@ func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
 	return 0
 }
 
-func runAnalyzers(pkg *load.Package, analyzers []*analysis.Analyzer) []analysis.Diagnostic {
+// dependencyOrder topologically sorts the loaded packages by their import
+// edges (edges outside the loaded set are ignored); the go toolchain
+// guarantees acyclicity, but a defensive visited check keeps a corrupt
+// listing from recursing forever.
+func dependencyOrder(pkgs []*load.Package) []*load.Package {
+	byPath := map[string]*load.Package{}
+	for _, p := range pkgs {
+		byPath[p.PkgPath] = p
+	}
+	var out []*load.Package
+	done := map[string]bool{}
+	var visit func(p *load.Package)
+	visit = func(p *load.Package) {
+		if done[p.PkgPath] {
+			return
+		}
+		done[p.PkgPath] = true
+		for _, imp := range p.Imports {
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
+}
+
+// factStore carries analyzer facts across packages within one standalone
+// run: analyzer name → package path → exported blob.
+type factStore map[string]map[string][]byte
+
+func newFactStore() factStore { return factStore{} }
+
+func (fs factStore) importedFor(a *analysis.Analyzer, imports []string) map[string][]byte {
+	byPkg := fs[a.Name]
+	if byPkg == nil {
+		return nil
+	}
+	out := map[string][]byte{}
+	for _, imp := range imports {
+		if blob, ok := byPkg[imp]; ok {
+			out[imp] = blob
+		}
+	}
+	return out
+}
+
+func (fs factStore) record(a *analysis.Analyzer, pkgPath string, blob []byte) {
+	if blob == nil {
+		return
+	}
+	if fs[a.Name] == nil {
+		fs[a.Name] = map[string][]byte{}
+	}
+	fs[a.Name][pkgPath] = blob
+}
+
+func runAnalyzers(pkg *load.Package, analyzers []*analysis.Analyzer, facts factStore) []analysis.Diagnostic {
 	var out []analysis.Diagnostic
 	for _, a := range analyzers {
 		pass := &analysis.Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.Info,
+			Analyzer:      a,
+			Fset:          pkg.Fset,
+			Files:         pkg.Files,
+			Pkg:           pkg.Types,
+			TypesInfo:     pkg.Info,
+			ImportedFacts: facts.importedFor(a, pkg.Imports),
 		}
 		if err := a.Run(pass); err != nil {
 			fmt.Fprintf(os.Stderr, "fqlint: %s on %s: %v\n", a.Name, pkg.PkgPath, err)
 			continue
 		}
+		facts.record(a, pkg.PkgPath, pass.ExportedFacts())
 		out = append(out, pass.Diagnostics()...)
 	}
 	return out

@@ -1,11 +1,15 @@
 // go vet -vettool integration. When cmd/go drives a vet tool it invokes it
 // once per package with a single argument, a JSON config file describing
-// the unit of work: the package's source files plus the compiled export
-// data of every dependency. The tool type-checks the unit against that
-// export data (no re-parsing of dependencies), reports findings on stderr
-// in file:line:col form, and writes its serialized facts — empty here, the
-// fqlint analyzers are package-local — to cfg.VetxOutput so cmd/go can
-// cache the run. This mirrors golang.org/x/tools/go/analysis/unitchecker,
+// the unit of work: the package's source files, the compiled export data
+// of every dependency, and — via PackageVetx — the facts file each
+// dependency's earlier run of this tool produced. The tool type-checks the
+// unit against the export data, runs the analyzers with the dependency
+// facts wired into the Pass, reports findings on stderr in file:line:col
+// form, and writes its own serialized facts to cfg.VetxOutput so cmd/go
+// can cache and forward them. Facts matter here: lockorder and
+// blockinglock export per-function concurrency summaries, which is how a
+// lock-order cycle spanning two packages is caught in whichever package
+// completes it. This mirrors golang.org/x/tools/go/analysis/unitchecker,
 // which is not vendorable offline.
 package main
 
@@ -16,6 +20,8 @@ import (
 	"go/token"
 	"io"
 	"os"
+	"sort"
+	"strings"
 
 	"fusionq/internal/lint/analysis"
 	"fusionq/internal/lint/load"
@@ -29,6 +35,7 @@ type vetConfig struct {
 	GoFiles     []string
 	ImportMap   map[string]string
 	PackageFile map[string]string
+	PackageVetx map[string]string
 	VetxOnly    bool
 	VetxOutput  string
 
@@ -48,17 +55,13 @@ func unitcheck(cfgPath string, analyzers []*analysis.Analyzer) int {
 		fmt.Fprintf(os.Stderr, "fqlint: parsing %s: %v\n", cfgPath, err)
 		return 2
 	}
-	// Facts first: even a facts-only run (a dependency of the package being
-	// vetted) must produce its output file or cmd/go reports a build
-	// failure.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			fmt.Fprintf(os.Stderr, "fqlint: %v\n", err)
-			return 2
-		}
-	}
-	if cfg.VetxOnly {
-		return 0
+	// Dependencies outside this module export no fqlint facts (the
+	// blocking vocabulary for the standard library is built in), so their
+	// facts-only runs can skip type-checking entirely and write an empty
+	// vetx file — keeping `go vet ./...`, which schedules a VetxOnly run
+	// for every transitive std dependency, fast.
+	if cfg.VetxOnly && !strings.HasPrefix(cfg.ImportPath, "fusionq") {
+		return writeVetx(cfg.VetxOutput, nil)
 	}
 
 	fset := token.NewFileSet()
@@ -86,12 +89,75 @@ func unitcheck(cfgPath string, analyzers []*analysis.Analyzer) int {
 		}
 		return 2
 	}
-	diags := runAnalyzers(pkg, analyzers)
+
+	facts, err := readDepFacts(cfg.PackageVetx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fqlint: %v\n", err)
+		return 2
+	}
+	for dep := range cfg.PackageVetx {
+		pkg.Imports = append(pkg.Imports, dep)
+	}
+	sort.Strings(pkg.Imports)
+
+	diags := runAnalyzers(pkg, analyzers, facts)
+	exported := map[string][]byte{}
+	for name, byPkg := range facts {
+		if blob, ok := byPkg[cfg.ImportPath]; ok {
+			exported[name] = blob
+		}
+	}
+	if code := writeVetx(cfg.VetxOutput, exported); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
 	}
 	if len(diags) > 0 {
 		return 1
+	}
+	return 0
+}
+
+// readDepFacts loads each dependency's vetx file into a fact store.
+func readDepFacts(vetx map[string]string) (factStore, error) {
+	facts := newFactStore()
+	for dep, file := range vetx {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("reading facts of %s: %w", dep, err)
+		}
+		byAnalyzer, err := analysis.DecodeVetx(data)
+		if err != nil {
+			return nil, fmt.Errorf("decoding facts of %s: %w", dep, err)
+		}
+		for name, blob := range byAnalyzer {
+			if facts[name] == nil {
+				facts[name] = map[string][]byte{}
+			}
+			facts[name][dep] = blob
+		}
+	}
+	return facts, nil
+}
+
+// writeVetx persists this unit's facts; cmd/go requires the file to exist
+// even when there are none.
+func writeVetx(path string, byAnalyzer map[string][]byte) int {
+	if path == "" {
+		return 0
+	}
+	data, err := analysis.EncodeVetx(byAnalyzer)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fqlint: encoding facts: %v\n", err)
+		return 2
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		fmt.Fprintf(os.Stderr, "fqlint: %v\n", err)
+		return 2
 	}
 	return 0
 }

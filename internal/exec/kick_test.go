@@ -1,0 +1,61 @@
+package exec
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestKickOneNeverBlocks pins the contract the chandiscipline analyzer
+// assumes about the kick pattern: kickOne must return immediately no
+// matter how many concurrent kickers race onto a full capacity-1 channel
+// with nobody draining it — the select's default makes the send a latch,
+// not a rendezvous.
+func TestKickOneNeverBlocks(t *testing.T) {
+	ch := make(chan struct{}, 1)
+	const kickers, kicks = 32, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < kickers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < kicks; j++ {
+				kickOne(ch)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("kickOne blocked under concurrent kicks")
+	}
+	if n := len(ch); n > 1 {
+		t.Fatalf("kick latch holds %d signals, want at most 1", n)
+	}
+}
+
+// TestKickOneLatchesWakeup proves a kick is never lost: after any number
+// of kicks, exactly one signal is pending, and a receiver woken by it can
+// re-check state and sleep again without a second kick being required
+// first.
+func TestKickOneLatchesWakeup(t *testing.T) {
+	ch := make(chan struct{}, 1)
+	for i := 0; i < 5; i++ {
+		kickOne(ch)
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("no signal latched after kicks")
+	}
+	select {
+	case <-ch:
+		t.Fatal("more than one signal latched")
+	default:
+	}
+}

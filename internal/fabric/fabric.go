@@ -552,7 +552,13 @@ func attempt[T any](ctx context.Context, l *Logical, primary *Endpoint, tried ma
 			sp.SetAttr("role", role)
 			out, err := runOne(sctx, l, ep, op)
 			sp.End(err)
-			results <- outcome[T]{ep: ep, out: out, err: err, sp: sp}
+			// The buffer has room for every leg, so the send is non-blocking
+			// in practice; the done case keeps an abandoned leg (attempt
+			// returned, nobody reading) from stranding this goroutine.
+			select {
+			case results <- outcome[T]{ep: ep, out: out, err: err, sp: sp}:
+			case <-lctx.Done():
+			}
 		}()
 	}
 	cancelAll := func() {

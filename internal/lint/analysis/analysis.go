@@ -34,8 +34,24 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// ImportedFacts maps a dependency's import path to the fact blob the
+	// same analyzer exported when it ran over that dependency. Drivers that
+	// do not support facts leave it nil; analyzers must tolerate missing
+	// entries (a dependency outside the module exports no facts).
+	ImportedFacts map[string][]byte
+
 	diagnostics []Diagnostic
+	exported    []byte
 }
+
+// ExportFacts records the opaque per-package blob this analyzer wants
+// delivered (as ImportedFacts) to later runs of itself over packages that
+// import this one. Under go vet the blob rides the .vetx files cmd/go
+// caches; the standalone driver carries it in memory in dependency order.
+func (p *Pass) ExportFacts(blob []byte) { p.exported = blob }
+
+// ExportedFacts returns the blob recorded by ExportFacts, or nil.
+func (p *Pass) ExportedFacts() []byte { return p.exported }
 
 // Diagnostic is one finding: a position, the analyzer that produced it, and
 // a message stating the violated invariant.

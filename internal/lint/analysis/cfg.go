@@ -1,0 +1,323 @@
+// Control-flow graphs over go/ast. BuildCFG lowers one function body into
+// basic blocks of "atomic" nodes — plain statements and bare condition/tag
+// expressions — connected by successor edges, precise enough for the
+// intraprocedural dataflow the concurrency analyzers run (may-held lock
+// sets). Branching statements (if/for/range/switch/select) contribute their
+// scrutinee expressions to the current block and their bodies to fresh
+// blocks; a select statement is kept whole as a single atomic node, since
+// its communication clauses succeed or block as one unit.
+package analysis
+
+import "go/ast"
+
+// Block is one basic block: nodes that execute in sequence, then a branch
+// to any of Succs. A block with no successors ends the function (or is the
+// continuation of a goto, which the builder treats as opaque).
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// CFG is a function body's control-flow graph. Entry is Blocks[0];
+// unreachable blocks (code after return/break) stay in Blocks with no
+// predecessors, so a dataflow pass sees them with the bottom state.
+type CFG struct {
+	Entry  *Block
+	Blocks []*Block
+}
+
+// BuildCFG lowers body to basic blocks.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	b.cfg.Entry = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	return b.cfg
+}
+
+// frame is one enclosing breakable construct; continueB is nil for
+// switch/select frames.
+type frame struct {
+	label     string
+	breakB    *Block
+	continueB *Block
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block
+	frames []frame
+	// pendingLabel carries a label from a LabeledStmt to the loop or switch
+	// it names.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func edge(from, to *Block) { from.Succs = append(from.Succs, to) }
+
+func (b *cfgBuilder) add(n ast.Node) { b.cur.Nodes = append(b.cur.Nodes, n) }
+
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, caseClauses(s.Body))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body, caseClauses(s.Body))
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur = b.newBlock() // unreachable continuation
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	default:
+		// Straight-line statements: expressions, assignments, declarations,
+		// channel sends, defer/go, inc/dec.
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	after := b.newBlock()
+	thenB := b.newBlock()
+	edge(cond, thenB)
+	b.cur = thenB
+	b.stmtList(s.Body.List)
+	edge(b.cur, after)
+	if s.Else != nil {
+		elseB := b.newBlock()
+		edge(cond, elseB)
+		b.cur = elseB
+		b.stmt(s.Else)
+		edge(b.cur, after)
+	} else {
+		edge(cond, after)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock()
+	edge(b.cur, head)
+	b.cur = head
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	body := b.newBlock()
+	after := b.newBlock()
+	edge(head, body)
+	if s.Cond != nil {
+		edge(head, after)
+	}
+	cont := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+		cont = post
+	}
+	b.frames = append(b.frames, frame{label: label, breakB: after, continueB: cont})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	edge(b.cur, cont)
+	b.frames = b.frames[:len(b.frames)-1]
+	if post != nil {
+		b.cur = post
+		b.add(s.Post)
+		edge(post, head)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	// The RangeStmt itself is the atomic node (walkers examine s.X and can
+	// classify range-over-channel); its body gets its own blocks.
+	b.add(s)
+	head := b.newBlock()
+	edge(b.cur, head)
+	body := b.newBlock()
+	after := b.newBlock()
+	edge(head, body)
+	edge(head, after)
+	b.frames = append(b.frames, frame{label: label, breakB: after, continueB: head})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	edge(b.cur, head)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func caseClauses(body *ast.BlockStmt) []*ast.CaseClause {
+	out := make([]*ast.CaseClause, 0, len(body.List))
+	for _, s := range body.List {
+		if cc, ok := s.(*ast.CaseClause); ok {
+			out = append(out, cc)
+		}
+	}
+	return out
+}
+
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, clauses []*ast.CaseClause) {
+	label := b.takeLabel()
+	_ = body
+	head := b.cur
+	after := b.newBlock()
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock()
+		edge(head, blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		edge(head, after)
+	}
+	b.frames = append(b.frames, frame{label: label, breakB: after})
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		fallsThrough := false
+		for j, cs := range cc.Body {
+			if br, ok := cs.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" && j == len(cc.Body)-1 {
+				fallsThrough = true
+				break
+			}
+			b.stmt(cs)
+		}
+		if fallsThrough && i+1 < len(blocks) {
+			edge(b.cur, blocks[i+1])
+		} else {
+			edge(b.cur, after)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	// The select itself is one atomic node; its comm clauses are examined
+	// in place by analyzers, its case bodies get their own blocks.
+	b.add(s)
+	head := b.cur
+	after := b.newBlock()
+	b.frames = append(b.frames, frame{label: label, breakB: after})
+	any := false
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		any = true
+		caseB := b.newBlock()
+		edge(head, caseB)
+		b.cur = caseB
+		b.stmtList(cc.Body)
+		edge(b.cur, after)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	if !any {
+		// select{} blocks forever; after is unreachable.
+		_ = after
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	switch s.Tok.String() {
+	case "break":
+		if t := b.findFrame(labelOf(s), false); t != nil {
+			edge(b.cur, t)
+		}
+	case "continue":
+		if t := b.findFrame(labelOf(s), true); t != nil {
+			edge(b.cur, t)
+		}
+	case "goto":
+		// Rare and unstructured; treat as opaque control transfer (the
+		// held-state at the target is under-approximated to bottom).
+	case "fallthrough":
+		// Handled by switchBody; a mid-body fallthrough is a parse error.
+	}
+	b.cur = b.newBlock() // unreachable continuation
+}
+
+func labelOf(s *ast.BranchStmt) string {
+	if s.Label != nil {
+		return s.Label.Name
+	}
+	return ""
+}
+
+// findFrame resolves a break/continue target: the innermost frame, or the
+// one carrying the label. needContinue restricts the search to loops.
+func (b *cfgBuilder) findFrame(label string, needContinue bool) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if needContinue && f.continueB == nil {
+			continue
+		}
+		if label != "" && f.label != label {
+			continue
+		}
+		if needContinue {
+			return f.continueB
+		}
+		return f.breakB
+	}
+	return nil
+}

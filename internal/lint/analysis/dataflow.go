@@ -1,0 +1,58 @@
+// A small forward dataflow engine over the CFGs cfg.go builds. Analyses
+// are expressed as a join-semilattice (Lattice): a bottom element, a join
+// that merges two values, and a transfer function folding one atomic node
+// into a value. ForwardMay iterates to fixpoint with a worklist; with a
+// union join this computes a may-analysis — "on some path to this point" —
+// which is the right direction for held-lock sets (a lock that may be held
+// must be assumed held).
+package analysis
+
+import "go/ast"
+
+// Lattice defines one forward dataflow analysis over values of type T.
+// Join and Transfer must be monotone and the lattice of finite height, or
+// ForwardMay will not terminate.
+type Lattice[T any] interface {
+	// Bottom is the initial value: entry state and the state of
+	// unreachable blocks.
+	Bottom() T
+	// Clone returns an independent copy Transfer may mutate.
+	Clone(v T) T
+	// Join merges src into dst, returning the merged value and whether it
+	// differs from dst.
+	Join(dst, src T) (T, bool)
+	// Transfer folds one atomic CFG node into v and returns the result
+	// (it may mutate and return v).
+	Transfer(n ast.Node, v T) T
+}
+
+// ForwardMay solves the analysis to fixpoint and returns each block's
+// in-state (the value holding before the block's first node executes).
+// Re-running Transfer over a block's nodes from its in-state reproduces
+// the state at any node, which is how analyzers attribute per-node facts.
+func ForwardMay[T any](cfg *CFG, lat Lattice[T]) map[*Block]T {
+	in := make(map[*Block]T, len(cfg.Blocks))
+	for _, blk := range cfg.Blocks {
+		in[blk] = lat.Bottom()
+	}
+	work := []*Block{cfg.Entry}
+	queued := map[*Block]bool{cfg.Entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+		out := lat.Clone(in[blk])
+		for _, n := range blk.Nodes {
+			out = lat.Transfer(n, out)
+		}
+		for _, s := range blk.Succs {
+			merged, changed := lat.Join(in[s], out)
+			in[s] = merged
+			if changed && !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}

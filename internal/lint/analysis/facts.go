@@ -1,0 +1,31 @@
+// The vetx fact container. cmd/go caches one opaque facts file per
+// (package, vet tool) pair and hands dependents the dependency files via
+// the unit config's PackageVetx map; fqlint packs every analyzer's
+// exported blob for a package into that one file as a JSON object keyed by
+// analyzer name ([]byte values are base64 under encoding/json). An empty
+// container encodes to an empty file, which keeps the fast path — packages
+// with no facts — free of JSON noise and compatible with the empty files
+// earlier fqlint versions wrote.
+package analysis
+
+import "encoding/json"
+
+// EncodeVetx serializes per-analyzer fact blobs into one vetx file body.
+func EncodeVetx(byAnalyzer map[string][]byte) ([]byte, error) {
+	if len(byAnalyzer) == 0 {
+		return nil, nil
+	}
+	return json.Marshal(byAnalyzer)
+}
+
+// DecodeVetx parses a vetx file body; empty input yields an empty map.
+func DecodeVetx(data []byte) (map[string][]byte, error) {
+	out := map[string][]byte{}
+	if len(data) == 0 {
+		return out, nil
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

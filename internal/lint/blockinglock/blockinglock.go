@@ -1,0 +1,49 @@
+// Package blockinglock flags operations that can block indefinitely while
+// a mutex is held: channel sends/receives without a ready select default,
+// selects with no default case, time.Sleep, WaitGroup/Cond waits, network
+// and stream I/O (the wire protocol's encode/decode), and context-taking
+// interface calls — the repo's RPC boundaries (source.Source exchanges).
+// The conc function summaries extend the check through calls: holding
+// exec.state.mu while calling a helper that sleeps is flagged at the call.
+//
+// A mutex held across a blocking operation turns one slow peer into a
+// stalled process: every other goroutine touching that lock queues behind
+// an RPC it cannot cancel. Critical sections must do memory work only;
+// blocking work happens before Lock or after Unlock.
+package blockinglock
+
+import (
+	"fmt"
+	"strings"
+
+	"fusionq/internal/lint/analysis"
+	"fusionq/internal/lint/conc"
+)
+
+// Analyzer detects blocking operations reachable with locks held.
+var Analyzer = &analysis.Analyzer{
+	Name: "blockinglock",
+	Doc:  "no blocking operation (channel op, sleep, wait, RPC, I/O) while a mutex is held",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := conc.Analyze(pass)
+	for _, b := range info.Blocks {
+		pass.Reportf(b.Pos, "%s while %s", b.What, heldList(b.Held))
+	}
+	blob, err := info.Export()
+	if err != nil {
+		return err
+	}
+	pass.ExportFacts(blob)
+	return nil
+}
+
+func heldList(held []conc.HeldRef) string {
+	parts := make([]string, len(held))
+	for i, h := range held {
+		parts[i] = fmt.Sprintf("%s is held (locked at %s)", h.Key, h.Since)
+	}
+	return strings.Join(parts, " and ")
+}

@@ -1,0 +1,12 @@
+package blockinglock_test
+
+import (
+	"testing"
+
+	"fusionq/internal/lint/blockinglock"
+	"fusionq/internal/lint/linttest"
+)
+
+func TestBlockingLock(t *testing.T) {
+	linttest.Run(t, blockinglock.Analyzer, "testdata/fixture")
+}

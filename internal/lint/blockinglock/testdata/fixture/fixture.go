@@ -1,0 +1,101 @@
+// Fixture for the blockinglock analyzer: channel ops, sleeps, waits and
+// selects without a default are flagged while a mutex is held — directly
+// or one call away via a function summary. Blocking after release, non-
+// blocking kicks under the lock, and callees that lock their own mutex
+// sequentially are clean.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type S struct {
+	mu sync.Mutex
+	ch chan int
+	wg sync.WaitGroup
+}
+
+// Flagged: a send with the mutex held parks every other S user behind a
+// consumer that may never come.
+func sendLocked(s *S) {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send while fixture\.S\.mu is held`
+	s.mu.Unlock()
+}
+
+// Flagged: the deferred unlock keeps the mutex held across the sleep.
+func sleepLocked(s *S) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while fixture\.S\.mu is held`
+}
+
+// Flagged: waiting on a WaitGroup under the lock inverts the shutdown
+// order — the workers being waited on may need the same lock to finish.
+func waitLocked(s *S) {
+	s.mu.Lock()
+	s.wg.Wait() // want `sync\.WaitGroup\.Wait while fixture\.S\.mu is held`
+	s.mu.Unlock()
+}
+
+// Flagged: the blocking happens inside pause; the summary carries it to
+// this call site.
+func indirect(s *S) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pause() // want `call to fixture\.pause, which may block \(time\.Sleep\) while fixture\.S\.mu is held`
+}
+
+func pause() { time.Sleep(time.Millisecond) }
+
+// Flagged: a select with no default can park forever under the lock.
+func selectLocked(s *S, other chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select with no default case while fixture\.S\.mu is held`
+	case <-s.ch:
+	case <-other:
+	}
+}
+
+// Clean: the blocking send happens after the release.
+func sendUnlocked(s *S) {
+	s.mu.Lock()
+	v := len(s.ch)
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// Clean: a select with a default cannot block — the kick pattern is fine
+// even inside the critical section.
+func kickLocked(s *S) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+}
+
+// Clean: sleeping with no lock held is the caller's business.
+func sleepFree() { time.Sleep(time.Millisecond) }
+
+type T struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Clean: the callee locks and releases its own mutex — that is a lock-
+// order edge for lockorder, not a blocking operation.
+func callAccessor(s *S, t *T) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return t.get()
+}
+
+func (t *T) get() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}

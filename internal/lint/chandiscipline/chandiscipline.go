@@ -1,0 +1,199 @@
+// Package chandiscipline enforces the streaming executor's channel rules
+// inside goroutines: every send or receive on a channel must be either
+//
+//   - a non-blocking kick — a select with a default case, the exec.kickOne
+//     pattern over a capacity-1 channel — or
+//   - cancellable — a select that also has a ctx.Done() (or other
+//     done/stop/quit channel) case.
+//
+// An unguarded channel operation in a goroutine is how pull-DAG edges and
+// hedge legs strand goroutines: if the peer stops consuming, the goroutine
+// blocks forever and the query leaks it. The rule is lexical and applies
+// to goroutine bodies — function literals launched with go, and any named
+// function or method in the package that some go statement launches.
+// Synchronous code may block on channels (its caller owns the wait), and
+// package main is exempt (process-lifetime goroutines end with the
+// process), as are tests.
+package chandiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"fusionq/internal/lint/analysis"
+)
+
+// Analyzer checks channel discipline inside goroutines.
+var Analyzer = &analysis.Analyzer{
+	Name: "chandiscipline",
+	Doc:  "channel ops in goroutines must be non-blocking kicks (select+default) or cancellable (select with ctx.Done()/done case)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil || pass.Pkg.Name() == "main" {
+		return nil
+	}
+	c := &checker{pass: pass}
+	launched := map[types.Object]bool{}
+	var lits []*ast.BlockStmt
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+				lits = append(lits, lit.Body)
+			} else if fn := analysis.CalleeFunc(pass.TypesInfo, gs.Call); fn != nil {
+				launched[fn] = true
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func); fn != nil && launched[fn] {
+				c.scan(fd.Body)
+			}
+		}
+	}
+	for _, body := range lits {
+		c.scan(body)
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+func (c *checker) scan(n ast.Node) { ast.Inspect(n, c.visit) }
+
+func (c *checker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.GoStmt:
+		// A nested goroutine is its own body: literals are collected by
+		// run, named launches are checked at their declaration.
+		return false
+	case *ast.SelectStmt:
+		if !hasDefault(n) && !c.hasDoneCase(n) {
+			c.pass.Reportf(n.Select, "select in goroutine has neither a default nor a ctx.Done()/done case; a stuck peer strands this goroutine")
+		}
+		// Communication clauses are adjudicated by the select rule above;
+		// case bodies are ordinary goroutine code.
+		for _, cl := range n.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				for _, s := range cc.Body {
+					c.scan(s)
+				}
+			}
+		}
+		return false
+	case *ast.SendStmt:
+		c.pass.Reportf(n.Arrow, "unguarded channel send in goroutine: use a select with a default (non-blocking kick) or a ctx.Done()/done case")
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW {
+			c.pass.Reportf(n.OpPos, "unguarded channel receive in goroutine: use a select with a default or a ctx.Done()/done case")
+		}
+	case *ast.RangeStmt:
+		if tv, ok := c.pass.TypesInfo.Types[n.X]; ok && isChan(tv.Type) {
+			c.pass.Reportf(n.X.Pos(), "range over channel in goroutine cannot be cancelled; receive in a select with a ctx.Done()/done case instead")
+		}
+	}
+	return true
+}
+
+func hasDefault(s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// hasDoneCase reports whether some case receives from a cancellation
+// channel: ctx.Done() (any context.Context method named Done), or a
+// channel whose name reads as a stop signal (done, stop, quit, closed...).
+func (c *checker) hasDoneCase(s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		ch := recvChan(cc.Comm)
+		if ch == nil {
+			continue
+		}
+		if call, ok := ast.Unparen(ch).(*ast.CallExpr); ok {
+			if fn := analysis.CalleeFunc(c.pass.TypesInfo, call); fn != nil &&
+				fn.Name() == "Done" && fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+				return true
+			}
+			continue
+		}
+		if stopName(chanName(ch)) {
+			return true
+		}
+	}
+	return false
+}
+
+// recvChan extracts the channel of a receive comm statement, or nil for a
+// send.
+func recvChan(comm ast.Stmt) ast.Expr {
+	var x ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		x = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			x = s.Rhs[0]
+		}
+	}
+	if u, ok := ast.Unparen(x).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+		return u.X
+	}
+	return nil
+}
+
+func chanName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+func stopName(name string) bool {
+	name = strings.ToLower(name)
+	for _, w := range []string{"done", "stop", "quit", "clos", "exit", "cancel"} {
+		if strings.Contains(name, w) {
+			return true
+		}
+	}
+	return false
+}
+
+func isChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

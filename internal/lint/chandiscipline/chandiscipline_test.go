@@ -1,0 +1,12 @@
+package chandiscipline_test
+
+import (
+	"testing"
+
+	"fusionq/internal/lint/chandiscipline"
+	"fusionq/internal/lint/linttest"
+)
+
+func TestChanDiscipline(t *testing.T) {
+	linttest.Run(t, chandiscipline.Analyzer, "testdata/fixture")
+}

@@ -1,0 +1,158 @@
+// Package conc computes per-function concurrency summaries for the fqlint
+// lockorder and blockinglock analyzers: which struct-field mutexes a
+// function may acquire, which lock-order edges (held A while acquiring B)
+// its bodies establish, and whether it can block (channel operations,
+// selects with no default, time.Sleep, WaitGroup waits, network I/O,
+// context-taking interface calls — the repo's RPC boundaries).
+//
+// Summaries are computed with the analysis package's CFG + forward
+// may-analysis: the held-lock set at every program point is the union over
+// paths, so anything that may be held is treated as held. Summaries
+// compose across packages through analyzer facts: a package's exported
+// blob is the JSON encoding of its own summaries merged with everything it
+// imported, so edges and blocking reasons reach the root of the import
+// graph without whole-program loading.
+package conc
+
+import (
+	"encoding/json"
+	"go/token"
+	"sort"
+)
+
+// Edge is one lock-order edge: To was acquired while From was held.
+// Positions are the acquisition sites, rendered file:line:col.
+type Edge struct {
+	From    string `json:"from"`
+	To      string `json:"to"`
+	FromPos string `json:"fromPos,omitempty"`
+	ToPos   string `json:"toPos,omitempty"`
+}
+
+// Summary is one function's concurrency behavior as seen by callers.
+type Summary struct {
+	// Blocks reports that some path through the function can block
+	// indefinitely; BlockWhat names the leaf reason ("time.Sleep",
+	// "channel send", ...).
+	Blocks    bool   `json:"blocks,omitempty"`
+	BlockWhat string `json:"what,omitempty"`
+	// Acquires maps each lock key the function (or a callee) may acquire
+	// to one acquisition site.
+	Acquires map[string]string `json:"acquires,omitempty"`
+	// Edges are the lock-order edges the function's own body establishes,
+	// including edges through callee summaries.
+	Edges []Edge `json:"edges,omitempty"`
+}
+
+func (s *Summary) setBlocks(what string) {
+	if !s.Blocks {
+		s.Blocks = true
+		s.BlockWhat = what
+	}
+}
+
+func (s *Summary) acquire(key, pos string) {
+	if s.Acquires == nil {
+		s.Acquires = map[string]string{}
+	}
+	if _, ok := s.Acquires[key]; !ok {
+		s.Acquires[key] = pos
+	}
+}
+
+func (s *Summary) edge(e Edge) {
+	for _, have := range s.Edges {
+		if have.From == e.From && have.To == e.To {
+			return
+		}
+	}
+	s.Edges = append(s.Edges, e)
+}
+
+func (s *Summary) sorted() {
+	sort.Slice(s.Edges, func(i, j int) bool {
+		if s.Edges[i].From != s.Edges[j].From {
+			return s.Edges[i].From < s.Edges[j].From
+		}
+		return s.Edges[i].To < s.Edges[j].To
+	})
+}
+
+// Facts maps a function's types.Func FullName to its summary.
+type Facts map[string]*Summary
+
+// Encode serializes facts for export through the driver's fact transport.
+func (f Facts) Encode() ([]byte, error) {
+	for _, s := range f {
+		s.sorted()
+	}
+	return json.Marshal(f)
+}
+
+// DecodeAll merges the fact blobs of every dependency (as delivered in
+// Pass.ImportedFacts) into one lookup table. Dependencies whose blobs fail
+// to parse are skipped: facts are an acceleration, not a soundness
+// requirement, and a version-skewed cache entry must not break the run.
+func DecodeAll(blobs map[string][]byte) Facts {
+	out := Facts{}
+	for _, blob := range blobs {
+		var f Facts
+		if err := json.Unmarshal(blob, &f); err != nil {
+			continue
+		}
+		for name, s := range f {
+			out[name] = s
+		}
+	}
+	return out
+}
+
+// HeldRef names one lock held at a report site and where it was acquired.
+type HeldRef struct {
+	Key   string
+	Since string
+}
+
+// EdgeSite is a lock-order edge observed in the package under analysis,
+// anchored to a reportable position.
+type EdgeSite struct {
+	Edge
+	Pos token.Pos
+	// Via is the callee whose summary contributed the To-acquisition, or
+	// "" for a direct acquisition.
+	Via string
+}
+
+// DoubleSite is an acquisition of a lock that may already be held.
+type DoubleSite struct {
+	Key       string
+	HeldSince string
+	Pos       token.Pos
+	// Via is the callee that re-acquires, or "" for a direct re-acquire;
+	// CalleePos is the acquisition site inside the callee.
+	Via       string
+	CalleePos string
+}
+
+// BlockSite is a blocking operation reachable with locks held.
+type BlockSite struct {
+	What string
+	Held []HeldRef
+	Pos  token.Pos
+}
+
+// Info is the result of analyzing one package.
+type Info struct {
+	// Own holds this package's function summaries; All additionally merges
+	// every imported summary and is what gets re-exported, so facts flow
+	// transitively up the import graph.
+	Own Facts
+	All Facts
+
+	Edges   []EdgeSite
+	Doubles []DoubleSite
+	Blocks  []BlockSite
+}
+
+// Export encodes the merged facts for Pass.ExportFacts.
+func (in *Info) Export() ([]byte, error) { return in.All.Encode() }

@@ -1,0 +1,184 @@
+// Lock identity and blocking-call classification.
+//
+// A mutex is keyed by where it lives, not which instance it is: a field
+// `mu` of a named struct T in package p is "p.T.mu" wherever it is locked,
+// so acquisition order composes across functions and packages into one
+// graph ("fabric.Logical.mu", "obs.Registry.mu", ...). Package-level
+// mutexes key as "p.name", locals as "p.func.name". Keys deliberately
+// merge instances — a may-analysis must — but sites that provably involve
+// two different variables of the same type are exempted from double-
+// acquire reports via the base-object refinement.
+package conc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"fusionq/internal/lint/analysis"
+)
+
+// mutexOp classifies call as a sync.Mutex / sync.RWMutex method call,
+// returning the receiver expression and the method name.
+func mutexOp(info *types.Info, call *ast.CallExpr) (ast.Expr, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+		sig, _ := fn.Type().(*types.Signature)
+		if sig == nil || sig.Recv() == nil {
+			return nil, "", false
+		}
+		if n := namedOf(deref(sig.Recv().Type())); n == nil || !isSyncMutex(n) {
+			return nil, "", false
+		}
+		return sel.X, fn.Name(), true
+	}
+	return nil, "", false
+}
+
+// lockKey derives the order-graph key for the mutex expr names, plus the
+// base variable's object when it can be resolved (nil otherwise).
+func lockKey(info *types.Info, pkgName, fnName string, expr ast.Expr) (string, types.Object) {
+	expr = ast.Unparen(expr)
+	// An embedded mutex is locked through the outer struct value; key by
+	// the outer type.
+	if tv, ok := info.Types[expr]; ok && tv.Type != nil {
+		if n := namedOf(deref(tv.Type)); n != nil && !isSyncMutex(n) && n.Obj().Pkg() != nil {
+			return n.Obj().Pkg().Name() + "." + n.Obj().Name() + ".Mutex", baseObj(info, expr)
+		}
+	}
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		if selx, ok := info.Selections[e]; ok && selx.Kind() == types.FieldVal {
+			if n := namedOf(deref(selx.Recv())); n != nil && n.Obj().Pkg() != nil {
+				return n.Obj().Pkg().Name() + "." + n.Obj().Name() + "." + e.Sel.Name, baseObj(info, e.X)
+			}
+		}
+		if obj, ok := info.Uses[e.Sel].(*types.Var); ok && obj.Pkg() != nil {
+			return obj.Pkg().Name() + "." + obj.Name(), obj
+		}
+	case *ast.Ident:
+		if obj, ok := objOf(info, e).(*types.Var); ok && obj.Pkg() != nil {
+			if obj.Parent() == obj.Pkg().Scope() {
+				return obj.Pkg().Name() + "." + obj.Name(), obj
+			}
+			return pkgName + "." + fnName + "." + obj.Name(), obj
+		}
+	}
+	return pkgName + "." + fnName + "." + types.ExprString(expr), nil
+}
+
+// blockingCall classifies calls with no available summary as inherently
+// blocking: library waits, raw I/O (the wire protocol's encode/decode and
+// dials sit on TCP connections), and context-taking interface methods —
+// by the repo's ctxfirst convention those are RPC boundaries (source
+// exchanges, iterator pulls) and must be assumed to block.
+func blockingCall(fn *types.Func) (string, bool) {
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	sig, _ := fn.Type().(*types.Signature)
+	recv := recvTypeName(sig)
+	switch {
+	case pkg == "time" && name == "Sleep":
+		return "time.Sleep", true
+	case pkg == "sync" && name == "Wait" && (recv == "WaitGroup" || recv == "Cond"):
+		return "sync." + recv + ".Wait", true
+	case pkg == "net" && (name == "Dial" || name == "DialContext" || name == "DialTimeout" ||
+		name == "Listen" || name == "Accept" || name == "Read" || name == "Write"):
+		return "network I/O (net." + name + ")", true
+	case pkg == "encoding/json" && (name == "Encode" || name == "Decode") && recv != "":
+		return "stream I/O (json." + recv + "." + name + ")", true
+	case pkg == "bufio" && name == "Flush" && recv == "Writer":
+		return "stream I/O (bufio.Writer.Flush)", true
+	}
+	if sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) &&
+		sig.Params().Len() > 0 && analysis.IsContextType(sig.Params().At(0).Type()) {
+		return "context-taking interface call " + displayFunc(fn), true
+	}
+	return "", false
+}
+
+// displayFunc is a compact human name: pkg.Func or pkg.Type.Method.
+func displayFunc(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	prefix := fn.Pkg().Name()
+	if sig, _ := fn.Type().(*types.Signature); sig != nil {
+		if r := recvTypeName(sig); r != "" {
+			prefix += "." + r
+		}
+	}
+	return prefix + "." + fn.Name()
+}
+
+func recvTypeName(sig *types.Signature) string {
+	if sig == nil || sig.Recv() == nil {
+		return ""
+	}
+	if n := namedOf(deref(sig.Recv().Type())); n != nil {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func namedOf(t types.Type) *types.Named {
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func isSyncMutex(n *types.Named) bool {
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// baseObj unwraps a receiver chain (s.edge.mu, (*p).mu, xs[i].mu) to its
+// root variable, or nil when the root is not a plain variable.
+func baseObj(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return objOf(info, e)
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// isChanType reports whether t is (or points at) a channel.
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

@@ -6,8 +6,11 @@ package lint
 
 import (
 	"fusionq/internal/lint/analysis"
+	"fusionq/internal/lint/blockinglock"
+	"fusionq/internal/lint/chandiscipline"
 	"fusionq/internal/lint/ctxfirst"
 	"fusionq/internal/lint/iterclose"
+	"fusionq/internal/lint/lockorder"
 	"fusionq/internal/lint/metricnames"
 	"fusionq/internal/lint/nakedgo"
 	"fusionq/internal/lint/spanbalance"
@@ -23,5 +26,8 @@ func All() []*analysis.Analyzer {
 		spanbalance.Analyzer,
 		iterclose.Analyzer,
 		nakedgo.Analyzer,
+		lockorder.Analyzer,
+		blockinglock.Analyzer,
+		chandiscipline.Analyzer,
 	}
 }

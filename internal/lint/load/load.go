@@ -29,6 +29,10 @@ type Package struct {
 	Files   []*ast.File
 	Types   *types.Package
 	Info    *types.Info
+	// Imports lists the package's direct imports (import paths), so the
+	// driver can run packages in dependency order and deliver analyzer
+	// facts from dependency to dependent.
+	Imports []string
 	// TypeErrors collects type-checking problems. Analyzers still run on a
 	// partially checked package, but the driver surfaces these first.
 	TypeErrors []error
@@ -40,6 +44,7 @@ type listedPackage struct {
 	ImportPath string
 	Name       string
 	GoFiles    []string
+	Imports    []string
 }
 
 // Packages loads and type-checks the packages matching patterns, in the
@@ -67,6 +72,7 @@ func Packages(patterns ...string) ([]*Package, error) {
 		}
 		pkg.Dir = lp.Dir
 		pkg.Name = lp.Name
+		pkg.Imports = lp.Imports
 		out = append(out, pkg)
 	}
 	return out, nil

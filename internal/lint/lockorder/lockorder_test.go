@@ -1,0 +1,87 @@
+package lockorder_test
+
+import (
+	"go/importer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fusionq/internal/lint/analysis"
+	"fusionq/internal/lint/linttest"
+	"fusionq/internal/lint/load"
+	"fusionq/internal/lint/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, lockorder.Analyzer, "testdata/fixture")
+}
+
+func TestDeadlockFixture(t *testing.T) {
+	linttest.Run(t, lockorder.Analyzer, "testdata/deadlock")
+}
+
+// TestSeededDeadlockNamesBothSites pins the report's content, not just its
+// position: the cycle diagnostic for the seeded two-mutex repro must name
+// both mutexes and both acquisition sites, so a reader can fix either
+// nesting without re-running the analysis.
+func TestSeededDeadlockNamesBothSites(t *testing.T) {
+	file := filepath.Join("testdata", "deadlock", "deadlock.go")
+	fset := token.NewFileSet()
+	pkg, err := load.Check(fset, importer.ForCompiler(fset, "source", nil), "fixture/deadlock", []string{file})
+	if err != nil {
+		t.Fatalf("loading %s: %v", file, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Fatalf("fixture does not type-check: %v", terr)
+	}
+	pass := &analysis.Pass{Analyzer: lockorder.Analyzer, Fset: fset, Files: pkg.Files, Pkg: pkg.Types, TypesInfo: pkg.Info}
+	if err := lockorder.Analyzer.Run(pass); err != nil {
+		t.Fatalf("lockorder: %v", err)
+	}
+
+	var cycles []analysis.Diagnostic
+	for _, d := range pass.Diagnostics() {
+		if strings.Contains(d.Message, "lock-order cycle") {
+			cycles = append(cycles, d)
+		}
+	}
+	if len(cycles) != 1 {
+		t.Fatalf("want exactly 1 cycle diagnostic, got %d: %+v", len(cycles), cycles)
+	}
+	msg := cycles[0].Message
+
+	// The fixture marks its two acquisition sites with comments; the
+	// diagnostic must cite both file:line positions and both lock keys.
+	src, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sites []string
+	for i, line := range strings.Split(string(src), "\n") {
+		if strings.Contains(line, "acquisition site:") {
+			sites = append(sites, file+":"+itoa(i+1))
+		}
+	}
+	if len(sites) != 2 {
+		t.Fatalf("fixture must mark exactly 2 acquisition sites, found %d", len(sites))
+	}
+	for _, want := range append(sites, "deadlock.Ledger.mu", "deadlock.Audit.mu") {
+		if !strings.Contains(msg, want) {
+			t.Errorf("cycle diagnostic does not mention %q:\n%s", want, msg)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,34 @@
+// Package deadlock is the seeded two-mutex deadlock repro: Transfer nests
+// Ledger.mu → Audit.mu while Reconcile nests Audit.mu → Ledger.mu. Run
+// concurrently, each goroutine can take its first lock and then wait
+// forever for the other's. lockorder must report the cycle and name both
+// acquisition sites (the lines marked "acquisition site" below).
+package deadlock
+
+import "sync"
+
+type Ledger struct {
+	mu  sync.Mutex
+	bal int
+}
+
+type Audit struct {
+	mu   sync.Mutex
+	seen int
+}
+
+func Transfer(l *Ledger, a *Audit) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	a.mu.Lock() // acquisition site: Audit.mu under Ledger.mu // want `lock-order cycle`
+	defer a.mu.Unlock()
+	a.seen += l.bal
+}
+
+func Reconcile(l *Ledger, a *Audit) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	l.mu.Lock() // acquisition site: Ledger.mu under Audit.mu
+	defer l.mu.Unlock()
+	l.bal -= a.seen
+}

@@ -1,0 +1,104 @@
+// Fixture for the lockorder analyzer: double-acquires (direct, via a
+// callee, and an RLock→Lock upgrade) and an AB/BA lock-order cycle are
+// flagged; sequential re-acquires, consistent nesting, branchy unlocks and
+// provably-distinct instances are clean.
+package fixture
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+// Flagged: locking a mutex already held on the same path self-deadlocks.
+func doubleDirect(a *A) {
+	a.mu.Lock()
+	a.mu.Lock() // want `fixture\.A\.mu may already be held .* sync mutexes are not reentrant`
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// Flagged: the second acquisition is one call away; summaries catch it.
+func doubleViaCall(a *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	lockA(a) // want `call to fixture\.lockA re-acquires fixture\.A\.mu`
+}
+
+func lockA(a *A) {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+type R struct{ mu sync.RWMutex }
+
+// Flagged: upgrading a read lock to a write lock blocks on itself.
+func upgrade(r *R) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.mu.Lock() // want `fixture\.R\.mu may already be held`
+	r.mu.Unlock()
+}
+
+// Flagged: abOrder nests A then B, baOrder nests B then A — together the
+// order graph has a cycle and the two paths can deadlock against each
+// other. The cycle is reported once, at the edge that completes it.
+func abOrder(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock-order cycle fixture\..* → fixture\..* → fixture\.`
+	b.mu.Unlock()
+}
+
+func baOrder(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// Clean: re-acquiring after release is ordinary serial locking.
+func sequential(a *A) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+// Clean: consistent C→D nesting in two functions is a DAG edge, not a
+// cycle.
+func nestedOne(c *C, d *D) {
+	c.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func nestedTwo(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}
+
+// Clean: branch-dependent unlocks; no path re-acquires.
+func branchy(c *C, p bool) {
+	c.mu.Lock()
+	if p {
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+}
+
+// Clean: two provably distinct instances of one type share a key in the
+// order graph, but the base-object refinement exempts them from the
+// double-acquire report.
+func twoInstances(x, y *C) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}

@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
-	"sync"
 	"time"
 
 	"fusionq/internal/bloom"
@@ -28,7 +27,12 @@ type Client struct {
 	meta   Meta
 	schema *relation.Schema
 
-	mu   sync.Mutex
+	// sem is the connection slot: a capacity-1 semaphore serializing use of
+	// the single connection. A channel rather than a mutex so waiters honor
+	// their context — a caller queued behind a stalled exchange can give up
+	// instead of blocking until the peer's deadline fires — and so the slot
+	// can be handed to the stream pump goroutine for a chunked transfer.
+	sem  chan struct{}
 	conn net.Conn
 	enc  *json.Encoder
 	dec  *json.Decoder
@@ -45,7 +49,7 @@ func Dial(addr string) (*Client, error) {
 // DialContext is Dial honoring ctx for the connection setup and the
 // metadata exchange.
 func DialContext(ctx context.Context, addr string) (*Client, error) {
-	c := &Client{addr: addr}
+	c := &Client{addr: addr, sem: make(chan struct{}, 1)}
 	if err := c.connect(ctx); err != nil {
 		return nil, err
 	}
@@ -89,10 +93,24 @@ func (c *Client) connect(ctx context.Context) error {
 	return nil
 }
 
-// Close closes the connection.
+// acquire takes the connection slot, giving up when ctx is done.
+func (c *Client) acquire(ctx context.Context) error {
+	select {
+	case c.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("wire: %s: %w", c.addr, ctx.Err())
+	}
+}
+
+// release returns the connection slot taken by acquire.
+func (c *Client) release() { <-c.sem }
+
+// Close closes the connection. It has no context, so it waits its turn for
+// the connection slot like any exchange.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.sem <- struct{}{}
+	defer c.release()
 	if c.conn == nil {
 		return nil
 	}
@@ -128,8 +146,10 @@ func (c *Client) roundTrip(ctx context.Context, req Request) (Response, error) {
 }
 
 func (c *Client) doRoundTrip(ctx context.Context, req Request) (Response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	if err := c.acquire(ctx); err != nil {
+		return Response{}, err
+	}
+	defer c.release()
 	if err := ctx.Err(); err != nil {
 		return Response{}, fmt.Errorf("wire: %s: %w", c.addr, err)
 	}

@@ -44,7 +44,11 @@ func (c *Client) SelectStream(ctx context.Context, cd cond.Cond, batch int) (set
 	// The pump has no context of its own; close over this one so the
 	// fragment riding the final chunk can be grafted into its trace.
 	st.graft = func(f *Fragment) { graftFragment(ctx, sp, f) }
-	c.mu.Lock() // held until the pump finishes the transfer
+	// The connection slot is held until the pump finishes the transfer.
+	if err := c.acquire(ctx); err != nil {
+		sp.End(err)
+		return nil, err
+	}
 	if err := st.send(ctx, Request{
 		Op:      OpSelect,
 		QueryID: obs.QueryID(ctx),
@@ -53,7 +57,7 @@ func (c *Client) SelectStream(ctx context.Context, cd cond.Cond, batch int) (set
 		Frag:    c.meta.Fragments,
 	}); err != nil {
 		sp.End(err)
-		c.mu.Unlock()
+		c.release()
 		return nil, err
 	}
 	st.conn = c.conn
@@ -86,9 +90,9 @@ type clientStream struct {
 	closed bool
 }
 
-// send issues the chunked request on the locked connection. Called with
-// c.mu held; a failure leaves the connection dropped so the next operation
-// reconnects cleanly.
+// send issues the chunked request on the connection. Called with the
+// connection slot held; a failure leaves the connection dropped so the
+// next operation reconnects cleanly.
 func (st *clientStream) send(ctx context.Context, req Request) error {
 	c := st.c
 	if err := ctx.Err(); err != nil {
@@ -120,9 +124,10 @@ func (st *clientStream) send(ctx context.Context, req Request) error {
 	return nil
 }
 
-// pump drains the server's chunks into the buffer. It runs with c.mu held
-// (locked by SelectStream) and releases it when the transfer ends, in sync
-// for the next exchange on success, dropped on failure.
+// pump drains the server's chunks into the buffer. It runs holding the
+// connection slot (acquired by SelectStream) and releases it when the
+// transfer ends — the connection left in sync for the next exchange on
+// success, dropped on failure.
 func (st *clientStream) pump() {
 	defer st.wg.Done()
 	c := st.c
@@ -184,7 +189,7 @@ func (st *clientStream) pump() {
 	if perr == nil && frag != nil {
 		st.graft(frag)
 	}
-	c.mu.Unlock()
+	c.release()
 }
 
 // kick wakes a consumer blocked in Next, without blocking the pump.

@@ -358,9 +358,9 @@ func TestClientReconnects(t *testing.T) {
 	defer cli.Close()
 	// Kill the client's connection underneath it; the next call must
 	// transparently reconnect.
-	cli.mu.Lock()
+	cli.sem <- struct{}{}
 	cli.conn.Close()
-	cli.mu.Unlock()
+	cli.release()
 	got, err := cli.Select(context.Background(), cond.MustParse("V = 'dui'"))
 	if err != nil {
 		t.Fatalf("reconnect failed: %v", err)
