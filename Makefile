@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint lint-concurrency fuzz bench oracle
+.PHONY: build test race lint lint-concurrency fuzz bench oracle soak
 
 build:
 	$(GO) build ./...
@@ -38,10 +38,19 @@ oracle:
 	$(GO) run -race ./cmd/fqoracle -churn -duration 60s -seed 1 -repro oracle-out/repro-churn.json
 	$(GO) test -race -fuzz=FuzzOracle -fuzztime=30s -run='^$$' ./internal/oracle
 
+# Service soak: 60s of closed-loop load from cmd/fqload against an
+# in-process fqd over real TCP, the whole stack under the race detector.
+soak:
+	mkdir -p service-out
+	$(GO) run -race ./cmd/fqload -self -scenario synth -realtime 0.05 \
+		-duration 60s -tenants 8 -workers 12 -rate 200 -chunk 8 \
+		-json service-out/soak.json
+
 bench:
 	mkdir -p bench-out
-	set -e; for e in E1 E16 E17 E18 E19; do \
+	set -e; for e in E1 E16 E17 E18 E19 E20; do \
 		$(GO) run ./cmd/fqbench -e $$e -json -trace-json bench-out/$$e-trace.json > bench-out/$$e.json; \
 	done
 	cp bench-out/E18.json BENCH_streaming.json
 	cp bench-out/E19.json BENCH_hedging.json
+	cp bench-out/E20.json BENCH_service.json

@@ -1,0 +1,270 @@
+// Command fqload drives a closed-loop load against the fusion-query
+// service (cmd/fqd) and reports latency percentiles, throughput and cache
+// hit counts (DESIGN.md §16).
+//
+// Usage:
+//
+//	fqload -addr 127.0.0.1:7080 -n 2000 -tenants 8
+//	fqload -self -scenario synth -realtime 0.2 -duration 30s
+//
+// Flags:
+//
+//	-addr addr    fqd to dial (mutually exclusive with -self)
+//	-self         start an in-process fqd on a loopback port and load it —
+//	              one process, real TCP; this is what the CI soak runs
+//	              under -race
+//	-tenants n    simulated tenants (default 4)
+//	-workers n    closed-loop workers, one query outstanding each (default 8)
+//	-conns n      client connections the workers share (default workers)
+//	-n n          total queries to fire (0 = run for -duration)
+//	-duration d   wall-clock budget (0 = run until -n)
+//	-stream f     fraction of queries using streaming execution (default 0.3)
+//	-chunk n      ask the server to chunk answers at n items (0 = whole)
+//	-seed n       per-worker randomness seed (default 1)
+//	-mix spec     query pool: queries split by ';', conditions by ','
+//	              (default: derived from the scenario flags)
+//	-json file    also write the report as JSON ("-" for stdout)
+//
+// Scenario flags (-scenario, -sources, -tuples, -universe, -conds,
+// -realtime, plus admission flags -max-inflight, -queue, -rate, -burst)
+// configure the in-process server for -self, and — when -mix is absent —
+// derive the default query pool, which must then match the scenario the
+// dialed fqd serves. The pool covers every condition-list prefix and each
+// single condition, so repeated draws hit both the cold path and the plan
+// and answer caches.
+//
+// The loop is closed: each worker waits for its query's outcome before
+// firing the next, so offered load adapts to service capacity and the
+// reported percentiles are honest under admission control. Shed queries
+// (typed rejections) are counted separately from errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"fusionq/internal/service"
+)
+
+// options collects the flag values.
+type options struct {
+	addr   string
+	self   bool
+	deploy service.DeployConfig
+	load   service.LoadConfig
+	conns  int
+	chunk  int
+	mix    string
+	jsonTo string
+
+	maxInflight int
+	queue       int
+	rate        float64
+	burst       float64
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", "", "fqd address to dial")
+	flag.BoolVar(&o.self, "self", false, "start an in-process fqd and load it over loopback")
+	flag.StringVar(&o.deploy.Scenario, "scenario", "dmv", "scenario: dmv | synth")
+	flag.IntVar(&o.deploy.Sources, "sources", 0, "synth: number of sources")
+	flag.IntVar(&o.deploy.Tuples, "tuples", 0, "synth: tuples per source")
+	flag.IntVar(&o.deploy.Universe, "universe", 0, "synth: entity universe size")
+	flag.IntVar(&o.deploy.Conds, "conds", 0, "synth: number of conditions")
+	flag.Float64Var(&o.deploy.RealTime, "realtime", 0, "self: real-time scale for simulated exchanges")
+	flag.IntVar(&o.maxInflight, "max-inflight", 8, "self: concurrently executing queries")
+	flag.IntVar(&o.queue, "queue", 0, "self: admission queue depth")
+	flag.Float64Var(&o.rate, "rate", 0, "self: per-tenant queries/sec quota (0 = none)")
+	flag.Float64Var(&o.burst, "burst", 0, "self: per-tenant burst allowance")
+	flag.IntVar(&o.load.Tenants, "tenants", 4, "simulated tenants")
+	flag.IntVar(&o.load.Workers, "workers", 8, "closed-loop workers")
+	flag.IntVar(&o.conns, "conns", 0, "client connections (default workers)")
+	flag.IntVar(&o.load.Queries, "n", 0, "total queries (0 = use -duration)")
+	flag.DurationVar(&o.load.Duration, "duration", 0, "wall-clock budget (0 = use -n)")
+	flag.Float64Var(&o.load.StreamFraction, "stream", 0.3, "fraction of streaming queries")
+	flag.IntVar(&o.chunk, "chunk", 0, "server-side answer chunk size (0 = whole)")
+	flag.Int64Var(&o.load.Seed, "seed", 1, "randomness seed (data seed in -self mode too)")
+	flag.StringVar(&o.mix, "mix", "", "query pool: 'c1,c2;c3' (default from scenario)")
+	flag.StringVar(&o.jsonTo, "json", "", "write the JSON report here ('-' for stdout)")
+	flag.Parse()
+	if err := run(o); err != nil {
+		fmt.Fprintf(os.Stderr, "fqload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options) error {
+	if o.self == (o.addr != "") {
+		return fmt.Errorf("need exactly one of -addr or -self")
+	}
+	if o.load.Queries <= 0 && o.load.Duration <= 0 {
+		return fmt.Errorf("need -n or -duration")
+	}
+	o.deploy.Seed = o.load.Seed
+
+	addr := o.addr
+	if o.self {
+		srv, err := selfServe(o)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		addr = srv.Addr()
+		fmt.Printf("in-process fqd on %s\n", addr)
+	}
+
+	mix, err := buildMix(o)
+	if err != nil {
+		return err
+	}
+	o.load.Mix = mix
+
+	// SIGINT/SIGTERM stop the run cleanly; the partial report still prints.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	target, closeAll, err := dialPool(ctx, addr, o)
+	if err != nil {
+		return err
+	}
+	defer closeAll()
+
+	report, err := service.RunLoad(ctx, target, o.load)
+	if err != nil {
+		return err
+	}
+	printReport(report)
+	return writeJSON(o.jsonTo, report)
+}
+
+// selfServe starts the in-process fqd on a loopback port.
+func selfServe(o options) (*service.Server, error) {
+	dep, err := o.deploy.Build()
+	if err != nil {
+		return nil, err
+	}
+	eng := service.NewEngine(dep.Mediator, service.Config{
+		Admission: service.AdmissionConfig{
+			MaxInflight: o.maxInflight,
+			MaxQueue:    o.queue,
+			TenantRate:  o.rate,
+			TenantBurst: o.burst,
+		},
+	})
+	return service.Serve(eng, "127.0.0.1:0", service.ServerConfig{
+		Logf: func(string, ...interface{}) {},
+	})
+}
+
+// buildMix derives the query pool from -mix or the scenario flags.
+func buildMix(o options) ([][]string, error) {
+	if o.mix != "" {
+		var mix [][]string
+		for _, q := range strings.Split(o.mix, ";") {
+			var conds []string
+			for _, c := range strings.Split(q, ",") {
+				if c = strings.TrimSpace(c); c != "" {
+					conds = append(conds, c)
+				}
+			}
+			if len(conds) > 0 {
+				mix = append(mix, conds)
+			}
+		}
+		if len(mix) == 0 {
+			return nil, fmt.Errorf("-mix %q parsed to an empty pool", o.mix)
+		}
+		return mix, nil
+	}
+	// Build the scenario locally just for its condition vocabulary; in
+	// -addr mode the scenario flags must match the server's.
+	dep, err := o.deploy.Build()
+	if err != nil {
+		return nil, err
+	}
+	return dep.Mix(), nil
+}
+
+// pool fans queries out across a fixed set of clients round-robin by a
+// channel of free clients, so -workers can exceed -conns.
+type pool struct {
+	free chan *service.Client
+}
+
+// Query implements service.Target.
+func (p *pool) Query(ctx context.Context, tenant string, conds []string, stream bool) (*service.QueryReply, error) {
+	var cl *service.Client
+	select {
+	case cl = <-p.free:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { p.free <- cl }()
+	return cl.Query(ctx, tenant, conds, stream)
+}
+
+// dialPool connects -conns clients to addr.
+func dialPool(ctx context.Context, addr string, o options) (service.Target, func(), error) {
+	n := o.conns
+	if n <= 0 {
+		n = o.load.Workers
+		if n <= 0 {
+			n = 8
+		}
+	}
+	p := &pool{free: make(chan *service.Client, n)}
+	var all []*service.Client
+	closeAll := func() {
+		for _, cl := range all {
+			_ = cl.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		cl, err := service.DialService(ctx, addr)
+		if err != nil {
+			closeAll()
+			return nil, nil, fmt.Errorf("dial %s: %w", addr, err)
+		}
+		cl.Chunk = o.chunk
+		all = append(all, cl)
+		p.free <- cl
+	}
+	return p, closeAll, nil
+}
+
+// printReport renders the human-readable summary.
+func printReport(r *service.LoadReport) {
+	fmt.Printf("queries   %d (answered %d, shed %d, errors %d)\n",
+		r.Queries, r.Answered, r.Shed, r.Errors)
+	fmt.Printf("cached    plan %d, answer %d\n", r.PlanCached, r.AnswerCached)
+	fmt.Printf("latency   p50 %.2fms  p95 %.2fms  p99 %.2fms  mean %.2fms\n",
+		r.Latency.P50, r.Latency.P95, r.Latency.P99, r.Latency.Mean)
+	fmt.Printf("rate      %.1f answered/s over %.1fs\n", r.ThroughputQPS, r.ElapsedSec)
+	if r.FirstError != "" {
+		fmt.Printf("first err %s\n", r.FirstError)
+	}
+}
+
+// writeJSON writes the report to path ("-" = stdout, "" = nowhere).
+func writeJSON(path string, r *service.LoadReport) error {
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

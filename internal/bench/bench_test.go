@@ -8,10 +8,10 @@ import (
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 19 {
-		t.Fatalf("registered %d experiments, want 19 (E1..E19)", len(all))
+	if len(all) != 20 {
+		t.Fatalf("registered %d experiments, want 20 (E1..E20)", len(all))
 	}
-	want := []string{"E1", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	want := []string{"E1", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E2", "E20", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
 	for i, e := range all {
 		if e.ID != want[i] {
 			t.Fatalf("experiment %d = %s, want %s", i, e.ID, want[i])

@@ -220,6 +220,12 @@ type Mediator struct {
 	cache    *exec.Cache
 	metrics  *obs.Registry
 	recorder *obs.Recorder
+	// epoch counts roster generations: it moves whenever the set of
+	// registered sources changes (registration, removal, external churn
+	// signaled via BumpEpoch). Plans and answers derived from one epoch's
+	// roster are stale at any other — the service layer keys its caches by
+	// it.
+	epoch uint64
 	// recorderSet distinguishes SetRecorder(nil) — recording deliberately
 	// off — from the never-configured state that lazily gets the default.
 	recorderSet bool
@@ -362,7 +368,47 @@ func (m *Mediator) AddSource(src source.Source, profile stats.SourceProfile) err
 	}
 	m.sources = append(m.sources, src)
 	m.profiles = append(m.profiles, profile)
+	m.epoch++
 	return nil
+}
+
+// RemoveSource unregisters the named source, reporting whether it was
+// present. Removing a source moves the roster epoch: cached plans and
+// answers derived from the old roster become stale. Queries already running
+// keep their snapshot and are unaffected.
+func (m *Mediator) RemoveSource(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, s := range m.sources {
+		if s.Name() == name {
+			m.sources = append(m.sources[:i], m.sources[i+1:]...)
+			m.profiles = append(m.profiles[:i], m.profiles[i+1:]...)
+			m.epoch++
+			return true
+		}
+	}
+	return false
+}
+
+// Epoch returns the current roster epoch. The epoch moves on every source
+// registration or removal and on BumpEpoch; two equal epochs guarantee the
+// roster (names, order, membership) is unchanged between them.
+func (m *Mediator) Epoch() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.epoch
+}
+
+// BumpEpoch advances the roster epoch without changing the roster, and
+// returns the new epoch. Call it when the sources' contents must be
+// considered changed by an external signal (catalog churn, replica repair,
+// administrative invalidation), so epoch-keyed caches above the mediator
+// drop their derived state.
+func (m *Mediator) BumpEpoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.epoch++
+	return m.epoch
 }
 
 // AddSourceLink registers a source whose cost profile is derived from a
@@ -462,6 +508,7 @@ func (m *Mediator) AddReplicatedSource(name string, replicas []ReplicaSpec, opts
 	}
 	m.sources = append(m.sources, logical)
 	m.profiles = append(m.profiles, profile)
+	m.epoch++
 	return logical, nil
 }
 
@@ -632,6 +679,43 @@ func (m *Mediator) QueryConds(conds []cond.Cond, opts Options) (*Answer, error) 
 // error wraps the cause, so errors.Is(err, context.DeadlineExceeded) and
 // errors.Is(err, context.Canceled) identify abandoned queries.
 func (m *Mediator) QueryCondsContext(ctx context.Context, conds []cond.Cond, opts Options) (*Answer, error) {
+	return m.instrumented(ctx, conds, opts, func(qctx context.Context) (*Answer, error) {
+		return m.queryConds(qctx, conds, opts)
+	})
+}
+
+// ErrStalePlan reports that a pre-optimized plan handed to QueryPlanned no
+// longer matches the mediator's roster: sources the plan references were
+// removed or reordered since it was optimized. Callers holding plan caches
+// should drop the plan and re-plan against the current roster.
+var ErrStalePlan = errors.New("core: plan stale against current roster")
+
+// QueryPlanned is QueryPlannedContext with a background context.
+func (m *Mediator) QueryPlanned(conds []cond.Cond, res optimizer.Result, opts Options) (*Answer, error) {
+	return m.QueryPlannedContext(context.Background(), conds, res, opts)
+}
+
+// QueryPlannedContext executes a previously optimized plan (from
+// Mediator.Plan), skipping statistics gathering and optimization — the
+// repeated-query fast path a plan cache rides. The full query lifecycle is
+// otherwise identical to QueryCondsContext: query identity, spans, metrics,
+// flight recording, honest partials and mid-query roster repair all apply.
+//
+// The plan must have been optimized against this mediator's roster; if the
+// roster has since lost or reordered the plan's sources, the query fails
+// with an error wrapping ErrStalePlan before any source traffic. Options
+// that change what is planned (Adaptive, CombinedFetch, Algorithm) are
+// ignored — the plan is the plan.
+func (m *Mediator) QueryPlannedContext(ctx context.Context, conds []cond.Cond, res optimizer.Result, opts Options) (*Answer, error) {
+	return m.instrumented(ctx, conds, opts, func(qctx context.Context) (*Answer, error) {
+		return m.queryPlanned(qctx, res, opts)
+	})
+}
+
+// instrumented wraps one query body with the whole observability lifecycle:
+// per-query timeout, fresh query identity, span trace, metrics registry,
+// flight recording, and the fq_queries_total / fq_query_seconds charge.
+func (m *Mediator) instrumented(ctx context.Context, conds []cond.Cond, opts Options, body func(context.Context) (*Answer, error)) (*Answer, error) {
 	if opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
@@ -656,7 +740,7 @@ func (m *Mediator) QueryCondsContext(ctx context.Context, conds []cond.Cond, opt
 
 	qctx, qspan := obs.StartSpan(ctx, obs.KindQuery, "fusion query")
 	start := time.Now()
-	ans, err := m.queryConds(qctx, conds, opts)
+	ans, err := body(qctx)
 	qspan.End(err)
 	o.Metrics.Counter(obs.MQueries, "status", queryStatus(err)).Inc()
 	o.Metrics.Histogram(obs.MQuerySeconds).Observe(time.Since(start).Seconds())
@@ -739,6 +823,46 @@ func (m *Mediator) queryConds(ctx context.Context, conds []cond.Cond, opts Optio
 		}
 		return &Answer{Items: run.Answer, Plan: res.Plan, EstimatedCost: res.Cost, Exec: run, Records: records}, nil
 	}
+	run, err := ex.Run(ectx, res.Plan)
+	esp.End(err)
+	if err != nil {
+		if ans, rerr, handled := m.tryRepair(ctx, r, opts, res.Plan, run, res.Cost, err); handled {
+			return ans, rerr
+		}
+		return partialAnswer(run, res.Plan), err
+	}
+	return &Answer{Items: run.Answer, Plan: res.Plan, EstimatedCost: res.Cost, Exec: run}, nil
+}
+
+// queryPlanned is the body of QueryPlannedContext: validate the plan against
+// the current roster, then execute it exactly as queryConds would — same
+// executor wiring, same phase spans, same repair fallback — minus the plan
+// phase.
+func (m *Mediator) queryPlanned(ctx context.Context, res optimizer.Result, opts Options) (*Answer, error) {
+	if res.Plan == nil {
+		return nil, fmt.Errorf("core: planned query: nil plan")
+	}
+	r := m.snapshot(opts.Cache)
+	// The plan addresses sources by index into Plan.Sources; execution is
+	// sound iff the roster's leading sources still carry those names in that
+	// order (the roster may have grown — appended sources leave existing
+	// indexes aligned).
+	if len(r.sources) < len(res.Plan.Sources) {
+		return nil, fmt.Errorf("core: plan names %d sources, roster has %d: %w",
+			len(res.Plan.Sources), len(r.sources), ErrStalePlan)
+	}
+	for i, name := range res.Plan.Sources {
+		if r.sources[i].Name() != name {
+			return nil, fmt.Errorf("core: plan source %d is %q, roster has %q: %w",
+				i, name, r.sources[i].Name(), ErrStalePlan)
+		}
+	}
+	ex := &exec.Executor{
+		Sources: r.sources, Network: r.network, Parallel: opts.Parallel, Conns: opts.Conns,
+		Cache: r.cache, Trace: opts.Trace, Retries: opts.Retries,
+		Streaming: opts.Streaming, BatchSize: opts.BatchSize,
+	}
+	ectx, esp := obs.StartSpan(ctx, obs.KindPhase, "execute")
 	run, err := ex.Run(ectx, res.Plan)
 	esp.End(err)
 	if err != nil {

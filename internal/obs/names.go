@@ -87,6 +87,34 @@ const (
 	MLiveQueries = "fq_live_queries"
 	// MSlowQueries counts queries at or above the recorder's slow threshold.
 	MSlowQueries = "fq_slow_queries_total"
+	// MAdmitted counts queries the service admission controller let through,
+	// labeled by tenant; MShed counts the queries it rejected, labeled by
+	// tenant and reason (queue-full | quota | draining). Together they are the
+	// honest load-shedding ledger: every service query is exactly one of
+	// admitted, shed, or abandoned by its own caller before a slot freed.
+	MAdmitted = "fq_admitted_total"
+	MShed     = "fq_shed_total"
+	// MInflight is the number of admitted queries currently executing;
+	// MAdmitQueue is the number waiting for an execution slot.
+	MInflight   = "fq_inflight"
+	MAdmitQueue = "fq_admit_queue_depth"
+	// MPlanCacheHits / MPlanCacheMisses count plan-cache consultations: a hit
+	// reuses an optimized plan and skips statistics gathering and
+	// optimization entirely. MPlanCacheEvictions counts entries dropped,
+	// labeled by reason (stale — the roster epoch moved on | size).
+	MPlanCacheHits      = "fq_plan_cache_hits_total"
+	MPlanCacheMisses    = "fq_plan_cache_misses_total"
+	MPlanCacheEvictions = "fq_plan_cache_evictions_total"
+	// MAnswerCacheHits / MAnswerCacheMisses count whole-answer cache
+	// consultations at the service layer; MAnswerCacheEvictions counts
+	// entries dropped, labeled by reason (ttl | size | stale).
+	// MAnswerCacheEntries / MAnswerCacheBytes gauge the cache's current
+	// footprint against its configured bounds.
+	MAnswerCacheHits      = "fq_answer_cache_hits_total"
+	MAnswerCacheMisses    = "fq_answer_cache_misses_total"
+	MAnswerCacheEvictions = "fq_answer_cache_evictions_total"
+	MAnswerCacheEntries   = "fq_answer_cache_entries"
+	MAnswerCacheBytes     = "fq_answer_cache_bytes"
 )
 
 // DescribeAll registers help text and type for every canonical metric on r,
@@ -126,6 +154,18 @@ func DescribeAll(r *Registry) {
 		{MTraceBytes, kindGauge, "Approximate bytes of query records the flight recorder holds."},
 		{MLiveQueries, kindGauge, "Queries currently in flight through the recorder's live registry."},
 		{MSlowQueries, kindCounter, "Queries at or above the flight recorder's slow threshold."},
+		{MAdmitted, kindCounter, "Service queries admitted for execution, by tenant."},
+		{MShed, kindCounter, "Service queries rejected by admission control, by tenant and reason."},
+		{MInflight, kindGauge, "Admitted service queries currently executing."},
+		{MAdmitQueue, kindGauge, "Service queries waiting for an execution slot."},
+		{MPlanCacheHits, kindCounter, "Plan-cache consultations that reused an optimized plan."},
+		{MPlanCacheMisses, kindCounter, "Plan-cache consultations that had to plan afresh."},
+		{MPlanCacheEvictions, kindCounter, "Plan-cache entries dropped, by reason."},
+		{MAnswerCacheHits, kindCounter, "Answer-cache consultations served without executing."},
+		{MAnswerCacheMisses, kindCounter, "Answer-cache consultations that executed the query."},
+		{MAnswerCacheEvictions, kindCounter, "Answer-cache entries dropped, by reason."},
+		{MAnswerCacheEntries, kindGauge, "Entries currently held by the service answer cache."},
+		{MAnswerCacheBytes, kindGauge, "Approximate bytes held by the service answer cache."},
 	} {
 		r.describeTyped(d.name, d.kind, d.help)
 	}

@@ -73,12 +73,13 @@ func planClasses() []planClass {
 // env is one materialized instance: scenario, network, instrumented
 // sources, cost table and reference answer.
 type env struct {
-	inst    Instance
-	sc      *workload.Scenario
-	network *netsim.Network
-	sources []source.Source
-	pr      *optimizer.Problem
-	ref     set.Set
+	inst     Instance
+	sc       *workload.Scenario
+	network  *netsim.Network
+	sources  []source.Source
+	profiles []stats.SourceProfile
+	pr       *optimizer.Problem
+	ref      set.Set
 }
 
 // buildEnv materializes the instance. An error here means the instance
@@ -118,12 +119,13 @@ func buildEnv(ctx context.Context, inst Instance) (*env, error) {
 	}
 	network.Reset()
 	return &env{
-		inst:    inst,
-		sc:      sc,
-		network: network,
-		sources: srcs,
-		pr:      &optimizer.Problem{Conds: sc.Conds, Sources: sc.SourceNames(), Table: table},
-		ref:     ref,
+		inst:     inst,
+		sc:       sc,
+		network:  network,
+		sources:  srcs,
+		profiles: profiles,
+		pr:       &optimizer.Problem{Conds: sc.Conds, Sources: sc.SourceNames(), Table: table},
+		ref:      ref,
 	}, nil
 }
 
@@ -216,6 +218,14 @@ func (d *Driver) Check(ctx context.Context, inst Instance) ([]Failure, error) {
 	// skew-normalized, byte-reconciled server fragment in the trace.
 	if inst.WireTrace {
 		fs = append(fs, d.checkWireTrace(ctx, ev, results)...)
+	}
+
+	// Phase 10: plan-cache coherence sweep — the sources go behind a real
+	// mediator and the service's epoch-keyed plan cache; cached plans must
+	// answer like fresh ones before and after scripted roster churn, and
+	// stale plans must never be served or executed.
+	if inst.PlanCache {
+		fs = append(fs, d.checkPlanCache(ctx, ev)...)
 	}
 	return fs, nil
 }

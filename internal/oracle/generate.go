@@ -75,7 +75,9 @@ func Generate(seed int64) Instance {
 		in.Replicate = true
 		in.ChurnKillAll = rng.Float64() < 0.5
 	}
-	// Drawn last so enabling the sweep perturbs no earlier field.
+	// Drawn last so enabling these sweeps perturbs no earlier field (and
+	// in this order, so older seeds keep their WireTrace draw).
 	in.WireTrace = rng.Float64() < 0.4
+	in.PlanCache = rng.Float64() < 0.4
 	return in
 }

@@ -100,6 +100,13 @@ type Instance struct {
 	// skew-normalized server fragment in the trace, and the fragments' byte
 	// counts must reconcile with the servers' fq_wire_bytes_* counters.
 	WireTrace bool `json:"wireTrace,omitempty"`
+	// PlanCache runs the plan-cache coherence sweep: the sources go behind
+	// a real mediator and the service's epoch-keyed plan cache, and cached
+	// plans must answer exactly like fresh ones before and after scripted
+	// roster churn — with stale plans never served and never executed
+	// (core.ErrStalePlan). Skipped on single-source instances, where churn
+	// would empty the roster.
+	PlanCache bool `json:"planCache,omitempty"`
 }
 
 // JSON renders the instance as indented JSON — the repro artifact format of
@@ -160,7 +167,7 @@ type Failure struct {
 	// "cost-dominance", "seq-identity", "par-response", "span-unfinished",
 	// "metric-imbalance", "gauge-leak", "cache-reuse", "optimize-error",
 	// "exec-error", "wire-frag-missing", "wire-frag-nesting",
-	// "wire-bytes-mismatch".
+	// "wire-bytes-mismatch", "plan-cache-coherence".
 	Property string `json:"property"`
 	// Class is the plan class involved ("filter", "sja+", "jou", ...).
 	Class string `json:"class,omitempty"`

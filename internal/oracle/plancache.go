@@ -1,0 +1,126 @@
+package oracle
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"fusionq/internal/core"
+	"fusionq/internal/obs"
+	"fusionq/internal/service"
+	"fusionq/internal/workload"
+)
+
+// checkPlanCache is the plan-cache coherence sweep: the instance's sources
+// go behind a real mediator and the service's epoch-keyed plan cache, and
+// the sweep verifies the cache's three promises around scripted roster
+// churn:
+//
+//   - plan-cache-coherence/warm: a same-epoch cached plan, executed through
+//     core.QueryPlannedContext, returns exactly the reference answer — and
+//     so does a fresh plan-and-execute run of the same query;
+//   - plan-cache-coherence/churn: after the first source is removed from
+//     the roster (the scripted churn event), the old-epoch entry is never
+//     served, and executing the stale plan directly fails with
+//     core.ErrStalePlan before any source traffic;
+//   - plan-cache-coherence/post-churn: a re-planned, re-cached query at the
+//     new epoch answers exactly the survivors-only reference, computed
+//     naively from the remaining relations.
+//
+// Instances with a single source are skipped: churn would empty the roster
+// and there would be no post-churn query to check.
+func (d *Driver) checkPlanCache(ctx context.Context, ev *env) []Failure {
+	if len(ev.sc.Sources) < 2 {
+		return nil
+	}
+	infra := func(stage string, err error) []Failure {
+		return []Failure{{Property: "exec-error", Class: "plan-cache", Mode: stage, Detail: err.Error()}}
+	}
+	m := core.New(ev.sc.Schema)
+	m.SetNetwork(ev.network)
+	m.SetMetrics(obs.NewRegistry())
+	for j, src := range ev.sources {
+		if err := m.AddSource(src, ev.profiles[j]); err != nil {
+			return infra("add-source", err)
+		}
+	}
+	pc := service.NewPlanCache(8, obs.NewRegistry())
+	conds := ev.sc.Conds
+	key := service.QueryKey(conds, core.AlgoSJAPlus)
+	opts := core.Options{}
+
+	res, err := m.Plan(ctx, conds, opts)
+	if err != nil {
+		return infra("plan", err)
+	}
+	epoch := m.Epoch()
+	pc.Put(key, epoch, res)
+
+	var fs []Failure
+	cached, ok := pc.Get(key, epoch)
+	if !ok {
+		return []Failure{{Property: "plan-cache-coherence", Mode: "warm", Detail: "same-epoch entry missed"}}
+	}
+	warm, err := m.QueryPlannedContext(ctx, conds, cached, opts)
+	if err != nil {
+		return append(fs, infra("warm-exec", err)...)
+	}
+	if !warm.Items.Equal(ev.ref) {
+		fs = append(fs, Failure{Property: "answer-mismatch", Class: "plan-cache", Mode: "warm",
+			Detail: answerDiff(warm.Items, ev.ref)})
+	}
+	fresh, err := m.QueryCondsContext(ctx, conds, opts)
+	if err != nil {
+		return append(fs, infra("fresh-exec", err)...)
+	}
+	if !fresh.Items.Equal(ev.ref) {
+		fs = append(fs, Failure{Property: "answer-mismatch", Class: "plan-cache", Mode: "fresh",
+			Detail: answerDiff(fresh.Items, ev.ref)})
+	}
+
+	// Scripted churn: the first source leaves the roster, moving the epoch.
+	dead := ev.sc.SourceNames()[0]
+	if !m.RemoveSource(dead) {
+		return append(fs, infra("churn", fmt.Errorf("RemoveSource(%s) found nothing", dead))...)
+	}
+	if _, ok := pc.Get(key, m.Epoch()); ok {
+		fs = append(fs, Failure{Property: "plan-cache-coherence", Mode: "churn",
+			Detail: "stale-epoch plan served after roster churn"})
+	}
+	if _, err := m.QueryPlannedContext(ctx, conds, res, opts); !errors.Is(err, core.ErrStalePlan) {
+		fs = append(fs, Failure{Property: "plan-cache-coherence", Mode: "churn",
+			Detail: fmt.Sprintf("stale plan executed against the shrunk roster: err=%v, want core.ErrStalePlan", err)})
+	}
+
+	// Post-churn: re-plan, re-cache, and compare against the ground truth
+	// of the surviving sources only.
+	surv := &workload.Scenario{
+		Schema:    ev.sc.Schema,
+		Conds:     conds,
+		Sources:   ev.sc.Sources[1:],
+		Relations: ev.sc.Relations[1:],
+	}
+	survRef, err := ReferenceAnswer(surv)
+	if err != nil {
+		return append(fs, infra("post-churn-reference", err)...)
+	}
+	res2, err := m.Plan(ctx, conds, opts)
+	if err != nil {
+		return append(fs, infra("post-churn-plan", err)...)
+	}
+	pc.Put(key, m.Epoch(), res2)
+	cached2, ok := pc.Get(key, m.Epoch())
+	if !ok {
+		return append(fs, Failure{Property: "plan-cache-coherence", Mode: "post-churn",
+			Detail: "re-cached plan missed at its own epoch"})
+	}
+	after, err := m.QueryPlannedContext(ctx, conds, cached2, opts)
+	if err != nil {
+		return append(fs, infra("post-churn-exec", err)...)
+	}
+	if !after.Items.Equal(survRef) {
+		fs = append(fs, Failure{Property: "answer-mismatch", Class: "plan-cache", Mode: "post-churn",
+			Detail: answerDiff(after.Items, survRef)})
+	}
+	return fs
+}

@@ -85,6 +85,13 @@ var shrinkTransforms = []struct {
 		in.WireTrace = false
 		return in, true
 	}},
+	{"drop-plancache", func(in Instance) (Instance, bool) {
+		if !in.PlanCache {
+			return in, false
+		}
+		in.PlanCache = false
+		return in, true
+	}},
 	{"drop-zipf", func(in Instance) (Instance, bool) {
 		if !in.Zipf {
 			return in, false

@@ -1,0 +1,255 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"fusionq/internal/obs"
+)
+
+// fakeClock is a manually-advanced clock for quota-refill tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// deltas is the admission metric footprint of one transition sequence.
+type deltas struct {
+	admitted map[string]int64 // by tenant
+	shed     map[string]int64 // by "tenant/reason"
+	inflight int64            // gauge at end
+	queue    int64            // gauge at end
+}
+
+// readDeltas snapshots the admission metrics for the tenants and reasons a
+// case cares about.
+func readDeltas(reg *obs.Registry, tenants []string) deltas {
+	d := deltas{admitted: map[string]int64{}, shed: map[string]int64{}}
+	for _, tn := range tenants {
+		d.admitted[tn] = reg.Counter(obs.MAdmitted, "tenant", tn).Value()
+		for _, reason := range []ShedReason{ShedQueueFull, ShedQuota, ShedDraining} {
+			if v := reg.Counter(obs.MShed, "tenant", tn, "reason", string(reason)).Value(); v != 0 {
+				d.shed[tn+"/"+string(reason)] = v
+			}
+		}
+	}
+	d.inflight = reg.Gauge(obs.MInflight).Value()
+	d.queue = reg.Gauge(obs.MAdmitQueue).Value()
+	return d
+}
+
+// TestAdmissionStateMachine drives every admission transition — admit,
+// queue-full shed, quota shed, draining shed, abandoned wait, drain
+// completion — and asserts the exact metric deltas each one charges.
+func TestAdmissionStateMachine(t *testing.T) {
+	type tcase struct {
+		name    string
+		cfg     AdmissionConfig
+		run     func(t *testing.T, a *Admission, clock *fakeClock)
+		tenants []string
+		want    deltas
+	}
+	cases := []tcase{
+		{
+			name:    "admit and release",
+			cfg:     AdmissionConfig{MaxInflight: 2},
+			tenants: []string{"a"},
+			run: func(t *testing.T, a *Admission, _ *fakeClock) {
+				rel, err := a.Admit(context.Background(), "a")
+				if err != nil {
+					t.Fatalf("Admit: %v", err)
+				}
+				if got := a.metrics.Gauge(obs.MInflight).Value(); got != 1 {
+					t.Fatalf("inflight while holding = %d, want 1", got)
+				}
+				rel()
+				rel() // idempotent: no double release
+			},
+			want: deltas{admitted: map[string]int64{"a": 1}, shed: map[string]int64{}},
+		},
+		{
+			name:    "queue-full shed",
+			cfg:     AdmissionConfig{MaxInflight: 1, MaxQueue: -1},
+			tenants: []string{"a", "b"},
+			run: func(t *testing.T, a *Admission, _ *fakeClock) {
+				rel, err := a.Admit(context.Background(), "a")
+				if err != nil {
+					t.Fatalf("Admit: %v", err)
+				}
+				defer rel()
+				_, err = a.Admit(context.Background(), "b")
+				var shed *ShedError
+				if !errors.As(err, &shed) || shed.Reason != ShedQueueFull {
+					t.Fatalf("second Admit = %v, want queue-full shed", err)
+				}
+			},
+			want: deltas{
+				admitted: map[string]int64{"a": 1, "b": 0},
+				shed:     map[string]int64{"b/queue-full": 1},
+			},
+		},
+		{
+			name:    "quota exhaustion and refill",
+			cfg:     AdmissionConfig{MaxInflight: 8, TenantRate: 2, TenantBurst: 2},
+			tenants: []string{"a", "b"},
+			run: func(t *testing.T, a *Admission, clock *fakeClock) {
+				for i := 0; i < 2; i++ {
+					rel, err := a.Admit(context.Background(), "a")
+					if err != nil {
+						t.Fatalf("Admit %d: %v", i, err)
+					}
+					rel()
+				}
+				_, err := a.Admit(context.Background(), "a")
+				var shed *ShedError
+				if !errors.As(err, &shed) || shed.Reason != ShedQuota {
+					t.Fatalf("over-quota Admit = %v, want quota shed", err)
+				}
+				// Another tenant is unaffected by a's exhaustion.
+				rel, err := a.Admit(context.Background(), "b")
+				if err != nil {
+					t.Fatalf("tenant b Admit: %v", err)
+				}
+				rel()
+				// Refill: 1s at 2 tokens/s buys two more queries.
+				clock.Advance(time.Second)
+				rel, err = a.Admit(context.Background(), "a")
+				if err != nil {
+					t.Fatalf("post-refill Admit: %v", err)
+				}
+				rel()
+			},
+			want: deltas{
+				admitted: map[string]int64{"a": 3, "b": 1},
+				shed:     map[string]int64{"a/quota": 1},
+			},
+		},
+		{
+			name:    "abandoned wait charges nothing",
+			cfg:     AdmissionConfig{MaxInflight: 1, MaxQueue: 4},
+			tenants: []string{"a", "b"},
+			run: func(t *testing.T, a *Admission, _ *fakeClock) {
+				rel, err := a.Admit(context.Background(), "a")
+				if err != nil {
+					t.Fatalf("Admit: %v", err)
+				}
+				defer rel()
+				ctx, cancel := context.WithCancel(context.Background())
+				cancel()
+				_, err = a.Admit(ctx, "b")
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("abandoned Admit = %v, want context.Canceled", err)
+				}
+				var shed *ShedError
+				if errors.As(err, &shed) {
+					t.Fatalf("abandoned wait must not be a shed: %v", err)
+				}
+			},
+			want: deltas{
+				admitted: map[string]int64{"a": 1, "b": 0},
+				shed:     map[string]int64{},
+			},
+		},
+		{
+			name:    "drain sheds new and queued, then completes",
+			cfg:     AdmissionConfig{MaxInflight: 1, MaxQueue: 4},
+			tenants: []string{"a", "b"},
+			run: func(t *testing.T, a *Admission, _ *fakeClock) {
+				rel, err := a.Admit(context.Background(), "a")
+				if err != nil {
+					t.Fatalf("Admit: %v", err)
+				}
+				drained := make(chan error, 1)
+				var wg sync.WaitGroup
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					drained <- a.Drain(context.Background())
+				}()
+				// New arrivals shed with draining while the drain waits out
+				// the in-flight query.
+				for {
+					_, err := a.Admit(context.Background(), "b")
+					var shed *ShedError
+					if errors.As(err, &shed) && shed.Reason == ShedDraining {
+						break
+					}
+					time.Sleep(time.Millisecond)
+				}
+				select {
+				case err := <-drained:
+					t.Fatalf("Drain returned (%v) before the in-flight query released", err)
+				default:
+				}
+				rel()
+				wg.Wait()
+				if err := <-drained; err != nil {
+					t.Fatalf("Drain: %v", err)
+				}
+				// Draining is permanent: later queries shed too.
+				_, err = a.Admit(context.Background(), "b")
+				var shed *ShedError
+				if !errors.As(err, &shed) || shed.Reason != ShedDraining {
+					t.Fatalf("post-drain Admit = %v, want draining shed", err)
+				}
+			},
+			want: deltas{
+				admitted: map[string]int64{"a": 1, "b": 0},
+				shed:     map[string]int64{"b/draining": 2},
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := obs.NewRegistry()
+			clock := newFakeClock()
+			tc.cfg.Metrics = reg
+			tc.cfg.Now = clock.Now
+			a := NewAdmission(tc.cfg)
+			tc.run(t, a, clock)
+
+			got := readDeltas(reg, tc.tenants)
+			for tn, want := range tc.want.admitted {
+				if got.admitted[tn] != want {
+					t.Errorf("admitted[%s] = %d, want %d", tn, got.admitted[tn], want)
+				}
+			}
+			for k, want := range tc.want.shed {
+				if got.shed[k] != want {
+					t.Errorf("shed[%s] = %d, want %d", k, got.shed[k], want)
+				}
+			}
+			for k, v := range got.shed {
+				if _, ok := tc.want.shed[k]; !ok {
+					t.Errorf("unexpected shed[%s] = %d", k, v)
+				}
+			}
+			if got.inflight != tc.want.inflight {
+				t.Errorf("fq_inflight = %d, want %d", got.inflight, tc.want.inflight)
+			}
+			if got.queue != tc.want.queue {
+				t.Errorf("fq_admit_queue_depth = %d, want %d", got.queue, tc.want.queue)
+			}
+		})
+	}
+}

@@ -1,0 +1,241 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Target is anything the load generator can fire queries at: a Client (over
+// TCP against cmd/fqd) or an EngineTarget (in-process).
+type Target interface {
+	Query(ctx context.Context, tenant string, conds []string, stream bool) (*QueryReply, error)
+}
+
+// EngineTarget adapts an Engine to the Target interface, so loads can run
+// in-process without a socket.
+type EngineTarget struct{ Engine *Engine }
+
+// Query implements Target.
+func (t EngineTarget) Query(ctx context.Context, tenant string, conds []string, stream bool) (*QueryReply, error) {
+	cs, err := ParseConds(conds)
+	if err != nil {
+		return nil, err
+	}
+	res, err := t.Engine.Query(ctx, Request{Tenant: tenant, Conds: cs, Stream: stream})
+	if err != nil {
+		return nil, err
+	}
+	return &QueryReply{Items: res.Answer.Items.Slice(), PlanCached: res.PlanCached, AnswerCached: res.AnswerCached}, nil
+}
+
+// LoadConfig tunes a closed-loop load run.
+type LoadConfig struct {
+	// Tenants is the number of simulated tenants (default 4). Worker i
+	// draws a tenant uniformly per query.
+	Tenants int
+	// Workers is the closed-loop concurrency: each worker has at most one
+	// query outstanding (default 8).
+	Workers int
+	// Queries bounds the total queries fired; 0 means run until ctx is done
+	// or Duration elapses.
+	Queries int
+	// Duration bounds the run's wall clock; 0 means until Queries.
+	Duration time.Duration
+	// Mix is the query pool, each entry a condition list in textual form;
+	// workers draw uniformly. Required.
+	Mix [][]string
+	// StreamFraction of queries run with streaming execution.
+	StreamFraction float64
+	// Seed drives the per-worker random streams.
+	Seed int64
+}
+
+// Percentiles summarizes a latency sample in milliseconds, computed from
+// the measured per-query wall clocks (exact order statistics, not histogram
+// buckets).
+type Percentiles struct {
+	P50  float64 `json:"p50Ms"`
+	P95  float64 `json:"p95Ms"`
+	P99  float64 `json:"p99Ms"`
+	Mean float64 `json:"meanMs"`
+}
+
+// LoadReport is a closed-loop run's outcome. Queries = Answered + Shed +
+// Errors; the latency sample covers answered queries only.
+type LoadReport struct {
+	Queries  int `json:"queries"`
+	Answered int `json:"answered"`
+	Shed     int `json:"shed"`
+	Errors   int `json:"errors"`
+	// PlanCached / AnswerCached count answered queries served via each
+	// cache (an answer-cache hit is not also a plan-cache hit).
+	PlanCached   int         `json:"planCached"`
+	AnswerCached int         `json:"answerCached"`
+	Latency      Percentiles `json:"latency"`
+	// ThroughputQPS is answered queries per wall-clock second.
+	ThroughputQPS float64 `json:"throughputQps"`
+	ElapsedSec    float64 `json:"elapsedSec"`
+	// FirstError samples the first untyped failure, so a run with a
+	// non-zero Errors count is diagnosable from the report alone.
+	FirstError string `json:"firstError,omitempty"`
+}
+
+// RunLoad drives target closed-loop: cfg.Workers goroutines each fire one
+// query, wait for its outcome, and immediately fire the next, until the
+// query budget or the clock runs out. Shed queries (typed *ShedError) count
+// separately from errors — under deliberate overload they are the service
+// working as designed. The context ending is a clean stop, not an error.
+func RunLoad(ctx context.Context, target Target, cfg LoadConfig) (*LoadReport, error) {
+	if len(cfg.Mix) == 0 {
+		return nil, errors.New("service: load: empty query mix")
+	}
+	if cfg.Tenants <= 0 {
+		cfg.Tenants = 4
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.Queries <= 0 && cfg.Duration <= 0 {
+		return nil, errors.New("service: load: need a query count or a duration")
+	}
+	if cfg.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+
+	type workerTally struct {
+		latencies []float64 // ms, answered queries
+		answered  int
+		shed      int
+		failed    int
+		planHits  int
+		ansHits   int
+		err       error
+	}
+	tallies := make([]workerTally, cfg.Workers)
+	var fired atomic.Int64
+	budget := int64(cfg.Queries)
+
+	// The run is over once ctx errs OR the wall clock passes its deadline.
+	// The second clause matters: ctx expiry is delivered by a runtime timer
+	// that can lag the wall clock under load (notably with -race), while
+	// connection deadlines derived from the same ctx are enforced by the
+	// kernel on time. In that lag window every I/O fails instantly with a
+	// timeout while ctx.Err() still reads nil — those are end-of-run
+	// artifacts, not service errors.
+	over := func() bool {
+		if ctx.Err() != nil {
+			return true
+		}
+		dl, ok := ctx.Deadline()
+		return ok && !time.Now().Before(dl)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			t := &tallies[w]
+			for !over() {
+				if budget > 0 && fired.Add(1) > budget {
+					return
+				}
+				tenant := fmt.Sprintf("t%02d", rng.Intn(cfg.Tenants))
+				conds := cfg.Mix[rng.Intn(len(cfg.Mix))]
+				stream := rng.Float64() < cfg.StreamFraction
+				qStart := time.Now()
+				reply, err := target.Query(ctx, tenant, conds, stream)
+				switch {
+				case err == nil:
+					t.answered++
+					t.latencies = append(t.latencies, float64(time.Since(qStart).Microseconds())/1000)
+					if reply.AnswerCached {
+						t.ansHits++
+					} else if reply.PlanCached {
+						t.planHits++
+					}
+				case isShed(err):
+					t.shed++
+				case over():
+					// The run's clock ended mid-query: a clean stop.
+					return
+				default:
+					t.failed++
+					if t.err == nil {
+						t.err = err
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &LoadReport{ElapsedSec: elapsed.Seconds()}
+	var all []float64
+	var firstErr error
+	for i := range tallies {
+		t := &tallies[i]
+		rep.Answered += t.answered
+		rep.Shed += t.shed
+		rep.Errors += t.failed
+		rep.PlanCached += t.planHits
+		rep.AnswerCached += t.ansHits
+		all = append(all, t.latencies...)
+		if firstErr == nil {
+			firstErr = t.err
+		}
+	}
+	rep.Queries = rep.Answered + rep.Shed + rep.Errors
+	if firstErr != nil {
+		rep.FirstError = firstErr.Error()
+	}
+	rep.Latency = percentiles(all)
+	if elapsed > 0 {
+		rep.ThroughputQPS = float64(rep.Answered) / elapsed.Seconds()
+	}
+	if rep.Answered == 0 && firstErr != nil {
+		return rep, fmt.Errorf("service: load: no query succeeded: %w", firstErr)
+	}
+	return rep, nil
+}
+
+// isShed reports whether err is a typed load-shedding rejection.
+func isShed(err error) bool {
+	var shed *ShedError
+	return errors.As(err, &shed)
+}
+
+// percentiles computes exact order statistics over a latency sample.
+func percentiles(ms []float64) Percentiles {
+	if len(ms) == 0 {
+		return Percentiles{}
+	}
+	sort.Float64s(ms)
+	at := func(q float64) float64 {
+		idx := int(math.Ceil(q*float64(len(ms)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ms) {
+			idx = len(ms) - 1
+		}
+		return ms[idx]
+	}
+	var sum float64
+	for _, v := range ms {
+		sum += v
+	}
+	return Percentiles{P50: at(0.50), P95: at(0.95), P99: at(0.99), Mean: sum / float64(len(ms))}
+}

@@ -1,0 +1,139 @@
+package service
+
+import (
+	"container/list"
+	"sort"
+	"strings"
+	"sync"
+
+	"fusionq/internal/cond"
+	"fusionq/internal/core"
+	"fusionq/internal/obs"
+	"fusionq/internal/optimizer"
+)
+
+// QueryKey canonicalizes a condition list and algorithm into the cache key
+// shared by the plan and answer caches. Conditions are rendered and sorted,
+// so queries that state the same conditions in different orders share an
+// entry (the optimizer re-orders conditions anyway, and a fusion answer is
+// order-independent). Roster validity is NOT part of the key — entries carry
+// the roster epoch they were built at and are invalidated on mismatch.
+func QueryKey(conds []cond.Cond, algo core.Algorithm) string {
+	parts := make([]string, len(conds))
+	for i, c := range conds {
+		parts[i] = c.String()
+	}
+	sort.Strings(parts)
+	return string(algo) + "|" + strings.Join(parts, " AND ")
+}
+
+// PlanCache memoizes optimizer results by canonical query key, each entry
+// pinned to the roster epoch it was planned at. A hit skips statistics
+// gathering (one source exchange per condition per source — the dominant
+// cold-query cost) and optimization. Entries whose epoch no longer matches
+// the roster are evicted on lookup (reason "stale"); capacity overflow
+// evicts least-recently-used (reason "size"). Safe for concurrent use.
+type PlanCache struct {
+	mu      sync.Mutex
+	max     int
+	metrics *obs.Registry
+	entries map[string]*planEntry
+	lru     *list.List // front = most recently used
+}
+
+type planEntry struct {
+	key   string
+	epoch uint64
+	res   optimizer.Result
+	elem  *list.Element
+}
+
+// NewPlanCache builds a plan cache holding at most max entries; max <= 0
+// disables caching (every Get misses, Put is a no-op, nothing is charged).
+// metrics nil means the process-wide default registry.
+func NewPlanCache(max int, metrics *obs.Registry) *PlanCache {
+	if metrics == nil {
+		metrics = obs.Default()
+	}
+	return &PlanCache{
+		max:     max,
+		metrics: metrics,
+		entries: map[string]*planEntry{},
+		lru:     list.New(),
+	}
+}
+
+// Get looks up the plan for key, valid only at the given roster epoch. A
+// present entry from another epoch is evicted as stale and reported as a
+// miss — a stale plan is never returned.
+func (pc *PlanCache) Get(key string, epoch uint64) (optimizer.Result, bool) {
+	if pc == nil || pc.max <= 0 {
+		return optimizer.Result{}, false
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	e, ok := pc.entries[key]
+	if ok && e.epoch != epoch {
+		pc.removeLocked(e, "stale")
+		ok = false
+	}
+	if !ok {
+		pc.metrics.Counter(obs.MPlanCacheMisses).Inc()
+		return optimizer.Result{}, false
+	}
+	pc.lru.MoveToFront(e.elem)
+	pc.metrics.Counter(obs.MPlanCacheHits).Inc()
+	return e.res, true
+}
+
+// Put stores the plan for key at the given roster epoch, replacing any
+// previous entry and evicting the least-recently-used entry on overflow.
+func (pc *PlanCache) Put(key string, epoch uint64, res optimizer.Result) {
+	if pc == nil || pc.max <= 0 {
+		return
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if e, ok := pc.entries[key]; ok {
+		e.epoch, e.res = epoch, res
+		pc.lru.MoveToFront(e.elem)
+		return
+	}
+	e := &planEntry{key: key, epoch: epoch, res: res}
+	e.elem = pc.lru.PushFront(e)
+	pc.entries[key] = e
+	for len(pc.entries) > pc.max {
+		back := pc.lru.Back()
+		pc.removeLocked(back.Value.(*planEntry), "size")
+	}
+}
+
+// Invalidate drops the entry for key if present (reason "stale"). The engine
+// calls it when executing a cached plan surfaced core.ErrStalePlan — the
+// roster moved between the epoch check and execution.
+func (pc *PlanCache) Invalidate(key string) {
+	if pc == nil || pc.max <= 0 {
+		return
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if e, ok := pc.entries[key]; ok {
+		pc.removeLocked(e, "stale")
+	}
+}
+
+// Len reports the number of cached plans.
+func (pc *PlanCache) Len() int {
+	if pc == nil || pc.max <= 0 {
+		return 0
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return len(pc.entries)
+}
+
+func (pc *PlanCache) removeLocked(e *planEntry, reason string) {
+	delete(pc.entries, e.key)
+	pc.lru.Remove(e.elem)
+	pc.metrics.Counter(obs.MPlanCacheEvictions, "reason", reason).Inc()
+}

@@ -1,0 +1,84 @@
+package service
+
+import (
+	"testing"
+
+	"fusionq/internal/cond"
+	"fusionq/internal/core"
+	"fusionq/internal/obs"
+	"fusionq/internal/optimizer"
+	"fusionq/internal/plan"
+)
+
+func TestQueryKeyCanonical(t *testing.T) {
+	a, err := cond.Parse(`V = 'dui'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cond.Parse(`V = 'sp'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if QueryKey([]cond.Cond{a, b}, core.AlgoSJAPlus) != QueryKey([]cond.Cond{b, a}, core.AlgoSJAPlus) {
+		t.Fatal("condition order changed the query key")
+	}
+	if QueryKey([]cond.Cond{a, b}, core.AlgoSJAPlus) == QueryKey([]cond.Cond{a, b}, core.AlgoFilter) {
+		t.Fatal("algorithm not part of the query key")
+	}
+}
+
+func TestPlanCacheEpochAndLRU(t *testing.T) {
+	reg := obs.NewRegistry()
+	pc := NewPlanCache(2, reg)
+	res := func(cost float64) optimizer.Result {
+		return optimizer.Result{Plan: &plan.Plan{}, Cost: cost}
+	}
+
+	pc.Put("q1", 1, res(1))
+	if _, ok := pc.Get("q1", 1); !ok {
+		t.Fatal("same-epoch entry missed")
+	}
+	// Epoch mismatch: never served, evicted as stale.
+	if _, ok := pc.Get("q1", 2); ok {
+		t.Fatal("stale-epoch plan served")
+	}
+	if ev := reg.Counter(obs.MPlanCacheEvictions, "reason", "stale").Value(); ev != 1 {
+		t.Fatalf("stale evictions = %d, want 1", ev)
+	}
+	if pc.Len() != 0 {
+		t.Fatalf("Len = %d after stale eviction, want 0", pc.Len())
+	}
+
+	// LRU overflow: q1 is refreshed by a Get, so q2 is the victim.
+	pc.Put("q1", 2, res(1))
+	pc.Put("q2", 2, res(2))
+	if _, ok := pc.Get("q1", 2); !ok {
+		t.Fatal("q1 missed")
+	}
+	pc.Put("q3", 2, res(3))
+	if _, ok := pc.Get("q2", 2); ok {
+		t.Fatal("LRU victim q2 still cached")
+	}
+	if _, ok := pc.Get("q1", 2); !ok {
+		t.Fatal("recently-used q1 evicted")
+	}
+	if ev := reg.Counter(obs.MPlanCacheEvictions, "reason", "size").Value(); ev != 1 {
+		t.Fatalf("size evictions = %d, want 1", ev)
+	}
+
+	pc.Invalidate("q1")
+	if _, ok := pc.Get("q1", 2); ok {
+		t.Fatal("invalidated plan served")
+	}
+
+	// Disabled cache: everything misses silently.
+	var nilCache *PlanCache
+	if _, ok := nilCache.Get("q", 1); ok {
+		t.Fatal("nil cache hit")
+	}
+	off := NewPlanCache(0, reg)
+	off.Put("q", 1, res(1))
+	if _, ok := off.Get("q", 1); ok {
+		t.Fatal("disabled cache hit")
+	}
+}

@@ -1,0 +1,133 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"fusionq/internal/core"
+	"fusionq/internal/netsim"
+	"fusionq/internal/obs"
+	"fusionq/internal/workload"
+)
+
+// DeployConfig describes a self-contained simulated deployment: a scenario,
+// a simulated network with per-source links, and a mediator wired over
+// both. cmd/fqd, cmd/fqload -self and the service benchmark all build their
+// worlds through this one path so "the thing the load hits" and "the thing
+// the benchmark measures" cannot drift apart.
+type DeployConfig struct {
+	// Scenario selects the data set: "dmv" (the paper's Figure 1 example)
+	// or "synth" (parameterized synthetic overlap).
+	Scenario string
+	// Seed drives both the synthetic data and the simulated network.
+	Seed int64
+	// Sources, Tuples, Universe and Selectivity parameterize the synth
+	// scenario (ignored for dmv). Zero values take the defaults below.
+	Sources  int
+	Tuples   int
+	Universe int
+	// Conds is the number of synthetic conditions (selectivity ramps from
+	// 0.2 to 0.6); default 3.
+	Conds int
+	// BaseLatency is source 0's link latency; source j gets
+	// BaseLatency*(1+j/2) so plans have real cost asymmetry to exploit.
+	// Default 2ms.
+	BaseLatency time.Duration
+	// RealTime, when positive, makes simulated exchanges take wall-clock
+	// time at that scale (1.0 = full simulated latency).
+	RealTime float64
+	// Metrics receives mediator metrics when non-nil.
+	Metrics *obs.Registry
+}
+
+// Deployment is a built world: the scenario (for reference answers and the
+// condition vocabulary) and the mediator serving it.
+type Deployment struct {
+	Scenario *workload.Scenario
+	Mediator *core.Mediator
+}
+
+// Build constructs the deployment.
+func (cfg DeployConfig) Build() (*Deployment, error) {
+	var sc *workload.Scenario
+	switch cfg.Scenario {
+	case "", "dmv":
+		sc = workload.DMV()
+	case "synth":
+		if cfg.Sources <= 0 {
+			cfg.Sources = 4
+		}
+		if cfg.Tuples <= 0 {
+			cfg.Tuples = 80
+		}
+		if cfg.Universe <= 0 {
+			cfg.Universe = 150
+		}
+		if cfg.Conds <= 0 {
+			cfg.Conds = 3
+		}
+		sel := make([]float64, cfg.Conds)
+		for i := range sel {
+			sel[i] = 0.2 + 0.4*float64(i)/float64(max(1, cfg.Conds-1))
+		}
+		var err error
+		sc, err = workload.Synth(workload.SynthConfig{
+			Seed:            cfg.Seed,
+			NumSources:      cfg.Sources,
+			TuplesPerSource: cfg.Tuples,
+			Universe:        cfg.Universe,
+			Selectivity:     sel,
+		})
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("service: unknown scenario %q (want dmv or synth)", cfg.Scenario)
+	}
+
+	base := cfg.BaseLatency
+	if base <= 0 {
+		base = 2 * time.Millisecond
+	}
+	net := netsim.NewNetwork(cfg.Seed)
+	if cfg.RealTime > 0 {
+		net.SetRealTime(cfg.RealTime)
+	}
+	m := core.New(sc.Schema)
+	m.SetNetwork(net)
+	if cfg.Metrics != nil {
+		m.SetMetrics(cfg.Metrics)
+	}
+	for j, src := range sc.Sources {
+		link := netsim.Link{
+			Latency:         base + base*time.Duration(j)/2,
+			BytesPerSec:     1 << 20,
+			RequestOverhead: base / 2,
+			MaxConns:        4,
+		}
+		if err := m.AddSourceLink(src, link); err != nil {
+			return nil, err
+		}
+	}
+	return &Deployment{Scenario: sc, Mediator: m}, nil
+}
+
+// Mix derives a query pool from the scenario's condition vocabulary: every
+// prefix of the condition list plus every single condition. Repeats across
+// the pool share plan- and answer-cache entries, so a load run exercises
+// both the cold and the cached paths.
+func (d *Deployment) Mix() [][]string {
+	conds := d.Scenario.Conds
+	var mix [][]string
+	for i := 1; i <= len(conds); i++ {
+		entry := make([]string, i)
+		for j := 0; j < i; j++ {
+			entry[j] = conds[j].String()
+		}
+		mix = append(mix, entry)
+	}
+	for i := 1; i < len(conds); i++ {
+		mix = append(mix, []string{conds[i].String()})
+	}
+	return mix
+}

@@ -1,0 +1,327 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"fusionq/internal/obs"
+	"fusionq/internal/wire"
+)
+
+// ServerConfig tunes a service Server.
+type ServerConfig struct {
+	// Name is the service name reported in Meta (default "fqd").
+	Name string
+	// IdleTimeout is the per-connection read deadline between requests.
+	// Zero means wire.DefaultIdleTimeout; negative disables the timeout.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds writing one response. Zero means no limit.
+	WriteTimeout time.Duration
+	// Logf receives connection-level errors and per-query correlation
+	// lines. Nil means log.Printf.
+	Logf func(format string, args ...interface{})
+	// Metrics receives the server's wire metrics (fq_wire_requests_total
+	// and friends, op=query). Nil means the process-wide default registry.
+	Metrics *obs.Registry
+}
+
+// Server exposes an Engine over TCP using the wire protocol's query
+// extension: clients send OpQuery requests with tenant, conditions and the
+// stream flag, and receive answer items (optionally chunked) with the
+// shed/cache annotations. OpMeta advertises the service (Meta.Queries).
+// The connection plumbing mirrors wire.Server — line-JSON, idle reaping,
+// graceful drain — but dispatches whole fusion queries instead of single
+// source operations.
+type Server struct {
+	eng *Engine
+	ln  net.Listener
+	cfg ServerConfig
+
+	// baseCtx is cancelled on forced close, aborting in-flight queries;
+	// Shutdown leaves it alive so handlers can finish.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// Serve starts a service server for eng on addr (e.g. "127.0.0.1:0") and
+// begins accepting connections in the background.
+func Serve(eng *Engine, addr string, cfg ServerConfig) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("service: listen: %w", err)
+	}
+	if cfg.Name == "" {
+		cfg.Name = "fqd"
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = wire.DefaultIdleTimeout
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = eng.metrics
+	}
+	obs.DescribeAll(cfg.Metrics)
+	//fqlint:ignore ctxfirst the server owns its root context; Close/Shutdown cancel it, not a caller.
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		eng:     eng,
+		ln:      ln,
+		cfg:     cfg,
+		baseCtx: ctx,
+		cancel:  cancel,
+		conns:   map[net.Conn]struct{}{},
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close force-stops the server: it stops accepting, cancels in-flight
+// queries, closes live connections and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.cancel()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Shutdown drains the server gracefully: admission starts shedding new
+// queries with reason draining, in-flight queries finish and their responses
+// are written, idle connections are nudged closed. If ctx expires before the
+// drain completes, remaining work is force-closed and ctx's error returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	// Wake connections blocked reading the next request; handlers treat
+	// the resulting timeout on a closed server as a clean exit. A handler
+	// mid-dispatch is unaffected — its response write proceeds.
+	for c := range s.conns {
+		_ = c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	lnErr := s.ln.Close()
+	drainErr := s.eng.Drain(ctx)
+
+	done := make(chan struct{})
+	//fqlint:ignore nakedgo the watcher exits exactly when wg.Wait returns; both arms of the select below join it via done.
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.cancel()
+		if drainErr != nil {
+			return drainErr
+		}
+		return lnErr
+	case <-ctx.Done():
+		s.mu.Lock()
+		s.cancel()
+		for c := range s.conns {
+			_ = c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return fmt.Errorf("service: shutdown: %w", ctx.Err())
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if !closed && !errors.Is(err, net.ErrClosed) {
+				s.cfg.Logf("service: accept: %v", err)
+			}
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	w := bufio.NewWriter(conn)
+	enc := json.NewEncoder(w)
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	for {
+		if s.cfg.IdleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
+				return
+			}
+		}
+		var req wire.Request
+		if err := dec.Decode(&req); err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				s.cfg.Logf("service: closing idle connection %s", conn.RemoteAddr())
+				return
+			}
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.cfg.Logf("service: decode: %v", err)
+			}
+			return
+		}
+		resp := s.serve(req)
+		for _, chunk := range chunkQuery(req, resp) {
+			if s.cfg.WriteTimeout > 0 {
+				if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
+					return
+				}
+			}
+			if err := enc.Encode(chunk); err != nil {
+				return
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
+			if s.cfg.WriteTimeout > 0 {
+				if err := conn.SetWriteDeadline(time.Time{}); err != nil {
+					return
+				}
+			}
+		}
+	}
+}
+
+// chunkQuery splits an item-carrying response into chunks of at most
+// req.Chunk items when the client asked for chunking. The cache and shed
+// annotations ride the final chunk only, mirroring how fragments ride the
+// final chunk in the source protocol.
+func chunkQuery(req wire.Request, resp wire.Response) []wire.Response {
+	if req.Chunk <= 0 || resp.Error != "" || len(resp.Items) <= req.Chunk {
+		return []wire.Response{resp}
+	}
+	var out []wire.Response
+	for start := 0; start < len(resp.Items); start += req.Chunk {
+		end := min(start+req.Chunk, len(resp.Items))
+		chunk := wire.Response{QueryID: resp.QueryID, Items: resp.Items[start:end], More: end < len(resp.Items)}
+		if !chunk.More {
+			chunk.PlanCached, chunk.AnswerCached = resp.PlanCached, resp.AnswerCached
+		}
+		out = append(out, chunk)
+	}
+	return out
+}
+
+// serve dispatches one request, charging the wire metrics and logging the
+// query correlation line.
+func (s *Server) serve(req wire.Request) wire.Response {
+	start := time.Now()
+	resp := s.dispatch(s.baseCtx, req)
+	elapsed := time.Since(start)
+	resp.QueryID = req.QueryID
+
+	met := s.cfg.Metrics
+	met.Counter(obs.MWireRequests, "op", req.Op).Inc()
+	if resp.Error != "" {
+		met.Counter(obs.MWireErrors, "op", req.Op).Inc()
+	}
+	met.Histogram(obs.MWireSeconds).Observe(elapsed.Seconds())
+
+	if req.Op == wire.OpQuery {
+		status := "ok"
+		switch {
+		case resp.Code != "":
+			status = resp.Code
+		case resp.Error != "":
+			status = fmt.Sprintf("error=%q", resp.Error)
+		}
+		s.cfg.Logf("service: tenant=%s conds=%d stream=%v items=%d elapsed=%s planCached=%v answerCached=%v %s",
+			req.Tenant, len(req.Conds), req.Stream, len(resp.Items),
+			elapsed.Round(time.Microsecond), resp.PlanCached, resp.AnswerCached, status)
+	}
+	return resp
+}
+
+// dispatch executes one request against the engine. ctx is the server's
+// base context: force-closing the server aborts in-flight queries.
+func (s *Server) dispatch(ctx context.Context, req wire.Request) wire.Response {
+	switch req.Op {
+	case wire.OpMeta:
+		schema := s.eng.med.Schema()
+		return wire.Response{Meta: &wire.Meta{
+			Version:  wire.ProtocolVersion,
+			Name:     s.cfg.Name,
+			Merge:    schema.Merge(),
+			Columns:  wire.EncodeSchema(schema),
+			Chunking: true,
+			Queries:  true,
+		}}
+	case wire.OpQuery:
+		conds, err := ParseConds(req.Conds)
+		if err != nil {
+			return wire.Response{Error: err.Error()}
+		}
+		res, err := s.eng.Query(ctx, Request{Tenant: req.Tenant, Conds: conds, Stream: req.Stream})
+		if err != nil {
+			resp := wire.Response{Error: err.Error()}
+			var shed *ShedError
+			if errors.As(err, &shed) {
+				resp.Code = "shed:" + string(shed.Reason)
+			}
+			return resp
+		}
+		return wire.Response{
+			Items:        res.Answer.Items.Slice(),
+			PlanCached:   res.PlanCached,
+			AnswerCached: res.AnswerCached,
+		}
+	default:
+		return wire.Response{Error: fmt.Sprintf("service: unsupported op %q (this peer is a mediator service; see Meta.Queries)", req.Op)}
+	}
+}

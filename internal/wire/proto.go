@@ -32,6 +32,12 @@ const (
 	OpSelectRecs = "sqr"
 	OpSemiRecs   = "sjqr"
 	OpSemiBloom  = "sjqb"
+	// OpQuery submits a whole fusion query to a mediator service (cmd/fqd)
+	// rather than one source operation to a source server. A fourth
+	// v1-compatible optional extension in the qid/chunk/frag mold: source
+	// servers that predate it reject the op, and clients discover support
+	// through Meta.Queries before relying on it.
+	OpQuery = "query"
 )
 
 // Request is one client request.
@@ -63,6 +69,16 @@ type Request struct {
 	// field, old clients never set it, and clients discover support through
 	// Meta.Fragments before relying on it.
 	Frag bool `json:"frag,omitempty"`
+	// Tenant identifies the quota account a query op is charged to; the
+	// service's admission controller buckets by it. Empty means the shared
+	// anonymous tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Conds carries a query op's fusion conditions in textual form, one per
+	// condition (the multi-condition counterpart of Cond).
+	Conds []string `json:"conds,omitempty"`
+	// Stream asks the service to execute a query op with the streaming
+	// pipeline; combine with Chunk to receive answer items as they surface.
+	Stream bool `json:"stream,omitempty"`
 }
 
 // Response is one server response.
@@ -86,6 +102,14 @@ type Response struct {
 	// response when the request set Frag and the server supports the
 	// extension.
 	Frag *Fragment `json:"frag,omitempty"`
+	// Code is a machine-readable refusal class accompanying Error on a query
+	// op — "shed:queue-full" | "shed:quota" | "shed:draining" when admission
+	// control rejected the query. Empty on success and on plain errors.
+	Code string `json:"code,omitempty"`
+	// PlanCached / AnswerCached report, for a query op, whether the service
+	// answered from its plan cache or whole-answer cache.
+	PlanCached   bool `json:"planCached,omitempty"`
+	AnswerCached bool `json:"answerCached,omitempty"`
 }
 
 // Fragment is a server-side span fragment: the server's own accounting of
@@ -131,6 +155,9 @@ type Meta struct {
 	Chunking bool `json:"chunking,omitempty"`
 	// Fragments advertises support for the Request.Frag extension.
 	Fragments bool `json:"fragments,omitempty"`
+	// Queries advertises support for the OpQuery extension: the peer is a
+	// mediator service, not a single source.
+	Queries bool `json:"queries,omitempty"`
 }
 
 // WireCol is a schema column on the wire.
